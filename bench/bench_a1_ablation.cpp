@@ -1,0 +1,113 @@
+// A1 — ablation of the design choices DESIGN.md calls out:
+//
+//   (1) Algorithm 3's *quantized* balancing rule vs the naive midpoint
+//       rule (Section 4.2's explicit comparison): under the Lemma 7.6
+//       shifting construction the midpoint rule lets the forced per-edge
+//       skew keep climbing, while A^opt's rule caps it near its bound.
+//   (2) kappa sensitivity: kappa multipliers below 1 violate Inequality
+//       (4) — the guarantees are void and the skew responds; multipliers
+//       above 1 scale the local skew linearly (kappa is the right knob,
+//       chosen minimal).
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "lowerbound/local_adversary.hpp"
+
+namespace {
+
+using namespace tbcs;
+
+double attack_local_skew(const graph::Graph& g, const core::SyncParams& params,
+                         bool midpoint, int b) {
+  sim::SimConfig cfg;
+  cfg.wake_all_at_zero = true;
+  sim::Simulator sim(g, cfg);
+  core::AoptOptions o;
+  o.midpoint_rule = midpoint;
+  sim.set_all_nodes([&params, &o](sim::NodeId) {
+    return std::make_unique<core::AoptNode>(params, o);
+  });
+  sim.set_drift_policy(std::make_shared<sim::ConstantDrift>(1.0));
+  lowerbound::LocalSkewConstruction::Config lcfg;
+  lcfg.eps = 0.2;
+  lcfg.delay = 1.0;
+  lowerbound::LocalSkewConstruction adv(sim, lcfg);
+  sim.set_delay_policy(adv.delay_policy());
+  const auto levels = adv.run(b);
+  return levels.back().skew;
+}
+
+}  // namespace
+
+int main() {
+  const double t = 1.0;
+  const double eps = 0.05;
+
+  bench::print_header(
+      "A1: ablations (balancing rule, kappa)",
+      "claims: (1) the quantized rule of Algorithm 3 beats the naive\n"
+      "midpoint under the shifting attack; (2) kappa is chosen minimal —\n"
+      "scaling it up scales the local skew bound linearly, shrinking it\n"
+      "below Inequality (4) voids the guarantee.");
+
+  std::cout << "-- (1) balancing rule under the Lemma 7.6 attack --\n";
+  const core::SyncParams params = core::SyncParams::recommended(t, eps, 0.0);
+  analysis::Table rule_table({"path edges", "A^opt rule", "midpoint rule",
+                              "A^opt bound"});
+  for (const int b : {4, 5, 6}) {
+    const int edges = b * b * b;
+    const graph::Graph g = graph::make_path(edges + 1);
+    const double quantized = attack_local_skew(g, params, false, b);
+    const double midpoint = attack_local_skew(g, params, true, b);
+    rule_table.add_row({analysis::Table::integer(edges),
+                        analysis::Table::num(quantized),
+                        analysis::Table::num(midpoint),
+                        analysis::Table::num(
+                            params.local_skew_bound(edges, eps, t))});
+  }
+  rule_table.print(std::cout);
+
+  std::cout << "\n-- (2) kappa sensitivity via the delay estimate T_hat "
+               "(path D = 32) --\n";
+  // The algorithm believes T_hat = mult * T; Inequality (4) ties kappa to
+  // T_hat, so under-estimation (mult < 1) shrinks kappa below the legal
+  // minimum for the *true* delays and the Theorem 5.10 guarantee is void.
+  const graph::Graph g = graph::make_path(33);
+  analysis::Table kappa_table({"T_hat/T", "kappa", "ineq (4) vs true T",
+                               "local skew", "bound (true T)"});
+  for (const double mult : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const core::SyncParams p =
+        core::SyncParams::with(t * mult, eps, params.mu, params.h0);
+    // Valid w.r.t. the true delay uncertainty t?
+    core::SyncParams truth = p;
+    truth.delay_hat = t;
+    const bool valid = truth.valid();
+
+    bench::RunSpec spec;
+    spec.graph = &g;
+    spec.factory = [&p](sim::NodeId) {
+      return std::make_unique<core::AoptNode>(p);
+    };
+    spec.drift = std::make_shared<sim::SquareWaveDrift>(
+        eps, 64.0 * t, [](sim::NodeId v) { return v < 17; });
+    spec.delay = bench::skew_hiding_delays(g, 0, t);
+    spec.duration = 400.0;
+    const auto m = bench::run(spec);
+
+    kappa_table.add_row({analysis::Table::num(mult, 2),
+                         analysis::Table::num(p.kappa, 2),
+                         valid ? "yes" : "NO",
+                         analysis::Table::num(m.local_skew),
+                         valid ? analysis::Table::num(
+                                     p.local_skew_bound(32, eps, t))
+                               : "void"});
+  }
+  kappa_table.print(std::cout);
+
+  std::cout << "\nexpected shape: (1) the midpoint column grows faster with\n"
+               "path length than the A^opt column; (2) for multipliers >= 1\n"
+               "the bound scales ~linearly with kappa while the measured\n"
+               "skew stays below it; multipliers < 1 lose the guarantee.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// A3 — randomized adversary search: what do randomly sampled adversaries
+// achieve against A^opt as D grows?
+//
+// Finding (reproduced by this bench): families whose attack energy scales
+// with D (square waves with period ~ D T behind skew-hiding delays act
+// like one level of the Lemma 7.6 construction) extract a growing
+// *fraction* of the worst-case bound — evidence the bound is no paper
+// tiger — while never exceeding it (Theorem 5.10 holds in every one of
+// the hundreds of sampled executions).  Climbing the remaining gap needs
+// the multi-level zooming of the structured construction (E5).
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "bench_util.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace tbcs;
+
+double worst_random_local(const graph::Graph& g, const core::SyncParams& params,
+                          double eps, double t, int trials,
+                          sim::Rng& master) {
+  const int n = g.num_nodes();
+  const int d = n - 1;
+  double worst = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    sim::Rng rng = master.split(trial + 1);
+    bench::RunSpec spec;
+    spec.graph = &g;
+    spec.factory = [&params](sim::NodeId) {
+      return std::make_unique<core::AoptNode>(params);
+    };
+    // Alternate between the two strongest families found by a wider
+    // search: square-wave + hiding delays, and sinusoidal + bimodal.
+    if (trial % 2 == 0) {
+      const auto cut = static_cast<sim::NodeId>(1 + rng.uniform_index(n - 2));
+      spec.drift = std::make_shared<sim::SquareWaveDrift>(
+          eps, rng.uniform(0.5, 4.0) * d * t,
+          [cut](sim::NodeId v) { return v < cut; });
+      spec.delay = bench::skew_hiding_delays(
+          g, static_cast<graph::NodeId>(rng.uniform_index(n)), t);
+    } else {
+      spec.drift = std::make_shared<sim::SinusoidalDrift>(
+          eps, rng.uniform(10.0, 120.0), rng.next_u64());
+      spec.delay = std::make_shared<sim::BimodalDelay>(
+          0.05 * t, t, rng.uniform(0.05, 0.5), rng.next_u64());
+    }
+    spec.duration = 8.0 * d * t;
+    spec.tracker_stride = n >= 64 ? 2 : 1;
+    worst = std::max(worst, bench::run(spec).local_skew);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  const double t = 1.0;
+  const double eps = 0.05;
+  const core::SyncParams params = core::SyncParams::recommended(t, eps, 0.0);
+  const int kTrials = 50;
+
+  bench::print_header(
+      "A3: randomized adversary search vs diameter",
+      "claim: sampled adversaries reach a growing fraction of the bound\n"
+      "but never exceed it; the multi-level construction (E5) is needed\n"
+      "to close the remaining gap.");
+
+  sim::Rng master(20260707);
+  analysis::Table table({"D", "worst random local (50 trials)", "local bound",
+                         "random/bound"});
+  for (const int n : {17, 33, 65, 129}) {
+    const graph::Graph g = graph::make_path(n);
+    const double worst =
+        worst_random_local(g, params, eps, t, kTrials, master);
+    const double bound = params.local_skew_bound(n - 1, eps, t);
+    table.add_row({analysis::Table::integer(n - 1),
+                   analysis::Table::num(worst),
+                   analysis::Table::num(bound),
+                   analysis::Table::num(worst / bound, 3)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nexpected shape: the ratio column grows with D but stays well\n"
+         "below 1 — every sampled execution respects Theorem 5.10, and the\n"
+         "square-wave family (a de-facto single construction level) is the\n"
+         "engine behind the growth; see E5 for the multi-level attack.\n";
+  return 0;
+}

@@ -1,0 +1,128 @@
+// A4 — partition and merge.
+//
+// A ring is cut into two halves that evolve independently (opposite drift
+// extremes, so their clock populations diverge at 2 eps), then healed.
+// The questions a deployment cares about:
+//   * how large does the inter-partition skew get?  (2 eps x partition
+//     duration, as free-running analysis predicts — no algorithm can do
+//     better without connectivity);
+//   * after healing, how fast does A^opt reconverge?  (the L^max flood
+//     spreads in ~D T and the slow side catches up at rate ~mu, so the
+//     settle time is ~ skew/mu + D T);
+//   * what happens to the local skew?  The *healed* edges momentarily
+//     carry the full inter-partition gap — unavoidable, the two clocks
+//     are what they are when the edge appears (this is the stabilization
+//     problem of gradient clock sync in *dynamic* networks, Kuhn et al.).
+//     The gradient mechanism's promise is that (a) the *old* edges stay
+//     near their static bound while the gap drains, and (b) the healed
+//     edge's skew decays at the full correction rate ~mu.
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "analysis/convergence.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace tbcs;
+  const double t = 1.0;
+  const double eps = 0.02;
+  const int n = 16;
+  const core::SyncParams params = core::SyncParams::recommended(t, eps, 0.0);
+  const graph::Graph g = graph::make_ring(n);
+
+  bench::print_header(
+      "A4: partition and merge (dynamic topologies)",
+      "claim: partitions diverge at 2 eps (unavoidable); after healing,\n"
+      "recovery takes ~skew/mu + D T, the healed edges drain the gap, and\n"
+      "the *old* edges stay near the static local bound (gradient).");
+
+  analysis::Table table({"partition length", "peak global skew",
+                         "predicted 2*eps*len", "old-edge local peak",
+                         "local bound", "healed-edge recovery",
+                         "settle time", "skew/mu + D T"});
+
+  for (const double partition_len : {100.0, 300.0, 600.0, 1200.0}) {
+    sim::Simulator sim(g);
+    sim.set_all_nodes([&params](sim::NodeId) {
+      return std::make_unique<core::AoptNode>(params);
+    });
+    // Halves pinned to opposite drift extremes: maximum divergence.
+    sim.set_drift_policy(std::make_shared<sim::SquareWaveDrift>(
+        eps, 1e9, [n](sim::NodeId v) { return v < n / 2; }));
+    sim.set_delay_policy(std::make_shared<sim::UniformDelay>(0.0, t, 5));
+
+    // Cut the two ring edges between the halves at t=50, heal later.
+    const double cut_at = 50.0;
+    const double heal_at = cut_at + partition_len;
+    sim.schedule_link_change(0, n - 1, false, cut_at);
+    sim.schedule_link_change(n / 2 - 1, n / 2, false, cut_at);
+    sim.schedule_link_change(0, n - 1, true, heal_at);
+    sim.schedule_link_change(n / 2 - 1, n / 2, true, heal_at);
+
+    analysis::SkewTracker::Options topt;
+    topt.series_interval = 1.0;
+    analysis::SkewTracker tracker(sim, topt);
+
+    // Separate the healed edges from the old ones.
+    const auto is_healed_edge = [n](sim::NodeId a, sim::NodeId b) {
+      return (a == 0 && b == n - 1) || (a == n / 2 - 1 && b == n / 2);
+    };
+    double peak_old_edge_local = 0.0;
+    double healed_edge_recovered_at = -1.0;
+    const double local_bound = params.local_skew_bound(g.diameter(), eps, t);
+    sim.set_observer([&](const sim::Simulator& s, double now) {
+      tracker.observe(s, now);
+      if (now < heal_at) return;
+      double healed_worst = 0.0;
+      for (const auto& [a, b] : s.topology().edges()) {
+        if (!s.link_up(a, b)) continue;
+        const double skew = std::abs(s.logical(a) - s.logical(b));
+        if (is_healed_edge(a, b)) {
+          healed_worst = std::max(healed_worst, skew);
+        } else {
+          peak_old_edge_local = std::max(peak_old_edge_local, skew);
+        }
+      }
+      if (healed_worst > local_bound) {
+        healed_edge_recovered_at = now;  // still above: push the mark out
+      }
+    });
+
+    const double end = heal_at + partition_len + 400.0;
+    sim.run_until(end);
+
+    const double peak_global =
+        analysis::peak_in_window(tracker.series(), heal_at - 1.0,
+                                 heal_at + 50.0, /*local=*/false);
+    // Settle: global skew back under the steady-state bound for the ring.
+    const double steady =
+        params.global_skew_bound(g.diameter(), eps, t);
+    const double settle =
+        analysis::settle_time(tracker.series(), steady, /*local=*/false) -
+        heal_at;
+    const double predicted_settle =
+        peak_global / (params.mu * (1.0 - eps)) + g.diameter() * t;
+
+    table.add_row(
+        {analysis::Table::num(partition_len, 0),
+         analysis::Table::num(peak_global),
+         analysis::Table::num(2.0 * eps * partition_len),
+         analysis::Table::num(peak_old_edge_local),
+         analysis::Table::num(local_bound),
+         analysis::Table::num(
+             healed_edge_recovered_at < 0.0
+                 ? 0.0
+                 : healed_edge_recovered_at - heal_at, 1),
+         analysis::Table::num(std::max(0.0, settle), 1),
+         analysis::Table::num(predicted_settle, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nexpected shape: peak global ~ 2 eps x partition length; the\n"
+               "healed edges recover in ~skew/mu while the *old* edges stay\n"
+               "near the static local bound throughout — the inter-partition\n"
+               "gap drains through the healed edges without being handed\n"
+               "around the ring.\n";
+  return 0;
+}

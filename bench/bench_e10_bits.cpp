@@ -1,0 +1,98 @@
+// E10 — Sections 6.2/6.3: with delta encoding, quantization to multiples
+// of mu H0, and capped L^max updates, a message needs only
+// O(log(1/mu)) payload bits — while the skew guarantees survive with a
+// Theta(mu H0)-enlarged kappa.
+//
+// Workload: 5x5 grid; sweep mu; report measured bits/message vs the
+// O(log(1/mu)) prediction, plus the skews for sanity.
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/bit_codec.hpp"
+
+int main() {
+  using namespace tbcs;
+  const double t = 1.0;
+  const double eps = 0.005;
+  const graph::Graph g = graph::make_grid(5, 5);
+  const int d = g.diameter();
+
+  bench::print_header(
+      "E10: bit complexity (Sections 6.2/6.3)",
+      "claim: payload bits per message are O(log(1/mu)) — independent of\n"
+      "the clock magnitudes and of D — and the skew bounds survive the\n"
+      "quantization.");
+
+  analysis::Table table({"mu", "quantum muH0", "mean bits", "max bits",
+                         "log2(1/mu)+c", "global skew", "local skew"});
+
+  for (const double mu : {0.125, 0.25, 0.5, 1.0, 2.0}) {
+    const core::SyncParams params = core::SyncParams::with(t, eps, mu, t / mu);
+
+    sim::Simulator sim(g);
+    std::vector<core::BitCodedAoptNode*> nodes;
+    sim.set_all_nodes([&params, &nodes](sim::NodeId) {
+      auto node = std::make_unique<core::BitCodedAoptNode>(params);
+      nodes.push_back(node.get());
+      return node;
+    });
+    sim.set_drift_policy(std::make_shared<sim::RandomWalkDrift>(eps, 10.0, 9));
+    sim.set_delay_policy(std::make_shared<sim::UniformDelay>(0.0, t, 11));
+
+    analysis::SkewTracker tracker(sim, {});
+    tracker.attach(sim);
+    sim.run_until(600.0);
+
+    std::uint64_t total_bits = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t max_bits = 0;
+    for (const auto* node : nodes) {
+      total_bits += node->total_payload_bits();
+      messages += node->coded_messages();
+      max_bits = std::max(max_bits, node->max_payload_bits());
+    }
+    const double mean_bits =
+        messages ? static_cast<double>(total_bits) / messages : 0.0;
+
+    table.add_row(
+        {analysis::Table::num(mu, 3), analysis::Table::num(mu * params.h0, 3),
+         analysis::Table::num(mean_bits, 2),
+         analysis::Table::integer(static_cast<long long>(max_bits)),
+         analysis::Table::num(std::log2(1.0 / mu) + 6.0, 1),
+         analysis::Table::num(tracker.max_global_skew()),
+         analysis::Table::num(tracker.max_local_skew())});
+  }
+  table.print(std::cout);
+
+  std::cout << "\ncontext: D = " << d << "; an absolute clock value after\n"
+               "t = 600 would need ~" << std::ceil(std::log2(600.0 / 0.005))
+            << " bits — the codec stays constant-size instead.\n"
+               "expected shape: bits track log2(1/mu) + O(1), flat in D and t.\n";
+
+  // Section 6.3: per-node space accounting.
+  std::cout << "\n-- Section 6.3 space bound (bits per node) --\n";
+  analysis::Table space({"graph", "D", "Delta", "space bound (f = 100)"});
+  struct Case {
+    const char* name;
+    graph::Graph g;
+  };
+  const core::SyncParams sp = core::SyncParams::with(t, eps, 0.5, t / 0.5);
+  for (auto& c : {Case{"path 64", graph::make_path(65)},
+                  Case{"grid 16x16", graph::make_grid(16, 16)},
+                  Case{"hypercube 2^8", graph::make_hypercube(8)}}) {
+    space.add_row(
+        {c.name, analysis::Table::integer(c.g.diameter()),
+         analysis::Table::integer(static_cast<long long>(c.g.max_degree())),
+         analysis::Table::num(
+             sp.space_bound_bits(c.g.diameter(),
+                                 static_cast<int>(c.g.max_degree()), 100.0, eps),
+             1)});
+  }
+  space.print(std::cout);
+  std::cout << "expected shape: tens of bits per node — dominated by the\n"
+               "Delta term, logarithmic in D and f.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// E3 — Corollary 7.8 / Inequality (6): the base of the local-skew
+// logarithm is sigma = Theta(mu / eps).  Increasing mu (the rate headroom)
+// shrinks the local-skew bound; the price is a larger beta = (1+eps)(1+mu)
+// (Condition 2) and a larger kappa.
+//
+// Workload: fixed path D = 64, eps = 0.005; sweep mu across powers of two
+// times the minimum 14 eps / (1 - eps).
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace tbcs;
+  const double t = 1.0;
+  const double eps = 0.005;
+  const int n = 65;
+  const graph::Graph g = graph::make_path(n);
+  const int d = n - 1;
+
+  bench::print_header(
+      "E3: local skew vs mu/eps (Corollary 7.8)",
+      "claim: sigma = Theta(mu/eps); growing mu shrinks the number of\n"
+      "kappa-levels ceil(log_sigma(2G/kappa)) and hence the local bound,\n"
+      "at the cost of beta and kappa growing with mu.");
+
+  analysis::Table table({"mu", "mu/eps", "sigma", "kappa", "levels",
+                         "local bound", "measured local", "beta"});
+
+  const double mu_min = 14.0 * eps / (1.0 - eps);
+  for (double mu = mu_min; mu <= 16.5 * mu_min; mu *= 2.0) {
+    const core::SyncParams params = core::SyncParams::with(t, eps, mu, t / mu);
+
+    bench::RunSpec spec;
+    spec.graph = &g;
+    spec.factory = [&params](sim::NodeId) {
+      return std::make_unique<core::AoptNode>(params);
+    };
+    spec.drift = std::make_shared<sim::SquareWaveDrift>(
+        eps, 2.0 * d * t, [n](sim::NodeId v) { return v < n / 2; });
+    spec.delay = bench::skew_hiding_delays(g, 0, t);
+    spec.duration = 6.0 * d * t;
+    const auto m = bench::run(spec);
+
+    const double bound = params.local_skew_bound(d, eps, t);
+    const double levels = (bound / params.kappa) - 0.5;
+    table.add_row({analysis::Table::num(params.mu, 3),
+                   analysis::Table::num(params.mu / eps, 0),
+                   analysis::Table::num(params.sigma(), 0),
+                   analysis::Table::num(params.kappa, 2),
+                   analysis::Table::num(levels, 0),
+                   analysis::Table::num(bound, 2),
+                   analysis::Table::num(m.local_skew, 3),
+                   analysis::Table::num(params.beta(eps), 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nexpected shape: 'levels' decreases as mu/eps grows (larger\n"
+               "log base); the bound follows kappa * (levels + 1/2).\n";
+  return 0;
+}

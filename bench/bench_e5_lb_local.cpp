@@ -1,0 +1,149 @@
+// E5 — Theorems 7.7/7.12: the iterative shifting construction forces a
+// local skew of Omega(alpha T log_b D), where b = ceil(2(beta-alpha)/
+// (alpha eps)) depends on the *attacked algorithm's* rate bounds: between
+// shift windows the algorithm sees (and burns) old skew at rate up to
+// beta - alpha, and the b-fold shrink per level is exactly what makes the
+// masked gain survive that burn.
+//
+// Part A runs the paper-exact attack against a legally configured A^opt
+// (construction eps == the algorithm's eps_hat, b from the formula).
+// Part B attacks with drift exceeding the algorithm's estimate
+// (eps > eps_hat — the Theorem 7.2 theme that wrong estimates void
+// guarantees), which needs a much smaller b and therefore shows more
+// levels of growth at a given path length.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "baselines/max_algorithm.hpp"
+#include "bench_util.hpp"
+#include "lowerbound/local_adversary.hpp"
+
+namespace {
+
+using namespace tbcs;
+
+template <typename Factory>
+std::vector<lowerbound::LocalSkewConstruction::Level> attack(
+    const graph::Graph& g, double eps, double t, int b, Factory factory) {
+  sim::SimConfig cfg;
+  cfg.wake_all_at_zero = true;
+  sim::Simulator sim(g, cfg);
+  sim.set_all_nodes(factory);
+  sim.set_drift_policy(std::make_shared<sim::ConstantDrift>(1.0));
+
+  lowerbound::LocalSkewConstruction::Config lcfg;
+  lcfg.eps = eps;
+  lcfg.delay = t;
+  lowerbound::LocalSkewConstruction adv(sim, lcfg);
+  sim.set_delay_policy(adv.delay_policy());
+  return adv.run(b);
+}
+
+void print_levels(
+    const std::vector<lowerbound::LocalSkewConstruction::Level>& levels,
+    double alpha, double t) {
+  analysis::Table table({"level k", "segment length", "skew", "per-edge skew",
+                         "theory floor (k+1)/2 aTd"});
+  for (const auto& lv : levels) {
+    const double floor = (lv.k + 1) * 0.5 * alpha * t * lv.length;
+    table.add_row({analysis::Table::integer(lv.k),
+                   analysis::Table::integer(lv.length),
+                   analysis::Table::num(lv.skew),
+                   analysis::Table::num(lv.per_edge),
+                   analysis::Table::num(floor)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  const double t = 1.0;
+
+  bench::print_header(
+      "E5: local-skew lower bound (Theorems 7.7/7.12)",
+      "claim: per-edge average skew grows by ~alpha T per level while the\n"
+      "segment shrinks by b = ceil(2(beta-alpha)/(alpha eps)); after\n"
+      "log_b D levels two neighbors carry Omega(alpha T log_b D) skew.");
+
+  // ---- Part A: paper-exact attack on a legal A^opt ------------------------
+  {
+    const double eps = 0.05;  // construction amplitude == algorithm's bound
+    const core::SyncParams params = core::SyncParams::recommended(t, eps, 0.0);
+    const double alpha = params.alpha(eps);
+    const double beta = params.beta(eps);
+    const int b =
+        static_cast<int>(std::ceil(2.0 * (beta - alpha) / (alpha * eps)));
+    const int edges = b * b;  // two shrink levels
+    const graph::Graph g = graph::make_path(edges + 1);
+
+    std::cout << "-- A: legal A^opt (eps = eps_hat = " << eps
+              << ", beta-alpha = " << analysis::Table::num(beta - alpha, 3)
+              << " -> b = " << b << ", D = " << edges << ") --\n";
+    const auto levels = attack(g, eps, t, b, [&params](sim::NodeId) {
+      return std::make_unique<core::AoptNode>(params);
+    });
+    print_levels(levels, alpha, t);
+    std::cout << "final neighbor skew: "
+              << analysis::Table::num(levels.back().skew)
+              << "  (A^opt upper bound: "
+              << analysis::Table::num(params.local_skew_bound(edges, eps, t))
+              << ")\n\n";
+  }
+
+  // ---- Part B: drift exceeding the algorithm's estimate -------------------
+  {
+    const double eps = 0.2;  // adversary swings 4x the algorithm's eps_hat
+    const core::SyncParams params = core::SyncParams::recommended(t, 0.05, 0.0);
+    const int b = 11;
+
+    std::cout << "-- B: eps-underestimating A^opt (eps_hat = 0.05, adversary "
+                 "eps = 0.2), b = 11 --\n";
+    analysis::Table sweep({"D (edges)", "levels", "final neighbor skew",
+                           "per-level detail (per-edge)"});
+    for (int levels_n = 1; levels_n <= 3; ++levels_n) {
+      int edges = 1;
+      for (int i = 0; i < levels_n; ++i) edges *= b;
+      const graph::Graph g = graph::make_path(edges + 1);
+      const auto levels = attack(g, eps, t, b, [&params](sim::NodeId) {
+        return std::make_unique<core::AoptNode>(params);
+      });
+      std::string detail;
+      for (const auto& lv : levels) {
+        if (!detail.empty()) detail += " -> ";
+        detail += analysis::Table::num(lv.per_edge, 2);
+      }
+      sweep.add_row({analysis::Table::integer(edges),
+                     analysis::Table::integer(levels_n),
+                     analysis::Table::num(levels.back().skew), detail});
+    }
+    sweep.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // ---- Part C: rate-limited max propagation under the same attack ---------
+  {
+    const double eps = 0.2;
+    baselines::MaxAlgorithmOptions mopt;
+    mopt.jump = false;
+    mopt.mu = 0.5;  // alpha = 0.8, beta = 1.8 -> b_req = 2*1.0/(0.8*0.2) = 12.5
+    mopt.h0 = 2.0;
+    const int b = 13;
+    const int edges = b * b;
+    const graph::Graph g = graph::make_path(edges + 1);
+    std::cout << "-- C: rate-limited max propagation (mu = 0.5), b = 13, D = "
+              << edges << " --\n";
+    const auto levels = attack(g, eps, t, b, [&mopt](sim::NodeId) {
+      return std::make_unique<baselines::MaxAlgorithmNode>(mopt);
+    });
+    print_levels(levels, 1.0 - eps, t);
+  }
+
+  std::cout
+      << "\nexpected shape: in every part the per-edge skew grows across\n"
+         "levels (the construction beats any rate-bounded algorithm); A^opt\n"
+         "merely *matches* the unavoidable bound — its final skew stays\n"
+         "within its Theorem 5.10 ceiling, which is what optimality means.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// E6 — Section 6.1: the amortized message frequency is Theta(1/H0) per
+// node, and bounding the frequency (minimum send spacing H0) trades into
+// the global skew as Theta(eps D H0).
+//
+// Workload: 8x8 grid with the bounded-frequency variant; sweep H0.
+#include <iostream>
+#include <memory>
+
+#include "analysis/counters.hpp"
+#include "bench_util.hpp"
+#include "core/aopt_variants.hpp"
+
+int main() {
+  using namespace tbcs;
+  const double t = 1.0;
+  const double eps = 0.01;
+  const double mu = 0.2;
+  const graph::Graph g = graph::make_grid(8, 8);
+  const int d = g.diameter();
+
+  bench::print_header(
+      "E6: message frequency vs skew trade-off (Section 6.1)",
+      "claim: sends per node per time unit ~ 1/H0; the global skew pays\n"
+      "an extra Theta(eps D H0) as H0 grows (tunable trade-off).");
+
+  analysis::Table table({"H0", "msgs/node/time", "theory 1/H0", "global skew",
+                         "G(H0)", "G(H0) + 2eps*D*H0", "local skew"});
+
+  for (const double h0 : {2.0, 5.0, 10.0, 20.0, 40.0}) {
+    const core::SyncParams params = core::SyncParams::with(t, eps, mu, h0);
+
+    bench::RunSpec spec;
+    spec.graph = &g;
+    spec.factory = [&params](sim::NodeId) {
+      return core::make_bounded_frequency_aopt(params);
+    };
+    spec.drift = std::make_shared<sim::RandomWalkDrift>(eps, 4.0 * h0, 3);
+    spec.delay = std::make_shared<sim::UniformDelay>(0.0, t, 5);
+    spec.duration = 40.0 * h0 + 200.0;
+    const auto m = bench::run(spec);
+
+    const double freq =
+        static_cast<double>(m.broadcasts) / (g.num_nodes() * m.duration);
+    const double g_bound = params.global_skew_bound(d, eps, t);
+    table.add_row({analysis::Table::num(h0, 1), analysis::Table::num(freq, 4),
+                   analysis::Table::num(1.0 / h0, 4),
+                   analysis::Table::num(m.global_skew),
+                   analysis::Table::num(g_bound),
+                   analysis::Table::num(g_bound + 2.0 * eps * d * h0),
+                   analysis::Table::num(m.local_skew)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nexpected shape: the measured frequency tracks 1/H0 within a\n"
+               "small constant; the skew columns stay below the H0-adjusted\n"
+               "bound, which grows linearly in H0 (the Section 6.1 price).\n";
+  return 0;
+}

@@ -1,0 +1,189 @@
+// E9 — Section 2 / Section 4.2 baseline comparison (steady state, the
+// initialization transient is excluded via warm-up):
+//
+//   * A^opt under the square-wave drift + skew-hiding delays: local skew
+//     stays O(kappa log D) (cf. E2/E5 for the forced-growth adversary);
+//   * max propagation a la Srikanth-Toueg: correct global skew, but its
+//     resynchronization interval must exceed the flood time Omega(D T),
+//     so corrections arrive as jumps of size ~2 eps H0 = Theta(eps D T) —
+//     which is exactly its local skew: linear in D;
+//   * midpoint averaging under a sustained drift gradient: no global
+//     information, the global skew keeps growing with the diameter;
+//   * free running: control.
+#include <iostream>
+#include <memory>
+
+#include "analysis/stats.hpp"
+#include "baselines/averaging_algorithm.hpp"
+#include "baselines/blocking_gradient.hpp"
+#include "baselines/free_running.hpp"
+#include "baselines/max_algorithm.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace tbcs;
+
+struct Outcome {
+  double local = 0.0;
+  double global = 0.0;
+};
+
+template <typename Factory>
+Outcome steady_state(const graph::Graph& g,
+                     std::shared_ptr<sim::DriftPolicy> drift,
+                     std::shared_ptr<sim::DelayPolicy> delay, double duration,
+                     double warmup, Factory f) {
+  sim::SimConfig cfg;
+  cfg.probe_interval = 1.0;  // sample even event-free algorithms (free run)
+  sim::Simulator sim(g, cfg);
+  sim.set_all_nodes(f);
+  sim.set_drift_policy(std::move(drift));
+  sim.set_delay_policy(std::move(delay));
+  analysis::SkewTracker::Options topt;
+  topt.warmup = warmup;
+  analysis::SkewTracker tracker(sim, topt);
+  tracker.attach(sim);
+  sim.run_until(duration);
+  return Outcome{tracker.max_local_skew(), tracker.max_global_skew()};
+}
+
+}  // namespace
+
+int main() {
+  const double t = 1.0;
+  const double eps = 0.02;
+  const core::SyncParams params = core::SyncParams::recommended(t, eps, 0.0);
+
+  bench::print_header(
+      "E9: baseline comparison (Sections 2, 4.2)",
+      "claim: A^opt holds O(log D) local skew; Srikanth-Toueg-style max\n"
+      "propagation pays Theta(eps D T) local skew (resync interval must\n"
+      "exceed the flood time); averaging cannot contain the global skew.");
+
+  analysis::Table table({"D", "A^opt local", "sqrt-block local",
+                         "ST-resync local", "avg-gradient local",
+                         "A^opt global", "ST-resync global",
+                         "avg-gradient global", "free global"});
+
+  std::vector<double> ds;
+  std::vector<double> aopt_locals;
+  std::vector<double> st_locals;
+  for (const int n : {9, 17, 33, 65}) {
+    const graph::Graph g = graph::make_path(n);
+    const int d = n - 1;
+    ds.push_back(d);
+    const double warmup = 4.0 * d * t;
+    const double duration = warmup + 12.0 * d * t;
+
+    // A^opt: square-wave drift flipping every ~2DT, hidden by delays.
+    const auto aopt = steady_state(
+        g,
+        std::make_shared<sim::SquareWaveDrift>(
+            eps, 2.0 * d * t, [n](sim::NodeId v) { return v < n / 2; }),
+        bench::skew_hiding_delays(g, 0, t), duration, warmup,
+        [&params](sim::NodeId) { return std::make_unique<core::AoptNode>(params); });
+
+    // Blocking-gradient (Locher-Wattenhofer 2006 lineage): gap =
+    // Theta(sqrt(eps D) T); same adversary as A^opt.
+    baselines::BlockingGradientOptions bopt;
+    bopt.h0 = params.h0;
+    bopt.gap = baselines::BlockingGradientOptions::recommended_gap(eps, d, t,
+                                                                   bopt.h0);
+    const auto blocking = steady_state(
+        g,
+        std::make_shared<sim::SquareWaveDrift>(
+            eps, 2.0 * d * t, [n](sim::NodeId v) { return v < n / 2; }),
+        bench::skew_hiding_delays(g, 0, t), duration, warmup,
+        [&bopt](sim::NodeId) {
+          return std::make_unique<baselines::BlockingGradientNode>(bopt);
+        });
+
+    // Srikanth-Toueg style: beacons every H0 = 2 D T (> flood time), root
+    // fast / others slow, jumps on receipt.
+    baselines::MaxAlgorithmOptions mopt;
+    mopt.jump = true;
+    mopt.h0 = 2.0 * d * t;
+    std::vector<double> st_rates(static_cast<std::size_t>(n), 1.0 - eps);
+    st_rates[0] = 1.0 + eps;
+    const auto st = steady_state(
+        g, std::make_shared<sim::ConstantDrift>(st_rates),
+        std::make_shared<sim::FixedDelay>(t), warmup + 10.0 * mopt.h0, warmup,
+        [&mopt](sim::NodeId) {
+          return std::make_unique<baselines::MaxAlgorithmNode>(mopt);
+        });
+
+    // Averaging under a sustained drift gradient along the path.
+    std::vector<double> grad(static_cast<std::size_t>(n));
+    for (sim::NodeId v = 0; v < n; ++v) {
+      grad[static_cast<std::size_t>(v)] =
+          1.0 + eps - 2.0 * eps * static_cast<double>(v) / (n - 1);
+    }
+    baselines::AveragingOptions avopt;
+    avopt.h0 = params.h0;
+    const auto avg = steady_state(
+        g, std::make_shared<sim::ConstantDrift>(grad),
+        std::make_shared<sim::FixedDelay>(t), duration, warmup,
+        [&avopt](sim::NodeId) {
+          return std::make_unique<baselines::AveragingNode>(avopt);
+        });
+
+    // Free running (control) under the same gradient.
+    const auto free = steady_state(
+        g, std::make_shared<sim::ConstantDrift>(grad),
+        std::make_shared<sim::FixedDelay>(t), duration, warmup,
+        [](sim::NodeId) { return std::make_unique<baselines::FreeRunningNode>(); });
+
+    aopt_locals.push_back(aopt.local);
+    st_locals.push_back(st.local);
+    table.add_row({analysis::Table::integer(d),
+                   analysis::Table::num(aopt.local),
+                   analysis::Table::num(blocking.local),
+                   analysis::Table::num(st.local),
+                   analysis::Table::num(avg.local),
+                   analysis::Table::num(aopt.global),
+                   analysis::Table::num(st.global),
+                   analysis::Table::num(avg.global),
+                   analysis::Table::num(free.global)});
+  }
+  table.print(std::cout);
+
+  // Worst-case *guarantees*: the sqrt(eps D) bound of the 2006 algorithm
+  // vs A^opt's kappa log_sigma D.  Constants favor the sqrt at small D;
+  // the logarithm wins from the crossover on — the paper's headline.
+  std::cout << "\n-- guarantee comparison: sqrt(eps D) T vs kappa log_sigma D --\n";
+  analysis::Table bounds({"D", "sqrt-block guarantee", "A^opt guarantee",
+                          "winner"});
+  bool crossed = false;
+  for (double dd = 1e2; dd <= 1e8; dd *= 10.0) {
+    const int d = static_cast<int>(dd);
+    const double blocking_bound =
+        baselines::BlockingGradientOptions::recommended_gap(eps, d, t,
+                                                            params.h0) +
+        (1.0 + eps) * (t + params.h0);  // + estimate staleness
+    const double aopt_bound = params.local_skew_bound(d, eps, t);
+    const bool aopt_wins = aopt_bound < blocking_bound;
+    crossed = crossed || aopt_wins;
+    bounds.add_row({analysis::Table::num(dd, 0),
+                    analysis::Table::num(blocking_bound, 1),
+                    analysis::Table::num(aopt_bound, 1),
+                    aopt_wins ? "A^opt" : "sqrt-block"});
+  }
+  bounds.print(std::cout);
+  std::cout << (crossed
+                    ? "crossover observed: the logarithm overtakes the square "
+                      "root.\n"
+                    : "no crossover in range (constants dominate here).\n");
+
+  std::cout << "\nshape check:\n  ST-resync local slope vs D: "
+            << analysis::Table::num(analysis::linear_slope(ds, st_locals), 3)
+            << "  (~4 eps = " << analysis::Table::num(4.0 * eps, 3)
+            << " per unit of D -> linear)\n"
+            << "  A^opt local slope vs D:     "
+            << analysis::Table::num(analysis::linear_slope(ds, aopt_locals), 3)
+            << "  (~0 -> sub-linear, bound O(log D))\n"
+            << "expected: the local-skew winner never flips — A^opt dominates\n"
+            << "at every D and the gap widens ~linearly; averaging's *global*\n"
+            << "column keeps growing (no flooded maximum to anchor to).\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+// TDMA in a wireless sensor network — the paper's motivating application
+// (footnote 1: "a prominent example is TDMA in wireless networks where
+// nodes depend on locally well synchronized time slots").
+//
+// Nodes share the medium in rounds of S slots of length `slot_len`; node v
+// transmits in slot (v mod S) of every round, measured on its *logical*
+// clock.  Two neighbors collide when their logical clocks disagree by more
+// than the guard band around a slot boundary.  The local-skew bound of
+// Theorem 5.10 tells us exactly how large the guard band must be — and the
+// example shows A^opt respects it while the jump-mode max algorithm needs
+// a guard band proportional to D (its local skew is Theta(D T)).
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "analysis/skew_tracker.hpp"
+#include "analysis/table.hpp"
+#include "baselines/max_algorithm.hpp"
+#include "core/aopt.hpp"
+#include "core/params.hpp"
+#include "graph/topologies.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+struct RunResult {
+  double max_local_skew = 0.0;
+  double guard_band_needed = 0.0;  // smallest guard band with no collision
+};
+
+/// Runs a 6x6 sensor grid for `duration` and reports the worst neighbor
+/// disagreement, which is exactly the guard band a TDMA schedule needs.
+template <typename Factory>
+RunResult run_grid(Factory make_node, double duration) {
+  using namespace tbcs;
+  const graph::Graph g = graph::make_grid(6, 6);
+  sim::Simulator sim(g);
+  sim.set_all_nodes(make_node);
+  sim.set_drift_policy(std::make_shared<sim::RandomWalkDrift>(0.01, 20.0, 11));
+  sim.set_delay_policy(std::make_shared<sim::UniformDelay>(0.0, 1.0, 13));
+
+  analysis::SkewTracker tracker(sim, {});
+  tracker.attach(sim);
+  sim.run_until(duration);
+
+  RunResult r;
+  r.max_local_skew = tracker.max_local_skew();
+  r.guard_band_needed = tracker.max_local_skew();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tbcs;
+  const double t_hat = 1.0;
+  const double eps_hat = 0.01;
+  const double slot_len = 20.0;  // TDMA slot length in delay units
+  const core::SyncParams params = core::SyncParams::recommended(t_hat, eps_hat);
+
+  std::cout << "TDMA sensor grid (6x6, ~1% drift, delays in [0, T])\n";
+  std::cout << "slot length = " << slot_len << " T\n\n";
+
+  const auto aopt = run_grid(
+      [&params](sim::NodeId) { return std::make_unique<core::AoptNode>(params); },
+      2000.0);
+
+  baselines::MaxAlgorithmOptions mopt;
+  mopt.jump = true;
+  mopt.h0 = params.h0;
+  const auto maxalg = run_grid(
+      [&mopt](sim::NodeId) {
+        return std::make_unique<baselines::MaxAlgorithmNode>(mopt);
+      },
+      2000.0);
+
+  const graph::Graph g = graph::make_grid(6, 6);
+  const double bound = params.local_skew_bound(g.diameter(), eps_hat, t_hat);
+
+  analysis::Table table({"algorithm", "worst neighbor skew", "guard band",
+                         "slot utilization"});
+  const auto util = [slot_len](double guard) {
+    return std::max(0.0, 1.0 - 2.0 * guard / slot_len);
+  };
+  table.add_row({"A^opt", analysis::Table::num(aopt.max_local_skew),
+                 analysis::Table::num(aopt.guard_band_needed),
+                 analysis::Table::num(100.0 * util(aopt.guard_band_needed), 1) + "%"});
+  table.add_row({"max-algorithm (jumps)",
+                 analysis::Table::num(maxalg.max_local_skew),
+                 analysis::Table::num(maxalg.guard_band_needed),
+                 analysis::Table::num(100.0 * util(maxalg.guard_band_needed), 1) + "%"});
+  table.print(std::cout);
+
+  std::cout << "\nTheorem 5.10 guard-band guarantee for A^opt: "
+            << analysis::Table::num(bound)
+            << " T (the measured skew must stay below this in every run).\n";
+
+  if (aopt.max_local_skew > bound) {
+    std::cout << "ERROR: A^opt exceeded its guaranteed bound!\n";
+    return 1;
+  }
+  std::cout << "A^opt slots can be packed using the *proven* guard band; the\n"
+               "max algorithm would need per-deployment measurement and\n"
+               "offers no worst-case guarantee sublinear in D.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// External synchronization across a WAN-like chain (Section 8.5).
+//
+// One gateway node (id 0) has a GPS-grade time source: its logical clock
+// *is* real time.  The remaining nodes run the external-sync variant of
+// A^opt: they chase the reference while guaranteeing L_v(t) <= t — a clock
+// that is always slightly behind real time but never ahead, which is what
+// timestamping and distributed-tracing systems want.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "core/external_sync.hpp"
+#include "core/params.hpp"
+#include "graph/topologies.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace tbcs;
+  const double t_hat = 1.0;
+  const double eps_hat = 0.02;
+  const sim::NodeId n = 12;
+  const core::SyncParams params =
+      core::SyncParams::recommended(t_hat, eps_hat, 0.5);
+
+  // A chain: node 0 is the gateway, the rest hang off it hop by hop.
+  const graph::Graph g = graph::make_path(n);
+
+  sim::SimConfig cfg;
+  cfg.probe_interval = 1.0;
+  sim::Simulator sim(g, cfg);
+  sim.set_node(0, std::make_unique<core::ExternalReferenceNode>(params.h0));
+  for (sim::NodeId v = 1; v < n; ++v) {
+    sim.set_node(v, core::make_external_aopt(params));
+  }
+
+  // The gateway's oscillator is disciplined (rate exactly 1); everyone
+  // else drifts.
+  std::vector<double> rates(static_cast<std::size_t>(n), 1.0);
+  sim::Rng rng(17);
+  for (sim::NodeId v = 1; v < n; ++v) {
+    rates[static_cast<std::size_t>(v)] = rng.uniform(1.0 - eps_hat, 1.0 + eps_hat);
+  }
+  sim.set_drift_policy(std::make_shared<sim::ConstantDrift>(rates));
+  sim.set_delay_policy(std::make_shared<sim::UniformDelay>(0.0, t_hat, 19));
+
+  // Track the worst over/under-shoot against real time per node.
+  std::vector<double> worst_ahead(static_cast<std::size_t>(n), -1e18);
+  std::vector<double> worst_behind(static_cast<std::size_t>(n), 0.0);
+  sim.set_observer([&](const sim::Simulator& s, double t) {
+    for (sim::NodeId v = 0; v < n; ++v) {
+      if (!s.awake(v)) continue;
+      const double offset = s.logical(v) - t;
+      worst_ahead[static_cast<std::size_t>(v)] =
+          std::max(worst_ahead[static_cast<std::size_t>(v)], offset);
+      worst_behind[static_cast<std::size_t>(v)] =
+          std::min(worst_behind[static_cast<std::size_t>(v)], offset);
+    }
+  });
+
+  sim.run_until(2000.0);
+
+  std::cout << "External synchronization on a " << n << "-node chain "
+            << "(gateway at node 0 = real time)\n\n";
+  analysis::Table table({"node", "distance", "worst ahead of t", "worst behind t",
+                         "offset now"});
+  bool envelope_ok = true;
+  for (sim::NodeId v = 0; v < n; ++v) {
+    const double ahead = worst_ahead[static_cast<std::size_t>(v)];
+    if (ahead > 1e-6) envelope_ok = false;
+    table.add_row({analysis::Table::integer(v), analysis::Table::integer(v),
+                   analysis::Table::num(ahead, 4),
+                   analysis::Table::num(worst_behind[static_cast<std::size_t>(v)], 3),
+                   analysis::Table::num(sim.logical(v) - sim.now(), 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nSection 8.5 guarantee: L_v(t) <= t at all times -> "
+            << (envelope_ok ? "HELD" : "VIOLATED")
+            << "; the worst lag grows with the distance to the gateway\n"
+            << "(t - d(v, v0) T - tau <= L_v(t), the adapted Condition (1)).\n";
+  return envelope_ok ? 0 : 1;
+}

@@ -1,0 +1,19 @@
+# Plots a tbcs_sweep CSV: measured skews vs theory bounds.
+#
+#   ./build/tools/tbcs_sweep --param diameter --values 8,16,32,64,128 \
+#       > sweep.csv
+#   gnuplot -e "infile='sweep.csv'; outfile='sweep.png'" scripts/plot_sweep.gp
+set datafile separator ','
+if (!exists("infile")) infile = 'sweep.csv'
+if (!exists("outfile")) outfile = 'sweep.png'
+set terminal pngcairo size 900,600
+set output outfile
+set key top left
+set grid
+set xlabel 'swept parameter'
+set ylabel 'skew (units of T)'
+set logscale x 2
+plot infile using 1:2 skip 1 with linespoints title 'global skew', \
+     infile using 1:4 skip 1 with lines dashtype 2 title 'global bound G', \
+     infile using 1:3 skip 1 with linespoints title 'local skew', \
+     infile using 1:5 skip 1 with lines dashtype 3 title 'local bound'

@@ -1,0 +1,92 @@
+#include "analysis/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <ostream>
+
+#include "analysis/table.hpp"
+
+namespace tbcs::analysis {
+
+void render_chart(std::ostream& os, const std::vector<double>& t,
+                  const std::vector<double>& value, const ChartOptions& opt) {
+  assert(t.size() == value.size());
+  if (t.empty()) {
+    os << "(no data)\n";
+    return;
+  }
+  const double t_lo = t.front();
+  const double t_hi = std::max(t.back(), t_lo + 1e-12);
+
+  // Bucket by column, keep per-column maxima.
+  std::vector<double> column(static_cast<std::size_t>(opt.width), 0.0);
+  std::vector<bool> seen(static_cast<std::size_t>(opt.width), false);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    auto c = static_cast<std::size_t>((t[i] - t_lo) / (t_hi - t_lo) *
+                                      (opt.width - 1));
+    c = std::min(c, static_cast<std::size_t>(opt.width - 1));
+    column[c] = seen[c] ? std::max(column[c], value[i]) : value[i];
+    seen[c] = true;
+  }
+
+  double y_max = opt.y_max;
+  if (y_max <= 0.0) {
+    for (std::size_t c = 0; c < column.size(); ++c) {
+      if (seen[c]) y_max = std::max(y_max, column[c]);
+    }
+    y_max = std::max(y_max, opt.reference);
+    if (y_max <= 0.0) y_max = 1.0;
+    y_max *= 1.05;
+  }
+
+  const int ref_row =
+      opt.reference > 0.0
+          ? static_cast<int>(std::round(opt.reference / y_max * (opt.height - 1)))
+          : -1;
+
+  os << opt.label << "  (y max " << Table::num(y_max, 3) << ", t in ["
+     << Table::num(t_lo, 1) << ", " << Table::num(t_hi, 1) << "]";
+  if (opt.reference > 0.0) {
+    os << ", --- = " << Table::num(opt.reference, 3);
+  }
+  os << ")\n";
+
+  for (int row = opt.height - 1; row >= 0; --row) {
+    os << (row == ref_row ? '-' : ' ') << '|';
+    for (int c = 0; c < opt.width; ++c) {
+      const auto idx = static_cast<std::size_t>(c);
+      char ch = row == ref_row ? '-' : ' ';
+      if (seen[idx]) {
+        const int bar =
+            static_cast<int>(std::round(column[idx] / y_max * (opt.height - 1)));
+        if (bar == row) {
+          ch = '*';
+        } else if (bar > row) {
+          ch = row == ref_row ? '+' : '.';
+        }
+      }
+      os << ch;
+    }
+    os << '\n';
+  }
+  os << " +";
+  for (int c = 0; c < opt.width; ++c) os << '-';
+  os << '\n';
+}
+
+void render_skew_chart(std::ostream& os,
+                       const std::vector<SkewTracker::Sample>& series,
+                       bool local, const ChartOptions& opt) {
+  std::vector<double> t;
+  std::vector<double> v;
+  t.reserve(series.size());
+  v.reserve(series.size());
+  for (const auto& s : series) {
+    t.push_back(s.t);
+    v.push_back(local ? s.local_skew : s.global_skew);
+  }
+  render_chart(os, t, v, opt);
+}
+
+}  // namespace tbcs::analysis

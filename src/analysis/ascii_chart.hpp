@@ -1,0 +1,32 @@
+// Terminal rendering of skew time series: quick visual feedback for the
+// CLI tool and the examples without any plotting dependency.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/skew_tracker.hpp"
+
+namespace tbcs::analysis {
+
+struct ChartOptions {
+  int width = 72;   // columns for the data area
+  int height = 12;  // rows
+  std::string label = "skew";
+  double y_max = 0.0;       // 0 = auto-scale to the data
+  double reference = 0.0;   // draw a horizontal marker (e.g. a bound); 0 = off
+};
+
+/// Renders (t, value) points as a scatter/step chart.  Points are bucketed
+/// into columns by time and each column shows the bucket maximum.
+void render_chart(std::ostream& os, const std::vector<double>& t,
+                  const std::vector<double>& value, const ChartOptions& opt);
+
+/// Convenience: chart a tracker's series (global or local skew), with the
+/// reference line typically set to the theory bound.
+void render_skew_chart(std::ostream& os,
+                       const std::vector<SkewTracker::Sample>& series,
+                       bool local, const ChartOptions& opt);
+
+}  // namespace tbcs::analysis

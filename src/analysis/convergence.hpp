@@ -1,0 +1,48 @@
+// Reconvergence measurement: after a perturbation (partition heal, churn,
+// parameter change), how long until the skews re-enter a target band and
+// stay there?
+#pragma once
+
+#include <vector>
+
+#include "analysis/skew_tracker.hpp"
+
+namespace tbcs::analysis {
+
+/// Scans a skew time series (from SkewTracker::series()) for the last
+/// time the value exceeded `threshold`; everything after is "settled".
+/// Returns the settle time, or `not_settled` (default -1) if the series
+/// ends above the threshold.
+inline double settle_time(const std::vector<SkewTracker::Sample>& series,
+                          double threshold, bool local,
+                          double not_settled = -1.0) {
+  double last_violation = 0.0;
+  bool violated = false;
+  bool ever_settled = false;
+  for (const auto& s : series) {
+    const double value = local ? s.local_skew : s.global_skew;
+    if (value > threshold) {
+      last_violation = s.t;
+      violated = true;
+      ever_settled = false;
+    } else {
+      ever_settled = true;
+    }
+  }
+  if (!ever_settled) return not_settled;
+  return violated ? last_violation : 0.0;
+}
+
+/// Peak value of the series within [t_lo, t_hi].
+inline double peak_in_window(const std::vector<SkewTracker::Sample>& series,
+                             double t_lo, double t_hi, bool local) {
+  double peak = 0.0;
+  for (const auto& s : series) {
+    if (s.t < t_lo || s.t > t_hi) continue;
+    const double value = local ? s.local_skew : s.global_skew;
+    if (value > peak) peak = value;
+  }
+  return peak;
+}
+
+}  // namespace tbcs::analysis

@@ -1,0 +1,30 @@
+#include "analysis/counters.hpp"
+
+namespace tbcs::analysis {
+
+CommunicationReport CommunicationReport::capture(const sim::Simulator& sim) {
+  CommunicationReport r;
+  r.broadcasts = sim.broadcasts();
+  r.transmissions = sim.messages_delivered();
+  r.duration = sim.now();
+  if (sim.num_nodes() > 0 && sim.now() > 0.0) {
+    r.amortized_frequency =
+        static_cast<double>(r.broadcasts) / (sim.num_nodes() * sim.now());
+  }
+  return r;
+}
+
+CommunicationReport operator-(const CommunicationReport& late,
+                              const CommunicationReport& early) {
+  CommunicationReport r;
+  r.broadcasts = late.broadcasts - early.broadcasts;
+  r.transmissions = late.transmissions - early.transmissions;
+  r.duration = late.duration - early.duration;
+  if (r.duration > 0.0 && late.broadcasts >= early.broadcasts) {
+    // Frequency over the window; caller divides by n if needed.
+    r.amortized_frequency = static_cast<double>(r.broadcasts) / r.duration;
+  }
+  return r;
+}
+
+}  // namespace tbcs::analysis

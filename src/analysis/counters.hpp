@@ -1,0 +1,25 @@
+// Communication-cost accounting (Section 6).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.hpp"
+
+namespace tbcs::analysis {
+
+/// Snapshot of the communication counters of a simulator, with the
+/// amortized per-node message frequency of Section 6.1.
+struct CommunicationReport {
+  std::uint64_t broadcasts = 0;          // send events (one per Algorithm 1/2 send)
+  std::uint64_t transmissions = 0;       // per-link message deliveries
+  double duration = 0.0;                 // observed real-time span
+  double amortized_frequency = 0.0;      // broadcasts / (n * duration)
+
+  static CommunicationReport capture(const sim::Simulator& sim);
+};
+
+/// Difference of two snapshots (for measuring a window).
+CommunicationReport operator-(const CommunicationReport& late,
+                              const CommunicationReport& early);
+
+}  // namespace tbcs::analysis

@@ -1,0 +1,103 @@
+#include "analysis/skew_tracker.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tbcs::analysis {
+
+SkewTracker::SkewTracker(const sim::Simulator& sim)
+    : SkewTracker(sim, Options()) {}
+
+SkewTracker::SkewTracker(const sim::Simulator& sim, Options opt) : opt_(opt) {
+  const auto n = static_cast<std::size_t>(sim.num_nodes());
+  logical_scratch_.resize(n);
+  if (opt_.track_per_distance) {
+    distances_ = sim.topology().all_pairs_distances();
+    per_distance_.assign(static_cast<std::size_t>(sim.topology().diameter()) + 1, 0.0);
+  }
+  next_series_t_ = opt_.warmup;
+}
+
+void SkewTracker::attach(sim::Simulator& sim) {
+  sim.set_observer([this](const sim::Simulator& s, double t) { observe(s, t); });
+}
+
+double SkewTracker::max_skew_at_distance(int d) const {
+  assert(opt_.track_per_distance);
+  if (d < 0 || d >= static_cast<int>(per_distance_.size())) return 0.0;
+  return per_distance_[static_cast<std::size_t>(d)];
+}
+
+void SkewTracker::observe(const sim::Simulator& sim, double t) {
+  if (t < opt_.warmup) return;
+  if (opt_.stride > 1 && (calls_++ % opt_.stride) != 0) return;
+  ++samples_;
+
+  const sim::NodeId n = sim.num_nodes();
+  double lo = sim::kInfinity;
+  double hi = -sim::kInfinity;
+  bool any_awake = false;
+  for (sim::NodeId v = 0; v < n; ++v) {
+    if (!sim.awake(v)) {
+      logical_scratch_[static_cast<std::size_t>(v)] = -sim::kInfinity;
+      continue;
+    }
+    any_awake = true;
+    const double L = sim.logical(v);
+    logical_scratch_[static_cast<std::size_t>(v)] = L;
+    lo = std::min(lo, L);
+    hi = std::max(hi, L);
+
+    // Rate audit: instantaneous logical rate = rho_v * h_v.
+    const double rate = sim.node(v).rate_multiplier() * sim.clock(v).rate();
+    min_logical_rate_ = std::min(min_logical_rate_, rate);
+    max_logical_rate_ = std::max(max_logical_rate_, rate);
+
+    // Envelope audit (Condition (1)).
+    if (opt_.audit_epsilon > 0.0) {
+      const double eps = opt_.audit_epsilon;
+      const double tv = sim.clock(v).start_time();
+      const double upper_violation = L - (1.0 + eps) * t;
+      const double lower_violation = (1.0 - eps) * (t - tv) - L;
+      max_envelope_violation_ =
+          std::max({max_envelope_violation_, upper_violation, lower_violation});
+    }
+  }
+  if (!any_awake) return;
+  const double global = hi - lo;
+  max_global_skew_ = std::max(max_global_skew_, global);
+
+  double local = 0.0;
+  if (opt_.track_local) {
+    for (const auto& [u, w] : sim.topology().edges()) {
+      const double Lu = logical_scratch_[static_cast<std::size_t>(u)];
+      const double Lw = logical_scratch_[static_cast<std::size_t>(w)];
+      if (Lu == -sim::kInfinity || Lw == -sim::kInfinity) continue;
+      if (!sim.link_up(u, w)) continue;  // down links are not neighbors
+      local = std::max(local, std::abs(Lu - Lw));
+    }
+    max_local_skew_ = std::max(max_local_skew_, local);
+  }
+
+  if (opt_.track_per_distance) {
+    for (sim::NodeId v = 0; v < n; ++v) {
+      const double Lv = logical_scratch_[static_cast<std::size_t>(v)];
+      if (Lv == -sim::kInfinity) continue;
+      for (sim::NodeId w = v + 1; w < n; ++w) {
+        const double Lw = logical_scratch_[static_cast<std::size_t>(w)];
+        if (Lw == -sim::kInfinity) continue;
+        const int d = distances_[static_cast<std::size_t>(v)][static_cast<std::size_t>(w)];
+        auto& cell = per_distance_[static_cast<std::size_t>(d)];
+        cell = std::max(cell, std::abs(Lv - Lw));
+      }
+    }
+  }
+
+  if (opt_.series_interval > 0.0 && t >= next_series_t_) {
+    series_.push_back(Sample{t, global, local});
+    next_series_t_ = t + opt_.series_interval;
+  }
+}
+
+}  // namespace tbcs::analysis

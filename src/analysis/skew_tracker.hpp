@@ -1,0 +1,101 @@
+// Exact skew measurement (Definitions 3.1 / 3.2) and model-condition
+// auditing (Conditions (1) and (2), Definition 5.6).
+//
+// All logical clocks are piecewise linear in real time with breakpoints
+// only at simulation events; the maximum of a difference of piecewise
+// linear functions over an interval is attained at a breakpoint.  The
+// tracker is installed as the simulator's observer and therefore samples
+// every breakpoint: the reported maxima are exact, not approximations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace tbcs::analysis {
+
+class SkewTracker {
+ public:
+  struct Options {
+    /// Track the per-edge (local) skew.  O(|E|) per sample.
+    bool track_local = true;
+
+    /// Track the skew profile per hop distance (gradient property,
+    /// Definition 5.6).  O(n^2) per sample — enable only for small n.
+    bool track_per_distance = false;
+
+    /// Audit Condition (1) against this true epsilon (<= 0 disables).
+    double audit_epsilon = 0.0;
+
+    /// Sample only every `stride`-th observer call (maxima become lower
+    /// bounds).  1 = exact.
+    std::uint64_t stride = 1;
+
+    /// Record a (t, global, local) time-series point at most every
+    /// `series_interval` time units (0 = no series).
+    double series_interval = 0.0;
+
+    /// Ignore all samples before this time (lets experiments exclude the
+    /// initialization flood when they study steady-state behavior).
+    double warmup = 0.0;
+  };
+
+  struct Sample {
+    double t = 0.0;
+    double global_skew = 0.0;
+    double local_skew = 0.0;
+  };
+
+  SkewTracker(const sim::Simulator& sim, Options opt);
+  explicit SkewTracker(const sim::Simulator& sim);
+
+  /// Installs this tracker as the simulator's observer.
+  void attach(sim::Simulator& sim);
+
+  /// Processes one sample at time t (called by the observer).
+  void observe(const sim::Simulator& sim, double t);
+
+  // ---- results ------------------------------------------------------------
+
+  /// max over sampled times of (max_v L_v - min_v L_v), awake nodes only.
+  double max_global_skew() const { return max_global_skew_; }
+
+  /// max over sampled times and edges {v,w} of |L_v - L_w|.
+  double max_local_skew() const { return max_local_skew_; }
+
+  /// max over sampled times and pairs at hop distance d of |L_v - L_w|;
+  /// requires track_per_distance.
+  double max_skew_at_distance(int d) const;
+  int max_distance() const { return static_cast<int>(per_distance_.size()) - 1; }
+
+  /// Largest violation of Condition (1):
+  ///   max(L_v(t) - (1+eps) t, (1-eps)(t - t_v) - L_v(t)) over samples.
+  /// <= 0 means the envelope held at every sampled instant.
+  double max_envelope_violation() const { return max_envelope_violation_; }
+
+  /// Extremes of the instantaneous logical clock rate rho_v * h_v observed
+  /// at sample times (for auditing Condition (2)).
+  double min_logical_rate() const { return min_logical_rate_; }
+  double max_logical_rate() const { return max_logical_rate_; }
+
+  const std::vector<Sample>& series() const { return series_; }
+  std::uint64_t samples_taken() const { return samples_; }
+
+ private:
+  Options opt_;
+  std::vector<std::vector<int>> distances_;  // filled iff track_per_distance
+  std::vector<double> per_distance_;
+  std::vector<double> logical_scratch_;
+  double max_global_skew_ = 0.0;
+  double max_local_skew_ = 0.0;
+  double max_envelope_violation_ = -sim::kInfinity;
+  double min_logical_rate_ = sim::kInfinity;
+  double max_logical_rate_ = -sim::kInfinity;
+  std::vector<Sample> series_;
+  double next_series_t_ = 0.0;
+  std::uint64_t calls_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace tbcs::analysis

@@ -1,0 +1,67 @@
+// Small statistics helpers used by tests and benches to check growth
+// *shapes* (logarithmic vs. linear in D) rather than absolute numbers.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace tbcs::analysis {
+
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+
+  static Summary of(std::vector<double> xs) {
+    Summary s;
+    if (xs.empty()) return s;
+    std::sort(xs.begin(), xs.end());
+    s.min = xs.front();
+    s.max = xs.back();
+    double total = 0.0;
+    for (const double x : xs) total += x;
+    s.mean = total / static_cast<double>(xs.size());
+    const auto pick = [&xs](double q) {
+      const auto idx = static_cast<std::size_t>(q * static_cast<double>(xs.size() - 1));
+      return xs[idx];
+    };
+    s.p50 = pick(0.50);
+    s.p95 = pick(0.95);
+    return s;
+  }
+};
+
+/// Least-squares slope of y against x.
+inline double linear_slope(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  assert(x.size() == y.size() && x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  assert(denom != 0.0);
+  return (n * sxy - sx * sy) / denom;
+}
+
+/// Slope of y against log2(x): ~constant increments per doubling indicate
+/// logarithmic growth; use linear_slope(x, y) to detect linear growth.
+inline double log2_slope(const std::vector<double>& x,
+                         const std::vector<double>& y) {
+  std::vector<double> lx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    assert(x[i] > 0.0);
+    lx[i] = std::log2(x[i]);
+  }
+  return linear_slope(lx, y);
+}
+
+}  // namespace tbcs::analysis

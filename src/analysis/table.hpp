@@ -1,0 +1,30 @@
+// Fixed-width console tables for the experiment binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tbcs::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `prec` significant decimals, trimming noise.
+  static std::string num(double v, int prec = 3);
+  static std::string integer(long long v);
+
+  /// Prints the table with aligned columns and a separator rule.
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tbcs::analysis

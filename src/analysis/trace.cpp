@@ -1,0 +1,56 @@
+#include "analysis/trace.hpp"
+
+#include <ostream>
+
+#include "analysis/table.hpp"
+
+namespace tbcs::analysis {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter& CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+  return *this;
+}
+
+void write_series_csv(std::ostream& os, const SkewTracker& tracker) {
+  CsvWriter csv(os);
+  csv.row({"t", "global_skew", "local_skew"});
+  for (const auto& s : tracker.series()) {
+    csv.row({Table::num(s.t, 6), Table::num(s.global_skew, 6),
+             Table::num(s.local_skew, 6)});
+  }
+}
+
+void write_distance_profile_csv(std::ostream& os, const SkewTracker& tracker) {
+  CsvWriter csv(os);
+  csv.row({"distance", "max_skew"});
+  for (int d = 1; d <= tracker.max_distance(); ++d) {
+    csv.row({Table::integer(d), Table::num(tracker.max_skew_at_distance(d), 6)});
+  }
+}
+
+void write_snapshot_csv(std::ostream& os, const sim::Simulator& sim) {
+  CsvWriter csv(os);
+  csv.row({"node", "awake", "hardware", "logical", "rate_multiplier"});
+  for (sim::NodeId v = 0; v < sim.num_nodes(); ++v) {
+    csv.row({Table::integer(v), sim.awake(v) ? "1" : "0",
+             Table::num(sim.hardware(v), 6), Table::num(sim.logical(v), 6),
+             Table::num(sim.node(v).rate_multiplier(), 6)});
+  }
+}
+
+}  // namespace tbcs::analysis

@@ -1,0 +1,35 @@
+// CSV export for time series and skew profiles, so experiments can be
+// post-processed/plotted outside the binary.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/skew_tracker.hpp"
+
+namespace tbcs::analysis {
+
+/// Minimal RFC-4180-ish CSV writer (quotes fields containing separators).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  CsvWriter& row(const std::vector<std::string>& cells);
+
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& os_;
+};
+
+/// Writes the tracker's (t, global, local) series as CSV.
+void write_series_csv(std::ostream& os, const SkewTracker& tracker);
+
+/// Writes the per-distance skew profile (requires track_per_distance).
+void write_distance_profile_csv(std::ostream& os, const SkewTracker& tracker);
+
+/// Writes one logical/hardware snapshot per node.
+void write_snapshot_csv(std::ostream& os, const sim::Simulator& sim);
+
+}  // namespace tbcs::analysis

@@ -1,0 +1,34 @@
+#include "apps/event_ordering.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tbcs::apps {
+
+OrderingCertifier::OrderingCertifier(const core::SyncParams& params,
+                                     int diameter, double eps, double delay)
+    : params_(params), diameter_(diameter), eps_(eps), delay_(delay) {
+  params_.check();
+  if (diameter < 1 || eps <= 0.0 || delay <= 0.0) {
+    throw std::invalid_argument("OrderingCertifier: bad system properties");
+  }
+}
+
+double OrderingCertifier::skew_bound(int distance) const {
+  if (distance <= 0) return 0.0;  // same node: one clock, exact order
+  return params_.distance_skew_bound(std::min(distance, diameter_), diameter_,
+                                     eps_, delay_);
+}
+
+Order OrderingCertifier::order(const TimestampedEvent& a,
+                               const TimestampedEvent& b, int distance) const {
+  const double bound = skew_bound(distance);
+  const double gap = b.logical - a.logical;
+  // Logical clocks are monotone, so on the same node any positive gap
+  // certifies; across nodes the gap must clear the worst-case skew.
+  if (gap > bound) return Order::kDefinitelyBefore;
+  if (-gap > bound) return Order::kDefinitelyAfter;
+  return Order::kConcurrent;
+}
+
+}  // namespace tbcs::apps

@@ -1,0 +1,70 @@
+#include "apps/tdma.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace tbcs::apps {
+
+TdmaSchedule::TdmaSchedule(int num_slots, double slot_length,
+                           double guard_band)
+    : num_slots_(num_slots),
+      slot_length_(slot_length),
+      guard_band_(guard_band) {
+  if (num_slots < 1 || slot_length <= 0.0 || guard_band < 0.0) {
+    throw std::invalid_argument("TdmaSchedule: bad geometry");
+  }
+  if (2.0 * guard_band >= slot_length) {
+    throw std::invalid_argument(
+        "TdmaSchedule: guard bands leave no payload airtime; increase the "
+        "slot length or improve the synchronization bound");
+  }
+}
+
+TdmaSchedule TdmaSchedule::plan(const core::SyncParams& params, int diameter,
+                                double eps, double delay, int num_slots,
+                                double slot_length) {
+  // A neighbor's clock may disagree by up to the local-skew bound, so a
+  // transmission that keeps this distance from the slot edges (on its own
+  // clock) cannot leak into a neighbor's slot (on the neighbor's clock).
+  const double guard = params.local_skew_bound(diameter, eps, delay);
+  return TdmaSchedule(num_slots, slot_length, guard);
+}
+
+int TdmaSchedule::slot_at(double logical) const {
+  const double round = round_length();
+  double in_round = std::fmod(logical, round);
+  if (in_round < 0.0) in_round += round;
+  const int slot = static_cast<int>(in_round / slot_length_);
+  return slot >= num_slots_ ? num_slots_ - 1 : slot;  // fp edge
+}
+
+double TdmaSchedule::offset_in_slot(double logical) const {
+  const double round = round_length();
+  double in_round = std::fmod(logical, round);
+  if (in_round < 0.0) in_round += round;
+  return in_round - slot_at(logical) * slot_length_;
+}
+
+bool TdmaSchedule::in_guard(double logical) const {
+  const double off = offset_in_slot(logical);
+  return off < guard_band_ || off > slot_length_ - guard_band_;
+}
+
+bool TdmaSchedule::may_transmit(double logical, int slot) const {
+  assert(slot >= 0 && slot < num_slots_);
+  return slot_at(logical) == slot && !in_guard(logical);
+}
+
+double TdmaSchedule::utilization() const {
+  return 1.0 - 2.0 * guard_band_ / slot_length_;
+}
+
+bool TdmaSchedule::collides(const TdmaSchedule& schedule, double logical_u,
+                            int slot_u, double logical_w, int slot_w) {
+  if (slot_u == slot_w) return false;  // same slot: by design, not a collision
+  return schedule.may_transmit(logical_u, slot_u) &&
+         schedule.may_transmit(logical_w, slot_w);
+}
+
+}  // namespace tbcs::apps

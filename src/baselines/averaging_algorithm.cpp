@@ -1,0 +1,115 @@
+#include "baselines/averaging_algorithm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace tbcs::baselines {
+
+namespace {
+constexpr double kTiny = 1e-9;
+}
+
+AveragingNode::AveragingNode(AveragingOptions opt) : opt_(opt) {
+  assert(opt_.h0 > 0.0 && opt_.mu > 0.0);
+}
+
+double AveragingNode::midpoint() const {
+  if (neighbors_.empty()) return L_;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& nb : neighbors_) {
+    lo = std::min(lo, nb.est);
+    hi = std::max(hi, nb.est);
+  }
+  return (lo + hi) / 2.0;
+}
+
+double AveragingNode::multiplier() const {
+  return (midpoint() - L_ > kTiny) ? 1.0 + opt_.mu : 1.0;
+}
+
+void AveragingNode::advance_to(sim::ClockValue h_now) {
+  const double dh = h_now - h_last_;
+  if (dh <= 0.0) {
+    h_last_ = h_now;
+    return;
+  }
+  // While chasing, the midpoint itself advances at rate h (the estimates
+  // do), so the gap closes at mu * h per hardware unit; do not overshoot.
+  const bool chasing = multiplier() > 1.0;
+  const double advanced_midpoint = midpoint() + dh;
+  L_ += multiplier() * dh;
+  for (auto& nb : neighbors_) nb.est += dh;
+  if (chasing) L_ = std::min(L_, advanced_midpoint);
+  h_last_ = h_now;
+}
+
+void AveragingNode::on_wake(sim::NodeServices& sv, const sim::Message* by_message) {
+  awake_ = true;
+  h_last_ = sv.hardware_now();
+  L_ = 0.0;
+  if (by_message != nullptr) {
+    neighbors_.push_back(
+        NeighborEstimate{by_message->sender, by_message->logical, by_message->logical});
+  }
+  do_send(sv);
+  reschedule(sv);
+}
+
+void AveragingNode::on_message(sim::NodeServices& sv, const sim::Message& m) {
+  advance_to(sv.hardware_now());
+  bool found = false;
+  for (auto& nb : neighbors_) {
+    if (nb.id == m.sender) {
+      if (m.logical > nb.raw_max) {
+        nb.raw_max = m.logical;
+        nb.est = m.logical;
+      }
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    neighbors_.push_back(NeighborEstimate{m.sender, m.logical, m.logical});
+  }
+  reschedule(sv);
+}
+
+void AveragingNode::on_timer(sim::NodeServices& sv, int slot) {
+  advance_to(sv.hardware_now());
+  if (slot == kSendTimer) do_send(sv);
+  reschedule(sv);
+}
+
+void AveragingNode::do_send(sim::NodeServices& sv) {
+  ++sends_;
+  sim::Message m;
+  m.sender = sv.id();
+  m.logical = L_;
+  m.logical_max = L_;
+  sv.broadcast(m);
+  sv.set_timer(kSendTimer, h_last_ + opt_.h0);
+}
+
+void AveragingNode::reschedule(sim::NodeServices& sv) {
+  const double gap = midpoint() - L_;
+  if (gap > kTiny) {
+    // Gap closes at mu per hardware unit (midpoint and L both gain h;
+    // the chase adds mu * h).
+    sv.set_timer(kReachTimer, h_last_ + gap / opt_.mu);
+  } else {
+    sv.cancel_timer(kReachTimer);
+  }
+}
+
+sim::ClockValue AveragingNode::logical_at(sim::ClockValue hardware_now) const {
+  if (!awake_) return 0.0;
+  return L_ + multiplier() * (hardware_now - h_last_);
+}
+
+double AveragingNode::rate_multiplier() const {
+  return awake_ ? multiplier() : 1.0;
+}
+
+}  // namespace tbcs::baselines

@@ -1,0 +1,63 @@
+// Midpoint-averaging baseline.
+//
+// Each node steers its logical clock toward the midpoint of the largest
+// and smallest estimated neighbor clock.  Section 4.2 points out that this
+// "simpler approach ... fails to achieve even a sublinear bound on the
+// local skew" (cf. Locher and Wattenhofer [2006]); the baseline exists to
+// demonstrate that failure empirically (experiment E9).
+//
+// The node is purely local: it floods no global maximum, so distant skews
+// are invisible to it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/node.hpp"
+
+namespace tbcs::baselines {
+
+struct AveragingOptions {
+  /// Catch-up rate headroom when behind the midpoint.
+  double mu = 0.5;
+
+  /// Hardware time between periodic broadcasts.
+  double h0 = 5.0;
+};
+
+class AveragingNode final : public sim::Node {
+ public:
+  explicit AveragingNode(AveragingOptions opt = {});
+
+  void on_wake(sim::NodeServices& sv, const sim::Message* by_message) override;
+  void on_message(sim::NodeServices& sv, const sim::Message& m) override;
+  void on_timer(sim::NodeServices& sv, int slot) override;
+  sim::ClockValue logical_at(sim::ClockValue hardware_now) const override;
+  double rate_multiplier() const override;
+
+  std::uint64_t sends() const { return sends_; }
+
+ private:
+  enum TimerSlot : int { kSendTimer = 0, kReachTimer = 1 };
+
+  struct NeighborEstimate {
+    sim::NodeId id;
+    double est;
+    double raw_max;
+  };
+
+  void advance_to(sim::ClockValue h_now);
+  double midpoint() const;  // (max est + min est) / 2
+  double multiplier() const;
+  void do_send(sim::NodeServices& sv);
+  void reschedule(sim::NodeServices& sv);
+
+  AveragingOptions opt_;
+  bool awake_ = false;
+  double h_last_ = 0.0;
+  double L_ = 0.0;
+  std::vector<NeighborEstimate> neighbors_;
+  std::uint64_t sends_ = 0;
+};
+
+}  // namespace tbcs::baselines

@@ -1,0 +1,151 @@
+#include "baselines/blocking_gradient.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace tbcs::baselines {
+
+namespace {
+constexpr double kTiny = 1e-9;
+}
+
+double BlockingGradientOptions::recommended_gap(double eps, int diameter,
+                                                double delay, double h0) {
+  // sqrt(eps D) T plus the unavoidable estimate staleness per hop.
+  return std::sqrt(eps * diameter) * delay + delay + (2.0 * eps) * h0;
+}
+
+BlockingGradientNode::BlockingGradientNode(BlockingGradientOptions opt)
+    : opt_(opt) {
+  assert(opt_.gap > 0.0 && opt_.mu > 0.0 && opt_.h0 > 0.0);
+}
+
+double BlockingGradientNode::slowest_neighbor() const {
+  double lo = std::numeric_limits<double>::infinity();
+  for (const auto& nb : neighbors_) lo = std::min(lo, nb.est);
+  return lo;
+}
+
+double BlockingGradientNode::multiplier() const {
+  const bool behind_max = Lmax_ - L_ > kTiny;
+  const bool blocked = L_ - slowest_neighbor() >= opt_.gap - kTiny;
+  return (behind_max && !blocked) ? 1.0 + opt_.mu : 1.0;
+}
+
+bool BlockingGradientNode::blocked() const {
+  return L_ - slowest_neighbor() >= opt_.gap - kTiny;
+}
+
+void BlockingGradientNode::advance_to(sim::ClockValue h_now) {
+  const double dh = h_now - h_last_;
+  if (dh <= 0.0) {
+    h_last_ = h_now;
+    return;
+  }
+  // The multiplier is constant across the interval: the re-evaluate timer
+  // fires at the first instant it could flip.
+  L_ += multiplier() * dh;
+  Lmax_ += dh;
+  for (auto& nb : neighbors_) nb.est += dh;
+  L_ = std::min(L_, Lmax_);  // never overshoot the flooded maximum
+  h_last_ = h_now;
+}
+
+void BlockingGradientNode::on_wake(sim::NodeServices& sv,
+                                   const sim::Message* by_message) {
+  awake_ = true;
+  h_last_ = sv.hardware_now();
+  L_ = 0.0;
+  Lmax_ = 0.0;
+  if (by_message != nullptr) {
+    Lmax_ = std::max(by_message->logical_max, by_message->logical);
+    neighbors_.push_back(NeighborEstimate{by_message->sender,
+                                          by_message->logical,
+                                          by_message->logical});
+  }
+  do_send(sv);
+  reschedule(sv);
+}
+
+void BlockingGradientNode::on_message(sim::NodeServices& sv,
+                                      const sim::Message& m) {
+  advance_to(sv.hardware_now());
+  const double flooded = std::max(m.logical, m.logical_max);
+  const bool forward = flooded > Lmax_ + kTiny;
+  Lmax_ = std::max(Lmax_, flooded);
+  bool found = false;
+  for (auto& nb : neighbors_) {
+    if (nb.id == m.sender) {
+      if (m.logical > nb.raw_max) {
+        nb.raw_max = m.logical;
+        nb.est = m.logical;
+      }
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    neighbors_.push_back(NeighborEstimate{m.sender, m.logical, m.logical});
+  }
+  if (forward) do_send(sv);
+  reschedule(sv);
+}
+
+void BlockingGradientNode::on_timer(sim::NodeServices& sv, int slot) {
+  advance_to(sv.hardware_now());
+  if (slot == kSendTimer) do_send(sv);
+  reschedule(sv);
+}
+
+void BlockingGradientNode::on_link_change(sim::NodeServices& sv,
+                                          sim::NodeId neighbor, bool up) {
+  if (up || !awake_) return;
+  advance_to(sv.hardware_now());
+  for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+    if (neighbors_[i].id == neighbor) {
+      neighbors_[i] = neighbors_.back();
+      neighbors_.pop_back();
+      break;
+    }
+  }
+  reschedule(sv);
+}
+
+void BlockingGradientNode::do_send(sim::NodeServices& sv) {
+  ++sends_;
+  sim::Message m;
+  m.sender = sv.id();
+  m.logical = L_;
+  m.logical_max = Lmax_;
+  sv.broadcast(m);
+  sv.set_timer(kSendTimer, h_last_ + opt_.h0);
+}
+
+void BlockingGradientNode::reschedule(sim::NodeServices& sv) {
+  if (multiplier() > 1.0) {
+    // First instant the fast mode could end: catching the maximum, or the
+    // slowest neighbor trailing by the full gap (the gap to both grows at
+    // mu per hardware unit while running fast).
+    const double until_caught = Lmax_ - L_;
+    const double until_blocked = opt_.gap - (L_ - slowest_neighbor());
+    const double budget = std::min(until_caught, until_blocked);
+    sv.set_timer(kReevaluateTimer, h_last_ + budget / opt_.mu);
+  } else {
+    sv.cancel_timer(kReevaluateTimer);
+  }
+}
+
+sim::ClockValue BlockingGradientNode::logical_at(
+    sim::ClockValue hardware_now) const {
+  if (!awake_) return 0.0;
+  const double dh = hardware_now - h_last_;
+  return std::min(L_ + multiplier() * dh, Lmax_ + dh);
+}
+
+double BlockingGradientNode::rate_multiplier() const {
+  return awake_ ? multiplier() : 1.0;
+}
+
+}  // namespace tbcs::baselines

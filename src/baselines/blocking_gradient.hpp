@@ -1,0 +1,75 @@
+// Blocking-gradient baseline, modeled on the "oblivious gradient clock
+// synchronization" algorithm of Locher and Wattenhofer [2006] — the best
+// known local-skew upper bound, O(sqrt(eps D) T), before the paper's
+// O(log D).
+//
+// Rule: chase the flooded maximum (like the max algorithm), but *block*
+// — fall back to the hardware rate — whenever some neighbor's estimated
+// clock trails by more than the blocking gap B.  With B = Theta(sqrt(eps
+// D) T) this caps the local skew at ~B + estimate staleness while keeping
+// the global skew asymptotically optimal; the square-root shape is what
+// experiment E9 contrasts with A^opt's logarithm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/node.hpp"
+
+namespace tbcs::baselines {
+
+struct BlockingGradientOptions {
+  /// Blocking gap B: never run fast while a neighbor trails by more.
+  double gap = 4.0;
+
+  /// Catch-up rate headroom.
+  double mu = 0.5;
+
+  /// Hardware time between periodic broadcasts.
+  double h0 = 5.0;
+
+  /// Recommended gap Theta(sqrt(eps * D) * T) (+ the staleness floor).
+  static double recommended_gap(double eps, int diameter, double delay,
+                                double h0);
+};
+
+class BlockingGradientNode final : public sim::Node {
+ public:
+  explicit BlockingGradientNode(BlockingGradientOptions opt = {});
+
+  void on_wake(sim::NodeServices& sv, const sim::Message* by_message) override;
+  void on_message(sim::NodeServices& sv, const sim::Message& m) override;
+  void on_timer(sim::NodeServices& sv, int slot) override;
+  void on_link_change(sim::NodeServices& sv, sim::NodeId neighbor,
+                      bool up) override;
+  sim::ClockValue logical_at(sim::ClockValue hardware_now) const override;
+  double rate_multiplier() const override;
+
+  std::uint64_t sends() const { return sends_; }
+  bool blocked() const;
+
+ private:
+  enum TimerSlot : int { kSendTimer = 0, kReevaluateTimer = 1 };
+
+  struct NeighborEstimate {
+    sim::NodeId id;
+    double est;      // advanced at the hardware rate
+    double raw_max;  // update guard against reordering
+  };
+
+  void advance_to(sim::ClockValue h_now);
+  double multiplier() const;  // 1 + mu while chasing and unblocked
+  double slowest_neighbor() const;
+  void do_send(sim::NodeServices& sv);
+  void reschedule(sim::NodeServices& sv);
+
+  BlockingGradientOptions opt_;
+  bool awake_ = false;
+  double h_last_ = 0.0;
+  double L_ = 0.0;
+  double Lmax_ = 0.0;  // flooded maximum estimate, rate h
+  std::vector<NeighborEstimate> neighbors_;
+  std::uint64_t sends_ = 0;
+};
+
+}  // namespace tbcs::baselines

@@ -1,0 +1,22 @@
+#include "baselines/free_running.hpp"
+
+namespace tbcs::baselines {
+
+void FreeRunningNode::on_wake(sim::NodeServices& sv,
+                              const sim::Message* /*by_message*/) {
+  awake_ = true;
+  // Propagate the initialization flood so the rest of the system wakes.
+  sim::Message m;
+  m.sender = sv.id();
+  sv.broadcast(m);
+}
+
+void FreeRunningNode::on_message(sim::NodeServices&, const sim::Message&) {}
+
+void FreeRunningNode::on_timer(sim::NodeServices&, int) {}
+
+sim::ClockValue FreeRunningNode::logical_at(sim::ClockValue hardware_now) const {
+  return awake_ ? hardware_now : 0.0;
+}
+
+}  // namespace tbcs::baselines

@@ -1,0 +1,21 @@
+// No synchronization at all: L_v = H_v.  Control baseline; its global and
+// local skews grow linearly with elapsed time under drift (rate 2 eps).
+#pragma once
+
+#include "sim/node.hpp"
+
+namespace tbcs::baselines {
+
+class FreeRunningNode final : public sim::Node {
+ public:
+  void on_wake(sim::NodeServices& sv, const sim::Message* by_message) override;
+  void on_message(sim::NodeServices& sv, const sim::Message& m) override;
+  void on_timer(sim::NodeServices& sv, int slot) override;
+  sim::ClockValue logical_at(sim::ClockValue hardware_now) const override;
+  double rate_multiplier() const override { return 1.0; }
+
+ private:
+  bool awake_ = false;
+};
+
+}  // namespace tbcs::baselines

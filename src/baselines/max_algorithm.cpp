@@ -1,0 +1,98 @@
+#include "baselines/max_algorithm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tbcs::baselines {
+
+namespace {
+constexpr double kTiny = 1e-9;
+}
+
+MaxAlgorithmNode::MaxAlgorithmNode(MaxAlgorithmOptions opt) : opt_(opt) {
+  assert(opt_.h0 > 0.0);
+  assert(opt_.mu > 0.0);
+}
+
+double MaxAlgorithmNode::multiplier() const {
+  if (opt_.jump) return 1.0;
+  return (Lmax_ - L_ > kTiny) ? 1.0 + opt_.mu : 1.0;
+}
+
+void MaxAlgorithmNode::advance_to(sim::ClockValue h_now) {
+  const double dh = h_now - h_last_;
+  if (dh <= 0.0) {
+    h_last_ = h_now;
+    return;
+  }
+  L_ += multiplier() * dh;
+  Lmax_ += dh;
+  L_ = std::min(L_, Lmax_);  // the chase stops exactly at the target
+  h_last_ = h_now;
+}
+
+void MaxAlgorithmNode::on_wake(sim::NodeServices& sv,
+                               const sim::Message* by_message) {
+  awake_ = true;
+  h_last_ = sv.hardware_now();
+  L_ = 0.0;
+  Lmax_ = 0.0;
+  if (by_message != nullptr) {
+    Lmax_ = std::max({Lmax_, by_message->logical_max, by_message->logical});
+    if (opt_.jump) L_ = Lmax_;
+  }
+  do_send(sv);
+  reschedule(sv);
+}
+
+void MaxAlgorithmNode::handle_estimate(sim::NodeServices& sv, double value) {
+  if (value > Lmax_ + kTiny) {
+    Lmax_ = value;
+    if (opt_.jump) L_ = Lmax_;
+    do_send(sv);  // forward the new maximum immediately
+  }
+}
+
+void MaxAlgorithmNode::on_message(sim::NodeServices& sv, const sim::Message& m) {
+  advance_to(sv.hardware_now());
+  handle_estimate(sv, std::max(m.logical, m.logical_max));
+  reschedule(sv);
+}
+
+void MaxAlgorithmNode::on_timer(sim::NodeServices& sv, int slot) {
+  advance_to(sv.hardware_now());
+  if (slot == kSendTimer) do_send(sv);
+  // kCatchUpTimer: advance_to already pinned L_ to Lmax_.
+  reschedule(sv);
+}
+
+void MaxAlgorithmNode::do_send(sim::NodeServices& sv) {
+  ++sends_;
+  sim::Message m;
+  m.sender = sv.id();
+  m.logical = L_;
+  m.logical_max = Lmax_;
+  sv.broadcast(m);
+  sv.set_timer(kSendTimer, h_last_ + opt_.h0);
+}
+
+void MaxAlgorithmNode::reschedule(sim::NodeServices& sv) {
+  if (!opt_.jump && Lmax_ - L_ > kTiny) {
+    // The chase ends (multiplier drops to 1) when L meets Lmax.
+    sv.set_timer(kCatchUpTimer, h_last_ + (Lmax_ - L_) / opt_.mu);
+  } else {
+    sv.cancel_timer(kCatchUpTimer);
+  }
+}
+
+sim::ClockValue MaxAlgorithmNode::logical_at(sim::ClockValue hardware_now) const {
+  if (!awake_) return 0.0;
+  const double dh = hardware_now - h_last_;
+  return std::min(L_ + multiplier() * dh, Lmax_ + dh);
+}
+
+double MaxAlgorithmNode::rate_multiplier() const {
+  return awake_ ? multiplier() : 1.0;
+}
+
+}  // namespace tbcs::baselines

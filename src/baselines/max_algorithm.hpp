@@ -1,0 +1,59 @@
+// Maximum-propagation baseline (the classical algorithm of Srikanth and
+// Toueg [1987], discussed in Section 2).
+//
+// Nodes flood the largest known clock value and set (or chase) their
+// logical clock toward it.  This gives an asymptotically optimal *global*
+// skew of O(D T), but no gradient property: in jump mode the local skew is
+// Theta(D T) in the worst case (e.g. at the frontier of the initialization
+// flood a freshly woken node jumps from 0 to ~(1+eps) d T while its
+// not-yet-woken neighbor stays at 0).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/node.hpp"
+
+namespace tbcs::baselines {
+
+struct MaxAlgorithmOptions {
+  /// Jump directly to the received maximum (beta = infinity, the faithful
+  /// Srikanth-Toueg behavior).  If false, chase it at rate (1 + mu) h.
+  bool jump = true;
+
+  /// Catch-up rate headroom when jump == false.
+  double mu = 0.5;
+
+  /// Hardware time between periodic broadcasts.
+  double h0 = 5.0;
+};
+
+class MaxAlgorithmNode final : public sim::Node {
+ public:
+  explicit MaxAlgorithmNode(MaxAlgorithmOptions opt = {});
+
+  void on_wake(sim::NodeServices& sv, const sim::Message* by_message) override;
+  void on_message(sim::NodeServices& sv, const sim::Message& m) override;
+  void on_timer(sim::NodeServices& sv, int slot) override;
+  sim::ClockValue logical_at(sim::ClockValue hardware_now) const override;
+  double rate_multiplier() const override;
+
+  std::uint64_t sends() const { return sends_; }
+
+ private:
+  enum TimerSlot : int { kSendTimer = 0, kCatchUpTimer = 1 };
+
+  void advance_to(sim::ClockValue h_now);
+  double multiplier() const;
+  void handle_estimate(sim::NodeServices& sv, double value);
+  void do_send(sim::NodeServices& sv);
+  void reschedule(sim::NodeServices& sv);
+
+  MaxAlgorithmOptions opt_;
+  bool awake_ = false;
+  double h_last_ = 0.0;
+  double L_ = 0.0;     // logical clock at h_last_
+  double Lmax_ = 0.0;  // largest known clock value, rate h
+  std::uint64_t sends_ = 0;
+};
+
+}  // namespace tbcs::baselines

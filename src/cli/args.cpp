@@ -1,0 +1,88 @@
+#include "cli/args.hpp"
+
+#include <cstdlib>
+
+namespace tbcs::cli {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  parse(args);
+}
+
+ArgParser::ArgParser(const std::vector<std::string>& args) { parse(args); }
+
+void ArgParser::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.rfind("--", 0) != 0 || a.size() <= 2) {
+      errors_.push_back("unexpected argument: " + a);
+      continue;
+    }
+    const auto eq = a.find('=');
+    if (eq != std::string::npos) {
+      values_[a.substr(2, eq - 2)] = a.substr(eq + 1);
+      continue;
+    }
+    const std::string key = a.substr(2);
+    // --key value (if the next token is not a flag), else boolean --key.
+    if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      values_[key] = args[i + 1];
+      ++i;
+    } else {
+      values_[key] = "true";
+    }
+  }
+}
+
+std::string ArgParser::get_string(const std::string& key,
+                                  const std::string& fallback) {
+  queried_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double ArgParser::get_double(const std::string& key, double fallback) {
+  queried_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    errors_.push_back("flag --" + key + " expects a number, got '" +
+                      it->second + "'");
+    return fallback;
+  }
+  return v;
+}
+
+int ArgParser::get_int(const std::string& key, int fallback) {
+  queried_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    errors_.push_back("flag --" + key + " expects an integer, got '" +
+                      it->second + "'");
+    return fallback;
+  }
+  return static_cast<int>(v);
+}
+
+bool ArgParser::get_bool(const std::string& key, bool fallback) {
+  queried_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> ArgParser::unknown_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    if (queried_.count(key) == 0) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace tbcs::cli

@@ -1,0 +1,42 @@
+// Tiny command-line flag parser for the tools (no external dependencies).
+//
+// Accepts --key=value and --key value forms plus boolean --flag; tracks
+// which keys were consumed so unknown flags can be reported.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tbcs::cli {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+  explicit ArgParser(const std::vector<std::string>& args);
+
+  /// Value lookups; each records the key as known.
+  std::string get_string(const std::string& key, const std::string& fallback);
+  double get_double(const std::string& key, double fallback);
+  int get_int(const std::string& key, int fallback);
+  bool get_bool(const std::string& key, bool fallback = false);
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  /// Flags present on the command line that no lookup asked about.
+  std::vector<std::string> unknown_keys() const;
+
+  /// Parse errors (malformed flags, missing values).
+  const std::vector<std::string>& errors() const { return errors_; }
+  bool ok() const { return errors_.empty(); }
+
+ private:
+  void parse(const std::vector<std::string>& args);
+
+  std::map<std::string, std::string> values_;
+  std::set<std::string> queried_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace tbcs::cli

@@ -1,0 +1,149 @@
+#include "cli/experiment_config.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "baselines/averaging_algorithm.hpp"
+#include "baselines/free_running.hpp"
+#include "baselines/max_algorithm.hpp"
+#include "core/adaptive_delay.hpp"
+#include "core/aopt_variants.hpp"
+#include "core/envelope_sync.hpp"
+#include "core/external_sync.hpp"
+#include "graph/topologies.hpp"
+#include "sim/tick_quantizer.hpp"
+
+namespace tbcs::cli {
+
+graph::Graph build_topology(const ExperimentConfig& cfg) {
+  const auto n = static_cast<graph::NodeId>(cfg.nodes);
+  if (cfg.topology == "path") return graph::make_path(n);
+  if (cfg.topology == "ring") return graph::make_ring(n);
+  if (cfg.topology == "star") return graph::make_star(n);
+  if (cfg.topology == "complete") return graph::make_complete(n);
+  if (cfg.topology == "grid") return graph::make_grid(cfg.rows, cfg.cols);
+  if (cfg.topology == "torus") return graph::make_torus(cfg.rows, cfg.cols);
+  if (cfg.topology == "hypercube") return graph::make_hypercube(cfg.dims);
+  if (cfg.topology == "tree") return graph::make_balanced_tree(cfg.arity, cfg.levels);
+  if (cfg.topology == "er") return graph::make_connected_er(n, cfg.er_p, cfg.seed);
+  throw ConfigError("unknown topology: " + cfg.topology);
+}
+
+core::SyncParams resolve_params(const ExperimentConfig& cfg) {
+  const double mu_min = 14.0 * cfg.eps / (1.0 - cfg.eps);
+  const double mu = cfg.mu > 0.0 ? cfg.mu : mu_min;
+  const double h0 = cfg.h0 > 0.0 ? cfg.h0 : cfg.delay / mu;
+  return core::SyncParams::with(cfg.delay, cfg.eps, mu, h0);
+}
+
+namespace {
+
+std::shared_ptr<sim::DriftPolicy> build_drift(const ExperimentConfig& cfg) {
+  if (cfg.drift == "walk") {
+    return std::make_shared<sim::RandomWalkDrift>(cfg.eps, 10.0 * cfg.delay,
+                                                  cfg.seed + 1);
+  }
+  if (cfg.drift == "square") {
+    const int half = cfg.nodes / 2;
+    return std::make_shared<sim::SquareWaveDrift>(
+        cfg.eps, 40.0 * cfg.delay,
+        [half](sim::NodeId v) { return v < half; });
+  }
+  if (cfg.drift == "sine") {
+    return std::make_shared<sim::SinusoidalDrift>(cfg.eps, 80.0 * cfg.delay,
+                                                  cfg.seed + 2);
+  }
+  if (cfg.drift == "const") return std::make_shared<sim::ConstantDrift>(1.0);
+  throw ConfigError("unknown drift model: " + cfg.drift);
+}
+
+std::shared_ptr<sim::DelayPolicy> build_delays(const ExperimentConfig& cfg,
+                                               const graph::Graph& g) {
+  if (cfg.delays == "uniform") {
+    return std::make_shared<sim::UniformDelay>(0.0, cfg.delay, cfg.seed + 3);
+  }
+  if (cfg.delays == "fixed") return std::make_shared<sim::FixedDelay>(cfg.delay);
+  if (cfg.delays == "band") {
+    return std::make_shared<sim::UniformDelay>(cfg.band_min * cfg.delay,
+                                               cfg.delay, cfg.seed + 4);
+  }
+  if (cfg.delays == "bimodal") {
+    return std::make_shared<sim::BimodalDelay>(0.1 * cfg.delay, cfg.delay, 0.05,
+                                               cfg.seed + 5);
+  }
+  if (cfg.delays == "burst") {
+    return std::make_shared<sim::BurstDelay>(0.1 * cfg.delay, cfg.delay,
+                                             50.0 * cfg.delay, 10.0 * cfg.delay,
+                                             cfg.seed + 6);
+  }
+  if (cfg.delays == "hiding") {
+    auto dist = std::make_shared<std::vector<int>>(g.bfs_distances(0));
+    return std::make_shared<sim::DirectionalDelay>(
+        [dist](sim::NodeId from, sim::NodeId to) {
+          return (*dist)[static_cast<std::size_t>(to)] >
+                 (*dist)[static_cast<std::size_t>(from)];
+        },
+        0.0, cfg.delay);
+  }
+  throw ConfigError("unknown delay model: " + cfg.delays);
+}
+
+std::unique_ptr<sim::Node> build_node(const ExperimentConfig& cfg,
+                                      const core::SyncParams& params,
+                                      sim::NodeId v) {
+  const std::string& a = cfg.algorithm;
+  if (a == "aopt") return core::make_aopt(params);
+  if (a == "aopt-jump") return core::make_jump_aopt(params);
+  if (a == "aopt-bounded") return core::make_bounded_frequency_aopt(params);
+  if (a == "aopt-adaptive") {
+    return std::make_unique<core::AdaptiveDelayAoptNode>(params);
+  }
+  if (a == "aopt-external") {
+    if (v == 0) {
+      return std::make_unique<core::ExternalReferenceNode>(params.h0);
+    }
+    return core::make_external_aopt(params);
+  }
+  if (a == "aopt-envelope") return core::make_envelope_aopt(params);
+  if (a == "aopt-ticks") {
+    return std::make_unique<sim::TickQuantizedNode>(core::make_aopt(params),
+                                                    cfg.tick_frequency);
+  }
+  if (a == "max" || a == "max-rate") {
+    baselines::MaxAlgorithmOptions o;
+    o.jump = (a == "max");
+    o.h0 = params.h0;
+    return std::make_unique<baselines::MaxAlgorithmNode>(o);
+  }
+  if (a == "avg") {
+    baselines::AveragingOptions o;
+    o.h0 = params.h0;
+    return std::make_unique<baselines::AveragingNode>(o);
+  }
+  if (a == "free") return std::make_unique<baselines::FreeRunningNode>();
+  throw ConfigError("unknown algorithm: " + a);
+}
+
+}  // namespace
+
+BuiltExperiment build_experiment(const ExperimentConfig& cfg) {
+  BuiltExperiment built;
+  built.graph = std::make_unique<graph::Graph>(build_topology(cfg));
+  built.params = resolve_params(cfg);
+
+  sim::SimConfig scfg;
+  scfg.wake_all_at_zero = cfg.wake_all;
+  scfg.probe_interval = cfg.delay;
+  built.simulator = std::make_unique<sim::Simulator>(*built.graph, scfg);
+  const core::SyncParams params = built.params;
+  built.simulator->set_all_nodes([&cfg, &params](sim::NodeId v) {
+    return build_node(cfg, params, v);
+  });
+  built.drift = build_drift(cfg);
+  built.delay = build_delays(cfg, *built.graph);
+  built.simulator->set_drift_policy(built.drift);
+  built.simulator->set_delay_policy(built.delay);
+  return built;
+}
+
+}  // namespace tbcs::cli

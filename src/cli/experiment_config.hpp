@@ -1,0 +1,81 @@
+// Builds a complete experiment (topology + algorithm + adversary) from
+// string options — the engine behind the tbcs_sim command-line tool, kept
+// separate so it is unit-testable.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "core/params.hpp"
+#include "graph/graph.hpp"
+#include "sim/delay_policy.hpp"
+#include "sim/drift_policy.hpp"
+#include "sim/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace tbcs::cli {
+
+struct ExperimentConfig {
+  // Topology: path | ring | star | complete | grid | torus | hypercube |
+  // tree | er
+  std::string topology = "path";
+  int nodes = 16;   // path/ring/star/complete/er node count
+  int rows = 4;     // grid/torus
+  int cols = 4;     // grid/torus
+  int dims = 4;     // hypercube
+  int arity = 2;    // tree
+  int levels = 4;   // tree
+  double er_p = 0.05;
+
+  // Algorithm: aopt | aopt-jump | aopt-bounded | aopt-adaptive |
+  // aopt-external | aopt-envelope | aopt-ticks | max | max-rate | avg | free
+  std::string algorithm = "aopt";
+  double tick_frequency = 100.0;  // for aopt-ticks
+
+  // Model parameters.
+  double eps = 0.01;
+  double delay = 1.0;  // T
+  double mu = 0.0;     // 0 -> paper minimum
+  double h0 = 0.0;     // 0 -> delay / mu
+
+  // Adversary: drift = walk | square | sine | const;
+  // delays = uniform | fixed | band | bimodal | burst | hiding
+  std::string drift = "walk";
+  std::string delays = "uniform";
+  double band_min = 0.5;  // for delays=band
+
+  double duration = 500.0;
+  std::uint64_t seed = 1;
+  bool wake_all = false;
+  bool per_distance = false;
+};
+
+struct BuiltExperiment {
+  // Heap-held so the simulator's reference stays valid when the struct is
+  // moved out of build_experiment().
+  std::unique_ptr<graph::Graph> graph;
+  core::SyncParams params;
+  std::unique_ptr<sim::Simulator> simulator;
+  // The installed policies, exposed so tools can wrap them (recording) or
+  // swap them (replay) before the first run.
+  std::shared_ptr<sim::DriftPolicy> drift;
+  std::shared_ptr<sim::DelayPolicy> delay;
+};
+
+/// Thrown when an option value is not recognized.
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Builds topology, parameters, simulator, nodes, and policies.
+BuiltExperiment build_experiment(const ExperimentConfig& cfg);
+
+/// Builds just the topology (exposed for tests and tools).
+graph::Graph build_topology(const ExperimentConfig& cfg);
+
+/// Effective parameters (resolves mu = 0 / h0 = 0 defaults).
+core::SyncParams resolve_params(const ExperimentConfig& cfg);
+
+}  // namespace tbcs::cli

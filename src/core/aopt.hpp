@@ -1,0 +1,136 @@
+// Algorithm A^opt (Section 4, Algorithms 1-4) and its variants.
+//
+// State per node v (all values normalized to the hardware-clock reading of
+// the node's last event and advanced lazily):
+//   L      - logical clock, rate rho * h_v with rho in {1, 1+mu}
+//   L^max  - estimate of the maximum clock value, rate c * h_v
+//            (c = 1 for plain A^opt; Sections 8.5/8.6 damp it)
+//   L^w    - estimate of neighbor w's clock, rate h_v (Algorithm 2)
+//   l^w    - largest raw clock value received from w (update guard)
+//   H^R    - hardware reading at which rho resets to 1 (Algorithm 4)
+//
+// Events:
+//   * L^max reaches a multiple of H0           -> broadcast <L, L^max>   (Alg 1)
+//   * message received                         -> update, setClockRate   (Alg 2, 3)
+//   * H reaches H^R                            -> rho := 1               (Alg 4)
+//
+// Variants folded in as options (each maps to a paper section):
+//   jump_mode          - apply R_v instantly instead of raising the rate
+//                        (remark after Theorem 5.10; beta unbounded)
+//   bounded_frequency  - enforce >= H0 hardware time between sends
+//                        (Section 6.1); forwards are queued
+//   periodic_send      - send every H0 of hardware time instead of on
+//                        L^max multiples (Sections 6.1, 8.3, 8.5)
+//   lmax_rate_factor   - L^max increases at c * h_v (Section 8.5 external
+//                        synchronization uses c = 1/(1+eps_hat))
+//   envelope_mode      - the factor applies only while L^max > H_v
+//                        (Section 8.6 hardware-clock envelope)
+//   value_offset       - add T1 to all received values (Section 8.3
+//                        lower-bounded delays)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hpp"
+#include "sim/node.hpp"
+
+namespace tbcs::core {
+
+struct AoptOptions {
+  bool jump_mode = false;
+  bool bounded_frequency = false;
+  bool periodic_send = false;
+  double lmax_rate_factor = 1.0;
+  bool envelope_mode = false;
+  double value_offset = 0.0;
+
+  /// Ablation: replace Algorithm 3 line 1 by the naive midpoint rule
+  /// R = (Lambda_up - Lambda_dn)/2 (drive toward the average of the
+  /// fastest and slowest neighbor estimate).  Section 4.2: this "simpler
+  /// approach ... fails to achieve even a sublinear bound on the local
+  /// skew"; kept here so the ablation bench can show the difference.
+  bool midpoint_rule = false;
+};
+
+class AoptNode : public sim::Node {
+ public:
+  explicit AoptNode(const SyncParams& params, AoptOptions opt = {});
+
+  // ---- sim::Node -----------------------------------------------------------
+  void on_wake(sim::NodeServices& sv, const sim::Message* by_message) override;
+  void on_message(sim::NodeServices& sv, const sim::Message& m) override;
+  void on_timer(sim::NodeServices& sv, int slot) override;
+  /// Dynamic topologies: a removed neighbor's estimate must no longer
+  /// constrain setClockRate (its clock can neither be chased nor waited
+  /// for); a re-appearing neighbor is re-learned from its next message.
+  void on_link_change(sim::NodeServices& sv, sim::NodeId neighbor,
+                      bool up) override;
+  sim::ClockValue logical_at(sim::ClockValue hardware_now) const override;
+  double rate_multiplier() const override;
+
+  // ---- inspection (tests / metrics) ----------------------------------------
+  const SyncParams& params() const { return params_; }
+  const AoptOptions& options() const { return opt_; }
+  double rho() const { return rho_; }
+  bool riding_lmax() const { return riding_; }
+  sim::ClockValue logical_max_at(sim::ClockValue hardware_now) const;
+  /// Estimate L_v^w of neighbor w's clock; NaN if never heard from w.
+  double neighbor_estimate(sim::NodeId w, sim::ClockValue hardware_now) const;
+  std::size_t known_neighbors() const { return neighbors_.size(); }
+  std::uint64_t sends() const { return sends_; }
+
+  /// The skews Lambda_up / Lambda_dn as of the last event (Algorithm 2,
+  /// lines 8-9); 0 if no neighbor is known.
+  double lambda_up() const;
+  double lambda_dn() const;
+
+ protected:
+  // Hook for subclasses that post-process outgoing messages (e.g. the
+  // bounded-bit codec of Section 6.2 quantizes the payload).
+  virtual sim::Message make_message(sim::NodeServices& sv) const;
+  // Hook for subclasses that decode incoming payloads.  Returns the
+  // (logical, logical_max) pair the algorithm should act on.
+  virtual void decode_message(const sim::Message& m, double& logical,
+                              double& logical_max) const;
+
+  enum TimerSlot : int {
+    kSendTimer = 0,      // L^max multiple / periodic send (Algorithm 1)
+    kRateResetTimer = 1, // H reaches H^R (Algorithm 4)
+    kSpacingTimer = 2,   // earliest next send when bounded_frequency
+    kPinTimer = 3,       // L catches L^max (only when c < effective rate)
+    kEnvelopeTimer = 4,  // L^max meets H from above (envelope_mode)
+  };
+
+  void advance_to(sim::ClockValue h_now);
+  double lmax_factor_now() const;
+  double logical_multiplier() const;
+  void run_set_clock_rate(sim::NodeServices& sv);  // Algorithm 3
+  void request_send(sim::NodeServices& sv);
+  void do_send(sim::NodeServices& sv);
+  void reschedule_value_timers(sim::NodeServices& sv);
+  void update_riding();
+
+  struct NeighborEstimate {
+    sim::NodeId id;
+    double est;      // L_v^w, normalized to h_last_
+    double raw_max;  // l_v^w: largest raw value received
+  };
+  NeighborEstimate& neighbor_slot(sim::NodeId w);
+
+  SyncParams params_;
+  AoptOptions opt_;
+
+  bool awake_ = false;
+  double h_last_ = 0.0;   // hardware reading at last state update
+  double L_ = 0.0;        // logical clock at h_last_
+  double Lmax_ = 0.0;     // L^max at h_last_
+  double rho_ = 1.0;      // logical clock rate multiplier
+  bool riding_ = false;   // L == L^max and must not pass it (c < rate)
+  double last_send_h_ = 0.0;
+  bool pending_send_ = false;
+  std::vector<NeighborEstimate> neighbors_;
+  std::uint64_t sends_ = 0;
+};
+
+}  // namespace tbcs::core

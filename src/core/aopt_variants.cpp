@@ -1,0 +1,28 @@
+#include "core/aopt_variants.hpp"
+
+namespace tbcs::core {
+
+std::unique_ptr<AoptNode> make_aopt(const SyncParams& params) {
+  return std::make_unique<AoptNode>(params);
+}
+
+std::unique_ptr<AoptNode> make_jump_aopt(const SyncParams& params) {
+  AoptOptions o;
+  o.jump_mode = true;
+  return std::make_unique<AoptNode>(params, o);
+}
+
+std::unique_ptr<AoptNode> make_bounded_frequency_aopt(const SyncParams& params) {
+  AoptOptions o;
+  o.bounded_frequency = true;
+  return std::make_unique<AoptNode>(params, o);
+}
+
+std::unique_ptr<AoptNode> make_offset_delay_aopt(const SyncParams& params,
+                                                 double t1) {
+  AoptOptions o;
+  o.value_offset = t1;
+  return std::make_unique<AoptNode>(params, o);
+}
+
+}  // namespace tbcs::core

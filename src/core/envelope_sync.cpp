@@ -1,0 +1,13 @@
+#include "core/envelope_sync.hpp"
+
+namespace tbcs::core {
+
+std::unique_ptr<AoptNode> make_envelope_aopt(const SyncParams& params) {
+  AoptOptions o;
+  o.envelope_mode = true;
+  o.lmax_rate_factor =
+      (1.0 - params.eps_hat) / (1.0 + params.eps_hat);
+  return std::make_unique<AoptNode>(params, o);
+}
+
+}  // namespace tbcs::core

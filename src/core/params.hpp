@@ -1,0 +1,115 @@
+// Parameters of algorithm A^opt and the skew-bound formulas of the paper.
+//
+// The algorithm knows only *upper bounds* on the model parameters: eps_hat
+// on the maximum drift eps (Section 3) and delay_hat on the delay
+// uncertainty T.  kappa and H0 are chosen from the hats; the resulting
+// skew guarantees (Theorems 5.5 and 5.10) are then stated in terms of the
+// *true* eps and T of the execution, which tests and benches know.
+#pragma once
+
+#include <string>
+
+namespace tbcs::core {
+
+struct SyncParams {
+  /// \hat{T}: known upper bound on the delay uncertainty T.
+  double delay_hat = 1.0;
+
+  /// \hat{eps} in (0, 1): known upper bound on the maximum drift rate.
+  double eps_hat = 0.01;
+
+  /// mu > 0: logical clocks may run up to (1 + mu) times the hardware
+  /// rate.  Inequality (6) requires mu >= 14 * eps_hat / (1 - eps_hat).
+  double mu = 0.2;
+
+  /// H0 > 0: minimum hardware-time between the periodic sends of
+  /// Algorithm 1 (messages fire when L^max reaches multiples of H0).
+  double h0 = 5.0;
+
+  /// kappa: the local-skew quantum.  Inequality (4) requires
+  /// kappa >= 2 ((1 + eps_hat)(1 + mu) \hat{T} + \bar{H0}).
+  double kappa = 3.0;
+
+  // ---- derived quantities ---------------------------------------------------
+
+  /// \bar{H0} = (2 eps_hat + mu) H0   (Equation (5)).
+  double h0_bar() const { return (2.0 * eps_hat + mu) * h0; }
+
+  /// The smallest kappa permitted by Inequality (4).
+  double min_kappa() const {
+    return 2.0 * ((1.0 + eps_hat) * (1.0 + mu) * delay_hat + h0_bar());
+  }
+
+  /// sigma >= 2: the largest integer with mu >= 7 sigma eps / (1 - eps)
+  /// (Inequality (6)), evaluated at `eps` (pass the true eps for the
+  /// guarantee actually enjoyed; defaults to eps_hat).  Returned as a
+  /// double because sigma is astronomically large for tiny eps.
+  double sigma(double eps) const;
+  double sigma() const { return sigma(eps_hat); }
+
+  /// Checks Inequalities (4) and (6) and basic ranges.  On failure,
+  /// `why` (if non-null) receives a human-readable reason.
+  bool valid(std::string* why = nullptr) const;
+
+  /// Throwing variant of valid() for constructors.
+  void check() const;
+
+  // ---- skew-bound formulas (true model parameters) -------------------------
+
+  /// Theorem 5.5: G = (1 + eps) D T + 2 eps / (1 + eps) * H0.
+  double global_skew_bound(int diameter, double eps, double delay) const;
+
+  /// Theorem 5.10: kappa (ceil(log_sigma(2 G / kappa)) + 1/2).
+  double local_skew_bound(int diameter, double eps, double delay) const;
+
+  /// Definition 5.6 ceiling for nodes at hop distance d: the legal state
+  /// guarantees skew <= d (s + 1/2) kappa for the smallest s with
+  /// C_s = 2 G sigma^{-s} / kappa <= d.  This is the gradient property:
+  /// O(d kappa (1 + log_sigma(2G / (d kappa)))).
+  double distance_skew_bound(int distance, int diameter, double eps,
+                             double delay) const;
+
+  /// Condition (2) rate bounds of A^opt (Corollary 5.3).
+  double alpha(double eps) const { return 1.0 - eps; }
+  double beta(double eps) const { return (1.0 + eps) * (1.0 + mu); }
+
+  /// Section 6.3 space bound, in bits:
+  ///   O(log(f T) + log(mu D) + Delta (log(1/mu) + log(eps mu D)
+  ///     + log log_{mu/eps} D)),
+  /// where Delta is the maximum degree and f the hardware tick frequency.
+  /// Every summand is clamped to >= 1 bit (the paper's footnote on the
+  /// sloppy notation).
+  double space_bound_bits(int diameter, int max_degree, double frequency,
+                          double eps) const;
+
+  // ---- constructors ---------------------------------------------------------
+
+  /// Paper-recommended parameters: mu = max(14 eps_hat/(1-eps_hat), mu_floor),
+  /// H0 = delay_hat / mu (Section 6.1), kappa minimal per Inequality (4).
+  static SyncParams recommended(double delay_hat, double eps_hat,
+                                double mu_floor = 0.0);
+
+  /// Like recommended() but with explicit mu and H0; kappa minimal.
+  static SyncParams with(double delay_hat, double eps_hat, double mu,
+                         double h0);
+
+  // ---- deployment presets ----------------------------------------------------
+  //
+  // Ready-made parameterizations for the environments the paper's
+  // conclusion discusses; time unit = 1 ms in all three.
+
+  /// Wireless sensor network: TCXO-grade drift (~1e-5, footnote 15's
+  /// "cheap quartz"), per-hop MAC jitter ~ a few ms.
+  static SyncParams wsn();
+
+  /// Datacenter: disciplined oscillators (~1e-6 effective), sub-ms
+  /// network jitter (0.1 ms).
+  static SyncParams datacenter();
+
+  /// Network/system-on-chip: ring-oscillator drift up to 0.2 under
+  /// temperature/voltage swings (footnote 15), link latency ~ cycles
+  /// (here 1e-5 ms = 10 ns).
+  static SyncParams chip();
+};
+
+}  // namespace tbcs::core

@@ -1,0 +1,24 @@
+#include "core/rate_rule.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tbcs::core {
+
+double unbounded_increase(double lambda_up, double lambda_dn, double kappa) {
+  assert(kappa > 0.0);
+  const double s_star = (lambda_up + lambda_dn - kappa) / (2.0 * kappa);
+  const auto f = [&](double s) {
+    return std::min(lambda_up - s * kappa, (s + 1.0) * kappa - lambda_dn);
+  };
+  return std::max(f(std::floor(s_star)), f(std::ceil(s_star)));
+}
+
+double clock_increase(double lambda_up, double lambda_dn, double kappa,
+                      double lmax_minus_l) {
+  const double r1 = unbounded_increase(lambda_up, lambda_dn, kappa);
+  return std::min(std::max(kappa - lambda_dn, r1), lmax_minus_l);
+}
+
+}  // namespace tbcs::core

@@ -1,0 +1,32 @@
+// The clock-increase rule of Algorithm 3 (subroutine setClockRate), in
+// closed form.
+//
+// Line 1 computes
+//     R_v = sup { R in IR | floor((Lam_up - R)/kappa) >= floor((Lam_dn + R)/kappa) }.
+//
+// Writing s = floor((Lam_dn + R)/kappa), the predicate is equivalent to
+// R <= Lam_up - s kappa and R < (s+1) kappa - Lam_dn, so the supremum over
+// level s is f(s) = min(Lam_up - s kappa, (s+1) kappa - Lam_dn).  f is the
+// minimum of a decreasing and an increasing linear function of s and hence
+// concave; over the integers its maximum is attained at floor(s*) or
+// ceil(s*) where s* = (Lam_up + Lam_dn - kappa) / (2 kappa) is the
+// crossing point.  (Unit tests verify this against brute-force search.)
+//
+// Line 2 then clamps:
+//     R_v := min(max(kappa - Lam_dn, R_v), Lmax - L),
+// i.e. a skew of kappa is always tolerated, and the clock never rises
+// above the node's estimate of the maximum clock value.
+#pragma once
+
+namespace tbcs::core {
+
+/// Algorithm 3, line 1.
+double unbounded_increase(double lambda_up, double lambda_dn, double kappa);
+
+/// Algorithm 3, lines 1-2: the increase R_v that setClockRate applies.
+/// `lmax_minus_l` is L_v^max - L_v.  R_v > 0 means "run fast until the
+/// logical clock gained R_v over the hardware clock".
+double clock_increase(double lambda_up, double lambda_dn, double kappa,
+                      double lmax_minus_l);
+
+}  // namespace tbcs::core

@@ -1,0 +1,92 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace tbcs::graph {
+
+bool Graph::add_edge(NodeId u, NodeId v) {
+  assert(u >= 0 && u < num_nodes());
+  assert(v >= 0 && v < num_nodes());
+  if (u == v || has_edge(u, v)) return false;
+  adj_[static_cast<std::size_t>(u)].push_back(v);
+  adj_[static_cast<std::size_t>(v)].push_back(u);
+  edges_.emplace_back(std::min(u, v), std::max(u, v));
+  return true;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  const auto& nu = adj_[static_cast<std::size_t>(u)];
+  return std::find(nu.begin(), nu.end(), v) != nu.end();
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t d = 0;
+  for (const auto& a : adj_) d = std::max(d, a.size());
+  return d;
+}
+
+std::vector<int> Graph::bfs_distances(NodeId source) const {
+  std::vector<int> dist(static_cast<std::size_t>(num_nodes()), -1);
+  std::deque<NodeId> queue;
+  dist[static_cast<std::size_t>(source)] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (const NodeId w : neighbors(u)) {
+      if (dist[static_cast<std::size_t>(w)] < 0) {
+        dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(u)] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Graph::connected() const {
+  if (num_nodes() == 0) return true;
+  const auto dist = bfs_distances(0);
+  return std::all_of(dist.begin(), dist.end(), [](int d) { return d >= 0; });
+}
+
+int Graph::eccentricity(NodeId v) const {
+  const auto dist = bfs_distances(v);
+  int ecc = 0;
+  for (const int d : dist) {
+    assert(d >= 0 && "eccentricity requires a connected graph");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+int Graph::diameter() const {
+  int d = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) d = std::max(d, eccentricity(v));
+  return d;
+}
+
+std::vector<std::vector<int>> Graph::all_pairs_distances() const {
+  std::vector<std::vector<int>> dist;
+  dist.reserve(static_cast<std::size_t>(num_nodes()));
+  for (NodeId v = 0; v < num_nodes(); ++v) dist.push_back(bfs_distances(v));
+  return dist;
+}
+
+Edge Graph::diameter_endpoints() const {
+  Edge best{0, 0};
+  int best_d = -1;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    const auto dist = bfs_distances(v);
+    for (NodeId w = 0; w < num_nodes(); ++w) {
+      if (dist[static_cast<std::size_t>(w)] > best_d) {
+        best_d = dist[static_cast<std::size_t>(w)];
+        best = {v, w};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace tbcs::graph

@@ -1,0 +1,63 @@
+// Undirected connected graphs G = (V, E): the distributed system topology
+// of the paper's model (Section 3).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tbcs::graph {
+
+using NodeId = std::int32_t;
+using Edge = std::pair<NodeId, NodeId>;
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(NodeId n) : adj_(static_cast<std::size_t>(n)) {}
+
+  NodeId num_nodes() const { return static_cast<NodeId>(adj_.size()); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Adds the undirected edge {u, v}.  Duplicate edges and self-loops are
+  /// rejected (returns false).
+  bool add_edge(NodeId u, NodeId v);
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  const std::vector<NodeId>& neighbors(NodeId v) const {
+    return adj_[static_cast<std::size_t>(v)];
+  }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  std::size_t degree(NodeId v) const {
+    return adj_[static_cast<std::size_t>(v)].size();
+  }
+
+  std::size_t max_degree() const;
+
+  bool connected() const;
+
+  /// BFS distances (in hops) from `source`; unreachable nodes get -1.
+  std::vector<int> bfs_distances(NodeId source) const;
+
+  /// Eccentricity of `v` (max BFS distance); requires connectivity.
+  int eccentricity(NodeId v) const;
+
+  /// Exact diameter D via BFS from every node.  O(n * (n + m)).
+  int diameter() const;
+
+  /// All-pairs hop distances; dist[u][v].  O(n * (n + m)) time, O(n^2)
+  /// memory — intended for the metric layer on moderate n.
+  std::vector<std::vector<int>> all_pairs_distances() const;
+
+  /// Two nodes realizing the diameter (useful for placing adversaries).
+  Edge diameter_endpoints() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace tbcs::graph

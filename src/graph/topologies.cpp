@@ -1,0 +1,172 @@
+#include "graph/topologies.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace tbcs::graph {
+
+Graph make_path(NodeId n) {
+  assert(n >= 1);
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Graph make_ring(NodeId n) {
+  assert(n >= 3);
+  Graph g = make_path(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+Graph make_star(NodeId n) {
+  assert(n >= 2);
+  Graph g(n);
+  for (NodeId i = 1; i < n; ++i) g.add_edge(0, i);
+  return g;
+}
+
+Graph make_complete(NodeId n) {
+  assert(n >= 1);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph make_grid(NodeId rows, NodeId cols) {
+  assert(rows >= 1 && cols >= 1);
+  Graph g(rows * cols);
+  const auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph make_torus(NodeId rows, NodeId cols) {
+  assert(rows >= 3 && cols >= 3);
+  Graph g = make_grid(rows, cols);
+  const auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) g.add_edge(id(r, cols - 1), id(r, 0));
+  for (NodeId c = 0; c < cols; ++c) g.add_edge(id(rows - 1, c), id(0, c));
+  return g;
+}
+
+Graph make_hypercube(int dimensions) {
+  assert(dimensions >= 1 && dimensions < 20);
+  const NodeId n = static_cast<NodeId>(1) << dimensions;
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (int b = 0; b < dimensions; ++b) {
+      const NodeId w = v ^ (static_cast<NodeId>(1) << b);
+      if (w > v) g.add_edge(v, w);
+    }
+  }
+  return g;
+}
+
+Graph make_balanced_tree(int arity, int levels) {
+  assert(arity >= 1 && levels >= 1);
+  // Count nodes: 1 + k + k^2 + ... + k^{levels-1}.
+  NodeId n = 0;
+  NodeId layer = 1;
+  for (int l = 0; l < levels; ++l) {
+    n += layer;
+    layer *= arity;
+  }
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge((v - 1) / arity, v);
+  return g;
+}
+
+Graph make_random_tree(NodeId n, std::uint64_t seed) {
+  assert(n >= 1);
+  Graph g(n);
+  sim::Rng rng(seed);
+  for (NodeId v = 1; v < n; ++v) {
+    const NodeId parent = static_cast<NodeId>(rng.uniform_index(static_cast<std::uint64_t>(v)));
+    g.add_edge(parent, v);
+  }
+  return g;
+}
+
+Graph make_connected_er(NodeId n, double p, std::uint64_t seed) {
+  assert(n >= 1);
+  sim::Rng rng(seed);
+  Graph g(n);
+  // Random spanning tree first, guaranteeing connectivity.
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniform_index(i)]);
+  }
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    g.add_edge(order[rng.uniform_index(i)], order[i]);
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.next_double() < p) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph make_barbell(NodeId clique, NodeId bridge) {
+  assert(clique >= 2 && bridge >= 0);
+  const NodeId n = 2 * clique + bridge;
+  Graph g(n);
+  const auto add_clique = [&g](NodeId lo, NodeId count) {
+    for (NodeId u = lo; u < lo + count; ++u) {
+      for (NodeId v = u + 1; v < lo + count; ++v) g.add_edge(u, v);
+    }
+  };
+  add_clique(0, clique);
+  add_clique(clique + bridge, clique);
+  // The path through the bridge, attached to one node of each clique.
+  NodeId prev = clique - 1;
+  for (NodeId b = clique; b < clique + bridge; ++b) {
+    g.add_edge(prev, b);
+    prev = b;
+  }
+  g.add_edge(prev, clique + bridge);
+  return g;
+}
+
+Graph make_caterpillar(NodeId spine, NodeId legs) {
+  assert(spine >= 1 && legs >= 0);
+  Graph g(spine * (1 + legs));
+  for (NodeId s = 0; s + 1 < spine; ++s) g.add_edge(s, s + 1);
+  for (NodeId s = 0; s < spine; ++s) {
+    for (NodeId l = 0; l < legs; ++l) {
+      g.add_edge(s, spine + s * legs + l);
+    }
+  }
+  return g;
+}
+
+Graph make_random_regular(NodeId n, int degree, std::uint64_t seed) {
+  assert(n >= 3 && degree >= 2);
+  Graph g = make_ring(n);  // connected backbone (degree 2)
+  sim::Rng rng(seed);
+  std::vector<NodeId> perm(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
+  for (int m = 0; m < (degree - 2 + 1) / 2; ++m) {
+    // Random matching: shuffle, pair consecutive entries.
+    for (std::size_t i = perm.size(); i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.uniform_index(i)]);
+    }
+    for (std::size_t i = 0; i + 1 < perm.size(); i += 2) {
+      g.add_edge(perm[i], perm[i + 1]);  // duplicates silently rejected
+    }
+  }
+  return g;
+}
+
+}  // namespace tbcs::graph

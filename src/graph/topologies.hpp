@@ -1,0 +1,61 @@
+// Topology generators for the experiment suite.
+//
+// The bounds of the paper depend on the topology only through the diameter
+// D and, for complexity accounting, the maximum degree Delta; we provide
+// the standard families so experiments can vary both independently.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace tbcs::graph {
+
+/// Path P_n: diameter n-1.  The canonical worst-case graph for skew
+/// lower bounds; nodes are numbered along the path.
+Graph make_path(NodeId n);
+
+/// Cycle C_n: diameter floor(n/2).
+Graph make_ring(NodeId n);
+
+/// Star K_{1,n-1}: node 0 is the hub; diameter 2.
+Graph make_star(NodeId n);
+
+/// Complete graph K_n: diameter 1.
+Graph make_complete(NodeId n);
+
+/// rows x cols grid; node (r, c) has id r*cols + c; diameter rows+cols-2.
+Graph make_grid(NodeId rows, NodeId cols);
+
+/// rows x cols torus (grid with wrap-around links).
+Graph make_torus(NodeId rows, NodeId cols);
+
+/// Hypercube Q_d with 2^d nodes; diameter d.
+Graph make_hypercube(int dimensions);
+
+/// Complete k-ary tree with the given number of levels (root = node 0).
+Graph make_balanced_tree(int arity, int levels);
+
+/// Uniform random spanning tree on n nodes (random attachment).
+Graph make_random_tree(NodeId n, std::uint64_t seed);
+
+/// Connected Erdos-Renyi G(n, p): edges sampled with probability p, then a
+/// random spanning tree is added to guarantee connectivity.
+Graph make_connected_er(NodeId n, double p, std::uint64_t seed);
+
+/// Barbell: two cliques of `clique` nodes joined by a path of `bridge`
+/// intermediate nodes.  Dense well-synchronized clusters with a long thin
+/// bottleneck — the classic stress shape for gradient properties.
+/// Layout: clique A = [0, clique), bridge = [clique, clique+bridge),
+/// clique B = the rest.
+Graph make_barbell(NodeId clique, NodeId bridge);
+
+/// Caterpillar: a spine path of `spine` nodes, each with `legs` leaves.
+Graph make_caterpillar(NodeId spine, NodeId legs);
+
+/// Random d-regular-ish graph: d/2 superimposed random perfect matchings
+/// over a ring backbone (connected, max degree <= d + 2).  Expander-like
+/// low diameter at constant degree.
+Graph make_random_regular(NodeId n, int degree, std::uint64_t seed);
+
+}  // namespace tbcs::graph

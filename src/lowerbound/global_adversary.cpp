@@ -1,0 +1,126 @@
+#include "lowerbound/global_adversary.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sim/simulator.hpp"
+
+namespace tbcs::lowerbound {
+
+GlobalSkewAdversary::GlobalSkewAdversary(const graph::Graph& g,
+                                         graph::NodeId v0, Config cfg)
+    : cfg_(cfg), dist_(g.bfs_distances(v0)) {
+  assert(cfg_.eps > 0.0 && cfg_.eps < 1.0);
+  assert(cfg_.c1 > 0.0 && cfg_.c1 <= 1.0);
+  assert(cfg_.c2 > 0.0 && cfg_.c2 <= 1.0);
+  for (const int d : dist_) {
+    assert(d >= 0 && "graph must be connected");
+    max_dist_ = std::max(max_dist_, d);
+  }
+  assert(max_dist_ >= 1);
+
+  const double eps_prime = cfg_.c2 * cfg_.eps_hat;
+  rho_ = std::min(cfg_.eps, (1.0 - eps_prime) / cfg_.c1 - 1.0);
+
+  // Finite stand-in for the paper's infinitesimal eps_tilde: rates
+  // 1 + rho_eff + (1 - d/D) eps_tilde must stay within [1-eps, 1+eps].
+  eps_tilde_ = cfg_.eps_tilde > 0.0 ? cfg_.eps_tilde : cfg_.eps / 4.0;
+  rho_eff_ = std::min(rho_, cfg_.eps - eps_tilde_);
+  assert(rho_eff_ > -1.0);
+  assert(1.0 + rho_eff_ >= 1.0 - cfg_.eps - 1e-12);
+
+  hop_gap_ = (1.0 + rho_eff_) * cfg_.delay;
+  t0_ = (1.0 + rho_eff_) * max_dist_ * cfg_.delay / eps_tilde_;
+
+  trajectories_.reserve(dist_.size());
+  for (std::size_t v = 0; v < dist_.size(); ++v) {
+    std::vector<sim::RateStep> steps;
+    steps.push_back({0.0, rate_before_t0(static_cast<graph::NodeId>(v))});
+    steps.push_back({t0_, 1.0 + rho_eff_});
+    trajectories_.emplace_back(std::move(steps));
+  }
+}
+
+double GlobalSkewAdversary::rate_before_t0(graph::NodeId v) const {
+  const double frac =
+      1.0 - static_cast<double>(dist_[static_cast<std::size_t>(v)]) / max_dist_;
+  return 1.0 + rho_eff_ + frac * eps_tilde_;
+}
+
+double GlobalSkewAdversary::predicted_skew() const {
+  return (1.0 + rho_eff_) * max_dist_ * cfg_.delay;
+}
+
+std::shared_ptr<sim::DriftPolicy> GlobalSkewAdversary::drift_policy() const {
+  std::vector<std::vector<sim::RateStep>> steps;
+  steps.reserve(trajectories_.size());
+  for (const auto& traj : trajectories_) steps.push_back(traj.steps());
+  return std::make_shared<sim::ScheduledDrift>(std::move(steps));
+}
+
+std::shared_ptr<sim::DelayPolicy> GlobalSkewAdversary::delay_policy() const {
+  // Deliver when the receiver's hardware clock shows the sender's
+  // send-time reading, plus hop_gap_ if the message moves toward v0.
+  return std::make_shared<sim::CallbackDelay>(
+      [this](sim::NodeId from, sim::NodeId to, sim::RealTime t_send,
+             const sim::Simulator&) {
+        const double h_from = trajectory(from).value_at(t_send);
+        const bool toward_v0 = dist_[static_cast<std::size_t>(to)] ==
+                               dist_[static_cast<std::size_t>(from)] - 1;
+        const double target = h_from + (toward_v0 ? hop_gap_ : 0.0);
+        const sim::RealTime t_recv = trajectory(to).time_when(target);
+        assert(t_recv >= t_send - 1e-9);
+        assert(t_recv - t_send <= cfg_.delay + 1e-6 && "delay left [0, T]");
+        return std::max(t_recv, t_send);
+      });
+}
+
+std::shared_ptr<sim::DriftPolicy> GlobalSkewAdversary::e1_drift_policy() const {
+  return std::make_shared<sim::ConstantDrift>(1.0 - cfg_.c2 * cfg_.eps_hat);
+}
+
+std::shared_ptr<sim::DelayPolicy> GlobalSkewAdversary::e1_delay_policy() const {
+  const double eps_prime = cfg_.c2 * cfg_.eps_hat;
+  const double t_prime = hop_gap_ / (1.0 - eps_prime);
+  return std::make_shared<sim::DirectionalDelay>(
+      [this](sim::NodeId from, sim::NodeId to) {
+        return dist_[static_cast<std::size_t>(to)] !=
+               dist_[static_cast<std::size_t>(from)] - 1;
+      },
+      /*fast=*/0.0, /*slow=*/t_prime);
+}
+
+std::shared_ptr<sim::DriftPolicy> GlobalSkewAdversary::e2_drift_policy() const {
+  return std::make_shared<sim::ConstantDrift>(1.0 + cfg_.c2 * cfg_.eps_hat);
+}
+
+std::shared_ptr<sim::DelayPolicy> GlobalSkewAdversary::e2_delay_policy() const {
+  const double eps_prime = cfg_.c2 * cfg_.eps_hat;
+  // E1's slow-direction delay T' compressed by (1-eps')/(1+eps'): every
+  // message arrives after the same *hardware* progress as in E1.
+  const double delay = hop_gap_ / (1.0 + eps_prime);
+  return std::make_shared<sim::DirectionalDelay>(
+      [this](sim::NodeId from, sim::NodeId to) {
+        return dist_[static_cast<std::size_t>(to)] !=
+               dist_[static_cast<std::size_t>(from)] - 1;
+      },
+      /*fast=*/0.0, /*slow=*/delay);
+}
+
+sim::RealTime GlobalSkewAdversary::e1_time_at_hardware(graph::NodeId,
+                                                       double h) const {
+  return h / (1.0 - cfg_.c2 * cfg_.eps_hat);
+}
+
+sim::RealTime GlobalSkewAdversary::e2_time_at_hardware(graph::NodeId,
+                                                       double h) const {
+  return h / (1.0 + cfg_.c2 * cfg_.eps_hat);
+}
+
+sim::RealTime GlobalSkewAdversary::e3_time_at_hardware(graph::NodeId v,
+                                                       double h) const {
+  return trajectory(v).time_when(h);
+}
+
+}  // namespace tbcs::lowerbound

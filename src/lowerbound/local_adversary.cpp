@@ -1,0 +1,142 @@
+#include "lowerbound/local_adversary.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace tbcs::lowerbound {
+
+LocalSkewConstruction::LocalSkewConstruction(sim::Simulator& sim, Config cfg)
+    : sim_(sim), cfg_(cfg), n_(sim.num_nodes()) {
+  assert(n_ >= 2);
+  assert(cfg_.eps > 0.0 && cfg_.eps < 1.0);
+  assert(cfg_.phi >= 0.0 && cfg_.phi <= 0.5 / (1.0 + cfg_.eps));
+  // Sanity: the topology must be the path 0-1-...-(n-1).
+  assert(sim.topology().num_edges() == static_cast<std::size_t>(n_ - 1));
+  for (int i = 0; i + 1 < n_; ++i) {
+    assert(sim.topology().has_edge(i, i + 1));
+  }
+  win_.rate.assign(static_cast<std::size_t>(n_), 1.0);
+  win_.ahead = 0;
+  win_.behind = n_ - 1;
+}
+
+double LocalSkewConstruction::phi_of(int u) const {
+  return std::abs(u - win_.behind) - std::abs(u - win_.ahead);
+}
+
+double LocalSkewConstruction::gamma(int from, int to) const {
+  const double fast = (1.0 + cfg_.eps) * cfg_.phi * cfg_.delay;
+  const double slow = cfg_.delay - fast;
+  return phi_of(from) >= phi_of(to) ? fast : slow;
+}
+
+double LocalSkewConstruction::shift(int u, sim::RealTime t) const {
+  const double span =
+      std::clamp(t, win_.t_start, win_.t_end) - win_.t_start;
+  return (win_.rate[static_cast<std::size_t>(u)] - 1.0) * std::max(0.0, span);
+}
+
+sim::RealTime LocalSkewConstruction::invert_progress(int u,
+                                                     double target) const {
+  // Solve t + shift(u, t) == target for t.
+  const double r = win_.rate[static_cast<std::size_t>(u)];
+  if (r == 1.0 || target <= win_.t_start) return target;
+  const double at_end = win_.t_end + (r - 1.0) * (win_.t_end - win_.t_start);
+  if (target <= at_end) {
+    return (target + (r - 1.0) * win_.t_start) / r;
+  }
+  return target - (r - 1.0) * (win_.t_end - win_.t_start);
+}
+
+std::shared_ptr<sim::DelayPolicy> LocalSkewConstruction::delay_policy() {
+  return std::make_shared<sim::CallbackDelay>(
+      [this](sim::NodeId from, sim::NodeId to, sim::RealTime t_send,
+             const sim::Simulator&) {
+        const double target = t_send + shift(from, t_send) + gamma(from, to);
+        sim::RealTime t_recv = invert_progress(to, target);
+        // The lemma guarantees delays within [phi T, (1-phi) T]; clamp
+        // against floating-point fringe so the execution stays legal.
+        t_recv = std::clamp(t_recv, t_send, t_send + cfg_.delay);
+        return t_recv;
+      });
+}
+
+void LocalSkewConstruction::start_window(int ahead, int behind,
+                                         sim::RealTime duration) {
+  win_.active = true;
+  win_.t_start = sim_.now();
+  win_.t_end = sim_.now() + duration;
+  win_.ahead = ahead;
+  win_.behind = behind;
+  const double d = std::abs(ahead - behind);
+  const double phi_ahead = phi_of(ahead);  // == d
+  for (int u = 0; u < n_; ++u) {
+    const double ramp =
+        1.0 + cfg_.eps - (phi_ahead - phi_of(u)) * cfg_.eps / (2.0 * d);
+    const double r = std::clamp(ramp, 1.0, 1.0 + cfg_.eps);
+    win_.rate[static_cast<std::size_t>(u)] = r;
+    sim_.schedule_rate_change(u, win_.t_start, r);
+    sim_.schedule_rate_change(u, win_.t_end, 1.0);
+  }
+}
+
+void LocalSkewConstruction::run_window(int ahead, int behind,
+                                       sim::RealTime duration) {
+  start_window(ahead, behind, duration);
+  sim_.run_until(win_.t_end);
+}
+
+std::pair<int, int> LocalSkewConstruction::pick_segment(int lo, int hi,
+                                                        int sub_length) const {
+  int best_lo = lo;
+  double best = -1.0;
+  for (int i = lo; i + sub_length <= hi; ++i) {
+    const double skew =
+        std::abs(sim_.logical(i) - sim_.logical(i + sub_length));
+    if (skew > best) {
+      best = skew;
+      best_lo = i;
+    }
+  }
+  return {best_lo, best_lo + sub_length};
+}
+
+std::vector<LocalSkewConstruction::Level> LocalSkewConstruction::run(int b) {
+  assert(b >= 2);
+  std::vector<Level> out;
+  // Drain the (zero-time) initialization and let first estimates arrive.
+  sim_.run_until(cfg_.settle * cfg_.delay);
+
+  int lo = 0;
+  int hi = n_ - 1;
+  for (int k = 0;; ++k) {
+    const int d = hi - lo;
+    const bool lo_ahead = sim_.logical(lo) >= sim_.logical(hi);
+    const int ahead = lo_ahead ? lo : hi;
+    const int behind = lo_ahead ? hi : lo;
+    const double window = (1.0 - 2.0 * (1.0 + cfg_.eps) * cfg_.phi) * d *
+                          cfg_.delay / cfg_.eps;
+    run_window(ahead, behind, window);
+
+    Level lv;
+    lv.k = k;
+    lv.lo = lo;
+    lv.hi = hi;
+    lv.length = d;
+    lv.window = window;
+    lv.skew = std::abs(sim_.logical(lo) - sim_.logical(hi));
+    lv.per_edge = lv.skew / d;
+    out.push_back(lv);
+
+    if (d <= 1) break;
+    // Settle: drain in-flight messages before re-orienting.
+    sim_.run_until(sim_.now() + cfg_.settle * cfg_.delay);
+    const int sub = std::max(1, d / b);
+    std::tie(lo, hi) = pick_segment(lo, hi, sub);
+  }
+  return out;
+}
+
+}  // namespace tbcs::lowerbound

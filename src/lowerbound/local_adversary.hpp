@@ -1,0 +1,91 @@
+// The local-skew lower-bound construction of Lemma 7.6 / Theorem 7.7.
+//
+// Level structure: starting from the full path, the adversary repeatedly
+//   (1) picks the contiguous subsegment of the current segment whose
+//       endpoint skew is largest (the proof's (v_{k+1}, w_{k+1})),
+//   (2) runs a "shift window" — the phi-framed execution E-bar of Lemma
+//       7.6: the ahead endpoint's side speeds up along the ramp
+//          h_u = clamp(1+eps - (Phi(v') - Phi(u)) eps / (2 d(v',w')), 1, 1+eps),
+//          Phi(u) = d(w',u) - d(v',u),
+//       for the window (1 - 2(1+eps)phi) d(v',w') T / eps, while message
+//       delays are pinned so each message arrives when the receiver's
+//       hardware progress since window start equals the sender's progress
+//       at send time plus the nominal per-edge gap
+//          gamma = (1+eps) phi T   (messages with Phi(u_s) >= Phi(u_r))
+//          gamma = (1-(1+eps)phi) T (otherwise),
+//       which renders the window indistinguishable from the drift-free
+//       execution E and keeps all delays within [phi T, (1-phi) T].
+//
+// Each level multiplies the per-edge average skew while dividing the
+// segment length by b; after ~log_b D levels two *neighbors* carry the
+// accumulated skew — the Omega(T log_b D) of Theorem 7.7.
+//
+// The construction is algorithm-agnostic: it only reads logical clock
+// values the metrics layer can see, never algorithm internals.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/delay_policy.hpp"
+#include "sim/simulator.hpp"
+
+namespace tbcs::lowerbound {
+
+class LocalSkewConstruction {
+ public:
+  struct Config {
+    double eps = 0.2;    // ramp amplitude; execution rates lie in [1, 1+eps]
+    double delay = 1.0;  // T
+    double phi = 0.0;    // framing (Definition 7.5); 0 = delays in {0, T}
+    double settle = 5.0; // drain time between levels, in units of T
+  };
+
+  struct Level {
+    int k = 0;            // level index
+    int lo = 0, hi = 0;   // chosen segment endpoints (node indices)
+    int length = 0;       // hi - lo
+    double window = 0.0;  // shift-window duration
+    double skew = 0.0;    // |L_lo - L_hi| at window end
+    double per_edge = 0.0;  // skew / length
+  };
+
+  /// The simulator must host a path graph with nodes 0..n-1 in path order
+  /// and use wake_all_at_zero (the Section 7 convention).  Install
+  /// delay_policy() on the simulator before running.
+  LocalSkewConstruction(sim::Simulator& sim, Config cfg);
+
+  std::shared_ptr<sim::DelayPolicy> delay_policy();
+
+  /// Runs the construction, shrinking the segment by factor b per level,
+  /// until it reaches a single edge.  Returns the per-level reports.
+  std::vector<Level> run(int b);
+
+ private:
+  struct WindowState {
+    bool active = false;
+    sim::RealTime t_start = 0.0;
+    sim::RealTime t_end = 0.0;
+    std::vector<double> rate;  // per node, during the window
+    // Orientation for the gamma rule: Phi(u) = d(w',u) - d(v',u); on the
+    // path this is sign-determined by node index relative to (lo, hi).
+    int ahead = 0;   // v' (larger logical clock)
+    int behind = 0;  // w'
+  };
+
+  double phi_of(int u) const;            // Phi(u) for current orientation
+  double gamma(int from, int to) const;  // nominal per-edge hardware gap
+  double shift(int u, sim::RealTime t) const;  // H progress surplus in window
+  sim::RealTime invert_progress(int u, double target) const;
+
+  void start_window(int ahead, int behind, sim::RealTime duration);
+  void run_window(int ahead, int behind, sim::RealTime duration);
+  std::pair<int, int> pick_segment(int lo, int hi, int sub_length) const;
+
+  sim::Simulator& sim_;
+  Config cfg_;
+  int n_;
+  WindowState win_;
+};
+
+}  // namespace tbcs::lowerbound

@@ -1,0 +1,112 @@
+#include "lowerbound/shifting.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/simulator.hpp"
+
+namespace tbcs::lowerbound {
+
+PiecewiseRate::PiecewiseRate(std::vector<sim::RateStep> steps)
+    : steps_(std::move(steps)) {
+  assert(!steps_.empty());
+  assert(steps_.front().at == 0.0);
+  cum_.resize(steps_.size());
+  cum_[0] = 0.0;
+  for (std::size_t i = 1; i < steps_.size(); ++i) {
+    assert(steps_[i].at >= steps_[i - 1].at);
+    assert(steps_[i - 1].rate > 0.0);
+    cum_[i] = cum_[i - 1] + steps_[i - 1].rate * (steps_[i].at - steps_[i - 1].at);
+  }
+  assert(steps_.back().rate > 0.0);
+}
+
+double PiecewiseRate::rate_at(sim::RealTime t) const {
+  // Last breakpoint at or before t.
+  std::size_t i = steps_.size() - 1;
+  while (i > 0 && steps_[i].at > t) --i;
+  return steps_[i].rate;
+}
+
+double PiecewiseRate::value_at(sim::RealTime t) const {
+  assert(t >= 0.0);
+  std::size_t i = steps_.size() - 1;
+  while (i > 0 && steps_[i].at > t) --i;
+  return cum_[i] + steps_[i].rate * (t - steps_[i].at);
+}
+
+sim::RealTime PiecewiseRate::time_when(double target) const {
+  assert(target >= 0.0);
+  std::size_t i = steps_.size() - 1;
+  while (i > 0 && cum_[i] > target) --i;
+  return steps_[i].at + (target - cum_[i]) / steps_[i].rate;
+}
+
+// ---- SingleNodeShift ---------------------------------------------------------
+
+SingleNodeShift::SingleNodeShift(Config cfg, GammaFn gamma)
+    : cfg_(cfg), gamma_(std::move(gamma)) {
+  assert(cfg_.shift > 0.0);
+  assert(cfg_.rate_drop > 0.0 && cfg_.rate_drop < 1.0);
+}
+
+std::shared_ptr<sim::DriftPolicy> SingleNodeShift::base_drift_policy() const {
+  return std::make_shared<sim::ConstantDrift>(1.0);
+}
+
+std::shared_ptr<sim::DelayPolicy> SingleNodeShift::base_delay_policy() const {
+  const GammaFn gamma = gamma_;
+  return std::make_shared<sim::CallbackDelay>(
+      [gamma](sim::NodeId from, sim::NodeId to, sim::RealTime t_send,
+              const sim::Simulator&) { return t_send + gamma(from, to); });
+}
+
+std::shared_ptr<sim::DriftPolicy> SingleNodeShift::shifted_drift_policy() const {
+  // v runs at 1 - rate_drop until window_end(), then back to 1; everyone
+  // else at rate 1 throughout.
+  struct PaddedDrift final : public sim::DriftPolicy {
+    explicit PaddedDrift(SingleNodeShift::Config cfg) : cfg_(cfg) {}
+    double initial_rate(sim::NodeId v) override {
+      return v == cfg_.node ? 1.0 - cfg_.rate_drop : 1.0;
+    }
+    std::optional<sim::RateStep> next_change(sim::NodeId v,
+                                             sim::RealTime now) override {
+      if (v != cfg_.node || now >= cfg_.shift / cfg_.rate_drop) {
+        return std::nullopt;
+      }
+      return sim::RateStep{cfg_.shift / cfg_.rate_drop, 1.0};
+    }
+    SingleNodeShift::Config cfg_;
+  };
+  return std::make_shared<PaddedDrift>(cfg_);
+}
+
+double SingleNodeShift::shift_of(sim::NodeId u, sim::RealTime t) const {
+  if (u != cfg_.node) return 0.0;
+  return -cfg_.rate_drop * std::min(t, window_end());
+}
+
+sim::RealTime SingleNodeShift::invert(sim::NodeId u, double target) const {
+  if (u != cfg_.node) return target;
+  // G(t) = t - rate_drop * min(t, window_end()) is strictly increasing.
+  const double at_end = (1.0 - cfg_.rate_drop) * window_end();
+  if (target <= at_end) return target / (1.0 - cfg_.rate_drop);
+  return target + cfg_.rate_drop * window_end();
+}
+
+std::shared_ptr<sim::DelayPolicy> SingleNodeShift::shifted_delay_policy() const {
+  return std::make_shared<sim::CallbackDelay>(
+      [this](sim::NodeId from, sim::NodeId to, sim::RealTime t_send,
+             const sim::Simulator&) {
+        // Same receiver hardware reading as in E: receiver progress must
+        // equal sender progress at send plus gamma.
+        const double target =
+            t_send + shift_of(from, t_send) + gamma_(from, to);
+        sim::RealTime t_recv = invert(to, target);
+        // Lemma 7.10: delays move by at most `shift`; clamp fp fringe.
+        t_recv = std::clamp(t_recv, t_send, t_send + cfg_.delay);
+        return t_recv;
+      });
+}
+
+}  // namespace tbcs::lowerbound

@@ -1,0 +1,91 @@
+// Execution-shifting utilities (Section 7, Definitions 7.1/7.4/7.5).
+//
+// The lower-bound adversaries construct executions whose hardware clocks
+// follow known piecewise-constant rate schedules and whose message delays
+// are pinned to hardware-clock targets ("deliver when the receiver's
+// clock shows X").  PiecewiseRate evaluates and inverts such schedules in
+// closed form, which is what makes the pinning computable.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/delay_policy.hpp"
+#include "sim/drift_policy.hpp"
+#include "sim/types.hpp"
+
+namespace tbcs::lowerbound {
+
+/// A clock trajectory H(t) = integral of a piecewise-constant positive
+/// rate, anchored at H(0) = 0.
+class PiecewiseRate {
+ public:
+  /// steps: (time, rate) breakpoints; the first must be at t = 0.
+  explicit PiecewiseRate(std::vector<sim::RateStep> steps);
+
+  double rate_at(sim::RealTime t) const;
+  double value_at(sim::RealTime t) const;
+
+  /// The unique t with value_at(t) == target (rates are positive).
+  sim::RealTime time_when(double target) const;
+
+  const std::vector<sim::RateStep>& steps() const { return steps_; }
+
+ private:
+  std::vector<sim::RateStep> steps_;
+  std::vector<double> cum_;  // value_at(steps_[i].at)
+};
+
+/// The single-node shift of Lemma 7.10, executable.
+///
+/// Base execution E: all hardware rates 1, message delays given by an
+/// arbitrary per-edge function gamma(u, w) with values in
+/// [phi T, (1-phi) T] (a phi-framed execution).  The shifted execution
+/// E-bar lowers node v's rate to 1 - rate_drop during [0, shift/rate_drop]
+/// and pins every delay so each message still arrives at the *same
+/// receiver hardware reading* as in E.  By Definition 7.1 the two
+/// executions are indistinguishable at every node; the lemma's conclusion
+///   L_v^Ebar(t) = L_v^E(t')  where  H_v^E(t') = H_v^Ebar(t),
+///   L_u^Ebar(t) = L_u^E(t)   for every u != v,
+/// is checked *numerically* against the real algorithm by the tests.
+///
+/// This is the tool with which Theorem 7.12 punishes algorithms that use
+/// large clock rates: the adversary can retroactively steal phi T of
+/// hardware time from any single node without anyone noticing.
+class SingleNodeShift {
+ public:
+  struct Config {
+    sim::NodeId node = 0;     // v, the node being shifted
+    double shift = 0.1;       // hardware time stolen from v (<= phi T)
+    double rate_drop = 0.05;  // v runs at 1 - rate_drop during the window
+    double delay = 1.0;       // T, for the legality clamp
+  };
+  using GammaFn = std::function<double(sim::NodeId, sim::NodeId)>;
+
+  SingleNodeShift(Config cfg, GammaFn gamma);
+
+  /// Policies realizing the base execution E.
+  std::shared_ptr<sim::DriftPolicy> base_drift_policy() const;
+  std::shared_ptr<sim::DelayPolicy> base_delay_policy() const;
+
+  /// Policies realizing the shifted execution E-bar.
+  std::shared_ptr<sim::DriftPolicy> shifted_drift_policy() const;
+  std::shared_ptr<sim::DelayPolicy> shifted_delay_policy() const;
+
+  /// Real time at which v's rate returns to 1 (= shift / rate_drop).
+  sim::RealTime window_end() const { return cfg_.shift / cfg_.rate_drop; }
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  /// H_u^Ebar(t) - H_u^E(t); 0 for u != v, -shift-capped for v.
+  double shift_of(sim::NodeId u, sim::RealTime t) const;
+  /// Solves t + shift_of(u, t) == target.
+  sim::RealTime invert(sim::NodeId u, double target) const;
+
+  Config cfg_;
+  GammaFn gamma_;
+};
+
+}  // namespace tbcs::lowerbound

@@ -1,0 +1,99 @@
+#include "runtime/threaded_network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace tbcs::runtime {
+
+ThreadedNetwork::ThreadedNetwork(const graph::Graph& g, Config cfg)
+    : graph_(g),
+      cfg_(cfg),
+      hosts_(static_cast<std::size_t>(g.num_nodes())),
+      rng_(cfg.seed) {
+  assert(cfg_.delay_min >= 0.0 && cfg_.delay_max >= cfg_.delay_min);
+}
+
+ThreadedNetwork::~ThreadedNetwork() { stop(); }
+
+void ThreadedNetwork::add_node(sim::NodeId v,
+                               std::unique_ptr<sim::Node> algorithm,
+                               double clock_rate) {
+  assert(!started_);
+  hosts_[static_cast<std::size_t>(v)] =
+      std::make_unique<ThreadedNodeHost>(*this, v, std::move(algorithm), clock_rate);
+}
+
+void ThreadedNetwork::start(sim::NodeId root) {
+  assert(!started_);
+  for ([[maybe_unused]] const auto& host : hosts_) {
+    assert(host && "all nodes must be added");
+  }
+  started_ = true;
+  // Launch non-root nodes first so the root's initial flood finds live inboxes.
+  for (sim::NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    if (v != root) hosts_[static_cast<std::size_t>(v)]->start(false);
+  }
+  hosts_[static_cast<std::size_t>(root)]->start(true);
+}
+
+void ThreadedNetwork::stop() {
+  for (const auto& host : hosts_) {
+    if (host) host->request_stop();
+  }
+  for (const auto& host : hosts_) {
+    if (host) host->join();
+  }
+}
+
+void ThreadedNetwork::route_broadcast(sim::NodeId from, const sim::Message& m) {
+  const auto now = VirtualClock::SteadyClock::now();
+  for (const sim::NodeId to : graph_.neighbors(from)) {
+    double delay_units;
+    {
+      std::lock_guard<std::mutex> lock(route_mu_);
+      delay_units = rng_.uniform(cfg_.delay_min, cfg_.delay_max);
+    }
+    const auto at = now + std::chrono::duration_cast<VirtualClock::SteadyClock::duration>(
+                              std::chrono::duration<double>(delay_units / 1000.0));
+    hosts_[static_cast<std::size_t>(to)]->enqueue(m, at);
+  }
+}
+
+double ThreadedNetwork::logical(sim::NodeId v) const {
+  return hosts_[static_cast<std::size_t>(v)]->sample_logical();
+}
+
+double ThreadedNetwork::hardware(sim::NodeId v) const {
+  return hosts_[static_cast<std::size_t>(v)]->sample_hardware();
+}
+
+bool ThreadedNetwork::awake(sim::NodeId v) const {
+  return hosts_[static_cast<std::size_t>(v)]->awake();
+}
+
+double ThreadedNetwork::sample_global_skew() const {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (sim::NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    if (!awake(v)) continue;
+    const double l = logical(v);
+    lo = std::min(lo, l);
+    hi = std::max(hi, l);
+    any = true;
+  }
+  return any ? hi - lo : 0.0;
+}
+
+double ThreadedNetwork::sample_local_skew() const {
+  double worst = 0.0;
+  for (const auto& [u, w] : graph_.edges()) {
+    if (!awake(u) || !awake(w)) continue;
+    worst = std::max(worst, std::abs(logical(u) - logical(w)));
+  }
+  return worst;
+}
+
+}  // namespace tbcs::runtime

@@ -1,0 +1,32 @@
+#include "runtime/virtual_time.hpp"
+
+#include <cassert>
+
+namespace tbcs::runtime {
+
+namespace {
+constexpr double kUnitsPerSecond = 1000.0;  // 1 unit = 1 ms at rate 1
+}
+
+VirtualClock::VirtualClock(double rate) : rate_(rate) { assert(rate > 0.0); }
+
+void VirtualClock::start() {
+  assert(!started_);
+  started_ = true;
+  origin_ = SteadyClock::now();
+}
+
+double VirtualClock::now_units() const {
+  if (!started_) return 0.0;
+  const std::chrono::duration<double> elapsed = SteadyClock::now() - origin_;
+  return rate_ * elapsed.count() * kUnitsPerSecond;
+}
+
+VirtualClock::TimePoint VirtualClock::when_reaches(double target) const {
+  assert(started_);
+  const double seconds = target / (rate_ * kUnitsPerSecond);
+  return origin_ + std::chrono::duration_cast<SteadyClock::duration>(
+                       std::chrono::duration<double>(seconds));
+}
+
+}  // namespace tbcs::runtime

@@ -1,0 +1,38 @@
+// Drift-scaled wall clocks for the threaded runtime.
+//
+// A VirtualClock turns the host's monotonic clock into a hardware clock
+// H(t) = rate * (t - t_start): the same abstraction the simulator provides
+// analytically, realized on real time.  One "unit" is one millisecond of
+// host time at rate 1.
+#pragma once
+
+#include <chrono>
+
+namespace tbcs::runtime {
+
+class VirtualClock {
+ public:
+  using SteadyClock = std::chrono::steady_clock;
+  using TimePoint = SteadyClock::time_point;
+
+  explicit VirtualClock(double rate);
+
+  /// Starts the clock (H jumps from "not started" to running at `rate`).
+  void start();
+  bool started() const { return started_; }
+
+  double rate() const { return rate_; }
+
+  /// H now, in units (milliseconds at rate 1); 0 before start().
+  double now_units() const;
+
+  /// Host time point at which H will reach `target` units.
+  TimePoint when_reaches(double target) const;
+
+ private:
+  double rate_;
+  bool started_ = false;
+  TimePoint origin_{};
+};
+
+}  // namespace tbcs::runtime

@@ -1,0 +1,132 @@
+// Message delay models ("the adversary chooses delays in [0, T]",
+// Section 3; or [T1, T2], Section 8.3).
+//
+// A policy maps (sender, receiver, send time) to a delivery real time.
+// Adversarial policies may inspect the full simulator state (hardware
+// clocks) — the adversary of the model is omniscient; algorithms are not.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace tbcs::sim {
+
+class Simulator;  // defined in sim/simulator.hpp
+
+class DelayPolicy {
+ public:
+  virtual ~DelayPolicy() = default;
+
+  /// Returns the real time at which a message sent by `from` to `to` at
+  /// `send_time` is delivered.  Must be >= send_time.
+  virtual RealTime delivery_time(NodeId from, NodeId to, RealTime send_time,
+                                 const Simulator& sim) = 0;
+};
+
+/// Every message takes exactly `delay` time.
+class FixedDelay final : public DelayPolicy {
+ public:
+  explicit FixedDelay(Duration delay) : delay_(delay) {}
+  RealTime delivery_time(NodeId, NodeId, RealTime send_time,
+                         const Simulator&) override {
+    return send_time + delay_;
+  }
+
+ private:
+  Duration delay_;
+};
+
+/// Delays drawn i.i.d. uniform from [lo, hi].  With lo = 0, hi = T this is
+/// the full adversary range chosen at random; with 0 < lo it models the
+/// lower-bounded-delay setting of Section 8.3.
+class UniformDelay final : public DelayPolicy {
+ public:
+  UniformDelay(Duration lo, Duration hi, std::uint64_t seed)
+      : lo_(lo), hi_(hi), rng_(seed) {}
+  RealTime delivery_time(NodeId, NodeId, RealTime send_time,
+                         const Simulator&) override {
+    return send_time + rng_.uniform(lo_, hi_);
+  }
+
+ private:
+  Duration lo_, hi_;
+  Rng rng_;
+};
+
+/// Direction-dependent delays: messages for which `classify(from, to)`
+/// returns true get `fast`, others get `slow`.  This is the standard
+/// skew-hiding adversary move (cf. the framed executions of Section 7.2:
+/// delays phi*T one way and (1-phi)*T the other).
+class DirectionalDelay final : public DelayPolicy {
+ public:
+  using Classifier = std::function<bool(NodeId from, NodeId to)>;
+  DirectionalDelay(Classifier classify, Duration fast, Duration slow)
+      : classify_(std::move(classify)), fast_(fast), slow_(slow) {}
+  RealTime delivery_time(NodeId from, NodeId to, RealTime send_time,
+                         const Simulator&) override {
+    return send_time + (classify_(from, to) ? fast_ : slow_);
+  }
+
+ private:
+  Classifier classify_;
+  Duration fast_, slow_;
+};
+
+/// Bimodal delays: mostly fast (`fast` with probability 1 - p_slow), with
+/// occasional worst-case excursions to `slow` — the shape of a congested
+/// but usually idle network.
+class BimodalDelay final : public DelayPolicy {
+ public:
+  BimodalDelay(Duration fast, Duration slow, double p_slow, std::uint64_t seed)
+      : fast_(fast), slow_(slow), p_slow_(p_slow), rng_(seed) {}
+  RealTime delivery_time(NodeId, NodeId, RealTime send_time,
+                         const Simulator&) override {
+    return send_time + (rng_.next_double() < p_slow_ ? slow_ : fast_);
+  }
+
+ private:
+  Duration fast_, slow_;
+  double p_slow_;
+  Rng rng_;
+};
+
+/// Burst delays: alternates between calm windows (delays ~ lo) and burst
+/// windows of length `burst_len` every `period` (delays ~ hi) — e.g.
+/// periodic bulk transfers saturating the links.
+class BurstDelay final : public DelayPolicy {
+ public:
+  BurstDelay(Duration lo, Duration hi, Duration period, Duration burst_len,
+             std::uint64_t seed)
+      : lo_(lo), hi_(hi), period_(period), burst_len_(burst_len), rng_(seed) {}
+  RealTime delivery_time(NodeId, NodeId, RealTime send_time,
+                         const Simulator&) override {
+    const double phase = send_time - period_ * std::floor(send_time / period_);
+    const bool burst = phase < burst_len_;
+    const double base = burst ? hi_ : lo_;
+    return send_time + rng_.uniform(0.8 * base, base);
+  }
+
+ private:
+  Duration lo_, hi_, period_, burst_len_;
+  Rng rng_;
+};
+
+/// Fully custom policy from a callable.
+class CallbackDelay final : public DelayPolicy {
+ public:
+  using Fn = std::function<RealTime(NodeId, NodeId, RealTime, const Simulator&)>;
+  explicit CallbackDelay(Fn fn) : fn_(std::move(fn)) {}
+  RealTime delivery_time(NodeId from, NodeId to, RealTime send_time,
+                         const Simulator& sim) override {
+    return fn_(from, to, send_time, sim);
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace tbcs::sim

@@ -1,0 +1,75 @@
+// The simulator's event queue: a binary heap ordered by (time, sequence
+// number), giving deterministic FIFO semantics for simultaneous events.
+//
+// Timer events carry a generation counter; re-arming or cancelling a timer
+// bumps the live generation so stale heap entries are skipped on pop (lazy
+// deletion).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/types.hpp"
+
+namespace tbcs::sim {
+
+enum class EventKind : std::uint8_t {
+  kMessageDelivery,  // `msg` delivered to `node`
+  kTimer,            // timer `slot` of `node` fires (if generation is live)
+  kRateChange,       // hardware clock rate of `node` changes to `rate`
+  kLinkChange,       // link {node, node2} goes up/down (dynamic topologies)
+  kProbe,            // periodic observer callback
+};
+
+struct Event {
+  RealTime time = 0.0;
+  std::uint64_t seq = 0;  // creation order; tie-breaker
+  EventKind kind = EventKind::kProbe;
+  NodeId node = kInvalidNode;
+  NodeId node2 = kInvalidNode;  // second endpoint for kLinkChange
+  bool link_up = true;          // target state for kLinkChange
+  int slot = 0;
+  std::uint64_t generation = 0;
+  double rate = 1.0;
+  bool rate_from_policy = true;  // injected rate changes do not re-poll the policy
+  Message msg;
+};
+
+class EventQueue {
+ public:
+  void push(Event e) {
+    e.seq = next_seq_++;
+    heap_.push_back(std::move(e));
+    std::push_heap(heap_.begin(), heap_.end(), After{});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  const Event& top() const { return heap_.front(); }
+
+  Event pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), After{});
+    Event e = std::move(heap_.back());
+    heap_.pop_back();
+    return e;
+  }
+
+  void clear() { heap_.clear(); }
+
+ private:
+  // Max-heap comparator inverted: true if a fires after b.
+  struct After {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace tbcs::sim

@@ -1,0 +1,37 @@
+// Synchronization messages.
+//
+// A^opt sends <L_v, L_v^max> (Algorithm 1).  Variants and baselines reuse
+// the same frame with the aux/tag fields, so the substrate needs a single
+// message type.
+#pragma once
+
+#include "sim/types.hpp"
+
+namespace tbcs::sim {
+
+struct Message {
+  /// Originating node (the model lets receivers distinguish neighbors,
+  /// e.g. via port numbers; we use ids).
+  NodeId sender = kInvalidNode;
+
+  /// The sender's logical clock value L_v at send time.
+  ClockValue logical = 0.0;
+
+  /// The sender's estimate L_v^max of the maximum clock value at send time.
+  ClockValue logical_max = 0.0;
+
+  /// Variant-specific extra payload (e.g. quantized deltas for the
+  /// bounded-bit codec of Section 6.2, or the real-time reference value in
+  /// external synchronization).
+  double aux = 0.0;
+
+  /// Variant-specific discriminator; 0 for plain A^opt messages.
+  int tag = 0;
+
+  /// Addressee for request/response exchanges (e.g. the ping/pong round
+  /// trips of Section 8.1); broadcasts that answer a specific node set
+  /// this, everyone else ignores the response part.
+  NodeId target = kInvalidNode;
+};
+
+}  // namespace tbcs::sim

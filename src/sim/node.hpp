@@ -1,0 +1,82 @@
+// The interface between a clock synchronization algorithm and the host
+// (simulator or threaded runtime).
+//
+// A node only ever observes its own hardware clock and incoming messages —
+// exactly the information available in the paper's model.  Real time, true
+// rates, and true delays are visible to the metrics layer but never to the
+// algorithm.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/message.hpp"
+#include "sim/types.hpp"
+
+namespace tbcs::sim {
+
+/// Host-provided services.  Valid only for the duration of the callback it
+/// is passed to.
+class NodeServices {
+ public:
+  virtual ~NodeServices() = default;
+
+  /// This node's identifier.
+  virtual NodeId id() const = 0;
+
+  /// H_v at the current event.
+  virtual ClockValue hardware_now() const = 0;
+
+  /// Sends a message to all physical neighbors (the model's communication
+  /// primitive; delays per message are chosen by the adversary).
+  virtual void broadcast(const Message& m) = 0;
+
+  /// Arms timer `slot` to fire when H_v reaches `hardware_target`.
+  /// Re-arming an armed slot replaces the previous target.  Targets in the
+  /// past fire immediately (at the current real time).
+  virtual void set_timer(int slot, ClockValue hardware_target) = 0;
+
+  /// Disarms timer `slot` (no-op if not armed).
+  virtual void cancel_timer(int slot) = 0;
+};
+
+/// Timer slots available to algorithms (per node).
+inline constexpr int kMaxTimerSlots = 6;
+
+/// A clock synchronization algorithm instance at one node.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Called once, when the node is initialized (t_v in the paper): either
+  /// spontaneously (`by_message == nullptr`, the flooding root) or by its
+  /// first incoming message, which is passed here instead of on_message().
+  /// The hardware clock starts at 0 at this instant.
+  virtual void on_wake(NodeServices& sv, const Message* by_message) = 0;
+
+  /// A message arrived (the node is already awake).
+  virtual void on_message(NodeServices& sv, const Message& m) = 0;
+
+  /// Timer `slot` fired (H_v reached the armed target).
+  virtual void on_timer(NodeServices& sv, int slot) = 0;
+
+  /// Dynamic topologies: the link to `neighbor` went up or down.  Nodes
+  /// learn their current neighborhood (the model of gradient clock
+  /// synchronization in dynamic networks); default: ignore.
+  virtual void on_link_change(NodeServices& sv, NodeId neighbor, bool up) {
+    (void)sv;
+    (void)neighbor;
+    (void)up;
+  }
+
+  /// Observability hook for the metrics layer: the logical clock value
+  /// L_v given the current hardware clock reading.  Must be consistent
+  /// with the state as of the node's last event (all logical clocks are
+  /// piecewise linear in H between events).
+  virtual ClockValue logical_at(ClockValue hardware_now) const = 0;
+
+  /// Current logical rate multiplier rho_v (1 or 1 + mu for A^opt);
+  /// used to audit Condition (2).
+  virtual double rate_multiplier() const = 0;
+};
+
+}  // namespace tbcs::sim

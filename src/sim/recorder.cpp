@@ -1,0 +1,142 @@
+#include "sim/recorder.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace tbcs::sim {
+
+namespace {
+constexpr char kMagic[] = "tbcs-execution-log v1";
+}
+
+// ---- serialization -----------------------------------------------------------
+
+void ExecutionLog::save(std::ostream& os) const {
+  os.precision(17);
+  os << kMagic << '\n';
+  os << "rates " << initial_rates.size() << '\n';
+  for (const double r : initial_rates) os << r << '\n';
+  os << "rate_events " << rate_events.size() << '\n';
+  for (const auto& e : rate_events) {
+    os << e.node << ' ' << e.at << ' ' << e.rate << '\n';
+  }
+  os << "deliveries " << deliveries.size() << '\n';
+  for (const auto& d : deliveries) {
+    os << d.from << ' ' << d.to << ' ' << d.send << ' ' << d.recv << '\n';
+  }
+}
+
+ExecutionLog ExecutionLog::load(std::istream& is) {
+  const auto fail = [](const std::string& what) -> ExecutionLog {
+    throw std::runtime_error("ExecutionLog::load: " + what);
+  };
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) {
+    return fail("bad magic line");
+  }
+  ExecutionLog log;
+  std::string keyword;
+  std::size_t count = 0;
+
+  if (!(is >> keyword >> count) || keyword != "rates") return fail("rates");
+  log.initial_rates.resize(count);
+  for (auto& r : log.initial_rates) {
+    if (!(is >> r)) return fail("rate value");
+  }
+
+  if (!(is >> keyword >> count) || keyword != "rate_events") {
+    return fail("rate_events");
+  }
+  log.rate_events.resize(count);
+  for (auto& e : log.rate_events) {
+    if (!(is >> e.node >> e.at >> e.rate)) return fail("rate event");
+  }
+
+  if (!(is >> keyword >> count) || keyword != "deliveries") {
+    return fail("deliveries");
+  }
+  log.deliveries.resize(count);
+  for (auto& d : log.deliveries) {
+    if (!(is >> d.from >> d.to >> d.send >> d.recv)) return fail("delivery");
+  }
+  return log;
+}
+
+// ---- recording ------------------------------------------------------------------
+
+double RecordingDriftPolicy::initial_rate(NodeId v) {
+  const double rate = inner_->initial_rate(v);
+  auto& rates = log_->initial_rates;
+  if (rates.size() <= static_cast<std::size_t>(v)) {
+    rates.resize(static_cast<std::size_t>(v) + 1, 1.0);
+  }
+  rates[static_cast<std::size_t>(v)] = rate;
+  return rate;
+}
+
+std::optional<RateStep> RecordingDriftPolicy::next_change(NodeId v,
+                                                          RealTime now) {
+  const auto step = inner_->next_change(v, now);
+  if (step) log_->rate_events.push_back({v, step->at, step->rate});
+  return step;
+}
+
+RealTime RecordingDelayPolicy::delivery_time(NodeId from, NodeId to,
+                                             RealTime send_time,
+                                             const Simulator& sim) {
+  const RealTime recv = inner_->delivery_time(from, to, send_time, sim);
+  log_->deliveries.push_back({from, to, send_time, recv});
+  return recv;
+}
+
+// ---- replay ---------------------------------------------------------------------
+
+ReplayDriftPolicy::ReplayDriftPolicy(std::shared_ptr<const ExecutionLog> log)
+    : log_(std::move(log)) {
+  for (const auto& e : log_->rate_events) pending_[e.node].push_back(e);
+}
+
+double ReplayDriftPolicy::initial_rate(NodeId v) {
+  const auto idx = static_cast<std::size_t>(v);
+  if (idx >= log_->initial_rates.size()) return 1.0;
+  return log_->initial_rates[idx];
+}
+
+std::optional<RateStep> ReplayDriftPolicy::next_change(NodeId v, RealTime) {
+  auto it = pending_.find(v);
+  if (it == pending_.end() || it->second.empty()) return std::nullopt;
+  const auto e = it->second.front();
+  it->second.pop_front();
+  return RateStep{e.at, e.rate};
+}
+
+ReplayDelayPolicy::ReplayDelayPolicy(std::shared_ptr<const ExecutionLog> log,
+                                     double tolerance)
+    : log_(std::move(log)), tolerance_(tolerance) {
+  for (const auto& d : log_->deliveries) {
+    pending_[{d.from, d.to}].push_back(d);
+  }
+}
+
+RealTime ReplayDelayPolicy::delivery_time(NodeId from, NodeId to,
+                                          RealTime send_time,
+                                          const Simulator&) {
+  auto it = pending_.find({from, to});
+  if (it == pending_.end() || it->second.empty()) {
+    throw ReplayMismatch("replay ran out of recorded deliveries on edge " +
+                         std::to_string(from) + "->" + std::to_string(to));
+  }
+  const auto d = it->second.front();
+  it->second.pop_front();
+  if (std::abs(d.send - send_time) > tolerance_) {
+    throw ReplayMismatch(
+        "send time diverged on edge " + std::to_string(from) + "->" +
+        std::to_string(to) + ": recorded " + std::to_string(d.send) +
+        ", replayed " + std::to_string(send_time));
+  }
+  return d.recv;
+}
+
+}  // namespace tbcs::sim

@@ -1,0 +1,125 @@
+// Execution recording and replay.
+//
+// An execution is fully determined by the initial hardware rates, the
+// rate-change schedule, and each message's delivery time.  Recording
+// policies wrap any drift/delay policy and capture those decisions; a
+// replay policy reproduces them exactly — so an adversarial execution
+// found by randomized search (or reported by a user) can be saved to a
+// file and re-run deterministically, independent of the RNG state that
+// produced it.
+//
+// Replay assumes the same algorithm and topology: the sequence of sends
+// per directed edge must match the recording (delivery times are matched
+// FIFO per edge; a send-time divergence beyond the tolerance throws
+// ReplayMismatch — which is itself useful, as a cheap detector that a
+// code change altered behavior under a pinned adversary).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/delay_policy.hpp"
+#include "sim/drift_policy.hpp"
+
+namespace tbcs::sim {
+
+struct ExecutionLog {
+  struct RateEvent {
+    NodeId node = kInvalidNode;
+    RealTime at = 0.0;
+    double rate = 1.0;
+    bool operator==(const RateEvent&) const = default;
+  };
+  struct DeliveryEvent {
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    RealTime send = 0.0;
+    RealTime recv = 0.0;
+    bool operator==(const DeliveryEvent&) const = default;
+  };
+
+  std::vector<double> initial_rates;  // indexed by node id
+  std::vector<RateEvent> rate_events;
+  std::vector<DeliveryEvent> deliveries;
+
+  void save(std::ostream& os) const;
+  static ExecutionLog load(std::istream& is);  // throws std::runtime_error
+
+  bool operator==(const ExecutionLog&) const = default;
+};
+
+/// Thrown by ReplayDelayPolicy when the replayed run diverges from the
+/// recorded one (different send pattern).
+class ReplayMismatch : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Wraps a drift policy, recording everything into `log`.
+class RecordingDriftPolicy final : public DriftPolicy {
+ public:
+  RecordingDriftPolicy(std::shared_ptr<DriftPolicy> inner,
+                       std::shared_ptr<ExecutionLog> log)
+      : inner_(std::move(inner)), log_(std::move(log)) {}
+
+  double initial_rate(NodeId v) override;
+  std::optional<RateStep> next_change(NodeId v, RealTime now) override;
+
+ private:
+  std::shared_ptr<DriftPolicy> inner_;
+  std::shared_ptr<ExecutionLog> log_;
+};
+
+/// Wraps a delay policy, recording every delivery into `log`.
+class RecordingDelayPolicy final : public DelayPolicy {
+ public:
+  RecordingDelayPolicy(std::shared_ptr<DelayPolicy> inner,
+                       std::shared_ptr<ExecutionLog> log)
+      : inner_(std::move(inner)), log_(std::move(log)) {}
+
+  RealTime delivery_time(NodeId from, NodeId to, RealTime send_time,
+                         const Simulator& sim) override;
+
+ private:
+  std::shared_ptr<DelayPolicy> inner_;
+  std::shared_ptr<ExecutionLog> log_;
+};
+
+/// Replays the recorded rate schedule.
+class ReplayDriftPolicy final : public DriftPolicy {
+ public:
+  explicit ReplayDriftPolicy(std::shared_ptr<const ExecutionLog> log);
+
+  double initial_rate(NodeId v) override;
+  std::optional<RateStep> next_change(NodeId v, RealTime now) override;
+
+ private:
+  std::shared_ptr<const ExecutionLog> log_;
+  std::map<NodeId, std::deque<ExecutionLog::RateEvent>> pending_;
+};
+
+/// Replays the recorded per-edge delivery times (FIFO per directed edge).
+class ReplayDelayPolicy final : public DelayPolicy {
+ public:
+  /// `tolerance`: allowed |send_time - recorded send| before declaring a
+  /// mismatch.
+  explicit ReplayDelayPolicy(std::shared_ptr<const ExecutionLog> log,
+                             double tolerance = 1e-6);
+
+  RealTime delivery_time(NodeId from, NodeId to, RealTime send_time,
+                         const Simulator& sim) override;
+
+ private:
+  std::shared_ptr<const ExecutionLog> log_;
+  double tolerance_;
+  std::map<std::pair<NodeId, NodeId>, std::deque<ExecutionLog::DeliveryEvent>>
+      pending_;
+};
+
+}  // namespace tbcs::sim

@@ -1,0 +1,302 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace tbcs::sim {
+
+// NodeServices implementation handed to node callbacks; thin proxy onto the
+// simulator with the calling node pinned.
+class Simulator::ServicesImpl final : public NodeServices {
+ public:
+  ServicesImpl(Simulator& sim, NodeId v) : sim_(sim), v_(v) {}
+
+  NodeId id() const override { return v_; }
+  ClockValue hardware_now() const override {
+    return sim_.per_node_[static_cast<std::size_t>(v_)].clock.value_at(sim_.now_);
+  }
+  void broadcast(const Message& m) override { sim_.do_broadcast(v_, m); }
+  void set_timer(int slot, ClockValue target) override {
+    sim_.arm_timer(v_, slot, target);
+  }
+  void cancel_timer(int slot) override { sim_.disarm_timer(v_, slot); }
+
+ private:
+  Simulator& sim_;
+  NodeId v_;
+};
+
+namespace {
+std::uint64_t edge_key(NodeId u, NodeId v) {
+  const auto lo = static_cast<std::uint64_t>(std::min(u, v));
+  const auto hi = static_cast<std::uint64_t>(std::max(u, v));
+  return (lo << 32) | hi;
+}
+}  // namespace
+
+Simulator::Simulator(const graph::Graph& g, SimConfig cfg)
+    : graph_(g),
+      cfg_(cfg),
+      per_node_(static_cast<std::size_t>(g.num_nodes())),
+      link_up_(g.num_edges(), true),
+      drift_(std::make_shared<ConstantDrift>(1.0)),
+      delay_(std::make_shared<FixedDelay>(0.0)) {
+  edge_index_.reserve(g.num_edges());
+  for (std::size_t i = 0; i < g.edges().size(); ++i) {
+    edge_index_[edge_key(g.edges()[i].first, g.edges()[i].second)] = i;
+  }
+}
+
+Simulator::~Simulator() = default;
+
+void Simulator::set_node(NodeId v, std::unique_ptr<Node> node) {
+  assert(!setup_done_ && "nodes must be installed before the first run");
+  per_node_[static_cast<std::size_t>(v)].node = std::move(node);
+}
+
+void Simulator::set_all_nodes(
+    const std::function<std::unique_ptr<Node>(NodeId)>& factory) {
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) set_node(v, factory(v));
+}
+
+void Simulator::set_drift_policy(std::shared_ptr<DriftPolicy> policy) {
+  assert(!setup_done_);
+  drift_ = std::move(policy);
+}
+
+void Simulator::set_delay_policy(std::shared_ptr<DelayPolicy> policy) {
+  delay_ = std::move(policy);
+}
+
+void Simulator::set_observer(Observer observer) { observer_ = std::move(observer); }
+
+ClockValue Simulator::logical(NodeId v) const {
+  const PerNode& pn = per_node_[static_cast<std::size_t>(v)];
+  if (!pn.awake) return 0.0;
+  return pn.node->logical_at(pn.clock.value_at(now_));
+}
+
+void Simulator::setup() {
+  if (setup_done_) return;
+  setup_done_ = true;
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    PerNode& pn = per_node_[static_cast<std::size_t>(v)];
+    if (!pn.node) {
+      throw std::logic_error("Simulator: node " + std::to_string(v) +
+                             " has no algorithm installed");
+    }
+    pn.clock.set_rate(0.0, drift_->initial_rate(v));
+    schedule_next_rate_change(v, 0.0);
+  }
+  if (cfg_.wake_all_at_zero) {
+    for (NodeId v = 0; v < graph_.num_nodes(); ++v) wake_node(v, nullptr);
+  } else {
+    wake_node(cfg_.root, nullptr);
+    for (const NodeId v : cfg_.extra_roots) {
+      if (!per_node_[static_cast<std::size_t>(v)].awake) wake_node(v, nullptr);
+    }
+  }
+  if (cfg_.probe_interval > 0.0) {
+    Event probe;
+    probe.time = cfg_.probe_interval;
+    probe.kind = EventKind::kProbe;
+    queue_.push(probe);
+  }
+}
+
+void Simulator::run_until(RealTime t_end) {
+  setup();
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    Event e = queue_.pop();
+    assert(e.time >= now_ - kTimeTolerance && "event queue went backwards");
+    now_ = std::max(now_, e.time);
+    process(e);
+  }
+  now_ = std::max(now_, t_end);
+}
+
+void Simulator::process(Event& e) {
+  ++events_processed_;
+  bool observable = true;
+  switch (e.kind) {
+    case EventKind::kMessageDelivery: {
+      if (!link_up(e.msg.sender, e.node)) {
+        ++messages_dropped_;  // the link went down while in flight
+        observable = false;
+        break;
+      }
+      ++messages_delivered_;
+      PerNode& pn = per_node_[static_cast<std::size_t>(e.node)];
+      if (!pn.awake) {
+        wake_node(e.node, &e.msg);
+      } else {
+        ServicesImpl sv(*this, e.node);
+        pn.node->on_message(sv, e.msg);
+      }
+      break;
+    }
+    case EventKind::kTimer: {
+      PerNode& pn = per_node_[static_cast<std::size_t>(e.node)];
+      TimerState& ts = pn.timers[e.slot];
+      if (!ts.armed || ts.generation != e.generation) {
+        observable = false;  // stale heap entry (lazy deletion)
+        break;
+      }
+      ts.armed = false;
+      ServicesImpl sv(*this, e.node);
+      pn.node->on_timer(sv, e.slot);
+      break;
+    }
+    case EventKind::kRateChange: {
+      apply_rate_change(e.node, e.rate);
+      if (e.rate_from_policy) schedule_next_rate_change(e.node, e.time);
+      break;
+    }
+    case EventKind::kLinkChange: {
+      apply_link_change(e.node, e.node2, e.link_up);
+      break;
+    }
+    case EventKind::kProbe: {
+      Event probe;
+      probe.time = e.time + cfg_.probe_interval;
+      probe.kind = EventKind::kProbe;
+      queue_.push(probe);
+      break;
+    }
+  }
+  if (observable && observer_) observer_(*this, now_);
+}
+
+void Simulator::schedule_rate_change(NodeId v, RealTime at, double rate) {
+  assert(at >= now_ - kTimeTolerance);
+  Event e;
+  e.time = std::max(at, now_);
+  e.kind = EventKind::kRateChange;
+  e.node = v;
+  e.rate = rate;
+  e.rate_from_policy = false;
+  queue_.push(e);
+}
+
+void Simulator::wake_node(NodeId v, const Message* trigger) {
+  PerNode& pn = per_node_[static_cast<std::size_t>(v)];
+  assert(!pn.awake);
+  pn.awake = true;
+  pn.clock.start(now_);
+  ServicesImpl sv(*this, v);
+  pn.node->on_wake(sv, trigger);
+}
+
+std::size_t Simulator::edge_index(NodeId u, NodeId v) const {
+  const auto it = edge_index_.find(edge_key(u, v));
+  assert(it != edge_index_.end() && "no such edge");
+  return it->second;
+}
+
+bool Simulator::link_up(NodeId u, NodeId v) const {
+  return link_up_[edge_index(u, v)];
+}
+
+void Simulator::schedule_link_change(NodeId u, NodeId v, bool up, RealTime at) {
+  assert(at >= now_ - kTimeTolerance);
+  edge_index(u, v);  // validates the edge exists
+  Event e;
+  e.time = std::max(at, now_);
+  e.kind = EventKind::kLinkChange;
+  e.node = u;
+  e.node2 = v;
+  e.link_up = up;
+  queue_.push(e);
+}
+
+void Simulator::schedule_crash(NodeId v, RealTime at) {
+  for (const NodeId u : graph_.neighbors(v)) {
+    schedule_link_change(v, u, false, at);
+  }
+}
+
+void Simulator::apply_link_change(NodeId u, NodeId v, bool up) {
+  auto state = link_up_[edge_index(u, v)];
+  if (state == up) return;  // no-op flip
+  link_up_[edge_index(u, v)] = up;
+  for (const NodeId endpoint : {u, v}) {
+    PerNode& pn = per_node_[static_cast<std::size_t>(endpoint)];
+    if (!pn.awake) continue;
+    ServicesImpl sv(*this, endpoint);
+    pn.node->on_link_change(sv, endpoint == u ? v : u, up);
+  }
+}
+
+void Simulator::do_broadcast(NodeId v, const Message& m) {
+  ++broadcasts_;
+  for (const NodeId u : graph_.neighbors(v)) {
+    if (!link_up_[edge_index(v, u)]) continue;  // link currently down
+    const RealTime t_recv = delay_->delivery_time(v, u, now_, *this);
+    assert(t_recv >= now_ - kTimeTolerance && "negative message delay");
+    Event e;
+    e.time = std::max(t_recv, now_);
+    e.kind = EventKind::kMessageDelivery;
+    e.node = u;
+    e.msg = m;
+    queue_.push(e);
+  }
+}
+
+void Simulator::arm_timer(NodeId v, int slot, ClockValue target) {
+  assert(slot >= 0 && slot < kMaxTimerSlots);
+  TimerState& ts = per_node_[static_cast<std::size_t>(v)].timers[slot];
+  ts.target = target;
+  ts.armed = true;
+  ++ts.generation;
+  schedule_timer_event(v, slot);
+}
+
+void Simulator::disarm_timer(NodeId v, int slot) {
+  assert(slot >= 0 && slot < kMaxTimerSlots);
+  TimerState& ts = per_node_[static_cast<std::size_t>(v)].timers[slot];
+  ts.armed = false;
+  ++ts.generation;
+}
+
+void Simulator::schedule_timer_event(NodeId v, int slot) {
+  const PerNode& pn = per_node_[static_cast<std::size_t>(v)];
+  const TimerState& ts = pn.timers[slot];
+  assert(ts.armed);
+  assert(pn.clock.started() && "timers require a started clock");
+  Event e;
+  e.time = pn.clock.time_when_reaches(ts.target, now_);
+  e.kind = EventKind::kTimer;
+  e.node = v;
+  e.slot = slot;
+  e.generation = ts.generation;
+  queue_.push(e);
+}
+
+void Simulator::apply_rate_change(NodeId v, double rate) {
+  PerNode& pn = per_node_[static_cast<std::size_t>(v)];
+  pn.clock.set_rate(now_, rate);
+  if (!pn.awake) return;
+  // Re-anchor all armed hardware-time timers onto the new rate.
+  for (int slot = 0; slot < kMaxTimerSlots; ++slot) {
+    TimerState& ts = pn.timers[slot];
+    if (!ts.armed) continue;
+    ++ts.generation;  // invalidate the stale heap entry
+    schedule_timer_event(v, slot);
+  }
+}
+
+void Simulator::schedule_next_rate_change(NodeId v, RealTime now) {
+  if (auto step = drift_->next_change(v, now)) {
+    assert(step->at >= now - kTimeTolerance);
+    Event e;
+    e.time = std::max(step->at, now);
+    e.kind = EventKind::kRateChange;
+    e.node = v;
+    e.rate = step->rate;
+    queue_.push(e);
+  }
+}
+
+}  // namespace tbcs::sim

@@ -1,0 +1,172 @@
+// Discrete-event simulator for the paper's distributed-system model
+// (Section 3).
+//
+// The simulator owns, per node: the algorithm instance (Node), the
+// drifting hardware clock, and the armed timers.  An execution E — the
+// complete specification of all hardware clock rates and message delays —
+// is given by a DriftPolicy plus a DelayPolicy; running the same policies
+// with the same seeds reproduces the same execution exactly.
+//
+// Between events every clock is linear in real time, so observers invoked
+// at event boundaries see the exact extrema of all skew processes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/delay_policy.hpp"
+#include "sim/drift_policy.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/hardware_clock.hpp"
+#include "sim/node.hpp"
+#include "sim/types.hpp"
+
+namespace tbcs::sim {
+
+struct SimConfig {
+  /// If true, all nodes are initialized spontaneously at t = 0 (the
+  /// convention of the lower-bound proofs, Section 7: "all nodes are
+  /// initialized at time 0").  If false, only `root` wakes at t = 0 and
+  /// the rest are woken by the initialization flood (Section 4.2).
+  bool wake_all_at_zero = false;
+
+  /// The spontaneously waking node when flooding initialization is used.
+  graph::NodeId root = 0;
+
+  /// Additional nodes that wake spontaneously at t = 0 ("any node waking
+  /// up by itself simply sets L^max := 0 and sends <0,0>", Section 4.2):
+  /// several independent initialization floods that merge.
+  std::vector<graph::NodeId> extra_roots;
+
+  /// If > 0, a probe event fires every `probe_interval` so observers get
+  /// called even during event-free stretches.
+  Duration probe_interval = 0.0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const graph::Graph& g, SimConfig cfg = {});
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // ---- setup -------------------------------------------------------------
+
+  void set_node(NodeId v, std::unique_ptr<Node> node);
+
+  /// Convenience: installs factory(v) at every node.
+  void set_all_nodes(const std::function<std::unique_ptr<Node>(NodeId)>& factory);
+
+  void set_drift_policy(std::shared_ptr<DriftPolicy> policy);
+  void set_delay_policy(std::shared_ptr<DelayPolicy> policy);
+
+  /// Called after every processed event (and probe) with the current time.
+  using Observer = std::function<void(const Simulator&, RealTime)>;
+  void set_observer(Observer observer);
+
+  // ---- execution ----------------------------------------------------------
+
+  /// Processes all events up to and including time t_end.  May be called
+  /// repeatedly with increasing horizons.
+  void run_until(RealTime t_end);
+
+  /// Injects a one-off hardware rate change at a future time, independent
+  /// of the drift policy.  Used by adversary controllers (Section 7
+  /// constructions) that steer executions adaptively between run_until
+  /// calls.
+  void schedule_rate_change(NodeId v, RealTime at, double rate);
+
+  // ---- dynamic topologies ---------------------------------------------------
+  //
+  // The graph is the set of *possible* links; each can be up or down (all
+  // start up).  A message is delivered only if its link is up at delivery
+  // time — messages in flight across a downed link are lost.  Both
+  // endpoints get an on_link_change() callback when the state flips.
+
+  /// Schedules the link {u, v} (which must exist in the graph) to change
+  /// state at time `at`.
+  void schedule_link_change(NodeId u, NodeId v, bool up, RealTime at);
+
+  bool link_up(NodeId u, NodeId v) const;
+
+  /// Crash-stop failure injection: downs all of v's links at time `at`
+  /// (the node's clock keeps running but it is cut off from the network
+  /// — indistinguishable from a crash to every other node).
+  void schedule_crash(NodeId v, RealTime at);
+
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+
+  // ---- inspection (metrics layer; not visible to algorithms) --------------
+
+  RealTime now() const { return now_; }
+  const graph::Graph& topology() const { return graph_; }
+  NodeId num_nodes() const { return graph_.num_nodes(); }
+
+  bool awake(NodeId v) const { return per_node_[static_cast<std::size_t>(v)].awake; }
+  const HardwareClock& clock(NodeId v) const {
+    return per_node_[static_cast<std::size_t>(v)].clock;
+  }
+  /// H_v(now).
+  ClockValue hardware(NodeId v) const { return clock(v).value_at(now_); }
+  /// L_v(now); 0 for nodes that have not been initialized yet.
+  ClockValue logical(NodeId v) const;
+
+  const Node& node(NodeId v) const { return *per_node_[static_cast<std::size_t>(v)].node; }
+  Node& node_mutable(NodeId v) { return *per_node_[static_cast<std::size_t>(v)].node; }
+
+  std::uint64_t broadcasts() const { return broadcasts_; }
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct TimerState {
+    ClockValue target = 0.0;
+    std::uint64_t generation = 0;
+    bool armed = false;
+  };
+
+  struct PerNode {
+    std::unique_ptr<Node> node;
+    HardwareClock clock;
+    TimerState timers[kMaxTimerSlots];
+    bool awake = false;
+  };
+
+  class ServicesImpl;
+  friend class ServicesImpl;
+
+  void setup();
+  void process(Event& e);
+  void wake_node(NodeId v, const Message* trigger);
+  void do_broadcast(NodeId v, const Message& m);
+  std::size_t edge_index(NodeId u, NodeId v) const;
+  void apply_link_change(NodeId u, NodeId v, bool up);
+  void arm_timer(NodeId v, int slot, ClockValue target);
+  void disarm_timer(NodeId v, int slot);
+  void schedule_timer_event(NodeId v, int slot);
+  void apply_rate_change(NodeId v, double rate);
+  void schedule_next_rate_change(NodeId v, RealTime now);
+
+  const graph::Graph& graph_;
+  SimConfig cfg_;
+  std::vector<PerNode> per_node_;
+  std::vector<bool> link_up_;  // parallel to graph_.edges()
+  std::unordered_map<std::uint64_t, std::size_t> edge_index_;
+  std::shared_ptr<DriftPolicy> drift_;
+  std::shared_ptr<DelayPolicy> delay_;
+  Observer observer_;
+  EventQueue queue_;
+  RealTime now_ = 0.0;
+  bool setup_done_ = false;
+  std::uint64_t broadcasts_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace tbcs::sim

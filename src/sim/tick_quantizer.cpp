@@ -1,0 +1,101 @@
+#include "sim/tick_quantizer.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace tbcs::sim {
+
+namespace {
+// Hardware values sit within one ulp of tick boundaries after the timer
+// math round-trips; nudge before flooring so exact boundaries stay exact.
+constexpr double kGrid = 1e-9;
+}  // namespace
+
+// Services proxy: quantizes the clock reading and rounds timer targets up
+// to tick boundaries before delegating to the host.
+class TickQuantizedNode::TickServices final : public NodeServices {
+ public:
+  TickServices(const TickQuantizedNode& owner, NodeServices& host)
+      : owner_(owner), host_(host) {}
+
+  NodeId id() const override { return host_.id(); }
+  ClockValue hardware_now() const override {
+    return owner_.quantize(host_.hardware_now());
+  }
+  void broadcast(const Message& m) override { host_.broadcast(m); }
+  void set_timer(int slot, ClockValue target) override {
+    assert(slot < kTickSlot && "last slot is reserved for the tick scheduler");
+    // Round the target up to the next tick boundary (on-grid targets stay).
+    const double f = 1.0 / owner_.tick_length();
+    host_.set_timer(slot, std::ceil(target * f - kGrid) / f);
+  }
+  void cancel_timer(int slot) override { host_.cancel_timer(slot); }
+
+ private:
+  const TickQuantizedNode& owner_;
+  NodeServices& host_;
+};
+
+TickQuantizedNode::TickQuantizedNode(std::unique_ptr<Node> inner,
+                                     double frequency)
+    : inner_(std::move(inner)), frequency_(frequency) {
+  assert(frequency_ > 0.0);
+}
+
+ClockValue TickQuantizedNode::quantize(ClockValue h) const {
+  return std::floor(h * frequency_ + kGrid) / frequency_;
+}
+
+ClockValue TickQuantizedNode::next_tick_after(ClockValue h) const {
+  return (std::floor(h * frequency_ + kGrid) + 1.0) / frequency_;
+}
+
+void TickQuantizedNode::on_wake(NodeServices& sv, const Message* by_message) {
+  // Waking is itself an action; the model starts the clock at tick 0, so
+  // the wake-up processing happens on-grid already (H = 0).
+  TickServices ts(*this, sv);
+  inner_->on_wake(ts, by_message);
+}
+
+void TickQuantizedNode::on_message(NodeServices& sv, const Message& m) {
+  // Buffer until the next tick: recipients "can act upon" a message only
+  // at a tick boundary.
+  pending_.push_back(m);
+  if (!tick_armed_) {
+    sv.set_timer(kTickSlot, next_tick_after(sv.hardware_now()));
+    tick_armed_ = true;
+  }
+}
+
+void TickQuantizedNode::drain(NodeServices& sv) {
+  TickServices ts(*this, sv);
+  std::vector<Message> batch;
+  batch.swap(pending_);
+  for (const Message& m : batch) inner_->on_message(ts, m);
+}
+
+void TickQuantizedNode::on_timer(NodeServices& sv, int slot) {
+  if (slot == kTickSlot) {
+    tick_armed_ = false;
+    drain(sv);
+    return;
+  }
+  TickServices ts(*this, sv);
+  inner_->on_timer(ts, slot);
+}
+
+void TickQuantizedNode::on_link_change(NodeServices& sv, NodeId neighbor,
+                                       bool up) {
+  TickServices ts(*this, sv);
+  inner_->on_link_change(ts, neighbor, up);
+}
+
+ClockValue TickQuantizedNode::logical_at(ClockValue hardware_now) const {
+  return inner_->logical_at(quantize(hardware_now));
+}
+
+double TickQuantizedNode::rate_multiplier() const {
+  return inner_->rate_multiplier();
+}
+
+}  // namespace tbcs::sim

@@ -1,0 +1,40 @@
+// Basic types shared across the simulation substrate.
+//
+// Conventions used throughout the library:
+//  * Real time ("t" in the paper) is a double in arbitrary units; all
+//    experiments use the delay uncertainty T as the unit (T = 1).
+//  * Hardware clock values H_v(t) and logical clock values L_v(t) are
+//    doubles in the same unit.
+//  * Node identifiers are dense integers [0, n).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tbcs::sim {
+
+/// Dense node identifier.
+using NodeId = std::int32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Real (Newtonian) time, in units of the delay uncertainty by convention.
+using RealTime = double;
+
+/// A duration of real time.
+using Duration = double;
+
+/// A hardware- or logical-clock value.
+using ClockValue = double;
+
+/// Positive infinity, used for "never" deadlines.
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Comparison tolerance used when checking analytic identities that are
+/// exact in real arithmetic but accumulate rounding in double arithmetic.
+/// All simulated quantities are O(10^6) at most, so 1e-6 absolute slack is
+/// ~1e3 ulps of headroom without masking real logic errors.
+inline constexpr double kTimeTolerance = 1e-6;
+
+}  // namespace tbcs::sim

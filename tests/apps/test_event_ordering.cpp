@@ -1,0 +1,121 @@
+#include "apps/event_ordering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/aopt.hpp"
+#include "graph/topologies.hpp"
+#include "sim/simulator.hpp"
+
+namespace tbcs::apps {
+namespace {
+
+OrderingCertifier make_certifier() {
+  const core::SyncParams params = core::SyncParams::recommended(1.0, 0.01);
+  return OrderingCertifier(params, 64, 0.01, 1.0);
+}
+
+TEST(OrderingCertifier, SameNodeIsExact) {
+  const auto c = make_certifier();
+  EXPECT_DOUBLE_EQ(c.skew_bound(0), 0.0);
+  EXPECT_EQ(c.order({1.0, 0}, {1.0001, 0}, 0), Order::kDefinitelyBefore);
+  EXPECT_EQ(c.order({1.0001, 0}, {1.0, 0}, 0), Order::kDefinitelyAfter);
+}
+
+TEST(OrderingCertifier, NeighborGranularityIsTheLocalBound) {
+  const core::SyncParams params = core::SyncParams::recommended(1.0, 0.01);
+  const OrderingCertifier c(params, 64, 0.01, 1.0);
+  EXPECT_DOUBLE_EQ(c.skew_bound(1),
+                   params.distance_skew_bound(1, 64, 0.01, 1.0));
+  const double bound = c.skew_bound(1);
+  EXPECT_EQ(c.order({0.0, 0}, {bound + 0.01, 1}, 1), Order::kDefinitelyBefore);
+  EXPECT_EQ(c.order({0.0, 0}, {bound - 0.01, 1}, 1), Order::kConcurrent);
+}
+
+TEST(OrderingCertifier, GranularityGrowsWithDistance) {
+  const auto c = make_certifier();
+  double prev = c.certifiable_granularity(1);
+  for (const int d : {2, 4, 8, 16, 32, 64}) {
+    const double g = c.certifiable_granularity(d);
+    EXPECT_GE(g, prev - 1e-9) << "farther pairs need coarser certificates";
+    prev = g;
+  }
+}
+
+TEST(OrderingCertifier, DistanceCapsAtDiameter) {
+  const auto c = make_certifier();
+  EXPECT_DOUBLE_EQ(c.skew_bound(64), c.skew_bound(1000));
+}
+
+TEST(OrderingCertifier, RejectsBadProperties) {
+  const core::SyncParams params = core::SyncParams::recommended(1.0, 0.01);
+  EXPECT_THROW(OrderingCertifier(params, 0, 0.01, 1.0), std::invalid_argument);
+  EXPECT_THROW(OrderingCertifier(params, 8, -1.0, 1.0), std::invalid_argument);
+}
+
+TEST(OrderingIntegration, CertificatesNeverLieUnderSimulation) {
+  // Run A^opt, record (real time, logical time) samples per node, then
+  // check soundness: whenever the certifier says "definitely before", the
+  // real times must agree.  (Completeness — how many pairs are
+  // certifiable — depends on the actual skew being far below the bound.)
+  const double t = 1.0;
+  const double eps = 0.02;
+  const core::SyncParams params = core::SyncParams::recommended(t, eps);
+  const auto g = graph::make_path(12);
+  const auto distances = g.all_pairs_distances();
+  const OrderingCertifier certifier(params, g.diameter(), eps, t);
+
+  sim::SimConfig cfg;
+  cfg.probe_interval = 3.1;
+  sim::Simulator sim(g, cfg);
+  sim.set_all_nodes(
+      [&params](sim::NodeId) { return std::make_unique<core::AoptNode>(params); });
+  sim.set_drift_policy(std::make_shared<sim::RandomWalkDrift>(eps, 8.0, 3));
+  sim.set_delay_policy(std::make_shared<sim::UniformDelay>(0.0, t, 5));
+
+  struct Sample {
+    double real;
+    double logical;
+    int node;
+  };
+  std::vector<Sample> samples;
+  sim.set_observer([&samples](const sim::Simulator& s, double now) {
+    for (sim::NodeId v = 0; v < s.num_nodes(); ++v) {
+      if (s.awake(v)) {
+        samples.push_back({now, s.logical(v), static_cast<int>(v)});
+      }
+    }
+  });
+  sim.run_until(400.0);
+  ASSERT_GT(samples.size(), 1000u);
+
+  int certified = 0;
+  int checked = 0;
+  // Subsample pairs (quadratic otherwise).
+  for (std::size_t i = 0; i < samples.size(); i += 97) {
+    for (std::size_t j = i + 1; j < samples.size(); j += 131) {
+      const auto& a = samples[i];
+      const auto& b = samples[j];
+      const int dist = distances[static_cast<std::size_t>(a.node)]
+                                [static_cast<std::size_t>(b.node)];
+      ++checked;
+      const Order o = certifier.order({a.logical, a.node}, {b.logical, b.node},
+                                      dist);
+      if (o == Order::kDefinitelyBefore) {
+        ++certified;
+        EXPECT_LE(a.real, b.real + 1e-9)
+            << "certificate contradicted by real time";
+      } else if (o == Order::kDefinitelyAfter) {
+        ++certified;
+        EXPECT_GE(a.real + 1e-9, b.real);
+      }
+    }
+  }
+  EXPECT_GT(checked, 100);
+  EXPECT_GT(certified, 0) << "some pairs must be certifiable";
+}
+
+}  // namespace
+}  // namespace tbcs::apps

@@ -1,0 +1,130 @@
+#include "apps/tdma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/aopt.hpp"
+#include "graph/topologies.hpp"
+#include "sim/simulator.hpp"
+
+namespace tbcs::apps {
+namespace {
+
+TEST(TdmaSchedule, GeometryBasics) {
+  TdmaSchedule s(4, 10.0, 1.0);
+  EXPECT_EQ(s.num_slots(), 4);
+  EXPECT_DOUBLE_EQ(s.round_length(), 40.0);
+  EXPECT_DOUBLE_EQ(s.utilization(), 0.8);
+}
+
+TEST(TdmaSchedule, RejectsBadGeometry) {
+  EXPECT_THROW(TdmaSchedule(0, 10.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(TdmaSchedule(4, -1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(TdmaSchedule(4, 10.0, 5.0), std::invalid_argument)
+      << "guard bands consuming the whole slot must be rejected";
+}
+
+TEST(TdmaSchedule, SlotIndexing) {
+  TdmaSchedule s(4, 10.0, 1.0);
+  EXPECT_EQ(s.slot_at(0.0), 0);
+  EXPECT_EQ(s.slot_at(9.999), 0);
+  EXPECT_EQ(s.slot_at(10.0), 1);
+  EXPECT_EQ(s.slot_at(35.0), 3);
+  EXPECT_EQ(s.slot_at(40.0), 0);  // next round
+  EXPECT_EQ(s.slot_at(402.5), 0);
+}
+
+TEST(TdmaSchedule, GuardBands) {
+  TdmaSchedule s(2, 10.0, 1.5);
+  EXPECT_TRUE(s.in_guard(0.5));    // head of slot 0
+  EXPECT_FALSE(s.in_guard(5.0));   // middle
+  EXPECT_TRUE(s.in_guard(9.0));    // tail
+  EXPECT_TRUE(s.in_guard(10.4));   // head of slot 1
+  EXPECT_FALSE(s.in_guard(15.0));
+}
+
+TEST(TdmaSchedule, MayTransmitRespectsOwnershipAndGuards) {
+  TdmaSchedule s(3, 10.0, 1.0);
+  EXPECT_TRUE(s.may_transmit(5.0, 0));
+  EXPECT_FALSE(s.may_transmit(5.0, 1));   // not the owner
+  EXPECT_FALSE(s.may_transmit(0.5, 0));   // guard
+  EXPECT_TRUE(s.may_transmit(15.0, 1));
+}
+
+TEST(TdmaSchedule, CollisionPredicate) {
+  TdmaSchedule s(2, 10.0, 1.0);
+  // u (slot 0) at mid-slot-0, w (slot 1) believing it is mid-slot-1:
+  // both transmit but in *different* slots per their own clocks; they
+  // collide exactly when their clocks disagree enough that both are
+  // transmitting at the same real instant.
+  EXPECT_TRUE(TdmaSchedule::collides(s, 5.0, 0, 15.0, 1));
+  // Same slot never counts as a collision.
+  EXPECT_FALSE(TdmaSchedule::collides(s, 5.0, 0, 5.1, 0));
+  // One of them in guard: no collision.
+  EXPECT_FALSE(TdmaSchedule::collides(s, 5.0, 0, 10.5, 1));
+}
+
+TEST(TdmaSchedule, GuardBandSizedBySkewPreventsCollisions) {
+  // Pure geometry: if |L_u - L_w| <= guard, u transmitting in slot a
+  // means w's clock cannot be inside a transmit window of another slot.
+  TdmaSchedule s(4, 10.0, 2.0);
+  for (double lu = 0.0; lu < 40.0; lu += 0.05) {
+    if (!s.may_transmit(lu, s.slot_at(lu))) continue;
+    for (double skew = -1.99; skew <= 1.99; skew += 0.23) {
+      const double lw = lu + skew;
+      const int other = (s.slot_at(lu) + 1) % 4;
+      EXPECT_FALSE(TdmaSchedule::collides(s, lu, s.slot_at(lu), lw, other))
+          << "lu=" << lu << " skew=" << skew;
+    }
+  }
+}
+
+TEST(TdmaSchedule, PlanUsesTheoremBound) {
+  const core::SyncParams params = core::SyncParams::recommended(1.0, 0.01);
+  const auto s = TdmaSchedule::plan(params, 16, 0.01, 1.0, 8, 40.0);
+  EXPECT_DOUBLE_EQ(s.guard_band(), params.local_skew_bound(16, 0.01, 1.0));
+  EXPECT_GT(s.utilization(), 0.0);
+}
+
+TEST(TdmaIntegration, NoCollisionsUnderAoptSynchronization) {
+  // End-to-end: a synchronized grid transmits on its planned schedule;
+  // the Theorem 5.10 guard band excludes cross-slot collisions between
+  // neighbors at every sampled instant.
+  const double t = 1.0;
+  const double eps = 0.01;
+  const core::SyncParams params = core::SyncParams::recommended(t, eps);
+  const auto g = graph::make_grid(4, 4);
+  const int d = g.diameter();
+  const auto schedule = TdmaSchedule::plan(params, d, eps, t, 4, 60.0);
+
+  sim::SimConfig cfg;
+  cfg.probe_interval = 0.25;
+  sim::Simulator sim(g, cfg);
+  sim.set_all_nodes(
+      [&params](sim::NodeId) { return std::make_unique<core::AoptNode>(params); });
+  sim.set_drift_policy(std::make_shared<sim::RandomWalkDrift>(eps, 10.0, 3));
+  sim.set_delay_policy(std::make_shared<sim::UniformDelay>(0.0, t, 5));
+
+  int collisions = 0;
+  long long samples = 0;
+  sim.set_observer([&](const sim::Simulator& s, double) {
+    for (const auto& [u, w] : s.topology().edges()) {
+      if (!s.awake(u) || !s.awake(w)) continue;
+      ++samples;
+      if (TdmaSchedule::collides(schedule, s.logical(u),
+                                 static_cast<int>(u) % 4, s.logical(w),
+                                 static_cast<int>(w) % 4)) {
+        ++collisions;
+      }
+    }
+  });
+  sim.run_until(1500.0);
+
+  EXPECT_GT(samples, 10000);
+  EXPECT_EQ(collisions, 0)
+      << "the provable guard band must exclude all neighbor collisions";
+}
+
+}  // namespace
+}  // namespace tbcs::apps

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/skew_tracker.hpp"
+#include "baselines/averaging_algorithm.hpp"
+#include "baselines/blocking_gradient.hpp"
+#include "baselines/free_running.hpp"
+#include "baselines/max_algorithm.hpp"
+#include "graph/topologies.hpp"
+#include "sim/simulator.hpp"
+
+namespace tbcs::baselines {
+namespace {
+
+constexpr double kT = 1.0;
+
+TEST(MaxAlgorithm, GlobalSkewBoundedLinearlyInDiameter) {
+  const double eps = 0.05;
+  const auto g = graph::make_path(16);
+  sim::Simulator sim(g);
+  MaxAlgorithmOptions opt;
+  opt.jump = true;
+  opt.h0 = 5.0;
+  sim.set_all_nodes([&opt](sim::NodeId) {
+    return std::make_unique<MaxAlgorithmNode>(opt);
+  });
+  sim.set_drift_policy(std::make_shared<sim::RandomWalkDrift>(eps, 5.0, 3));
+  sim.set_delay_policy(std::make_shared<sim::UniformDelay>(0.0, kT, 5));
+
+  analysis::SkewTracker tracker(sim, {});
+  tracker.attach(sim);
+  sim.run_until(300.0);
+
+  // Max propagation keeps everyone within the staleness of the flooded
+  // maximum: O(D (T + H0)).
+  const double staleness = 15.0 * (kT + opt.h0 + kT);
+  EXPECT_LE(tracker.max_global_skew(), 2.0 * eps * staleness + kT * 15.0);
+  EXPECT_GT(tracker.max_global_skew(), 0.0);
+}
+
+TEST(MaxAlgorithm, JumpModeSuffersResyncLocalSkew) {
+  // The Srikanth-Toueg weakness discussed in Section 2: with round-based
+  // resynchronization the round length must exceed the flood time
+  // Omega(D T), so by the time a correction arrives the accumulated drift
+  // is Theta(eps D T) (here ~2 eps H0 with H0 = 2 D T) — and it lands as
+  // a *jump*, while the neighbor one hop further is corrected up to T
+  // later: local skew Theta(eps D T).
+  const int n = 24;
+  const double eps = 0.1;
+  const auto g = graph::make_path(n);
+  sim::Simulator sim(g);
+  MaxAlgorithmOptions opt;
+  opt.jump = true;
+  opt.h0 = 2.0 * (n - 1) * kT;  // resync interval > flood time
+  sim.set_all_nodes([&opt](sim::NodeId) {
+    return std::make_unique<MaxAlgorithmNode>(opt);
+  });
+  // Root fast, everyone else slow: maximum divergence between beacons.
+  std::vector<double> rates(static_cast<std::size_t>(n), 1.0 - eps);
+  rates[0] = 1.0 + eps;
+  sim.set_drift_policy(std::make_shared<sim::ConstantDrift>(rates));
+  sim.set_delay_policy(std::make_shared<sim::FixedDelay>(kT));
+
+  analysis::SkewTracker tracker(sim, {});
+  tracker.attach(sim);
+  sim.run_until(12.0 * opt.h0);
+
+  EXPECT_GE(tracker.max_local_skew(), 1.4 * eps * opt.h0)
+      << "periodic jump corrections of size ~2 eps H0 must surface as "
+         "local skew";
+}
+
+TEST(MaxAlgorithm, RateLimitedModeRespectsRateBounds) {
+  const auto g = graph::make_path(8);
+  sim::Simulator sim(g);
+  MaxAlgorithmOptions opt;
+  opt.jump = false;
+  opt.mu = 0.5;
+  sim.set_all_nodes([&opt](sim::NodeId) {
+    return std::make_unique<MaxAlgorithmNode>(opt);
+  });
+  sim.set_drift_policy(std::make_shared<sim::RandomWalkDrift>(0.05, 5.0, 7));
+  sim.set_delay_policy(std::make_shared<sim::UniformDelay>(0.0, kT, 11));
+
+  analysis::SkewTracker tracker(sim, {});
+  tracker.attach(sim);
+  sim.run_until(200.0);
+
+  EXPECT_GE(tracker.min_logical_rate(), (1.0 - 0.05) - 1e-9);
+  EXPECT_LE(tracker.max_logical_rate(), (1.0 + 0.05) * 1.5 + 1e-9);
+  EXPECT_LT(tracker.max_global_skew(), 40.0);
+}
+
+TEST(MaxAlgorithm, ChaseCatchesUpExactly) {
+  // Single pair: node 1 wakes by message carrying a large clock value and
+  // chases it without overshooting.
+  const auto g = graph::make_path(2);
+  sim::Simulator sim(g);
+  MaxAlgorithmOptions opt;
+  opt.jump = false;
+  opt.mu = 1.0;
+  sim.set_all_nodes([&opt](sim::NodeId) {
+    return std::make_unique<MaxAlgorithmNode>(opt);
+  });
+  sim.set_delay_policy(std::make_shared<sim::FixedDelay>(kT));
+  sim.run_until(100.0);
+  // Both at rate 1, delays fixed: after convergence L_1 tracks L_0 with
+  // bounded error.
+  EXPECT_NEAR(sim.logical(0), sim.logical(1), 2.0 * kT + 1e-6);
+  EXPECT_LE(sim.logical(1), sim.logical(0) + 1e-9)
+      << "chaser never overshoots the flooded maximum";
+}
+
+TEST(Averaging, ConvergesOnSmallPathWithoutDrift) {
+  const auto g = graph::make_path(4);
+  sim::Simulator sim(g);
+  AveragingOptions opt;
+  sim.set_all_nodes([&opt](sim::NodeId) {
+    return std::make_unique<AveragingNode>(opt);
+  });
+  sim.set_delay_policy(std::make_shared<sim::FixedDelay>(0.25));
+  sim.run_until(200.0);
+  // With no drift and symmetric delays, neighbors end up close.
+  for (const auto& [u, w] : g.edges()) {
+    EXPECT_NEAR(sim.logical(u), sim.logical(w), 3.0);
+  }
+}
+
+TEST(Averaging, LacksGlobalInformation) {
+  // Averaging has no maximum flood; under a sustained drift gradient the
+  // global skew grows roughly linearly with the diameter (the failure the
+  // paper notes in Section 4.2).
+  const auto run_with_diameter = [](sim::NodeId n) {
+    const auto g = graph::make_path(n);
+    sim::Simulator sim(g);
+    AveragingOptions opt;
+    sim.set_all_nodes([&opt](sim::NodeId) {
+      return std::make_unique<AveragingNode>(opt);
+    });
+    // Persistent linear drift profile along the path.
+    std::vector<double> rates(static_cast<std::size_t>(n));
+    for (sim::NodeId v = 0; v < n; ++v) {
+      rates[static_cast<std::size_t>(v)] =
+          1.0 + 0.05 - 0.1 * static_cast<double>(v) / (n - 1);
+    }
+    sim.set_drift_policy(std::make_shared<sim::ConstantDrift>(rates));
+    sim.set_delay_policy(std::make_shared<sim::FixedDelay>(kT));
+    analysis::SkewTracker tracker(sim, {});
+    tracker.attach(sim);
+    sim.run_until(300.0);
+    return tracker.max_global_skew();
+  };
+  const double skew8 = run_with_diameter(8);
+  const double skew16 = run_with_diameter(16);
+  EXPECT_GT(skew16, skew8) << "global skew grows with diameter";
+}
+
+TEST(BlockingGradient, SynchronizesAndStaysUnblockedWhenCalm) {
+  const auto g = graph::make_path(8);
+  sim::Simulator sim(g);
+  BlockingGradientOptions opt;
+  opt.gap = 4.0;
+  sim.set_all_nodes([&opt](sim::NodeId) {
+    return std::make_unique<BlockingGradientNode>(opt);
+  });
+  sim.set_drift_policy(std::make_shared<sim::RandomWalkDrift>(0.02, 6.0, 3));
+  sim.set_delay_policy(std::make_shared<sim::UniformDelay>(0.0, kT, 5));
+
+  analysis::SkewTracker tracker(sim, {});
+  tracker.attach(sim);
+  sim.run_until(300.0);
+
+  // Global skew bounded by the flooded-maximum staleness.
+  EXPECT_LT(tracker.max_global_skew(), 7.0 * (kT + opt.h0));
+  EXPECT_GT(tracker.max_global_skew(), 0.0);
+}
+
+TEST(BlockingGradient, LocalSkewCappedByGapPlusStaleness) {
+  // Chase the maximum hard (huge catch-up headroom) but with a small
+  // blocking gap: the local skew must stay ~gap + per-hop staleness even
+  // when the flooded maximum is far ahead.
+  const auto g = graph::make_path(12);
+  sim::Simulator sim(g);
+  BlockingGradientOptions opt;
+  opt.gap = 2.0;
+  opt.mu = 4.0;
+  opt.h0 = 2.0;
+  sim.set_all_nodes([&opt](sim::NodeId) {
+    return std::make_unique<BlockingGradientNode>(opt);
+  });
+  // Node 0 fast, rest slow: the maximum races ahead.
+  std::vector<double> rates(12, 0.95);
+  rates[0] = 1.05;
+  sim.set_drift_policy(std::make_shared<sim::ConstantDrift>(rates));
+  sim.set_delay_policy(std::make_shared<sim::FixedDelay>(kT));
+
+  analysis::SkewTracker tracker(sim, {});
+  tracker.attach(sim);
+  sim.run_until(400.0);
+
+  const double staleness = (1.0 + 0.05) * (kT + opt.h0);
+  EXPECT_LT(tracker.max_local_skew(), opt.gap + staleness + 1.0)
+      << "the blocking rule must cap neighbor skew near the gap";
+}
+
+TEST(BlockingGradient, RecommendedGapHasSqrtShape) {
+  const double g16 = BlockingGradientOptions::recommended_gap(0.01, 16, 1.0, 5.0);
+  const double g256 = BlockingGradientOptions::recommended_gap(0.01, 256, 1.0, 5.0);
+  // sqrt(eps D) component: 16x diameter -> 4x the sqrt term.
+  EXPECT_NEAR(g256 - (1.0 + 0.1), 4.0 * (g16 - (1.0 + 0.1)), 1e-9);
+}
+
+TEST(BlockingGradient, BlockedNodeHoldsHardwareRate) {
+  // Drive a two-node chain: node 1 far behind the max but its neighbor
+  // (node 0... ) — construct directly: deliver node 1 a huge max but a
+  // tiny neighbor clock; it must not speed up.
+  const auto g = graph::make_path(2);
+  sim::SimConfig cfg;
+  cfg.wake_all_at_zero = true;
+  sim::Simulator sim(g, cfg);
+  BlockingGradientOptions opt;
+  opt.gap = 1.0;
+  std::vector<BlockingGradientNode*> nodes;
+  sim.set_all_nodes([&opt, &nodes](sim::NodeId) {
+    auto n = std::make_unique<BlockingGradientNode>(opt);
+    nodes.push_back(n.get());
+    return n;
+  });
+  // Node 0 races (fast clock), node 1 hears about the max but its only
+  // neighbor *is* node 0... instead: slow node 0 so that node 1, once
+  // ahead of node 0 by the gap, blocks even though Lmax is ahead.
+  sim.set_drift_policy(std::make_shared<sim::ConstantDrift>(
+      std::vector<double>{0.95, 1.05}));
+  sim.set_delay_policy(std::make_shared<sim::FixedDelay>(kT));
+  sim.run_until(200.0);
+  // Node 1 is faster but must never exceed node 0's estimate by > gap +
+  // staleness slack.
+  EXPECT_LT(sim.logical(1) - sim.logical(0),
+            opt.gap + 1.05 * (kT + opt.h0) + kT);
+}
+
+TEST(FreeRunning, SkewGrowsWithDrift) {
+  const auto g = graph::make_path(4);
+  sim::Simulator sim(g);
+  sim.set_all_nodes([](sim::NodeId) { return std::make_unique<FreeRunningNode>(); });
+  sim.set_drift_policy(std::make_shared<sim::ConstantDrift>(
+      std::vector<double>{1.05, 1.0, 1.0, 0.95}));
+  sim.set_delay_policy(std::make_shared<sim::FixedDelay>(0.0));
+  sim.run_until(100.0);
+  // 0.1 relative drift for ~100 time units.
+  EXPECT_NEAR(sim.logical(0) - sim.logical(3), 10.0, 0.5);
+}
+
+TEST(FreeRunning, PropagatesInitializationFlood) {
+  const auto g = graph::make_path(5);
+  sim::Simulator sim(g);
+  sim.set_all_nodes([](sim::NodeId) { return std::make_unique<FreeRunningNode>(); });
+  sim.set_delay_policy(std::make_shared<sim::FixedDelay>(0.5));
+  sim.run_until(10.0);
+  for (sim::NodeId v = 0; v < 5; ++v) EXPECT_TRUE(sim.awake(v));
+}
+
+}  // namespace
+}  // namespace tbcs::baselines

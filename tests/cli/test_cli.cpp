@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/skew_tracker.hpp"
+#include "analysis/trace.hpp"
+#include "cli/args.hpp"
+#include "cli/experiment_config.hpp"
+
+namespace tbcs::cli {
+namespace {
+
+// ---- ArgParser -------------------------------------------------------------
+
+TEST(ArgParser, KeyEqualsValue) {
+  ArgParser p({"--eps=0.05", "--topology=ring"});
+  EXPECT_DOUBLE_EQ(p.get_double("eps", 0.0), 0.05);
+  EXPECT_EQ(p.get_string("topology", ""), "ring");
+  EXPECT_TRUE(p.ok());
+}
+
+TEST(ArgParser, KeySpaceValue) {
+  ArgParser p({"--nodes", "32", "--algo", "max"});
+  EXPECT_EQ(p.get_int("nodes", 0), 32);
+  EXPECT_EQ(p.get_string("algo", ""), "max");
+}
+
+TEST(ArgParser, BooleanFlags) {
+  ArgParser p({"--wake-all", "--per-distance", "--verbose=false"});
+  EXPECT_TRUE(p.get_bool("wake-all"));
+  EXPECT_TRUE(p.get_bool("per-distance"));
+  EXPECT_FALSE(p.get_bool("verbose"));
+  EXPECT_FALSE(p.get_bool("absent"));
+  EXPECT_TRUE(p.get_bool("absent", true));
+}
+
+TEST(ArgParser, DefaultsWhenMissing) {
+  ArgParser p({});
+  EXPECT_DOUBLE_EQ(p.get_double("eps", 0.01), 0.01);
+  EXPECT_EQ(p.get_int("nodes", 7), 7);
+  EXPECT_EQ(p.get_string("algo", "aopt"), "aopt");
+}
+
+TEST(ArgParser, MalformedNumbersReported) {
+  ArgParser p({"--eps=abc"});
+  p.get_double("eps", 0.0);
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.errors()[0].find("eps"), std::string::npos);
+}
+
+TEST(ArgParser, UnknownKeysTracked) {
+  ArgParser p({"--eps=0.1", "--typo=1"});
+  p.get_double("eps", 0.0);
+  const auto unknown = p.unknown_keys();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(ArgParser, NonFlagArgumentIsError) {
+  ArgParser p({"positional"});
+  EXPECT_FALSE(p.ok());
+}
+
+// ---- ExperimentConfig -------------------------------------------------------
+
+TEST(ExperimentConfig, BuildsAllTopologies) {
+  for (const char* topo : {"path", "ring", "star", "complete", "grid", "torus",
+                           "hypercube", "tree", "er"}) {
+    ExperimentConfig cfg;
+    cfg.topology = topo;
+    cfg.nodes = 8;
+    cfg.rows = 3;
+    cfg.cols = 3;
+    cfg.dims = 3;
+    cfg.arity = 2;
+    cfg.levels = 3;
+    const auto g = build_topology(cfg);
+    EXPECT_GE(g.num_nodes(), 7) << topo;
+    EXPECT_TRUE(g.connected()) << topo;
+  }
+}
+
+TEST(ExperimentConfig, UnknownTopologyThrows) {
+  ExperimentConfig cfg;
+  cfg.topology = "moebius";
+  EXPECT_THROW(build_topology(cfg), ConfigError);
+}
+
+TEST(ExperimentConfig, ResolvesPaperDefaults) {
+  ExperimentConfig cfg;
+  cfg.eps = 0.01;
+  cfg.delay = 2.0;
+  const auto p = resolve_params(cfg);
+  EXPECT_NEAR(p.mu, 14.0 * 0.01 / 0.99, 1e-12);
+  EXPECT_DOUBLE_EQ(p.h0, 2.0 / p.mu);
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(ExperimentConfig, ExplicitMuAndH0Kept) {
+  ExperimentConfig cfg;
+  cfg.mu = 0.5;
+  cfg.h0 = 3.0;
+  const auto p = resolve_params(cfg);
+  EXPECT_DOUBLE_EQ(p.mu, 0.5);
+  EXPECT_DOUBLE_EQ(p.h0, 3.0);
+}
+
+class EndToEndAlgo : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EndToEndAlgo, BuildsAndRuns) {
+  ExperimentConfig cfg;
+  cfg.topology = "grid";
+  cfg.rows = 3;
+  cfg.cols = 3;
+  cfg.algorithm = GetParam();
+  cfg.duration = 60.0;
+  cfg.eps = 0.02;
+  auto built = build_experiment(cfg);
+  built.simulator->run_until(cfg.duration);
+  for (sim::NodeId v = 0; v < built.simulator->num_nodes(); ++v) {
+    EXPECT_TRUE(built.simulator->awake(v)) << cfg.algorithm << " node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, EndToEndAlgo,
+                         ::testing::Values("aopt", "aopt-jump", "aopt-bounded",
+                                           "aopt-adaptive", "aopt-external",
+                                           "aopt-envelope", "aopt-ticks", "max",
+                                           "max-rate", "avg", "free"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ExperimentConfig, UnknownAlgorithmThrows) {
+  ExperimentConfig cfg;
+  cfg.algorithm = "ntp";
+  EXPECT_THROW(build_experiment(cfg), ConfigError);
+}
+
+TEST(ExperimentConfig, AllDriftAndDelayModelsRun) {
+  for (const char* drift : {"walk", "square", "sine", "const"}) {
+    for (const char* delays :
+         {"uniform", "fixed", "band", "bimodal", "burst", "hiding"}) {
+      ExperimentConfig cfg;
+      cfg.topology = "path";
+      cfg.nodes = 6;
+      cfg.drift = drift;
+      cfg.delays = delays;
+      auto built = build_experiment(cfg);
+      built.simulator->run_until(40.0);
+      EXPECT_GT(built.simulator->messages_delivered(), 0u)
+          << drift << "/" << delays;
+    }
+  }
+}
+
+// ---- CSV trace ------------------------------------------------------------------
+
+TEST(Trace, CsvEscaping) {
+  EXPECT_EQ(analysis::CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(analysis::CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(analysis::CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Trace, SeriesCsvRoundTrip) {
+  ExperimentConfig cfg;
+  cfg.topology = "path";
+  cfg.nodes = 4;
+  auto built = build_experiment(cfg);
+  analysis::SkewTracker::Options topt;
+  topt.series_interval = 5.0;
+  analysis::SkewTracker tracker(*built.simulator, topt);
+  tracker.attach(*built.simulator);
+  built.simulator->run_until(100.0);
+
+  std::ostringstream os;
+  analysis::write_series_csv(os, tracker);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("t,global_skew,local_skew"), std::string::npos);
+  // Header + at least ~15 sample rows.
+  EXPECT_GT(std::count(csv.begin(), csv.end(), '\n'), 10);
+}
+
+TEST(Trace, SnapshotCsvHasOneRowPerNode) {
+  ExperimentConfig cfg;
+  cfg.topology = "ring";
+  cfg.nodes = 5;
+  auto built = build_experiment(cfg);
+  built.simulator->run_until(50.0);
+  std::ostringstream os;
+  analysis::write_snapshot_csv(os, *built.simulator);
+  const std::string csv = os.str();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 6);  // header + 5
+}
+
+}  // namespace
+}  // namespace tbcs::cli

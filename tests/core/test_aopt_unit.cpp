@@ -1,0 +1,293 @@
+// Unit tests of the A^opt state machine driven through a mock host,
+// covering Algorithms 1-4 step by step and the Lemma 5.1 property.
+#include "core/aopt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "sim/node.hpp"
+
+namespace tbcs::core {
+namespace {
+
+/// Minimal host: the test controls the hardware clock reading directly.
+class MockServices : public sim::NodeServices {
+ public:
+  explicit MockServices(sim::NodeId id) : id_(id) {}
+
+  sim::NodeId id() const override { return id_; }
+  sim::ClockValue hardware_now() const override { return h_; }
+  void broadcast(const sim::Message& m) override { sent.push_back(m); }
+  void set_timer(int slot, sim::ClockValue target) override {
+    timers[slot] = target;
+  }
+  void cancel_timer(int slot) override { timers[slot].reset(); }
+
+  void set_hardware(double h) { h_ = h; }
+
+  /// Dispatches a timer the way a host does: disarm, then deliver.
+  void fire(sim::Node& node, int slot) {
+    timers[slot].reset();
+    node.on_timer(*this, slot);
+  }
+
+  std::vector<sim::Message> sent;
+  std::optional<double> timers[sim::kMaxTimerSlots];
+
+ private:
+  sim::NodeId id_;
+  double h_ = 0.0;
+};
+
+sim::Message msg(sim::NodeId sender, double logical, double logical_max) {
+  sim::Message m;
+  m.sender = sender;
+  m.logical = logical;
+  m.logical_max = logical_max;
+  return m;
+}
+
+SyncParams test_params() {
+  // delay_hat = 1, eps_hat = 0.01, mu = 0.2 -> h0 = 5, kappa minimal.
+  return SyncParams::with(1.0, 0.01, 0.2, 5.0);
+}
+
+class AoptUnit : public ::testing::Test {
+ protected:
+  AoptUnit() : sv_(0), node_(test_params()) {}
+  MockServices sv_;
+  AoptNode node_;
+};
+
+TEST_F(AoptUnit, SpontaneousWakeSendsZeroZero) {
+  node_.on_wake(sv_, nullptr);
+  ASSERT_EQ(sv_.sent.size(), 1u);
+  EXPECT_DOUBLE_EQ(sv_.sent[0].logical, 0.0);
+  EXPECT_DOUBLE_EQ(sv_.sent[0].logical_max, 0.0);
+  EXPECT_EQ(sv_.sent[0].sender, 0);
+  // Algorithm 1 timer armed for L^max reaching H0.
+  ASSERT_TRUE(sv_.timers[0].has_value());
+  EXPECT_DOUBLE_EQ(*sv_.timers[0], test_params().h0);
+}
+
+TEST_F(AoptUnit, WakeByMessageAdoptsEstimateAndSends) {
+  const sim::Message init = msg(3, 12.0, 15.0);
+  node_.on_wake(sv_, &init);
+  ASSERT_EQ(sv_.sent.size(), 1u);
+  EXPECT_DOUBLE_EQ(sv_.sent[0].logical, 0.0);
+  EXPECT_DOUBLE_EQ(sv_.sent[0].logical_max, 15.0);
+  EXPECT_EQ(node_.known_neighbors(), 1u);
+  EXPECT_DOUBLE_EQ(node_.neighbor_estimate(3, 0.0), 12.0);
+  // Far behind L^max: the clock must run fast.
+  EXPECT_DOUBLE_EQ(node_.rho(), 1.0 + test_params().mu);
+}
+
+TEST_F(AoptUnit, SendTimerFiresOnLmaxMultiple) {
+  node_.on_wake(sv_, nullptr);
+  sv_.sent.clear();
+  sv_.set_hardware(5.0);  // L^max grew at the hardware rate to exactly H0
+  node_.on_timer(sv_, 0);
+  ASSERT_EQ(sv_.sent.size(), 1u);
+  EXPECT_DOUBLE_EQ(sv_.sent[0].logical_max, 5.0);
+  EXPECT_DOUBLE_EQ(sv_.sent[0].logical, 5.0);
+  // Next multiple armed.
+  ASSERT_TRUE(sv_.timers[0].has_value());
+  EXPECT_DOUBLE_EQ(*sv_.timers[0], 10.0);
+}
+
+TEST_F(AoptUnit, LargerLmaxIsForwardedImmediately) {
+  node_.on_wake(sv_, nullptr);
+  sv_.sent.clear();
+  sv_.set_hardware(1.0);
+  node_.on_message(sv_, msg(1, 9.0, 10.0));
+  ASSERT_EQ(sv_.sent.size(), 1u) << "Algorithm 2 line 3: forward";
+  EXPECT_DOUBLE_EQ(sv_.sent[0].logical_max, 10.0);
+  // Send timer re-armed for the next multiple after 10: 15, i.e. the
+  // hardware target is h_now + (15 - 10) = 6.
+  ASSERT_TRUE(sv_.timers[0].has_value());
+  EXPECT_NEAR(*sv_.timers[0], 6.0, 1e-9);
+}
+
+TEST_F(AoptUnit, SmallerLmaxNotForwarded) {
+  node_.on_wake(sv_, nullptr);
+  sv_.set_hardware(2.0);
+  node_.on_message(sv_, msg(1, 1.0, 1.5));  // below own L^max = 2.0
+  sv_.sent.clear();
+  sv_.set_hardware(2.5);
+  node_.on_message(sv_, msg(1, 1.2, 1.6));
+  EXPECT_TRUE(sv_.sent.empty());
+}
+
+TEST_F(AoptUnit, StaleNeighborValueIgnored) {
+  node_.on_wake(sv_, nullptr);
+  sv_.set_hardware(1.0);
+  node_.on_message(sv_, msg(1, 3.0, 3.0));
+  EXPECT_DOUBLE_EQ(node_.neighbor_estimate(1, 1.0), 3.0);
+  sv_.set_hardware(2.0);
+  // Re-ordered older message: l_v^w guard (Algorithm 2 line 5) rejects it.
+  node_.on_message(sv_, msg(1, 2.0, 3.0));
+  EXPECT_DOUBLE_EQ(node_.neighbor_estimate(1, 2.0), 4.0)
+      << "estimate advanced at the hardware rate, not reset";
+}
+
+TEST_F(AoptUnit, EstimatesAdvanceAtHardwareRate) {
+  node_.on_wake(sv_, nullptr);
+  sv_.set_hardware(1.0);
+  node_.on_message(sv_, msg(1, 0.5, 1.0));
+  EXPECT_DOUBLE_EQ(node_.neighbor_estimate(1, 4.0), 3.5);
+}
+
+TEST_F(AoptUnit, FastModeArmsResetTimerAtHPlusROverMu) {
+  node_.on_wake(sv_, nullptr);
+  sv_.set_hardware(1.0);
+  // Neighbor far ahead: Lam_up ~ 9, L^max - L = 9.
+  node_.on_message(sv_, msg(1, 10.0, 10.0));
+  EXPECT_DOUBLE_EQ(node_.rho(), 1.2);
+  ASSERT_TRUE(sv_.timers[1].has_value());
+  const double r_over_mu = *sv_.timers[1] - 1.0;
+  EXPECT_GT(r_over_mu, 0.0);
+  // R <= Lmax - L = 9, so the reset target is at most 1 + 9/0.2 = 46.
+  EXPECT_LE(*sv_.timers[1], 46.0 + 1e-9);
+}
+
+TEST_F(AoptUnit, ResetTimerRestoresNominalRate) {
+  node_.on_wake(sv_, nullptr);
+  sv_.set_hardware(1.0);
+  node_.on_message(sv_, msg(1, 10.0, 10.0));
+  ASSERT_TRUE(sv_.timers[1].has_value());
+  const double h_reset = *sv_.timers[1];
+  sv_.set_hardware(h_reset);
+  node_.on_timer(sv_, 1);
+  EXPECT_DOUBLE_EQ(node_.rho(), 1.0);  // Algorithm 4
+}
+
+TEST_F(AoptUnit, Lemma51_StaleMessageChangesNothing) {
+  node_.on_wake(sv_, nullptr);
+  sv_.set_hardware(1.0);
+  node_.on_message(sv_, msg(1, 10.0, 10.0));
+  const double rho_before = node_.rho();
+  const double reset_before = *sv_.timers[1];
+
+  // Later, a message arrives that contains no new information (stale
+  // values).  setClockRate runs again (Algorithm 2 line 10); per Lemma
+  // 5.1 rho and H^R must not change.
+  sv_.set_hardware(3.0);
+  node_.on_message(sv_, msg(1, 4.0, 4.0));
+  EXPECT_DOUBLE_EQ(node_.rho(), rho_before);
+  ASSERT_TRUE(sv_.timers[1].has_value());
+  EXPECT_NEAR(*sv_.timers[1], reset_before, 1e-9);
+}
+
+TEST_F(AoptUnit, Lemma51_HoldsAfterBoostExpiry) {
+  node_.on_wake(sv_, nullptr);
+  sv_.set_hardware(1.0);
+  node_.on_message(sv_, msg(1, 2.0, 2.0));
+  ASSERT_EQ(node_.rho(), 1.2);
+  const double h_reset = *sv_.timers[1];
+  sv_.set_hardware(h_reset);
+  node_.on_timer(sv_, 1);
+  // A stale message after expiry must keep rho at 1.
+  sv_.set_hardware(h_reset + 1.0);
+  node_.on_message(sv_, msg(1, 1.0, 1.0));
+  EXPECT_DOUBLE_EQ(node_.rho(), 1.0);
+}
+
+TEST_F(AoptUnit, LogicalClockRunsAtRhoTimesHardware) {
+  node_.on_wake(sv_, nullptr);
+  EXPECT_DOUBLE_EQ(node_.logical_at(2.0), 2.0);  // rho = 1
+  sv_.set_hardware(2.0);
+  node_.on_message(sv_, msg(1, 12.0, 12.0));
+  EXPECT_DOUBLE_EQ(node_.rho(), 1.2);
+  EXPECT_NEAR(node_.logical_at(3.0), 2.0 + 1.2, 1e-12);
+}
+
+TEST_F(AoptUnit, LambdaGettersReflectEstimates) {
+  node_.on_wake(sv_, nullptr);
+  sv_.set_hardware(1.0);
+  node_.on_message(sv_, msg(1, 4.0, 4.0));
+  node_.on_message(sv_, msg(2, 0.25, 0.25));
+  // L after boost bookkeeping is still ~1 at h=1 (no time passed since).
+  EXPECT_GT(node_.lambda_up(), 2.5);
+  EXPECT_GT(node_.lambda_dn(), 0.25);
+  EXPECT_LT(node_.lambda_dn(), 1.0);
+}
+
+TEST_F(AoptUnit, NeverExceedsLmax) {
+  node_.on_wake(sv_, nullptr);
+  sv_.set_hardware(1.0);
+  node_.on_message(sv_, msg(1, 3.0, 3.0));
+  // Run fast long past the reset point via the timer protocol.
+  while (sv_.timers[1].has_value()) {
+    const double h = *sv_.timers[1];
+    sv_.set_hardware(h);
+    sv_.fire(node_, 1);
+  }
+  const double h_now = 60.0;
+  sv_.set_hardware(h_now);
+  EXPECT_LE(node_.logical_at(h_now), node_.logical_max_at(h_now) + 1e-9)
+      << "Corollary 5.2 (i): L <= L^max";
+}
+
+TEST_F(AoptUnit, JumpModeAppliesIncreaseInstantly) {
+  AoptOptions o;
+  o.jump_mode = true;
+  AoptNode jump(test_params(), o);
+  MockServices sv(0);
+  jump.on_wake(sv, nullptr);
+  sv.set_hardware(1.0);
+  jump.on_message(sv, msg(1, 10.0, 10.0));
+  EXPECT_DOUBLE_EQ(jump.rho(), 1.0);
+  EXPECT_GT(jump.logical_at(1.0), 5.0) << "clock jumped toward the estimate";
+  EXPECT_LE(jump.logical_at(1.0), 10.0 + 1e-9);
+}
+
+TEST_F(AoptUnit, BoundedFrequencyDefersForward) {
+  AoptOptions o;
+  o.bounded_frequency = true;
+  AoptNode bf(test_params(), o);
+  MockServices sv(0);
+  bf.on_wake(sv, nullptr);  // sends at h = 0
+  sv.sent.clear();
+  sv.set_hardware(1.0);     // only 1 < H0 = 5 since last send
+  bf.on_message(sv, msg(1, 9.0, 10.0));
+  EXPECT_TRUE(sv.sent.empty()) << "forward deferred by spacing rule";
+  ASSERT_TRUE(sv.timers[2].has_value());
+  EXPECT_DOUBLE_EQ(*sv.timers[2], 5.0);
+  sv.set_hardware(5.0);
+  sv.fire(bf, 2);
+  ASSERT_EQ(sv.sent.size(), 1u);
+  // The flush sends the *current* values: L^max = 10 advanced at the
+  // hardware rate for the 4 units since adoption.
+  EXPECT_DOUBLE_EQ(sv.sent[0].logical_max, 14.0);
+}
+
+TEST_F(AoptUnit, ValueOffsetAddedToReceived) {
+  AoptOptions o;
+  o.value_offset = 0.5;  // T1 (Section 8.3)
+  AoptNode off(test_params(), o);
+  MockServices sv(0);
+  off.on_wake(sv, nullptr);
+  sv.set_hardware(0.5);
+  off.on_message(sv, msg(1, 2.0, 2.0));
+  EXPECT_DOUBLE_EQ(off.neighbor_estimate(1, 0.5), 2.5);
+}
+
+TEST_F(AoptUnit, OneSendPerLmaxMultiple) {
+  // "Since any received estimate must already be an integer multiple of
+  // H0, any node sends only one message for each multiple" (Sec. 4.2).
+  node_.on_wake(sv_, nullptr);
+  sv_.sent.clear();
+  sv_.set_hardware(0.5);
+  node_.on_message(sv_, msg(1, 4.9, 5.0));
+  ASSERT_EQ(sv_.sent.size(), 1u);
+  // The same multiple arriving from another neighbor is not re-forwarded.
+  sv_.set_hardware(0.6);
+  node_.on_message(sv_, msg(2, 4.9, 5.0));
+  EXPECT_EQ(sv_.sent.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tbcs::core

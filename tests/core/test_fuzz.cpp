@@ -1,0 +1,170 @@
+// Randomized adversary fuzzing: every sampled configuration (topology,
+// parameters, drift model, delay model, initialization mode) must satisfy
+// all of the paper's guarantees.  A single violated invariant here means a
+// real bug — the theorems hold for *every* execution.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "analysis/skew_tracker.hpp"
+#include "core/aopt.hpp"
+#include "core/params.hpp"
+#include "graph/topologies.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace tbcs::core {
+namespace {
+
+struct FuzzOutcome {
+  std::string description;
+  double envelope_violation;
+  double min_rate, max_rate;
+  double global_skew, global_bound;
+  double local_skew, local_bound;
+};
+
+FuzzOutcome run_fuzz_case(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::string desc = "seed=" + std::to_string(seed);
+
+  // Topology.
+  graph::Graph g;
+  switch (rng.uniform_index(6)) {
+    case 0: {
+      const auto n = static_cast<graph::NodeId>(4 + rng.uniform_index(20));
+      g = graph::make_path(n);
+      desc += " path" + std::to_string(n);
+      break;
+    }
+    case 1: {
+      const auto n = static_cast<graph::NodeId>(4 + rng.uniform_index(20));
+      g = graph::make_ring(n);
+      desc += " ring" + std::to_string(n);
+      break;
+    }
+    case 2: {
+      const auto r = static_cast<graph::NodeId>(2 + rng.uniform_index(4));
+      const auto c = static_cast<graph::NodeId>(2 + rng.uniform_index(4));
+      g = graph::make_grid(r, c);
+      desc += " grid" + std::to_string(r) + "x" + std::to_string(c);
+      break;
+    }
+    case 3: {
+      const auto n = static_cast<graph::NodeId>(6 + rng.uniform_index(18));
+      g = graph::make_random_tree(n, rng.next_u64());
+      desc += " tree" + std::to_string(n);
+      break;
+    }
+    case 4: {
+      const auto n = static_cast<graph::NodeId>(8 + rng.uniform_index(16));
+      g = graph::make_connected_er(n, 0.1, rng.next_u64());
+      desc += " er" + std::to_string(n);
+      break;
+    }
+    default: {
+      g = graph::make_hypercube(3 + static_cast<int>(rng.uniform_index(2)));
+      desc += " hypercube";
+      break;
+    }
+  }
+
+  // Parameters.
+  const double eps = rng.uniform(0.005, 0.08);
+  const double t = rng.uniform(0.5, 2.0);
+  const double mu_min = 14.0 * eps / (1.0 - eps);
+  const double mu = mu_min * rng.uniform(1.0, 4.0);
+  const double h0 = rng.uniform(0.5, 3.0) * t / mu;
+  const SyncParams params = SyncParams::with(t, eps, mu, h0);
+
+  // Adversary.
+  std::shared_ptr<sim::DriftPolicy> drift;
+  switch (rng.uniform_index(4)) {
+    case 0:
+      drift = std::make_shared<sim::RandomWalkDrift>(eps, rng.uniform(2.0, 20.0),
+                                                     rng.next_u64());
+      break;
+    case 1: {
+      const graph::NodeId half = g.num_nodes() / 2;
+      drift = std::make_shared<sim::SquareWaveDrift>(
+          eps, rng.uniform(20.0, 120.0),
+          [half](sim::NodeId v) { return v < half; });
+      break;
+    }
+    case 2:
+      drift = std::make_shared<sim::SinusoidalDrift>(eps, rng.uniform(30.0, 90.0),
+                                                     rng.next_u64());
+      break;
+    default:
+      drift = std::make_shared<sim::ConstantDrift>(1.0 - eps);
+      break;
+  }
+  std::shared_ptr<sim::DelayPolicy> delay;
+  switch (rng.uniform_index(4)) {
+    case 0:
+      delay = std::make_shared<sim::UniformDelay>(0.0, t, rng.next_u64());
+      break;
+    case 1:
+      delay = std::make_shared<sim::FixedDelay>(t);
+      break;
+    case 2:
+      delay = std::make_shared<sim::BimodalDelay>(0.05 * t, t, 0.1, rng.next_u64());
+      break;
+    default:
+      delay = std::make_shared<sim::BurstDelay>(0.1 * t, t, 40.0 * t, 8.0 * t,
+                                                rng.next_u64());
+      break;
+  }
+
+  sim::SimConfig cfg;
+  cfg.wake_all_at_zero = rng.next_bool();
+  if (!cfg.wake_all_at_zero && rng.next_bool()) {
+    // Multi-root initialization: several floods that merge (Section 4.2).
+    const auto extra =
+        static_cast<graph::NodeId>(rng.uniform_index(
+            static_cast<std::uint64_t>(g.num_nodes())));
+    if (extra != cfg.root) cfg.extra_roots.push_back(extra);
+    desc += " multiroot";
+  }
+  sim::Simulator sim(g, cfg);
+  sim.set_all_nodes(
+      [&params](sim::NodeId) { return std::make_unique<AoptNode>(params); });
+  sim.set_drift_policy(std::move(drift));
+  sim.set_delay_policy(std::move(delay));
+
+  analysis::SkewTracker::Options topt;
+  topt.audit_epsilon = eps;
+  analysis::SkewTracker tracker(sim, topt);
+  tracker.attach(sim);
+  sim.run_until(rng.uniform(150.0, 350.0));
+
+  const int d = g.diameter();
+  return FuzzOutcome{desc,
+                     tracker.max_envelope_violation(),
+                     tracker.min_logical_rate(),
+                     tracker.max_logical_rate(),
+                     tracker.max_global_skew(),
+                     params.global_skew_bound(d, eps, t),
+                     tracker.max_local_skew(),
+                     params.local_skew_bound(d, eps, t)};
+}
+
+class AoptFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AoptFuzz, AllInvariantsHold) {
+  const auto out = run_fuzz_case(GetParam());
+  SCOPED_TRACE(out.description);
+  const double tol = 1e-6;
+  EXPECT_LE(out.envelope_violation, tol);
+  // eps <= 0.08 in every sampled case, so alpha = 1 - eps >= 0.92.
+  EXPECT_GE(out.min_rate, 0.92 - tol);
+  EXPECT_LE(out.global_skew, out.global_bound + tol);
+  EXPECT_LE(out.local_skew, out.local_bound + tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AoptFuzz,
+                         ::testing::Range<std::uint64_t>(1000u, 1032u));
+
+}  // namespace
+}  // namespace tbcs::core

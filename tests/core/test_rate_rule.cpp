@@ -1,0 +1,131 @@
+#include "core/rate_rule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "sim/rng.hpp"
+
+namespace tbcs::core {
+namespace {
+
+/// The predicate of Algorithm 3, line 1.
+bool predicate(double lam_up, double lam_dn, double kappa, double r) {
+  return std::floor((lam_up - r) / kappa) >= std::floor((lam_dn + r) / kappa);
+}
+
+/// Brute-force supremum by bisection on the monotone predicate.  The
+/// supremum lies within 2 kappa of the crossing point (lam_up - lam_dn)/2.
+double brute_force_sup(double lam_up, double lam_dn, double kappa) {
+  const double center = 0.5 * (lam_up - lam_dn);
+  double lo = center - 2.0 * kappa;
+  double hi = center + 2.0 * kappa;
+  EXPECT_TRUE(predicate(lam_up, lam_dn, kappa, lo));
+  EXPECT_FALSE(predicate(lam_up, lam_dn, kappa, hi));
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (predicate(lam_up, lam_dn, kappa, mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;  // converges to the boundary; predicate may be open there
+}
+
+TEST(RateRule, PaperExampleHalfKappa) {
+  // If Lam_up = Lam_dn = (s + 1/2) kappa, then R_v = kappa / 2 (Sec. 4.2).
+  const double kappa = 2.0;
+  for (int s = 0; s < 5; ++s) {
+    const double lam = (s + 0.5) * kappa;
+    EXPECT_NEAR(unbounded_increase(lam, lam, kappa), kappa / 2.0, 1e-12);
+  }
+}
+
+TEST(RateRule, NonPositiveWhenBalancedAtLevel) {
+  // "If Lam_up <= s kappa and Lam_dn >= s kappa for some s, then R <= 0."
+  const double kappa = 1.5;
+  EXPECT_LE(unbounded_increase(2.9, 3.1, kappa), 0.0);  // s = 2
+  EXPECT_LE(unbounded_increase(0.0, 0.0, kappa), 0.0);  // s = 0
+  EXPECT_LE(unbounded_increase(1.5, 1.5, kappa), 1e-12);
+}
+
+TEST(RateRule, ZeroSkewGivesZero) {
+  EXPECT_NEAR(unbounded_increase(0.0, 0.0, 1.0), 0.0, 1e-12);
+}
+
+TEST(RateRule, FarBehindGivesLargeIncrease) {
+  // A node far behind everyone (Lam_up large, Lam_dn very negative).
+  const double r = unbounded_increase(10.0, -10.0, 1.0);
+  EXPECT_GT(r, 9.0);
+}
+
+TEST(RateRule, FarAheadGivesNegative) {
+  const double r = unbounded_increase(-10.0, 10.0, 1.0);
+  EXPECT_LT(r, 0.0);
+}
+
+TEST(RateRule, ClampToleratesKappaSkew) {
+  // Line 2: R := min(max(kappa - Lam_dn, R1), Lmax - L).  Even if the
+  // balancing rule says 0, a node below L^max may close the gap up to the
+  // tolerated kappa.
+  const double r = clock_increase(0.0, 0.0, 1.0, 5.0);
+  EXPECT_NEAR(r, 1.0, 1e-12);  // kappa - 0 = 1, clamped by Lmax gap 5
+}
+
+TEST(RateRule, NeverExceedsLmaxGap) {
+  const double r = clock_increase(10.0, -10.0, 1.0, 0.25);
+  EXPECT_NEAR(r, 0.25, 1e-12);
+}
+
+TEST(RateRule, ZeroLmaxGapForcesNonPositive) {
+  EXPECT_LE(clock_increase(5.0, -5.0, 1.0, 0.0), 0.0);
+}
+
+TEST(RateRule, AheadOfSlowNeighborByOverKappaStops) {
+  // Lam_dn >= kappa and Lam_up <= kappa at level s=1 pattern.
+  const double r = clock_increase(0.5, 2.5, 1.0, 100.0);
+  EXPECT_LE(r, 0.0);
+}
+
+struct RateRuleCase {
+  std::uint64_t seed;
+};
+
+class RateRuleProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RateRuleProperty, ClosedFormMatchesBruteForce) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const double kappa = rng.uniform(0.1, 5.0);
+    const double lam_up = rng.uniform(-10.0, 10.0);
+    // Lam_up + Lam_dn >= 0 by construction in the algorithm (both are max
+    // over the same set of differences); test that regime plus slack.
+    const double lam_dn = rng.uniform(-lam_up, 12.0);
+    const double closed = unbounded_increase(lam_up, lam_dn, kappa);
+    const double brute = brute_force_sup(lam_up, lam_dn, kappa);
+    EXPECT_NEAR(closed, brute, 1e-6)
+        << "lam_up=" << lam_up << " lam_dn=" << lam_dn << " kappa=" << kappa;
+  }
+}
+
+TEST_P(RateRuleProperty, SupremumIsFeasibleFromBelow) {
+  sim::Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 500; ++i) {
+    const double kappa = rng.uniform(0.1, 5.0);
+    const double lam_up = rng.uniform(-10.0, 10.0);
+    const double lam_dn = rng.uniform(-lam_up, 12.0);
+    const double r = unbounded_increase(lam_up, lam_dn, kappa);
+    // Any value strictly below the supremum satisfies the predicate...
+    EXPECT_TRUE(predicate(lam_up, lam_dn, kappa, r - 1e-9));
+    // ...and anything strictly above does not.
+    EXPECT_FALSE(predicate(lam_up, lam_dn, kappa, r + 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RateRuleProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace tbcs::core

@@ -1,0 +1,256 @@
+// Tests for the Section 6 / Section 8 variants of A^opt.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "analysis/skew_tracker.hpp"
+#include "core/aopt_variants.hpp"
+#include "core/bit_codec.hpp"
+#include "core/envelope_sync.hpp"
+#include "core/external_sync.hpp"
+#include "core/params.hpp"
+#include "graph/topologies.hpp"
+#include "sim/simulator.hpp"
+
+namespace tbcs::core {
+namespace {
+
+constexpr double kT = 1.0;
+
+// ---- Section 6.1: bounded message frequency ---------------------------------
+
+TEST(BoundedFrequency, RespectsMinimumSpacingAndSkewTradeoff) {
+  const double eps = 0.05;
+  const auto g = graph::make_path(16);
+  const SyncParams params = SyncParams::recommended(kT, eps, 0.0);
+
+  sim::SimConfig cfg;
+  cfg.probe_interval = 1.0;
+  sim::Simulator sim(g, cfg);
+  sim.set_all_nodes([&params](sim::NodeId) {
+    return make_bounded_frequency_aopt(params);
+  });
+  sim.set_drift_policy(std::make_shared<sim::RandomWalkDrift>(eps, 7.0, 19));
+  sim.set_delay_policy(std::make_shared<sim::UniformDelay>(0.0, kT, 23));
+
+  analysis::SkewTracker tracker(sim, {});
+  tracker.attach(sim);
+  const double duration = 400.0;
+  sim.run_until(duration);
+
+  // Spacing >= H0 of hardware time between sends bounds the per-node send
+  // count by duration * (1 + eps) / H0 (+1 for the wake send).
+  const double per_node_cap = duration * (1.0 + eps) / params.h0 + 2.0;
+  EXPECT_LE(sim.broadcasts(),
+            static_cast<std::uint64_t>(per_node_cap * g.num_nodes()));
+
+  // Section 6.1: the global skew degrades by Theta(eps D H0).
+  const int d = g.diameter();
+  const double g_bound = params.global_skew_bound(d, eps, kT) +
+                         2.0 * eps * d * (params.h0 + kT);
+  EXPECT_LE(tracker.max_global_skew(), g_bound + 1e-6);
+
+  // The local skew keeps its asymptotic bound (allow the same H0 slack
+  // the enlarged kappa of Section 6.1 would introduce).
+  const double local_slack = 2.0 * (2.0 * eps + params.mu) * params.h0;
+  EXPECT_LE(tracker.max_local_skew(),
+            params.local_skew_bound(d, eps, kT) + local_slack + 1e-6);
+}
+
+// ---- Section 6.2: bounded-bit codec ------------------------------------------
+
+TEST(BitCodec, PayloadBitsStaySmall) {
+  const double eps = 0.02;
+  const auto g = graph::make_grid(4, 4);
+  const SyncParams params = SyncParams::recommended(kT, eps, 0.5);
+
+  sim::Simulator sim(g);
+  std::vector<BitCodedAoptNode*> nodes;
+  sim.set_all_nodes([&params, &nodes](sim::NodeId) {
+    auto n = std::make_unique<BitCodedAoptNode>(params);
+    nodes.push_back(n.get());
+    return n;
+  });
+  sim.set_drift_policy(std::make_shared<sim::RandomWalkDrift>(eps, 5.0, 29));
+  sim.set_delay_policy(std::make_shared<sim::UniformDelay>(0.0, kT, 31));
+  sim.run_until(300.0);
+
+  std::uint64_t coded = 0;
+  std::uint64_t max_bits = 0;
+  for (const auto* n : nodes) {
+    coded += n->coded_messages();
+    max_bits = std::max(max_bits, n->max_payload_bits());
+  }
+  ASSERT_GT(coded, 100u);
+  // O(log(1/mu)) scale: quantized delta units per H0-spaced message are
+  // O((1+mu)/mu), i.e. a handful of bits, plus O(1) bits for the capped
+  // L^max update.
+  const double delta_units_cap =
+      (1.0 + params.mu) * (1.0 + eps) / (1.0 - eps) / params.mu + 2.0;
+  const double expected_bits =
+      std::ceil(std::log2(delta_units_cap)) + 8.0;  // generous headroom
+  EXPECT_LE(static_cast<double>(max_bits), expected_bits);
+}
+
+TEST(BitCodec, SkewBoundsHoldWithEnlargedKappa) {
+  const double eps = 0.02;
+  const auto g = graph::make_path(12);
+  const SyncParams params = SyncParams::recommended(kT, eps, 0.5);
+
+  sim::Simulator sim(g);
+  sim.set_all_nodes([&params](sim::NodeId) {
+    return std::make_unique<BitCodedAoptNode>(params);
+  });
+  sim.set_drift_policy(std::make_shared<sim::RandomWalkDrift>(eps, 5.0, 37));
+  sim.set_delay_policy(std::make_shared<sim::UniformDelay>(0.0, kT, 41));
+
+  analysis::SkewTracker::Options topt;
+  topt.audit_epsilon = eps;
+  analysis::SkewTracker tracker(sim, topt);
+  tracker.attach(sim);
+  sim.run_until(300.0);
+
+  // Quantization never *over*-estimates, so Condition (1) holds exactly.
+  EXPECT_LE(tracker.max_envelope_violation(), 1e-6);
+
+  const int d = g.diameter();
+  // Quantization (<= mu H0 per value) plus the send spacing act like a
+  // kappa enlarged by Theta(mu H0) (Section 6.2).
+  SyncParams effective = params;
+  effective.kappa += 2.0 * params.mu * params.h0 +
+                     2.0 * (2.0 * eps + params.mu) * params.h0;
+  EXPECT_LE(tracker.max_global_skew(),
+            params.global_skew_bound(d, eps, kT) +
+                2.0 * eps * d * (params.h0 + kT) + 1e-6);
+  EXPECT_LE(tracker.max_local_skew(),
+            effective.local_skew_bound(d, eps, kT) + 1e-6);
+}
+
+// ---- Section 8.5: external synchronization ------------------------------------
+
+TEST(ExternalSync, LogicalClocksNeverPassRealTime) {
+  const double eps = 0.03;
+  const auto g = graph::make_path(10);
+  const SyncParams params = SyncParams::recommended(kT, eps, 0.5);
+
+  // Node 0 is the real-time reference: rate exactly 1.
+  std::vector<double> rates(10, 0.0);
+  sim::Rng rng(55);
+  rates[0] = 1.0;
+  for (std::size_t v = 1; v < rates.size(); ++v) {
+    rates[v] = rng.uniform(1.0 - eps, 1.0 + eps);
+  }
+
+  sim::SimConfig cfg;
+  cfg.probe_interval = 0.5;
+  sim::Simulator sim(g, cfg);
+  sim.set_node(0, std::make_unique<ExternalReferenceNode>(params.h0));
+  for (sim::NodeId v = 1; v < 10; ++v) sim.set_node(v, make_external_aopt(params));
+  sim.set_drift_policy(std::make_shared<sim::ConstantDrift>(rates));
+  sim.set_delay_policy(std::make_shared<sim::UniformDelay>(0.0, kT, 59));
+
+  double worst_overshoot = -1e18;
+  double final_worst_lag = 0.0;
+  sim.set_observer([&](const sim::Simulator& s, double t) {
+    for (sim::NodeId v = 0; v < s.num_nodes(); ++v) {
+      if (!s.awake(v)) continue;
+      worst_overshoot = std::max(worst_overshoot, s.logical(v) - t);
+    }
+  });
+  sim.run_until(400.0);
+
+  EXPECT_LE(worst_overshoot, 1e-6) << "Section 8.5: L_v(t) <= t must hold";
+
+  // Reference node is exact; others converge to within O(d T + kappa).
+  EXPECT_NEAR(sim.logical(0), sim.now(), 1e-9);
+  for (sim::NodeId v = 1; v < 10; ++v) {
+    const double lag = sim.now() - sim.logical(v);
+    final_worst_lag = std::max(final_worst_lag, lag);
+    EXPECT_GE(lag, -1e-6);
+  }
+  const double dist_bound =
+      9.0 * kT + params.global_skew_bound(9, eps, kT);
+  EXPECT_LE(final_worst_lag, dist_bound);
+}
+
+// ---- Section 8.6: hardware-clock envelope --------------------------------------
+
+TEST(EnvelopeSync, LogicalClocksStayWithinHardwareEnvelope) {
+  const double eps = 0.03;
+  const auto g = graph::make_ring(12);
+  const SyncParams params = SyncParams::recommended(kT, eps, 0.5);
+
+  sim::SimConfig cfg;
+  cfg.wake_all_at_zero = true;  // H_w are comparable from t = 0
+  cfg.probe_interval = 0.5;
+  sim::Simulator sim(g, cfg);
+  sim.set_all_nodes([&params](sim::NodeId) { return make_envelope_aopt(params); });
+  sim.set_drift_policy(std::make_shared<sim::RandomWalkDrift>(eps, 6.0, 61));
+  sim.set_delay_policy(std::make_shared<sim::UniformDelay>(0.0, kT, 67));
+
+  double worst_violation = -1e18;
+  sim.set_observer([&](const sim::Simulator& s, double) {
+    double h_min = 1e18;
+    double h_max = -1e18;
+    for (sim::NodeId v = 0; v < s.num_nodes(); ++v) {
+      h_min = std::min(h_min, s.hardware(v));
+      h_max = std::max(h_max, s.hardware(v));
+    }
+    for (sim::NodeId v = 0; v < s.num_nodes(); ++v) {
+      worst_violation = std::max(worst_violation, s.logical(v) - h_max);
+      worst_violation = std::max(worst_violation, h_min - s.logical(v));
+    }
+  });
+  sim.run_until(400.0);
+
+  EXPECT_LE(worst_violation, 1e-6)
+      << "Section 8.6: min_w H_w <= L_v <= max_w H_w must hold";
+}
+
+// ---- Section 8.3: lower-bounded delays ------------------------------------------
+
+TEST(OffsetDelays, SkewBoundsHoldWithDelayBand) {
+  const double eps = 0.04;
+  const double t1 = 2.0;  // fixed minimum delay
+  const auto g = graph::make_path(12);
+  const SyncParams params = SyncParams::recommended(kT, eps, 0.0);
+
+  sim::Simulator sim(g);
+  sim.set_all_nodes([&params, t1](sim::NodeId) {
+    return make_offset_delay_aopt(params, t1);
+  });
+  sim.set_drift_policy(std::make_shared<sim::RandomWalkDrift>(eps, 7.0, 71));
+  sim.set_delay_policy(std::make_shared<sim::UniformDelay>(t1, t1 + kT, 73));
+
+  // The Section 8.3 analysis is steady-state: during the initialization
+  // flood (which now takes D (T1+T) time) freshly woken clocks trail the
+  // root by up to (1+eps) D (T1+T) regardless of the algorithm.  Audit
+  // the transient separately and the steady state against the paper bound.
+  const int d = g.diameter();
+  analysis::SkewTracker::Options warm;
+  warm.warmup = 3.0 * d * (t1 + kT);
+  analysis::SkewTracker steady(sim, warm);
+  analysis::SkewTracker transient(sim, {});
+  sim.set_observer([&](const sim::Simulator& s, double now) {
+    steady.observe(s, now);
+    transient.observe(s, now);
+  });
+  sim.run_until(400.0);
+
+  EXPECT_LE(transient.max_global_skew(), (1.0 + eps) * d * (t1 + kT) + 1e-6);
+
+  // Section 8.3: steady state gains O(eps D T1) on top of G.
+  const double g_bound = params.global_skew_bound(d, eps, kT) +
+                         2.0 * eps * d * t1 + 2.0 * eps * d * params.h0;
+  EXPECT_LE(steady.max_global_skew(), g_bound + 1e-6);
+  // Local skew keeps its O(kappa log D) scale; allow the reaction-lag
+  // degradation the paper describes (kappa/T2 amortization).
+  const double local_bound =
+      params.local_skew_bound(d, eps, kT) * (t1 + kT) / kT;
+  EXPECT_LE(steady.max_local_skew(), local_bound + 1e-6);
+}
+
+}  // namespace
+}  // namespace tbcs::core

@@ -1,0 +1,188 @@
+// Unit-level tests of the damped-L^max machinery (pin/ride, envelope
+// crossing) and the Section 6.2 codec, driven through a mock host.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "core/aopt.hpp"
+#include "core/bit_codec.hpp"
+#include "core/envelope_sync.hpp"
+#include "core/external_sync.hpp"
+#include "sim/node.hpp"
+
+namespace tbcs::core {
+namespace {
+
+class MockServices : public sim::NodeServices {
+ public:
+  explicit MockServices(sim::NodeId id) : id_(id) {}
+  sim::NodeId id() const override { return id_; }
+  sim::ClockValue hardware_now() const override { return h_; }
+  void broadcast(const sim::Message& m) override { sent.push_back(m); }
+  void set_timer(int slot, sim::ClockValue target) override {
+    timers[slot] = target;
+  }
+  void cancel_timer(int slot) override { timers[slot].reset(); }
+  void set_hardware(double h) { h_ = h; }
+  void fire(sim::Node& node, int slot) {
+    timers[slot].reset();
+    node.on_timer(*this, slot);
+  }
+
+  std::vector<sim::Message> sent;
+  std::optional<double> timers[sim::kMaxTimerSlots];
+
+ private:
+  sim::NodeId id_;
+  double h_ = 0.0;
+};
+
+sim::Message msg(sim::NodeId sender, double l, double lmax) {
+  sim::Message m;
+  m.sender = sender;
+  m.logical = l;
+  m.logical_max = lmax;
+  return m;
+}
+
+SyncParams test_params() { return SyncParams::with(1.0, 0.02, 0.5, 5.0); }
+
+// ---- external-sync damping (Section 8.5) --------------------------------------
+
+TEST(ExternalVariantUnit, LmaxGrowsDamped) {
+  auto node = make_external_aopt(test_params());
+  MockServices sv(1);
+  node->on_wake(sv, nullptr);
+  sv.set_hardware(1.0);
+  node->on_message(sv, msg(0, 10.0, 10.0));
+  // L^max advances at h / (1 + eps_hat), not at h.
+  const double c = 1.0 / 1.02;
+  EXPECT_NEAR(node->logical_max_at(11.0), 10.0 + 10.0 * c, 1e-9);
+}
+
+TEST(ExternalVariantUnit, PinTimerStopsLAtLmax) {
+  const auto params = test_params();
+  auto node = make_external_aopt(params);
+  MockServices sv(1);
+  node->on_wake(sv, nullptr);
+  sv.set_hardware(1.0);
+  // Large reference value: the node boosts toward it.
+  node->on_message(sv, msg(0, 20.0, 20.0));
+  EXPECT_DOUBLE_EQ(node->rho(), 1.5);
+  ASSERT_TRUE(sv.timers[3].has_value()) << "pin timer must be armed";
+  // Ride: when L catches L^max, rho drops and L follows the damped rate.
+  const double h_pin = *sv.timers[3];
+  sv.set_hardware(h_pin);
+  sv.fire(*node, 3);
+  EXPECT_TRUE(node->riding_lmax());
+  EXPECT_NEAR(node->logical_at(h_pin), node->logical_max_at(h_pin), 1e-9);
+  // After the pin, L advances at the damped rate.
+  const double c = 1.0 / 1.02;
+  EXPECT_NEAR(node->logical_at(h_pin + 2.0),
+              node->logical_at(h_pin) + 2.0 * c, 1e-9);
+}
+
+TEST(ExternalVariantUnit, NewLmaxUnpins) {
+  const auto params = test_params();
+  auto node = make_external_aopt(params);
+  MockServices sv(1);
+  node->on_wake(sv, nullptr);
+  sv.set_hardware(1.0);
+  node->on_message(sv, msg(0, 5.0, 5.0));
+  const double h_pin = *sv.timers[3];
+  sv.set_hardware(h_pin);
+  sv.fire(*node, 3);
+  ASSERT_TRUE(node->riding_lmax());
+  // A fresh, larger reference value lifts L^max: the node unpins and
+  // boosts again.
+  node->on_message(sv, msg(0, h_pin + 30.0, h_pin + 30.0));
+  EXPECT_FALSE(node->riding_lmax());
+  EXPECT_DOUBLE_EQ(node->rho(), 1.5);
+}
+
+// ---- envelope variant (Section 8.6) ---------------------------------------------
+
+TEST(EnvelopeVariantUnit, LmaxDampedOnlyAboveH) {
+  const auto params = test_params();
+  auto node = make_envelope_aopt(params);
+  MockServices sv(1);
+  node->on_wake(sv, nullptr);
+  sv.set_hardware(1.0);
+  node->on_message(sv, msg(0, 9.0, 9.0));  // L^max jumps above H = 1
+  // While L^max > H it advances at (1 - eps)/(1 + eps) * h.
+  const double c = (1.0 - 0.02) / (1.0 + 0.02);
+  EXPECT_NEAR(node->logical_max_at(2.0), 9.0 + 1.0 * c, 1e-9);
+  // The envelope-crossing timer is armed: L^max meets H at
+  // h* = (Lmax - c*h)/(1 - c).
+  ASSERT_TRUE(sv.timers[4].has_value());
+  const double expected_cross = (9.0 - c * 1.0) / (1.0 - c);
+  EXPECT_NEAR(*sv.timers[4], expected_cross, 1e-9);
+  // After the crossing, L^max rides H (factor 1).
+  sv.set_hardware(expected_cross);
+  sv.fire(*node, 4);
+  EXPECT_NEAR(node->logical_max_at(expected_cross + 3.0), expected_cross + 3.0,
+              1e-9);
+}
+
+// ---- bit codec (Section 6.2) ------------------------------------------------------
+
+TEST(BitCodecUnit, DeltasAreQuantizedDown) {
+  const auto params = test_params();  // quantum = mu*H0 = 2.5
+  BitCodedAoptNode node(params);
+  MockServices sv(0);
+  node.on_wake(sv, nullptr);
+  sv.sent.clear();
+  // Let the clock run to the next periodic send: L = 5.0 at H = 5.
+  sv.set_hardware(5.0);
+  sv.fire(node, 0);
+  ASSERT_EQ(sv.sent.size(), 1u);
+  // Progress 5.0 floored to multiples of 2.5 -> announced logical = 5.0.
+  EXPECT_DOUBLE_EQ(sv.sent[0].logical, 5.0);
+  // A slightly later send announces only full quanta.
+  sv.set_hardware(11.0);  // L = 11: delta 6 -> 1 quantum of 2.5 above 5...
+  sv.fire(node, 0);
+  ASSERT_EQ(sv.sent.size(), 2u);
+  EXPECT_DOUBLE_EQ(sv.sent[1].logical, 10.0);  // 5 + floor(6/2.5)*2.5
+  EXPECT_LE(sv.sent[1].logical, 11.0);
+}
+
+TEST(BitCodecUnit, LmaxUpdatesAreCappedWithCarry) {
+  const auto params = test_params();
+  BitCodedAoptNode node(params);
+  MockServices sv(0);
+  node.on_wake(sv, nullptr);
+  sv.sent.clear();
+  // Past the send spacing, so the forward is immediate.
+  sv.set_hardware(6.0);
+  // A huge L^max arrives: the node's own estimate adopts it fully...
+  node.on_message(sv, msg(1, 0.4, 100.0));
+  EXPECT_NEAR(node.logical_max_at(6.0), 100.0, 1e-9);
+  // ...but the announcement is capped at cap_units * H0 per message.
+  ASSERT_FALSE(sv.sent.empty());
+  const double cap = node.lmax_cap_units() * params.h0;
+  EXPECT_LE(sv.sent.back().logical_max, cap + 1e-9);
+  // Subsequent sends keep carrying the remainder out.
+  const double first = sv.sent.back().logical_max;
+  sv.set_hardware(12.0);
+  sv.fire(node, 0);
+  EXPECT_GT(sv.sent.back().logical_max, first);
+}
+
+TEST(BitCodecUnit, BitAccountingTracksMessages) {
+  const auto params = test_params();
+  BitCodedAoptNode node(params);
+  MockServices sv(0);
+  node.on_wake(sv, nullptr);
+  EXPECT_EQ(node.coded_messages(), 0u) << "the wake flood is not accounted";
+  sv.set_hardware(5.0);
+  sv.fire(node, 0);
+  EXPECT_EQ(node.coded_messages(), 1u);
+  EXPECT_GT(node.total_payload_bits(), 0u);
+  EXPECT_LE(node.max_payload_bits(), 16u);
+  EXPECT_GT(node.mean_payload_bits(), 0.0);
+}
+
+}  // namespace
+}  // namespace tbcs::core

@@ -1,0 +1,100 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/topologies.hpp"
+
+namespace tbcs::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(Graph, RejectsDuplicatesAndSelfLoops) {
+  Graph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));  // duplicate (reversed)
+  EXPECT_FALSE(g.add_edge(0, 0));  // self-loop
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, EdgesAreNormalized) {
+  Graph g(3);
+  g.add_edge(2, 1);
+  ASSERT_EQ(g.edges().size(), 1u);
+  EXPECT_EQ(g.edges()[0].first, 1);
+  EXPECT_EQ(g.edges()[0].second, 2);
+}
+
+TEST(Graph, BfsDistancesOnPath) {
+  const Graph g = make_path(5);
+  const auto d = g.bfs_distances(0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(d[static_cast<std::size_t>(i)], i);
+  const auto d2 = g.bfs_distances(2);
+  EXPECT_EQ(d2[0], 2);
+  EXPECT_EQ(d2[4], 2);
+}
+
+TEST(Graph, DisconnectedDetected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.connected());
+  const auto d = g.bfs_distances(0);
+  EXPECT_EQ(d[2], -1);
+}
+
+TEST(Graph, DiameterOfKnownGraphs) {
+  EXPECT_EQ(make_path(10).diameter(), 9);
+  EXPECT_EQ(make_ring(10).diameter(), 5);
+  EXPECT_EQ(make_ring(11).diameter(), 5);
+  EXPECT_EQ(make_star(8).diameter(), 2);
+  EXPECT_EQ(make_complete(6).diameter(), 1);
+  EXPECT_EQ(make_grid(4, 6).diameter(), 8);
+  EXPECT_EQ(make_hypercube(5).diameter(), 5);
+}
+
+TEST(Graph, EccentricityEndpointsVsMiddle) {
+  const Graph g = make_path(9);
+  EXPECT_EQ(g.eccentricity(0), 8);
+  EXPECT_EQ(g.eccentricity(4), 4);
+}
+
+TEST(Graph, AllPairsMatchesBfs) {
+  const Graph g = make_grid(3, 4);
+  const auto apd = g.all_pairs_distances();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto d = g.bfs_distances(v);
+    EXPECT_EQ(apd[static_cast<std::size_t>(v)], d);
+  }
+}
+
+TEST(Graph, DiameterEndpointsRealizeDiameter) {
+  const Graph g = make_grid(3, 5);
+  const auto [a, b] = g.diameter_endpoints();
+  const auto d = g.bfs_distances(a);
+  EXPECT_EQ(d[static_cast<std::size_t>(b)], g.diameter());
+}
+
+TEST(Graph, MaxDegree) {
+  EXPECT_EQ(make_star(7).max_degree(), 6u);
+  EXPECT_EQ(make_path(7).max_degree(), 2u);
+  EXPECT_EQ(make_grid(3, 3).max_degree(), 4u);
+}
+
+}  // namespace
+}  // namespace tbcs::graph

@@ -1,0 +1,141 @@
+#include "graph/topologies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace tbcs::graph {
+namespace {
+
+TEST(Topologies, PathStructure) {
+  const Graph g = make_path(6);
+  EXPECT_EQ(g.num_nodes(), 6);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(3), 2u);
+}
+
+TEST(Topologies, SingleNodePath) {
+  const Graph g = make_path(1);
+  EXPECT_EQ(g.num_nodes(), 1);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.diameter(), 0);
+}
+
+TEST(Topologies, RingStructure) {
+  const Graph g = make_ring(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Topologies, StarStructure) {
+  const Graph g = make_star(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 4u);
+  for (NodeId v = 1; v < 5; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(Topologies, CompleteStructure) {
+  const Graph g = make_complete(5);
+  EXPECT_EQ(g.num_edges(), 10u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Topologies, GridStructure) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 2u * 4);  // 17
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_FALSE(g.has_edge(3, 4));  // row wrap must not exist
+}
+
+TEST(Topologies, TorusIsRegular) {
+  const Graph g = make_torus(4, 5);
+  EXPECT_EQ(g.num_nodes(), 20);
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Topologies, HypercubeStructure) {
+  const Graph g = make_hypercube(4);
+  EXPECT_EQ(g.num_nodes(), 16);
+  EXPECT_EQ(g.num_edges(), 32u);  // n * d / 2
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Topologies, BalancedTreeStructure) {
+  const Graph g = make_balanced_tree(2, 4);  // 1 + 2 + 4 + 8 = 15 nodes
+  EXPECT_EQ(g.num_nodes(), 15);
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.degree(0), 2u);  // root has `arity` children
+  EXPECT_EQ(g.diameter(), 6);  // leaf to leaf across the root
+}
+
+TEST(Topologies, BarbellStructure) {
+  const Graph g = make_barbell(4, 3);  // 4+3+4 = 11 nodes
+  EXPECT_EQ(g.num_nodes(), 11);
+  EXPECT_TRUE(g.connected());
+  // Each clique contributes C(4,2) = 6 edges; the bridge path has 4 links.
+  EXPECT_EQ(g.num_edges(), 6u + 6u + 4u);
+  // Diameter: within clique A (1) + bridge (4) + within clique B (1) = 6...
+  // exactly: farthest pair are non-attachment clique nodes: 1 + 4 + 1.
+  EXPECT_EQ(g.diameter(), 6);
+}
+
+TEST(Topologies, BarbellWithoutBridgeIsTwoJoinedCliques) {
+  const Graph g = make_barbell(3, 0);
+  EXPECT_EQ(g.num_nodes(), 6);
+  EXPECT_TRUE(g.connected());
+  EXPECT_TRUE(g.has_edge(2, 3));  // direct clique-to-clique link
+}
+
+TEST(Topologies, CaterpillarStructure) {
+  const Graph g = make_caterpillar(5, 2);  // 5 spine + 10 leaves
+  EXPECT_EQ(g.num_nodes(), 15);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.num_edges(), 4u + 10u);
+  EXPECT_EQ(g.degree(0), 3u);  // end of spine: 1 spine + 2 legs
+  EXPECT_EQ(g.degree(2), 4u);  // middle: 2 spine + 2 legs
+  // Leaf to far leaf: 1 + 4 + 1.
+  EXPECT_EQ(g.diameter(), 6);
+}
+
+TEST(Topologies, RandomRegularIsConnectedLowDiameter) {
+  const Graph g = make_random_regular(64, 4, 5);
+  EXPECT_TRUE(g.connected());
+  EXPECT_LE(g.max_degree(), 6u);
+  EXPECT_GE(g.max_degree(), 3u);
+  // Expander-ish: far below the ring's diameter of 32.
+  EXPECT_LT(g.diameter(), 16);
+}
+
+class RandomTopologyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTopologyProperty, RandomTreeIsSpanningTree) {
+  const Graph g = make_random_tree(40, GetParam());
+  EXPECT_EQ(g.num_edges(), 39u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST_P(RandomTopologyProperty, ConnectedErIsConnected) {
+  const Graph g = make_connected_er(30, 0.05, GetParam());
+  EXPECT_TRUE(g.connected());
+  EXPECT_GE(g.num_edges(), 29u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopologyProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Topologies, RandomTreeDeterministicPerSeed) {
+  const Graph a = make_random_tree(25, 7);
+  const Graph b = make_random_tree(25, 7);
+  EXPECT_EQ(a.edges(), b.edges());
+  const Graph c = make_random_tree(25, 8);
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+}  // namespace
+}  // namespace tbcs::graph

@@ -1,0 +1,462 @@
+// Tests of the Section 7 lower-bound adversaries: the constructed
+// executions must be legal (rates/delays within bounds) and must force
+// the skews the theorems claim — against A^opt itself.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "analysis/skew_tracker.hpp"
+#include "core/aopt.hpp"
+#include "core/params.hpp"
+#include "graph/topologies.hpp"
+#include "lowerbound/global_adversary.hpp"
+#include "lowerbound/local_adversary.hpp"
+#include "lowerbound/shifting.hpp"
+#include "sim/simulator.hpp"
+
+namespace tbcs::lowerbound {
+namespace {
+
+constexpr double kT = 1.0;
+
+// ---- PiecewiseRate ------------------------------------------------------------
+
+TEST(PiecewiseRate, ConstantRate) {
+  PiecewiseRate p({{0.0, 2.0}});
+  EXPECT_DOUBLE_EQ(p.value_at(3.0), 6.0);
+  EXPECT_DOUBLE_EQ(p.time_when(6.0), 3.0);
+  EXPECT_DOUBLE_EQ(p.rate_at(100.0), 2.0);
+}
+
+TEST(PiecewiseRate, TwoSegments) {
+  PiecewiseRate p({{0.0, 1.0}, {10.0, 0.5}});
+  EXPECT_DOUBLE_EQ(p.value_at(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.value_at(14.0), 12.0);
+  EXPECT_DOUBLE_EQ(p.time_when(12.0), 14.0);
+  EXPECT_DOUBLE_EQ(p.time_when(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(p.rate_at(9.999), 1.0);
+  EXPECT_DOUBLE_EQ(p.rate_at(10.0), 0.5);
+}
+
+TEST(PiecewiseRate, InverseRoundTrip) {
+  PiecewiseRate p({{0.0, 1.2}, {5.0, 0.8}, {9.0, 1.05}});
+  for (double t = 0.0; t < 20.0; t += 0.37) {
+    EXPECT_NEAR(p.time_when(p.value_at(t)), t, 1e-9);
+  }
+}
+
+// ---- Lemma 7.10 / Definition 7.1: single-node shifts -----------------------------
+
+class ShiftIndistinguishability : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShiftIndistinguishability, ExactAgainstRealAlgorithm) {
+  // Run A^opt in the base execution E and in the shifted execution E-bar;
+  // Definition 7.1 predicts *numerically identical* behavior: every node
+  // other than v has the same logical clock at the same real time, and v
+  // has the same logical clock at the same hardware reading.
+  const sim::NodeId v = static_cast<sim::NodeId>(GetParam());
+  const auto g = graph::make_path(5);
+  const core::SyncParams params = core::SyncParams::recommended(kT, 0.05, 0.0);
+
+  SingleNodeShift::Config cfg;
+  cfg.node = v;
+  cfg.shift = 0.2;       // <= phi T with gamma in [0.37, 0.63]
+  cfg.rate_drop = 0.05;  // legal: rates stay within [1 - eps, 1 + eps]
+  cfg.delay = kT;
+  // A phi-framed base: asymmetric but bounded-away-from-{0, T} delays.
+  SingleNodeShift shift(cfg, [](sim::NodeId from, sim::NodeId to) {
+    return from < to ? 0.37 : 0.58;
+  });
+
+  const auto run = [&](bool shifted) {
+    sim::SimConfig scfg;
+    scfg.wake_all_at_zero = true;
+    auto sim = std::make_unique<sim::Simulator>(g, scfg);
+    sim->set_all_nodes([&params](sim::NodeId) {
+      return std::make_unique<core::AoptNode>(params);
+    });
+    sim->set_drift_policy(shifted ? shift.shifted_drift_policy()
+                                  : shift.base_drift_policy());
+    sim->set_delay_policy(shifted ? shift.shifted_delay_policy()
+                                  : shift.base_delay_policy());
+    sim->run_until(100.0);
+    return sim;
+  };
+
+  const auto base = run(false);
+  const auto bar = run(true);
+
+  for (sim::NodeId u = 0; u < 5; ++u) {
+    if (u == v) continue;
+    EXPECT_NEAR(bar->logical(u), base->logical(u), 1e-6)
+        << "node " << u << " must be oblivious to the shift of node " << v;
+  }
+  // v itself: same logical value at the same hardware reading.  At t = 100
+  // (past the window) H_v^Ebar(100) = 100 - shift, and in E node v showed
+  // that hardware reading at real time 100 - shift.
+  EXPECT_NEAR(bar->hardware(v), base->hardware(v) - cfg.shift, 1e-9);
+  EXPECT_NEAR(bar->logical(v),
+              base->node(v).logical_at(base->hardware(v) - cfg.shift), 1e-6)
+      << "v replays its E behavior, delayed by the stolen hardware time";
+  // So v's clock *lags* by ~shift (the lemma's conclusion): skew appeared
+  // out of nowhere, invisible to everyone.
+  EXPECT_GT(base->logical(v) - bar->logical(v), 0.5 * cfg.shift);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShiftTargets, ShiftIndistinguishability,
+                         ::testing::Values(0, 2, 4));
+
+TEST(RateTrap, JumpVariantConvertsSpeedIntoNeighborSkew) {
+  // Section 7.3's punchline, in miniature: an algorithm that moves its
+  // clock fast (here: the jump variant reacting to a large L^max) can be
+  // made to carry that progress as *neighbor skew* by a Lemma 7.10 shift
+  // of the neighbor — the two executions are indistinguishable, so the
+  // algorithm jumps in both, but in E-bar the neighbor never got the
+  // stolen hardware time back.
+  const auto g = graph::make_path(3);
+  const core::SyncParams params = core::SyncParams::recommended(kT, 0.05, 0.0);
+  core::AoptOptions jump;
+  jump.jump_mode = true;
+
+  SingleNodeShift::Config cfg;
+  cfg.node = 2;          // steal time from the far end
+  cfg.shift = 0.25;
+  cfg.rate_drop = 0.05;
+  cfg.delay = kT;
+  SingleNodeShift shift(cfg, [](sim::NodeId, sim::NodeId) { return 0.4; });
+
+  const auto run = [&](bool shifted) {
+    sim::SimConfig scfg;
+    scfg.wake_all_at_zero = true;
+    auto sim = std::make_unique<sim::Simulator>(g, scfg);
+    sim->set_all_nodes([&params, &jump](sim::NodeId) {
+      return std::make_unique<core::AoptNode>(params, jump);
+    });
+    sim->set_drift_policy(shifted ? shift.shifted_drift_policy()
+                                  : shift.base_drift_policy());
+    sim->set_delay_policy(shifted ? shift.shifted_delay_policy()
+                                  : shift.base_delay_policy());
+    sim->run_until(50.0);
+    return sim;
+  };
+
+  const auto base = run(false);
+  const auto bar = run(true);
+
+  // Node 1 (the victim's neighbor) behaves identically in both runs...
+  EXPECT_NEAR(bar->logical(1), base->logical(1), 1e-6);
+  // ...so whatever skew node 1..2 had in E grows by ~shift in E-bar.
+  const double skew_base = base->logical(1) - base->logical(2);
+  const double skew_bar = bar->logical(1) - bar->logical(2);
+  EXPECT_NEAR(skew_bar - skew_base, cfg.shift, 0.05)
+      << "the stolen hardware time must surface as local skew";
+}
+
+TEST(ShiftLegality, DelaysStayWithinModelBounds) {
+  const auto g = graph::make_path(4);
+  const core::SyncParams params = core::SyncParams::recommended(kT, 0.05, 0.0);
+  SingleNodeShift::Config cfg;
+  cfg.node = 1;
+  cfg.shift = 0.3;
+  cfg.rate_drop = 0.05;
+  cfg.delay = kT;
+  SingleNodeShift shift(cfg, [](sim::NodeId, sim::NodeId) { return 0.5; });
+
+  sim::SimConfig scfg;
+  scfg.wake_all_at_zero = true;
+  sim::Simulator sim(g, scfg);
+  sim.set_all_nodes([&params](sim::NodeId) {
+    return std::make_unique<core::AoptNode>(params);
+  });
+  sim.set_drift_policy(shift.shifted_drift_policy());
+  auto inner = shift.shifted_delay_policy();
+  double lo = 1e18;
+  double hi = -1e18;
+  sim.set_delay_policy(std::make_shared<sim::CallbackDelay>(
+      [inner, &lo, &hi](sim::NodeId from, sim::NodeId to, sim::RealTime t,
+                        const sim::Simulator& s) {
+        const sim::RealTime at = inner->delivery_time(from, to, t, s);
+        lo = std::min(lo, at - t);
+        hi = std::max(hi, at - t);
+        return at;
+      }));
+  sim.run_until(60.0);
+  EXPECT_GE(lo, 0.0);
+  EXPECT_LE(hi, kT + 1e-9);
+  // The adjustment is bounded by the shift: delays stay within
+  // [0.5 - shift, 0.5 + shift].
+  EXPECT_GE(lo, 0.5 - cfg.shift - 1e-9);
+  EXPECT_LE(hi, 0.5 + cfg.shift + 1e-9);
+}
+
+// ---- Theorem 7.2: global skew adversary -----------------------------------------
+
+class GlobalLb : public ::testing::TestWithParam<int> {};
+
+TEST_P(GlobalLb, ForcesPredictedGlobalSkewOnAopt) {
+  const int n = GetParam();
+  const auto g = graph::make_path(n);
+  const double eps = 0.05;
+
+  GlobalSkewAdversary::Config cfg;
+  cfg.eps = eps;
+  cfg.eps_hat = eps;
+  cfg.delay = kT;
+  cfg.c1 = 0.5;  // T is half the algorithm's estimate: rho = eps regime
+  cfg.c2 = 1.0;
+  GlobalSkewAdversary adv(g, 0, cfg);
+
+  // rho = min(eps, (1-eps)/c1 - 1) = eps here (since (1-eps)*2-1 > eps).
+  EXPECT_DOUBLE_EQ(adv.rho(), eps);
+
+  const core::SyncParams params = core::SyncParams::recommended(
+      /*delay_hat=*/kT / cfg.c1, /*eps_hat=*/eps, 0.0);
+
+  sim::SimConfig scfg;
+  scfg.wake_all_at_zero = true;
+  sim::Simulator sim(g, scfg);
+  sim.set_all_nodes(
+      [&params](sim::NodeId) { return std::make_unique<core::AoptNode>(params); });
+  sim.set_drift_policy(adv.drift_policy());
+  sim.set_delay_policy(adv.delay_policy());
+
+  analysis::SkewTracker::Options topt;
+  topt.audit_epsilon = eps;
+  analysis::SkewTracker tracker(sim, topt);
+  tracker.attach(sim);
+
+  sim.run_until(adv.t0() * 1.05);
+
+  // The execution must be legal.
+  EXPECT_LE(tracker.max_envelope_violation(), 1e-6);
+
+  // The forced skew approaches (1 + rho_eff) D T.
+  const double predicted = adv.predicted_skew();
+  EXPECT_GE(tracker.max_global_skew(), 0.9 * predicted)
+      << "n = " << n << ": adversary must force ~(1+rho) D T";
+  // And never exceeds the Theorem 5.5 guarantee computed with the hats.
+  const double g_bound =
+      params.global_skew_bound(n - 1, eps, kT / cfg.c1);
+  EXPECT_LE(tracker.max_global_skew(), g_bound + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(PathSizes, GlobalLb, ::testing::Values(8, 16, 32));
+
+TEST(GlobalLb, ExactKnowledgeStillForcesAlmostDT) {
+  // With c1 = c2 = 1, rho = -eps: the bound degrades to (1 - eps) D T,
+  // showing the (1 +/- eps) window of Corollary 7.3.
+  const auto g = graph::make_path(16);
+  const double eps = 0.05;
+  GlobalSkewAdversary::Config cfg;
+  cfg.eps = eps;
+  cfg.eps_hat = eps;
+  cfg.delay = kT;
+  GlobalSkewAdversary adv(g, 0, cfg);
+  EXPECT_NEAR(adv.rho(), -eps, 1e-12);
+  EXPECT_NEAR(adv.predicted_skew(), (1.0 - eps) * 15.0 * kT, 1e-9);
+}
+
+TEST(GlobalLb, E1ExecutionKeepsClocksIdentical) {
+  // In execution E1 all rates are equal and the delay pattern hides
+  // everything: A^opt must keep zero skew (which is why it cannot
+  // distinguish E1 from E3).
+  const auto g = graph::make_path(12);
+  const double eps = 0.05;
+  GlobalSkewAdversary::Config cfg;
+  cfg.eps = eps;
+  cfg.eps_hat = eps;
+  cfg.delay = kT;
+  cfg.c1 = 0.5;
+  GlobalSkewAdversary adv(g, 0, cfg);
+
+  sim::SimConfig scfg;
+  scfg.wake_all_at_zero = true;
+  sim::Simulator sim(g, scfg);
+  const core::SyncParams params =
+      core::SyncParams::recommended(kT / cfg.c1, eps, 0.0);
+  sim.set_all_nodes(
+      [&params](sim::NodeId) { return std::make_unique<core::AoptNode>(params); });
+  sim.set_drift_policy(adv.e1_drift_policy());
+  sim.set_delay_policy(adv.e1_delay_policy());
+
+  analysis::SkewTracker tracker(sim, {});
+  tracker.attach(sim);
+  sim.run_until(500.0);
+
+  EXPECT_LE(tracker.max_global_skew(), 1e-6)
+      << "identical rates + masked delays must leave no observable skew";
+}
+
+TEST(GlobalLb, ExecutionsE1E2E3AreIndistinguishableAtLocalTimes) {
+  // Definition 7.1 for the Theorem 7.2 triple: run A^opt in E1, E2, and
+  // E3 and compare every node's *logical clock at equal hardware
+  // readings* — they must agree to numerical precision, because each node
+  // observes the identical message pattern on its local time axis.
+  const auto g = graph::make_path(8);
+  const double eps = 0.05;
+  GlobalSkewAdversary::Config cfg;
+  cfg.eps = eps;
+  cfg.eps_hat = eps;
+  cfg.delay = kT;
+  cfg.c1 = 0.5;
+  GlobalSkewAdversary adv(g, 0, cfg);
+  const core::SyncParams params =
+      core::SyncParams::recommended(kT / cfg.c1, eps, 0.0);
+
+  struct Execution {
+    std::unique_ptr<sim::Simulator> sim;
+  };
+  const auto run = [&](std::shared_ptr<sim::DriftPolicy> drift,
+                       std::shared_ptr<sim::DelayPolicy> delay) {
+    sim::SimConfig scfg;
+    scfg.wake_all_at_zero = true;
+    auto s = std::make_unique<sim::Simulator>(g, scfg);
+    s->set_all_nodes([&params](sim::NodeId) {
+      return std::make_unique<core::AoptNode>(params);
+    });
+    s->set_drift_policy(std::move(drift));
+    s->set_delay_policy(std::move(delay));
+    return s;
+  };
+
+  auto e1 = run(adv.e1_drift_policy(), adv.e1_delay_policy());
+  auto e2 = run(adv.e2_drift_policy(), adv.e2_delay_policy());
+  auto e3 = run(adv.drift_policy(), adv.delay_policy());
+
+  // Compare at several common hardware readings.
+  for (const double h : {25.0, 60.0, 120.0}) {
+    for (sim::NodeId v = 0; v < g.num_nodes(); ++v) {
+      const double t1 = adv.e1_time_at_hardware(v, h);
+      const double t2 = adv.e2_time_at_hardware(v, h);
+      const double t3 = adv.e3_time_at_hardware(v, h);
+      e1->run_until(t1);
+      e2->run_until(t2);
+      e3->run_until(t3);
+      ASSERT_NEAR(e1->hardware(v), h, 1e-9);
+      ASSERT_NEAR(e2->hardware(v), h, 1e-9);
+      ASSERT_NEAR(e3->hardware(v), h, 1e-9);
+      const double l1 = e1->logical(v);
+      EXPECT_NEAR(e2->logical(v), l1, 1e-6)
+          << "node " << v << " distinguishes E2 from E1 at H = " << h;
+      EXPECT_NEAR(e3->logical(v), l1, 1e-6)
+          << "node " << v << " distinguishes E3 from E1 at H = " << h;
+    }
+  }
+}
+
+// ---- Theorem 7.7: local skew construction ----------------------------------------
+
+TEST(LocalLb, ForcesGrowingPerEdgeSkewOnAopt) {
+  // The shrink factor must respect b >= 2(beta - alpha)/(alpha * eps) for
+  // the masked gain to survive the algorithm's correction between
+  // windows.  Attacking with drift beyond the algorithm's estimate
+  // (eps = 0.2 vs eps_hat = 0.05, so beta - alpha ~ 0.87 and alpha = 0.8)
+  // requires b >= 11.
+  const int b = 11;
+  const int edges = b * b;  // two shrink levels
+  const auto g = graph::make_path(edges + 1);
+  const double eps = 0.2;
+
+  const core::SyncParams params = core::SyncParams::recommended(kT, 0.05, 0.0);
+
+  sim::SimConfig scfg;
+  scfg.wake_all_at_zero = true;
+  sim::Simulator sim(g, scfg);
+  sim.set_all_nodes(
+      [&params](sim::NodeId) { return std::make_unique<core::AoptNode>(params); });
+  sim.set_drift_policy(std::make_shared<sim::ConstantDrift>(1.0));
+
+  LocalSkewConstruction::Config cfg;
+  cfg.eps = eps;
+  cfg.delay = kT;
+  LocalSkewConstruction adv(sim, cfg);
+  sim.set_delay_policy(adv.delay_policy());
+
+  const auto levels = adv.run(b);
+  ASSERT_EQ(levels.size(), 3u);
+
+  // Level 0 (whole path): roughly alpha * d * T skew must appear.
+  EXPECT_GE(levels[0].per_edge, 0.4 * kT)
+      << "the masked ramp must build ~T per edge on the full path";
+
+  // The final level is a single edge carrying super-constant skew: the
+  // zooming traded path length for per-edge skew.
+  EXPECT_EQ(levels.back().length, 1);
+  EXPECT_GE(levels.back().skew, 2.0 * kT)
+      << "neighbors must end up with multiple T of skew";
+  EXPECT_GT(levels.back().per_edge, 1.5 * levels[0].per_edge);
+
+  // Sanity ceiling: the construction gains ~alpha T per level, so two
+  // levels cannot have produced an order of magnitude more (no metric or
+  // masking bug inflates the numbers).
+  EXPECT_LE(levels.back().skew, 10.0 * kT);
+}
+
+TEST(LocalLb, DelaysStayLegal) {
+  // Wrap the construction's delay policy and audit every delay.
+  const int b = 4;
+  const auto g = graph::make_path(b * b + 1);
+  const core::SyncParams params = core::SyncParams::recommended(kT, 0.05, 0.0);
+
+  sim::SimConfig scfg;
+  scfg.wake_all_at_zero = true;
+  sim::Simulator sim(g, scfg);
+  sim.set_all_nodes(
+      [&params](sim::NodeId) { return std::make_unique<core::AoptNode>(params); });
+
+  LocalSkewConstruction::Config cfg;
+  cfg.eps = 0.2;
+  cfg.delay = kT;
+  LocalSkewConstruction adv(sim, cfg);
+  auto inner = adv.delay_policy();
+  double worst_low = 0.0;
+  double worst_high = 0.0;
+  sim.set_delay_policy(std::make_shared<sim::CallbackDelay>(
+      [inner, &worst_low, &worst_high](sim::NodeId from, sim::NodeId to,
+                                       sim::RealTime t, const sim::Simulator& s) {
+        const sim::RealTime at = inner->delivery_time(from, to, t, s);
+        worst_low = std::min(worst_low, at - t);
+        worst_high = std::max(worst_high, at - t);
+        return at;
+      }));
+
+  adv.run(b);
+  EXPECT_GE(worst_low, -1e-9) << "no negative delays";
+  EXPECT_LE(worst_high, kT + 1e-9) << "no delay above T";
+}
+
+TEST(LocalLb, RampRatesWithinFrame) {
+  // The schedule injected by the construction must stay within [1, 1+eps]
+  // (phi-framed execution, Definition 7.5).  Audit via the clock rates.
+  const int b = 4;
+  const auto g = graph::make_path(b * b + 1);
+  const core::SyncParams params = core::SyncParams::recommended(kT, 0.05, 0.0);
+  sim::SimConfig scfg;
+  scfg.wake_all_at_zero = true;
+  sim::Simulator sim(g, scfg);
+  sim.set_all_nodes(
+      [&params](sim::NodeId) { return std::make_unique<core::AoptNode>(params); });
+
+  LocalSkewConstruction::Config cfg;
+  cfg.eps = 0.15;
+  cfg.delay = kT;
+  LocalSkewConstruction adv(sim, cfg);
+  sim.set_delay_policy(adv.delay_policy());
+
+  double rate_min = 1e18;
+  double rate_max = -1e18;
+  sim.set_observer([&](const sim::Simulator& s, double) {
+    for (sim::NodeId v = 0; v < s.num_nodes(); ++v) {
+      rate_min = std::min(rate_min, s.clock(v).rate());
+      rate_max = std::max(rate_max, s.clock(v).rate());
+    }
+  });
+  adv.run(b);
+
+  EXPECT_GE(rate_min, 1.0 - 1e-9);
+  EXPECT_LE(rate_max, 1.15 + 1e-9);
+}
+
+}  // namespace
+}  // namespace tbcs::lowerbound

@@ -1,0 +1,141 @@
+// Integration tests of the threaded runtime: the same A^opt objects that
+// run in the simulator, on real threads with drift-scaled clocks and
+// delay-injected channels.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "core/aopt.hpp"
+#include "core/params.hpp"
+#include "graph/topologies.hpp"
+#include "runtime/threaded_network.hpp"
+#include "runtime/virtual_time.hpp"
+#include "sim/rng.hpp"
+
+namespace tbcs::runtime {
+namespace {
+
+TEST(VirtualClock, ZeroBeforeStart) {
+  VirtualClock c(1.0);
+  EXPECT_FALSE(c.started());
+  EXPECT_DOUBLE_EQ(c.now_units(), 0.0);
+}
+
+TEST(VirtualClock, AdvancesRoughlyAtConfiguredRate) {
+  VirtualClock fast(2.0);
+  VirtualClock slow(0.5);
+  fast.start();
+  slow.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const double f = fast.now_units();
+  const double s = slow.now_units();
+  // 50ms at rate 2 ~ 100 units; rate 0.5 ~ 25 units; allow heavy jitter.
+  EXPECT_GT(f, 60.0);
+  EXPECT_LT(f, 250.0);
+  EXPECT_GT(s, 15.0);
+  EXPECT_LT(s, 60.0);
+  EXPECT_GT(f, 2.5 * s);
+}
+
+TEST(VirtualClock, WhenReachesRoundTrips) {
+  VirtualClock c(1.5);
+  c.start();
+  const auto tp = c.when_reaches(30.0);
+  std::this_thread::sleep_until(tp);
+  EXPECT_GE(c.now_units(), 30.0 - 0.5);
+}
+
+core::SyncParams runtime_params() {
+  // Units are milliseconds: delay bound 2ms, eps_hat covers scheduling
+  // jitter on top of the injected drift.
+  return core::SyncParams::with(/*delay_hat=*/2.0, /*eps_hat=*/0.02,
+                                /*mu=*/0.5, /*h0=*/10.0);
+}
+
+TEST(ThreadedNetwork, FloodWakesEveryNode) {
+  const auto g = graph::make_path(4);
+  ThreadedNetwork::Config cfg;
+  cfg.delay_max = 1.0;
+  ThreadedNetwork net(g, cfg);
+  const auto params = runtime_params();
+  for (sim::NodeId v = 0; v < 4; ++v) {
+    net.add_node(v, std::make_unique<core::AoptNode>(params), 1.0);
+  }
+  net.start(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  for (sim::NodeId v = 0; v < 4; ++v) EXPECT_TRUE(net.awake(v));
+  net.stop();
+}
+
+TEST(ThreadedNetwork, ClocksProgressAndStayOrdered) {
+  const auto g = graph::make_ring(5);
+  ThreadedNetwork::Config cfg;
+  cfg.delay_max = 2.0;
+  cfg.seed = 9;
+  ThreadedNetwork net(g, cfg);
+  const auto params = runtime_params();
+  sim::Rng rng(123);
+  for (sim::NodeId v = 0; v < 5; ++v) {
+    net.add_node(v, std::make_unique<core::AoptNode>(params),
+                 rng.uniform(0.99, 1.01));
+  }
+  net.start(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const double l_early = net.logical(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const double l_late = net.logical(0);
+  EXPECT_GT(l_late, l_early) << "logical clocks must keep progressing";
+  net.stop();
+}
+
+TEST(ThreadedNetwork, SkewStaysNearTheoryBound) {
+  // Grid of 9 nodes, ~1% drift, <= 2ms delays, ~1.2s of real time.  The
+  // theory bound G = (1+eps) D T + ... ~ 8.3 units; scheduling jitter on
+  // a loaded CI box can add real latency, so assert a generous multiple.
+  const auto g = graph::make_grid(3, 3);
+  ThreadedNetwork::Config cfg;
+  cfg.delay_max = 2.0;
+  cfg.seed = 42;
+  ThreadedNetwork net(g, cfg);
+  const auto params = runtime_params();
+  sim::Rng rng(7);
+  for (sim::NodeId v = 0; v < 9; ++v) {
+    net.add_node(v, std::make_unique<core::AoptNode>(params),
+                 rng.uniform(0.99, 1.01));
+  }
+  net.start(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+
+  double worst_global = 0.0;
+  double worst_local = 0.0;
+  for (int probe = 0; probe < 20; ++probe) {
+    worst_global = std::max(worst_global, net.sample_global_skew());
+    worst_local = std::max(worst_local, net.sample_local_skew());
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  net.stop();
+
+  const double g_bound = params.global_skew_bound(g.diameter(), 0.02, 2.0);
+  EXPECT_LT(worst_global, 5.0 * g_bound)
+      << "live global skew far beyond theory indicates a runtime bug";
+  EXPECT_LT(worst_local, 5.0 * g_bound);
+  EXPECT_GT(worst_global, 0.0);
+}
+
+TEST(ThreadedNetwork, StopIsIdempotentAndJoinsCleanly) {
+  const auto g = graph::make_path(3);
+  ThreadedNetwork net(g, {});
+  const auto params = runtime_params();
+  for (sim::NodeId v = 0; v < 3; ++v) {
+    net.add_node(v, std::make_unique<core::AoptNode>(params), 1.0);
+  }
+  net.start(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  net.stop();
+  net.stop();  // second stop must be a no-op
+}
+
+}  // namespace
+}  // namespace tbcs::runtime

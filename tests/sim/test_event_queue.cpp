@@ -1,0 +1,104 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace tbcs::sim {
+namespace {
+
+Event at(RealTime t) {
+  Event e;
+  e.time = t;
+  return e;
+}
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(at(3.0));
+  q.push(at(1.0));
+  q.push(at(2.0));
+  EXPECT_DOUBLE_EQ(q.pop().time, 1.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 2.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 3.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) {
+    Event e = at(5.0);
+    e.slot = i;  // marker
+    q.push(e);
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(q.pop().slot, i) << "FIFO order must hold for equal times";
+  }
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue q;
+  q.push(at(10.0));
+  q.push(at(5.0));
+  EXPECT_DOUBLE_EQ(q.pop().time, 5.0);
+  q.push(at(1.0));
+  q.push(at(7.0));
+  EXPECT_DOUBLE_EQ(q.pop().time, 1.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 7.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 10.0);
+}
+
+TEST(EventQueue, TopDoesNotPop) {
+  EventQueue q;
+  q.push(at(2.0));
+  EXPECT_DOUBLE_EQ(q.top().time, 2.0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, RandomizedOrderingProperty) {
+  EventQueue q;
+  Rng rng(777);
+  for (int i = 0; i < 5000; ++i) q.push(at(rng.uniform(0.0, 1000.0)));
+  RealTime last = -1.0;
+  while (!q.empty()) {
+    const RealTime t = q.pop().time;
+    EXPECT_GE(t, last);
+    last = t;
+  }
+}
+
+TEST(EventQueue, CarriesPayload) {
+  EventQueue q;
+  Event e = at(1.0);
+  e.kind = EventKind::kMessageDelivery;
+  e.node = 42;
+  e.msg.logical = 3.25;
+  e.msg.logical_max = 7.5;
+  e.msg.sender = 41;
+  q.push(e);
+  const Event out = q.pop();
+  EXPECT_EQ(out.kind, EventKind::kMessageDelivery);
+  EXPECT_EQ(out.node, 42);
+  EXPECT_EQ(out.msg.sender, 41);
+  EXPECT_DOUBLE_EQ(out.msg.logical, 3.25);
+  EXPECT_DOUBLE_EQ(out.msg.logical_max, 7.5);
+}
+
+TEST(EventQueue, ClearEmpties) {
+  EventQueue q;
+  q.push(at(1.0));
+  q.push(at(2.0));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace tbcs::sim

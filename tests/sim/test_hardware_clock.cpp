@@ -1,0 +1,104 @@
+#include "sim/hardware_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/rng.hpp"
+
+namespace tbcs::sim {
+namespace {
+
+TEST(HardwareClock, ZeroBeforeStart) {
+  HardwareClock c;
+  EXPECT_FALSE(c.started());
+  EXPECT_DOUBLE_EQ(c.value_at(5.0), 0.0);
+  EXPECT_EQ(c.start_time(), kInfinity);
+}
+
+TEST(HardwareClock, IntegratesConstantRate) {
+  HardwareClock c;
+  c.set_rate(0.0, 1.5);
+  c.start(2.0);
+  EXPECT_DOUBLE_EQ(c.value_at(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.value_at(4.0), 3.0);
+  EXPECT_DOUBLE_EQ(c.start_time(), 2.0);
+}
+
+TEST(HardwareClock, ValueZeroBeforeStartTime) {
+  HardwareClock c;
+  c.set_rate(0.0, 2.0);
+  c.start(10.0);
+  EXPECT_DOUBLE_EQ(c.value_at(3.0), 0.0);
+}
+
+TEST(HardwareClock, RateChangeIsContinuous) {
+  HardwareClock c;
+  c.set_rate(0.0, 1.0);
+  c.start(0.0);
+  c.set_rate(5.0, 0.5);
+  EXPECT_DOUBLE_EQ(c.value_at(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(c.value_at(9.0), 7.0);
+  c.set_rate(9.0, 2.0);
+  EXPECT_DOUBLE_EQ(c.value_at(10.0), 9.0);
+}
+
+TEST(HardwareClock, RateChangeBeforeStartSetsInitialRate) {
+  HardwareClock c;
+  c.set_rate(0.0, 0.9);
+  c.set_rate(0.0, 1.1);  // overrides
+  c.start(1.0);
+  EXPECT_DOUBLE_EQ(c.value_at(2.0), 1.1);
+}
+
+TEST(HardwareClock, InverseMatchesForward) {
+  HardwareClock c;
+  c.set_rate(0.0, 1.25);
+  c.start(0.0);
+  const RealTime t = c.time_when_reaches(10.0, 0.0);
+  EXPECT_DOUBLE_EQ(c.value_at(t), 10.0);
+}
+
+TEST(HardwareClock, InverseReturnsNowForReachedTargets) {
+  HardwareClock c;
+  c.set_rate(0.0, 1.0);
+  c.start(0.0);
+  EXPECT_DOUBLE_EQ(c.time_when_reaches(3.0, 5.0), 5.0);
+}
+
+TEST(HardwareClock, InverseAfterRateChange) {
+  HardwareClock c;
+  c.set_rate(0.0, 1.0);
+  c.start(0.0);
+  c.set_rate(4.0, 0.5);
+  // H(4) = 4; to reach 6 needs 4 more time at rate 0.5.
+  EXPECT_DOUBLE_EQ(c.time_when_reaches(6.0, 4.0), 8.0);
+}
+
+class HardwareClockProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HardwareClockProperty, MonotoneAndInverseConsistentUnderRandomRates) {
+  Rng rng(GetParam());
+  HardwareClock c;
+  c.set_rate(0.0, rng.uniform(0.5, 1.5));
+  c.start(0.0);
+  RealTime t = 0.0;
+  double last_h = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    t += rng.uniform(0.01, 2.0);
+    const double h = c.value_at(t);
+    EXPECT_GT(h, last_h) << "hardware clocks are strictly increasing";
+    // Inverse round-trip from the current position.
+    const double target = h + rng.uniform(0.0, 3.0);
+    const RealTime hit = c.time_when_reaches(target, t);
+    EXPECT_NEAR(c.value_at(hit), target, 1e-9);
+    last_h = h;
+    c.set_rate(t, rng.uniform(0.5, 1.5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HardwareClockProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace tbcs::sim

@@ -1,0 +1,97 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace tbcs::sim {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-2.5, 7.25);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 7.25);
+  }
+}
+
+TEST(Rng, UniformMeanRoughlyCentered) {
+  Rng rng(11);
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += rng.uniform(0.0, 1.0);
+  EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_index(17), 17u);
+  }
+  EXPECT_EQ(rng.uniform_index(0), 0u);
+}
+
+TEST(Rng, UniformIndexHitsAllBuckets) {
+  Rng rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng parent1(99);
+  Rng parent2(99);
+  Rng child1 = parent1.split(1);
+  Rng child2 = parent2.split(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child1.next_u64(), child2.next_u64());
+
+  Rng p(99);
+  Rng ca = p.split(1);
+  Rng cb = p.split(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (ca.next_u64() != cb.next_u64()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, BoolIsBalanced) {
+  Rng rng(23);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) heads += rng.next_bool() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace tbcs::sim

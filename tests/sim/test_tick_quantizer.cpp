@@ -1,0 +1,108 @@
+// Section 8.4: discrete clocks.  T is effectively replaced by
+// max(1/f, T); for 1/f < T the effect is negligible.
+#include "sim/tick_quantizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/skew_tracker.hpp"
+#include "core/aopt.hpp"
+#include "core/params.hpp"
+#include "graph/topologies.hpp"
+#include "sim/simulator.hpp"
+
+namespace tbcs::sim {
+namespace {
+
+core::SyncParams params() { return core::SyncParams::recommended(1.0, 0.02, 0.3); }
+
+std::unique_ptr<Node> ticked(double f) {
+  return std::make_unique<TickQuantizedNode>(
+      std::make_unique<core::AoptNode>(params()), f);
+}
+
+TEST(TickQuantizer, LogicalClockMovesOnTickGridOnly) {
+  const auto g = graph::make_path(2);
+  SimConfig cfg;
+  cfg.wake_all_at_zero = true;
+  Simulator sim(g, cfg);
+  const double f = 2.0;  // coarse ticks: length 0.5
+  sim.set_all_nodes([f](NodeId) { return ticked(f); });
+  sim.set_delay_policy(std::make_shared<FixedDelay>(0.3));
+  sim.run_until(10.0);
+  // Between ticks the quantized hardware value is flat, so L is flat:
+  // evaluating L at t and at the preceding tick gives the same value.
+  const double l_now = sim.logical(0);
+  const double h = sim.hardware(0);
+  const double h_tick = std::floor(h * f) / f;
+  EXPECT_DOUBLE_EQ(sim.node(0).logical_at(h_tick), l_now);
+}
+
+TEST(TickQuantizer, MessagesProcessedAtNextTick) {
+  // With delay 0.1 and tick length 0.5, node 1 (woken by the message) can
+  // only have acted at a tick of node 0...  More directly: fine ticks vs
+  // coarse ticks produce different reaction times but both synchronize.
+  const auto g = graph::make_path(4);
+  for (const double f : {1.0, 10.0, 1000.0}) {
+    Simulator sim(g);
+    sim.set_all_nodes([f](NodeId) { return ticked(f); });
+    sim.set_delay_policy(std::make_shared<UniformDelay>(0.0, 1.0, 5));
+    sim.run_until(100.0);
+    for (NodeId v = 0; v < 4; ++v) {
+      EXPECT_TRUE(sim.awake(v)) << "f = " << f;
+      EXPECT_GT(sim.logical(v), 0.0);
+    }
+  }
+}
+
+TEST(TickQuantizer, SkewBoundsHoldWithEffectiveDelay) {
+  // Section 8.4: the skew bounds hold with T replaced by max(1/f, T).
+  const auto g = graph::make_path(10);
+  const double f = 4.0;  // tick length 0.25 < T = 1: negligible effect
+  Simulator sim(g);
+  sim.set_all_nodes([f](NodeId) { return ticked(f); });
+  sim.set_drift_policy(std::make_shared<RandomWalkDrift>(0.02, 8.0, 3));
+  sim.set_delay_policy(std::make_shared<UniformDelay>(0.0, 1.0, 7));
+
+  analysis::SkewTracker tracker(sim, {});
+  tracker.attach(sim);
+  sim.run_until(400.0);
+
+  const auto p = params();
+  const double t_eff = 1.0 + 1.0 / f;  // delay uncertainty + tick slack
+  const int d = g.diameter();
+  EXPECT_LE(tracker.max_global_skew(),
+            p.global_skew_bound(d, 0.02, t_eff) + 1e-6);
+  EXPECT_LE(tracker.max_local_skew(),
+            p.local_skew_bound(d, 0.02, t_eff) + p.kappa + 1e-6);
+}
+
+TEST(TickQuantizer, CoarseTicksDegradeGracefully) {
+  // 1/f > T: the tick length dominates the effective uncertainty.
+  const auto g = graph::make_path(6);
+  const double f = 0.5;  // tick length 2 > T = 1
+  Simulator sim(g);
+  sim.set_all_nodes([f](NodeId) { return ticked(f); });
+  sim.set_drift_policy(std::make_shared<RandomWalkDrift>(0.02, 8.0, 9));
+  sim.set_delay_policy(std::make_shared<UniformDelay>(0.0, 1.0, 11));
+
+  analysis::SkewTracker tracker(sim, {});
+  tracker.attach(sim);
+  sim.run_until(300.0);
+
+  const auto p = params();
+  const double t_eff = 1.0 + 1.0 / f;
+  EXPECT_LE(tracker.max_global_skew(),
+            p.global_skew_bound(g.diameter(), 0.02, t_eff) + 1e-6);
+  EXPECT_GT(tracker.max_global_skew(), 0.0);
+}
+
+TEST(TickQuantizer, ExposesInnerAndTickLength) {
+  TickQuantizedNode n(std::make_unique<core::AoptNode>(params()), 100.0);
+  EXPECT_DOUBLE_EQ(n.tick_length(), 0.01);
+  EXPECT_DOUBLE_EQ(n.rate_multiplier(), 1.0);
+}
+
+}  // namespace
+}  // namespace tbcs::sim

@@ -1,0 +1,183 @@
+// tbcs_sim — run a clock synchronization experiment from the command line.
+//
+//   tbcs_sim --topology grid --rows 6 --cols 6 --algo aopt --eps 0.01
+//            --drift walk --delays uniform --duration 1000
+//            --series-csv out.csv          (one command line)
+//
+// Prints a summary (skews vs the paper bounds) and optionally exports the
+// time series / per-distance profile / final snapshot as CSV.
+#include <fstream>
+#include <iostream>
+
+#include "analysis/ascii_chart.hpp"
+#include "analysis/skew_tracker.hpp"
+#include "analysis/table.hpp"
+#include "analysis/trace.hpp"
+#include "cli/args.hpp"
+#include "cli/experiment_config.hpp"
+#include "sim/recorder.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(tbcs_sim — worst-case clock synchronization experiments
+
+topology:   --topology path|ring|star|complete|grid|torus|hypercube|tree|er
+            --nodes N | --rows R --cols C | --dims D | --arity A --levels L
+            --er-p P
+algorithm:  --algo aopt|aopt-jump|aopt-bounded|aopt-adaptive|aopt-external|
+                   aopt-envelope|aopt-ticks|max|max-rate|avg|free
+            --tick-frequency F         (aopt-ticks)
+model:      --eps E --delay T --mu M --h0 H     (0 = paper defaults)
+adversary:  --drift walk|square|sine|const
+            --delays uniform|fixed|band|bimodal|burst|hiding
+            --band-min F
+run:        --duration T --seed S --wake-all --per-distance
+output:     --series-csv FILE --profile-csv FILE --snapshot-csv FILE
+record:     --record FILE      save this execution (rates + delays)
+            --replay FILE      re-run a saved execution (overrides the
+                               adversary flags; topology/algo must match)
+display:    --chart            render the skew time series in the terminal
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tbcs;
+  cli::ArgParser args(argc, argv);
+  if (args.get_bool("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+
+  cli::ExperimentConfig cfg;
+  cfg.topology = args.get_string("topology", cfg.topology);
+  cfg.nodes = args.get_int("nodes", cfg.nodes);
+  cfg.rows = args.get_int("rows", cfg.rows);
+  cfg.cols = args.get_int("cols", cfg.cols);
+  cfg.dims = args.get_int("dims", cfg.dims);
+  cfg.arity = args.get_int("arity", cfg.arity);
+  cfg.levels = args.get_int("levels", cfg.levels);
+  cfg.er_p = args.get_double("er-p", cfg.er_p);
+  cfg.algorithm = args.get_string("algo", cfg.algorithm);
+  cfg.tick_frequency = args.get_double("tick-frequency", cfg.tick_frequency);
+  cfg.eps = args.get_double("eps", cfg.eps);
+  cfg.delay = args.get_double("delay", cfg.delay);
+  cfg.mu = args.get_double("mu", cfg.mu);
+  cfg.h0 = args.get_double("h0", cfg.h0);
+  cfg.drift = args.get_string("drift", cfg.drift);
+  cfg.delays = args.get_string("delays", cfg.delays);
+  cfg.band_min = args.get_double("band-min", cfg.band_min);
+  cfg.duration = args.get_double("duration", cfg.duration);
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.wake_all = args.get_bool("wake-all");
+  cfg.per_distance = args.get_bool("per-distance");
+  const std::string series_csv = args.get_string("series-csv", "");
+  const std::string profile_csv = args.get_string("profile-csv", "");
+  const std::string snapshot_csv = args.get_string("snapshot-csv", "");
+  const std::string record_file = args.get_string("record", "");
+  const std::string replay_file = args.get_string("replay", "");
+  const bool chart = args.get_bool("chart");
+
+  for (const auto& key : args.unknown_keys()) {
+    std::cerr << "error: unknown flag --" << key << "\n" << kUsage;
+    return 2;
+  }
+  if (!args.ok()) {
+    for (const auto& e : args.errors()) std::cerr << "error: " << e << "\n";
+    return 2;
+  }
+
+  try {
+    auto built = cli::build_experiment(cfg);
+    sim::Simulator& sim = *built.simulator;
+
+    auto record_log = std::make_shared<sim::ExecutionLog>();
+    if (!replay_file.empty()) {
+      std::ifstream is(replay_file);
+      if (!is) {
+        std::cerr << "error: cannot open " << replay_file << "\n";
+        return 1;
+      }
+      auto loaded = std::make_shared<const sim::ExecutionLog>(
+          sim::ExecutionLog::load(is));
+      sim.set_drift_policy(std::make_shared<sim::ReplayDriftPolicy>(loaded));
+      sim.set_delay_policy(std::make_shared<sim::ReplayDelayPolicy>(loaded));
+      std::cout << "replaying " << replay_file << " ("
+                << loaded->deliveries.size() << " deliveries)\n";
+    } else if (!record_file.empty()) {
+      sim.set_drift_policy(std::make_shared<sim::RecordingDriftPolicy>(
+          built.drift, record_log));
+      sim.set_delay_policy(std::make_shared<sim::RecordingDelayPolicy>(
+          built.delay, record_log));
+    }
+
+    analysis::SkewTracker::Options topt;
+    topt.audit_epsilon = cfg.eps;
+    topt.track_per_distance = cfg.per_distance;
+    topt.series_interval = cfg.duration / 200.0;
+    analysis::SkewTracker tracker(sim, topt);
+    tracker.attach(sim);
+
+    sim.run_until(cfg.duration);
+
+    const int d = built.graph->diameter();
+    const double g_bound =
+        built.params.global_skew_bound(d, cfg.eps, cfg.delay);
+    const double l_bound = built.params.local_skew_bound(d, cfg.eps, cfg.delay);
+
+    analysis::Table summary({"metric", "value"});
+    summary.add_row({"topology", cfg.topology + " (n=" +
+                                     std::to_string(built.graph->num_nodes()) +
+                                     ", D=" + std::to_string(d) + ")"});
+    summary.add_row({"algorithm", cfg.algorithm});
+    summary.add_row({"mu / H0 / kappa",
+                     analysis::Table::num(built.params.mu, 4) + " / " +
+                         analysis::Table::num(built.params.h0, 3) + " / " +
+                         analysis::Table::num(built.params.kappa, 3)});
+    summary.add_row({"duration", analysis::Table::num(sim.now(), 1)});
+    summary.add_row({"messages", analysis::Table::integer(
+                                     static_cast<long long>(sim.messages_delivered()))});
+    summary.add_row({"global skew", analysis::Table::num(tracker.max_global_skew(), 4)});
+    summary.add_row({"global bound G (Thm 5.5)", analysis::Table::num(g_bound, 4)});
+    summary.add_row({"local skew", analysis::Table::num(tracker.max_local_skew(), 4)});
+    summary.add_row({"local bound (Thm 5.10)", analysis::Table::num(l_bound, 4)});
+    summary.add_row({"envelope violation",
+                     analysis::Table::num(tracker.max_envelope_violation(), 6)});
+    summary.add_row({"rates seen", "[" + analysis::Table::num(tracker.min_logical_rate(), 4) +
+                                       ", " + analysis::Table::num(tracker.max_logical_rate(), 4) +
+                                       "]"});
+    summary.print(std::cout);
+
+    if (chart) {
+      std::cout << "\n";
+      analysis::ChartOptions copt;
+      copt.label = "global skew";
+      copt.reference = g_bound;
+      analysis::render_skew_chart(std::cout, tracker.series(), /*local=*/false,
+                                  copt);
+      std::cout << "\n";
+      copt.label = "local skew";
+      copt.reference = l_bound;
+      analysis::render_skew_chart(std::cout, tracker.series(), /*local=*/true,
+                                  copt);
+    }
+
+    const auto write = [](const std::string& path, auto&& writer) {
+      if (path.empty()) return;
+      std::ofstream os(path);
+      writer(os);
+      std::cout << "wrote " << path << "\n";
+    };
+    write(series_csv, [&](std::ostream& os) { analysis::write_series_csv(os, tracker); });
+    write(profile_csv,
+          [&](std::ostream& os) { analysis::write_distance_profile_csv(os, tracker); });
+    write(snapshot_csv, [&](std::ostream& os) { analysis::write_snapshot_csv(os, sim); });
+    if (!record_file.empty() && replay_file.empty()) {
+      write(record_file, [&](std::ostream& os) { record_log->save(os); });
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
