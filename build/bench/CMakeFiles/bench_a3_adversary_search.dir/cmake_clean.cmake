@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_adversary_search.dir/bench_a3_adversary_search.cpp.o"
+  "CMakeFiles/bench_a3_adversary_search.dir/bench_a3_adversary_search.cpp.o.d"
+  "bench_a3_adversary_search"
+  "bench_a3_adversary_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_adversary_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_partition_merge.dir/bench_a4_partition_merge.cpp.o"
+  "CMakeFiles/bench_a4_partition_merge.dir/bench_a4_partition_merge.cpp.o.d"
+  "bench_a4_partition_merge"
+  "bench_a4_partition_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_partition_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

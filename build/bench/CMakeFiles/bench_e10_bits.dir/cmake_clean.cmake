@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_bits.dir/bench_e10_bits.cpp.o"
+  "CMakeFiles/bench_e10_bits.dir/bench_e10_bits.cpp.o.d"
+  "bench_e10_bits"
+  "bench_e10_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_global_skew.dir/bench_e1_global_skew.cpp.o"
+  "CMakeFiles/bench_e1_global_skew.dir/bench_e1_global_skew.cpp.o.d"
+  "bench_e1_global_skew"
+  "bench_e1_global_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_global_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_mu_over_eps.dir/bench_e3_mu_over_eps.cpp.o"
+  "CMakeFiles/bench_e3_mu_over_eps.dir/bench_e3_mu_over_eps.cpp.o.d"
+  "bench_e3_mu_over_eps"
+  "bench_e3_mu_over_eps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_mu_over_eps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

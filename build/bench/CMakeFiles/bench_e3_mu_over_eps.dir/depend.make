@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e3_mu_over_eps.
+# This may be replaced when dependencies are built.

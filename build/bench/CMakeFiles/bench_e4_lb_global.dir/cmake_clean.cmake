@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_lb_global.dir/bench_e4_lb_global.cpp.o"
+  "CMakeFiles/bench_e4_lb_global.dir/bench_e4_lb_global.cpp.o.d"
+  "bench_e4_lb_global"
+  "bench_e4_lb_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_lb_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

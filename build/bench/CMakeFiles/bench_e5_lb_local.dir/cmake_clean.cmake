@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_lb_local.dir/bench_e5_lb_local.cpp.o"
+  "CMakeFiles/bench_e5_lb_local.dir/bench_e5_lb_local.cpp.o.d"
+  "bench_e5_lb_local"
+  "bench_e5_lb_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_lb_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_msg_freq.dir/bench_e6_msg_freq.cpp.o"
+  "CMakeFiles/bench_e6_msg_freq.dir/bench_e6_msg_freq.cpp.o.d"
+  "bench_e6_msg_freq"
+  "bench_e6_msg_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_msg_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_envelope.dir/bench_e7_envelope.cpp.o"
+  "CMakeFiles/bench_e7_envelope.dir/bench_e7_envelope.cpp.o.d"
+  "bench_e7_envelope"
+  "bench_e7_envelope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_envelope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_gradient.dir/bench_e8_gradient.cpp.o"
+  "CMakeFiles/bench_e8_gradient.dir/bench_e8_gradient.cpp.o.d"
+  "bench_e8_gradient"
+  "bench_e8_gradient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_gradient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

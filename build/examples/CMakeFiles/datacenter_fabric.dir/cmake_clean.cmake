@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_fabric.dir/datacenter_fabric.cpp.o"
+  "CMakeFiles/datacenter_fabric.dir/datacenter_fabric.cpp.o.d"
+  "datacenter_fabric"
+  "datacenter_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

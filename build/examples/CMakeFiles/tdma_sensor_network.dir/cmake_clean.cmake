@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdma_sensor_network.dir/tdma_sensor_network.cpp.o"
+  "CMakeFiles/tdma_sensor_network.dir/tdma_sensor_network.cpp.o.d"
+  "tdma_sensor_network"
+  "tdma_sensor_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdma_sensor_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

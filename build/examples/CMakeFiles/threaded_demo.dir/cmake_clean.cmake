@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_demo.dir/threaded_demo.cpp.o"
+  "CMakeFiles/threaded_demo.dir/threaded_demo.cpp.o.d"
+  "threaded_demo"
+  "threaded_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_external_sync.dir/wan_external_sync.cpp.o"
+  "CMakeFiles/wan_external_sync.dir/wan_external_sync.cpp.o.d"
+  "wan_external_sync"
+  "wan_external_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_external_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

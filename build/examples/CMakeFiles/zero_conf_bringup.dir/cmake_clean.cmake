@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_conf_bringup.dir/zero_conf_bringup.cpp.o"
+  "CMakeFiles/zero_conf_bringup.dir/zero_conf_bringup.cpp.o.d"
+  "zero_conf_bringup"
+  "zero_conf_bringup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_conf_bringup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

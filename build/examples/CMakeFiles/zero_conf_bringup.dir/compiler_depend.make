@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for zero_conf_bringup.
+# This may be replaced when dependencies are built.

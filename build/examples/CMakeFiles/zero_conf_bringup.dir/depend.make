@@ -1,0 +1,2 @@
+# Empty dependencies file for zero_conf_bringup.
+# This may be replaced when dependencies are built.

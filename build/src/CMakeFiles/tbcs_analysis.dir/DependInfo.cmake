@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ascii_chart.cpp" "src/CMakeFiles/tbcs_analysis.dir/analysis/ascii_chart.cpp.o" "gcc" "src/CMakeFiles/tbcs_analysis.dir/analysis/ascii_chart.cpp.o.d"
+  "/root/repo/src/analysis/counters.cpp" "src/CMakeFiles/tbcs_analysis.dir/analysis/counters.cpp.o" "gcc" "src/CMakeFiles/tbcs_analysis.dir/analysis/counters.cpp.o.d"
+  "/root/repo/src/analysis/skew_tracker.cpp" "src/CMakeFiles/tbcs_analysis.dir/analysis/skew_tracker.cpp.o" "gcc" "src/CMakeFiles/tbcs_analysis.dir/analysis/skew_tracker.cpp.o.d"
+  "/root/repo/src/analysis/table.cpp" "src/CMakeFiles/tbcs_analysis.dir/analysis/table.cpp.o" "gcc" "src/CMakeFiles/tbcs_analysis.dir/analysis/table.cpp.o.d"
+  "/root/repo/src/analysis/trace.cpp" "src/CMakeFiles/tbcs_analysis.dir/analysis/trace.cpp.o" "gcc" "src/CMakeFiles/tbcs_analysis.dir/analysis/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tbcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

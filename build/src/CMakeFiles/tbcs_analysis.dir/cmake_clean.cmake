@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbcs_analysis.dir/analysis/ascii_chart.cpp.o"
+  "CMakeFiles/tbcs_analysis.dir/analysis/ascii_chart.cpp.o.d"
+  "CMakeFiles/tbcs_analysis.dir/analysis/counters.cpp.o"
+  "CMakeFiles/tbcs_analysis.dir/analysis/counters.cpp.o.d"
+  "CMakeFiles/tbcs_analysis.dir/analysis/skew_tracker.cpp.o"
+  "CMakeFiles/tbcs_analysis.dir/analysis/skew_tracker.cpp.o.d"
+  "CMakeFiles/tbcs_analysis.dir/analysis/table.cpp.o"
+  "CMakeFiles/tbcs_analysis.dir/analysis/table.cpp.o.d"
+  "CMakeFiles/tbcs_analysis.dir/analysis/trace.cpp.o"
+  "CMakeFiles/tbcs_analysis.dir/analysis/trace.cpp.o.d"
+  "libtbcs_analysis.a"
+  "libtbcs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbcs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

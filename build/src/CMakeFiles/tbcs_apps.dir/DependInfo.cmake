@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/event_ordering.cpp" "src/CMakeFiles/tbcs_apps.dir/apps/event_ordering.cpp.o" "gcc" "src/CMakeFiles/tbcs_apps.dir/apps/event_ordering.cpp.o.d"
+  "/root/repo/src/apps/tdma.cpp" "src/CMakeFiles/tbcs_apps.dir/apps/tdma.cpp.o" "gcc" "src/CMakeFiles/tbcs_apps.dir/apps/tdma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tbcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbcs_apps.dir/apps/event_ordering.cpp.o"
+  "CMakeFiles/tbcs_apps.dir/apps/event_ordering.cpp.o.d"
+  "CMakeFiles/tbcs_apps.dir/apps/tdma.cpp.o"
+  "CMakeFiles/tbcs_apps.dir/apps/tdma.cpp.o.d"
+  "libtbcs_apps.a"
+  "libtbcs_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbcs_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

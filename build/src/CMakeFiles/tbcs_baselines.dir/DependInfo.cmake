@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/averaging_algorithm.cpp" "src/CMakeFiles/tbcs_baselines.dir/baselines/averaging_algorithm.cpp.o" "gcc" "src/CMakeFiles/tbcs_baselines.dir/baselines/averaging_algorithm.cpp.o.d"
+  "/root/repo/src/baselines/blocking_gradient.cpp" "src/CMakeFiles/tbcs_baselines.dir/baselines/blocking_gradient.cpp.o" "gcc" "src/CMakeFiles/tbcs_baselines.dir/baselines/blocking_gradient.cpp.o.d"
+  "/root/repo/src/baselines/free_running.cpp" "src/CMakeFiles/tbcs_baselines.dir/baselines/free_running.cpp.o" "gcc" "src/CMakeFiles/tbcs_baselines.dir/baselines/free_running.cpp.o.d"
+  "/root/repo/src/baselines/max_algorithm.cpp" "src/CMakeFiles/tbcs_baselines.dir/baselines/max_algorithm.cpp.o" "gcc" "src/CMakeFiles/tbcs_baselines.dir/baselines/max_algorithm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tbcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

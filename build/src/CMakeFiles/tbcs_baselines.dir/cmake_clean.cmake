@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbcs_baselines.dir/baselines/averaging_algorithm.cpp.o"
+  "CMakeFiles/tbcs_baselines.dir/baselines/averaging_algorithm.cpp.o.d"
+  "CMakeFiles/tbcs_baselines.dir/baselines/blocking_gradient.cpp.o"
+  "CMakeFiles/tbcs_baselines.dir/baselines/blocking_gradient.cpp.o.d"
+  "CMakeFiles/tbcs_baselines.dir/baselines/free_running.cpp.o"
+  "CMakeFiles/tbcs_baselines.dir/baselines/free_running.cpp.o.d"
+  "CMakeFiles/tbcs_baselines.dir/baselines/max_algorithm.cpp.o"
+  "CMakeFiles/tbcs_baselines.dir/baselines/max_algorithm.cpp.o.d"
+  "libtbcs_baselines.a"
+  "libtbcs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbcs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

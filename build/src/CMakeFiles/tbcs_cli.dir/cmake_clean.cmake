@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbcs_cli.dir/cli/args.cpp.o"
+  "CMakeFiles/tbcs_cli.dir/cli/args.cpp.o.d"
+  "CMakeFiles/tbcs_cli.dir/cli/experiment_config.cpp.o"
+  "CMakeFiles/tbcs_cli.dir/cli/experiment_config.cpp.o.d"
+  "libtbcs_cli.a"
+  "libtbcs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbcs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_delay.cpp" "src/CMakeFiles/tbcs_core.dir/core/adaptive_delay.cpp.o" "gcc" "src/CMakeFiles/tbcs_core.dir/core/adaptive_delay.cpp.o.d"
+  "/root/repo/src/core/aopt.cpp" "src/CMakeFiles/tbcs_core.dir/core/aopt.cpp.o" "gcc" "src/CMakeFiles/tbcs_core.dir/core/aopt.cpp.o.d"
+  "/root/repo/src/core/aopt_variants.cpp" "src/CMakeFiles/tbcs_core.dir/core/aopt_variants.cpp.o" "gcc" "src/CMakeFiles/tbcs_core.dir/core/aopt_variants.cpp.o.d"
+  "/root/repo/src/core/bit_codec.cpp" "src/CMakeFiles/tbcs_core.dir/core/bit_codec.cpp.o" "gcc" "src/CMakeFiles/tbcs_core.dir/core/bit_codec.cpp.o.d"
+  "/root/repo/src/core/envelope_sync.cpp" "src/CMakeFiles/tbcs_core.dir/core/envelope_sync.cpp.o" "gcc" "src/CMakeFiles/tbcs_core.dir/core/envelope_sync.cpp.o.d"
+  "/root/repo/src/core/external_sync.cpp" "src/CMakeFiles/tbcs_core.dir/core/external_sync.cpp.o" "gcc" "src/CMakeFiles/tbcs_core.dir/core/external_sync.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/CMakeFiles/tbcs_core.dir/core/params.cpp.o" "gcc" "src/CMakeFiles/tbcs_core.dir/core/params.cpp.o.d"
+  "/root/repo/src/core/rate_rule.cpp" "src/CMakeFiles/tbcs_core.dir/core/rate_rule.cpp.o" "gcc" "src/CMakeFiles/tbcs_core.dir/core/rate_rule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tbcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbcs_core.dir/core/adaptive_delay.cpp.o"
+  "CMakeFiles/tbcs_core.dir/core/adaptive_delay.cpp.o.d"
+  "CMakeFiles/tbcs_core.dir/core/aopt.cpp.o"
+  "CMakeFiles/tbcs_core.dir/core/aopt.cpp.o.d"
+  "CMakeFiles/tbcs_core.dir/core/aopt_variants.cpp.o"
+  "CMakeFiles/tbcs_core.dir/core/aopt_variants.cpp.o.d"
+  "CMakeFiles/tbcs_core.dir/core/bit_codec.cpp.o"
+  "CMakeFiles/tbcs_core.dir/core/bit_codec.cpp.o.d"
+  "CMakeFiles/tbcs_core.dir/core/envelope_sync.cpp.o"
+  "CMakeFiles/tbcs_core.dir/core/envelope_sync.cpp.o.d"
+  "CMakeFiles/tbcs_core.dir/core/external_sync.cpp.o"
+  "CMakeFiles/tbcs_core.dir/core/external_sync.cpp.o.d"
+  "CMakeFiles/tbcs_core.dir/core/params.cpp.o"
+  "CMakeFiles/tbcs_core.dir/core/params.cpp.o.d"
+  "CMakeFiles/tbcs_core.dir/core/rate_rule.cpp.o"
+  "CMakeFiles/tbcs_core.dir/core/rate_rule.cpp.o.d"
+  "libtbcs_core.a"
+  "libtbcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

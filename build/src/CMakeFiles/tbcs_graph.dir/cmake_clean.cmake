@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbcs_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/tbcs_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/tbcs_graph.dir/graph/topologies.cpp.o"
+  "CMakeFiles/tbcs_graph.dir/graph/topologies.cpp.o.d"
+  "libtbcs_graph.a"
+  "libtbcs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbcs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbcs_lowerbound.dir/lowerbound/global_adversary.cpp.o"
+  "CMakeFiles/tbcs_lowerbound.dir/lowerbound/global_adversary.cpp.o.d"
+  "CMakeFiles/tbcs_lowerbound.dir/lowerbound/local_adversary.cpp.o"
+  "CMakeFiles/tbcs_lowerbound.dir/lowerbound/local_adversary.cpp.o.d"
+  "CMakeFiles/tbcs_lowerbound.dir/lowerbound/shifting.cpp.o"
+  "CMakeFiles/tbcs_lowerbound.dir/lowerbound/shifting.cpp.o.d"
+  "libtbcs_lowerbound.a"
+  "libtbcs_lowerbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbcs_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/threaded_network.cpp" "src/CMakeFiles/tbcs_runtime.dir/runtime/threaded_network.cpp.o" "gcc" "src/CMakeFiles/tbcs_runtime.dir/runtime/threaded_network.cpp.o.d"
+  "/root/repo/src/runtime/threaded_node.cpp" "src/CMakeFiles/tbcs_runtime.dir/runtime/threaded_node.cpp.o" "gcc" "src/CMakeFiles/tbcs_runtime.dir/runtime/threaded_node.cpp.o.d"
+  "/root/repo/src/runtime/virtual_time.cpp" "src/CMakeFiles/tbcs_runtime.dir/runtime/virtual_time.cpp.o" "gcc" "src/CMakeFiles/tbcs_runtime.dir/runtime/virtual_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tbcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

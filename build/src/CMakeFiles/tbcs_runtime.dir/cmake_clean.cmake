@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbcs_runtime.dir/runtime/threaded_network.cpp.o"
+  "CMakeFiles/tbcs_runtime.dir/runtime/threaded_network.cpp.o.d"
+  "CMakeFiles/tbcs_runtime.dir/runtime/threaded_node.cpp.o"
+  "CMakeFiles/tbcs_runtime.dir/runtime/threaded_node.cpp.o.d"
+  "CMakeFiles/tbcs_runtime.dir/runtime/virtual_time.cpp.o"
+  "CMakeFiles/tbcs_runtime.dir/runtime/virtual_time.cpp.o.d"
+  "libtbcs_runtime.a"
+  "libtbcs_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbcs_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/hardware_clock.cpp" "src/CMakeFiles/tbcs_sim.dir/sim/hardware_clock.cpp.o" "gcc" "src/CMakeFiles/tbcs_sim.dir/sim/hardware_clock.cpp.o.d"
+  "/root/repo/src/sim/recorder.cpp" "src/CMakeFiles/tbcs_sim.dir/sim/recorder.cpp.o" "gcc" "src/CMakeFiles/tbcs_sim.dir/sim/recorder.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/tbcs_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/tbcs_sim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/tick_quantizer.cpp" "src/CMakeFiles/tbcs_sim.dir/sim/tick_quantizer.cpp.o" "gcc" "src/CMakeFiles/tbcs_sim.dir/sim/tick_quantizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tbcs_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbcs_sim.dir/sim/hardware_clock.cpp.o"
+  "CMakeFiles/tbcs_sim.dir/sim/hardware_clock.cpp.o.d"
+  "CMakeFiles/tbcs_sim.dir/sim/recorder.cpp.o"
+  "CMakeFiles/tbcs_sim.dir/sim/recorder.cpp.o.d"
+  "CMakeFiles/tbcs_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/tbcs_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/tbcs_sim.dir/sim/tick_quantizer.cpp.o"
+  "CMakeFiles/tbcs_sim.dir/sim/tick_quantizer.cpp.o.d"
+  "libtbcs_sim.a"
+  "libtbcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

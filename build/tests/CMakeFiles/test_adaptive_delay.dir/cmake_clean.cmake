@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptive_delay.dir/core/test_adaptive_delay.cpp.o"
+  "CMakeFiles/test_adaptive_delay.dir/core/test_adaptive_delay.cpp.o.d"
+  "test_adaptive_delay"
+  "test_adaptive_delay.pdb"
+  "test_adaptive_delay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptive_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aopt_unit.dir/core/test_aopt_unit.cpp.o"
+  "CMakeFiles/test_aopt_unit.dir/core/test_aopt_unit.cpp.o.d"
+  "test_aopt_unit"
+  "test_aopt_unit.pdb"
+  "test_aopt_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aopt_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

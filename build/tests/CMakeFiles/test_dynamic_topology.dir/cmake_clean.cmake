@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_topology.dir/sim/test_dynamic_topology.cpp.o"
+  "CMakeFiles/test_dynamic_topology.dir/sim/test_dynamic_topology.cpp.o.d"
+  "test_dynamic_topology"
+  "test_dynamic_topology.pdb"
+  "test_dynamic_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

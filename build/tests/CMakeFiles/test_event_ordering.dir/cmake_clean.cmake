@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_ordering.dir/apps/test_event_ordering.cpp.o"
+  "CMakeFiles/test_event_ordering.dir/apps/test_event_ordering.cpp.o.d"
+  "test_event_ordering"
+  "test_event_ordering.pdb"
+  "test_event_ordering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hardware_clock.dir/sim/test_hardware_clock.cpp.o"
+  "CMakeFiles/test_hardware_clock.dir/sim/test_hardware_clock.cpp.o.d"
+  "test_hardware_clock"
+  "test_hardware_clock.pdb"
+  "test_hardware_clock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hardware_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

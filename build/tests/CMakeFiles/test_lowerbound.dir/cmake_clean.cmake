@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lowerbound.dir/lowerbound/test_lowerbound.cpp.o"
+  "CMakeFiles/test_lowerbound.dir/lowerbound/test_lowerbound.cpp.o.d"
+  "test_lowerbound"
+  "test_lowerbound.pdb"
+  "test_lowerbound[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

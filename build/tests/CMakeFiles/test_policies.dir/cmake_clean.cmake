@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policies.dir/sim/test_policies.cpp.o"
+  "CMakeFiles/test_policies.dir/sim/test_policies.cpp.o.d"
+  "test_policies"
+  "test_policies.pdb"
+  "test_policies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

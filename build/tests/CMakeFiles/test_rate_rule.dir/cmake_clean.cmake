@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rate_rule.dir/core/test_rate_rule.cpp.o"
+  "CMakeFiles/test_rate_rule.dir/core/test_rate_rule.cpp.o.d"
+  "test_rate_rule"
+  "test_rate_rule.pdb"
+  "test_rate_rule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rate_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

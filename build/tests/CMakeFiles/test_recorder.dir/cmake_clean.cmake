@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recorder.dir/sim/test_recorder.cpp.o"
+  "CMakeFiles/test_recorder.dir/sim/test_recorder.cpp.o.d"
+  "test_recorder"
+  "test_recorder.pdb"
+  "test_recorder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

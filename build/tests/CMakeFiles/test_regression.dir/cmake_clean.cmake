@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regression.dir/core/test_regression.cpp.o"
+  "CMakeFiles/test_regression.dir/core/test_regression.cpp.o.d"
+  "test_regression"
+  "test_regression.pdb"
+  "test_regression[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

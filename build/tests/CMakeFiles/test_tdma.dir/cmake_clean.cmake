@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tdma.dir/apps/test_tdma.cpp.o"
+  "CMakeFiles/test_tdma.dir/apps/test_tdma.cpp.o.d"
+  "test_tdma"
+  "test_tdma.pdb"
+  "test_tdma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tick_quantizer.dir/sim/test_tick_quantizer.cpp.o"
+  "CMakeFiles/test_tick_quantizer.dir/sim/test_tick_quantizer.cpp.o.d"
+  "test_tick_quantizer"
+  "test_tick_quantizer.pdb"
+  "test_tick_quantizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tick_quantizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

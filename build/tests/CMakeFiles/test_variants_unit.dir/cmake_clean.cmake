@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_variants_unit.dir/core/test_variants_unit.cpp.o"
+  "CMakeFiles/test_variants_unit.dir/core/test_variants_unit.cpp.o.d"
+  "test_variants_unit"
+  "test_variants_unit.pdb"
+  "test_variants_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_variants_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_hardware_clock[1]_include.cmake")
+include("/root/repo/build/tests/test_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_dynamic_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_tick_quantizer[1]_include.cmake")
+include("/root/repo/build/tests/test_recorder[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_topologies[1]_include.cmake")
+include("/root/repo/build/tests/test_params[1]_include.cmake")
+include("/root/repo/build/tests/test_rate_rule[1]_include.cmake")
+include("/root/repo/build/tests/test_aopt_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_variants[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptive_delay[1]_include.cmake")
+include("/root/repo/build/tests/test_variants_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_regression[1]_include.cmake")
+include("/root/repo/build/tests/test_invariants[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_lowerbound[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_tdma[1]_include.cmake")
+include("/root/repo/build/tests/test_event_ordering[1]_include.cmake")
+include("/root/repo/build/tests/test_composition[1]_include.cmake")

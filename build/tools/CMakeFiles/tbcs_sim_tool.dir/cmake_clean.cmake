@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbcs_sim_tool.dir/tbcs_sim.cpp.o"
+  "CMakeFiles/tbcs_sim_tool.dir/tbcs_sim.cpp.o.d"
+  "tbcs_sim"
+  "tbcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbcs_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbcs_sweep.dir/tbcs_sweep.cpp.o"
+  "CMakeFiles/tbcs_sweep.dir/tbcs_sweep.cpp.o.d"
+  "tbcs_sweep"
+  "tbcs_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbcs_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
