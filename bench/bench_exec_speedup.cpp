@@ -1,0 +1,87 @@
+// Wall-clock speedup of the exec engine: the same sweep at --jobs 1
+// vs --jobs N (default 8, override with --jobs).
+//
+//   bench_exec_speedup [--jobs N] [--configs C] [--duration T]
+//
+// Runs a C-config sweep (eps axis x replicas) serially and on N workers,
+// verifies the two result sets are identical (the determinism contract),
+// and reports wall-clock times and the speedup factor.  On a machine
+// with >= N free cores the sweep is embarrassingly parallel and the
+// speedup should approach min(N, cores).
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "cli/args.hpp"
+#include "exec/sweep_runner.hpp"
+
+namespace {
+
+using namespace tbcs;
+
+double time_sweep(const std::vector<exec::RunSpec>& specs, int jobs,
+                  std::vector<exec::RunResult>& out) {
+  exec::SweepOptions opt;
+  opt.jobs = jobs;
+  opt.base_seed = 1;
+  const auto start = std::chrono::steady_clock::now();
+  out = exec::SweepRunner(opt).run(specs);
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::ArgParser args(argc, argv);
+  const int jobs = args.get_int("jobs", 8);
+  const int configs = args.get_int("configs", 32);
+  const double duration = args.get_double("duration", 300.0);
+
+  bench::print_header(
+      "exec speedup: identical sweep, 1 worker vs " + std::to_string(jobs),
+      "claim: results are byte-identical for every job count and the\n"
+      "wall-clock improvement approaches min(jobs, cores).");
+
+  cli::ExperimentConfig base;
+  base.topology = "path";
+  base.nodes = 24;
+  base.drift = "square";
+  base.delays = "hiding";
+  base.duration = duration;
+
+  exec::SweepAxis axis{"eps", {}};
+  const int points = (configs + 3) / 4;  // 4 replicas per grid point
+  for (int i = 0; i < points; ++i) {
+    axis.values.push_back(0.005 + 0.005 * i);
+  }
+  const auto specs = exec::make_grid_specs(base, axis, nullptr, 4);
+
+  std::vector<exec::RunResult> serial;
+  std::vector<exec::RunResult> parallel;
+  const double t_serial = time_sweep(specs, 1, serial);
+  const double t_parallel = time_sweep(specs, jobs, parallel);
+
+  bool identical = serial.size() == parallel.size();
+  for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+    identical = serial[i].seed == parallel[i].seed &&
+                serial[i].global_skew == parallel[i].global_skew &&
+                serial[i].local_skew == parallel[i].local_skew &&
+                serial[i].messages == parallel[i].messages;
+  }
+
+  analysis::Table table({"jobs", "runs", "wall-clock (s)", "speedup"});
+  table.add_row({"1", analysis::Table::integer(static_cast<long long>(specs.size())),
+                 analysis::Table::num(t_serial, 3), "1.00"});
+  table.add_row({analysis::Table::integer(jobs),
+                 analysis::Table::integer(static_cast<long long>(specs.size())),
+                 analysis::Table::num(t_parallel, 3),
+                 analysis::Table::num(t_serial / t_parallel, 2)});
+  table.print(std::cout);
+
+  std::cout << "\nresults identical across job counts: "
+            << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+  return identical ? 0 : 1;
+}

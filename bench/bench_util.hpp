@@ -1,14 +1,17 @@
 // Shared plumbing for the experiment binaries (E1..E10).
 #pragma once
 
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "analysis/skew_tracker.hpp"
 #include "analysis/table.hpp"
 #include "core/aopt.hpp"
 #include "core/params.hpp"
+#include "exec/thread_pool.hpp"
 #include "graph/topologies.hpp"
 #include "sim/simulator.hpp"
 
@@ -62,6 +65,19 @@ inline RunMetrics run(const RunSpec& spec) {
   m.deliveries = sim.messages_delivered();
   m.duration = sim.now();
   return m;
+}
+
+/// Runs every spec on an exec::ThreadPool with `jobs` workers; out[i] is
+/// specs[i]'s metrics regardless of scheduling order.  Specs must be
+/// self-contained (policies not shared across specs) — each run gets its
+/// own Simulator, so the only sharing is the read-only graph.
+inline std::vector<RunMetrics> run_all(const std::vector<RunSpec>& specs,
+                                       int jobs) {
+  std::vector<RunMetrics> out(specs.size());
+  exec::ThreadPool pool(jobs);
+  pool.parallel_for(specs.size(),
+                    [&](std::size_t i) { out[i] = run(specs[i]); });
+  return out;
 }
 
 /// Maximum delays toward `pivot`, zero away: the standard skew-hiding

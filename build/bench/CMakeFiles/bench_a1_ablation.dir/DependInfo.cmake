@@ -15,11 +15,12 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/tbcs_lowerbound.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/tbcs_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_exec.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/tbcs_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_core.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/tbcs_baselines.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/tbcs_analysis.dir/DependInfo.cmake"
-  "/root/repo/build/src/CMakeFiles/tbcs_apps.dir/DependInfo.cmake"
-  "/root/repo/build/src/CMakeFiles/tbcs_core.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/tbcs_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/tbcs_graph.dir/DependInfo.cmake"
   )

@@ -244,5 +244,20 @@ bench/CMakeFiles/bench_e6_msg_freq.dir/bench_e6_msg_freq.cpp.o: \
  /root/repo/src/sim/node.hpp /usr/include/c++/12/cstddef \
  /root/repo/bench/bench_util.hpp /root/repo/src/analysis/skew_tracker.hpp \
  /root/repo/src/analysis/table.hpp /root/repo/src/core/aopt.hpp \
- /root/repo/src/core/params.hpp /root/repo/src/graph/topologies.hpp \
+ /root/repo/src/core/params.hpp /root/repo/src/exec/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/thread /root/repo/src/graph/topologies.hpp \
  /root/repo/src/core/aopt_variants.hpp

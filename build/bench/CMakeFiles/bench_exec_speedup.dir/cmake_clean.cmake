@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exec_speedup.dir/bench_exec_speedup.cpp.o"
+  "CMakeFiles/bench_exec_speedup.dir/bench_exec_speedup.cpp.o.d"
+  "bench_exec_speedup"
+  "bench_exec_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exec_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -243,6 +243,11 @@ src/CMakeFiles/tbcs_cli.dir/cli/experiment_config.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/hardware_clock.hpp \
  /root/repo/src/baselines/averaging_algorithm.hpp \
+ /root/repo/src/cli/args.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/baselines/free_running.hpp \
  /root/repo/src/baselines/max_algorithm.hpp \
  /root/repo/src/core/adaptive_delay.hpp /root/repo/src/core/aopt.hpp \

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/result_sink.cpp" "src/CMakeFiles/tbcs_exec.dir/exec/result_sink.cpp.o" "gcc" "src/CMakeFiles/tbcs_exec.dir/exec/result_sink.cpp.o.d"
+  "/root/repo/src/exec/sweep_runner.cpp" "src/CMakeFiles/tbcs_exec.dir/exec/sweep_runner.cpp.o" "gcc" "src/CMakeFiles/tbcs_exec.dir/exec/sweep_runner.cpp.o.d"
+  "/root/repo/src/exec/thread_pool.cpp" "src/CMakeFiles/tbcs_exec.dir/exec/thread_pool.cpp.o" "gcc" "src/CMakeFiles/tbcs_exec.dir/exec/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tbcs_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbcs_exec.dir/exec/result_sink.cpp.o"
+  "CMakeFiles/tbcs_exec.dir/exec/result_sink.cpp.o.d"
+  "CMakeFiles/tbcs_exec.dir/exec/sweep_runner.cpp.o"
+  "CMakeFiles/tbcs_exec.dir/exec/sweep_runner.cpp.o.d"
+  "CMakeFiles/tbcs_exec.dir/exec/thread_pool.cpp.o"
+  "CMakeFiles/tbcs_exec.dir/exec/thread_pool.cpp.o.d"
+  "libtbcs_exec.a"
+  "libtbcs_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbcs_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

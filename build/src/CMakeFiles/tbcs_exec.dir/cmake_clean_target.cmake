@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtbcs_exec.a"
+)

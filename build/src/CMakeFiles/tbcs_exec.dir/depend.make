@@ -1,0 +1,2 @@
+# Empty dependencies file for tbcs_exec.
+# This may be replaced when dependencies are built.

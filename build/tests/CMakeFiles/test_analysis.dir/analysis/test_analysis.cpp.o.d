@@ -327,5 +327,5 @@ tests/CMakeFiles/test_analysis.dir/analysis/test_analysis.cpp.o: \
  /root/repo/src/analysis/convergence.hpp \
  /root/repo/src/analysis/counters.hpp /root/repo/src/analysis/stats.hpp \
  /root/repo/src/analysis/table.hpp \
- /root/repo/src/baselines/free_running.hpp \
- /root/repo/src/graph/topologies.hpp
+ /root/repo/src/baselines/free_running.hpp /root/repo/src/core/aopt.hpp \
+ /root/repo/src/core/params.hpp /root/repo/src/graph/topologies.hpp

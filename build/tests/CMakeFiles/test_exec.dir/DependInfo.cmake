@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exec/test_exec.cpp" "tests/CMakeFiles/test_exec.dir/exec/test_exec.cpp.o" "gcc" "tests/CMakeFiles/test_exec.dir/exec/test_exec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tbcs_lowerbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tbcs_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

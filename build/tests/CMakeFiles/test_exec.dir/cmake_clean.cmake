@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec.dir/exec/test_exec.cpp.o"
+  "CMakeFiles/test_exec.dir/exec/test_exec.cpp.o.d"
+  "test_exec"
+  "test_exec.pdb"
+  "test_exec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -38,6 +38,15 @@ void SkewTracker::observe(const sim::Simulator& sim, double t) {
   double lo = sim::kInfinity;
   double hi = -sim::kInfinity;
   bool any_awake = false;
+  if (opt_.audit_epsilon > 0.0) {
+    // The system envelope is anchored at the earliest wake across all
+    // nodes; fold every awake node in before auditing any of them.
+    for (sim::NodeId v = 0; v < n; ++v) {
+      if (sim.awake(v)) {
+        earliest_start_ = std::min(earliest_start_, sim.clock(v).start_time());
+      }
+    }
+  }
   for (sim::NodeId v = 0; v < n; ++v) {
     if (!sim.awake(v)) {
       logical_scratch_[static_cast<std::size_t>(v)] = -sim::kInfinity;
@@ -54,11 +63,20 @@ void SkewTracker::observe(const sim::Simulator& sim, double t) {
     min_logical_rate_ = std::min(min_logical_rate_, rate);
     max_logical_rate_ = std::max(max_logical_rate_, rate);
 
-    // Envelope audit (Condition (1)).
+    // Envelope audit (Condition (1)), relative to wake times: the system
+    // envelope is anchored at the earliest wake (the instant L^max was
+    // born), each node's lower envelope and catch-up ceiling at its own
+    // t_v.  Late-waking nodes legally exceed (1+eps)(t - t_v) while
+    // catching up at rate beta, so the per-node upper check needs the
+    // Condition (2) ceiling and is enabled by audit_beta.
     if (opt_.audit_epsilon > 0.0) {
       const double eps = opt_.audit_epsilon;
       const double tv = sim.clock(v).start_time();
-      const double upper_violation = L - (1.0 + eps) * t;
+      double upper_violation = L - (1.0 + eps) * (t - earliest_start_);
+      if (opt_.audit_beta > 0.0) {
+        upper_violation =
+            std::max(upper_violation, L - opt_.audit_beta * (t - tv));
+      }
       const double lower_violation = (1.0 - eps) * (t - tv) - L;
       max_envelope_violation_ =
           std::max({max_envelope_violation_, upper_violation, lower_violation});
@@ -96,7 +114,12 @@ void SkewTracker::observe(const sim::Simulator& sim, double t) {
 
   if (opt_.series_interval > 0.0 && t >= next_series_t_) {
     series_.push_back(Sample{t, global, local});
-    next_series_t_ = t + opt_.series_interval;
+    // Advance on the fixed grid warmup + k * interval: anchoring the next
+    // target at `t` would accumulate per-probe jitter and let the series
+    // drift off the requested cadence.
+    do {
+      next_series_t_ += opt_.series_interval;
+    } while (next_series_t_ <= t);
   }
 }
 

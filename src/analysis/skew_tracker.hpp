@@ -26,7 +26,18 @@ class SkewTracker {
     bool track_per_distance = false;
 
     /// Audit Condition (1) against this true epsilon (<= 0 disables).
+    /// The upper envelope is anchored at the earliest wake time seen
+    /// across all nodes, the lower envelope at each node's own t_v.
     double audit_epsilon = 0.0;
+
+    /// Also audit each node against the per-node catch-up ceiling
+    /// L_v(t) <= beta (t - t_v), the Condition (2) rate bound integrated
+    /// from the node's wake (beta = (1+eps)(1+mu) for A^opt in rate
+    /// mode; <= 0 disables).  Catches a late waker racing ahead faster
+    /// than any legal catch-up while still under the system envelope.
+    /// Not meaningful for jump-mode variants, which discontinuously
+    /// adopt L^max at wake.
+    double audit_beta = 0.0;
 
     /// Sample only every `stride`-th observer call (maxima become lower
     /// bounds).  1 = exact.
@@ -69,9 +80,13 @@ class SkewTracker {
   double max_skew_at_distance(int d) const;
   int max_distance() const { return static_cast<int>(per_distance_.size()) - 1; }
 
-  /// Largest violation of Condition (1):
-  ///   max(L_v(t) - (1+eps) t, (1-eps)(t - t_v) - L_v(t)) over samples.
-  /// <= 0 means the envelope held at every sampled instant.
+  /// Largest violation of Condition (1) (plus the audit_beta catch-up
+  /// ceiling when enabled):
+  ///   max(L_v(t) - (1+eps)(t - t_0),
+  ///       [beta audit] L_v(t) - beta (t - t_v),
+  ///       (1-eps)(t - t_v) - L_v(t)) over samples,
+  /// where t_0 is the earliest wake time across all nodes and t_v the
+  /// node's own.  <= 0 means the envelope held at every sampled instant.
   double max_envelope_violation() const { return max_envelope_violation_; }
 
   /// Extremes of the instantaneous logical clock rate rho_v * h_v observed
@@ -93,6 +108,7 @@ class SkewTracker {
   double min_logical_rate_ = sim::kInfinity;
   double max_logical_rate_ = -sim::kInfinity;
   std::vector<Sample> series_;
+  double earliest_start_ = sim::kInfinity;
   double next_series_t_ = 0.0;
   std::uint64_t calls_ = 0;
   std::uint64_t samples_ = 0;

@@ -4,6 +4,18 @@
 
 namespace tbcs::cli {
 
+namespace {
+
+bool is_true_literal(const std::string& s) {
+  return s == "true" || s == "1" || s == "yes";
+}
+
+bool is_false_literal(const std::string& s) {
+  return s == "false" || s == "0" || s == "no";
+}
+
+}  // namespace
+
 ArgParser::ArgParser(int argc, const char* const* argv) {
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
@@ -21,16 +33,18 @@ void ArgParser::parse(const std::vector<std::string>& args) {
     }
     const auto eq = a.find('=');
     if (eq != std::string::npos) {
-      values_[a.substr(2, eq - 2)] = a.substr(eq + 1);
+      values_[a.substr(2, eq - 2)] = Entry{a.substr(eq + 1), false};
       continue;
     }
     const std::string key = a.substr(2);
-    // --key value (if the next token is not a flag), else boolean --key.
+    // --key value (if the next token is not itself a flag), else boolean
+    // --key.  A next token starting with a single '-' (e.g. "-0.5") is a
+    // legitimate value; only "--"-prefixed tokens are flags.
     if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
-      values_[key] = args[i + 1];
+      values_[key] = Entry{args[i + 1], true};
       ++i;
     } else {
-      values_[key] = "true";
+      values_[key] = Entry{"true", false};
     }
   }
 }
@@ -39,7 +53,7 @@ std::string ArgParser::get_string(const std::string& key,
                                   const std::string& fallback) {
   queried_.insert(key);
   const auto it = values_.find(key);
-  return it == values_.end() ? fallback : it->second;
+  return it == values_.end() ? fallback : it->second.value;
 }
 
 double ArgParser::get_double(const std::string& key, double fallback) {
@@ -47,10 +61,10 @@ double ArgParser::get_double(const std::string& key, double fallback) {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   char* end = nullptr;
-  const double v = std::strtod(it->second.c_str(), &end);
-  if (end == it->second.c_str() || *end != '\0') {
+  const double v = std::strtod(it->second.value.c_str(), &end);
+  if (end == it->second.value.c_str() || *end != '\0') {
     errors_.push_back("flag --" + key + " expects a number, got '" +
-                      it->second + "'");
+                      it->second.value + "'");
     return fallback;
   }
   return v;
@@ -61,10 +75,10 @@ int ArgParser::get_int(const std::string& key, int fallback) {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   char* end = nullptr;
-  const long v = std::strtol(it->second.c_str(), &end, 10);
-  if (end == it->second.c_str() || *end != '\0') {
+  const long v = std::strtol(it->second.value.c_str(), &end, 10);
+  if (end == it->second.value.c_str() || *end != '\0') {
     errors_.push_back("flag --" + key + " expects an integer, got '" +
-                      it->second + "'");
+                      it->second.value + "'");
     return fallback;
   }
   return static_cast<int>(v);
@@ -74,12 +88,25 @@ bool ArgParser::get_bool(const std::string& key, bool fallback) {
   queried_.insert(key);
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  return it->second == "true" || it->second == "1" || it->second == "yes";
+  Entry& e = it->second;
+  if (is_true_literal(e.value)) return true;
+  if (is_false_literal(e.value)) return false;
+  if (e.from_next_token) {
+    // "--flag token" where token is no boolean literal: the token was a
+    // positional argument, not the flag's value.  Reclassify: the flag is
+    // bare boolean true, the token is reported as unexpected.
+    errors_.push_back("unexpected argument: " + e.value);
+    e = Entry{"true", false};
+    return true;
+  }
+  errors_.push_back("flag --" + key + " expects a boolean, got '" + e.value +
+                    "'");
+  return fallback;
 }
 
 std::vector<std::string> ArgParser::unknown_keys() const {
   std::vector<std::string> out;
-  for (const auto& [key, value] : values_) {
+  for (const auto& [key, entry] : values_) {
     if (queried_.count(key) == 0) out.push_back(key);
   }
   return out;

@@ -2,6 +2,17 @@
 //
 // Accepts --key=value and --key value forms plus boolean --flag; tracks
 // which keys were consumed so unknown flags can be reported.
+//
+// Disambiguation rules:
+//  * Only tokens starting with "--" are flags; "--key -0.5" therefore
+//    binds the negative number as key's value.  A value that itself
+//    starts with "--" must use the "--key=value" form.
+//  * A spaced token after a flag is bound as its value, but get_bool()
+//    re-classifies: if the bound token is not a boolean literal
+//    (true/false/1/0/yes/no), the flag is treated as bare boolean true
+//    and the token is reported as an unexpected argument — so
+//    "--help extra" still shows help instead of silently parsing
+//    "extra" as help's value.
 #pragma once
 
 #include <map>
@@ -32,9 +43,17 @@ class ArgParser {
   bool ok() const { return errors_.empty(); }
 
  private:
+  struct Entry {
+    std::string value;
+    // True when the value came from a separate token ("--key value")
+    // rather than "--key=value" or a bare flag; get_bool() uses this to
+    // detect a positional token mistakenly bound to a boolean flag.
+    bool from_next_token = false;
+  };
+
   void parse(const std::vector<std::string>& args);
 
-  std::map<std::string, std::string> values_;
+  std::map<std::string, Entry> values_;
   std::set<std::string> queried_;
   std::vector<std::string> errors_;
 };

@@ -69,6 +69,14 @@ class ConfigError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+class ArgParser;
+
+/// Reads every tbcs_sim model/topology/adversary flag into cfg; flags
+/// absent on the command line keep cfg's current values.  Shared by
+/// tbcs_sim and tbcs_sweep so the tools accept the same vocabulary and
+/// cannot drift apart.
+void apply_model_flags(ArgParser& args, ExperimentConfig& cfg);
+
 /// Builds topology, parameters, simulator, nodes, and policies.
 BuiltExperiment build_experiment(const ExperimentConfig& cfg);
 

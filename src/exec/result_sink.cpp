@@ -1,0 +1,107 @@
+#include "exec/result_sink.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/table.hpp"
+#include "analysis/trace.hpp"
+
+namespace tbcs::exec {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream ss;
+  ss.precision(12);
+  ss << v;
+  return ss.str();
+}
+
+}  // namespace
+
+void CsvSink::write(std::ostream& os,
+                    const std::vector<RunResult>& results) const {
+  analysis::CsvWriter csv(os);
+  std::vector<std::string> header;
+  if (!results.empty()) {
+    for (const auto& [key, value] : results.front().labels) {
+      header.push_back(key);
+    }
+  }
+  for (const char* col : {"seed", "global_skew", "local_skew", "global_bound",
+                          "local_bound", "messages"}) {
+    header.emplace_back(col);
+  }
+  csv.row(header);
+
+  for (const RunResult& r : results) {
+    if (!r.ok) continue;
+    std::vector<std::string> row;
+    for (const auto& [key, value] : r.labels) row.push_back(value);
+    row.push_back(std::to_string(r.seed));
+    row.push_back(analysis::Table::num(r.global_skew, 6));
+    row.push_back(analysis::Table::num(r.local_skew, 6));
+    row.push_back(analysis::Table::num(r.global_bound, 6));
+    row.push_back(analysis::Table::num(r.local_bound, 6));
+    row.push_back(
+        analysis::Table::integer(static_cast<long long>(r.messages)));
+    csv.row(row);
+  }
+}
+
+void JsonSink::write(std::ostream& os,
+                     const std::vector<RunResult>& results) const {
+  os << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    os << "  {";
+    for (const auto& [key, value] : r.labels) {
+      os << "\"" << json_escape(key) << "\": \"" << json_escape(value)
+         << "\", ";
+    }
+    os << "\"seed\": " << r.seed << ", \"ok\": " << (r.ok ? "true" : "false");
+    if (r.ok) {
+      os << ", \"diameter\": " << r.diameter
+         << ", \"global_skew\": " << json_number(r.global_skew)
+         << ", \"local_skew\": " << json_number(r.local_skew)
+         << ", \"global_bound\": " << json_number(r.global_bound)
+         << ", \"local_bound\": " << json_number(r.local_bound)
+         << ", \"envelope_violation\": " << json_number(r.envelope_violation)
+         << ", \"broadcasts\": " << r.broadcasts
+         << ", \"messages\": " << r.messages
+         << ", \"duration\": " << json_number(r.duration);
+    } else {
+      os << ", \"error\": \"" << json_escape(r.error) << "\"";
+    }
+    os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+}  // namespace tbcs::exec

@@ -1,0 +1,38 @@
+// Order-stable result output for sweep runs.
+//
+// Both sinks emit results in submission-index order with fixed-precision
+// number formatting, so the bytes written depend only on the results —
+// never on worker scheduling.  Failed runs (ok == false) are skipped by
+// the CSV sink (the row would have no meaningful metric cells) and
+// emitted with their error string by the JSON sink.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "exec/run_spec.hpp"
+
+namespace tbcs::exec {
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void write(std::ostream& os,
+                     const std::vector<RunResult>& results) const = 0;
+};
+
+/// Header = label columns + seed + metric columns; one row per ok run.
+class CsvSink : public ResultSink {
+ public:
+  void write(std::ostream& os,
+             const std::vector<RunResult>& results) const override;
+};
+
+/// A JSON array of run objects (labels as strings, metrics as numbers).
+class JsonSink : public ResultSink {
+ public:
+  void write(std::ostream& os,
+             const std::vector<RunResult>& results) const override;
+};
+
+}  // namespace tbcs::exec

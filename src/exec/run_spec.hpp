@@ -1,0 +1,63 @@
+// One unit of work for the experiment-execution engine: a complete
+// ExperimentConfig plus the sweep coordinates ("labels") that identify the
+// run in result tables.
+//
+// Seeds are derived, never inherited: run_one() overwrites cfg.seed with
+// derive_seed(base_seed, run_index), so a run's randomness depends only on
+// the base seed and the run's position in the spec list — not on which
+// worker thread picks it up or in which order runs finish.  This is what
+// makes `--jobs 1` and `--jobs 8` byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cli/experiment_config.hpp"
+#include "sim/rng.hpp"
+
+namespace tbcs::exec {
+
+/// Per-run seed: SplitMix64 over (base_seed, run_index).  Stable across
+/// scheduling order, platforms, and job counts.
+inline std::uint64_t derive_seed(std::uint64_t base_seed,
+                                 std::uint64_t run_index) {
+  sim::SplitMix64 sm(base_seed ^
+                     (run_index + 1) * 0x9e3779b97f4a7c15ULL);
+  return sm.next();
+}
+
+/// A label is a (column, value) pair identifying the run in the output,
+/// e.g. {"eps", "0.02"} or {"replica", "3"}.  All specs passed to one
+/// runner invocation must share the same label columns in the same order.
+using RunLabels = std::vector<std::pair<std::string, std::string>>;
+
+struct RunSpec {
+  cli::ExperimentConfig config;  // cfg.seed is overwritten by the runner
+  RunLabels labels;
+};
+
+/// Everything a sweep needs to report about one finished run.  `index`
+/// is the run's position in the submitted spec list; sinks emit results
+/// in index order, so output row order never depends on scheduling.
+struct RunResult {
+  std::size_t index = 0;
+  RunLabels labels;
+  std::uint64_t seed = 0;
+
+  bool ok = false;
+  std::string error;  // set when ok == false (build/run threw)
+
+  int diameter = 0;
+  double global_skew = 0.0;
+  double local_skew = 0.0;
+  double global_bound = 0.0;
+  double local_bound = 0.0;
+  double envelope_violation = 0.0;
+  std::uint64_t broadcasts = 0;
+  std::uint64_t messages = 0;
+  double duration = 0.0;
+};
+
+}  // namespace tbcs::exec

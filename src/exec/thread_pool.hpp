@@ -1,0 +1,69 @@
+// Fixed-size worker pool for CPU-bound simulation runs.
+//
+// submit() hands back a future carrying the task's result-or-exception;
+// parallel_for() fans an index range out over the workers and rethrows
+// the first failure (lowest index), so callers see deterministic error
+// reporting.  The destructor drains every queued task before joining —
+// a pool going out of scope never abandons submitted work.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tbcs::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (values < 1 are clamped to 1).
+  explicit ThreadPool(int threads);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues fn; the future rethrows anything fn throws.  Throws if the
+  /// pool is already shutting down.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Runs fn(0) .. fn(n-1) across the workers and blocks until all have
+  /// finished.  If any call threw, rethrows the lowest-index exception
+  /// after every task has completed.
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      futures.push_back(submit([&fn, i] { fn(i); }));
+    }
+    std::exception_ptr first;
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace tbcs::exec

@@ -13,6 +13,8 @@
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
 #include "baselines/free_running.hpp"
+#include "core/aopt.hpp"
+#include "core/params.hpp"
 #include "graph/topologies.hpp"
 #include "sim/simulator.hpp"
 
@@ -82,6 +84,46 @@ TEST(SkewTracker, EnvelopeAuditPassesLegalRates) {
   EXPECT_LE(tracker.max_envelope_violation(), 1e-9);
 }
 
+TEST(SkewTracker, EnvelopeAuditAllowsFloodWakeCatchUp) {
+  // Regression: the upper envelope is anchored at the earliest wake
+  // across the system, not each node's own t_v.  Under flood init a
+  // late-woken A^opt node legally runs at beta = (1+eps)(1+mu) > 1+eps
+  // relative to its own wake while catching up to L^max; auditing it
+  // against (1+eps)(t - t_v) flagged those legal executions.  The beta
+  // ceiling is the correct per-node upper check.
+  const double eps = 0.05;
+  const auto p = core::SyncParams::recommended(1.0, eps, 0.0);
+  const auto g = graph::make_path(6);
+  sim::SimConfig cfg;  // wake_all_at_zero = false: flood from node 0
+  cfg.probe_interval = 1.0;
+  sim::Simulator sim(g, cfg);
+  sim.set_all_nodes(
+      [&p](sim::NodeId) { return std::make_unique<core::AoptNode>(p); });
+  sim.set_delay_policy(std::make_shared<sim::FixedDelay>(1.0));
+  SkewTracker::Options opt;
+  opt.audit_epsilon = eps;
+  opt.audit_beta = p.beta(eps);
+  SkewTracker tracker(sim, opt);
+  tracker.attach(sim);
+  sim.run_until(60.0);
+  EXPECT_LE(tracker.max_envelope_violation(), 1e-6);
+}
+
+TEST(SkewTracker, BetaAuditCatchesOverfastCatchUp) {
+  // A node running at 1.04 from t_v = 0 stays inside the system envelope
+  // (1 + eps) t for eps = 0.05, but violates the catch-up ceiling
+  // beta (t - t_v) for beta = 1.02 — only the beta audit sees it.
+  const auto g = graph::make_path(2);
+  auto sim = make_free_running_sim(g, {1.04, 1.0});
+  SkewTracker::Options opt;
+  opt.audit_epsilon = 0.05;
+  opt.audit_beta = 1.02;
+  SkewTracker tracker(*sim, opt);
+  tracker.attach(*sim);
+  sim->run_until(10.0);
+  EXPECT_NEAR(tracker.max_envelope_violation(), 0.02 * 10.0, 1e-6);
+}
+
 TEST(SkewTracker, RateAuditTracksHardwareRates) {
   const auto g = graph::make_path(2);
   auto sim = make_free_running_sim(g, {1.07, 0.93});
@@ -118,6 +160,29 @@ TEST(SkewTracker, SeriesRecordsAtRequestedInterval) {
     EXPECT_GE(tracker.series()[i].t - tracker.series()[i - 1].t, 2.0 - 1e-9);
     EXPECT_GE(tracker.series()[i].global_skew,
               tracker.series()[i - 1].global_skew - 1e-9);
+  }
+}
+
+TEST(SkewTracker, SeriesAdvancesOnFixedGrid) {
+  // Regression: the next series target is warmup + k * interval, not
+  // last_sample_t + interval.  The old anchoring accumulated per-probe
+  // jitter, so irregular observation times drifted the cadence and
+  // dropped samples.
+  const auto g = graph::make_path(2);
+  auto sim = make_free_running_sim(g, {1.0, 1.0});
+  sim->run_until(0.5);  // wake the nodes so observe() records samples
+  SkewTracker::Options opt;
+  opt.series_interval = 1.0;
+  SkewTracker tracker(*sim, opt);
+  for (const double t : {0.55, 1.1, 2.05, 2.2, 3.3, 4.05}) {
+    tracker.observe(*sim, t);
+  }
+  // One sample lands in each grid cell [k, k+1): the jitter-anchored
+  // scheme recorded only 3 of these 5.
+  ASSERT_EQ(tracker.series().size(), 5u);
+  const double expected[] = {0.55, 1.1, 2.05, 3.3, 4.05};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(tracker.series()[i].t, expected[i]);
   }
 }
 

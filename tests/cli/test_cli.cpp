@@ -61,6 +61,49 @@ TEST(ArgParser, NonFlagArgumentIsError) {
   EXPECT_FALSE(p.ok());
 }
 
+TEST(ArgParser, BooleanFlagFollowedByStrayToken) {
+  // Regression: "--help extra" used to bind "extra" as the value of
+  // --help, so get_bool() returned the fallback and the stray token was
+  // silently swallowed.  Now the flag reads true and the token errors.
+  ArgParser p({"--help", "extra"});
+  EXPECT_TRUE(p.get_bool("help"));
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.errors()[0].find("extra"), std::string::npos);
+  // The reclassification is sticky: a second query stays true and does
+  // not duplicate the error.
+  EXPECT_TRUE(p.get_bool("help"));
+  EXPECT_EQ(p.errors().size(), 1u);
+}
+
+TEST(ArgParser, BooleanFlagConsumesLiteralValue) {
+  ArgParser p({"--wake-all", "false", "--verbose", "yes"});
+  EXPECT_FALSE(p.get_bool("wake-all", true));
+  EXPECT_TRUE(p.get_bool("verbose"));
+  EXPECT_TRUE(p.ok());
+}
+
+TEST(ArgParser, NegativeNumberAsSpacedValue) {
+  // Regression: a value starting with '-' is a value, not a flag —
+  // only "--"-prefixed tokens terminate the preceding option.
+  ArgParser p({"--shift", "-0.5", "--offset", "-3"});
+  EXPECT_DOUBLE_EQ(p.get_double("shift", 0.0), -0.5);
+  EXPECT_EQ(p.get_int("offset", 0), -3);
+  EXPECT_TRUE(p.ok());
+}
+
+TEST(ArgParser, ValueStartingWithDashViaEquals) {
+  ArgParser p({"--label=-x"});
+  EXPECT_EQ(p.get_string("label", ""), "-x");
+  EXPECT_TRUE(p.ok());
+}
+
+TEST(ArgParser, BoolEqualsNonLiteralIsError) {
+  ArgParser p({"--verbose=maybe"});
+  EXPECT_FALSE(p.get_bool("verbose"));  // fallback
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.errors()[0].find("expects a boolean"), std::string::npos);
+}
+
 // ---- ExperimentConfig -------------------------------------------------------
 
 TEST(ExperimentConfig, BuildsAllTopologies) {

@@ -50,27 +50,7 @@ int main(int argc, char** argv) {
   }
 
   cli::ExperimentConfig cfg;
-  cfg.topology = args.get_string("topology", cfg.topology);
-  cfg.nodes = args.get_int("nodes", cfg.nodes);
-  cfg.rows = args.get_int("rows", cfg.rows);
-  cfg.cols = args.get_int("cols", cfg.cols);
-  cfg.dims = args.get_int("dims", cfg.dims);
-  cfg.arity = args.get_int("arity", cfg.arity);
-  cfg.levels = args.get_int("levels", cfg.levels);
-  cfg.er_p = args.get_double("er-p", cfg.er_p);
-  cfg.algorithm = args.get_string("algo", cfg.algorithm);
-  cfg.tick_frequency = args.get_double("tick-frequency", cfg.tick_frequency);
-  cfg.eps = args.get_double("eps", cfg.eps);
-  cfg.delay = args.get_double("delay", cfg.delay);
-  cfg.mu = args.get_double("mu", cfg.mu);
-  cfg.h0 = args.get_double("h0", cfg.h0);
-  cfg.drift = args.get_string("drift", cfg.drift);
-  cfg.delays = args.get_string("delays", cfg.delays);
-  cfg.band_min = args.get_double("band-min", cfg.band_min);
-  cfg.duration = args.get_double("duration", cfg.duration);
-  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-  cfg.wake_all = args.get_bool("wake-all");
-  cfg.per_distance = args.get_bool("per-distance");
+  cli::apply_model_flags(args, cfg);
   const std::string series_csv = args.get_string("series-csv", "");
   const std::string profile_csv = args.get_string("profile-csv", "");
   const std::string snapshot_csv = args.get_string("snapshot-csv", "");

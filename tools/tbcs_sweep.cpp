@@ -1,33 +1,46 @@
-// tbcs_sweep — run a one-dimensional parameter sweep and emit CSV.
+// tbcs_sweep — run 1-D/2-D parameter sweeps in parallel and emit CSV/JSON.
 //
 //   tbcs_sweep --param diameter --values 8,16,32,64 --algo aopt
-//              --eps 0.01 --duration 500 > sweep.csv   (one command line)
+//              --eps 0.01 --duration 500 --jobs 8 > sweep.csv
+//   tbcs_sweep --param eps --values 0.01,0.02,0.05
+//              --param2 delay --values2 0.5,1,2 --replicas 4 --jobs 8
+//              --format json > sweep.json
 //
-// Sweepable parameters: diameter (path length - 1), eps, mu, h0, delay.
-// Output columns: the swept value, global/local skew, the two theory
-// bounds, message count.  Designed to feed plotting scripts
-// (scripts/plot_sweep.gp).
+// Sweepable parameters: diameter (sets nodes = D + 1 without touching the
+// chosen --topology), nodes, eps, mu, h0, delay, duration.  Every
+// tbcs_sim model/adversary flag (--topology, --nodes, --drift, ...) is
+// accepted and forms the base configuration.
+//
+// Runs execute on a worker pool (--jobs); per-run seeds are derived from
+// (--seed, run index), so any job count produces byte-identical output.
+// Output columns: the swept value(s), replica, seed, global/local skew,
+// the two theory bounds, message count — ready for scripts/plot_sweep.gp.
 #include <iostream>
-#include <sstream>
+#include <string>
 #include <vector>
 
-#include "analysis/skew_tracker.hpp"
-#include "analysis/table.hpp"
-#include "analysis/trace.hpp"
 #include "cli/args.hpp"
 #include "cli/experiment_config.hpp"
+#include "exec/result_sink.hpp"
+#include "exec/sweep_runner.hpp"
 
 namespace {
 
-std::vector<double> parse_values(const std::string& csv) {
-  std::vector<double> out;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(std::stod(item));
-  }
-  return out;
-}
+constexpr const char* kUsage = R"(tbcs_sweep — parallel parameter sweeps
+
+sweep:      --param diameter|nodes|eps|mu|h0|delay|duration
+            --values v1,v2,...
+            [--param2 <name> --values2 v1,v2,...]    second sweep axis
+            [--replicas R]    R runs per grid point with distinct seeds
+run:        --jobs N          worker threads (default 1; output is
+                              byte-identical for every N)
+            --seed S          base seed; per-run seeds are derived from
+                              (S, run index)
+output:     --format csv|json (default csv, on stdout)
+model:      every tbcs_sim model/adversary flag is accepted, e.g.
+            --topology ring --nodes 32 --algo aopt --eps 0.01 --mu 0.2
+            --drift square --delays hiding --duration 500 --wake-all
+)";
 
 }  // namespace
 
@@ -35,78 +48,89 @@ int main(int argc, char** argv) {
   using namespace tbcs;
   cli::ArgParser args(argc, argv);
   if (args.get_bool("help")) {
-    std::cout << "tbcs_sweep --param diameter|eps|mu|h0|delay "
-                 "--values v1,v2,... [tbcs_sim model/adversary flags]\n";
+    std::cout << kUsage;
     return 0;
   }
 
-  const std::string param = args.get_string("param", "diameter");
-  const std::vector<double> values =
-      parse_values(args.get_string("values", "8,16,32,64"));
-
+  // Historical tbcs_sweep defaults: the strongest standard adversary.
   cli::ExperimentConfig base;
-  base.algorithm = args.get_string("algo", base.algorithm);
-  base.eps = args.get_double("eps", base.eps);
-  base.delay = args.get_double("delay", base.delay);
-  base.mu = args.get_double("mu", base.mu);
-  base.h0 = args.get_double("h0", base.h0);
-  base.drift = args.get_string("drift", "square");
-  base.delays = args.get_string("delays", "hiding");
-  base.duration = args.get_double("duration", 500.0);
-  base.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  base.drift = "square";
+  base.delays = "hiding";
+  cli::apply_model_flags(args, base);
+
+  exec::SweepAxis axis1{args.get_string("param", "diameter"),
+                        exec::parse_values(args.get_string("values",
+                                                           "8,16,32,64"))};
+  exec::SweepAxis axis2{args.get_string("param2", ""),
+                        exec::parse_values(args.get_string("values2", ""))};
+  const int replicas = args.get_int("replicas", 1);
+  const int jobs = args.get_int("jobs", 1);
+  const std::string format = args.get_string("format", "csv");
 
   for (const auto& key : args.unknown_keys()) {
-    std::cerr << "error: unknown flag --" << key << "\n";
+    std::cerr << "error: unknown flag --" << key << "\n" << kUsage;
     return 2;
   }
   if (!args.ok()) {
     for (const auto& e : args.errors()) std::cerr << "error: " << e << "\n";
     return 2;
   }
-
-  analysis::CsvWriter csv(std::cout);
-  csv.row({param, "global_skew", "local_skew", "global_bound", "local_bound",
-           "messages"});
-
-  for (const double value : values) {
-    cli::ExperimentConfig cfg = base;
-    cfg.topology = "path";
-    if (param == "diameter") {
-      cfg.nodes = static_cast<int>(value) + 1;
-    } else if (param == "eps") {
-      cfg.eps = value;
-    } else if (param == "mu") {
-      cfg.mu = value;
-    } else if (param == "h0") {
-      cfg.h0 = value;
-    } else if (param == "delay") {
-      cfg.delay = value;
-    } else {
-      std::cerr << "error: unknown sweep parameter '" << param << "'\n";
-      return 2;
-    }
-
-    try {
-      auto built = cli::build_experiment(cfg);
-      analysis::SkewTracker tracker(*built.simulator, {});
-      tracker.attach(*built.simulator);
-      built.simulator->run_until(cfg.duration);
-
-      const int d = built.graph->diameter();
-      csv.row({analysis::Table::num(value, 6),
-               analysis::Table::num(tracker.max_global_skew(), 6),
-               analysis::Table::num(tracker.max_local_skew(), 6),
-               analysis::Table::num(
-                   built.params.global_skew_bound(d, cfg.eps, cfg.delay), 6),
-               analysis::Table::num(
-                   built.params.local_skew_bound(d, cfg.eps, cfg.delay), 6),
-               analysis::Table::integer(static_cast<long long>(
-                   built.simulator->messages_delivered()))});
-    } catch (const std::exception& e) {
-      std::cerr << "error at " << param << " = " << value << ": " << e.what()
-                << "\n";
-      return 1;
-    }
+  if (axis1.values.empty()) {
+    std::cerr << "error: --values must name at least one value\n";
+    return 2;
   }
-  return 0;
+  if (axis2.param.empty() != axis2.values.empty()) {
+    std::cerr << "error: --param2 and --values2 must be given together\n";
+    return 2;
+  }
+  if (replicas < 1) {
+    std::cerr << "error: --replicas must be >= 1\n";
+    return 2;
+  }
+  if (format != "csv" && format != "json") {
+    std::cerr << "error: --format must be csv or json\n";
+    return 2;
+  }
+  try {  // reject unknown sweep parameters as usage errors, before running
+    cli::ExperimentConfig probe = base;
+    exec::apply_sweep_param(probe, axis1.param, axis1.values.front());
+    if (!axis2.param.empty()) {
+      exec::apply_sweep_param(probe, axis2.param, axis2.values.front());
+    }
+  } catch (const cli::ConfigError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  try {
+    const std::vector<exec::RunSpec> specs = exec::make_grid_specs(
+        base, axis1, axis2.param.empty() ? nullptr : &axis2, replicas);
+
+    exec::SweepOptions sopt;
+    sopt.jobs = jobs;
+    sopt.base_seed = base.seed;
+    const std::vector<exec::RunResult> results =
+        exec::SweepRunner(sopt).run(specs);
+
+    int failures = 0;
+    for (const exec::RunResult& r : results) {
+      if (r.ok) continue;
+      ++failures;
+      std::cerr << "error at";
+      for (const auto& [key, value] : r.labels) {
+        std::cerr << " " << key << " = " << value;
+      }
+      std::cerr << ": " << r.error << "\n";
+    }
+
+    if (format == "json") {
+      exec::JsonSink().write(std::cout, results);
+    } else {
+      exec::CsvSink().write(std::cout, results);
+    }
+    return failures > 0 ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
 }
