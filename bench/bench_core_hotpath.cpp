@@ -1,0 +1,196 @@
+// bench_core_hotpath — end-to-end throughput of the simulator hot path
+// (Simulator::process + SkewTracker observer), the loop every experiment
+// binary bottoms out in.
+//
+//   bench_core_hotpath [--quick] [--out FILE] [--label NAME]
+//
+// Measures events/sec for A^opt with a random-walk drift and uniform
+// delay adversary on line/tree/grid topologies at n in {64, 1k, 16k}
+// (--quick keeps only the n=64 rows, unchanged otherwise), serially and
+// with replicas running concurrently on the exec thread pool, with the
+// skew tracker in both engines:
+//
+//   * tracker=incremental — the default certificate-based engine;
+//   * tracker=oracle      — the full-rescan engine, which is what every
+//     sample cost before the incremental engine existed.  The per-config
+//     speedup (incremental / oracle events_per_sec) is therefore a
+//     conservative lower bound on the speedup versus the pre-change core,
+//     and being a ratio it is robust to machine-load differences.
+//
+// Results go to BENCH_pr2.json ("tbcs-bench-v1", see bench_json.hpp) so
+// later PRs can regress-check against the recorded baseline
+// (scripts/smoke_bench.sh).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/skew_tracker.hpp"
+#include "bench_json.hpp"
+#include "core/aopt.hpp"
+#include "core/params.hpp"
+#include "exec/thread_pool.hpp"
+#include "graph/topologies.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace tbcs;
+
+constexpr int kPoolJobs = 4;  // replicas run concurrently in pool mode
+
+struct RunResult {
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+  std::uint64_t samples = 0;
+  std::uint64_t full_scans = 0;
+  double global_skew = 0.0;
+  double local_skew = 0.0;
+};
+
+graph::Graph make_topology(const std::string& kind, int n) {
+  if (kind == "line") return graph::make_path(n);
+  if (kind == "grid") {
+    int side = 1;
+    while (side * side < n) ++side;
+    return graph::make_grid(side, side);
+  }
+  // Balanced binary tree with 2^levels - 1 nodes, the largest not above n.
+  int levels = 1;
+  while ((2 << levels) - 1 <= n) ++levels;
+  return graph::make_balanced_tree(2, levels);
+}
+
+RunResult run_one(const graph::Graph& g, analysis::SkewTracker::Mode mode,
+                  double duration, std::uint64_t seed) {
+  const core::SyncParams params = core::SyncParams::recommended(1.0, 0.01, 0.0);
+  sim::Simulator sim(g);
+  sim.set_all_nodes(
+      [&params](sim::NodeId) { return std::make_unique<core::AoptNode>(params); });
+  sim.set_drift_policy(std::make_shared<sim::RandomWalkDrift>(0.01, 10.0, seed));
+  sim.set_delay_policy(std::make_shared<sim::UniformDelay>(0.0, 1.0, seed + 1));
+  analysis::SkewTracker::Options topt;
+  topt.mode = mode;
+  topt.audit_epsilon = 0.01;
+  analysis::SkewTracker tracker(sim, topt);
+  tracker.attach(sim);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run_until(duration);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.events = sim.events_processed();
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.samples = tracker.samples_taken();
+  r.full_scans = tracker.full_scans();
+  r.global_skew = tracker.max_global_skew();
+  r.local_skew = tracker.max_local_skew();
+  return r;
+}
+
+RunResult run_pool(const graph::Graph& g, analysis::SkewTracker::Mode mode,
+                   double duration) {
+  std::vector<RunResult> parts(kPoolJobs);
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    exec::ThreadPool pool(kPoolJobs);
+    pool.parallel_for(static_cast<std::size_t>(kPoolJobs), [&](std::size_t i) {
+      parts[i] = run_one(g, mode, duration, 3 + i);
+    });
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  RunResult agg;
+  agg.seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (const RunResult& p : parts) {
+    agg.events += p.events;
+    agg.samples += p.samples;
+    agg.full_scans += p.full_scans;
+    agg.global_skew = std::max(agg.global_skew, p.global_skew);
+    agg.local_skew = std::max(agg.local_skew, p.local_skew);
+  }
+  return agg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_pr2.json";
+  std::string label = "core_hotpath";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--quick") {
+      quick = true;
+    } else if (a == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else if (a == "--label" && i + 1 < argc) {
+      label = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_core_hotpath [--quick] [--out FILE] "
+                   "[--label NAME]\n");
+      return 2;
+    }
+  }
+
+  // --quick runs the n=64 subset with the SAME durations as the full
+  // sweep, so its result names and workloads match the recorded baseline
+  // exactly and the smoke regression check compares like with like.
+  const std::vector<int> sizes =
+      quick ? std::vector<int>{64} : std::vector<int>{64, 1024, 16384};
+  // Durations: long enough that the initialization flood (which crosses
+  // the diameter at ~0.5 time units per hop) is over and the steady state
+  // dominates, short enough that the oracle runs (O(n + E) per event)
+  // stay tractable.  The line and grid at n = 16k never leave the flood
+  // within any tractable horizon; those rows record the transient and are
+  // flagged as such in EXPERIMENTS.md.
+  const auto duration_for = [](const std::string& topo, int n) {
+    if (n >= 16384) return topo == "line" ? 60.0 : (topo == "grid" ? 30.0 : 12.0);
+    if (n >= 1023) return topo == "line" ? 1500.0 : (topo == "grid" ? 200.0 : 100.0);
+    return 200.0;
+  };
+
+  tbcs::bench::BenchJsonWriter json(label);
+  for (const char* topo : {"line", "tree", "grid"}) {
+    for (const int n : sizes) {
+      const tbcs::graph::Graph g = make_topology(topo, n);
+      const double dur = duration_for(topo, n);
+      for (const bool pool : {false, true}) {
+        for (const bool oracle : {false, true}) {
+          const auto mode =
+              oracle ? tbcs::analysis::SkewTracker::Mode::kFullRescan
+                     : tbcs::analysis::SkewTracker::Mode::kIncremental;
+          const RunResult r =
+              pool ? run_pool(g, mode, dur) : run_one(g, mode, dur, 3);
+          const double eps = r.events / (r.seconds > 0.0 ? r.seconds : 1e-9);
+          const std::string name = std::string(topo) + "_n" +
+                                   std::to_string(g.num_nodes()) +
+                                   (pool ? "_pool" : "_serial") +
+                                   (oracle ? "_oracle" : "_incremental");
+          json.add(name)
+              .metric("n", g.num_nodes())
+              .metric("duration", dur)
+              .metric("jobs", pool ? kPoolJobs : 1)
+              .metric("events", static_cast<double>(r.events))
+              .metric("seconds", r.seconds)
+              .metric("events_per_sec", eps)
+              .metric("samples", static_cast<double>(r.samples))
+              .metric("full_scans", static_cast<double>(r.full_scans))
+              .metric("global_skew", r.global_skew)
+              .metric("local_skew", r.local_skew);
+          std::printf("%-32s %12.0f events/s  (%llu events, %.2fs, %llu/%llu scans)\n",
+                      name.c_str(), eps, (unsigned long long)r.events, r.seconds,
+                      (unsigned long long)r.full_scans,
+                      (unsigned long long)r.samples);
+          std::fflush(stdout);
+        }
+      }
+    }
+  }
+  json.write_file(out);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

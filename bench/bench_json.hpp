@@ -1,0 +1,101 @@
+// Shared JSON sink for benchmark results ("tbcs-bench-v1").
+//
+// One flat schema for every benchmark binary, so trajectory files
+// (BENCH_*.json at the repo root) diff cleanly across PRs and a single
+// validator (scripts/smoke_bench.sh) covers them all:
+//
+//   {
+//     "schema": "tbcs-bench-v1",
+//     "label": "<binary or run label>",
+//     "results": [
+//       {"name": "<unique result id>", "<metric>": <number>, ...},
+//       ...
+//     ]
+//   }
+//
+// Metric keys and values are benchmark-specific; `name` is the only
+// required field and must be unique within the file.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tbcs::bench {
+
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string label) : label_(std::move(label)) {}
+
+  class Result {
+   public:
+    explicit Result(std::string name) : name_(std::move(name)) {}
+    Result& metric(const std::string& key, double value) {
+      metrics_.emplace_back(key, value);
+      return *this;
+    }
+
+   private:
+    friend class BenchJsonWriter;
+    std::string name_;
+    std::vector<std::pair<std::string, double>> metrics_;
+  };
+
+  Result& add(std::string name) {
+    results_.emplace_back(std::move(name));
+    return results_.back();
+  }
+
+  bool empty() const { return results_.empty(); }
+
+  void write(std::ostream& os) const {
+    os << "{\n  \"schema\": \"tbcs-bench-v1\",\n  \"label\": \""
+       << escape(label_) << "\",\n  \"results\": [";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      const Result& r = results_[i];
+      os << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"" << escape(r.name_)
+         << "\"";
+      for (const auto& [key, value] : r.metrics_) {
+        os << ", \"" << escape(key) << "\": " << number(value);
+      }
+      os << "}";
+    }
+    os << "\n  ]\n}\n";
+  }
+
+  void write_file(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+    write(os);
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+    return out;
+  }
+
+  // Round-trippable and valid JSON (no inf/nan, which JSON lacks).
+  static std::string number(double v) {
+    if (!(v == v)) return "null";
+    if (v > 1.7e308) return "1e308";
+    if (v < -1.7e308) return "-1e308";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+  }
+
+  std::string label_;
+  std::vector<Result> results_;
+};
+
+}  // namespace tbcs::bench

@@ -1,10 +1,17 @@
 // Micro-benchmarks of the substrate (google-benchmark): event queue,
 // hardware clock math, the Algorithm 3 closed form, trajectory inversion,
 // and an end-to-end simulator throughput measurement.
+//
+// `--bench_json=FILE` additionally writes the results through the shared
+// tbcs-bench-v1 sink (bench_json.hpp), the same format bench_core_hotpath
+// records its trajectory in.
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "core/aopt.hpp"
 #include "core/params.hpp"
 #include "core/rate_rule.hpp"
@@ -97,4 +104,53 @@ void BM_SimulatorAoptThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorAoptThroughput)->Arg(16)->Arg(64);
 
+// Console output as usual, plus every finished run mirrored into the
+// shared JSON sink.
+class JsonSinkReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonSinkReporter(tbcs::bench::BenchJsonWriter* sink) : sink_(sink) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    if (!sink_) return;
+    for (const Run& r : runs) {
+      if (r.error_occurred || r.run_type != Run::RT_Iteration) continue;
+      auto& result = sink_->add(r.benchmark_name());
+      result.metric("real_time_ns", r.GetAdjustedRealTime())
+          .metric("iterations", static_cast<double>(r.iterations));
+      for (const auto& [key, counter] : r.counters) {
+        result.metric(key, counter.value);
+      }
+    }
+  }
+
+ private:
+  tbcs::bench::BenchJsonWriter* sink_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    constexpr const char* kFlag = "--bench_json=";
+    if (a.rfind(kFlag, 0) == 0) {
+      json_path = a.substr(std::string(kFlag).size());
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  tbcs::bench::BenchJsonWriter sink("bench_micro");
+  JsonSinkReporter reporter(json_path.empty() ? nullptr : &sink);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) sink.write_file(json_path);
+  return 0;
+}

@@ -27,4 +27,18 @@ CommunicationReport operator-(const CommunicationReport& late,
   return r;
 }
 
+QueueReport QueueReport::capture(const sim::Simulator& sim) {
+  QueueReport r;
+  const sim::EventQueue::Stats& s = sim.queue_stats();
+  r.peak_size = s.peak_size;
+  r.pushes = s.pushes;
+  r.pops = s.pops;
+  r.stale_timer_pops = sim.stale_timer_pops();
+  if (r.pops > 0) {
+    r.stale_share = static_cast<double>(r.stale_timer_pops) /
+                    static_cast<double>(r.pops);
+  }
+  return r;
+}
+
 }  // namespace tbcs::analysis

@@ -22,4 +22,18 @@ struct CommunicationReport {
 CommunicationReport operator-(const CommunicationReport& late,
                               const CommunicationReport& early);
 
+/// Event-queue health: heap high-water mark, churn, and how much of the
+/// churn was lazy-deletion overhead (stale timer entries popped and
+/// discarded).  A stale share near 1 means timers are re-armed much faster
+/// than they fire and the queue is mostly dead weight.
+struct QueueReport {
+  std::size_t peak_size = 0;
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t stale_timer_pops = 0;
+  double stale_share = 0.0;  // stale_timer_pops / pops
+
+  static QueueReport capture(const sim::Simulator& sim);
+};
+
 }  // namespace tbcs::analysis

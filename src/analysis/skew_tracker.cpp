@@ -3,8 +3,22 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <sstream>
+#include <stdexcept>
 
 namespace tbcs::analysis {
+
+namespace {
+
+// Added to every certificate on each extrapolation step / exact fold.  The
+// certificates only need to stay >= the value the oracle would compute; the
+// guard dominates the few-ulp floating-point drift of `value + rate * dt`
+// against the oracle's direct evaluation (quantities are O(10^6) at most,
+// so one step drifts by no more than ~1e-9).  The inflation it accumulates
+// is reset at every full scan.
+constexpr double kCertificateGuard = 1e-9;
+
+}  // namespace
 
 SkewTracker::SkewTracker(const sim::Simulator& sim)
     : SkewTracker(sim, Options()) {}
@@ -17,6 +31,14 @@ SkewTracker::SkewTracker(const sim::Simulator& sim, Options opt) : opt_(opt) {
     per_distance_.assign(static_cast<std::size_t>(sim.topology().diameter()) + 1, 0.0);
   }
   next_series_t_ = opt_.warmup;
+  next_per_distance_t_ = opt_.warmup;
+  incremental_ = opt_.mode != Mode::kFullRescan && opt_.stride <= 1;
+  if (incremental_ && opt_.track_local) csr_ = sim.topology().csr();
+  if (opt_.mode == Mode::kAuditOracle) {
+    Options oracle_opt = opt_;
+    oracle_opt.mode = Mode::kFullRescan;
+    oracle_ = std::unique_ptr<SkewTracker>(new SkewTracker(sim, oracle_opt));
+  }
 }
 
 void SkewTracker::attach(sim::Simulator& sim) {
@@ -29,14 +51,124 @@ double SkewTracker::max_skew_at_distance(int d) const {
   return per_distance_[static_cast<std::size_t>(d)];
 }
 
+bool SkewTracker::per_distance_due(double t) const {
+  if (!opt_.track_per_distance) return false;
+  if (opt_.per_distance_interval <= 0.0) return true;
+  return t >= next_per_distance_t_;
+}
+
 void SkewTracker::observe(const sim::Simulator& sim, double t) {
   if (t < opt_.warmup) return;
   if (opt_.stride > 1 && (calls_++ % opt_.stride) != 0) return;
   ++samples_;
 
+  if (!incremental_) {
+    full_scan(sim, t);
+  } else {
+    // Advance the certificates from bound_t_ to t: every logical clock is
+    // linear between events with a rate inside [rate_lo_, rate_hi_], so the
+    // extrema drift no faster than these envelopes.
+    const double dt = t > bound_t_ ? t - bound_t_ : 0.0;
+    if (dt > 0.0 && any_awake_seen_) {
+      hi_bound_ = hi_bound_ + rate_hi_ * dt + kCertificateGuard;
+      lo_bound_ = lo_bound_ + rate_lo_ * dt - kCertificateGuard;
+      if (opt_.track_local) {
+        local_bound_ =
+            local_bound_ + (rate_hi_ - rate_lo_) * dt + kCertificateGuard;
+      }
+      if (opt_.audit_epsilon > 0.0) {
+        // Upper violations grow at rate_v - (1+eps) (and rate_v - beta),
+        // lower violations at (1-eps) - rate_v; never shrink the bound.
+        double growth = std::max(rate_hi_ - (1.0 + opt_.audit_epsilon),
+                                 (1.0 - opt_.audit_epsilon) - rate_lo_);
+        if (opt_.audit_beta > 0.0) {
+          growth = std::max(growth, rate_hi_ - opt_.audit_beta);
+        }
+        growth = std::max(growth, 0.0);
+        env_bound_ = env_bound_ + growth * dt + kCertificateGuard;
+      }
+    }
+    bound_t_ = t;
+
+    // Fold the touched nodes exactly: only they can have moved
+    // discontinuously since the last sample.
+    const sim::Simulator::LastEvent& le = sim.last_event();
+    if (le.node != sim::kInvalidNode) touch(sim, le.node, le.woke, t);
+    if (le.node2 != sim::kInvalidNode) touch(sim, le.node2, false, t);
+
+    // A full scan is needed exactly when some certificate no longer proves
+    // the corresponding running maximum unbeaten, or when a grid output
+    // (series / per-distance profile) wants exact values at this t.
+    bool need = !scanned_once_ || !any_awake_seen_;
+    if (!need) {
+      need = hi_bound_ - lo_bound_ >= max_global_skew_;
+      if (!need && opt_.track_local) need = local_bound_ >= max_local_skew_;
+      if (!need && opt_.audit_epsilon > 0.0) {
+        need = env_bound_ >= max_envelope_violation_;
+      }
+    }
+    if (!need && opt_.series_interval > 0.0) need = t >= next_series_t_;
+    if (!need) need = per_distance_due(t);
+    if (need) full_scan(sim, t);
+  }
+
+  if (oracle_) {
+    oracle_->observe(sim, t);
+    assert_matches_oracle(t);
+  }
+}
+
+void SkewTracker::touch(const sim::Simulator& sim, sim::NodeId v, bool woke,
+                        double t) {
+  if (!sim.awake(v)) return;
+  any_awake_seen_ = true;
+  const double L = sim.logical(v);
+  if (!(L <= hi_bound_)) hi_bound_ = L + kCertificateGuard;
+  if (!(L >= lo_bound_)) lo_bound_ = L - kCertificateGuard;
+
+  const double rate = sim.node(v).rate_multiplier() * sim.clock(v).rate();
+  min_logical_rate_ = std::min(min_logical_rate_, rate);
+  max_logical_rate_ = std::max(max_logical_rate_, rate);
+  if (!(rate <= rate_hi_)) rate_hi_ = rate;
+  if (!(rate >= rate_lo_)) rate_lo_ = rate;
+
+  if (opt_.track_local) {
+    for (const graph::Graph::Arc* a = csr_->begin(v); a != csr_->end(v); ++a) {
+      if (!sim.link_up(a->edge) || !sim.awake(a->to)) continue;
+      const double d = std::abs(L - sim.logical(a->to));
+      if (!(d <= local_bound_)) local_bound_ = d + kCertificateGuard;
+    }
+  }
+
+  if (opt_.audit_epsilon > 0.0) {
+    if (woke) {
+      earliest_start_ = std::min(earliest_start_, sim.clock(v).start_time());
+    }
+    const double eps = opt_.audit_epsilon;
+    const double tv = sim.clock(v).start_time();
+    double upper_violation = L - (1.0 + eps) * (t - earliest_start_);
+    if (opt_.audit_beta > 0.0) {
+      upper_violation =
+          std::max(upper_violation, L - opt_.audit_beta * (t - tv));
+    }
+    const double lower_violation = (1.0 - eps) * (t - tv) - L;
+    const double violation = std::max(upper_violation, lower_violation);
+    if (!(violation <= env_bound_)) env_bound_ = violation + kCertificateGuard;
+  }
+}
+
+// The oracle pass.  This is the only code that writes the running maxima,
+// in both engines — the incremental engine merely proves most calls
+// redundant — so its fold order and arithmetic are the single source of
+// truth for every reported figure.
+void SkewTracker::full_scan(const sim::Simulator& sim, double t) {
+  ++full_scans_;
   const sim::NodeId n = sim.num_nodes();
   double lo = sim::kInfinity;
   double hi = -sim::kInfinity;
+  double cur_rate_lo = sim::kInfinity;
+  double cur_rate_hi = -sim::kInfinity;
+  double cur_env = -sim::kInfinity;
   bool any_awake = false;
   if (opt_.audit_epsilon > 0.0) {
     // The system envelope is anchored at the earliest wake across all
@@ -62,6 +194,8 @@ void SkewTracker::observe(const sim::Simulator& sim, double t) {
     const double rate = sim.node(v).rate_multiplier() * sim.clock(v).rate();
     min_logical_rate_ = std::min(min_logical_rate_, rate);
     max_logical_rate_ = std::max(max_logical_rate_, rate);
+    cur_rate_lo = std::min(cur_rate_lo, rate);
+    cur_rate_hi = std::max(cur_rate_hi, rate);
 
     // Envelope audit (Condition (1)), relative to wake times: the system
     // envelope is anchored at the earliest wake (the instant L^max was
@@ -80,25 +214,42 @@ void SkewTracker::observe(const sim::Simulator& sim, double t) {
       const double lower_violation = (1.0 - eps) * (t - tv) - L;
       max_envelope_violation_ =
           std::max({max_envelope_violation_, upper_violation, lower_violation});
+      cur_env = std::max({cur_env, upper_violation, lower_violation});
     }
   }
+
+  // Re-anchor the certificates on the exact values just computed; the
+  // local certificate is finished below once `local` is known.
+  scanned_once_ = true;
+  any_awake_seen_ = any_awake;
+  bound_t_ = t;
+  hi_bound_ = hi;
+  lo_bound_ = lo;
+  env_bound_ = cur_env;
+  rate_hi_ = any_awake ? cur_rate_hi : 0.0;
+  rate_lo_ = any_awake ? cur_rate_lo : 0.0;
+  local_bound_ = -sim::kInfinity;
+
   if (!any_awake) return;
   const double global = hi - lo;
   max_global_skew_ = std::max(max_global_skew_, global);
 
   double local = 0.0;
   if (opt_.track_local) {
-    for (const auto& [u, w] : sim.topology().edges()) {
+    const auto& edges = sim.topology().edges();
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const auto& [u, w] = edges[i];
       const double Lu = logical_scratch_[static_cast<std::size_t>(u)];
       const double Lw = logical_scratch_[static_cast<std::size_t>(w)];
       if (Lu == -sim::kInfinity || Lw == -sim::kInfinity) continue;
-      if (!sim.link_up(u, w)) continue;  // down links are not neighbors
+      if (!sim.link_up(i)) continue;  // down links are not neighbors
       local = std::max(local, std::abs(Lu - Lw));
     }
     max_local_skew_ = std::max(max_local_skew_, local);
+    local_bound_ = local;
   }
 
-  if (opt_.track_per_distance) {
+  if (per_distance_due(t)) {
     for (sim::NodeId v = 0; v < n; ++v) {
       const double Lv = logical_scratch_[static_cast<std::size_t>(v)];
       if (Lv == -sim::kInfinity) continue;
@@ -109,6 +260,11 @@ void SkewTracker::observe(const sim::Simulator& sim, double t) {
         auto& cell = per_distance_[static_cast<std::size_t>(d)];
         cell = std::max(cell, std::abs(Lv - Lw));
       }
+    }
+    if (opt_.per_distance_interval > 0.0) {
+      do {
+        next_per_distance_t_ += opt_.per_distance_interval;
+      } while (next_per_distance_t_ <= t);
     }
   }
 
@@ -121,6 +277,37 @@ void SkewTracker::observe(const sim::Simulator& sim, double t) {
       next_series_t_ += opt_.series_interval;
     } while (next_series_t_ <= t);
   }
+}
+
+void SkewTracker::assert_matches_oracle(double t) const {
+  const SkewTracker& o = *oracle_;
+  const bool scalars_ok = max_global_skew_ == o.max_global_skew_ &&
+                          max_local_skew_ == o.max_local_skew_ &&
+                          max_envelope_violation_ == o.max_envelope_violation_ &&
+                          min_logical_rate_ == o.min_logical_rate_ &&
+                          max_logical_rate_ == o.max_logical_rate_;
+  bool vectors_ok =
+      per_distance_ == o.per_distance_ && series_.size() == o.series_.size();
+  if (vectors_ok && !series_.empty()) {
+    const Sample& a = series_.back();
+    const Sample& b = o.series_.back();
+    vectors_ok = a.t == b.t && a.global_skew == b.global_skew &&
+                 a.local_skew == b.local_skew;
+  }
+  if (scalars_ok && vectors_ok) return;
+  std::ostringstream os;
+  os.precision(17);
+  os << "SkewTracker audit-oracle divergence at t=" << t
+     << ": incremental {global=" << max_global_skew_
+     << ", local=" << max_local_skew_
+     << ", envelope=" << max_envelope_violation_
+     << ", rates=[" << min_logical_rate_ << ", " << max_logical_rate_
+     << "], series=" << series_.size() << "} vs oracle {global="
+     << o.max_global_skew_ << ", local=" << o.max_local_skew_
+     << ", envelope=" << o.max_envelope_violation_ << ", rates=["
+     << o.min_logical_rate_ << ", " << o.max_logical_rate_
+     << "], series=" << o.series_.size() << "}";
+  throw std::logic_error(os.str());
 }
 
 }  // namespace tbcs::analysis

@@ -6,9 +6,31 @@
 // linear functions over an interval is attained at a breakpoint.  The
 // tracker is installed as the simulator's observer and therefore samples
 // every breakpoint: the reported maxima are exact, not approximations.
+//
+// Two engines produce those maxima:
+//
+//  * kFullRescan — the oracle: every sample scans all n nodes and all E
+//    edges.  O(events * (n + E)).
+//
+//  * kIncremental (default) — certificate-based: per event, only the
+//    touched node (Simulator::last_event()) is evaluated exactly, and a
+//    set of upper-bound certificates (last exact extrema extrapolated at
+//    the extreme observed clock rates, kinetic-tournament style) prove
+//    that the skipped full scan could not have raised any running
+//    maximum.  When a certificate expires — the bound reaches the current
+//    maximum — the tracker falls back to one full rescan, which both
+//    updates the results and re-anchors every certificate exactly.
+//    Because running maxima are only ever written by the shared full-scan
+//    code path, every reported figure is bit-identical to the oracle's.
+//    Amortized cost per event is O(deg(touched node)) once the skew
+//    process saturates.
+//
+//  * kAuditOracle — runs both engines and throws on any divergence
+//    (--audit-oracle in the CLI); for validating the incremental engine.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -17,13 +39,30 @@ namespace tbcs::analysis {
 
 class SkewTracker {
  public:
+  enum class Mode {
+    kIncremental,  // certificate-based; falls back to full scans as needed
+    kFullRescan,   // the O(n + E)-per-sample oracle
+    kAuditOracle,  // both, asserting equality after every sample
+  };
+
   struct Options {
-    /// Track the per-edge (local) skew.  O(|E|) per sample.
+    /// Scan engine.  Incremental requires stride == 1 (any stride > 1
+    /// silently uses the full-rescan engine: strided sampling already
+    /// breaks the one-event-per-sample dirty-set invariant).
+    Mode mode = Mode::kIncremental;
+
+    /// Track the per-edge (local) skew.  O(|E|) per full scan.
     bool track_local = true;
 
     /// Track the skew profile per hop distance (gradient property,
-    /// Definition 5.6).  O(n^2) per sample — enable only for small n.
+    /// Definition 5.6).  O(n^2) per evaluation — enable only for small n.
     bool track_per_distance = false;
+
+    /// When > 0, evaluate the per-distance profile only on the fixed time
+    /// grid warmup + k * per_distance_interval (like the probe grid)
+    /// instead of at every sample; profile maxima become grid maxima.
+    /// 0 keeps the exact every-sample profile.
+    double per_distance_interval = 0.0;
 
     /// Audit Condition (1) against this true epsilon (<= 0 disables).
     /// The upper envelope is anchored at the earliest wake time seen
@@ -97,7 +136,17 @@ class SkewTracker {
   const std::vector<Sample>& series() const { return series_; }
   std::uint64_t samples_taken() const { return samples_; }
 
+  /// Full O(n + E) scans actually executed (== samples_taken() for the
+  /// oracle; the incremental engine's figure of merit is how far this
+  /// stays below it).
+  std::uint64_t full_scans() const { return full_scans_; }
+
  private:
+  bool per_distance_due(double t) const;
+  void full_scan(const sim::Simulator& sim, double t);
+  void touch(const sim::Simulator& sim, sim::NodeId v, bool woke, double t);
+  void assert_matches_oracle(double t) const;
+
   Options opt_;
   std::vector<std::vector<int>> distances_;  // filled iff track_per_distance
   std::vector<double> per_distance_;
@@ -110,8 +159,31 @@ class SkewTracker {
   std::vector<Sample> series_;
   double earliest_start_ = sim::kInfinity;
   double next_series_t_ = 0.0;
+  double next_per_distance_t_ = 0.0;
   std::uint64_t calls_ = 0;
   std::uint64_t samples_ = 0;
+  std::uint64_t full_scans_ = 0;
+
+  // ---- incremental-engine state -------------------------------------------
+  // Certificates: exact values from the last full scan, extrapolated with
+  // the extreme observed rates plus a per-advance guard that dominates the
+  // floating-point drift of the extrapolation.  Invariant: *_bound_ is >=
+  // the value the oracle would compute at the current time, so a bound
+  // that stays below the corresponding running maximum proves the skipped
+  // scan was a no-op.
+  std::shared_ptr<const graph::Graph::Csr> csr_;  // for touch-local edge folds
+  bool incremental_ = false;
+  bool scanned_once_ = false;
+  double bound_t_ = 0.0;        // time the bounds were last advanced to
+  double hi_bound_ = -sim::kInfinity;   // >= max_v L_v(t)
+  double lo_bound_ = sim::kInfinity;    // <= min_v L_v(t) over awake nodes
+  double local_bound_ = -sim::kInfinity;
+  double env_bound_ = -sim::kInfinity;
+  double rate_hi_ = 0.0;        // >= every current logical rate
+  double rate_lo_ = 0.0;        // <= every current logical rate
+  bool any_awake_seen_ = false;
+
+  std::unique_ptr<SkewTracker> oracle_;  // kAuditOracle only
 };
 
 }  // namespace tbcs::analysis

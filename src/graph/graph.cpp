@@ -13,7 +13,36 @@ bool Graph::add_edge(NodeId u, NodeId v) {
   adj_[static_cast<std::size_t>(u)].push_back(v);
   adj_[static_cast<std::size_t>(v)].push_back(u);
   edges_.emplace_back(std::min(u, v), std::max(u, v));
+  {
+    std::lock_guard<std::mutex> lock(csr_mu_);
+    csr_cache_.reset();
+  }
   return true;
+}
+
+std::shared_ptr<const Graph::Csr> Graph::csr() const {
+  std::lock_guard<std::mutex> lock(csr_mu_);
+  if (csr_cache_) return csr_cache_;
+  auto csr = std::make_shared<Csr>();
+  const auto n = static_cast<std::size_t>(num_nodes());
+  csr->row_.assign(n + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++csr->row_[static_cast<std::size_t>(u) + 1];
+    ++csr->row_[static_cast<std::size_t>(v) + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) csr->row_[i] += csr->row_[i - 1];
+  csr->arcs_.resize(edges_.size() * 2);
+  std::vector<std::uint32_t> cursor(csr->row_.begin(), csr->row_.end() - 1);
+  // Walking edges_ in insertion order reproduces each node's adjacency-list
+  // order, keeping CSR iteration deterministic-identical to neighbors().
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const auto [u, v] = edges_[i];
+    const auto e = static_cast<std::uint32_t>(i);
+    csr->arcs_[cursor[static_cast<std::size_t>(u)]++] = Arc{v, e};
+    csr->arcs_[cursor[static_cast<std::size_t>(v)]++] = Arc{u, e};
+  }
+  csr_cache_ = std::move(csr);
+  return csr_cache_;
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {

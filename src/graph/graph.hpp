@@ -3,6 +3,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -11,17 +13,89 @@ namespace tbcs::graph {
 using NodeId = std::int32_t;
 using Edge = std::pair<NodeId, NodeId>;
 
+/// Sentinel for "no such edge" in CSR lookups.
+inline constexpr std::uint32_t kNoEdge = 0xffffffffu;
+
 class Graph {
  public:
+  /// One directed half-edge of the CSR layout: the neighbor plus the index
+  /// of the undirected edge in edges(), so per-neighbor link state lives
+  /// one array lookup away (no hashing on the simulator hot path).
+  struct Arc {
+    NodeId to = -1;
+    std::uint32_t edge = kNoEdge;
+  };
+
+  /// Compressed-sparse-row adjacency.  Immutable snapshot of the graph at
+  /// build time; arcs of each node appear in the same order as
+  /// neighbors(v) (edge insertion order), so iteration order — and hence
+  /// simulator event order — is identical to the adjacency-list view.
+  class Csr {
+   public:
+    const Arc* begin(NodeId v) const {
+      return arcs_.data() + row_[static_cast<std::size_t>(v)];
+    }
+    const Arc* end(NodeId v) const {
+      return arcs_.data() + row_[static_cast<std::size_t>(v) + 1];
+    }
+    std::size_t degree(NodeId v) const {
+      return row_[static_cast<std::size_t>(v) + 1] -
+             row_[static_cast<std::size_t>(v)];
+    }
+    NodeId num_nodes() const { return static_cast<NodeId>(row_.size()) - 1; }
+
+    /// Index of the undirected edge {v, u}, or kNoEdge.  O(deg(v)).
+    std::uint32_t find_edge(NodeId v, NodeId u) const {
+      for (const Arc* a = begin(v); a != end(v); ++a) {
+        if (a->to == u) return a->edge;
+      }
+      return kNoEdge;
+    }
+
+   private:
+    friend class Graph;
+    std::vector<std::uint32_t> row_;  // n + 1 offsets into arcs_
+    std::vector<Arc> arcs_;           // 2|E| half-edges
+  };
+
   Graph() = default;
   explicit Graph(NodeId n) : adj_(static_cast<std::size_t>(n)) {}
+
+  // The CSR cache is identity-independent derived data: copies and moves
+  // transfer the adjacency and drop or share the snapshot safely.
+  Graph(const Graph& o) : adj_(o.adj_), edges_(o.edges_) {}
+  Graph(Graph&& o) noexcept
+      : adj_(std::move(o.adj_)), edges_(std::move(o.edges_)) {}
+  Graph& operator=(const Graph& o) {
+    if (this != &o) {
+      adj_ = o.adj_;
+      edges_ = o.edges_;
+      std::lock_guard<std::mutex> lock(csr_mu_);
+      csr_cache_.reset();
+    }
+    return *this;
+  }
+  Graph& operator=(Graph&& o) noexcept {
+    adj_ = std::move(o.adj_);
+    edges_ = std::move(o.edges_);
+    std::lock_guard<std::mutex> lock(csr_mu_);
+    csr_cache_.reset();
+    return *this;
+  }
 
   NodeId num_nodes() const { return static_cast<NodeId>(adj_.size()); }
   std::size_t num_edges() const { return edges_.size(); }
 
   /// Adds the undirected edge {u, v}.  Duplicate edges and self-loops are
-  /// rejected (returns false).
+  /// rejected (returns false).  Invalidates any cached CSR snapshot.
   bool add_edge(NodeId u, NodeId v);
+
+  /// The CSR view of the current edge set.  Built lazily on first call and
+  /// cached; concurrent calls on a fully-built graph are safe (simulators
+  /// running in parallel on a shared topology all get the same snapshot).
+  /// Mutating the graph (add_edge) invalidates the cache, so callers hold
+  /// the returned shared_ptr for the duration of their run.
+  std::shared_ptr<const Csr> csr() const;
 
   bool has_edge(NodeId u, NodeId v) const;
 
@@ -58,6 +132,8 @@ class Graph {
  private:
   std::vector<std::vector<NodeId>> adj_;
   std::vector<Edge> edges_;
+  mutable std::mutex csr_mu_;
+  mutable std::shared_ptr<const Csr> csr_cache_;
 };
 
 }  // namespace tbcs::graph

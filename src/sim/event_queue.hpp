@@ -1,48 +1,74 @@
-// The simulator's event queue: a binary heap ordered by (time, sequence
-// number), giving deterministic FIFO semantics for simultaneous events.
+// The simulator's event queue: an implicit 4-ary heap ordered by (time,
+// sequence number), giving deterministic FIFO semantics for simultaneous
+// events.
+//
+// Events are 48 bytes: message payloads live in a MessageSlab (the event
+// carries a handle) and the kind-specific fields overlay each other, so a
+// sift moves half a cache line instead of ~96 bytes.  The 4-ary layout
+// halves the tree depth of the binary heap and keeps each child scan
+// inside one or two cache lines, which measures faster than both the
+// binary heap and std::priority_queue on simulation workloads.
 //
 // Timer events carry a generation counter; re-arming or cancelling a timer
 // bumps the live generation so stale heap entries are skipped on pop (lazy
-// deletion).
+// deletion).  The queue reports peak size and push/pop totals for the
+// counters layer.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <vector>
 
-#include "sim/message.hpp"
+#include "sim/message_slab.hpp"
 #include "sim/types.hpp"
 
 namespace tbcs::sim {
 
 enum class EventKind : std::uint8_t {
-  kMessageDelivery,  // `msg` delivered to `node`
+  kMessageDelivery,  // message `msg` (slab handle) delivered to `node` over `edge`
   kTimer,            // timer `slot` of `node` fires (if generation is live)
   kRateChange,       // hardware clock rate of `node` changes to `rate`
-  kLinkChange,       // link {node, node2} goes up/down (dynamic topologies)
+  kLinkChange,       // link {node, node2} = edge `edge` goes up/down
   kProbe,            // periodic observer callback
 };
 
 struct Event {
   RealTime time = 0.0;
-  std::uint64_t seq = 0;  // creation order; tie-breaker
-  EventKind kind = EventKind::kProbe;
+  std::uint64_t seq = 0;  // creation order; tie-breaker (set by the queue)
+  union {
+    double rate;                // kRateChange: the new hardware rate
+    std::uint64_t generation;   // kTimer: live-generation stamp
+  };
   NodeId node = kInvalidNode;
-  NodeId node2 = kInvalidNode;  // second endpoint for kLinkChange
-  bool link_up = true;          // target state for kLinkChange
-  int slot = 0;
-  std::uint64_t generation = 0;
-  double rate = 1.0;
+  union {
+    NodeId node2;               // kLinkChange: second endpoint
+    MessageSlab::Handle msg;    // kMessageDelivery: payload handle
+  };
+  std::uint32_t edge = 0xffffffffu;  // kMessageDelivery / kLinkChange
+  EventKind kind = EventKind::kProbe;
+  std::uint8_t slot = 0;         // kTimer
+  bool link_up = true;           // kLinkChange: target state
   bool rate_from_policy = true;  // injected rate changes do not re-poll the policy
-  Message msg;
+
+  Event() : rate(1.0), node2(kInvalidNode) {}
 };
+
+static_assert(sizeof(Event) <= 48, "Event must stay within one cache line");
 
 class EventQueue {
  public:
+  struct Stats {
+    std::size_t peak_size = 0;
+    std::uint64_t pushes = 0;
+    std::uint64_t pops = 0;
+  };
+
   void push(Event e) {
     e.seq = next_seq_++;
-    heap_.push_back(std::move(e));
-    std::push_heap(heap_.begin(), heap_.end(), After{});
+    heap_.push_back(e);
+    sift_up(heap_.size() - 1);
+    ++stats_.pushes;
+    if (heap_.size() > stats_.peak_size) stats_.peak_size = heap_.size();
   }
 
   bool empty() const { return heap_.empty(); }
@@ -51,25 +77,63 @@ class EventQueue {
   const Event& top() const { return heap_.front(); }
 
   Event pop() {
-    std::pop_heap(heap_.begin(), heap_.end(), After{});
-    Event e = std::move(heap_.back());
+    Event out = heap_.front();
+    const Event last = heap_.back();
     heap_.pop_back();
-    return e;
+    if (!heap_.empty()) {
+      heap_.front() = last;
+      sift_down(0);
+    }
+    ++stats_.pops;
+    return out;
   }
 
+  /// Empties the queue.  Sequence numbers keep increasing monotonically so
+  /// FIFO tie-breaks stay correct across a clear.
   void clear() { heap_.clear(); }
 
+  const Stats& stats() const { return stats_; }
+
  private:
-  // Max-heap comparator inverted: true if a fires after b.
-  struct After {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+  static constexpr std::size_t kArity = 4;
+
+  static bool before(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    const Event e = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!before(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
     }
-  };
+    heap_[i] = e;
+  }
+
+  void sift_down(std::size_t i) {
+    const Event e = heap_[i];
+    const std::size_t n = heap_.size();
+    while (true) {
+      const std::size_t first = i * kArity + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = std::min(first + kArity, n);
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], e)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = e;
+  }
 
   std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
+  Stats stats_;
 };
 
 }  // namespace tbcs::sim

@@ -1,0 +1,60 @@
+// Free-listed storage for in-flight message payloads.
+//
+// Events used to embed a full Message (40 bytes), making every heap
+// sift copy ~96 bytes.  The slab keeps payloads stationary and hands the
+// queue a 4-byte handle; slots are recycled through a LIFO free list so a
+// steady-state simulation allocates nothing after warm-up.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/message.hpp"
+
+namespace tbcs::sim {
+
+class MessageSlab {
+ public:
+  using Handle = std::uint32_t;
+  static constexpr Handle kNull = 0xffffffffu;
+
+  /// Stores a copy of `m`; the handle stays valid until take()/clear().
+  Handle put(const Message& m) {
+    if (free_.empty()) {
+      slots_.push_back(m);
+      return static_cast<Handle>(slots_.size() - 1);
+    }
+    const Handle h = free_.back();
+    free_.pop_back();
+    slots_[h] = m;
+    return h;
+  }
+
+  /// Removes and returns the payload, recycling the slot.
+  Message take(Handle h) {
+    assert(h < slots_.size());
+    free_.push_back(h);
+    return slots_[h];
+  }
+
+  const Message& peek(Handle h) const {
+    assert(h < slots_.size());
+    return slots_[h];
+  }
+
+  /// Drops all payloads (used together with EventQueue::clear()).
+  void clear() {
+    slots_.clear();
+    free_.clear();
+  }
+
+  std::size_t live() const { return slots_.size() - free_.size(); }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<Message> slots_;
+  std::vector<Handle> free_;
+};
+
+}  // namespace tbcs::sim

@@ -7,11 +7,17 @@
 
 namespace tbcs::sim {
 
-// NodeServices implementation handed to node callbacks; thin proxy onto the
-// simulator with the calling node pinned.
+// NodeServices implementation handed to node callbacks; one instance lives
+// for the simulator's lifetime and is re-pinned to the calling node, so the
+// per-event switch constructs nothing.
 class Simulator::ServicesImpl final : public NodeServices {
  public:
-  ServicesImpl(Simulator& sim, NodeId v) : sim_(sim), v_(v) {}
+  explicit ServicesImpl(Simulator& sim) : sim_(sim) {}
+
+  NodeServices& pin(NodeId v) {
+    v_ = v;
+    return *this;
+  }
 
   NodeId id() const override { return v_; }
   ClockValue hardware_now() const override {
@@ -25,29 +31,18 @@ class Simulator::ServicesImpl final : public NodeServices {
 
  private:
   Simulator& sim_;
-  NodeId v_;
+  NodeId v_ = kInvalidNode;
 };
-
-namespace {
-std::uint64_t edge_key(NodeId u, NodeId v) {
-  const auto lo = static_cast<std::uint64_t>(std::min(u, v));
-  const auto hi = static_cast<std::uint64_t>(std::max(u, v));
-  return (lo << 32) | hi;
-}
-}  // namespace
 
 Simulator::Simulator(const graph::Graph& g, SimConfig cfg)
     : graph_(g),
+      csr_(g.csr()),
       cfg_(cfg),
       per_node_(static_cast<std::size_t>(g.num_nodes())),
-      link_up_(g.num_edges(), true),
+      link_up_(g.num_edges(), 1),
       drift_(std::make_shared<ConstantDrift>(1.0)),
-      delay_(std::make_shared<FixedDelay>(0.0)) {
-  edge_index_.reserve(g.num_edges());
-  for (std::size_t i = 0; i < g.edges().size(); ++i) {
-    edge_index_[edge_key(g.edges()[i].first, g.edges()[i].second)] = i;
-  }
-}
+      delay_(std::make_shared<FixedDelay>(0.0)),
+      services_(std::make_unique<ServicesImpl>(*this)) {}
 
 Simulator::~Simulator() = default;
 
@@ -120,20 +115,28 @@ void Simulator::run_until(RealTime t_end) {
 void Simulator::process(Event& e) {
   ++events_processed_;
   bool observable = true;
+  last_event_.kind = e.kind;
+  last_event_.node = kInvalidNode;
+  last_event_.node2 = kInvalidNode;
+  last_event_.woke = false;
   switch (e.kind) {
     case EventKind::kMessageDelivery: {
-      if (!link_up(e.msg.sender, e.node)) {
+      // Copy out before dispatch: node callbacks may broadcast, which
+      // grows the slab and would invalidate a held reference.
+      const Message m = slab_.take(e.msg);
+      if (!link_up_[e.edge]) {
         ++messages_dropped_;  // the link went down while in flight
         observable = false;
         break;
       }
       ++messages_delivered_;
+      last_event_.node = e.node;
       PerNode& pn = per_node_[static_cast<std::size_t>(e.node)];
       if (!pn.awake) {
-        wake_node(e.node, &e.msg);
+        last_event_.woke = true;
+        wake_node(e.node, &m);
       } else {
-        ServicesImpl sv(*this, e.node);
-        pn.node->on_message(sv, e.msg);
+        pn.node->on_message(services_->pin(e.node), m);
       }
       break;
     }
@@ -141,21 +144,25 @@ void Simulator::process(Event& e) {
       PerNode& pn = per_node_[static_cast<std::size_t>(e.node)];
       TimerState& ts = pn.timers[e.slot];
       if (!ts.armed || ts.generation != e.generation) {
+        ++stale_timer_pops_;
         observable = false;  // stale heap entry (lazy deletion)
         break;
       }
       ts.armed = false;
-      ServicesImpl sv(*this, e.node);
-      pn.node->on_timer(sv, e.slot);
+      last_event_.node = e.node;
+      pn.node->on_timer(services_->pin(e.node), e.slot);
       break;
     }
     case EventKind::kRateChange: {
+      last_event_.node = e.node;
       apply_rate_change(e.node, e.rate);
       if (e.rate_from_policy) schedule_next_rate_change(e.node, e.time);
       break;
     }
     case EventKind::kLinkChange: {
-      apply_link_change(e.node, e.node2, e.link_up);
+      last_event_.node = e.node;
+      last_event_.node2 = e.node2;
+      apply_link_change(e.node, e.node2, e.edge, e.link_up);
       break;
     }
     case EventKind::kProbe: {
@@ -185,61 +192,68 @@ void Simulator::wake_node(NodeId v, const Message* trigger) {
   assert(!pn.awake);
   pn.awake = true;
   pn.clock.start(now_);
-  ServicesImpl sv(*this, v);
-  pn.node->on_wake(sv, trigger);
+  pn.node->on_wake(services_->pin(v), trigger);
 }
 
-std::size_t Simulator::edge_index(NodeId u, NodeId v) const {
-  const auto it = edge_index_.find(edge_key(u, v));
-  assert(it != edge_index_.end() && "no such edge");
-  return it->second;
+std::uint32_t Simulator::edge_index(NodeId u, NodeId v) const {
+  const std::uint32_t e = csr_->find_edge(u, v);
+  assert(e != graph::kNoEdge && "no such edge");
+  return e;
 }
 
 bool Simulator::link_up(NodeId u, NodeId v) const {
-  return link_up_[edge_index(u, v)];
+  return link_up_[edge_index(u, v)] != 0;
 }
 
 void Simulator::schedule_link_change(NodeId u, NodeId v, bool up, RealTime at) {
   assert(at >= now_ - kTimeTolerance);
-  edge_index(u, v);  // validates the edge exists
   Event e;
   e.time = std::max(at, now_);
   e.kind = EventKind::kLinkChange;
   e.node = u;
   e.node2 = v;
+  e.edge = edge_index(u, v);  // resolved once, here
   e.link_up = up;
   queue_.push(e);
 }
 
 void Simulator::schedule_crash(NodeId v, RealTime at) {
-  for (const NodeId u : graph_.neighbors(v)) {
-    schedule_link_change(v, u, false, at);
+  assert(at >= now_ - kTimeTolerance);
+  for (const graph::Graph::Arc* a = csr_->begin(v); a != csr_->end(v); ++a) {
+    Event e;
+    e.time = std::max(at, now_);
+    e.kind = EventKind::kLinkChange;
+    e.node = v;
+    e.node2 = a->to;
+    e.edge = a->edge;
+    e.link_up = false;
+    queue_.push(e);
   }
 }
 
-void Simulator::apply_link_change(NodeId u, NodeId v, bool up) {
-  auto state = link_up_[edge_index(u, v)];
-  if (state == up) return;  // no-op flip
-  link_up_[edge_index(u, v)] = up;
+void Simulator::apply_link_change(NodeId u, NodeId v, std::uint32_t edge,
+                                  bool up) {
+  if ((link_up_[edge] != 0) == up) return;  // no-op flip
+  link_up_[edge] = up ? 1 : 0;
   for (const NodeId endpoint : {u, v}) {
     PerNode& pn = per_node_[static_cast<std::size_t>(endpoint)];
     if (!pn.awake) continue;
-    ServicesImpl sv(*this, endpoint);
-    pn.node->on_link_change(sv, endpoint == u ? v : u, up);
+    pn.node->on_link_change(services_->pin(endpoint), endpoint == u ? v : u, up);
   }
 }
 
 void Simulator::do_broadcast(NodeId v, const Message& m) {
   ++broadcasts_;
-  for (const NodeId u : graph_.neighbors(v)) {
-    if (!link_up_[edge_index(v, u)]) continue;  // link currently down
-    const RealTime t_recv = delay_->delivery_time(v, u, now_, *this);
+  for (const graph::Graph::Arc* a = csr_->begin(v); a != csr_->end(v); ++a) {
+    if (!link_up_[a->edge]) continue;  // link currently down
+    const RealTime t_recv = delay_->delivery_time(v, a->to, now_, *this);
     assert(t_recv >= now_ - kTimeTolerance && "negative message delay");
     Event e;
     e.time = std::max(t_recv, now_);
     e.kind = EventKind::kMessageDelivery;
-    e.node = u;
-    e.msg = m;
+    e.node = a->to;
+    e.edge = a->edge;
+    e.msg = slab_.put(m);
     queue_.push(e);
   }
 }
@@ -269,7 +283,7 @@ void Simulator::schedule_timer_event(NodeId v, int slot) {
   e.time = pn.clock.time_when_reaches(ts.target, now_);
   e.kind = EventKind::kTimer;
   e.node = v;
-  e.slot = slot;
+  e.slot = static_cast<std::uint8_t>(slot);
   e.generation = ts.generation;
   queue_.push(e);
 }

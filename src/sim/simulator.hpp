@@ -9,12 +9,16 @@
 //
 // Between events every clock is linear in real time, so observers invoked
 // at event boundaries see the exact extrema of all skew processes.
+//
+// Hot-path layout: adjacency is the graph's CSR snapshot (each neighbor
+// carries its undirected edge index inline, so link-state checks never
+// hash), message payloads live in a free-listed slab, and delivery/link
+// events store their edge index so processing is array lookups only.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -22,6 +26,7 @@
 #include "sim/drift_policy.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/hardware_clock.hpp"
+#include "sim/message_slab.hpp"
 #include "sim/node.hpp"
 #include "sim/types.hpp"
 
@@ -94,6 +99,10 @@ class Simulator {
 
   bool link_up(NodeId u, NodeId v) const;
 
+  /// Link state by undirected edge index (parallel to topology().edges());
+  /// the O(1) form used by the metrics layer.
+  bool link_up(std::size_t edge) const { return link_up_[edge] != 0; }
+
   /// Crash-stop failure injection: downs all of v's links at time `at`
   /// (the node's clock keeps running but it is cut off from the network
   /// — indistinguishable from a crash to every other node).
@@ -123,6 +132,24 @@ class Simulator {
   std::uint64_t messages_delivered() const { return messages_delivered_; }
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Timer events popped whose generation was stale (lazy deletion).
+  std::uint64_t stale_timer_pops() const { return stale_timer_pops_; }
+  const EventQueue::Stats& queue_stats() const { return queue_.stats(); }
+
+  /// What the event that triggered the current/last observer call changed.
+  /// Logical-clock state is mutated only through node callbacks, so the
+  /// nodes listed here are the only ones whose (offset, rate) can have
+  /// changed discontinuously since the previous observer call; events that
+  /// change nothing (stale timers, dropped messages) never reach the
+  /// observer.  Incremental trackers key their dirty-set updates off this.
+  struct LastEvent {
+    EventKind kind = EventKind::kProbe;
+    NodeId node = kInvalidNode;   // primary touched node (kInvalidNode: none)
+    NodeId node2 = kInvalidNode;  // second touched node (link changes)
+    bool woke = false;            // the event initialized `node`
+  };
+  const LastEvent& last_event() const { return last_event_; }
+
  private:
   struct TimerState {
     ClockValue target = 0.0;
@@ -144,8 +171,8 @@ class Simulator {
   void process(Event& e);
   void wake_node(NodeId v, const Message* trigger);
   void do_broadcast(NodeId v, const Message& m);
-  std::size_t edge_index(NodeId u, NodeId v) const;
-  void apply_link_change(NodeId u, NodeId v, bool up);
+  std::uint32_t edge_index(NodeId u, NodeId v) const;
+  void apply_link_change(NodeId u, NodeId v, std::uint32_t edge, bool up);
   void arm_timer(NodeId v, int slot, ClockValue target);
   void disarm_timer(NodeId v, int slot);
   void schedule_timer_event(NodeId v, int slot);
@@ -153,20 +180,24 @@ class Simulator {
   void schedule_next_rate_change(NodeId v, RealTime now);
 
   const graph::Graph& graph_;
+  std::shared_ptr<const graph::Graph::Csr> csr_;
   SimConfig cfg_;
   std::vector<PerNode> per_node_;
-  std::vector<bool> link_up_;  // parallel to graph_.edges()
-  std::unordered_map<std::uint64_t, std::size_t> edge_index_;
+  std::vector<std::uint8_t> link_up_;  // parallel to graph_.edges()
   std::shared_ptr<DriftPolicy> drift_;
   std::shared_ptr<DelayPolicy> delay_;
   Observer observer_;
   EventQueue queue_;
+  MessageSlab slab_;
+  std::unique_ptr<ServicesImpl> services_;  // reused across all callbacks
+  LastEvent last_event_;
   RealTime now_ = 0.0;
   bool setup_done_ = false;
   std::uint64_t broadcasts_ = 0;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t messages_dropped_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t stale_timer_pops_ = 0;
 };
 
 }  // namespace tbcs::sim

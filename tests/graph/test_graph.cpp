@@ -96,5 +96,65 @@ TEST(Graph, MaxDegree) {
   EXPECT_EQ(make_grid(3, 3).max_degree(), 4u);
 }
 
+TEST(GraphCsr, ArcsMirrorNeighborsOrderWithEdgeIndices) {
+  const Graph g = make_grid(3, 4);
+  const auto csr = g.csr();
+  ASSERT_EQ(csr->num_nodes(), g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& nbrs = g.neighbors(v);
+    ASSERT_EQ(csr->degree(v), nbrs.size());
+    std::size_t i = 0;
+    for (const Graph::Arc* a = csr->begin(v); a != csr->end(v); ++a, ++i) {
+      EXPECT_EQ(a->to, nbrs[i]) << "CSR must preserve adjacency-list order";
+      ASSERT_LT(a->edge, g.num_edges());
+      const auto& [eu, ev] = g.edges()[a->edge];
+      EXPECT_TRUE((eu == v && ev == a->to) || (eu == a->to && ev == v))
+          << "inline edge index must point at the {v, to} edge";
+    }
+  }
+}
+
+TEST(GraphCsr, FindEdgeMatchesHasEdge) {
+  const Graph g = make_connected_er(20, 0.2, 5);
+  const auto csr = g.csr();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const std::uint32_t e = csr->find_edge(u, v);
+      EXPECT_EQ(e != kNoEdge, g.has_edge(u, v));
+      if (e != kNoEdge) {
+        EXPECT_EQ(e, csr->find_edge(v, u));
+      }
+    }
+  }
+}
+
+TEST(GraphCsr, SnapshotIsCachedAndInvalidatedByAddEdge) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto first = g.csr();
+  EXPECT_EQ(first.get(), g.csr().get()) << "repeat calls share the snapshot";
+  EXPECT_EQ(first->find_edge(2, 3), kNoEdge);
+  g.add_edge(2, 3);
+  const auto second = g.csr();
+  EXPECT_NE(first.get(), second.get()) << "add_edge must invalidate";
+  EXPECT_EQ(second->find_edge(2, 3), 2u);
+  // The old snapshot is still alive and unchanged for holders.
+  EXPECT_EQ(first->find_edge(2, 3), kNoEdge);
+  EXPECT_EQ(first->degree(2), 1u);
+}
+
+TEST(GraphCsr, CopyAndAssignKeepCsrIndependent) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  Graph copy(g);
+  copy.add_edge(1, 2);
+  EXPECT_EQ(g.csr()->find_edge(1, 2), kNoEdge);
+  EXPECT_EQ(copy.csr()->find_edge(1, 2), 1u);
+  Graph assigned;
+  assigned = copy;
+  EXPECT_EQ(assigned.csr()->find_edge(1, 2), 1u);
+}
+
 }  // namespace
 }  // namespace tbcs::graph

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <queue>
+#include <utility>
 #include <vector>
 
+#include "sim/message_slab.hpp"
 #include "sim/rng.hpp"
 
 namespace tbcs::sim {
@@ -36,12 +40,36 @@ TEST(EventQueue, SimultaneousEventsAreFifo) {
   EventQueue q;
   for (int i = 0; i < 10; ++i) {
     Event e = at(5.0);
-    e.slot = i;  // marker
+    e.slot = static_cast<std::uint8_t>(i);  // marker
     q.push(e);
   }
   for (int i = 0; i < 10; ++i) {
     EXPECT_EQ(q.pop().slot, i) << "FIFO order must hold for equal times";
   }
+}
+
+// FIFO among ties must hold even when the ties are interleaved with
+// earlier and later events (sift paths move the tied entries around).
+TEST(EventQueue, FifoTieBreakSurvivesSifting) {
+  EventQueue q;
+  for (int i = 0; i < 32; ++i) {
+    Event e = at(5.0);
+    e.slot = static_cast<std::uint8_t>(i);
+    q.push(e);
+    q.push(at(0.5 + i));    // earlier and later noise around the ties
+    q.push(at(100.5 + i));
+  }
+  int next_marker = 0;
+  RealTime last = -1.0;
+  while (!q.empty()) {
+    const Event e = q.pop();
+    EXPECT_GE(e.time, last);
+    last = e.time;
+    if (e.time == 5.0) {
+      EXPECT_EQ(e.slot, next_marker++);
+    }
+  }
+  EXPECT_EQ(next_marker, 32);
 }
 
 TEST(EventQueue, InterleavedPushPop) {
@@ -75,21 +103,76 @@ TEST(EventQueue, RandomizedOrderingProperty) {
   }
 }
 
-TEST(EventQueue, CarriesPayload) {
+// The 4-ary heap against a reference ordered set under random interleaved
+// push/pop: every pop must return the least (time, push rank) currently in
+// the queue, including exact time ties.
+TEST(EventQueue, RandomizedMatchesReferenceOrder) {
+  using Key = std::pair<RealTime, int>;  // (time, push rank)
   EventQueue q;
+  std::priority_queue<Key, std::vector<Key>, std::greater<Key>> ref;
+  Rng rng(4242);
+  int rank = 0;
+  for (int round = 0; round < 4000; ++round) {
+    if (q.empty() || rng.uniform(0.0, 1.0) < 0.6) {
+      // Coarse time grid on purpose: plenty of exact ties.
+      Event e = at(static_cast<double>(rng.uniform_index(50)));
+      e.node = static_cast<NodeId>(rank);
+      ref.emplace(e.time, rank++);
+      q.push(e);
+    } else {
+      const Event e = q.pop();
+      ASSERT_EQ(Key(e.time, static_cast<int>(e.node)), ref.top());
+      ref.pop();
+    }
+  }
+  while (!q.empty()) {
+    const Event e = q.pop();
+    ASSERT_EQ(Key(e.time, static_cast<int>(e.node)), ref.top());
+    ref.pop();
+  }
+  EXPECT_TRUE(ref.empty());
+}
+
+TEST(EventQueue, CarriesPayloadThroughSlab) {
+  MessageSlab slab;
+  EventQueue q;
+  Message m;
+  m.logical = 3.25;
+  m.logical_max = 7.5;
+  m.sender = 41;
   Event e = at(1.0);
   e.kind = EventKind::kMessageDelivery;
   e.node = 42;
-  e.msg.logical = 3.25;
-  e.msg.logical_max = 7.5;
-  e.msg.sender = 41;
+  e.msg = slab.put(m);
   q.push(e);
   const Event out = q.pop();
   EXPECT_EQ(out.kind, EventKind::kMessageDelivery);
   EXPECT_EQ(out.node, 42);
-  EXPECT_EQ(out.msg.sender, 41);
-  EXPECT_DOUBLE_EQ(out.msg.logical, 3.25);
-  EXPECT_DOUBLE_EQ(out.msg.logical_max, 7.5);
+  const Message got = slab.take(out.msg);
+  EXPECT_EQ(got.sender, 41);
+  EXPECT_DOUBLE_EQ(got.logical, 3.25);
+  EXPECT_DOUBLE_EQ(got.logical_max, 7.5);
+  EXPECT_EQ(slab.live(), 0u);
+}
+
+TEST(MessageSlab, RecyclesSlots) {
+  MessageSlab slab;
+  Message m;
+  m.sender = 1;
+  const auto h1 = slab.put(m);
+  m.sender = 2;
+  const auto h2 = slab.put(m);
+  EXPECT_NE(h1, h2);
+  EXPECT_EQ(slab.live(), 2u);
+  EXPECT_EQ(slab.take(h1).sender, 1);
+  // The freed slot is reused before the slab grows.
+  m.sender = 3;
+  const auto h3 = slab.put(m);
+  EXPECT_EQ(h3, h1);
+  EXPECT_EQ(slab.capacity(), 2u);
+  EXPECT_EQ(slab.take(h2).sender, 2);
+  EXPECT_EQ(slab.take(h3).sender, 3);
+  EXPECT_EQ(slab.live(), 0u);
 }
 
 TEST(EventQueue, ClearEmpties) {
@@ -98,6 +181,44 @@ TEST(EventQueue, ClearEmpties) {
   q.push(at(2.0));
   q.clear();
   EXPECT_TRUE(q.empty());
+}
+
+// Sequence numbers must keep increasing across clear(): events pushed
+// after a clear still lose FIFO ties against nothing stale, and ordering
+// among themselves reflects the new push order.
+TEST(EventQueue, FifoOrderSurvivesClear) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.push(at(9.0));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  for (int i = 0; i < 8; ++i) {
+    Event e = at(3.0);
+    e.slot = static_cast<std::uint8_t>(i);
+    q.push(e);
+  }
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(q.pop().slot, i);
+}
+
+TEST(EventQueue, StatsTrackPeakAndChurn) {
+  EventQueue q;
+  const EventQueue::Stats& s = q.stats();
+  EXPECT_EQ(s.peak_size, 0u);
+  q.push(at(1.0));
+  q.push(at(2.0));
+  q.push(at(3.0));
+  EXPECT_EQ(s.peak_size, 3u);
+  q.pop();
+  q.pop();
+  q.push(at(4.0));
+  EXPECT_EQ(s.peak_size, 3u) << "peak is a high-water mark";
+  EXPECT_EQ(s.pushes, 4u);
+  EXPECT_EQ(s.pops, 2u);
+  q.clear();
+  EXPECT_EQ(s.pushes, 4u) << "clear() does not rewrite history";
+}
+
+TEST(EventQueue, EventStaysCompact) {
+  EXPECT_LE(sizeof(Event), 48u);
 }
 
 }  // namespace

@@ -259,5 +259,85 @@ TEST(Simulator, ThrowsWithoutNodes) {
   EXPECT_THROW(sim.run_until(1.0), std::logic_error);
 }
 
+// Lazy deletion leaves stale heap entries behind on re-arm and cancel;
+// they must be skipped, counted, and invisible to the observer.
+TEST(Simulator, StaleTimerPopsAreCountedAndUnobservable) {
+  const auto g = graph::make_path(1);
+  Simulator sim(g);
+  auto nodes = install_script_nodes(sim, 1);
+  nodes[0]->on_wake_hook = [](NodeServices& sv) {
+    sv.set_timer(0, 1.0);   // re-armed: stale entry for H=1
+    sv.set_timer(0, 3.0);   // fires
+    sv.set_timer(1, 2.0);   // cancelled: stale entry for H=2
+    sv.cancel_timer(1);
+  };
+  std::vector<RealTime> observed;
+  sim.set_observer(
+      [&observed](const Simulator&, RealTime t) { observed.push_back(t); });
+  sim.run_until(10.0);
+  ASSERT_EQ(nodes[0]->records.size(), 2u);
+  EXPECT_NEAR(nodes[0]->records[1].hardware, 3.0, 1e-9);
+  EXPECT_EQ(sim.stale_timer_pops(), 2u);
+  // Observer calls: the live timer only — the root wake happens during
+  // setup (before any event) and the stale pops must stay invisible.
+  ASSERT_EQ(observed.size(), 1u);
+  EXPECT_DOUBLE_EQ(observed[0], 3.0);
+}
+
+// A rate change re-anchors armed timers by bumping the generation; the
+// superseded heap entry must pop stale, and the timer still fires exactly
+// once at the correct hardware target.
+TEST(Simulator, RateChangeInvalidatesOldTimerEntry) {
+  const auto g = graph::make_path(1);
+  Simulator sim(g);
+  auto nodes = install_script_nodes(sim, 1);
+  nodes[0]->on_wake_hook = [](NodeServices& sv) { sv.set_timer(0, 10.0); };
+  // Rate 1 until t=5 (H=5), then 0.5: target H=10 moves from t=10 to t=15.
+  std::vector<std::vector<RateStep>> steps{{{0.0, 1.0}, {5.0, 0.5}}};
+  sim.set_drift_policy(std::make_shared<ScheduledDrift>(std::move(steps)));
+  sim.run_until(20.0);
+  ASSERT_EQ(nodes[0]->records.size(), 2u) << "timer must fire exactly once";
+  EXPECT_NEAR(nodes[0]->records[1].hardware, 10.0, 1e-9);
+  EXPECT_EQ(sim.stale_timer_pops(), 1u) << "the t=10 entry pops stale";
+}
+
+TEST(Simulator, QueueStatsReportPeakAndChurn) {
+  const auto g = graph::make_star(5);
+  Simulator sim(g);
+  auto nodes = install_script_nodes(sim, 5);
+  nodes[0]->on_wake_hook = [](NodeServices& sv) { sv.broadcast(make_msg(0)); };
+  sim.run_until(5.0);
+  const EventQueue::Stats& s = sim.queue_stats();
+  EXPECT_GE(s.peak_size, 4u);  // 4 in-flight deliveries at once
+  EXPECT_GE(s.pushes, s.pops);
+  // The root wake is direct (not queued); the four deliveries are the
+  // only queue traffic, since the leaves stay silent.
+  EXPECT_GE(s.pops, 4u);
+}
+
+TEST(Simulator, LastEventIdentifiesTouchedNodes) {
+  const auto g = graph::make_path(2);
+  Simulator sim(g);
+  auto nodes = install_script_nodes(sim, 2);
+  nodes[0]->on_wake_hook = [](NodeServices& sv) { sv.broadcast(make_msg(0)); };
+  std::vector<Simulator::LastEvent> seen;
+  sim.set_observer([&seen](const Simulator& s, RealTime) {
+    seen.push_back(s.last_event());
+  });
+  sim.schedule_link_change(0, 1, false, 2.0);
+  sim.run_until(5.0);
+  ASSERT_GE(seen.size(), 2u);
+  // The root wakes during setup (before any event), so the first event is
+  // the delivery that wakes node 1.
+  EXPECT_EQ(seen[0].kind, EventKind::kMessageDelivery);
+  EXPECT_EQ(seen[0].node, 1);
+  EXPECT_TRUE(seen[0].woke);
+  // The link change touches both endpoints.
+  const Simulator::LastEvent& link = seen.back();
+  EXPECT_EQ(link.kind, EventKind::kLinkChange);
+  EXPECT_EQ(link.node, 0);
+  EXPECT_EQ(link.node2, 1);
+}
+
 }  // namespace
 }  // namespace tbcs::sim

@@ -32,6 +32,9 @@ adversary:  --drift walk|square|sine|const
             --delays uniform|fixed|band|bimodal|burst|hiding
             --band-min F
 run:        --duration T --seed S --wake-all --per-distance
+            --audit-oracle     run the incremental skew tracker and the
+                               full-rescan oracle side by side; abort on
+                               any divergence (slow; for validation)
 output:     --series-csv FILE --profile-csv FILE --snapshot-csv FILE
 record:     --record FILE      save this execution (rates + delays)
             --replay FILE      re-run a saved execution (overrides the
@@ -57,6 +60,7 @@ int main(int argc, char** argv) {
   const std::string record_file = args.get_string("record", "");
   const std::string replay_file = args.get_string("replay", "");
   const bool chart = args.get_bool("chart");
+  const bool audit_oracle = args.get_bool("audit-oracle");
 
   for (const auto& key : args.unknown_keys()) {
     std::cerr << "error: unknown flag --" << key << "\n" << kUsage;
@@ -92,6 +96,7 @@ int main(int argc, char** argv) {
     }
 
     analysis::SkewTracker::Options topt;
+    if (audit_oracle) topt.mode = analysis::SkewTracker::Mode::kAuditOracle;
     topt.audit_epsilon = cfg.eps;
     topt.track_per_distance = cfg.per_distance;
     topt.series_interval = cfg.duration / 200.0;
