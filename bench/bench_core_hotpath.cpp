@@ -2,7 +2,11 @@
 // (Simulator::process + SkewTracker observer), the loop every experiment
 // binary bottoms out in.
 //
-//   bench_core_hotpath [--quick] [--out FILE] [--label NAME]
+//   bench_core_hotpath [--quick] [--filter SUBSTR] [--out FILE] [--label NAME]
+//
+// --filter SUBSTR runs only the configurations whose result name contains
+// SUBSTR (e.g. --filter line_n1024_serial_incremental), for targeted
+// regression checks against a single recorded baseline row.
 //
 // Measures events/sec for A^opt with a random-walk drift and uniform
 // delay adversary on line/tree/grid topologies at n in {64, 1k, 16k}
@@ -120,18 +124,21 @@ int main(int argc, char** argv) {
   bool quick = false;
   std::string out = "BENCH_pr2.json";
   std::string label = "core_hotpath";
+  std::string filter;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--quick") {
       quick = true;
+    } else if (a == "--filter" && i + 1 < argc) {
+      filter = argv[++i];
     } else if (a == "--out" && i + 1 < argc) {
       out = argv[++i];
     } else if (a == "--label" && i + 1 < argc) {
       label = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: bench_core_hotpath [--quick] [--out FILE] "
-                   "[--label NAME]\n");
+                   "usage: bench_core_hotpath [--quick] [--filter SUBSTR] "
+                   "[--out FILE] [--label NAME]\n");
       return 2;
     }
   }
@@ -163,13 +170,16 @@ int main(int argc, char** argv) {
           const auto mode =
               oracle ? tbcs::analysis::SkewTracker::Mode::kFullRescan
                      : tbcs::analysis::SkewTracker::Mode::kIncremental;
-          const RunResult r =
-              pool ? run_pool(g, mode, dur) : run_one(g, mode, dur, 3);
-          const double eps = r.events / (r.seconds > 0.0 ? r.seconds : 1e-9);
           const std::string name = std::string(topo) + "_n" +
                                    std::to_string(g.num_nodes()) +
                                    (pool ? "_pool" : "_serial") +
                                    (oracle ? "_oracle" : "_incremental");
+          if (!filter.empty() && name.find(filter) == std::string::npos) {
+            continue;
+          }
+          const RunResult r =
+              pool ? run_pool(g, mode, dur) : run_one(g, mode, dur, 3);
+          const double eps = r.events / (r.seconds > 0.0 ? r.seconds : 1e-9);
           json.add(name)
               .metric("n", g.num_nodes())
               .metric("duration", dur)

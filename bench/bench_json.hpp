@@ -7,6 +7,8 @@
 //   {
 //     "schema": "tbcs-bench-v1",
 //     "label": "<binary or run label>",
+//     "meta": {"meta_version": 1, "git_sha": "...", "build_type": "...",
+//              "compiler": "..."},
 //     "results": [
 //       {"name": "<unique result id>", "<metric>": <number>, ...},
 //       ...
@@ -14,7 +16,10 @@
 //   }
 //
 // Metric keys and values are benchmark-specific; `name` is the only
-// required field and must be unique within the file.
+// required field and must be unique within the file.  `meta` carries
+// build provenance (injected by CMake via TBCS_GIT_SHA etc.) so a
+// trajectory file says which build produced it; consumers must treat
+// unknown meta keys as informational.
 #pragma once
 
 #include <cstdio>
@@ -24,6 +29,18 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+// CMake injects the real values per target; the fallbacks keep the header
+// compiling in contexts (tests, ad-hoc builds) that don't define them.
+#ifndef TBCS_GIT_SHA
+#define TBCS_GIT_SHA "unknown"
+#endif
+#ifndef TBCS_BUILD_TYPE
+#define TBCS_BUILD_TYPE "unknown"
+#endif
+#ifndef TBCS_COMPILER
+#define TBCS_COMPILER "unknown"
+#endif
 
 namespace tbcs::bench {
 
@@ -54,7 +71,11 @@ class BenchJsonWriter {
 
   void write(std::ostream& os) const {
     os << "{\n  \"schema\": \"tbcs-bench-v1\",\n  \"label\": \""
-       << escape(label_) << "\",\n  \"results\": [";
+       << escape(label_) << "\",\n  \"meta\": {\"meta_version\": 1, "
+       << "\"git_sha\": \"" << escape(TBCS_GIT_SHA) << "\", "
+       << "\"build_type\": \"" << escape(TBCS_BUILD_TYPE) << "\", "
+       << "\"compiler\": \"" << escape(TBCS_COMPILER)
+       << "\"},\n  \"results\": [";
     for (std::size_t i = 0; i < results_.size(); ++i) {
       const Result& r = results_[i];
       os << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"" << escape(r.name_)

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Local CI: the tier-1 gate plus a sanitizer smoke.
+#
+#   1. Tier 1: configure, build, ctest — the contract every change must
+#      keep green (same commands as ROADMAP.md).
+#   2. Sanitizer smoke: rebuild the simulator tool, the trace tool, the
+#      runtime tests, and the obs tests with ASan+UBSan
+#      (-DTBCS_SANITIZE=address,undefined) and run them.  The threaded
+#      runtime and the sharded metrics registry are the pieces most at
+#      risk of memory/lifetime bugs, so they get sanitizer coverage even
+#      in a quick pass.
+#
+# Usage: scripts/ci.sh [jobs]     (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "=== tier 1: build + ctest (jobs=$JOBS) ==="
+cmake -B build -S . > /dev/null
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo
+echo "=== sanitizer smoke: ASan+UBSan (jobs=$JOBS) ==="
+cmake -B build-asan -S . -DTBCS_SANITIZE=address,undefined > /dev/null
+cmake --build build-asan -j "$JOBS" --target \
+  tbcs_sim_tool tbcs_trace test_runtime test_obs test_metrics test_trace_tools
+
+SAN_TMP="$(mktemp -d)"
+trap 'rm -rf "$SAN_TMP"' EXIT
+build-asan/tools/tbcs_sim --topology grid --rows 4 --cols 4 --algo aopt \
+  --duration 60 --trace "$SAN_TMP/t.bin" --stats > /dev/null
+build-asan/tools/tbcs_trace --summary "$SAN_TMP/t.bin" > /dev/null
+build-asan/tools/tbcs_trace --chrome "$SAN_TMP/t.bin" --out "$SAN_TMP/t.json"
+build-asan/tests/test_runtime
+build-asan/tests/test_obs
+build-asan/tests/test_metrics
+build-asan/tests/test_trace_tools
+
+echo
+echo "ci.sh: all green"

@@ -24,7 +24,7 @@ if ! diff -u "$TMPDIR_SMOKE/serial.csv" "$TMPDIR_SMOKE/parallel.csv"; then
 fi
 
 header="$(head -n 1 "$TMPDIR_SMOKE/serial.csv")"
-expected="eps,delay,replica,seed,global_skew,local_skew,global_bound,local_bound,messages"
+expected="eps,delay,replica,seed,global_skew,local_skew,global_bound,local_bound,messages,events,messages_dropped,queue_peak,queue_pushes,queue_pops,stale_timer_pops"
 if [[ "$header" != "$expected" ]]; then
   echo "FAIL: unexpected CSV header: $header" >&2
   exit 1
@@ -39,6 +39,10 @@ fi
 "$SWEEP_BIN" "${COMMON_ARGS[@]}" --jobs 4 --format json > "$TMPDIR_SMOKE/out.json"
 if ! grep -q '"global_skew"' "$TMPDIR_SMOKE/out.json"; then
   echo "FAIL: JSON output missing global_skew field" >&2
+  exit 1
+fi
+if ! grep -q '"metrics": {"events"' "$TMPDIR_SMOKE/out.json"; then
+  echo "FAIL: JSON output missing per-run metrics object" >&2
   exit 1
 fi
 

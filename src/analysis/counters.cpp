@@ -1,5 +1,9 @@
 #include "analysis/counters.hpp"
 
+#include <ostream>
+
+#include "obs/flight_recorder.hpp"
+
 namespace tbcs::analysis {
 
 CommunicationReport CommunicationReport::capture(const sim::Simulator& sim) {
@@ -39,6 +43,46 @@ QueueReport QueueReport::capture(const sim::Simulator& sim) {
                     static_cast<double>(r.pops);
   }
   return r;
+}
+
+void write_stats_json(std::ostream& os, const sim::Simulator& sim,
+                      const obs::MetricsRegistry::Snapshot* metrics,
+                      const obs::FlightRecorder* recorder) {
+  const CommunicationReport comm = CommunicationReport::capture(sim);
+  const QueueReport queue = QueueReport::capture(sim);
+  const auto p = os.precision(12);
+  os << "{\n  \"communication\": {"
+     << "\"broadcasts\": " << comm.broadcasts
+     << ", \"transmissions\": " << comm.transmissions
+     << ", \"duration\": " << comm.duration
+     << ", \"amortized_frequency\": " << comm.amortized_frequency
+     << ", \"events\": " << sim.events_processed()
+     << ", \"messages_dropped\": " << sim.messages_dropped() << "},\n";
+  os << "  \"queue\": {"
+     << "\"peak_size\": " << queue.peak_size
+     << ", \"pushes\": " << queue.pushes
+     << ", \"pops\": " << queue.pops
+     << ", \"stale_timer_pops\": " << queue.stale_timer_pops
+     << ", \"stale_share\": " << queue.stale_share << "},\n";
+  os << "  \"metrics\": ";
+  if (metrics != nullptr) {
+    write_metrics_json(os, *metrics);
+  } else {
+    os << "null";
+  }
+  os << ",\n  \"trace\": ";
+  if (recorder != nullptr) {
+    os << "{\"compiled\": " << (obs::kTraceCompiled ? "true" : "false")
+       << ", \"capacity\": " << recorder->capacity()
+       << ", \"sample_every\": " << recorder->sample_every()
+       << ", \"total_recorded\": " << recorder->total_recorded()
+       << ", \"held\": " << recorder->size()
+       << ", \"overwritten\": " << recorder->overwritten() << "}";
+  } else {
+    os << "null";
+  }
+  os << "\n}\n";
+  os.precision(p);
 }
 
 }  // namespace tbcs::analysis

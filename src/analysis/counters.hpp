@@ -2,8 +2,14 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
+
+namespace tbcs::obs {
+class FlightRecorder;
+}
 
 namespace tbcs::analysis {
 
@@ -35,5 +41,14 @@ struct QueueReport {
 
   static QueueReport capture(const sim::Simulator& sim);
 };
+
+/// One JSON object combining the communication report, the queue report,
+/// and (when given) a metrics-registry snapshot and flight-recorder trace
+/// info — what `tbcs_sim --stats` prints on exit:
+///   {"communication": {...}, "queue": {...},
+///    "metrics": {...} | null, "trace": {...} | null}
+void write_stats_json(std::ostream& os, const sim::Simulator& sim,
+                      const obs::MetricsRegistry::Snapshot* metrics = nullptr,
+                      const obs::FlightRecorder* recorder = nullptr);
 
 }  // namespace tbcs::analysis

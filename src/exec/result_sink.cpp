@@ -48,6 +48,16 @@ std::string json_number(double v) {
 void CsvSink::write(std::ostream& os,
                     const std::vector<RunResult>& results) const {
   analysis::CsvWriter csv(os);
+  // Metric columns come from the first ok run; every run of a sweep
+  // produces the same RunMetrics names in the same order (run_one).
+  const RunMetrics* metric_cols = nullptr;
+  for (const RunResult& r : results) {
+    if (r.ok) {
+      metric_cols = &r.metrics;
+      break;
+    }
+  }
+
   std::vector<std::string> header;
   if (!results.empty()) {
     for (const auto& [key, value] : results.front().labels) {
@@ -57,6 +67,9 @@ void CsvSink::write(std::ostream& os,
   for (const char* col : {"seed", "global_skew", "local_skew", "global_bound",
                           "local_bound", "messages"}) {
     header.emplace_back(col);
+  }
+  if (metric_cols != nullptr) {
+    for (const auto& [name, value] : *metric_cols) header.push_back(name);
   }
   csv.row(header);
 
@@ -71,6 +84,9 @@ void CsvSink::write(std::ostream& os,
     row.push_back(analysis::Table::num(r.local_bound, 6));
     row.push_back(
         analysis::Table::integer(static_cast<long long>(r.messages)));
+    for (const auto& [name, value] : r.metrics) {
+      row.push_back(analysis::Table::num(value, 6));
+    }
     csv.row(row);
   }
 }
@@ -96,6 +112,12 @@ void JsonSink::write(std::ostream& os,
          << ", \"broadcasts\": " << r.broadcasts
          << ", \"messages\": " << r.messages
          << ", \"duration\": " << json_number(r.duration);
+      os << ", \"metrics\": {";
+      for (std::size_t m = 0; m < r.metrics.size(); ++m) {
+        os << (m == 0 ? "" : ", ") << "\"" << json_escape(r.metrics[m].first)
+           << "\": " << json_number(r.metrics[m].second);
+      }
+      os << "}";
     } else {
       os << ", \"error\": \"" << json_escape(r.error) << "\"";
     }

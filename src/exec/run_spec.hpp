@@ -33,6 +33,12 @@ inline std::uint64_t derive_seed(std::uint64_t base_seed,
 /// runner invocation must share the same label columns in the same order.
 using RunLabels = std::vector<std::pair<std::string, std::string>>;
 
+/// Per-run metric snapshot: (name, value) pairs in a fixed order shared by
+/// every run of a sweep, so sinks can emit them as columns.  Only
+/// deterministic quantities belong here (event/queue counters, never wall
+/// time): sweep output must stay byte-identical across --jobs counts.
+using RunMetrics = std::vector<std::pair<std::string, double>>;
+
 struct RunSpec {
   cli::ExperimentConfig config;  // cfg.seed is overwritten by the runner
   RunLabels labels;
@@ -58,6 +64,9 @@ struct RunResult {
   std::uint64_t broadcasts = 0;
   std::uint64_t messages = 0;
   double duration = 0.0;
+
+  /// Deterministic per-run observability snapshot (see RunMetrics).
+  RunMetrics metrics;
 };
 
 }  // namespace tbcs::exec

@@ -6,6 +6,7 @@
 #include "analysis/skew_tracker.hpp"
 #include "analysis/table.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
 
 namespace tbcs::exec {
 
@@ -48,10 +49,33 @@ RunResult SweepRunner::run_one(const RunSpec& spec, std::size_t index,
     r.broadcasts = built.simulator->broadcasts();
     r.messages = built.simulator->messages_delivered();
     r.duration = built.simulator->now();
+
+    // Per-run observability snapshot for the sinks.  Deterministic
+    // quantities only — rows must not depend on scheduling or wall time.
+    const sim::Simulator& sim = *built.simulator;
+    const sim::EventQueue::Stats& qs = sim.queue_stats();
+    r.metrics = {
+        {"events", static_cast<double>(sim.events_processed())},
+        {"messages_dropped", static_cast<double>(sim.messages_dropped())},
+        {"queue_peak", static_cast<double>(qs.peak_size)},
+        {"queue_pushes", static_cast<double>(qs.pushes)},
+        {"queue_pops", static_cast<double>(qs.pops)},
+        {"stale_timer_pops", static_cast<double>(sim.stale_timer_pops())},
+    };
     r.ok = true;
+
+    // Process-wide rollups: worker threads write their own registry
+    // shards, so these cost nothing to the parallelism of the sweep.
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("sweep.runs_ok").inc();
+    reg.counter("sweep.events").inc(sim.events_processed());
+    reg.counter("sweep.messages").inc(sim.messages_delivered());
+    reg.histogram("sweep.global_skew").observe(r.global_skew);
+    reg.histogram("sweep.local_skew").observe(r.local_skew);
   } catch (const std::exception& e) {
     r.ok = false;
     r.error = e.what();
+    obs::MetricsRegistry::global().counter("sweep.runs_failed").inc();
   }
   return r;
 }

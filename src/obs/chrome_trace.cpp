@@ -1,0 +1,112 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <set>
+#include <string>
+
+namespace tbcs::obs {
+
+namespace {
+
+constexpr int kPid = 1;
+
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& os) : os_(os) {}
+
+  void raw(const std::string& body) {
+    os_ << (first_ ? "\n    {" : ",\n    {") << body << "}";
+    first_ = false;
+  }
+
+  void metadata(const std::string& what, int tid, const std::string& name) {
+    raw("\"name\": \"" + what + "\", \"ph\": \"M\", \"pid\": " +
+        std::to_string(kPid) + ", \"tid\": " + std::to_string(tid) +
+        ", \"args\": {\"name\": \"" + name + "\"}");
+  }
+
+  void instant(const char* name, int tid, double ts, const TraceRecord& r) {
+    std::string body = std::string("\"name\": \"") + name +
+                       "\", \"ph\": \"i\", \"s\": \"t\", \"pid\": " +
+                       std::to_string(kPid) +
+                       ", \"tid\": " + std::to_string(tid) +
+                       ", \"ts\": " + num(ts) +
+                       ", \"args\": {\"seq\": " + std::to_string(r.seq);
+    if (r.edge != kNoTraceEdge) body += ", \"edge\": " + std::to_string(r.edge);
+    body += ", \"a\": " + num(r.a) + ", \"b\": " + num(r.b) +
+            ", \"flags\": " + std::to_string(r.flags) + "}";
+    raw(body);
+  }
+
+  void counter(const std::string& track, double ts, const std::string& args) {
+    raw("\"name\": \"" + track + "\", \"ph\": \"C\", \"pid\": " +
+        std::to_string(kPid) + ", \"ts\": " + num(ts) + ", \"args\": {" +
+        args + "}");
+  }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const FlightRecorder::Dump& dump,
+                        ChromeTraceOptions opt) {
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  EventWriter w(os);
+  w.metadata("process_name", 0, "tbcs simulation");
+  w.metadata("thread_name", 0, "simulator");
+
+  std::set<std::int32_t> nodes;
+  for (const TraceRecord& r : dump.records) {
+    if (r.node >= 0) nodes.insert(r.node);
+  }
+  for (const std::int32_t n : nodes) {
+    w.metadata("thread_name", n + 1, "node " + std::to_string(n));
+  }
+
+  for (const TraceRecord& r : dump.records) {
+    const auto kind = static_cast<TracePoint>(r.kind);
+    const int tid = r.node >= 0 ? r.node + 1 : 0;
+    const double ts = r.t;  // 1 simulated time unit = 1 trace "us"
+    const std::string node_tag = "node " + std::to_string(r.node);
+    w.instant(trace_point_name(kind), tid, ts, r);
+    if (!opt.counter_tracks || r.node < 0) continue;
+    switch (kind) {
+      case TracePoint::kWake:
+      case TracePoint::kDeliver:
+      case TracePoint::kTimerFire:
+        // a = logical L, b = hardware H as of the event.
+        w.counter(node_tag + " clocks", ts,
+                  "\"L\": " + num(r.a) + ", \"H\": " + num(r.b));
+        w.counter(node_tag + " skew", ts, "\"H-L\": " + num(r.b - r.a));
+        w.counter(node_tag + " fast_mode", ts,
+                  std::string("\"fast\": ") +
+                      ((r.flags & kFlagFastMode) ? "1" : "0"));
+        break;
+      case TracePoint::kModeChange:
+        // a = old multiplier, b = new multiplier.
+        w.counter(node_tag + " fast_mode", ts,
+                  std::string("\"fast\": ") + (r.b > 1.0 ? "1" : "0"));
+        break;
+      case TracePoint::kRateChange:
+        w.counter(node_tag + " hw_rate", ts, "\"rate\": " + num(r.a));
+        break;
+      default:
+        break;
+    }
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace tbcs::obs

@@ -1,0 +1,31 @@
+// Chrome trace_event / Perfetto exporter for flight-recorder dumps.
+//
+// Layout: one process ("tbcs simulation"), one thread track per node
+// (instant events for wakes, sends, deliveries, timer fires, mode
+// changes), plus counter tracks per node for the clock state — "clocks"
+// (logical L and hardware H) and "skew" (H - L, the node's lag behind its
+// own hardware clock) — and a "fast_mode" 0/1 counter that makes A^opt's
+// fast-mode windows visible as square waves.  Load the output at
+// https://ui.perfetto.dev or chrome://tracing.
+//
+// Simulation time maps to trace microseconds 1:1 (1 time unit = 1 "us"),
+// so a delay-uncertainty unit reads as a microsecond in the UI.
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/flight_recorder.hpp"
+
+namespace tbcs::obs {
+
+struct ChromeTraceOptions {
+  /// Emit per-node "clocks"/"skew" counter tracks (the bulk of the output;
+  /// disable for very large dumps where only the event points matter).
+  bool counter_tracks = true;
+};
+
+/// Writes the dump as Chrome trace_event JSON ({"traceEvents": [...]}).
+void write_chrome_trace(std::ostream& os, const FlightRecorder::Dump& dump,
+                        ChromeTraceOptions opt = {});
+
+}  // namespace tbcs::obs

@@ -1,0 +1,261 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace tbcs::obs {
+
+namespace {
+std::atomic<std::uint64_t> g_registry_serial{1};
+}  // namespace
+
+// ---- handles ----------------------------------------------------------------
+
+void Counter::inc(std::uint64_t delta) {
+  if (reg_ != nullptr) reg_->add(id_, delta);
+}
+
+void Gauge::set(double value) {
+  if (reg_ != nullptr) reg_->set_gauge(id_, value);
+}
+
+double Gauge::get() const { return reg_ != nullptr ? reg_->get_gauge(id_) : 0.0; }
+
+void Histogram::observe(double value) {
+  if (reg_ != nullptr) reg_->observe(id_, value);
+}
+
+// ---- registry ---------------------------------------------------------------
+
+MetricsRegistry::Shard::~Shard() {
+  for (auto& h : hists) delete h.load(std::memory_order_relaxed);
+}
+
+MetricsRegistry::MetricsRegistry()
+    : serial_(g_registry_serial.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // never destroyed:
+  return *reg;  // node threads may outlive static destructors
+}
+
+namespace {
+std::uint32_t register_name(std::vector<std::string>& names,
+                            const std::string& name, std::size_t cap,
+                            const char* kind) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  if (names.size() >= cap) {
+    throw std::length_error(std::string("MetricsRegistry: out of ") + kind +
+                            " slots registering '" + name + "'");
+  }
+  names.push_back(name);
+  return static_cast<std::uint32_t>(names.size() - 1);
+}
+}  // namespace
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Counter(this, register_name(counter_names_, name, kMaxCounters,
+                                     "counter"));
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Gauge(this, register_name(gauge_names_, name, kMaxGauges, "gauge"));
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Histogram(this, register_name(hist_names_, name, kMaxHistograms,
+                                       "histogram"));
+}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  // Cached per (thread, registry); the serial key makes entries from a
+  // destroyed registry unreachable rather than dangling.
+  thread_local std::vector<std::pair<std::uint64_t, Shard*>> cache;
+  for (const auto& [serial, shard] : cache) {
+    if (serial == serial_) return *shard;
+  }
+  Shard* shard = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::make_unique<Shard>());
+    shard = shards_.back().get();
+  }
+  cache.emplace_back(serial_, shard);
+  return *shard;
+}
+
+void MetricsRegistry::add(std::uint32_t id, std::uint64_t delta) {
+  std::atomic<std::uint64_t>& cell = local_shard().counters[id];
+  cell.store(cell.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+void MetricsRegistry::observe(std::uint32_t id, double value) {
+  Shard& s = local_shard();
+  HistShard* h = s.hists[id].load(std::memory_order_acquire);
+  if (h == nullptr) {
+    h = new HistShard();
+    s.hists[id].store(h, std::memory_order_release);
+  }
+  const std::uint64_t n = h->count.load(std::memory_order_relaxed);
+  if (n == 0 || value < h->min.load(std::memory_order_relaxed)) {
+    h->min.store(value, std::memory_order_relaxed);
+  }
+  if (n == 0 || value > h->max.load(std::memory_order_relaxed)) {
+    h->max.store(value, std::memory_order_relaxed);
+  }
+  h->sum.store(h->sum.load(std::memory_order_relaxed) + value,
+               std::memory_order_relaxed);
+  std::atomic<std::uint64_t>& bucket = h->buckets[bucket_index(value)];
+  bucket.store(bucket.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+  h->count.store(n + 1, std::memory_order_release);
+}
+
+void MetricsRegistry::set_gauge(std::uint32_t id, double value) {
+  gauges_[id].store(value, std::memory_order_relaxed);
+}
+
+double MetricsRegistry::get_gauge(std::uint32_t id) const {
+  return gauges_[id].load(std::memory_order_relaxed);
+}
+
+int MetricsRegistry::bucket_index(double value) {
+  if (!(value > 0.0)) return 0;  // zero, negative, NaN
+  int exp = 0;
+  std::frexp(value, &exp);  // value = m * 2^exp with m in [0.5, 1)
+  const int idx = exp + 17;  // 2^-17 < v <= 2^-16  ->  bucket 1
+  return std::clamp(idx, 1, kHistBuckets - 1);
+}
+
+double MetricsRegistry::bucket_lower_bound(int bucket) {
+  if (bucket <= 0) return 0.0;
+  return std::ldexp(1.0, bucket - 18);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counter_names_.size());
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    snap.counters.emplace_back(counter_names_[i], total);
+  }
+  snap.gauges.reserve(gauge_names_.size());
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    snap.gauges.emplace_back(gauge_names_[i],
+                             gauges_[i].load(std::memory_order_relaxed));
+  }
+  snap.histograms.reserve(hist_names_.size());
+  for (std::size_t i = 0; i < hist_names_.size(); ++i) {
+    HistogramStats st;
+    st.name = hist_names_[i];
+    for (const auto& shard : shards_) {
+      const HistShard* h = shard->hists[i].load(std::memory_order_acquire);
+      if (h == nullptr) continue;
+      const std::uint64_t n = h->count.load(std::memory_order_acquire);
+      if (n == 0) continue;
+      const double mn = h->min.load(std::memory_order_relaxed);
+      const double mx = h->max.load(std::memory_order_relaxed);
+      if (st.count == 0 || mn < st.min) st.min = mn;
+      if (st.count == 0 || mx > st.max) st.max = mx;
+      st.count += n;
+      st.sum += h->sum.load(std::memory_order_relaxed);
+      for (int b = 0; b < kHistBuckets; ++b) {
+        st.buckets[static_cast<std::size_t>(b)] +=
+            h->buckets[static_cast<std::size_t>(b)].load(
+                std::memory_order_relaxed);
+      }
+    }
+    snap.histograms.push_back(std::move(st));
+  }
+  return snap;
+}
+
+std::uint64_t MetricsRegistry::Snapshot::counter(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const MetricsRegistry::HistogramStats* MetricsRegistry::Snapshot::histogram(
+    const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+// ---- JSON -------------------------------------------------------------------
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& os,
+                        const MetricsRegistry::Snapshot& snap) {
+  os << "{\"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << '"' << json_escape(snap.counters[i].first)
+       << "\": " << snap.counters[i].second;
+  }
+  os << "}, \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << '"' << json_escape(snap.gauges[i].first)
+       << "\": " << json_number(snap.gauges[i].second);
+  }
+  os << "}, \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    os << (i == 0 ? "" : ", ") << '"' << json_escape(h.name)
+       << "\": {\"count\": " << h.count << ", \"sum\": " << json_number(h.sum)
+       << ", \"min\": " << json_number(h.count > 0 ? h.min : 0.0)
+       << ", \"max\": " << json_number(h.count > 0 ? h.max : 0.0)
+       << ", \"buckets\": [";
+    bool first = true;
+    for (int b = 0; b < MetricsRegistry::kHistBuckets; ++b) {
+      const std::uint64_t c = h.buckets[static_cast<std::size_t>(b)];
+      if (c == 0) continue;
+      os << (first ? "" : ", ") << '['
+         << json_number(MetricsRegistry::bucket_lower_bound(b)) << ", " << c
+         << ']';
+      first = false;
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+}  // namespace tbcs::obs

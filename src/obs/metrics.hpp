@@ -1,0 +1,167 @@
+// Process-wide metrics: named counters, gauges, and log2-bucket histograms.
+//
+// Write path is lock-free and contention-free: every writing thread gets
+// its own shard (a fixed array of cells), and a cell is mutated only by
+// its owning thread — the atomics exist so snapshot() can read other
+// threads' shards without tearing, not for read-modify-write contention.
+// An increment is therefore a thread-local lookup plus a relaxed
+// load/add/store, a few nanoseconds regardless of thread count.
+//
+// snapshot() merges all shards under the registration mutex and returns a
+// plain-value Snapshot; write_metrics_json() serializes one.  Metric slots
+// are fixed-capacity (kMaxCounters/...) so shards never reallocate under
+// concurrent readers; registration past the cap throws.
+//
+// Handles (Counter/Gauge/Histogram) are tiny value types, cheap to copy,
+// valid as long as their registry.  MetricsRegistry::global() is the
+// process-wide instance the runtime and sweep engine report into;
+// registries can also be constructed standalone for tests.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tbcs::obs {
+
+class MetricsRegistry;
+
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t delta = 1);
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* reg, std::uint32_t id) : reg_(reg), id_(id) {}
+  MetricsRegistry* reg_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+/// Last-write-wins instantaneous value (not sharded).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double value);
+  double get() const;
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* reg, std::uint32_t id) : reg_(reg), id_(id) {}
+  MetricsRegistry* reg_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double value);
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(MetricsRegistry* reg, std::uint32_t id) : reg_(reg), id_(id) {}
+  MetricsRegistry* reg_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  static constexpr std::size_t kMaxCounters = 256;
+  static constexpr std::size_t kMaxGauges = 64;
+  static constexpr std::size_t kMaxHistograms = 64;
+  /// Bucket 0 holds v <= 0; bucket b in [1, kHistBuckets) holds
+  /// v in (2^(b-18), 2^(b-17)], i.e. ~2^-16 .. 2^30 with log2 resolution.
+  static constexpr int kHistBuckets = 48;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry.
+  static MetricsRegistry& global();
+
+  // Registration is idempotent by name (same name -> same handle) and
+  // throws std::length_error when a kind's slot capacity is exhausted.
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  Histogram histogram(const std::string& name);
+
+  struct HistogramStats {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  // meaningful only when count > 0
+    double max = 0.0;
+    std::array<std::uint64_t, kHistBuckets> buckets{};
+    double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  };
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<HistogramStats> histograms;
+
+    /// Value of a counter by name; 0 when absent.
+    std::uint64_t counter(const std::string& name) const;
+    /// Histogram stats by name; nullptr when absent.
+    const HistogramStats* histogram(const std::string& name) const;
+  };
+
+  /// Merged view over all thread shards.  Concurrent writers may or may
+  /// not be included (relaxed reads); quiesce writers for exact totals.
+  Snapshot snapshot() const;
+
+  static int bucket_index(double value);
+  /// Lower bound of bucket b (0 for bucket 0).
+  static double bucket_lower_bound(int bucket);
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  struct HistShard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};
+    std::atomic<double> max{0.0};
+    std::array<std::atomic<std::uint64_t>, kHistBuckets> buckets{};
+  };
+
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+    std::array<std::atomic<HistShard*>, kMaxHistograms> hists{};
+    ~Shard();
+  };
+
+  Shard& local_shard();
+
+  void add(std::uint32_t id, std::uint64_t delta);
+  void observe(std::uint32_t id, double value);
+  void set_gauge(std::uint32_t id, double value);
+  double get_gauge(std::uint32_t id) const;
+
+  mutable std::mutex mu_;  // registration, shard list, snapshot
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> hist_names_;
+  std::array<std::atomic<double>, kMaxGauges> gauges_{};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t serial_ = 0;  // unique per registry; keys the TLS shard cache
+};
+
+/// Serializes a snapshot as one JSON object:
+///   {"counters": {...}, "gauges": {...},
+///    "histograms": {"name": {"count": .., "sum": .., "min": .., "max": ..,
+///                            "buckets": [[lower_bound, count], ...]}}}
+/// Only non-empty buckets are listed.
+void write_metrics_json(std::ostream& os, const MetricsRegistry::Snapshot& snap);
+
+}  // namespace tbcs::obs

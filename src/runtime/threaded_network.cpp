@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
+
 namespace tbcs::runtime {
 
 ThreadedNetwork::ThreadedNetwork(const graph::Graph& g, Config cfg)
@@ -48,6 +50,11 @@ void ThreadedNetwork::stop() {
 }
 
 void ThreadedNetwork::route_broadcast(sim::NodeId from, const sim::Message& m) {
+  // Registered once per calling thread (registration is idempotent); the
+  // increment itself is shard-local and lock-free.
+  thread_local obs::Counter routed =
+      obs::MetricsRegistry::global().counter("runtime.broadcasts_routed");
+  routed.inc();
   const auto now = VirtualClock::SteadyClock::now();
   for (const sim::NodeId to : graph_.neighbors(from)) {
     double delay_units;

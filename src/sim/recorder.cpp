@@ -116,26 +116,37 @@ ReplayDelayPolicy::ReplayDelayPolicy(std::shared_ptr<const ExecutionLog> log,
                                      double tolerance)
     : log_(std::move(log)), tolerance_(tolerance) {
   for (const auto& d : log_->deliveries) {
-    pending_[{d.from, d.to}].push_back(d);
+    pending_[{d.from, d.to}].pending.push_back(d);
   }
 }
 
 RealTime ReplayDelayPolicy::delivery_time(NodeId from, NodeId to,
                                           RealTime send_time,
                                           const Simulator&) {
+  const std::string edge_name =
+      std::to_string(from) + "->" + std::to_string(to);
   auto it = pending_.find({from, to});
-  if (it == pending_.end() || it->second.empty()) {
-    throw ReplayMismatch("replay ran out of recorded deliveries on edge " +
-                         std::to_string(from) + "->" + std::to_string(to));
+  if (it == pending_.end() || it->second.pending.empty()) {
+    const std::uint64_t seen = it == pending_.end() ? 0 : it->second.popped;
+    throw ReplayMismatch(
+        "replay diverged on edge " + edge_name + ": delivery #" +
+        std::to_string(seen + 1) + " (send at t=" + std::to_string(send_time) +
+        ") has no recorded counterpart — the recording has only " +
+        std::to_string(seen) + " deliveries on this edge");
   }
-  const auto d = it->second.front();
-  it->second.pop_front();
+  EdgeQueue& q = it->second;
+  const auto d = q.pending.front();
+  q.pending.pop_front();
+  ++q.popped;
   if (std::abs(d.send - send_time) > tolerance_) {
     throw ReplayMismatch(
-        "send time diverged on edge " + std::to_string(from) + "->" +
-        std::to_string(to) + ": recorded " + std::to_string(d.send) +
-        ", replayed " + std::to_string(send_time));
+        "replay diverged on edge " + edge_name + ": delivery #" +
+        std::to_string(q.popped) + " send time recorded " +
+        std::to_string(d.send) + " vs replayed " + std::to_string(send_time) +
+        " (|delta| = " + std::to_string(std::abs(d.send - send_time)) +
+        " > tolerance " + std::to_string(tolerance_) + ")");
   }
+  ++matched_;
   return d.recv;
 }
 

@@ -108,18 +108,29 @@ class ReplayDriftPolicy final : public DriftPolicy {
 class ReplayDelayPolicy final : public DelayPolicy {
  public:
   /// `tolerance`: allowed |send_time - recorded send| before declaring a
-  /// mismatch.
+  /// mismatch.  A mismatch throws ReplayMismatch naming the directed edge,
+  /// the 1-based delivery index on that edge, and both send times — the
+  /// "first divergent event" of the replay.
   explicit ReplayDelayPolicy(std::shared_ptr<const ExecutionLog> log,
                              double tolerance = 1e-6);
 
   RealTime delivery_time(NodeId from, NodeId to, RealTime send_time,
                          const Simulator& sim) override;
 
+  /// Deliveries matched so far (across all edges); a healthy full replay
+  /// ends with deliveries_matched() == log->deliveries.size().
+  std::uint64_t deliveries_matched() const { return matched_; }
+
  private:
+  struct EdgeQueue {
+    std::deque<ExecutionLog::DeliveryEvent> pending;
+    std::uint64_t popped = 0;  // deliveries already matched on this edge
+  };
+
   std::shared_ptr<const ExecutionLog> log_;
   double tolerance_;
-  std::map<std::pair<NodeId, NodeId>, std::deque<ExecutionLog::DeliveryEvent>>
-      pending_;
+  std::uint64_t matched_ = 0;
+  std::map<std::pair<NodeId, NodeId>, EdgeQueue> pending_;
 };
 
 }  // namespace tbcs::sim

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
+
+#include "obs/flight_recorder.hpp"
 
 namespace tbcs::sim {
 
@@ -114,6 +118,16 @@ void Simulator::run_until(RealTime t_end) {
 
 void Simulator::process(Event& e) {
   ++events_processed_;
+  // Flight-recorder hooks: with no recorder attached this is one pointer
+  // test per event; the fast/slow-mode sampling below runs only when a
+  // recorder is listening, so A^opt mode transitions cost nothing to
+  // untraced runs.
+  double mult_before = std::numeric_limits<double>::quiet_NaN();
+  if (obs::kTraceCompiled && recorder_ != nullptr &&
+      (e.kind == EventKind::kMessageDelivery || e.kind == EventKind::kTimer)) {
+    const PerNode& pn = per_node_[static_cast<std::size_t>(e.node)];
+    if (pn.awake) mult_before = pn.node->rate_multiplier();
+  }
   bool observable = true;
   last_event_.kind = e.kind;
   last_event_.node = kInvalidNode;
@@ -173,7 +187,56 @@ void Simulator::process(Event& e) {
       break;
     }
   }
+  if (obs::kTraceCompiled && recorder_ != nullptr) {
+    trace_event(e, observable, mult_before);
+  }
   if (observable && observer_) observer_(*this, now_);
+}
+
+void Simulator::trace_event(const Event& e, bool observable,
+                            double mult_before) {
+  using obs::TracePoint;
+  const auto qsize = static_cast<std::uint32_t>(
+      queue_.size() < 0xffffffffu ? queue_.size() : 0xffffffffu);
+  TracePoint tp = TracePoint::kProbe;
+  std::uint16_t flags = 0;
+  double a = 0.0;
+  double b = 0.0;
+  switch (e.kind) {
+    case EventKind::kMessageDelivery:
+      tp = observable ? TracePoint::kDeliver : TracePoint::kDrop;
+      break;
+    case EventKind::kTimer:
+      tp = observable ? TracePoint::kTimerFire : TracePoint::kStaleTimer;
+      break;
+    case EventKind::kRateChange:
+      tp = TracePoint::kRateChange;
+      a = e.rate;
+      b = hardware(e.node);
+      break;
+    case EventKind::kLinkChange:
+      tp = TracePoint::kLinkChange;
+      if (e.link_up) flags |= obs::kFlagLinkUp;
+      break;
+    case EventKind::kProbe:
+      tp = TracePoint::kProbe;
+      break;
+  }
+  if ((tp == TracePoint::kDeliver || tp == TracePoint::kTimerFire) &&
+      e.node != kInvalidNode) {
+    const PerNode& pn = per_node_[static_cast<std::size_t>(e.node)];
+    a = logical(e.node);
+    b = pn.clock.value_at(now_);
+    const double mult = pn.node->rate_multiplier();
+    if (mult > 1.0) flags |= obs::kFlagFastMode;
+    if (last_event_.woke) flags |= obs::kFlagWoke;
+    if (!std::isnan(mult_before) && mult != mult_before) {
+      flags |= obs::kFlagModeChange;
+      recorder_->record(TracePoint::kModeChange, now_, e.node, e.edge,
+                        mult_before, mult, flags, qsize);
+    }
+  }
+  recorder_->record(tp, now_, e.node, e.edge, a, b, flags, qsize);
 }
 
 void Simulator::schedule_rate_change(NodeId v, RealTime at, double rate) {
@@ -193,6 +256,10 @@ void Simulator::wake_node(NodeId v, const Message* trigger) {
   pn.awake = true;
   pn.clock.start(now_);
   pn.node->on_wake(services_->pin(v), trigger);
+  if (obs::kTraceCompiled && recorder_ != nullptr) {
+    recorder_->record(obs::TracePoint::kWake, now_, v, obs::kNoTraceEdge,
+                      logical(v), pn.clock.value_at(now_), obs::kFlagWoke);
+  }
 }
 
 std::uint32_t Simulator::edge_index(NodeId u, NodeId v) const {
@@ -244,6 +311,11 @@ void Simulator::apply_link_change(NodeId u, NodeId v, std::uint32_t edge,
 
 void Simulator::do_broadcast(NodeId v, const Message& m) {
   ++broadcasts_;
+  if (obs::kTraceCompiled && recorder_ != nullptr) {
+    recorder_->record(obs::TracePoint::kBroadcast, now_, v, obs::kNoTraceEdge,
+                      m.logical, m.logical_max, 0,
+                      static_cast<std::uint32_t>(queue_.size()));
+  }
   for (const graph::Graph::Arc* a = csr_->begin(v); a != csr_->end(v); ++a) {
     if (!link_up_[a->edge]) continue;  // link currently down
     const RealTime t_recv = delay_->delivery_time(v, a->to, now_, *this);

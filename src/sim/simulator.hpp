@@ -30,6 +30,10 @@
 #include "sim/node.hpp"
 #include "sim/types.hpp"
 
+namespace tbcs::obs {
+class FlightRecorder;
+}
+
 namespace tbcs::sim {
 
 struct SimConfig {
@@ -73,6 +77,15 @@ class Simulator {
   /// Called after every processed event (and probe) with the current time.
   using Observer = std::function<void(const Simulator&, RealTime)>;
   void set_observer(Observer observer);
+
+  /// Attaches a flight recorder (nullptr detaches).  Non-owning; the
+  /// recorder must outlive the simulator or be detached first.  With no
+  /// recorder attached the tracing hooks cost one pointer test per event;
+  /// compiled out entirely under -DTBCS_OBS_TRACE_ENABLED=0.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+  obs::FlightRecorder* flight_recorder() const { return recorder_; }
 
   // ---- execution ----------------------------------------------------------
 
@@ -169,6 +182,10 @@ class Simulator {
 
   void setup();
   void process(Event& e);
+  /// Cold path: called only with a recorder attached, after an event was
+  /// dispatched.  `mult_before` is the touched node's rate multiplier
+  /// before the callback (NaN when not sampled).
+  void trace_event(const Event& e, bool observable, double mult_before);
   void wake_node(NodeId v, const Message* trigger);
   void do_broadcast(NodeId v, const Message& m);
   std::uint32_t edge_index(NodeId u, NodeId v) const;
@@ -187,6 +204,7 @@ class Simulator {
   std::shared_ptr<DriftPolicy> drift_;
   std::shared_ptr<DelayPolicy> delay_;
   Observer observer_;
+  obs::FlightRecorder* recorder_ = nullptr;
   EventQueue queue_;
   MessageSlab slab_;
   std::unique_ptr<ServicesImpl> services_;  // reused across all callbacks

@@ -225,7 +225,43 @@ TEST(Sinks, CsvSkipsFailedRunsJsonReportsThem) {
   EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
   EXPECT_NE(json.find("\"error\""), std::string::npos);
   EXPECT_NE(json.find("\"global_skew\""), std::string::npos);
-  EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 8);
+  // 8 run objects + one nested "metrics" object per ok run (7).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 15);
+  EXPECT_NE(json.find("\"metrics\": {\"events\": "), std::string::npos);
+}
+
+TEST(Sinks, MetricsColumnsAreEmittedAndDeterministic) {
+  const auto specs = small_sweep();
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions parallel = serial;
+  parallel.jobs = 4;
+  const auto r1 = SweepRunner(serial).run(specs);
+  const auto r4 = SweepRunner(parallel).run(specs);
+
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    ASSERT_TRUE(r1[i].ok) << r1[i].error;
+    ASSERT_FALSE(r1[i].metrics.empty());
+    // Same metric names in the same order, and — because the metrics are
+    // restricted to deterministic counters — identical values per run.
+    ASSERT_EQ(r1[i].metrics.size(), r4[i].metrics.size());
+    for (std::size_t m = 0; m < r1[i].metrics.size(); ++m) {
+      EXPECT_EQ(r1[i].metrics[m].first, r4[i].metrics[m].first);
+      EXPECT_EQ(r1[i].metrics[m].second, r4[i].metrics[m].second);
+    }
+    EXPECT_EQ(r1[i].metrics[0].first, "events");
+    EXPECT_GT(r1[i].metrics[0].second, 0.0);
+  }
+
+  // The CSV header grows the metric columns and stays byte-identical
+  // across job counts.
+  std::ostringstream os1;
+  std::ostringstream os4;
+  CsvSink().write(os1, r1);
+  CsvSink().write(os4, r4);
+  EXPECT_EQ(os1.str(), os4.str());
+  EXPECT_NE(os1.str().find(",events,messages_dropped,queue_peak"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,174 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace tbcs::obs {
+namespace {
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("events");
+  c.inc();
+  c.inc(41);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("events"), 42u);
+  EXPECT_EQ(snap.counter("no_such_counter"), 0u);
+}
+
+TEST(Metrics, RegistrationIsIdempotentByName) {
+  MetricsRegistry reg;
+  Counter a = reg.counter("shared");
+  Counter b = reg.counter("shared");
+  a.inc(10);
+  b.inc(5);
+  EXPECT_EQ(reg.snapshot().counter("shared"), 15u);
+}
+
+TEST(Metrics, GaugeIsLastWriteWins) {
+  MetricsRegistry reg;
+  Gauge g = reg.gauge("temperature");
+  g.set(1.5);
+  g.set(-3.25);
+  EXPECT_DOUBLE_EQ(g.get(), -3.25);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].first, "temperature");
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, -3.25);
+}
+
+TEST(Metrics, HistogramStats) {
+  MetricsRegistry reg;
+  Histogram h = reg.histogram("skew");
+  for (const double v : {0.5, 2.0, 2.0, 8.0, -1.0}) h.observe(v);
+  const auto snap = reg.snapshot();
+  const auto* s = snap.histogram("skew");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 5u);
+  EXPECT_DOUBLE_EQ(s->sum, 11.5);
+  EXPECT_DOUBLE_EQ(s->min, -1.0);
+  EXPECT_DOUBLE_EQ(s->max, 8.0);
+  EXPECT_DOUBLE_EQ(s->mean(), 2.3);
+  EXPECT_EQ(snap.histogram("nope"), nullptr);
+
+  std::uint64_t total = 0;
+  for (const auto b : s->buckets) total += b;
+  EXPECT_EQ(total, 5u);
+  EXPECT_EQ(s->buckets[0], 1u);  // the non-positive observation
+}
+
+TEST(Metrics, BucketIndexIsMonotoneAndBounded) {
+  int prev = MetricsRegistry::bucket_index(1e-9);
+  for (double v = 1e-9; v < 1e12; v *= 3.7) {
+    const int b = MetricsRegistry::bucket_index(v);
+    EXPECT_GE(b, prev);
+    EXPECT_GE(b, 1);
+    EXPECT_LT(b, MetricsRegistry::kHistBuckets);
+    prev = b;
+  }
+  EXPECT_EQ(MetricsRegistry::bucket_index(0.0), 0);
+  EXPECT_EQ(MetricsRegistry::bucket_index(-5.0), 0);
+  EXPECT_EQ(MetricsRegistry::bucket_index(std::nan("")), 0);
+
+  // A value sits in the bucket whose lower bound is just below it.
+  for (const double v : {0.001, 0.5, 1.0, 3.0, 1000.0}) {
+    const int b = MetricsRegistry::bucket_index(v);
+    EXPECT_LT(MetricsRegistry::bucket_lower_bound(b), v + 1e-15);
+    if (b + 1 < MetricsRegistry::kHistBuckets) {
+      EXPECT_LE(v, MetricsRegistry::bucket_lower_bound(b + 1) + 1e-15);
+    }
+  }
+}
+
+TEST(Metrics, ConcurrentCountersSumExactly) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&reg] {
+      Counter c = reg.counter("contended");
+      for (int j = 0; j < kIncrements; ++j) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.snapshot().counter("contended"),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(Metrics, ConcurrentHistogramsMergeAcrossShards) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 3;
+  constexpr int kObs = 10000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&reg, i] {
+      Histogram h = reg.histogram("latency");
+      for (int j = 0; j < kObs; ++j) {
+        h.observe(static_cast<double>(i + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = reg.snapshot();
+  const auto* s = snap.histogram("latency");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, static_cast<std::uint64_t>(kThreads) * kObs);
+  EXPECT_DOUBLE_EQ(s->min, 1.0);
+  EXPECT_DOUBLE_EQ(s->max, 3.0);
+  EXPECT_DOUBLE_EQ(s->sum, kObs * (1.0 + 2.0 + 3.0));
+}
+
+TEST(Metrics, TwoRegistriesAreIndependent) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("x").inc(7);
+  b.counter("x").inc(2);
+  EXPECT_EQ(a.snapshot().counter("x"), 7u);
+  EXPECT_EQ(b.snapshot().counter("x"), 2u);
+}
+
+TEST(Metrics, CapacityExhaustionThrows) {
+  MetricsRegistry reg;
+  for (std::size_t i = 0; i < MetricsRegistry::kMaxGauges; ++i) {
+    reg.gauge("g" + std::to_string(i));
+  }
+  EXPECT_THROW(reg.gauge("one_too_many"), std::length_error);
+  // Existing names keep working after the failed registration.
+  EXPECT_NO_THROW(reg.gauge("g0"));
+}
+
+TEST(Metrics, JsonSnapshotIsWellFormed) {
+  MetricsRegistry reg;
+  reg.counter("runs").inc(3);
+  reg.gauge("load").set(0.5);
+  reg.histogram("skew").observe(1.5);
+  std::stringstream ss;
+  write_metrics_json(ss, reg.snapshot());
+  const std::string s = ss.str();
+  EXPECT_NE(s.find("\"counters\""), std::string::npos);
+  EXPECT_NE(s.find("\"runs\": 3"), std::string::npos);
+  EXPECT_NE(s.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(s.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(s.find("\"count\": 1"), std::string::npos);
+  // Braces balance (cheap structural sanity without a JSON parser).
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+            std::count(s.begin(), s.end(), '}'));
+}
+
+TEST(Metrics, GlobalRegistryIsSingleton) {
+  MetricsRegistry& a = MetricsRegistry::global();
+  MetricsRegistry& b = MetricsRegistry::global();
+  EXPECT_EQ(&a, &b);
+  a.counter("test_metrics.global_probe").inc();
+  EXPECT_GE(b.snapshot().counter("test_metrics.global_probe"), 1u);
+}
+
+}  // namespace
+}  // namespace tbcs::obs

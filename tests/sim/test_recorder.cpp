@@ -104,6 +104,60 @@ TEST(Recorder, ReplayDetectsBehaviorChange) {
   EXPECT_THROW(sim.run_until(150.0), ReplayMismatch);
 }
 
+TEST(Recorder, ReplayTolerancePermitsSmallPerturbations) {
+  // A send-time perturbation just under the tolerance must replay clean.
+  auto log = std::make_shared<const ExecutionLog>(ExecutionLog{
+      {1.0, 1.0},
+      {},
+      {{0, 1, 1.0, 1.5}, {0, 1, 2.0, 2.75}}});
+  Simulator sim(graph::make_path(2));
+  ReplayDelayPolicy policy(log, /*tolerance=*/1e-3);
+  EXPECT_DOUBLE_EQ(policy.delivery_time(0, 1, 1.0 + 0.9e-3, sim), 1.5);
+  EXPECT_DOUBLE_EQ(policy.delivery_time(0, 1, 2.0 - 0.9e-3, sim), 2.75);
+  EXPECT_EQ(policy.deliveries_matched(), 2u);
+}
+
+TEST(Recorder, ReplayMismatchNamesEdgeAndDeliveryIndex) {
+  // Just over the tolerance: the error must localize the divergence —
+  // directed edge, 1-based delivery index, and both send times.
+  auto log = std::make_shared<const ExecutionLog>(ExecutionLog{
+      {1.0, 1.0, 1.0},
+      {},
+      {{0, 1, 1.0, 1.5}, {1, 2, 2.0, 2.5}, {1, 2, 3.0, 3.5}}});
+  Simulator sim(graph::make_path(3));
+  ReplayDelayPolicy policy(log, /*tolerance=*/1e-3);
+  EXPECT_DOUBLE_EQ(policy.delivery_time(0, 1, 1.0, sim), 1.5);
+  EXPECT_DOUBLE_EQ(policy.delivery_time(1, 2, 2.0, sim), 2.5);
+  try {
+    policy.delivery_time(1, 2, 3.0 + 2e-3, sim);
+    FAIL() << "expected ReplayMismatch";
+  } catch (const ReplayMismatch& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("edge 1->2"), std::string::npos) << what;
+    EXPECT_NE(what.find("delivery #2"), std::string::npos) << what;
+    EXPECT_NE(what.find("tolerance"), std::string::npos) << what;
+  }
+  EXPECT_EQ(policy.deliveries_matched(), 2u);
+}
+
+TEST(Recorder, ReplayRunOutNamesEdge) {
+  // A send on an edge with no recorded deliveries left must say so.
+  auto log = std::make_shared<const ExecutionLog>(
+      ExecutionLog{{1.0, 1.0}, {}, {{0, 1, 1.0, 1.5}}});
+  Simulator sim(graph::make_path(2));
+  ReplayDelayPolicy policy(log, 1e-6);
+  EXPECT_DOUBLE_EQ(policy.delivery_time(0, 1, 1.0, sim), 1.5);
+  try {
+    policy.delivery_time(0, 1, 5.0, sim);
+    FAIL() << "expected ReplayMismatch";
+  } catch (const ReplayMismatch& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("edge 0->1"), std::string::npos) << what;
+    EXPECT_NE(what.find("delivery #2"), std::string::npos) << what;
+    EXPECT_NE(what.find("no recorded counterpart"), std::string::npos) << what;
+  }
+}
+
 TEST(Recorder, ReplayRunsOutGracefully) {
   // Replaying longer than recorded must throw, not fabricate delays.
   const auto g = graph::make_path(3);

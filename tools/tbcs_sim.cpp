@@ -10,11 +10,14 @@
 #include <iostream>
 
 #include "analysis/ascii_chart.hpp"
+#include "analysis/counters.hpp"
 #include "analysis/skew_tracker.hpp"
 #include "analysis/table.hpp"
 #include "analysis/trace.hpp"
 #include "cli/args.hpp"
 #include "cli/experiment_config.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "sim/recorder.hpp"
 
 namespace {
@@ -39,6 +42,12 @@ output:     --series-csv FILE --profile-csv FILE --snapshot-csv FILE
 record:     --record FILE      save this execution (rates + delays)
             --replay FILE      re-run a saved execution (overrides the
                                adversary flags; topology/algo must match)
+observe:    --stats            print communication/queue/metrics/trace
+                               counters as one JSON object on exit
+            --trace FILE       attach a flight recorder and save the binary
+                               trace dump to FILE (inspect with tbcs_trace)
+            --trace-capacity N ring capacity in records (default 65536)
+            --trace-sample K   keep every K-th record (default 1 = all)
 display:    --chart            render the skew time series in the terminal
 )";
 
@@ -61,6 +70,10 @@ int main(int argc, char** argv) {
   const std::string replay_file = args.get_string("replay", "");
   const bool chart = args.get_bool("chart");
   const bool audit_oracle = args.get_bool("audit-oracle");
+  const bool stats = args.get_bool("stats");
+  const std::string trace_file = args.get_string("trace", "");
+  const int trace_capacity = args.get_int("trace-capacity", 1 << 16);
+  const int trace_sample = args.get_int("trace-sample", 1);
 
   for (const auto& key : args.unknown_keys()) {
     std::cerr << "error: unknown flag --" << key << "\n" << kUsage;
@@ -93,6 +106,22 @@ int main(int argc, char** argv) {
           built.drift, record_log));
       sim.set_delay_policy(std::make_shared<sim::RecordingDelayPolicy>(
           built.delay, record_log));
+    }
+
+    obs::FlightRecorder recorder([&] {
+      obs::FlightRecorder::Options ropt;
+      ropt.capacity = trace_capacity > 0 ? static_cast<std::size_t>(trace_capacity)
+                                         : std::size_t{1} << 16;
+      ropt.sample_every = trace_sample > 0 ? static_cast<std::uint64_t>(trace_sample) : 1;
+      return ropt;
+    }());
+    if (!trace_file.empty()) {
+      if (!obs::kTraceCompiled) {
+        std::cerr << "warning: --trace requested but tracing was compiled "
+                     "out (TBCS_TRACE=OFF); the dump will be empty\n";
+      }
+      recorder.set_num_nodes(static_cast<std::uint64_t>(built.graph->num_nodes()));
+      sim.set_flight_recorder(&recorder);
     }
 
     analysis::SkewTracker::Options topt;
@@ -159,6 +188,22 @@ int main(int argc, char** argv) {
     write(snapshot_csv, [&](std::ostream& os) { analysis::write_snapshot_csv(os, sim); });
     if (!record_file.empty() && replay_file.empty()) {
       write(record_file, [&](std::ostream& os) { record_log->save(os); });
+    }
+    if (!trace_file.empty()) {
+      std::ofstream os(trace_file, std::ios::binary);
+      if (!os) {
+        std::cerr << "error: cannot open " << trace_file << " for writing\n";
+        return 1;
+      }
+      recorder.save(os);
+      std::cout << "wrote " << trace_file << " (" << recorder.size()
+                << " of " << recorder.total_recorded() << " records kept)\n";
+    }
+    if (stats) {
+      const auto snap = obs::MetricsRegistry::global().snapshot();
+      analysis::write_stats_json(
+          std::cout, sim, &snap,
+          trace_file.empty() ? nullptr : &recorder);
     }
     return 0;
   } catch (const std::exception& e) {

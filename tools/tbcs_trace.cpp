@@ -1,0 +1,137 @@
+// tbcs_trace — inspect, convert, and diff flight-recorder dumps.
+//
+//   tbcs_trace --summary FILE              per-kind/per-node/per-edge tables
+//   tbcs_trace --chrome FILE [--out FILE]  Chrome/Perfetto trace_event JSON
+//                [--no-counters]           (skip per-node counter tracks)
+//   tbcs_trace --diff A B [--tolerance T]  first divergent event of two
+//                                          traces of "the same" execution
+//
+// Dumps come from `tbcs_sim --trace FILE` (or any code that calls
+// FlightRecorder::save).  --diff exits 0 when the traces match, 1 when
+// they diverge, 2 on usage/IO errors — so scripts can gate on it.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace_tools.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    R"(tbcs_trace — flight-recorder dump tooling
+
+  tbcs_trace --summary FILE              print per-kind/node/edge tables
+  tbcs_trace --chrome FILE [--out FILE]  convert to Chrome/Perfetto JSON
+             [--no-counters]             omit per-node counter tracks
+  tbcs_trace --diff A B [--tolerance T]  locate first divergent event
+)";
+
+tbcs::obs::FlightRecorder::Dump load_dump(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  return tbcs::obs::FlightRecorder::load(is);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tbcs;
+
+  std::string mode;
+  std::vector<std::string> files;
+  std::string out;
+  double tolerance = 0.0;
+  bool no_counters = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (a == "--summary" || a == "--chrome" || a == "--diff") {
+      if (!mode.empty()) {
+        std::cerr << "error: " << a << " conflicts with --" << mode << "\n";
+        return 2;
+      }
+      mode = a.substr(2);
+    } else if (a == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else if (a == "--tolerance" && i + 1 < argc) {
+      tolerance = std::stod(argv[++i]);
+    } else if (a == "--no-counters") {
+      no_counters = true;
+    } else if (a.size() >= 2 && a.compare(0, 2, "--") == 0) {
+      std::cerr << "error: unknown flag " << a << "\n" << kUsage;
+      return 2;
+    } else {
+      files.push_back(a);
+    }
+  }
+
+  try {
+    if (mode == "summary") {
+      if (files.size() != 1) {
+        std::cerr << "error: --summary takes exactly one dump file\n";
+        return 2;
+      }
+      const auto dump = load_dump(files[0]);
+      const obs::TraceSummary s = obs::summarize(dump);
+      std::cout << files[0] << ": " << dump.records.size()
+                << " records held of " << dump.total_recorded
+                << " recorded (sample_every=" << dump.sample_every
+                << ", nodes=" << dump.num_nodes << ")\n\n";
+      obs::print_summary(std::cout, s);
+      return 0;
+    }
+    if (mode == "chrome") {
+      if (files.size() != 1) {
+        std::cerr << "error: --chrome takes exactly one dump file\n";
+        return 2;
+      }
+      const auto dump = load_dump(files[0]);
+      obs::ChromeTraceOptions copt;
+      copt.counter_tracks = !no_counters;
+      if (out.empty()) {
+        obs::write_chrome_trace(std::cout, dump, copt);
+      } else {
+        std::ofstream os(out);
+        if (!os) throw std::runtime_error("cannot open " + out + " for writing");
+        obs::write_chrome_trace(os, dump, copt);
+        std::cerr << "wrote " << out << " (" << dump.records.size()
+                  << " records); open at https://ui.perfetto.dev\n";
+      }
+      return 0;
+    }
+    if (mode == "diff") {
+      if (files.size() != 2) {
+        std::cerr << "error: --diff takes exactly two dump files\n";
+        return 2;
+      }
+      const auto a = load_dump(files[0]);
+      const auto b = load_dump(files[1]);
+      const obs::TraceDiff d = obs::diff_traces(a, b, tolerance);
+      std::cout << d.description << "\n";
+      if (d.diverged) {
+        if (d.have_a) {
+          std::cout << "  A: " << obs::format_record(d.a) << "\n";
+        } else {
+          std::cout << "  A: <ended before seq " << d.seq << ">\n";
+        }
+        if (d.have_b) {
+          std::cout << "  B: " << obs::format_record(d.b) << "\n";
+        } else {
+          std::cout << "  B: <ended before seq " << d.seq << ">\n";
+        }
+      }
+      return d.diverged ? 1 : 0;
+    }
+    std::cerr << "error: pick one of --summary, --chrome, --diff\n" << kUsage;
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
