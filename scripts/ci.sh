@@ -9,6 +9,10 @@
 #      runtime and the sharded metrics registry are the pieces most at
 #      risk of memory/lifetime bugs, so they get sanitizer coverage even
 #      in a quick pass.
+#   3. TSan smoke: rebuild the threaded-runtime tests (including the
+#      fault-injection paths: partitions, link flips, the channel hook,
+#      and the stop() watchdog) with -DTBCS_SANITIZE=thread and run them.
+#      These are the only tests with real cross-thread contention.
 #
 # Usage: scripts/ci.sh [jobs]     (default: nproc)
 set -euo pipefail
@@ -37,6 +41,13 @@ build-asan/tests/test_runtime
 build-asan/tests/test_obs
 build-asan/tests/test_metrics
 build-asan/tests/test_trace_tools
+
+echo
+echo "=== sanitizer smoke: TSan threaded runtime (jobs=$JOBS) ==="
+cmake -B build-tsan -S . -DTBCS_SANITIZE=thread > /dev/null
+cmake --build build-tsan -j "$JOBS" --target test_runtime test_runtime_faults
+build-tsan/tests/test_runtime
+build-tsan/tests/test_runtime_faults
 
 echo
 echo "ci.sh: all green"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -62,8 +63,10 @@ void SkewTracker::observe(const sim::Simulator& sim, double t) {
   if (opt_.stride > 1 && (calls_++ % opt_.stride) != 0) return;
   ++samples_;
 
+  bool scanned_exactly = false;
   if (!incremental_) {
     full_scan(sim, t);
+    scanned_exactly = true;
   } else {
     // Advance the certificates from bound_t_ to t: every logical clock is
     // linear between events with a rate inside [rate_lo_, rate_hi_], so the
@@ -109,12 +112,72 @@ void SkewTracker::observe(const sim::Simulator& sim, double t) {
     }
     if (!need && opt_.series_interval > 0.0) need = t >= next_series_t_;
     if (!need) need = per_distance_due(t);
-    if (need) full_scan(sim, t);
+    // Recovery probe: a sample the certificates cannot prove within bounds
+    // must be classified exactly, so it forces a scan.
+    if (!need && recovery_probe_active() &&
+        !provably_within_recovery_bounds()) {
+      need = true;
+    }
+    if (need) {
+      full_scan(sim, t);
+      scanned_exactly = true;
+    }
   }
+
+  if (recovery_probe_active()) classify_recovery_sample(t, scanned_exactly);
 
   if (oracle_) {
     oracle_->observe(sim, t);
     assert_matches_oracle(t);
+  }
+}
+
+void SkewTracker::note_fault(double t) {
+  have_fault_ = true;
+  last_fault_t_ = std::max(last_fault_t_, t);
+  have_candidate_ = false;  // recovery is measured from the *last* fault
+  if (oracle_) oracle_->note_fault(t);
+}
+
+double SkewTracker::last_fault_time() const {
+  return have_fault_ ? last_fault_t_
+                     : std::numeric_limits<double>::quiet_NaN();
+}
+
+double SkewTracker::recovery_time() const {
+  if (!have_fault_ || !have_candidate_) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return std::max(0.0, recovery_candidate_ - last_fault_t_);
+}
+
+bool SkewTracker::provably_within_recovery_bounds() const {
+  if (!scanned_once_ || !any_awake_seen_) return false;
+  if (hi_bound_ - lo_bound_ > opt_.recovery_global_bound) return false;
+  if (opt_.recovery_local_bound > 0.0 && opt_.track_local &&
+      local_bound_ > opt_.recovery_local_bound) {
+    return false;
+  }
+  return true;
+}
+
+void SkewTracker::classify_recovery_sample(double t, bool scanned_exactly) {
+  // Without an exact scan this sample was proven within bounds by the
+  // certificates (observe() forces a scan otherwise), so the exact values
+  // would agree — which is what keeps both engines' classifications, and
+  // hence recovery_time(), bit-identical.
+  bool within = true;
+  if (scanned_exactly) {
+    within = cur_global_ <= opt_.recovery_global_bound;
+    if (within && opt_.recovery_local_bound > 0.0 && opt_.track_local) {
+      within = cur_local_ <= opt_.recovery_local_bound;
+    }
+  }
+  if (!within) {
+    have_candidate_ = false;
+  } else if (!have_candidate_) {
+    recovery_candidate_ = t;
+    have_candidate_ = true;
   }
 }
 
@@ -230,9 +293,14 @@ void SkewTracker::full_scan(const sim::Simulator& sim, double t) {
   rate_lo_ = any_awake ? cur_rate_lo : 0.0;
   local_bound_ = -sim::kInfinity;
 
-  if (!any_awake) return;
+  if (!any_awake) {
+    cur_global_ = 0.0;
+    cur_local_ = 0.0;
+    return;
+  }
   const double global = hi - lo;
   max_global_skew_ = std::max(max_global_skew_, global);
+  cur_global_ = global;
 
   double local = 0.0;
   if (opt_.track_local) {
@@ -248,6 +316,7 @@ void SkewTracker::full_scan(const sim::Simulator& sim, double t) {
     max_local_skew_ = std::max(max_local_skew_, local);
     local_bound_ = local;
   }
+  cur_local_ = local;
 
   if (per_distance_due(t)) {
     for (sim::NodeId v = 0; v < n; ++v) {
@@ -281,7 +350,11 @@ void SkewTracker::full_scan(const sim::Simulator& sim, double t) {
 
 void SkewTracker::assert_matches_oracle(double t) const {
   const SkewTracker& o = *oracle_;
-  const bool scalars_ok = max_global_skew_ == o.max_global_skew_ &&
+  const bool recovery_ok =
+      have_candidate_ == o.have_candidate_ &&
+      (!have_candidate_ || recovery_candidate_ == o.recovery_candidate_);
+  const bool scalars_ok = recovery_ok &&
+                          max_global_skew_ == o.max_global_skew_ &&
                           max_local_skew_ == o.max_local_skew_ &&
                           max_envelope_violation_ == o.max_envelope_violation_ &&
                           min_logical_rate_ == o.min_logical_rate_ &&

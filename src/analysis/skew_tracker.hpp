@@ -89,6 +89,22 @@ class SkewTracker {
     /// Ignore all samples before this time (lets experiments exclude the
     /// initialization flood when they study steady-state behavior).
     double warmup = 0.0;
+
+    // ---- recovery-time probe (fault injection) ------------------------------
+    // Enabled when recovery_global_bound > 0 and a fault has been noted via
+    // note_fault().  A sample is "within bounds" when the instantaneous
+    // global skew is <= recovery_global_bound and (if also > 0 and local
+    // tracking is on) the instantaneous local skew is <=
+    // recovery_local_bound; recovery_time() is the delay from the last
+    // noted fault to the first within-bounds sample not followed by any
+    // out-of-bounds sample.  Callers set the bounds to the Thm 5.5 / 5.10
+    // figures so "recovered" means "re-entered the paper's envelope".
+
+    /// Global-skew re-entry threshold (<= 0 disables the probe).
+    double recovery_global_bound = 0.0;
+
+    /// Local-skew re-entry threshold (<= 0: global-only classification).
+    double recovery_local_bound = 0.0;
   };
 
   struct Sample {
@@ -141,11 +157,34 @@ class SkewTracker {
   /// stays below it).
   std::uint64_t full_scans() const { return full_scans_; }
 
+  // ---- recovery-time probe --------------------------------------------------
+
+  /// Tells the probe a fault was applied at time t (fault schedulers call
+  /// this for every applied fault); resets any tentative recovery point.
+  void note_fault(double t);
+
+  /// Real time of the last fault noted; NaN if none.
+  double last_fault_time() const;
+
+  /// Time from the last noted fault until skew re-entered the configured
+  /// bounds for good (no later sample outside them).  NaN while out of
+  /// bounds, never recovered, or no fault was noted.  0 when the bounds
+  /// were never left after the last fault.
+  double recovery_time() const;
+
  private:
   bool per_distance_due(double t) const;
   void full_scan(const sim::Simulator& sim, double t);
   void touch(const sim::Simulator& sim, sim::NodeId v, bool woke, double t);
   void assert_matches_oracle(double t) const;
+  bool recovery_probe_active() const {
+    return have_fault_ && opt_.recovery_global_bound > 0.0;
+  }
+  /// Certificate proof that the current skews are inside the recovery
+  /// bounds (incremental engine; certificates are upper bounds on the
+  /// instantaneous values, so "bound small enough" is a proof).
+  bool provably_within_recovery_bounds() const;
+  void classify_recovery_sample(double t, bool scanned_exactly);
 
   Options opt_;
   std::vector<std::vector<int>> distances_;  // filled iff track_per_distance
@@ -163,6 +202,14 @@ class SkewTracker {
   std::uint64_t calls_ = 0;
   std::uint64_t samples_ = 0;
   std::uint64_t full_scans_ = 0;
+
+  // ---- recovery-probe state -------------------------------------------------
+  bool have_fault_ = false;
+  double last_fault_t_ = 0.0;
+  double recovery_candidate_ = 0.0;  // guarded by have_candidate_
+  bool have_candidate_ = false;
+  double cur_global_ = 0.0;  // instantaneous values as of the last full scan
+  double cur_local_ = 0.0;
 
   // ---- incremental-engine state -------------------------------------------
   // Certificates: exact values from the last full scan, extrapolated with

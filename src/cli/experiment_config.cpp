@@ -12,6 +12,7 @@
 #include "core/envelope_sync.hpp"
 #include "core/external_sync.hpp"
 #include "graph/topologies.hpp"
+#include "sim/rng.hpp"
 #include "sim/tick_quantizer.hpp"
 
 namespace tbcs::cli {
@@ -39,6 +40,11 @@ void apply_model_flags(ArgParser& args, ExperimentConfig& cfg) {
       args.get_int("seed", static_cast<int>(cfg.seed)));
   cfg.wake_all = args.get_bool("wake-all", cfg.wake_all);
   cfg.per_distance = args.get_bool("per-distance", cfg.per_distance);
+  cfg.faults_file = args.get_string("faults", cfg.faults_file);
+  cfg.fault_seed = static_cast<std::uint64_t>(
+      args.get_int("fault-seed", static_cast<int>(cfg.fault_seed)));
+  cfg.silence_timeout = args.get_double("silence-timeout", cfg.silence_timeout);
+  cfg.influence_bound = args.get_double("influence-bound", cfg.influence_bound);
 }
 
 graph::Graph build_topology(const ExperimentConfig& cfg) {
@@ -118,7 +124,12 @@ std::unique_ptr<sim::Node> build_node(const ExperimentConfig& cfg,
                                       const core::SyncParams& params,
                                       sim::NodeId v) {
   const std::string& a = cfg.algorithm;
-  if (a == "aopt") return core::make_aopt(params);
+  if (a == "aopt") {
+    core::AoptOptions o;
+    o.neighbor_silence_timeout = cfg.silence_timeout;
+    o.influence_bound = cfg.influence_bound;
+    return std::make_unique<core::AoptNode>(params, o);
+  }
   if (a == "aopt-jump") return core::make_jump_aopt(params);
   if (a == "aopt-bounded") return core::make_bounded_frequency_aopt(params);
   if (a == "aopt-adaptive") {
@@ -157,18 +168,44 @@ BuiltExperiment build_experiment(const ExperimentConfig& cfg) {
   built.graph = std::make_unique<graph::Graph>(build_topology(cfg));
   built.params = resolve_params(cfg);
 
+  const std::uint64_t fault_seed =
+      cfg.fault_seed != 0 ? cfg.fault_seed : cfg.seed;
+  if (!cfg.faults_file.empty()) {
+    built.timeline = fault::FaultPlan::load_file(cfg.faults_file)
+                         .instantiate(fault_seed, *built.graph);
+  }
+
   sim::SimConfig scfg;
   scfg.wake_all_at_zero = cfg.wake_all;
   scfg.probe_interval = cfg.delay;
   built.simulator = std::make_unique<sim::Simulator>(*built.graph, scfg);
   const core::SyncParams params = built.params;
-  built.simulator->set_all_nodes([&cfg, &params](sim::NodeId v) {
-    return build_node(cfg, params, v);
-  });
+  const fault::FaultTimeline& timeline = built.timeline;
+  built.simulator->set_all_nodes(
+      [&cfg, &params, &timeline, fault_seed](sim::NodeId v) {
+        std::unique_ptr<sim::Node> node = build_node(cfg, params, v);
+        if (const fault::ByzantineSpec* spec = timeline.byzantine_spec(v)) {
+          // Per-node lie stream, derived from the fault seed only.
+          const std::uint64_t node_seed =
+              sim::SplitMix64(fault_seed ^
+                              ((static_cast<std::uint64_t>(v) + 1) *
+                               0x9e3779b97f4a7c15ULL))
+                  .next();
+          node = std::make_unique<fault::ByzantineNode>(std::move(node), *spec,
+                                                        node_seed);
+        }
+        return node;
+      });
   built.drift = build_drift(cfg);
   built.delay = build_delays(cfg, *built.graph);
   built.simulator->set_drift_policy(built.drift);
-  built.simulator->set_delay_policy(built.delay);
+  if (!built.timeline.windows.empty()) {
+    built.channel = std::make_shared<fault::ChannelFaultPolicy>(
+        built.delay, built.timeline.windows, fault_seed ^ 0xc4a27e11u);
+    built.simulator->set_delay_policy(built.channel);
+  } else {
+    built.simulator->set_delay_policy(built.delay);
+  }
   return built;
 }
 

@@ -8,6 +8,8 @@
 #include <string>
 
 #include "core/params.hpp"
+#include "fault/fault_injection.hpp"
+#include "fault/fault_plan.hpp"
 #include "graph/graph.hpp"
 #include "sim/delay_policy.hpp"
 #include "sim/drift_policy.hpp"
@@ -49,6 +51,15 @@ struct ExperimentConfig {
   std::uint64_t seed = 1;
   bool wake_all = false;
   bool per_distance = false;
+
+  // Fault injection (docs/FAULTS.md).
+  std::string faults_file;       // FaultPlan text file; empty = fault-free
+  std::uint64_t fault_seed = 0;  // 0 -> derive the fault streams from seed
+
+  // Graceful-degradation knobs, forwarded to AoptOptions (plain --algo
+  // aopt only; 0 = off, the paper's algorithm unchanged).
+  double silence_timeout = 0.0;
+  double influence_bound = 0.0;
 };
 
 struct BuiltExperiment {
@@ -58,9 +69,15 @@ struct BuiltExperiment {
   core::SyncParams params;
   std::unique_ptr<sim::Simulator> simulator;
   // The installed policies, exposed so tools can wrap them (recording) or
-  // swap them (replay) before the first run.
+  // swap them (replay) before the first run.  When `channel` is non-null
+  // it is the installed policy and wraps `delay`; tools must then swap
+  // the inner policy (channel->set_inner) instead of replacing it.
   std::shared_ptr<sim::DriftPolicy> drift;
   std::shared_ptr<sim::DelayPolicy> delay;
+  std::shared_ptr<fault::ChannelFaultPolicy> channel;
+  // Resolved fault schedule (empty when faults_file is empty); drive it
+  // with fault::FaultScheduler instead of calling run_until directly.
+  fault::FaultTimeline timeline;
 };
 
 /// Thrown when an option value is not recognized.

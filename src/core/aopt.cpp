@@ -61,9 +61,30 @@ AoptNode::NeighborEstimate& AoptNode::neighbor_slot(sim::NodeId w) {
   for (auto& nb : neighbors_) {
     if (nb.id == w) return nb;
   }
-  neighbors_.push_back(
-      NeighborEstimate{w, 0.0, -std::numeric_limits<double>::infinity()});
+  neighbors_.push_back(NeighborEstimate{
+      w, 0.0, -std::numeric_limits<double>::infinity(), h_last_});
   return neighbors_.back();
+}
+
+AoptNode::NeighborEstimate* AoptNode::find_neighbor(sim::NodeId w) {
+  for (auto& nb : neighbors_) {
+    if (nb.id == w) return &nb;
+  }
+  return nullptr;
+}
+
+void AoptNode::evict_stale_neighbors() {
+  if (opt_.neighbor_silence_timeout <= 0.0) return;
+  const double cutoff = h_last_ - opt_.neighbor_silence_timeout;
+  for (std::size_t i = 0; i < neighbors_.size();) {
+    if (neighbors_[i].last_heard < cutoff) {
+      neighbors_[i] = neighbors_.back();
+      neighbors_.pop_back();
+      ++stale_evictions_;
+    } else {
+      ++i;
+    }
+  }
 }
 
 void AoptNode::decode_message(const sim::Message& m, double& logical,
@@ -96,6 +117,7 @@ void AoptNode::on_wake(sim::NodeServices& sv, const sim::Message* by_message) {
     NeighborEstimate& nb = neighbor_slot(by_message->sender);
     nb.est = recv_l;
     nb.raw_max = recv_l;
+    nb.last_heard = h_last_;
   }
   update_riding();
   do_send(sv);  // the triggered sending event: <0, L^max>
@@ -105,9 +127,24 @@ void AoptNode::on_wake(sim::NodeServices& sv, const sim::Message* by_message) {
 
 void AoptNode::on_message(sim::NodeServices& sv, const sim::Message& m) {
   advance_to(sv.hardware_now());
+  evict_stale_neighbors();
   double recv_l = 0.0;
   double recv_lmax = 0.0;
   decode_message(m, recv_l, recv_lmax);
+
+  // Bounded influence: a known neighbor whose report leaps past the local
+  // view by more than the bound is lying (or corrupted); ignore the whole
+  // message — a rejected report must not refresh liveness either, so a
+  // persistent liar still ages out via the silence timeout.
+  if (opt_.influence_bound > 0.0) {
+    if (const NeighborEstimate* known = find_neighbor(m.sender)) {
+      if (recv_l > known->est + opt_.influence_bound ||
+          recv_lmax > Lmax_ + opt_.influence_bound) {
+        ++rejected_reports_;
+        return;
+      }
+    }
+  }
 
   bool forward = false;
   if (recv_lmax > Lmax_ + kTiny) {  // Algorithm 2, lines 1-4
@@ -115,6 +152,7 @@ void AoptNode::on_message(sim::NodeServices& sv, const sim::Message& m) {
     forward = true;
   }
   NeighborEstimate& nb = neighbor_slot(m.sender);  // lines 5-7
+  nb.last_heard = h_last_;
   if (recv_l > nb.raw_max) {
     nb.raw_max = recv_l;
     nb.est = recv_l;
@@ -137,6 +175,23 @@ void AoptNode::on_link_change(sim::NodeServices& sv, sim::NodeId neighbor,
     }
   }
   run_set_clock_rate(sv);  // Lambda values changed
+  reschedule_value_timers(sv);
+}
+
+void AoptNode::on_rejoin(sim::NodeServices& sv) {
+  assert(awake_);
+  advance_to(sv.hardware_now());
+  // Everything learned before the outage is stale: estimates would steer
+  // the rate toward clocks that moved on without us, and a leftover
+  // rho = 1 + mu (its reset timer was suppressed while crashed) would keep
+  // running the clock fast for no reason.
+  neighbors_.clear();
+  rho_ = 1.0;
+  sv.cancel_timer(kRateResetTimer);
+  pending_send_ = false;
+  update_riding();
+  do_send(sv);  // re-announce <L, L^max>: the re-join handshake
+  run_set_clock_rate(sv);
   reschedule_value_timers(sv);
 }
 
@@ -240,6 +295,7 @@ void AoptNode::reschedule_value_timers(sim::NodeServices& sv) {
 
 void AoptNode::on_timer(sim::NodeServices& sv, int slot) {
   advance_to(sv.hardware_now());
+  evict_stale_neighbors();
   switch (slot) {
     case kSendTimer: {
       if (!opt_.periodic_send) {

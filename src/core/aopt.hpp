@@ -51,6 +51,25 @@ struct AoptOptions {
   /// approach ... fails to achieve even a sublinear bound on the local
   /// skew"; kept here so the ablation bench can show the difference.
   bool midpoint_rule = false;
+
+  // ---- graceful degradation under faults (all disabled by default; the
+  // ---- fault-free algorithm is exactly the paper's) ------------------------
+
+  /// Evict a neighbor estimate not refreshed for this much hardware time
+  /// (<= 0 disables).  A silently-dead neighbor (crash without link-down
+  /// notification, or a lossy channel eating every message) then stops
+  /// steering setClockRate, the same end state as an observed link-down.
+  /// Choose >> the send interval (e.g. several H0) so healthy neighbors
+  /// never trip it.
+  double neighbor_silence_timeout = 0.0;
+
+  /// Bounded influence (<= 0 disables): reject a message from an
+  /// already-known neighbor whose values exceed the local view by more
+  /// than this (received L above the tracked estimate, or received L^max
+  /// above own L^max, by > influence_bound).  First contact is exempt, so
+  /// wake floods and post-outage re-joins pass while a steady-state
+  /// Byzantine lie cannot drag the rate rule or L^max arbitrarily far.
+  double influence_bound = 0.0;
 };
 
 class AoptNode : public sim::Node {
@@ -66,6 +85,12 @@ class AoptNode : public sim::Node {
   /// for); a re-appearing neighbor is re-learned from its next message.
   void on_link_change(sim::NodeServices& sv, sim::NodeId neighbor,
                       bool up) override;
+  /// Re-join after a crash outage: forget every pre-outage neighbor
+  /// estimate, drop back to rho = 1, and re-announce <L, L^max> so the
+  /// neighborhood re-learns this clock (and this node re-learns the
+  /// network's L^max from the replies) — the handshake that brings the
+  /// node back inside the Condition 1 envelope at the catch-up rate.
+  void on_rejoin(sim::NodeServices& sv) override;
   sim::ClockValue logical_at(sim::ClockValue hardware_now) const override;
   double rate_multiplier() const override;
 
@@ -79,6 +104,10 @@ class AoptNode : public sim::Node {
   double neighbor_estimate(sim::NodeId w, sim::ClockValue hardware_now) const;
   std::size_t known_neighbors() const { return neighbors_.size(); }
   std::uint64_t sends() const { return sends_; }
+  /// Messages rejected by the bounded-influence guard.
+  std::uint64_t rejected_reports() const { return rejected_reports_; }
+  /// Neighbor estimates evicted by the silence timeout.
+  std::uint64_t stale_evictions() const { return stale_evictions_; }
 
   /// The skews Lambda_up / Lambda_dn as of the last event (Algorithm 2,
   /// lines 8-9); 0 if no neighbor is known.
@@ -113,10 +142,13 @@ class AoptNode : public sim::Node {
 
   struct NeighborEstimate {
     sim::NodeId id;
-    double est;      // L_v^w, normalized to h_last_
-    double raw_max;  // l_v^w: largest raw value received
+    double est;        // L_v^w, normalized to h_last_
+    double raw_max;    // l_v^w: largest raw value received
+    double last_heard; // h_last_ when the estimate was last refreshed
   };
   NeighborEstimate& neighbor_slot(sim::NodeId w);
+  NeighborEstimate* find_neighbor(sim::NodeId w);
+  void evict_stale_neighbors();
 
   SyncParams params_;
   AoptOptions opt_;
@@ -131,6 +163,8 @@ class AoptNode : public sim::Node {
   bool pending_send_ = false;
   std::vector<NeighborEstimate> neighbors_;
   std::uint64_t sends_ = 0;
+  std::uint64_t rejected_reports_ = 0;
+  std::uint64_t stale_evictions_ = 0;
 };
 
 }  // namespace tbcs::core

@@ -3,9 +3,12 @@
 #include <cstdio>
 #include <sstream>
 
+#include <cmath>
+
 #include "analysis/skew_tracker.hpp"
 #include "analysis/table.hpp"
 #include "exec/thread_pool.hpp"
+#include "fault/fault_scheduler.hpp"
 #include "obs/metrics.hpp"
 
 namespace tbcs::exec {
@@ -31,20 +34,34 @@ RunResult SweepRunner::run_one(const RunSpec& spec, std::size_t index,
     cfg.seed = r.seed;
 
     auto built = cli::build_experiment(cfg);
-    analysis::SkewTracker::Options topt;
-    topt.audit_epsilon = opt.audit_epsilon;
-    topt.stride = opt.tracker_stride;
-    analysis::SkewTracker tracker(*built.simulator, topt);
-    tracker.attach(*built.simulator);
-    built.simulator->run_until(cfg.duration);
-
     r.diameter = built.graph->diameter();
-    r.global_skew = tracker.max_global_skew();
-    r.local_skew = tracker.max_local_skew();
     r.global_bound =
         built.params.global_skew_bound(r.diameter, cfg.eps, cfg.delay);
     r.local_bound =
         built.params.local_skew_bound(r.diameter, cfg.eps, cfg.delay);
+
+    analysis::SkewTracker::Options topt;
+    topt.audit_epsilon = opt.audit_epsilon;
+    topt.stride = opt.tracker_stride;
+    const bool faulty = !built.timeline.empty();
+    if (faulty) {
+      topt.recovery_global_bound = r.global_bound;
+      topt.recovery_local_bound = r.local_bound;
+    }
+    analysis::SkewTracker tracker(*built.simulator, topt);
+    tracker.attach(*built.simulator);
+    fault::FaultScheduler faults(built.timeline);
+    if (faulty) {
+      faults.set_listener([&tracker](const fault::FaultEvent&, double t) {
+        tracker.note_fault(t);
+      });
+      faults.run(*built.simulator, cfg.duration);
+    } else {
+      built.simulator->run_until(cfg.duration);
+    }
+
+    r.global_skew = tracker.max_global_skew();
+    r.local_skew = tracker.max_local_skew();
     r.envelope_violation = tracker.max_envelope_violation();
     r.broadcasts = built.simulator->broadcasts();
     r.messages = built.simulator->messages_delivered();
@@ -62,6 +79,16 @@ RunResult SweepRunner::run_one(const RunSpec& spec, std::size_t index,
         {"queue_pops", static_cast<double>(qs.pops)},
         {"stale_timer_pops", static_cast<double>(sim.stale_timer_pops())},
     };
+    if (faulty) {
+      const double rec = tracker.recovery_time();
+      r.metrics.emplace_back("faults_applied",
+                             static_cast<double>(faults.applied()));
+      r.metrics.emplace_back("crashes", static_cast<double>(sim.crashes()));
+      r.metrics.emplace_back("recoveries",
+                             static_cast<double>(sim.recoveries()));
+      // -1 = never re-entered the bounds (NaN would poison CSV parsing).
+      r.metrics.emplace_back("recovery_time", std::isnan(rec) ? -1.0 : rec);
+    }
     r.ok = true;
 
     // Process-wide rollups: worker threads write their own registry

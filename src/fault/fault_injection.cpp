@@ -1,0 +1,195 @@
+#include "fault/fault_injection.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <utility>
+
+namespace tbcs::fault {
+
+// ---- ChannelFaultPolicy -----------------------------------------------------
+
+ChannelFaultPolicy::ChannelFaultPolicy(std::shared_ptr<sim::DelayPolicy> inner,
+                                       std::vector<ChannelWindow> windows,
+                                       std::uint64_t seed)
+    : inner_(std::move(inner)), windows_(std::move(windows)), rng_(seed) {}
+
+void ChannelFaultPolicy::set_inner(std::shared_ptr<sim::DelayPolicy> inner) {
+  inner_ = std::move(inner);
+}
+
+const ChannelWindow* ChannelFaultPolicy::window_at(double t) const {
+  for (const ChannelWindow& w : windows_) {
+    if (t >= w.t0 && t < w.t1) return &w;
+  }
+  return nullptr;
+}
+
+sim::RealTime ChannelFaultPolicy::delivery_time(sim::NodeId from,
+                                                sim::NodeId to,
+                                                sim::RealTime send_time,
+                                                const sim::Simulator& sim) {
+  return inner_->delivery_time(from, to, send_time, sim);
+}
+
+void ChannelFaultPolicy::plan_deliveries(sim::NodeId from, sim::NodeId to,
+                                         sim::RealTime send_time,
+                                         const sim::Simulator& sim,
+                                         std::vector<sim::PlannedDelivery>& out) {
+  // The inner delivery time is drawn unconditionally, even for messages
+  // the window then drops: the inner policy's stream must advance the
+  // same way with and without faults, so disabling a window perturbs
+  // nothing before it.
+  sim::PlannedDelivery pd;
+  pd.at = inner_->delivery_time(from, to, send_time, sim);
+  const ChannelWindow* w = window_at(send_time);
+  if (w == nullptr) {
+    out.push_back(pd);
+    return;
+  }
+  if (w->drop > 0.0 && rng_.next_double() < w->drop) {
+    ++dropped_;
+    return;
+  }
+  if (w->jitter > 0.0) pd.at += rng_.uniform(0.0, w->jitter);
+  if (w->corrupt > 0.0 && rng_.next_double() < w->corrupt) {
+    pd.logical_delta = rng_.uniform(-w->magnitude, w->magnitude);
+    pd.logical_max_delta = rng_.uniform(-w->magnitude, w->magnitude);
+    ++corrupted_;
+  }
+  out.push_back(pd);
+  if (w->duplicate > 0.0 && rng_.next_double() < w->duplicate) {
+    sim::PlannedDelivery dup = pd;  // same (possibly corrupted) payload
+    if (w->jitter > 0.0) {
+      dup.at = inner_->delivery_time(from, to, send_time, sim) +
+               rng_.uniform(0.0, w->jitter);
+    }
+    out.push_back(dup);
+    ++duplicated_;
+  }
+}
+
+// ---- ByzantineNode ----------------------------------------------------------
+
+/// Forwards everything except broadcast(), which perturbs the payload
+/// while the wrapper is active (same shape as TickQuantizedNode's
+/// TickServices).
+class ByzantineNode::LyingServices final : public sim::NodeServices {
+ public:
+  LyingServices(ByzantineNode& outer, sim::NodeServices& inner)
+      : outer_(outer), inner_(inner) {}
+
+  sim::NodeId id() const override { return inner_.id(); }
+  sim::ClockValue hardware_now() const override {
+    return inner_.hardware_now();
+  }
+  void broadcast(const sim::Message& m) override {
+    inner_.broadcast(outer_.perturb(m));
+  }
+  void set_timer(int slot, sim::ClockValue hardware_target) override {
+    inner_.set_timer(slot, hardware_target);
+  }
+  void cancel_timer(int slot) override { inner_.cancel_timer(slot); }
+
+ private:
+  ByzantineNode& outer_;
+  sim::NodeServices& inner_;
+};
+
+ByzantineNode::ByzantineNode(std::unique_ptr<sim::Node> inner,
+                             ByzantineSpec spec, std::uint64_t seed)
+    : inner_(std::move(inner)), spec_(spec), rng_(seed) {}
+
+sim::Message ByzantineNode::perturb(const sim::Message& m) {
+  if (!active()) return m;
+  sim::Message lie = m;
+  const double delta =
+      spec_.random ? rng_.uniform(-spec_.offset, spec_.offset) : spec_.offset;
+  lie.logical += delta;
+  lie.logical_max += delta;
+  lies_.fetch_add(1, std::memory_order_relaxed);
+  return lie;
+}
+
+void ByzantineNode::on_wake(sim::NodeServices& sv,
+                            const sim::Message* by_message) {
+  LyingServices ls(*this, sv);
+  inner_->on_wake(ls, by_message);
+}
+
+void ByzantineNode::on_message(sim::NodeServices& sv, const sim::Message& m) {
+  LyingServices ls(*this, sv);
+  inner_->on_message(ls, m);
+}
+
+void ByzantineNode::on_timer(sim::NodeServices& sv, int slot) {
+  LyingServices ls(*this, sv);
+  inner_->on_timer(ls, slot);
+}
+
+void ByzantineNode::on_link_change(sim::NodeServices& sv, sim::NodeId neighbor,
+                                   bool up) {
+  LyingServices ls(*this, sv);
+  inner_->on_link_change(ls, neighbor, up);
+}
+
+void ByzantineNode::on_rejoin(sim::NodeServices& sv) {
+  LyingServices ls(*this, sv);
+  inner_->on_rejoin(ls);
+}
+
+sim::ClockValue ByzantineNode::logical_at(sim::ClockValue hardware_now) const {
+  return inner_->logical_at(hardware_now);
+}
+
+double ByzantineNode::rate_multiplier() const {
+  return inner_->rate_multiplier();
+}
+
+// ---- threaded channel hook --------------------------------------------------
+
+runtime::ChannelHook make_channel_hook(std::vector<ChannelWindow> windows,
+                                       std::uint64_t seed) {
+  struct State {
+    std::mutex mu;
+    std::vector<ChannelWindow> windows;
+    sim::Rng rng;
+    std::chrono::steady_clock::time_point anchor;
+    bool anchored = false;
+    State(std::vector<ChannelWindow> w, std::uint64_t s)
+        : windows(std::move(w)), rng(s) {}
+  };
+  auto state = std::make_shared<State>(std::move(windows), seed);
+  return [state](sim::NodeId /*from*/, sim::NodeId /*to*/, sim::Message& m,
+                 double& delay_units, bool& duplicate) -> bool {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (!state->anchored) {
+      state->anchor = std::chrono::steady_clock::now();
+      state->anchored = true;
+    }
+    const double t =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - state->anchor)
+            .count();
+    const ChannelWindow* w = nullptr;
+    for (const ChannelWindow& cand : state->windows) {
+      if (t >= cand.t0 && t < cand.t1) {
+        w = &cand;
+        break;
+      }
+    }
+    if (w == nullptr) return true;
+    if (w->drop > 0.0 && state->rng.next_double() < w->drop) return false;
+    if (w->jitter > 0.0) delay_units += state->rng.uniform(0.0, w->jitter);
+    if (w->corrupt > 0.0 && state->rng.next_double() < w->corrupt) {
+      m.logical += state->rng.uniform(-w->magnitude, w->magnitude);
+      m.logical_max += state->rng.uniform(-w->magnitude, w->magnitude);
+    }
+    if (w->duplicate > 0.0 && state->rng.next_double() < w->duplicate) {
+      duplicate = true;
+    }
+    return true;
+  };
+}
+
+}  // namespace tbcs::fault

@@ -1,0 +1,112 @@
+// The fault decorators: a lossy/duplicating/corrupting channel over any
+// DelayPolicy, and a Byzantine wrapper over any Node.
+//
+// Both are parameterized by the FaultTimeline pieces (ChannelWindow,
+// ByzantineSpec) and a seed, and draw from their own Rng streams — so a
+// faulty execution is a pure function of (plan, seed, topology) and
+// replays bit-identically, including under --jobs N sweeps.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "runtime/threaded_network.hpp"
+#include "sim/delay_policy.hpp"
+#include "sim/node.hpp"
+
+namespace tbcs::fault {
+
+/// DelayPolicy decorator: inside any ChannelWindow covering the send
+/// time, messages may be dropped, duplicated, delayed by extra jitter
+/// (reordering them past later sends), or have their payload perturbed.
+/// Outside every window it plans exactly the inner policy's delivery.
+class ChannelFaultPolicy final : public sim::DelayPolicy {
+ public:
+  ChannelFaultPolicy(std::shared_ptr<sim::DelayPolicy> inner,
+                     std::vector<ChannelWindow> windows, std::uint64_t seed);
+
+  sim::RealTime delivery_time(sim::NodeId from, sim::NodeId to,
+                              sim::RealTime send_time,
+                              const sim::Simulator& sim) override;
+  void plan_deliveries(sim::NodeId from, sim::NodeId to,
+                       sim::RealTime send_time, const sim::Simulator& sim,
+                       std::vector<sim::PlannedDelivery>& out) override;
+  bool plans_deliveries() const override { return true; }
+
+  /// The wrapped policy is swappable so record/replay decorators can be
+  /// installed *inside* the channel faults (faults must perturb the
+  /// recorded delays, not be perturbed by them).
+  void set_inner(std::shared_ptr<sim::DelayPolicy> inner);
+  const std::shared_ptr<sim::DelayPolicy>& inner() const { return inner_; }
+
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t duplicated() const { return duplicated_; }
+  std::uint64_t corrupted() const { return corrupted_; }
+
+ private:
+  const ChannelWindow* window_at(double t) const;
+
+  std::shared_ptr<sim::DelayPolicy> inner_;
+  std::vector<ChannelWindow> windows_;
+  sim::Rng rng_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t corrupted_ = 0;
+};
+
+/// Node decorator: while active, outgoing messages carry clock values
+/// perturbed per the ByzantineSpec (fixed offset, or a fresh uniform
+/// [-offset, offset] draw per message).  The wrapped algorithm and the
+/// observability view (logical_at / rate_multiplier) stay honest — the
+/// lie exists only on the wire, which is the standard Byzantine model
+/// for clock synchronization.
+class ByzantineNode final : public sim::Node {
+ public:
+  ByzantineNode(std::unique_ptr<sim::Node> inner, ByzantineSpec spec,
+                std::uint64_t seed);
+
+  void on_wake(sim::NodeServices& sv, const sim::Message* by_message) override;
+  void on_message(sim::NodeServices& sv, const sim::Message& m) override;
+  void on_timer(sim::NodeServices& sv, int slot) override;
+  void on_link_change(sim::NodeServices& sv, sim::NodeId neighbor,
+                      bool up) override;
+  void on_rejoin(sim::NodeServices& sv) override;
+  sim::ClockValue logical_at(sim::ClockValue hardware_now) const override;
+  double rate_multiplier() const override;
+
+  /// Toggled by the FaultScheduler (kByzantineOn / kByzantineOff); atomic
+  /// because the threaded runtime toggles from the scheduler thread.
+  void set_active(bool active) {
+    active_.store(active, std::memory_order_relaxed);
+  }
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+  std::uint64_t lies_told() const {
+    return lies_.load(std::memory_order_relaxed);
+  }
+  const sim::Node& inner() const { return *inner_; }
+
+ private:
+  class LyingServices;
+
+  sim::Message perturb(const sim::Message& m);
+
+  std::unique_ptr<sim::Node> inner_;
+  ByzantineSpec spec_;
+  sim::Rng rng_;  // only the owning node's thread draws from it
+  std::atomic<bool> active_{false};
+  std::atomic<std::uint64_t> lies_{0};
+};
+
+/// Channel-fault hook for the threaded runtime: applies the same window
+/// semantics (drop / duplicate / corrupt / jitter) to live routed
+/// messages, with the window clock anchored at the first routed message.
+/// Thread-safe; real-thread scheduling makes the outcome inherently
+/// nondeterministic, so this shares only the *model* with the simulator
+/// path, not the draw sequence.
+runtime::ChannelHook make_channel_hook(std::vector<ChannelWindow> windows,
+                                       std::uint64_t seed);
+
+}  // namespace tbcs::fault

@@ -1,0 +1,348 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "sim/rng.hpp"
+
+namespace tbcs::fault {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRecover: return "recover";
+    case FaultKind::kLinkDown: return "link_down";
+    case FaultKind::kLinkUp: return "link_up";
+    case FaultKind::kDriftSpike: return "drift_spike";
+    case FaultKind::kDriftRestore: return "drift_restore";
+    case FaultKind::kByzantineOn: return "byzantine_on";
+    case FaultKind::kByzantineOff: return "byzantine_off";
+    case FaultKind::kChannelOn: return "channel_on";
+    case FaultKind::kChannelOff: return "channel_off";
+  }
+  return "unknown";
+}
+
+const ByzantineSpec* FaultTimeline::byzantine_spec(sim::NodeId v) const {
+  for (const ByzantineSpec& s : byzantine) {
+    if (s.node == v) return &s;
+  }
+  return nullptr;
+}
+
+double FaultTimeline::last_event_time() const {
+  double t = 0.0;
+  for (const FaultEvent& e : events) t = std::max(t, e.t);
+  return t;
+}
+
+// ---- programmatic construction ----------------------------------------------
+
+void FaultPlan::crash(sim::NodeId v, double at) {
+  Directive d;
+  d.event = FaultEvent{FaultKind::kCrash, at, v, sim::kInvalidNode, 0.0};
+  directives_.push_back(d);
+}
+
+void FaultPlan::recover(sim::NodeId v, double at) {
+  Directive d;
+  d.event = FaultEvent{FaultKind::kRecover, at, v, sim::kInvalidNode, 0.0};
+  directives_.push_back(d);
+}
+
+void FaultPlan::link_down(sim::NodeId u, sim::NodeId v, double at) {
+  Directive d;
+  d.event = FaultEvent{FaultKind::kLinkDown, at, u, v, 0.0};
+  directives_.push_back(d);
+}
+
+void FaultPlan::link_up(sim::NodeId u, sim::NodeId v, double at) {
+  Directive d;
+  d.event = FaultEvent{FaultKind::kLinkUp, at, u, v, 0.0};
+  directives_.push_back(d);
+}
+
+void FaultPlan::flap(sim::NodeId u, sim::NodeId v, double at, double period,
+                     int count) {
+  for (int k = 0; k < count; ++k) {
+    const double t0 = at + static_cast<double>(k) * period;
+    link_down(u, v, t0);
+    link_up(u, v, t0 + period / 2.0);
+  }
+}
+
+void FaultPlan::drift_spike(sim::NodeId v, double at, double rate,
+                            double duration) {
+  Directive d;
+  d.event = FaultEvent{FaultKind::kDriftSpike, at, v, sim::kInvalidNode, rate};
+  directives_.push_back(d);
+  d.event = FaultEvent{FaultKind::kDriftRestore, at + duration, v,
+                       sim::kInvalidNode, 1.0};
+  directives_.push_back(d);
+}
+
+void FaultPlan::byzantine(sim::NodeId v, double from, double until, bool random,
+                          double offset) {
+  Directive d;
+  d.kind = Directive::Kind::kByzantine;
+  d.spec = ByzantineSpec{v, random, offset};
+  d.from = from;
+  d.until = until;
+  directives_.push_back(d);
+}
+
+void FaultPlan::channel(const ChannelWindow& w) {
+  Directive d;
+  d.kind = Directive::Kind::kChannel;
+  d.window = w;
+  directives_.push_back(d);
+}
+
+void FaultPlan::random_crashes(int count, double from, double until,
+                               double down_min, double down_max) {
+  Directive d;
+  d.kind = Directive::Kind::kRandomCrashes;
+  d.count = count;
+  d.from = from;
+  d.until = until;
+  d.down_min = down_min;
+  d.down_max = down_max;
+  directives_.push_back(d);
+}
+
+void FaultPlan::random_flaps(int count, double from, double until,
+                             double down) {
+  Directive d;
+  d.kind = Directive::Kind::kRandomFlaps;
+  d.count = count;
+  d.from = from;
+  d.until = until;
+  d.down_min = down;
+  d.down_max = down;
+  directives_.push_back(d);
+}
+
+// ---- parsing ----------------------------------------------------------------
+
+namespace {
+
+using KeyValues = std::map<std::string, std::string>;
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw PlanError("fault plan line " + std::to_string(line) + ": " + what);
+}
+
+double need_num(const KeyValues& kv, const char* key, int line) {
+  const auto it = kv.find(key);
+  if (it == kv.end()) fail(line, std::string("missing ") + key + "=");
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    fail(line, std::string("bad number for ") + key + ": " + it->second);
+  }
+}
+
+double opt_num(const KeyValues& kv, const char* key, double fallback,
+               int line) {
+  return kv.count(key) ? need_num(kv, key, line) : fallback;
+}
+
+sim::NodeId need_node(const KeyValues& kv, const char* key, int line) {
+  const double v = need_num(kv, key, line);
+  if (v < 0.0) fail(line, std::string(key) + " must be a node id >= 0");
+  return static_cast<sim::NodeId>(v);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::istream& is) {
+  FaultPlan plan;
+  std::string raw;
+  int line = 0;
+  while (std::getline(is, raw)) {
+    ++line;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream ss(raw);
+    std::string kind;
+    if (!(ss >> kind)) continue;  // blank / comment-only line
+    KeyValues kv;
+    std::string token;
+    while (ss >> token) {
+      const auto eq = token.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        fail(line, "expected key=value, got '" + token + "'");
+      }
+      kv[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+    if (kind == "crash") {
+      plan.crash(need_node(kv, "node", line), need_num(kv, "at", line));
+    } else if (kind == "recover") {
+      plan.recover(need_node(kv, "node", line), need_num(kv, "at", line));
+    } else if (kind == "link-down") {
+      plan.link_down(need_node(kv, "u", line), need_node(kv, "v", line),
+                     need_num(kv, "at", line));
+    } else if (kind == "link-up") {
+      plan.link_up(need_node(kv, "u", line), need_node(kv, "v", line),
+                   need_num(kv, "at", line));
+    } else if (kind == "flap") {
+      plan.flap(need_node(kv, "u", line), need_node(kv, "v", line),
+                need_num(kv, "at", line), need_num(kv, "period", line),
+                static_cast<int>(opt_num(kv, "count", 1.0, line)));
+    } else if (kind == "drift") {
+      plan.drift_spike(need_node(kv, "node", line), need_num(kv, "at", line),
+                       need_num(kv, "rate", line), need_num(kv, "for", line));
+    } else if (kind == "byzantine") {
+      const auto mode = kv.count("mode") ? kv.at("mode") : "fixed";
+      if (mode != "fixed" && mode != "random") {
+        fail(line, "byzantine mode must be fixed or random");
+      }
+      plan.byzantine(need_node(kv, "node", line), need_num(kv, "from", line),
+                     need_num(kv, "until", line), mode == "random",
+                     need_num(kv, "offset", line));
+    } else if (kind == "channel") {
+      ChannelWindow w;
+      w.t0 = need_num(kv, "from", line);
+      w.t1 = need_num(kv, "until", line);
+      w.drop = opt_num(kv, "drop", 0.0, line);
+      w.duplicate = opt_num(kv, "dup", 0.0, line);
+      w.corrupt = opt_num(kv, "corrupt", 0.0, line);
+      w.magnitude = opt_num(kv, "magnitude", 0.0, line);
+      w.jitter = opt_num(kv, "jitter", 0.0, line);
+      if (w.t1 <= w.t0) fail(line, "channel window needs until > from");
+      for (const double p : {w.drop, w.duplicate, w.corrupt}) {
+        if (p < 0.0 || p > 1.0) fail(line, "probabilities must be in [0, 1]");
+      }
+      plan.channel(w);
+    } else if (kind == "random-crashes") {
+      plan.random_crashes(static_cast<int>(need_num(kv, "count", line)),
+                          need_num(kv, "from", line),
+                          need_num(kv, "until", line),
+                          need_num(kv, "down-min", line),
+                          need_num(kv, "down-max", line));
+    } else if (kind == "random-flaps") {
+      plan.random_flaps(static_cast<int>(need_num(kv, "count", line)),
+                        need_num(kv, "from", line),
+                        need_num(kv, "until", line),
+                        need_num(kv, "down", line));
+    } else {
+      fail(line, "unknown directive '" + kind + "'");
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::parse_string(const std::string& text) {
+  std::istringstream ss(text);
+  return parse(ss);
+}
+
+FaultPlan FaultPlan::load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw PlanError("cannot open fault plan: " + path);
+  return parse(is);
+}
+
+// ---- instantiation ----------------------------------------------------------
+
+FaultTimeline FaultPlan::instantiate(std::uint64_t seed,
+                                     const graph::Graph& g) const {
+  FaultTimeline tl;
+  // One independent stream per random directive, derived from (seed, index)
+  // alone, so editing one directive never re-randomizes the others.
+  const auto directive_rng = [seed](std::size_t i) {
+    sim::SplitMix64 sm(seed ^ (static_cast<std::uint64_t>(i + 1) *
+                               0x9e3779b97f4a7c15ULL));
+    return sim::Rng(sm.next());
+  };
+  const auto csr = g.csr();
+  const auto check_node = [&](sim::NodeId v) {
+    if (v < 0 || v >= g.num_nodes()) {
+      throw PlanError("fault plan names node " + std::to_string(v) +
+                      " but the topology has " + std::to_string(g.num_nodes()) +
+                      " nodes");
+    }
+  };
+  const auto check_edge = [&](sim::NodeId u, sim::NodeId v) {
+    check_node(u);
+    check_node(v);
+    if (csr->find_edge(u, v) == graph::kNoEdge) {
+      throw PlanError("fault plan names link {" + std::to_string(u) + ", " +
+                      std::to_string(v) + "} which is not a topology edge");
+    }
+  };
+
+  for (std::size_t i = 0; i < directives_.size(); ++i) {
+    const Directive& d = directives_[i];
+    switch (d.kind) {
+      case Directive::Kind::kScripted: {
+        const FaultEvent& e = d.event;
+        if (e.kind == FaultKind::kLinkDown || e.kind == FaultKind::kLinkUp) {
+          check_edge(e.node, e.node2);
+        } else {
+          check_node(e.node);
+        }
+        tl.events.push_back(e);
+        break;
+      }
+      case Directive::Kind::kChannel: {
+        tl.windows.push_back(d.window);
+        tl.events.push_back(FaultEvent{FaultKind::kChannelOn, d.window.t0,
+                                       sim::kInvalidNode, sim::kInvalidNode,
+                                       0.0});
+        tl.events.push_back(FaultEvent{FaultKind::kChannelOff, d.window.t1,
+                                       sim::kInvalidNode, sim::kInvalidNode,
+                                       0.0});
+        break;
+      }
+      case Directive::Kind::kByzantine: {
+        check_node(d.spec.node);
+        tl.byzantine.push_back(d.spec);
+        tl.events.push_back(FaultEvent{FaultKind::kByzantineOn, d.from,
+                                       d.spec.node, sim::kInvalidNode,
+                                       d.spec.offset});
+        tl.events.push_back(FaultEvent{FaultKind::kByzantineOff, d.until,
+                                       d.spec.node, sim::kInvalidNode, 0.0});
+        break;
+      }
+      case Directive::Kind::kRandomCrashes: {
+        sim::Rng rng = directive_rng(i);
+        for (int k = 0; k < d.count; ++k) {
+          const auto v = static_cast<sim::NodeId>(
+              rng.uniform_index(static_cast<std::uint64_t>(g.num_nodes())));
+          const double at = rng.uniform(d.from, d.until);
+          const double down = rng.uniform(d.down_min, d.down_max);
+          tl.events.push_back(
+              FaultEvent{FaultKind::kCrash, at, v, sim::kInvalidNode, 0.0});
+          tl.events.push_back(FaultEvent{FaultKind::kRecover, at + down, v,
+                                         sim::kInvalidNode, 0.0});
+        }
+        break;
+      }
+      case Directive::Kind::kRandomFlaps: {
+        sim::Rng rng = directive_rng(i);
+        const auto& edges = g.edges();
+        if (edges.empty()) break;
+        for (int k = 0; k < d.count; ++k) {
+          const auto& [u, v] = edges[rng.uniform_index(edges.size())];
+          const double at = rng.uniform(d.from, d.until);
+          tl.events.push_back(
+              FaultEvent{FaultKind::kLinkDown, at, u, v, 0.0});
+          tl.events.push_back(
+              FaultEvent{FaultKind::kLinkUp, at + d.down_min, u, v, 0.0});
+        }
+        break;
+      }
+    }
+  }
+
+  std::stable_sort(tl.events.begin(), tl.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.t < b.t;
+                   });
+  return tl;
+}
+
+}  // namespace tbcs::fault

@@ -1,0 +1,124 @@
+#include "fault/fault_scheduler.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "fault/fault_injection.hpp"
+#include "obs/flight_recorder.hpp"
+
+namespace tbcs::fault {
+
+FaultScheduler::FaultScheduler(FaultTimeline timeline)
+    : timeline_(std::move(timeline)) {}
+
+void FaultScheduler::run(sim::Simulator& sim, double t_end) {
+  while (next_ < timeline_.events.size() &&
+         timeline_.events[next_].t <= t_end) {
+    const FaultEvent& e = timeline_.events[next_];
+    sim.run_until(e.t);
+    apply_sim(sim, e);
+    ++applied_;
+    if (listener_) listener_(e, e.t);
+    ++next_;
+  }
+  sim.run_until(t_end);
+}
+
+void FaultScheduler::apply_sim(sim::Simulator& sim, const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kCrash:
+      sim.schedule_crash(e.node, e.t);
+      return;  // the simulator traces crash/recover itself
+    case FaultKind::kRecover:
+      sim.schedule_recovery(e.node, e.t);
+      return;
+    case FaultKind::kLinkDown:
+      sim.schedule_link_change(e.node, e.node2, /*up=*/false, e.t);
+      break;
+    case FaultKind::kLinkUp:
+      sim.schedule_link_change(e.node, e.node2, /*up=*/true, e.t);
+      break;
+    case FaultKind::kDriftSpike:
+    case FaultKind::kDriftRestore:
+      sim.schedule_rate_change(e.node, e.t, e.value);
+      break;
+    case FaultKind::kByzantineOn:
+    case FaultKind::kByzantineOff:
+      if (auto* byz = dynamic_cast<ByzantineNode*>(&sim.node_mutable(e.node))) {
+        byz->set_active(e.kind == FaultKind::kByzantineOn);
+      }
+      break;
+    case FaultKind::kChannelOn:
+    case FaultKind::kChannelOff:
+      break;  // markers; ChannelFaultPolicy applies windows by send time
+  }
+  if (obs::kTraceCompiled && sim.flight_recorder() != nullptr) {
+    sim.flight_recorder()->record(
+        obs::TracePoint::kFault, e.t, static_cast<std::int32_t>(e.node),
+        obs::kNoTraceEdge, static_cast<double>(e.kind), e.value);
+  }
+}
+
+void FaultScheduler::run_threaded(runtime::ThreadedNetwork& net,
+                                  double t_end_units) {
+  const auto anchor = std::chrono::steady_clock::now();
+  const auto at_units = [&](double t) {
+    return anchor + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double, std::milli>(t));
+  };
+  while (next_ < timeline_.events.size() &&
+         timeline_.events[next_].t <= t_end_units) {
+    const FaultEvent& e = timeline_.events[next_];
+    std::this_thread::sleep_until(at_units(e.t));
+    // Notify only for events actually applied: an unsupported kind must
+    // not anchor the recovery probe on a fault that never happened.
+    const std::uint64_t before = applied_;
+    apply_threaded(net, e);
+    if (listener_ && applied_ > before) listener_(e, e.t);
+    ++next_;
+  }
+  std::this_thread::sleep_until(at_units(t_end_units));
+}
+
+void FaultScheduler::apply_threaded(runtime::ThreadedNetwork& net,
+                                    const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kCrash:
+      net.set_partitioned(e.node, true);
+      ++applied_;
+      break;
+    case FaultKind::kRecover:
+      net.set_partitioned(e.node, false);
+      net.request_rejoin(e.node);
+      ++applied_;
+      break;
+    case FaultKind::kLinkDown:
+      net.set_link_state(e.node, e.node2, /*up=*/false);
+      ++applied_;
+      break;
+    case FaultKind::kLinkUp:
+      net.set_link_state(e.node, e.node2, /*up=*/true);
+      ++applied_;
+      break;
+    case FaultKind::kDriftSpike:
+    case FaultKind::kDriftRestore:
+      // VirtualClock rates are fixed at construction; see run_threaded().
+      ++skipped_unsupported_;
+      break;
+    case FaultKind::kByzantineOn:
+    case FaultKind::kByzantineOff:
+      if (auto* byz = dynamic_cast<ByzantineNode*>(&net.algorithm_mutable(e.node))) {
+        byz->set_active(e.kind == FaultKind::kByzantineOn);
+      }
+      ++applied_;
+      break;
+    case FaultKind::kChannelOn:
+    case FaultKind::kChannelOff:
+      ++applied_;  // markers; the channel hook applies windows by time
+      break;
+  }
+}
+
+}  // namespace tbcs::fault

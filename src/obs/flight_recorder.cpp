@@ -21,6 +21,7 @@ const char* trace_point_name(TracePoint p) {
     case TracePoint::kProbe: return "probe";
     case TracePoint::kRuntimeDeliver: return "rt_deliver";
     case TracePoint::kRuntimeTimer: return "rt_timer";
+    case TracePoint::kFault: return "fault";
   }
   return "unknown";
 }

@@ -45,9 +45,11 @@ enum class TracePoint : std::uint16_t {
   kProbe,           // periodic probe event
   kRuntimeDeliver,  // threaded runtime: message dispatched to a node thread
   kRuntimeTimer,    // threaded runtime: timer dispatched to a node thread
+  kFault,           // injected fault applied (a = fault::FaultKind index,
+                    //   b = site-specific value, e.g. the node's L)
 };
 
-inline constexpr int kNumTracePoints = 12;
+inline constexpr int kNumTracePoints = 13;
 
 const char* trace_point_name(TracePoint p);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <iterator>
 #include <ostream>
 #include <sstream>
 
@@ -26,6 +27,7 @@ TraceSummary summarize(const FlightRecorder::Dump& dump) {
     if (r.flags & kFlagFastMode) ++s.fast_mode_records;
     if (kind == TracePoint::kModeChange) ++s.mode_changes;
     if (kind == TracePoint::kDrop) ++s.drops;
+    if (kind == TracePoint::kFault) s.faults.push_back(r);
   }
   return s;
 }
@@ -52,6 +54,25 @@ void print_summary(std::ostream& os, const TraceSummary& s) {
     os << "by edge (" << s.by_edge.size() << " edges with traffic):\n";
     for (const auto& [edge, count] : s.by_edge) {
       os << "  edge " << edge << ": " << count << "\n";
+    }
+  }
+  if (!s.faults.empty()) {
+    // Mirrors fault::FaultKind (obs sits below the fault library, so the
+    // names are repeated here rather than linked).
+    static const char* const kFaultNames[] = {
+        "crash",        "recover",       "link_down", "link_up",
+        "drift_spike",  "drift_restore", "byz_on",    "byz_off",
+        "channel_on",   "channel_off"};
+    constexpr int kKnown = static_cast<int>(std::size(kFaultNames));
+    os << "faults (" << s.faults.size() << " injected):\n";
+    for (const TraceRecord& r : s.faults) {
+      const int k = static_cast<int>(r.a);
+      os << "  t=" << r.t << ' '
+         << (k >= 0 && k < kKnown ? kFaultNames[k] : "unknown");
+      if (r.node >= 0) os << " node=" << r.node;
+      if (r.edge != kNoTraceEdge) os << " edge=" << r.edge;
+      if (r.b != 0.0) os << " value=" << r.b;
+      os << "\n";
     }
   }
 }

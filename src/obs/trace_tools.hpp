@@ -27,6 +27,10 @@ struct TraceSummary {
   std::uint64_t fast_mode_records = 0;             // records with the fast flag
   std::uint64_t mode_changes = 0;
   std::uint64_t drops = 0;
+  /// kFault records in the dump, in time order (`a` carries the
+  /// fault::FaultKind index) — the events --summary attributes skew
+  /// spikes to.
+  std::vector<TraceRecord> faults;
 };
 
 TraceSummary summarize(const FlightRecorder::Dump& dump);

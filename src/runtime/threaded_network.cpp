@@ -12,9 +12,19 @@ namespace tbcs::runtime {
 ThreadedNetwork::ThreadedNetwork(const graph::Graph& g, Config cfg)
     : graph_(g),
       cfg_(cfg),
+      csr_(g.csr()),
       hosts_(static_cast<std::size_t>(g.num_nodes())),
-      rng_(cfg.seed) {
+      rng_(cfg.seed),
+      partitioned_(new std::atomic<bool>[static_cast<std::size_t>(g.num_nodes())]),
+      link_up_(new std::atomic<bool>[g.num_edges()]) {
   assert(cfg_.delay_min >= 0.0 && cfg_.delay_max >= cfg_.delay_min);
+  for (sim::NodeId v = 0; v < g.num_nodes(); ++v) {
+    partitioned_[static_cast<std::size_t>(v)].store(false,
+                                                    std::memory_order_relaxed);
+  }
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    link_up_[e].store(true, std::memory_order_relaxed);
+  }
 }
 
 ThreadedNetwork::~ThreadedNetwork() { stop(); }
@@ -40,13 +50,32 @@ void ThreadedNetwork::start(sim::NodeId root) {
   hosts_[static_cast<std::size_t>(root)]->start(true);
 }
 
-void ThreadedNetwork::stop() {
+std::size_t ThreadedNetwork::stop() {
   for (const auto& host : hosts_) {
     if (host) host->request_stop();
   }
-  for (const auto& host : hosts_) {
-    if (host) host->join();
+  // One shared deadline: the bound is on the whole teardown, not per node.
+  const auto deadline =
+      VirtualClock::SteadyClock::now() +
+      std::chrono::duration_cast<VirtualClock::SteadyClock::duration>(
+          std::chrono::duration<double>(cfg_.stop_timeout_ms / 1000.0));
+  std::size_t wedged = 0;
+  for (auto& host : hosts_) {
+    if (!host) continue;
+    if (host->join_until(deadline)) continue;
+    ++wedged;
+    obs::MetricsRegistry::global().counter("runtime.stop_wedged").inc();
+    host->detach();
+    // The detached thread may still touch the host (it holds mu_ inside a
+    // callback), so the host object must outlive the process: park it in
+    // a deliberately-leaked list instead of freeing live-referenced state.
+    static std::vector<std::unique_ptr<ThreadedNodeHost>>* leaked =
+        new std::vector<std::unique_ptr<ThreadedNodeHost>>();
+    static std::mutex leaked_mu;
+    std::lock_guard<std::mutex> lock(leaked_mu);
+    leaked->push_back(std::move(host));
   }
+  return wedged;
 }
 
 void ThreadedNetwork::route_broadcast(sim::NodeId from, const sim::Message& m) {
@@ -56,28 +85,86 @@ void ThreadedNetwork::route_broadcast(sim::NodeId from, const sim::Message& m) {
       obs::MetricsRegistry::global().counter("runtime.broadcasts_routed");
   routed.inc();
   const auto now = VirtualClock::SteadyClock::now();
-  for (const sim::NodeId to : graph_.neighbors(from)) {
+  if (partitioned_[static_cast<std::size_t>(from)].load(
+          std::memory_order_relaxed)) {
+    messages_dropped_.fetch_add(csr_->degree(from), std::memory_order_relaxed);
+    return;
+  }
+  for (const graph::Graph::Arc* a = csr_->begin(from); a != csr_->end(from);
+       ++a) {
+    const sim::NodeId to = a->to;
+    if (!link_up_[a->edge].load(std::memory_order_relaxed) ||
+        partitioned_[static_cast<std::size_t>(to)].load(
+            std::memory_order_relaxed)) {
+      messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     double delay_units;
     {
       std::lock_guard<std::mutex> lock(route_mu_);
       delay_units = rng_.uniform(cfg_.delay_min, cfg_.delay_max);
     }
+    sim::Message copy = m;
+    bool duplicate = false;
+    if (channel_hook_ &&
+        !channel_hook_(from, to, copy, delay_units, duplicate)) {
+      messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     const auto at = now + std::chrono::duration_cast<VirtualClock::SteadyClock::duration>(
                               std::chrono::duration<double>(delay_units / 1000.0));
-    hosts_[static_cast<std::size_t>(to)]->enqueue(m, at);
+    ThreadedNodeHost& dst = *hosts_[static_cast<std::size_t>(to)];
+    dst.enqueue(copy, at);
+    if (duplicate) dst.enqueue(copy, at);
   }
 }
 
+void ThreadedNetwork::set_partitioned(sim::NodeId v, bool partitioned) {
+  partitioned_[static_cast<std::size_t>(v)].store(partitioned,
+                                                  std::memory_order_relaxed);
+}
+
+bool ThreadedNetwork::partitioned(sim::NodeId v) const {
+  return partitioned_[static_cast<std::size_t>(v)].load(
+      std::memory_order_relaxed);
+}
+
+void ThreadedNetwork::set_link_state(sim::NodeId u, sim::NodeId v, bool up) {
+  const std::uint32_t e = csr_->find_edge(u, v);
+  assert(e != graph::kNoEdge && "set_link_state on a non-edge");
+  if (e == graph::kNoEdge) return;
+  link_up_[e].store(up, std::memory_order_relaxed);
+}
+
+void ThreadedNetwork::request_rejoin(sim::NodeId v) {
+  hosts_[static_cast<std::size_t>(v)]->request_rejoin();
+}
+
+void ThreadedNetwork::set_channel_hook(ChannelHook hook) {
+  assert(!started_ && "install the channel hook before start()");
+  channel_hook_ = std::move(hook);
+}
+
+sim::Node& ThreadedNetwork::algorithm_mutable(sim::NodeId v) {
+  return hosts_[static_cast<std::size_t>(v)]->algorithm_mutable();
+}
+
+// The null checks below matter after stop(): wedged hosts are moved out
+// of hosts_ into the leak list, leaving holes.
+
 double ThreadedNetwork::logical(sim::NodeId v) const {
-  return hosts_[static_cast<std::size_t>(v)]->sample_logical();
+  const auto& host = hosts_[static_cast<std::size_t>(v)];
+  return host ? host->sample_logical() : 0.0;
 }
 
 double ThreadedNetwork::hardware(sim::NodeId v) const {
-  return hosts_[static_cast<std::size_t>(v)]->sample_hardware();
+  const auto& host = hosts_[static_cast<std::size_t>(v)];
+  return host ? host->sample_hardware() : 0.0;
 }
 
 bool ThreadedNetwork::awake(sim::NodeId v) const {
-  return hosts_[static_cast<std::size_t>(v)]->awake();
+  const auto& host = hosts_[static_cast<std::size_t>(v)];
+  return host && host->awake();
 }
 
 double ThreadedNetwork::sample_global_skew() const {

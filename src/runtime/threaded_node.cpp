@@ -57,15 +57,46 @@ void ThreadedNodeHost::start(bool spontaneous_wake) {
 }
 
 void ThreadedNodeHost::request_stop() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-  }
+  // No unconditional mu_ lock: a callback wedged inside the algorithm
+  // holds mu_ forever and stop() must not inherit that fate.  If try_lock
+  // succeeds, no waiter is between its predicate check and its wait, so
+  // the notify below is reliable; if it fails, the thread is inside a
+  // callback and re-checks the atomic flag before waiting again (each
+  // wait slice is bounded in thread_main, so the flag is seen promptly).
+  stop_.store(true, std::memory_order_seq_cst);
+  if (mu_.try_lock()) mu_.unlock();
   cv_.notify_all();
 }
 
 void ThreadedNodeHost::join() {
   if (thread_.joinable()) thread_.join();
+}
+
+bool ThreadedNodeHost::join_until(VirtualClock::TimePoint deadline) {
+  if (!thread_.joinable()) return true;
+  // Deliberately waits on exit_mu_, never mu_: a callback wedged inside
+  // the algorithm holds mu_ for good, and the whole point of this method
+  // is to detect that without deadlocking the caller.
+  {
+    std::unique_lock<std::mutex> lock(exit_mu_);
+    if (!exit_cv_.wait_until(lock, deadline, [this] { return exited_; })) {
+      return false;
+    }
+  }
+  thread_.join();
+  return true;
+}
+
+void ThreadedNodeHost::detach() {
+  if (thread_.joinable()) thread_.detach();
+}
+
+void ThreadedNodeHost::request_rejoin() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rejoin_requested_ = true;
+  }
+  cv_.notify_all();
 }
 
 void ThreadedNodeHost::enqueue(const sim::Message& m,
@@ -89,54 +120,78 @@ VirtualClock::TimePoint ThreadedNodeHost::next_deadline_locked() const {
 }
 
 void ThreadedNodeHost::thread_main(bool spontaneous_wake) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (spontaneous_wake) {
-    clock_.start();
-    awake_ = true;
-    metric_wakes_.inc();
-    algorithm_->on_wake(*this, nullptr);
-    flush_outbox(lock);
-  }
-  while (!stop_) {
-    const auto deadline = next_deadline_locked();
-    cv_.wait_until(lock, deadline, [this, deadline] {
-      return stop_ || (!inbox_.empty() && inbox_.top().at <= deadline);
-    });
-    if (stop_) break;
-    const auto now = VirtualClock::SteadyClock::now();
-
-    // Deliverable message?
-    if (!inbox_.empty() && inbox_.top().at <= now) {
-      const sim::Message m = inbox_.top().msg;
-      inbox_.pop();
-      metric_delivered_.inc();
-      if (!awake_) {
-        clock_.start();
-        awake_ = true;
-        metric_wakes_.inc();
-        algorithm_->on_wake(*this, &m);
-      } else {
-        algorithm_->on_message(*this, m);
-      }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (spontaneous_wake) {
+      clock_.start();
+      awake_ = true;
+      metric_wakes_.inc();
+      algorithm_->on_wake(*this, nullptr);
       flush_outbox(lock);
-      continue;
     }
-
-    // Due timer?
-    if (awake_) {
-      const double h_now = clock_.now_units();
-      for (int slot = 0; slot < sim::kMaxTimerSlots; ++slot) {
-        Timer& t = timers_[slot];
-        if (t.armed && t.target <= h_now) {
-          t.armed = false;
-          metric_timers_.inc();
-          algorithm_->on_timer(*this, slot);
+    while (!stop_.load(std::memory_order_relaxed)) {
+      // Cap the slice so a stop flag stored while this thread was between
+      // its predicate check and its wait (the one notify that can be
+      // missed, see request_stop) is observed within a second.
+      const auto deadline =
+          std::min(next_deadline_locked(),
+                   VirtualClock::SteadyClock::now() + std::chrono::seconds(1));
+      cv_.wait_until(lock, deadline, [this, deadline] {
+        return stop_.load(std::memory_order_relaxed) || rejoin_requested_ ||
+               (!inbox_.empty() && inbox_.top().at <= deadline);
+      });
+      if (stop_.load(std::memory_order_relaxed)) break;
+      if (rejoin_requested_) {
+        rejoin_requested_ = false;
+        if (awake_) {
+          algorithm_->on_rejoin(*this);
           flush_outbox(lock);
-          break;  // re-evaluate deadlines after each callback
+        }
+        continue;
+      }
+      const auto now = VirtualClock::SteadyClock::now();
+
+      // Deliverable message?
+      if (!inbox_.empty() && inbox_.top().at <= now) {
+        const sim::Message m = inbox_.top().msg;
+        inbox_.pop();
+        metric_delivered_.inc();
+        if (!awake_) {
+          clock_.start();
+          awake_ = true;
+          metric_wakes_.inc();
+          algorithm_->on_wake(*this, &m);
+        } else {
+          algorithm_->on_message(*this, m);
+        }
+        flush_outbox(lock);
+        continue;
+      }
+
+      // Due timer?
+      if (awake_) {
+        const double h_now = clock_.now_units();
+        for (int slot = 0; slot < sim::kMaxTimerSlots; ++slot) {
+          Timer& t = timers_[slot];
+          if (t.armed && t.target <= h_now) {
+            t.armed = false;
+            metric_timers_.inc();
+            algorithm_->on_timer(*this, slot);
+            flush_outbox(lock);
+            break;  // re-evaluate deadlines after each callback
+          }
         }
       }
     }
   }
+  // Signal the stop() watchdog on the dedicated exit mutex (mu_ is
+  // released above; a wedged callback never reaches this point, which is
+  // exactly what join_until() detects).
+  {
+    std::lock_guard<std::mutex> lock(exit_mu_);
+    exited_ = true;
+  }
+  exit_cv_.notify_all();
 }
 
 double ThreadedNodeHost::sample_logical() const {

@@ -7,6 +7,7 @@
 // real time.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -44,6 +45,21 @@ class ThreadedNodeHost final : public sim::NodeServices {
   void start(bool spontaneous_wake);
   void request_stop();
   void join();
+
+  /// Bounded join (the stop() watchdog): waits until the thread signals
+  /// exit, then joins.  Returns false if the deadline passes first — the
+  /// thread is wedged in a callback and cannot be joined safely.
+  bool join_until(VirtualClock::TimePoint deadline);
+  /// Detaches a wedged thread (only after join_until() returned false).
+  void detach();
+
+  /// Asks the node thread to run the algorithm's on_rejoin() callback
+  /// (fault injection: the node was partitioned and is re-joining).
+  void request_rejoin();
+
+  /// The hosted algorithm (fault injection toggles decorators through
+  /// this; the object itself must only be mutated thread-safely).
+  sim::Node& algorithm_mutable() { return *algorithm_; }
 
   /// Delivers a message at the given host time (called by the network
   /// router from other node threads).
@@ -90,8 +106,20 @@ class ThreadedNodeHost final : public sim::NodeServices {
   std::vector<sim::Message> outbox_;  // buffered during callbacks
   Timer timers_[sim::kMaxTimerSlots];
   bool awake_ = false;
-  bool stop_ = false;
+  // Atomic so request_stop() never has to block on mu_ (a wedged callback
+  // holds mu_ indefinitely; stopping must still make progress).  The
+  // dispatch loop additionally bounds each wait slice so a store that
+  // races a waiter entering its wait is picked up within one slice.
+  std::atomic<bool> stop_{false};
+  bool rejoin_requested_ = false;
   std::thread thread_;
+
+  // Exit signaling lives on its own mutex: a thread wedged inside a
+  // callback holds mu_, so the stop() watchdog must be able to time out
+  // without ever touching mu_.
+  std::mutex exit_mu_;
+  std::condition_variable exit_cv_;
+  bool exited_ = false;
 };
 
 }  // namespace tbcs::runtime

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "sim/rng.hpp"
 #include "sim/types.hpp"
@@ -16,6 +17,15 @@
 namespace tbcs::sim {
 
 class Simulator;  // defined in sim/simulator.hpp
+
+/// One planned copy of a message on one arc: when it arrives and how the
+/// channel mangled it.  Produced by plan_deliveries() (fault-injecting
+/// policies); an honest channel plans exactly one unperturbed copy.
+struct PlannedDelivery {
+  RealTime at = 0.0;
+  double logical_delta = 0.0;      // payload corruption, added to m.logical
+  double logical_max_delta = 0.0;  // added to m.logical_max
+};
 
 class DelayPolicy {
  public:
@@ -25,6 +35,20 @@ class DelayPolicy {
   /// `send_time` is delivered.  Must be >= send_time.
   virtual RealTime delivery_time(NodeId from, NodeId to, RealTime send_time,
                                  const Simulator& sim) = 0;
+
+  /// Faulty-channel extension: appends zero or more deliveries to `out`
+  /// (zero = the channel dropped the message, several = duplication).
+  /// Consulted by the simulator only when plans_deliveries() is true, so
+  /// honest policies stay on the single-virtual-call fast path.
+  virtual void plan_deliveries(NodeId from, NodeId to, RealTime send_time,
+                               const Simulator& sim,
+                               std::vector<PlannedDelivery>& out) {
+    out.push_back(PlannedDelivery{delivery_time(from, to, send_time, sim)});
+  }
+
+  /// True when plan_deliveries() may drop, duplicate, or corrupt.  Cached
+  /// by the simulator at set_delay_policy() time.
+  virtual bool plans_deliveries() const { return false; }
 };
 
 /// Every message takes exactly `delay` time.

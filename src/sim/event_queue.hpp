@@ -30,6 +30,8 @@ enum class EventKind : std::uint8_t {
   kRateChange,       // hardware clock rate of `node` changes to `rate`
   kLinkChange,       // link {node, node2} = edge `edge` goes up/down
   kProbe,            // periodic observer callback
+  kCrash,            // `node` crashes: silent, timers suppressed, links cut
+  kRecover,          // `node` re-joins: links restored, on_rejoin() runs
 };
 
 struct Event {

@@ -68,6 +68,13 @@ class Node {
     (void)up;
   }
 
+  /// Fault injection: the node was crashed (cut off, callbacks suppressed)
+  /// and has just been restored.  Its hardware clock kept running; its
+  /// algorithm state is exactly as of the last pre-crash event.  Algorithms
+  /// use this as the re-join handshake (A^opt: drop stale neighbor
+  /// estimates, reset the rate, re-announce); default: resume as-is.
+  virtual void on_rejoin(NodeServices& sv) { (void)sv; }
+
   /// Observability hook for the metrics layer: the logical clock value
   /// L_v given the current hardware clock reading.  Must be consistent
   /// with the state as of the node's last event (all logical clocks are

@@ -67,6 +67,7 @@ void Simulator::set_drift_policy(std::shared_ptr<DriftPolicy> policy) {
 
 void Simulator::set_delay_policy(std::shared_ptr<DelayPolicy> policy) {
   delay_ = std::move(policy);
+  delay_plans_ = delay_->plans_deliveries();
 }
 
 void Simulator::set_observer(Observer observer) { observer_ = std::move(observer); }
@@ -126,7 +127,7 @@ void Simulator::process(Event& e) {
   if (obs::kTraceCompiled && recorder_ != nullptr &&
       (e.kind == EventKind::kMessageDelivery || e.kind == EventKind::kTimer)) {
     const PerNode& pn = per_node_[static_cast<std::size_t>(e.node)];
-    if (pn.awake) mult_before = pn.node->rate_multiplier();
+    if (pn.awake && !pn.crashed) mult_before = pn.node->rate_multiplier();
   }
   bool observable = true;
   last_event_.kind = e.kind;
@@ -138,14 +139,14 @@ void Simulator::process(Event& e) {
       // Copy out before dispatch: node callbacks may broadcast, which
       // grows the slab and would invalidate a held reference.
       const Message m = slab_.take(e.msg);
-      if (!link_up_[e.edge]) {
-        ++messages_dropped_;  // the link went down while in flight
+      PerNode& pn = per_node_[static_cast<std::size_t>(e.node)];
+      if (!link_up_[e.edge] || pn.crashed) {
+        ++messages_dropped_;  // link down while in flight, or receiver dead
         observable = false;
         break;
       }
       ++messages_delivered_;
       last_event_.node = e.node;
-      PerNode& pn = per_node_[static_cast<std::size_t>(e.node)];
       if (!pn.awake) {
         last_event_.woke = true;
         wake_node(e.node, &m);
@@ -157,6 +158,14 @@ void Simulator::process(Event& e) {
     case EventKind::kTimer: {
       PerNode& pn = per_node_[static_cast<std::size_t>(e.node)];
       TimerState& ts = pn.timers[e.slot];
+      if (pn.crashed) {
+        // A crashed node's callbacks are suppressed; with no callback there
+        // is no re-arm, so each armed slot costs one pop per crash instead
+        // of wakeups forever.  Recovery re-anchors the armed slots.
+        ++stale_timer_pops_;
+        observable = false;
+        break;
+      }
       if (!ts.armed || ts.generation != e.generation) {
         ++stale_timer_pops_;
         observable = false;  // stale heap entry (lazy deletion)
@@ -184,6 +193,39 @@ void Simulator::process(Event& e) {
       probe.time = e.time + cfg_.probe_interval;
       probe.kind = EventKind::kProbe;
       queue_.push(probe);
+      break;
+    }
+    case EventKind::kCrash: {
+      PerNode& pn = per_node_[static_cast<std::size_t>(e.node)];
+      if (pn.crashed) {
+        observable = false;  // double crash: no-op
+        break;
+      }
+      pn.crashed = true;
+      ++crashes_;
+      last_event_.node = e.node;  // leaves the awake set at this instant
+      break;
+    }
+    case EventKind::kRecover: {
+      PerNode& pn = per_node_[static_cast<std::size_t>(e.node)];
+      if (!pn.crashed) {
+        observable = false;  // recovery without a crash: no-op
+        break;
+      }
+      pn.crashed = false;
+      ++recoveries_;
+      last_event_.node = e.node;  // re-enters the awake set: fold its clock
+      if (pn.awake) {
+        // Re-anchor every armed timer (their heap entries were consumed or
+        // invalidated during the outage), then run the re-join handshake.
+        for (int slot = 0; slot < kMaxTimerSlots; ++slot) {
+          TimerState& ts = pn.timers[slot];
+          if (!ts.armed) continue;
+          ++ts.generation;
+          schedule_timer_event(e.node, slot);
+        }
+        pn.node->on_rejoin(services_->pin(e.node));
+      }
       break;
     }
   }
@@ -220,6 +262,16 @@ void Simulator::trace_event(const Event& e, bool observable,
       break;
     case EventKind::kProbe:
       tp = TracePoint::kProbe;
+      break;
+    case EventKind::kCrash:
+      tp = TracePoint::kFault;
+      a = 0.0;  // fault::FaultKind::kCrash
+      b = observable ? logical(e.node) : 0.0;
+      break;
+    case EventKind::kRecover:
+      tp = TracePoint::kFault;
+      a = 1.0;  // fault::FaultKind::kRecover
+      b = observable ? logical(e.node) : 0.0;
       break;
   }
   if ((tp == TracePoint::kDeliver || tp == TracePoint::kTimerFire) &&
@@ -286,9 +338,18 @@ void Simulator::schedule_link_change(NodeId u, NodeId v, bool up, RealTime at) {
 
 void Simulator::schedule_crash(NodeId v, RealTime at) {
   assert(at >= now_ - kTimeTolerance);
+  // The crash marker goes first (FIFO among same-time events): the node is
+  // dead before its links report down, so only the surviving endpoints get
+  // on_link_change callbacks.  Per-link events are kept (rather than one
+  // bulk cut) so incremental observers fold each neighbor's reaction.
+  Event c;
+  c.time = std::max(at, now_);
+  c.kind = EventKind::kCrash;
+  c.node = v;
+  queue_.push(c);
   for (const graph::Graph::Arc* a = csr_->begin(v); a != csr_->end(v); ++a) {
     Event e;
-    e.time = std::max(at, now_);
+    e.time = c.time;
     e.kind = EventKind::kLinkChange;
     e.node = v;
     e.node2 = a->to;
@@ -298,13 +359,34 @@ void Simulator::schedule_crash(NodeId v, RealTime at) {
   }
 }
 
+void Simulator::schedule_recovery(NodeId v, RealTime at) {
+  assert(at >= now_ - kTimeTolerance);
+  // Links come back first so the on_rejoin() re-announcement broadcast by
+  // the kRecover event (same instant, FIFO) reaches the neighbors.
+  for (const graph::Graph::Arc* a = csr_->begin(v); a != csr_->end(v); ++a) {
+    Event e;
+    e.time = std::max(at, now_);
+    e.kind = EventKind::kLinkChange;
+    e.node = v;
+    e.node2 = a->to;
+    e.edge = a->edge;
+    e.link_up = true;
+    queue_.push(e);
+  }
+  Event r;
+  r.time = std::max(at, now_);
+  r.kind = EventKind::kRecover;
+  r.node = v;
+  queue_.push(r);
+}
+
 void Simulator::apply_link_change(NodeId u, NodeId v, std::uint32_t edge,
                                   bool up) {
   if ((link_up_[edge] != 0) == up) return;  // no-op flip
   link_up_[edge] = up ? 1 : 0;
   for (const NodeId endpoint : {u, v}) {
     PerNode& pn = per_node_[static_cast<std::size_t>(endpoint)];
-    if (!pn.awake) continue;
+    if (!pn.awake || pn.crashed) continue;  // dead nodes get no callbacks
     pn.node->on_link_change(services_->pin(endpoint), endpoint == u ? v : u, up);
   }
 }
@@ -318,15 +400,39 @@ void Simulator::do_broadcast(NodeId v, const Message& m) {
   }
   for (const graph::Graph::Arc* a = csr_->begin(v); a != csr_->end(v); ++a) {
     if (!link_up_[a->edge]) continue;  // link currently down
-    const RealTime t_recv = delay_->delivery_time(v, a->to, now_, *this);
-    assert(t_recv >= now_ - kTimeTolerance && "negative message delay");
-    Event e;
-    e.time = std::max(t_recv, now_);
-    e.kind = EventKind::kMessageDelivery;
-    e.node = a->to;
-    e.edge = a->edge;
-    e.msg = slab_.put(m);
-    queue_.push(e);
+    if (!delay_plans_) {
+      const RealTime t_recv = delay_->delivery_time(v, a->to, now_, *this);
+      assert(t_recv >= now_ - kTimeTolerance && "negative message delay");
+      Event e;
+      e.time = std::max(t_recv, now_);
+      e.kind = EventKind::kMessageDelivery;
+      e.node = a->to;
+      e.edge = a->edge;
+      e.msg = slab_.put(m);
+      queue_.push(e);
+      continue;
+    }
+    // Faulty-channel path: the policy plans zero (drop), one, or several
+    // (duplication) copies, each possibly perturbed (corruption).
+    plan_scratch_.clear();
+    delay_->plan_deliveries(v, a->to, now_, *this, plan_scratch_);
+    if (plan_scratch_.empty()) {
+      ++messages_dropped_;  // the channel ate it
+      continue;
+    }
+    for (const PlannedDelivery& pd : plan_scratch_) {
+      assert(pd.at >= now_ - kTimeTolerance && "negative message delay");
+      Message copy = m;
+      copy.logical += pd.logical_delta;
+      copy.logical_max += pd.logical_max_delta;
+      Event e;
+      e.time = std::max(pd.at, now_);
+      e.kind = EventKind::kMessageDelivery;
+      e.node = a->to;
+      e.edge = a->edge;
+      e.msg = slab_.put(copy);
+      queue_.push(e);
+    }
   }
 }
 
@@ -363,7 +469,9 @@ void Simulator::schedule_timer_event(NodeId v, int slot) {
 void Simulator::apply_rate_change(NodeId v, double rate) {
   PerNode& pn = per_node_[static_cast<std::size_t>(v)];
   pn.clock.set_rate(now_, rate);
-  if (!pn.awake) return;
+  // Crashed nodes keep drifting but reschedule nothing: their timer pops
+  // are suppressed anyway, and recovery re-anchors the armed slots.
+  if (!pn.awake || pn.crashed) return;
   // Re-anchor all armed hardware-time timers onto the new rate.
   for (int slot = 0; slot < kMaxTimerSlots; ++slot) {
     TimerState& ts = pn.timers[slot];

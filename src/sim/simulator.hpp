@@ -116,12 +116,25 @@ class Simulator {
   /// the O(1) form used by the metrics layer.
   bool link_up(std::size_t edge) const { return link_up_[edge] != 0; }
 
-  /// Crash-stop failure injection: downs all of v's links at time `at`
-  /// (the node's clock keeps running but it is cut off from the network
-  /// — indistinguishable from a crash to every other node).
+  /// Crash failure injection: downs all of v's links at time `at` and
+  /// marks the node crashed — its hardware clock keeps running, but
+  /// message deliveries and timer callbacks are suppressed (counted as
+  /// drops / stale pops) until schedule_recovery() brings it back.  To
+  /// every other node this is indistinguishable from a crash-stop.
   void schedule_crash(NodeId v, RealTime at);
 
+  /// Re-joins a crashed node at time `at`: its links are restored first
+  /// (same instant, FIFO order), armed timers are re-anchored, and the
+  /// algorithm gets an on_rejoin() callback.  A no-op if not crashed.
+  void schedule_recovery(NodeId v, RealTime at);
+
+  bool crashed(NodeId v) const {
+    return per_node_[static_cast<std::size_t>(v)].crashed;
+  }
+
   std::uint64_t messages_dropped() const { return messages_dropped_; }
+  std::uint64_t crashes() const { return crashes_; }
+  std::uint64_t recoveries() const { return recoveries_; }
 
   // ---- inspection (metrics layer; not visible to algorithms) --------------
 
@@ -129,7 +142,13 @@ class Simulator {
   const graph::Graph& topology() const { return graph_; }
   NodeId num_nodes() const { return graph_.num_nodes(); }
 
-  bool awake(NodeId v) const { return per_node_[static_cast<std::size_t>(v)].awake; }
+  /// Initialized and not currently crashed: the nodes that participate in
+  /// skew metrics.  Crashed nodes are excluded — their clocks free-run
+  /// unobserved until recovery folds them back in.
+  bool awake(NodeId v) const {
+    const PerNode& pn = per_node_[static_cast<std::size_t>(v)];
+    return pn.awake && !pn.crashed;
+  }
   const HardwareClock& clock(NodeId v) const {
     return per_node_[static_cast<std::size_t>(v)].clock;
   }
@@ -175,6 +194,7 @@ class Simulator {
     HardwareClock clock;
     TimerState timers[kMaxTimerSlots];
     bool awake = false;
+    bool crashed = false;
   };
 
   class ServicesImpl;
@@ -203,6 +223,8 @@ class Simulator {
   std::vector<std::uint8_t> link_up_;  // parallel to graph_.edges()
   std::shared_ptr<DriftPolicy> drift_;
   std::shared_ptr<DelayPolicy> delay_;
+  bool delay_plans_ = false;  // cached delay_->plans_deliveries()
+  std::vector<PlannedDelivery> plan_scratch_;
   Observer observer_;
   obs::FlightRecorder* recorder_ = nullptr;
   EventQueue queue_;
@@ -216,6 +238,8 @@ class Simulator {
   std::uint64_t messages_dropped_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t stale_timer_pops_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t recoveries_ = 0;
 };
 
 }  // namespace tbcs::sim

@@ -90,6 +90,14 @@ void TickQuantizedNode::on_link_change(NodeServices& sv, NodeId neighbor,
   inner_->on_link_change(ts, neighbor, up);
 }
 
+void TickQuantizedNode::on_rejoin(NodeServices& sv) {
+  // Messages buffered before the outage are from dead links; drop them and
+  // let the inner algorithm re-join on-grid.
+  pending_.clear();
+  TickServices ts(*this, sv);
+  inner_->on_rejoin(ts);
+}
+
 ClockValue TickQuantizedNode::logical_at(ClockValue hardware_now) const {
   return inner_->logical_at(quantize(hardware_now));
 }

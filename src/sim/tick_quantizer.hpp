@@ -28,6 +28,7 @@ class TickQuantizedNode final : public Node {
   void on_message(NodeServices& sv, const Message& m) override;
   void on_timer(NodeServices& sv, int slot) override;
   void on_link_change(NodeServices& sv, NodeId neighbor, bool up) override;
+  void on_rejoin(NodeServices& sv) override;
   ClockValue logical_at(ClockValue hardware_now) const override;
   double rate_multiplier() const override;
 

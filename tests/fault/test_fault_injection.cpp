@@ -1,0 +1,390 @@
+// Fault decorators and the crash/recover machinery: suppression while
+// down, deterministic channel faults, bounded influence, silence
+// eviction, and the chaos regression (recovery back into the paper's
+// skew bounds after a mixed fault schedule).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "analysis/skew_tracker.hpp"
+#include "core/aopt.hpp"
+#include "core/params.hpp"
+#include "fault/fault_injection.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/fault_scheduler.hpp"
+#include "graph/topologies.hpp"
+#include "sim/simulator.hpp"
+
+namespace tbcs::fault {
+namespace {
+
+core::SyncParams params() {
+  return core::SyncParams::recommended(1.0, 0.02, 0.3);
+}
+
+// Simulator is neither copyable nor movable; hand out a unique_ptr.
+std::unique_ptr<sim::Simulator> make_sim(
+    const graph::Graph& g, core::AoptOptions aopt = {},
+    std::vector<core::AoptNode*>* nodes = nullptr) {
+  sim::SimConfig cfg;
+  cfg.wake_all_at_zero = true;
+  auto sim = std::make_unique<sim::Simulator>(g, cfg);
+  const auto p = params();
+  sim->set_all_nodes([&p, aopt, nodes](sim::NodeId) {
+    auto n = std::make_unique<core::AoptNode>(p, aopt);
+    if (nodes) nodes->push_back(n.get());
+    return n;
+  });
+  sim->set_delay_policy(std::make_shared<sim::UniformDelay>(0.0, 1.0, 23));
+  return sim;
+}
+
+// ---- crash / recover --------------------------------------------------------
+
+TEST(CrashRecover, NodeRejoinsAndRelearnsNeighbors) {
+  const auto g = graph::make_path(3);
+  std::vector<core::AoptNode*> nodes;
+  auto sim_ptr = make_sim(g, {}, &nodes);
+  auto& sim = *sim_ptr;
+  sim.schedule_crash(2, 50.0);
+  sim.schedule_recovery(2, 150.0);
+
+  sim.run_until(100.0);
+  EXPECT_TRUE(sim.crashed(2));
+  EXPECT_FALSE(sim.awake(2)) << "crashed nodes leave the skew population";
+  EXPECT_EQ(sim.crashes(), 1u);
+
+  sim.run_until(400.0);
+  EXPECT_FALSE(sim.crashed(2));
+  EXPECT_EQ(sim.recoveries(), 1u);
+  EXPECT_TRUE(sim.awake(2));
+  EXPECT_EQ(nodes[2]->known_neighbors(), 1u)
+      << "the re-join handshake must re-learn the neighborhood";
+  EXPECT_EQ(nodes[1]->known_neighbors(), 2u);
+}
+
+TEST(CrashRecover, TimersAreSuppressedWhileDown) {
+  // Satellite check: a crashed node's armed timers must not fire (no
+  // sends, no re-arms) — they pop once as stale and die.
+  const auto g = graph::make_path(2);
+  std::vector<core::AoptNode*> nodes;
+  auto sim_ptr = make_sim(g, {}, &nodes);
+  auto& sim = *sim_ptr;
+  sim.run_until(50.0);
+  const auto stale_before = sim.stale_timer_pops();
+  sim.schedule_crash(1, 50.0);
+  sim.run_until(51.0);
+  const auto sends_at_crash = nodes[1]->sends();
+  sim.run_until(100.0);  // in-flight messages drain (delays <= 1)
+  const auto delivered_at_100 = sim.messages_delivered();
+  sim.run_until(500.0);
+  EXPECT_EQ(nodes[1]->sends(), sends_at_crash)
+      << "a dead node must not keep broadcasting on its timers";
+  EXPECT_GT(sim.stale_timer_pops(), stale_before)
+      << "suppressed wakeups are counted as stale pops";
+  EXPECT_EQ(sim.messages_delivered(), delivered_at_100)
+      << "an isolated pair with one dead node goes fully quiet";
+}
+
+TEST(CrashRecover, DoubleCrashAndSpuriousRecoverAreNoops) {
+  const auto g = graph::make_path(2);
+  auto sim_ptr = make_sim(g);
+  auto& sim = *sim_ptr;
+  sim.schedule_recovery(1, 10.0);  // not crashed: no-op
+  sim.schedule_crash(1, 20.0);
+  sim.schedule_crash(1, 30.0);  // already crashed: no-op
+  sim.run_until(50.0);
+  EXPECT_EQ(sim.crashes(), 1u);
+  EXPECT_EQ(sim.recoveries(), 0u);
+  EXPECT_TRUE(sim.crashed(1));
+}
+
+TEST(CrashRecover, RejoinedClockReentersEnvelope) {
+  const auto g = graph::make_ring(8);
+  auto sim_ptr = make_sim(g);
+  auto& sim = *sim_ptr;
+  sim.set_drift_policy(std::make_shared<sim::RandomWalkDrift>(0.02, 8.0, 31));
+
+  const auto p = params();
+  const double g_bound = p.global_skew_bound(4, 0.02, 1.0);
+  analysis::SkewTracker::Options topt;
+  topt.recovery_global_bound = g_bound;
+  analysis::SkewTracker tracker(sim, topt);
+  tracker.attach(sim);
+
+  FaultPlan plan;
+  plan.crash(3, 60.0);
+  plan.recover(3, 160.0);
+  FaultScheduler sched(plan.instantiate(1, g));
+  sched.set_listener([&tracker](const FaultEvent&, double t) {
+    tracker.note_fault(t);
+  });
+  sched.run(sim, 600.0);
+
+  EXPECT_EQ(sched.applied(), 2u);
+  EXPECT_DOUBLE_EQ(tracker.last_fault_time(), 160.0);
+  const double rec = tracker.recovery_time();
+  ASSERT_FALSE(std::isnan(rec)) << "the ring must re-enter Thm 5.5 bounds";
+  EXPECT_LT(rec, 440.0);
+}
+
+// ---- channel faults ---------------------------------------------------------
+
+TEST(ChannelFaults, NoWindowIsByteIdenticalToInnerPolicy) {
+  const auto g = graph::make_ring(6);
+  const auto run = [&](bool wrap) {
+    auto sim_ptr = make_sim(g);
+    auto& sim = *sim_ptr;
+    auto inner = std::make_shared<sim::UniformDelay>(0.0, 1.0, 23);
+    if (wrap) {
+      sim.set_delay_policy(std::make_shared<ChannelFaultPolicy>(
+          inner, std::vector<ChannelWindow>{}, 99));
+    } else {
+      sim.set_delay_policy(inner);
+    }
+    analysis::SkewTracker tracker(sim, {});
+    tracker.attach(sim);
+    sim.run_until(300.0);
+    return std::make_pair(tracker.max_global_skew(), sim.messages_delivered());
+  };
+  const auto honest = run(false);
+  const auto wrapped = run(true);
+  EXPECT_EQ(honest.first, wrapped.first)
+      << "an empty fault plan must not perturb the execution at all";
+  EXPECT_EQ(honest.second, wrapped.second);
+}
+
+TEST(ChannelFaults, FullDropWindowSilencesTheChannel) {
+  const auto g = graph::make_path(2);
+  auto sim_ptr = make_sim(g);
+  auto& sim = *sim_ptr;
+  ChannelWindow w;
+  w.t0 = 0.0;
+  w.t1 = 1e9;
+  w.drop = 1.0;
+  auto channel = std::make_shared<ChannelFaultPolicy>(
+      std::make_shared<sim::FixedDelay>(0.5), std::vector<ChannelWindow>{w},
+      7);
+  sim.set_delay_policy(channel);
+  sim.run_until(100.0);
+  EXPECT_EQ(sim.messages_delivered(), 0u);
+  EXPECT_GT(channel->dropped(), 0u);
+  EXPECT_EQ(sim.messages_dropped(), channel->dropped())
+      << "channel-eaten sends must land in the simulator drop counter";
+}
+
+TEST(ChannelFaults, DuplicationDeliversExtraCopies) {
+  const auto g = graph::make_path(3);
+  const auto delivered_with_dup = [&](double dup) {
+    auto sim_ptr = make_sim(g);
+    auto& sim = *sim_ptr;
+    ChannelWindow w;
+    w.t0 = 0.0;
+    w.t1 = 1e9;
+    w.duplicate = dup;
+    auto channel = std::make_shared<ChannelFaultPolicy>(
+        std::make_shared<sim::FixedDelay>(0.5), std::vector<ChannelWindow>{w},
+        11);
+    sim.set_delay_policy(channel);
+    sim.run_until(200.0);
+    return std::make_pair(sim.messages_delivered(), channel->duplicated());
+  };
+  const auto none = delivered_with_dup(0.0);
+  const auto all = delivered_with_dup(1.0);
+  EXPECT_EQ(none.second, 0u);
+  EXPECT_GT(all.second, 0u);
+  EXPECT_GT(all.first, none.first)
+      << "duplicated copies must actually be delivered";
+}
+
+TEST(ChannelFaults, FaultyRunIsDeterministic) {
+  const auto g = graph::make_ring(6);
+  const auto run = [&] {
+    auto sim_ptr = make_sim(g);
+    auto& sim = *sim_ptr;
+    ChannelWindow w;
+    w.t0 = 20.0;
+    w.t1 = 120.0;
+    w.drop = 0.3;
+    w.duplicate = 0.2;
+    w.corrupt = 0.2;
+    w.magnitude = 0.5;
+    w.jitter = 2.0;
+    auto channel = std::make_shared<ChannelFaultPolicy>(
+        std::make_shared<sim::UniformDelay>(0.0, 1.0, 23),
+        std::vector<ChannelWindow>{w}, 1234);
+    sim.set_delay_policy(channel);
+    analysis::SkewTracker tracker(sim, {});
+    tracker.attach(sim);
+    sim.run_until(300.0);
+    return std::make_tuple(tracker.max_global_skew(), tracker.max_local_skew(),
+                           sim.messages_delivered(), channel->dropped(),
+                           channel->duplicated(), channel->corrupted());
+  };
+  EXPECT_EQ(run(), run()) << "same seed + same plan => identical execution";
+}
+
+// ---- graceful degradation ---------------------------------------------------
+
+TEST(GracefulDegradation, BoundedInfluenceRejectsByzantineLies) {
+  // Node 0 starts lying (+200 on every report) mid-run.  A fixed-offset
+  // lie drags every honest clock into a permanent max-rate chase of the
+  // fake L^max — the robust damage signal is the clocks racing far ahead
+  // of real time, and the guard's signal is the rejection counter plus
+  // clocks that stay honest.
+  struct Outcome {
+    double logical1 = 0.0;       // node 1's clock at the end
+    double max_global = 0.0;     // steady-state global skew
+    std::uint64_t rejected = 0;  // bounded-influence rejections
+  };
+  const auto g = graph::make_path(3);
+  const auto run_with_bound = [&](double bound) {
+    sim::SimConfig cfg;
+    cfg.wake_all_at_zero = true;
+    sim::Simulator sim(g, cfg);
+    const auto p = params();
+    ByzantineNode* liar = nullptr;
+    std::vector<core::AoptNode*> honest;
+    sim.set_all_nodes([&](sim::NodeId v) -> std::unique_ptr<sim::Node> {
+      core::AoptOptions o;
+      o.influence_bound = bound;
+      auto n = std::make_unique<core::AoptNode>(p, o);
+      if (v != 0) {
+        honest.push_back(n.get());
+        return n;
+      }
+      auto wrapped = std::make_unique<ByzantineNode>(
+          std::move(n), ByzantineSpec{0, false, 200.0}, 5);
+      liar = wrapped.get();
+      return wrapped;
+    });
+    sim.set_delay_policy(std::make_shared<sim::UniformDelay>(0.0, 1.0, 23));
+    sim.run_until(100.0);  // honest warm-up: everyone knows everyone
+    liar->set_active(true);
+    analysis::SkewTracker tracker(sim, {});
+    tracker.attach(sim);
+    sim.run_until(300.0);
+    EXPECT_GT(liar->lies_told(), 0u);
+    Outcome out;
+    out.logical1 = sim.logical(1);
+    out.max_global = tracker.max_global_skew();
+    for (const auto* n : honest) out.rejected += n->rejected_reports();
+    return out;
+  };
+
+  const Outcome unguarded = run_with_bound(0.0);
+  const Outcome guarded = run_with_bound(5.0);
+  EXPECT_GT(unguarded.logical1, guarded.logical1 + 20.0)
+      << "sanity: the unrejected lie must drag honest clocks ahead";
+  EXPECT_LT(guarded.max_global, 10.0)
+      << "with bounded influence the network stays synchronized";
+  EXPECT_EQ(unguarded.rejected, 0u);
+  EXPECT_GT(guarded.rejected, 0u);
+}
+
+TEST(GracefulDegradation, SilenceTimeoutEvictsMutedNeighbors) {
+  // A 100%-drop window mutes the channel without any link-down
+  // notification; the silence timeout is the only way to notice.
+  const auto g = graph::make_path(3);
+  core::AoptOptions aopt;
+  aopt.neighbor_silence_timeout = 40.0;
+  std::vector<core::AoptNode*> nodes;
+  auto sim_ptr = make_sim(g, aopt, &nodes);
+  auto& sim = *sim_ptr;
+  ChannelWindow w;
+  w.t0 = 100.0;
+  w.t1 = 1e9;
+  w.drop = 1.0;
+  sim.set_delay_policy(std::make_shared<ChannelFaultPolicy>(
+      std::make_shared<sim::UniformDelay>(0.0, 1.0, 23),
+      std::vector<ChannelWindow>{w}, 3));
+
+  sim.run_until(100.0);
+  EXPECT_EQ(nodes[1]->known_neighbors(), 2u);
+  sim.run_until(400.0);
+  EXPECT_EQ(nodes[1]->known_neighbors(), 0u)
+      << "silent neighbors must stop steering setClockRate";
+  EXPECT_GT(nodes[1]->stale_evictions(), 0u);
+}
+
+// ---- chaos regression -------------------------------------------------------
+
+// Mixed fault schedule on line / tree / random topologies: after the last
+// fault clears, the skew must re-enter the Thm 5.5 / 5.10 bounds with a
+// finite measured recovery time.
+void run_chaos(const graph::Graph& g, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.random_crashes(2, 50.0, 250.0, 10.0, 40.0);
+  plan.random_flaps(3, 50.0, 250.0, 8.0);
+  plan.drift_spike(0, 120.0, 1.08, 30.0);
+  plan.byzantine(1, 100.0, 160.0, /*random=*/true, /*offset=*/20.0);
+  ChannelWindow w;
+  w.t0 = 80.0;
+  w.t1 = 180.0;
+  w.drop = 0.2;
+  w.duplicate = 0.1;
+  w.jitter = 1.0;
+  plan.channel(w);
+  const FaultTimeline tl = plan.instantiate(seed, g);
+
+  sim::SimConfig ccfg;
+  ccfg.wake_all_at_zero = true;
+  sim::Simulator sim(g, ccfg);
+  const auto p = params();
+  core::AoptOptions aopt;
+  aopt.influence_bound = 8.0;            // survive the Byzantine window
+  aopt.neighbor_silence_timeout = 60.0;  // >> H0: healthy links never trip
+  sim.set_all_nodes([&](sim::NodeId v) -> std::unique_ptr<sim::Node> {
+    auto n = std::make_unique<core::AoptNode>(p, aopt);
+    if (const ByzantineSpec* spec = tl.byzantine_spec(v)) {
+      return std::make_unique<ByzantineNode>(std::move(n), *spec,
+                                             seed ^ (v + 1));
+    }
+    return n;
+  });
+  sim.set_drift_policy(
+      std::make_shared<sim::RandomWalkDrift>(0.02, 8.0, seed + 1));
+  sim.set_delay_policy(std::make_shared<ChannelFaultPolicy>(
+      std::make_shared<sim::UniformDelay>(0.0, 1.0, 23), tl.windows,
+      seed ^ 0xc4a27e11u));
+
+  const int d = g.diameter();
+  const double g_bound = p.global_skew_bound(d, 0.02, 1.0);
+  const double l_bound = p.local_skew_bound(d, 0.02, 1.0);
+  analysis::SkewTracker::Options topt;
+  topt.recovery_global_bound = g_bound;
+  topt.recovery_local_bound = l_bound;
+  analysis::SkewTracker tracker(sim, topt);
+  tracker.attach(sim);
+
+  FaultScheduler sched(tl);
+  sched.set_listener(
+      [&tracker](const FaultEvent&, double t) { tracker.note_fault(t); });
+  const double duration = 1200.0;
+  sched.run(sim, duration);
+
+  EXPECT_GT(sched.applied(), 0u);
+  EXPECT_EQ(sim.crashes(), sim.recoveries())
+      << "every random crash comes with a recovery";
+  const double rec = tracker.recovery_time();
+  ASSERT_FALSE(std::isnan(rec))
+      << "skew must re-enter the paper bounds after the last fault "
+      << "(last fault at t=" << tracker.last_fault_time() << ")";
+  EXPECT_GE(rec, 0.0);
+  EXPECT_LE(tracker.last_fault_time() + rec, duration);
+}
+
+TEST(ChaosRegression, Line) { run_chaos(graph::make_path(8), 101); }
+
+TEST(ChaosRegression, Tree) {
+  run_chaos(graph::make_balanced_tree(2, 3), 202);
+}
+
+TEST(ChaosRegression, Random) {
+  run_chaos(graph::make_connected_er(10, 0.3, 7), 303);
+}
+
+}  // namespace
+}  // namespace tbcs::fault

@@ -1,0 +1,196 @@
+// Fault injection on the threaded runtime: partitions, link state, the
+// channel hook, and — most importantly — that a node wedged inside a
+// callback cannot hang stop() (the bounded-join watchdog).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "core/aopt.hpp"
+#include "core/params.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/fault_scheduler.hpp"
+#include "graph/topologies.hpp"
+#include "runtime/threaded_network.hpp"
+#include "sim/node.hpp"
+
+namespace tbcs::runtime {
+namespace {
+
+core::SyncParams runtime_params() {
+  return core::SyncParams::with(/*delay_hat=*/2.0, /*eps_hat=*/0.02,
+                                /*mu=*/0.5, /*h0=*/10.0);
+}
+
+/// Wakes, arms a short timer, then sleeps for `stall` inside the timer
+/// callback — the deliberately-wedged node of the teardown test.
+class StallingNode final : public sim::Node {
+ public:
+  explicit StallingNode(std::chrono::milliseconds stall) : stall_(stall) {}
+
+  void on_wake(sim::NodeServices& sv, const sim::Message*) override {
+    sv.set_timer(0, sv.hardware_now() + 5.0);
+  }
+  void on_message(sim::NodeServices&, const sim::Message&) override {}
+  void on_timer(sim::NodeServices&, int) override {
+    stalled_.store(true, std::memory_order_seq_cst);
+    std::this_thread::sleep_for(stall_);
+  }
+  sim::ClockValue logical_at(sim::ClockValue h) const override { return h; }
+  double rate_multiplier() const override { return 1.0; }
+
+  bool stalled() const { return stalled_.load(std::memory_order_seq_cst); }
+
+ private:
+  std::chrono::milliseconds stall_;
+  std::atomic<bool> stalled_{false};
+};
+
+TEST(RuntimeFaults, StalledNodeCannotHangTeardown) {
+  const auto g = graph::make_path(2);
+  ThreadedNetwork::Config cfg;
+  cfg.stop_timeout_ms = 300.0;
+  // Heap-allocated and deliberately leaked: the detached wedged thread
+  // keeps referencing the network after stop() returns, so destroying it
+  // before that thread finishes its sleep would be use-after-free.
+  auto* net = new ThreadedNetwork(g, cfg);
+  auto stalling = std::make_unique<StallingNode>(std::chrono::seconds(20));
+  StallingNode* probe = stalling.get();
+  net->add_node(0, std::move(stalling), 1.0);
+  net->add_node(1, std::make_unique<core::AoptNode>(runtime_params()), 1.0);
+  net->start(0);
+
+  // Wait until the node is provably wedged inside its callback.
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!probe->stalled() &&
+         std::chrono::steady_clock::now() - t0 < std::chrono::seconds(5)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(probe->stalled()) << "the stalling timer never fired";
+
+  const auto stop_start = std::chrono::steady_clock::now();
+  const std::size_t wedged = net->stop();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - stop_start);
+  EXPECT_GE(wedged, 1u) << "the watchdog must report the wedged thread";
+  EXPECT_LT(elapsed.count(), 5000)
+      << "stop() must time out at ~stop_timeout_ms, not wait for the sleep";
+  // `net` leaks by design (see above).
+}
+
+TEST(RuntimeFaults, PartitionAndRejoinRoundTrip) {
+  const auto g = graph::make_path(3);
+  ThreadedNetwork::Config cfg;
+  cfg.delay_max = 1.0;
+  ThreadedNetwork net(g, cfg);
+  const auto params = runtime_params();
+  for (sim::NodeId v = 0; v < 3; ++v) {
+    net.add_node(v, std::make_unique<core::AoptNode>(params), 1.0);
+  }
+  net.start(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  ASSERT_TRUE(net.awake(2));
+
+  net.set_partitioned(2, true);
+  EXPECT_TRUE(net.partitioned(2));
+  const auto dropped_before = net.messages_dropped();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_GT(net.messages_dropped(), dropped_before)
+      << "traffic to/from a partitioned node must be counted as dropped";
+
+  net.set_partitioned(2, false);
+  net.request_rejoin(2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_FALSE(net.partitioned(2));
+  EXPECT_TRUE(net.awake(2));
+  // The re-join handshake re-announces; the clock keeps progressing.
+  const double l1 = net.logical(2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_GT(net.logical(2), l1);
+  net.stop();
+}
+
+TEST(RuntimeFaults, DownedLinkDropsCopies) {
+  const auto g = graph::make_path(2);
+  ThreadedNetwork net(g, {});
+  const auto params = runtime_params();
+  net.add_node(0, std::make_unique<core::AoptNode>(params), 1.0);
+  net.add_node(1, std::make_unique<core::AoptNode>(params), 1.0);
+  net.start(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  net.set_link_state(0, 1, false);
+  const auto dropped_before = net.messages_dropped();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_GT(net.messages_dropped(), dropped_before);
+  net.set_link_state(0, 1, true);
+  net.stop();
+}
+
+TEST(RuntimeFaults, SchedulerDrivesTheSamePlanOnThreads) {
+  // The same FaultPlan that drives the simulator drives the threaded
+  // runtime (1 unit = 1 ms).  Drift spikes are the one unsupported kind:
+  // counted, never silently dropped.
+  const auto g = graph::make_path(3);
+  fault::FaultPlan plan;
+  plan.crash(2, 50.0);
+  plan.recover(2, 150.0);
+  plan.drift_spike(1, 60.0, 1.08, 20.0);  // unsupported on real threads
+  const fault::FaultTimeline tl = plan.instantiate(3, g);
+
+  ThreadedNetwork::Config cfg;
+  cfg.delay_max = 1.0;
+  ThreadedNetwork net(g, cfg);
+  const auto params = runtime_params();
+  for (sim::NodeId v = 0; v < 3; ++v) {
+    net.add_node(v, std::make_unique<core::AoptNode>(params), 1.0);
+  }
+  net.start(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  fault::FaultScheduler sched(tl);
+  std::atomic<int> listener_calls{0};
+  sched.set_listener(
+      [&listener_calls](const fault::FaultEvent&, double) { ++listener_calls; });
+  bool was_partitioned = false;
+  std::thread probe([&net, &was_partitioned] {
+    for (int i = 0; i < 20 && !was_partitioned; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      if (net.partitioned(2)) was_partitioned = true;
+    }
+  });
+  sched.run_threaded(net, 250.0);
+  probe.join();
+
+  EXPECT_TRUE(was_partitioned) << "the crash window must partition node 2";
+  EXPECT_FALSE(net.partitioned(2)) << "recover must clear the partition";
+  EXPECT_EQ(sched.skipped_unsupported(), 2u)
+      << "the drift spike/restore pair is counted as unsupported";
+  EXPECT_EQ(listener_calls.load(), static_cast<int>(sched.applied()));
+  EXPECT_TRUE(net.awake(2));
+  net.stop();
+}
+
+TEST(RuntimeFaults, ChannelHookDropsAndCounts) {
+  const auto g = graph::make_path(2);
+  ThreadedNetwork net(g, {});
+  const auto params = runtime_params();
+  net.add_node(0, std::make_unique<core::AoptNode>(params), 1.0);
+  net.add_node(1, std::make_unique<core::AoptNode>(params), 1.0);
+  std::atomic<std::uint64_t> seen{0};
+  // Drop every second copy (thread-safe: one atomic).
+  net.set_channel_hook([&seen](sim::NodeId, sim::NodeId, sim::Message&,
+                               double&, bool&) {
+    return (seen.fetch_add(1, std::memory_order_relaxed) % 2) == 0;
+  });
+  net.start(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  net.stop();
+  EXPECT_GT(seen.load(), 0u) << "the hook must see routed copies";
+  EXPECT_GT(net.messages_dropped(), 0u)
+      << "hook-dropped copies land in the drop counter";
+}
+
+}  // namespace
+}  // namespace tbcs::runtime

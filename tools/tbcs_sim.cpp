@@ -9,6 +9,9 @@
 #include <fstream>
 #include <iostream>
 
+#include <cmath>
+#include <optional>
+
 #include "analysis/ascii_chart.hpp"
 #include "analysis/counters.hpp"
 #include "analysis/skew_tracker.hpp"
@@ -16,6 +19,7 @@
 #include "analysis/trace.hpp"
 #include "cli/args.hpp"
 #include "cli/experiment_config.hpp"
+#include "fault/fault_scheduler.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "sim/recorder.hpp"
@@ -34,6 +38,12 @@ model:      --eps E --delay T --mu M --h0 H     (0 = paper defaults)
 adversary:  --drift walk|square|sine|const
             --delays uniform|fixed|band|bimodal|burst|hiding
             --band-min F
+faults:     --faults FILE      fault plan (docs/FAULTS.md); enables the
+                               recovery-time probe against the paper bounds
+            --fault-seed S     seed for random fault directives (0 = --seed)
+            --silence-timeout T / --influence-bound B
+                               A^opt graceful-degradation knobs (plain
+                               --algo aopt; 0 = off, paper behavior)
 run:        --duration T --seed S --wake-all --per-distance
             --audit-oracle     run the incremental skew tracker and the
                                full-rescan oracle side by side; abort on
@@ -88,6 +98,17 @@ int main(int argc, char** argv) {
     auto built = cli::build_experiment(cfg);
     sim::Simulator& sim = *built.simulator;
 
+    // With channel faults installed, record/replay policies go *inside*
+    // the fault decorator: faults perturb the recorded honest delays, so
+    // a faulty run replays (and diffs) bit-identically.
+    const auto install_delay_policy =
+        [&](std::shared_ptr<sim::DelayPolicy> policy) {
+          if (built.channel) {
+            built.channel->set_inner(std::move(policy));
+          } else {
+            sim.set_delay_policy(std::move(policy));
+          }
+        };
     auto record_log = std::make_shared<sim::ExecutionLog>();
     if (!replay_file.empty()) {
       std::ifstream is(replay_file);
@@ -98,13 +119,13 @@ int main(int argc, char** argv) {
       auto loaded = std::make_shared<const sim::ExecutionLog>(
           sim::ExecutionLog::load(is));
       sim.set_drift_policy(std::make_shared<sim::ReplayDriftPolicy>(loaded));
-      sim.set_delay_policy(std::make_shared<sim::ReplayDelayPolicy>(loaded));
+      install_delay_policy(std::make_shared<sim::ReplayDelayPolicy>(loaded));
       std::cout << "replaying " << replay_file << " ("
                 << loaded->deliveries.size() << " deliveries)\n";
     } else if (!record_file.empty()) {
       sim.set_drift_policy(std::make_shared<sim::RecordingDriftPolicy>(
           built.drift, record_log));
-      sim.set_delay_policy(std::make_shared<sim::RecordingDelayPolicy>(
+      install_delay_policy(std::make_shared<sim::RecordingDelayPolicy>(
           built.delay, record_log));
     }
 
@@ -124,20 +145,34 @@ int main(int argc, char** argv) {
       sim.set_flight_recorder(&recorder);
     }
 
+    const int d = built.graph->diameter();
+    const double g_bound =
+        built.params.global_skew_bound(d, cfg.eps, cfg.delay);
+    const double l_bound = built.params.local_skew_bound(d, cfg.eps, cfg.delay);
+
     analysis::SkewTracker::Options topt;
     if (audit_oracle) topt.mode = analysis::SkewTracker::Mode::kAuditOracle;
     topt.audit_epsilon = cfg.eps;
     topt.track_per_distance = cfg.per_distance;
     topt.series_interval = cfg.duration / 200.0;
+    if (!built.timeline.empty()) {
+      // "Recovered" = back inside the paper's envelope (Thm 5.5 / 5.10).
+      topt.recovery_global_bound = g_bound;
+      topt.recovery_local_bound = l_bound;
+    }
     analysis::SkewTracker tracker(sim, topt);
     tracker.attach(sim);
 
-    sim.run_until(cfg.duration);
-
-    const int d = built.graph->diameter();
-    const double g_bound =
-        built.params.global_skew_bound(d, cfg.eps, cfg.delay);
-    const double l_bound = built.params.local_skew_bound(d, cfg.eps, cfg.delay);
+    std::optional<fault::FaultScheduler> faults;
+    if (!built.timeline.empty()) {
+      faults.emplace(built.timeline);
+      faults->set_listener([&tracker](const fault::FaultEvent&, double t) {
+        tracker.note_fault(t);
+      });
+      faults->run(sim, cfg.duration);
+    } else {
+      sim.run_until(cfg.duration);
+    }
 
     analysis::Table summary({"metric", "value"});
     summary.add_row({"topology", cfg.topology + " (n=" +
@@ -160,7 +195,51 @@ int main(int argc, char** argv) {
     summary.add_row({"rates seen", "[" + analysis::Table::num(tracker.min_logical_rate(), 4) +
                                        ", " + analysis::Table::num(tracker.max_logical_rate(), 4) +
                                        "]"});
+    if (faults) {
+      summary.add_row({"faults applied",
+                       analysis::Table::integer(
+                           static_cast<long long>(faults->applied()))});
+      summary.add_row({"crashes / recoveries",
+                       analysis::Table::integer(
+                           static_cast<long long>(sim.crashes())) +
+                           " / " +
+                           analysis::Table::integer(
+                               static_cast<long long>(sim.recoveries()))});
+      summary.add_row({"messages dropped",
+                       analysis::Table::integer(static_cast<long long>(
+                           sim.messages_dropped()))});
+      const double rec = tracker.recovery_time();
+      summary.add_row({"last fault at",
+                       analysis::Table::num(tracker.last_fault_time(), 1)});
+      summary.add_row({"recovery time",
+                       std::isnan(rec) ? std::string("not recovered")
+                                       : analysis::Table::num(rec, 2)});
+    }
     summary.print(std::cout);
+
+    // Surface the simulator drop/fault counters in the metrics registry so
+    // --stats JSON (and anything else reading the global snapshot) sees
+    // them alongside the runtime/sweep counters.
+    {
+      auto& reg = obs::MetricsRegistry::global();
+      reg.counter("sim.messages_dropped").inc(sim.messages_dropped());
+      reg.counter("sim.stale_timer_pops").inc(sim.stale_timer_pops());
+      if (faults) {
+        reg.counter("fault.events_applied").inc(faults->applied());
+        reg.counter("fault.crashes").inc(sim.crashes());
+        reg.counter("fault.recoveries").inc(sim.recoveries());
+        const double rec = tracker.recovery_time();
+        reg.gauge("fault.last_fault_time").set(tracker.last_fault_time());
+        reg.gauge("fault.recovery_time").set(std::isnan(rec) ? -1.0 : rec);
+        if (built.channel) {
+          reg.counter("fault.channel_dropped").inc(built.channel->dropped());
+          reg.counter("fault.channel_duplicated")
+              .inc(built.channel->duplicated());
+          reg.counter("fault.channel_corrupted")
+              .inc(built.channel->corrupted());
+        }
+      }
+    }
 
     if (chart) {
       std::cout << "\n";
