@@ -26,6 +26,7 @@
 // (scripts/smoke_bench.sh).
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -67,19 +68,27 @@ graph::Graph make_topology(const std::string& kind, int n) {
   return graph::make_balanced_tree(2, levels);
 }
 
+// shards = -1: the historical workload (uniform [0, 1] delays, serial
+// engine) whose rows regress-check against BENCH_pr2.json.  shards >= 0:
+// the shard-axis workload — band delays uniform [0.25, 1] (sharding
+// needs a positive certified min delay) with shards = 0 running the
+// serial engine on that same workload, so serial-vs-sharded rows in one
+// file compare like with like.
 RunResult run_one(const graph::Graph& g, analysis::SkewTracker::Mode mode,
-                  double duration, std::uint64_t seed) {
+                  double duration, std::uint64_t seed, int shards = -1) {
   const core::SyncParams params = core::SyncParams::recommended(1.0, 0.01, 0.0);
   sim::Simulator sim(g);
+  if (shards > 0) sim.configure_shards(shards, "block");
   sim.set_all_nodes(
       [&params](sim::NodeId) { return std::make_unique<core::AoptNode>(params); });
   sim.set_drift_policy(std::make_shared<sim::RandomWalkDrift>(0.01, 10.0, seed));
-  sim.set_delay_policy(std::make_shared<sim::UniformDelay>(0.0, 1.0, seed + 1));
+  sim.set_delay_policy(std::make_shared<sim::UniformDelay>(
+      shards >= 0 ? 0.25 : 0.0, 1.0, seed + 1));
   analysis::SkewTracker::Options topt;
   topt.mode = mode;
   topt.audit_epsilon = 0.01;
   analysis::SkewTracker tracker(sim, topt);
-  tracker.attach(sim);
+  tracker.attach_auto(sim);
 
   const auto t0 = std::chrono::steady_clock::now();
   sim.run_until(duration);
@@ -125,6 +134,7 @@ int main(int argc, char** argv) {
   std::string out = "BENCH_pr2.json";
   std::string label = "core_hotpath";
   std::string filter;
+  std::vector<int> shard_axis;  // e.g. --shards 0,1,2,4; 0 = serial engine
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--quick") {
@@ -135,10 +145,19 @@ int main(int argc, char** argv) {
       out = argv[++i];
     } else if (a == "--label" && i + 1 < argc) {
       label = argv[++i];
+    } else if (a == "--shards" && i + 1 < argc) {
+      const char* p = argv[++i];
+      while (*p != '\0') {
+        char* end = nullptr;
+        shard_axis.push_back(static_cast<int>(std::strtol(p, &end, 10)));
+        p = (end != nullptr && *end == ',') ? end + 1 : (end != nullptr ? end : p + std::strlen(p));
+      }
     } else {
       std::fprintf(stderr,
                    "usage: bench_core_hotpath [--quick] [--filter SUBSTR] "
-                   "[--out FILE] [--label NAME]\n");
+                   "[--shards K0,K1,...] [--out FILE] [--label NAME]\n"
+                   "  --shards runs ONLY the shard-axis rows (band-delay "
+                   "workload; K = 0 is the serial engine)\n");
       return 2;
     }
   }
@@ -161,6 +180,48 @@ int main(int argc, char** argv) {
   };
 
   tbcs::bench::BenchJsonWriter json(label);
+
+  // Shard axis: one row per (topology, n, K) on the band-delay workload,
+  // incremental tracker only.  Replaces the legacy matrix for this
+  // invocation so a shard sweep doesn't pay for the slow oracle rows.
+  if (!shard_axis.empty()) {
+    for (const char* topo : {"line", "tree"}) {
+      for (const int n : sizes) {
+        const tbcs::graph::Graph g = make_topology(topo, n);
+        const double dur = duration_for(topo, n);
+        for (const int k : shard_axis) {
+          const std::string name = std::string(topo) + "_n" +
+                                   std::to_string(g.num_nodes()) + "_shards" +
+                                   std::to_string(k) + "_incremental";
+          if (!filter.empty() && name.find(filter) == std::string::npos) {
+            continue;
+          }
+          const RunResult r =
+              run_one(g, tbcs::analysis::SkewTracker::Mode::kIncremental, dur,
+                      3, k);
+          const double eps = r.events / (r.seconds > 0.0 ? r.seconds : 1e-9);
+          json.add(name)
+              .metric("n", g.num_nodes())
+              .metric("duration", dur)
+              .metric("shards", k)
+              .metric("events", static_cast<double>(r.events))
+              .metric("seconds", r.seconds)
+              .metric("events_per_sec", eps)
+              .metric("samples", static_cast<double>(r.samples))
+              .metric("global_skew", r.global_skew)
+              .metric("local_skew", r.local_skew);
+          std::printf("%-32s %12.0f events/s  (%llu events, %.2fs)\n",
+                      name.c_str(), eps, (unsigned long long)r.events,
+                      r.seconds);
+          std::fflush(stdout);
+        }
+      }
+    }
+    json.write_file(out);
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+  }
+
   for (const char* topo : {"line", "tree", "grid"}) {
     for (const int n : sizes) {
       const tbcs::graph::Graph g = make_topology(topo, n);

@@ -11,7 +11,9 @@
 #      in a quick pass.
 #   3. TSan smoke: rebuild the threaded-runtime tests (including the
 #      fault-injection paths: partitions, link flips, the channel hook,
-#      and the stop() watchdog) with -DTBCS_SANITIZE=thread and run them.
+#      and the stop() watchdog) and the sharded-engine tests (worker
+#      lanes, window barriers, cross-shard mailboxes, recording policies
+#      under concurrent lanes) with -DTBCS_SANITIZE=thread and run them.
 #      These are the only tests with real cross-thread contention.
 #
 # Usage: scripts/ci.sh [jobs]     (default: nproc)
@@ -43,11 +45,13 @@ build-asan/tests/test_metrics
 build-asan/tests/test_trace_tools
 
 echo
-echo "=== sanitizer smoke: TSan threaded runtime (jobs=$JOBS) ==="
+echo "=== sanitizer smoke: TSan threaded runtime + sharded engine (jobs=$JOBS) ==="
 cmake -B build-tsan -S . -DTBCS_SANITIZE=thread > /dev/null
-cmake --build build-tsan -j "$JOBS" --target test_runtime test_runtime_faults
+cmake --build build-tsan -j "$JOBS" --target \
+  test_runtime test_runtime_faults test_sharded_equivalence
 build-tsan/tests/test_runtime
 build-tsan/tests/test_runtime_faults
+build-tsan/tests/test_sharded_equivalence
 
 echo
 echo "ci.sh: all green"

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Sharded-engine smoke: --shards N must reproduce the serial execution.
+#
+#   1. serial vs --shards 1: the execution record and the flight-recorder
+#      trace (tbcs_trace --diff) must match.  Stats JSON is *not* compared
+#      here: the sharded engine reports queue peak depth as a canonical
+#      pending count sampled at window barriers, which legitimately
+#      under-reads the serial per-pop peak (pushes/pops do match, and the
+#      equivalence unit suite asserts that).
+#   2. --shards 1 vs 2 vs 4: record, stats JSON, and trace dump must all
+#      be byte-identical.
+#   3. Both gates again with a mixed fault plan (crash/recover, link
+#      flaps across shard boundaries, a lossy channel window) active.
+#
+# Every comparison is exit-code gated; any divergence fails the test.
+#
+# Usage: smoke_shards.sh /path/to/tbcs_sim /path/to/tbcs_trace
+set -euo pipefail
+
+SIM_BIN="${1:?usage: smoke_shards.sh /path/to/tbcs_sim /path/to/tbcs_trace}"
+TRACE_BIN="${2:?usage: smoke_shards.sh /path/to/tbcs_sim /path/to/tbcs_trace}"
+TMPDIR_SMOKE="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_SMOKE"' EXIT
+
+# Topology-agnostic plan (no explicit link directives, which would have
+# to name real edges): the crash cuts every incident link — including
+# cut edges, so twin link events are exercised on every topology.
+PLAN="$TMPDIR_SMOKE/plan.txt"
+cat > "$PLAN" <<'EOF'
+crash node=9 at=25
+recover node=9 at=55
+channel from=80 until=100 drop=0.15 jitter=0.4
+EOF
+
+# band delays: min delay > 0, so the conservative windows have lookahead.
+run_sim() {  # run_sim <topology> <shards> <tag> [extra flags...]
+  local topo="$1" shards="$2" tag="$3"
+  shift 3
+  "$SIM_BIN" --topology "$topo" --nodes 32 --arity 2 --levels 5 \
+             --er-p 0.15 --algo aopt --delays band \
+             --drift walk --duration 150 --seed 42 --wake-all \
+             --shards "$shards" \
+             --record "$TMPDIR_SMOKE/$tag.rec" \
+             --trace "$TMPDIR_SMOKE/$tag.bin" \
+             --stats-json "$TMPDIR_SMOKE/$tag.stats" \
+             "$@" > "$TMPDIR_SMOKE/$tag.out"
+}
+
+check_case() {  # check_case <topology> <label> [extra flags...]
+  local topo="$1" label="$2"
+  shift 2
+  run_sim "$topo" 0 "$label-serial" "$@"
+  for n in 1 2 4; do
+    run_sim "$topo" "$n" "$label-s$n" "$@"
+  done
+
+  # Gate 1: serial vs one shard (record + trace).
+  cmp "$TMPDIR_SMOKE/$label-serial.rec" "$TMPDIR_SMOKE/$label-s1.rec" \
+    || { echo "FAIL($label): record serial != --shards 1"; exit 1; }
+  "$TRACE_BIN" --diff "$TMPDIR_SMOKE/$label-serial.bin" \
+               "$TMPDIR_SMOKE/$label-s1.bin" \
+    || { echo "FAIL($label): trace serial != --shards 1"; exit 1; }
+
+  # Gate 2: shard counts agree on everything, byte for byte.
+  for n in 2 4; do
+    for ext in rec stats; do
+      cmp "$TMPDIR_SMOKE/$label-s1.$ext" "$TMPDIR_SMOKE/$label-s$n.$ext" \
+        || { echo "FAIL($label): $ext --shards 1 != --shards $n"; exit 1; }
+    done
+    "$TRACE_BIN" --diff "$TMPDIR_SMOKE/$label-s1.bin" \
+                 "$TMPDIR_SMOKE/$label-s$n.bin" \
+      || { echo "FAIL($label): trace --shards 1 != --shards $n"; exit 1; }
+  done
+  echo "smoke_shards: $label OK"
+}
+
+for topo in path tree er; do
+  check_case "$topo" "$topo-plain"
+  check_case "$topo" "$topo-faulty" --faults "$PLAN" --fault-seed 7
+done
+
+# The sharded run actually applied the plan (sanity that the faulty case
+# exercised crashes, not a silently empty timeline).
+grep -q "crash" "$TMPDIR_SMOKE/path-faulty-s2.out" \
+  || grep -q '"crashes": *[1-9]' "$TMPDIR_SMOKE/path-faulty-s2.stats" \
+  || { echo "FAIL: fault plan did not apply"; exit 1; }
+
+echo "smoke_shards: OK"

@@ -34,6 +34,11 @@ SkewTracker::SkewTracker(const sim::Simulator& sim, Options opt) : opt_(opt) {
   next_series_t_ = opt_.warmup;
   next_per_distance_t_ = opt_.warmup;
   incremental_ = opt_.mode != Mode::kFullRescan && opt_.stride <= 1;
+  degraded_to_full_rescan_ = opt_.mode != Mode::kFullRescan && opt_.stride > 1;
+  if (degraded_to_full_rescan_) {
+    fallback_counter_ =
+        obs::MetricsRegistry::global().counter("skew.full_rescan_fallback");
+  }
   if (incremental_ && opt_.track_local) csr_ = sim.topology().csr();
   if (opt_.mode == Mode::kAuditOracle) {
     Options oracle_opt = opt_;
@@ -44,6 +49,14 @@ SkewTracker::SkewTracker(const sim::Simulator& sim, Options opt) : opt_(opt) {
 
 void SkewTracker::attach(sim::Simulator& sim) {
   sim.set_observer([this](const sim::Simulator& s, double t) { observe(s, t); });
+}
+
+void SkewTracker::attach_windowed(sim::Simulator& sim) {
+  sim.set_window_observer(
+      [this](const sim::Simulator& s, double t,
+             const std::vector<sim::Simulator::WindowTouch>& touched) {
+        observe_window(s, t, touched);
+      });
 }
 
 double SkewTracker::max_skew_at_distance(int d) const {
@@ -59,9 +72,33 @@ bool SkewTracker::per_distance_due(double t) const {
 }
 
 void SkewTracker::observe(const sim::Simulator& sim, double t) {
+  // The one-touched-node contract of the incremental engine: fold exactly
+  // what the triggering event changed.
+  const sim::Simulator::LastEvent& le = sim.last_event();
+  sim::Simulator::WindowTouch buf[2];
+  std::size_t n = 0;
+  if (le.node != sim::kInvalidNode) {
+    buf[n++] = sim::Simulator::WindowTouch{le.node, le.woke};
+  }
+  if (le.node2 != sim::kInvalidNode) {
+    buf[n++] = sim::Simulator::WindowTouch{le.node2, false};
+  }
+  do_sample(sim, t, buf, n);
+}
+
+void SkewTracker::observe_window(
+    const sim::Simulator& sim, double t,
+    const std::vector<sim::Simulator::WindowTouch>& touched) {
+  do_sample(sim, t, touched.data(), touched.size());
+}
+
+void SkewTracker::do_sample(const sim::Simulator& sim, double t,
+                            const sim::Simulator::WindowTouch* touched,
+                            std::size_t n_touched) {
   if (t < opt_.warmup) return;
   if (opt_.stride > 1 && (calls_++ % opt_.stride) != 0) return;
   ++samples_;
+  if (degraded_to_full_rescan_) fallback_counter_.inc();
 
   bool scanned_exactly = false;
   if (!incremental_) {
@@ -95,9 +132,9 @@ void SkewTracker::observe(const sim::Simulator& sim, double t) {
 
     // Fold the touched nodes exactly: only they can have moved
     // discontinuously since the last sample.
-    const sim::Simulator::LastEvent& le = sim.last_event();
-    if (le.node != sim::kInvalidNode) touch(sim, le.node, le.woke, t);
-    if (le.node2 != sim::kInvalidNode) touch(sim, le.node2, false, t);
+    for (std::size_t i = 0; i < n_touched; ++i) {
+      touch(sim, touched[i].node, touched[i].woke, t);
+    }
 
     // A full scan is needed exactly when some certificate no longer proves
     // the corresponding running maximum unbeaten, or when a grid output
@@ -127,7 +164,7 @@ void SkewTracker::observe(const sim::Simulator& sim, double t) {
   if (recovery_probe_active()) classify_recovery_sample(t, scanned_exactly);
 
   if (oracle_) {
-    oracle_->observe(sim, t);
+    oracle_->do_sample(sim, t, touched, n_touched);
     assert_matches_oracle(t);
   }
 }

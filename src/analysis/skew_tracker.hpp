@@ -33,6 +33,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace tbcs::analysis {
@@ -119,8 +120,28 @@ class SkewTracker {
   /// Installs this tracker as the simulator's observer.
   void attach(sim::Simulator& sim);
 
+  /// Installs this tracker as the simulator's *window* observer (sharded
+  /// engine): one sample per window barrier, folding the barrier's
+  /// touched-node set.  Because the barrier grid and the touched sets are
+  /// shard-count invariant, so is every tracker output.
+  void attach_windowed(sim::Simulator& sim);
+
+  /// attach_windowed() when the simulator is sharded, attach() otherwise.
+  void attach_auto(sim::Simulator& sim) {
+    if (sim.shards() > 0) {
+      attach_windowed(sim);
+    } else {
+      attach(sim);
+    }
+  }
+
   /// Processes one sample at time t (called by the observer).
   void observe(const sim::Simulator& sim, double t);
+
+  /// Processes one window-barrier sample: like observe(), but folds the
+  /// whole touched-node set instead of Simulator::last_event().
+  void observe_window(const sim::Simulator& sim, double t,
+                      const std::vector<sim::Simulator::WindowTouch>& touched);
 
   // ---- results ------------------------------------------------------------
 
@@ -174,6 +195,9 @@ class SkewTracker {
 
  private:
   bool per_distance_due(double t) const;
+  void do_sample(const sim::Simulator& sim, double t,
+                 const sim::Simulator::WindowTouch* touched,
+                 std::size_t n_touched);
   void full_scan(const sim::Simulator& sim, double t);
   void touch(const sim::Simulator& sim, sim::NodeId v, bool woke, double t);
   void assert_matches_oracle(double t) const;
@@ -202,6 +226,12 @@ class SkewTracker {
   std::uint64_t calls_ = 0;
   std::uint64_t samples_ = 0;
   std::uint64_t full_scans_ = 0;
+  /// Set when an incremental engine was requested but stride > 1 silently
+  /// degraded it to full rescans; every degraded sample bumps the
+  /// `skew.full_rescan_fallback` counter so sweeps surface the hidden
+  /// O(n + E)-per-sample cost.
+  bool degraded_to_full_rescan_ = false;
+  obs::Counter fallback_counter_;
 
   // ---- recovery-probe state -------------------------------------------------
   bool have_fault_ = false;

@@ -40,6 +40,8 @@ void apply_model_flags(ArgParser& args, ExperimentConfig& cfg) {
       args.get_int("seed", static_cast<int>(cfg.seed)));
   cfg.wake_all = args.get_bool("wake-all", cfg.wake_all);
   cfg.per_distance = args.get_bool("per-distance", cfg.per_distance);
+  cfg.shards = args.get_int("shards", cfg.shards);
+  cfg.partition = args.get_string("partition", cfg.partition);
   cfg.faults_file = args.get_string("faults", cfg.faults_file);
   cfg.fault_seed = static_cast<std::uint64_t>(
       args.get_int("fault-seed", static_cast<int>(cfg.fault_seed)));
@@ -179,6 +181,9 @@ BuiltExperiment build_experiment(const ExperimentConfig& cfg) {
   scfg.wake_all_at_zero = cfg.wake_all;
   scfg.probe_interval = cfg.delay;
   built.simulator = std::make_unique<sim::Simulator>(*built.graph, scfg);
+  if (cfg.shards > 0) {
+    built.simulator->configure_shards(cfg.shards, cfg.partition);
+  }
   const core::SyncParams params = built.params;
   const fault::FaultTimeline& timeline = built.timeline;
   built.simulator->set_all_nodes(

@@ -52,6 +52,12 @@ struct ExperimentConfig {
   bool wake_all = false;
   bool per_distance = false;
 
+  // Sharded engine: number of lanes (0 = classic serial engine) and the
+  // graph::Partition strategy ("block" | "bands").  Requires a delay
+  // policy with a positive min_delay() (fixed / band), checked at setup.
+  int shards = 0;
+  std::string partition = "block";
+
   // Fault injection (docs/FAULTS.md).
   std::string faults_file;       // FaultPlan text file; empty = fault-free
   std::uint64_t fault_seed = 0;  // 0 -> derive the fault streams from seed

@@ -49,7 +49,7 @@ RunResult SweepRunner::run_one(const RunSpec& spec, std::size_t index,
       topt.recovery_local_bound = r.local_bound;
     }
     analysis::SkewTracker tracker(*built.simulator, topt);
-    tracker.attach(*built.simulator);
+    tracker.attach_auto(*built.simulator);
     fault::FaultScheduler faults(built.timeline);
     if (faulty) {
       faults.set_listener([&tracker](const fault::FaultEvent&, double t) {

@@ -12,10 +12,15 @@ namespace tbcs::fault {
 ChannelFaultPolicy::ChannelFaultPolicy(std::shared_ptr<sim::DelayPolicy> inner,
                                        std::vector<ChannelWindow> windows,
                                        std::uint64_t seed)
-    : inner_(std::move(inner)), windows_(std::move(windows)), rng_(seed) {}
+    : inner_(std::move(inner)), windows_(std::move(windows)), streams_(seed) {}
 
 void ChannelFaultPolicy::set_inner(std::shared_ptr<sim::DelayPolicy> inner) {
   inner_ = std::move(inner);
+}
+
+void ChannelFaultPolicy::prepare(sim::NodeId num_nodes) {
+  streams_.materialize(num_nodes);
+  inner_->prepare(num_nodes);
 }
 
 const ChannelWindow* ChannelFaultPolicy::window_at(double t) const {
@@ -47,25 +52,26 @@ void ChannelFaultPolicy::plan_deliveries(sim::NodeId from, sim::NodeId to,
     out.push_back(pd);
     return;
   }
-  if (w->drop > 0.0 && rng_.next_double() < w->drop) {
-    ++dropped_;
+  sim::Rng& rng = streams_.stream(from);
+  if (w->drop > 0.0 && rng.next_double() < w->drop) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  if (w->jitter > 0.0) pd.at += rng_.uniform(0.0, w->jitter);
-  if (w->corrupt > 0.0 && rng_.next_double() < w->corrupt) {
-    pd.logical_delta = rng_.uniform(-w->magnitude, w->magnitude);
-    pd.logical_max_delta = rng_.uniform(-w->magnitude, w->magnitude);
-    ++corrupted_;
+  if (w->jitter > 0.0) pd.at += rng.uniform(0.0, w->jitter);
+  if (w->corrupt > 0.0 && rng.next_double() < w->corrupt) {
+    pd.logical_delta = rng.uniform(-w->magnitude, w->magnitude);
+    pd.logical_max_delta = rng.uniform(-w->magnitude, w->magnitude);
+    corrupted_.fetch_add(1, std::memory_order_relaxed);
   }
   out.push_back(pd);
-  if (w->duplicate > 0.0 && rng_.next_double() < w->duplicate) {
+  if (w->duplicate > 0.0 && rng.next_double() < w->duplicate) {
     sim::PlannedDelivery dup = pd;  // same (possibly corrupted) payload
     if (w->jitter > 0.0) {
       dup.at = inner_->delivery_time(from, to, send_time, sim) +
-               rng_.uniform(0.0, w->jitter);
+               rng.uniform(0.0, w->jitter);
     }
     out.push_back(dup);
-    ++duplicated_;
+    duplicated_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

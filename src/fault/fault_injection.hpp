@@ -36,25 +36,41 @@ class ChannelFaultPolicy final : public sim::DelayPolicy {
                        std::vector<sim::PlannedDelivery>& out) override;
   bool plans_deliveries() const override { return true; }
 
+  /// Jitter only ever *adds* delay, drops remove deliveries, and duplicate
+  /// copies inherit a fresh inner delay — so the inner policy's bound
+  /// survives the channel faults unchanged.
+  sim::Duration min_delay() const override { return inner_->min_delay(); }
+  void prepare(sim::NodeId num_nodes) override;
+
   /// The wrapped policy is swappable so record/replay decorators can be
   /// installed *inside* the channel faults (faults must perturb the
   /// recorded delays, not be perturbed by them).
   void set_inner(std::shared_ptr<sim::DelayPolicy> inner);
   const std::shared_ptr<sim::DelayPolicy>& inner() const { return inner_; }
 
-  std::uint64_t dropped() const { return dropped_; }
-  std::uint64_t duplicated() const { return duplicated_; }
-  std::uint64_t corrupted() const { return corrupted_; }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t duplicated() const {
+    return duplicated_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t corrupted() const {
+    return corrupted_.load(std::memory_order_relaxed);
+  }
 
  private:
   const ChannelWindow* window_at(double t) const;
 
   std::shared_ptr<sim::DelayPolicy> inner_;
   std::vector<ChannelWindow> windows_;
-  sim::Rng rng_;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t duplicated_ = 0;
-  std::uint64_t corrupted_ = 0;
+  // Fault draws come from the *sender's* stream (a pure function of the
+  // seed and the sender id), so the drop/jitter/corrupt/duplicate outcome
+  // of every send depends only on that sender's own send order — identical
+  // under serial and sharded execution.
+  sim::detail::PerSenderStreams streams_;
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> duplicated_{0};
+  std::atomic<std::uint64_t> corrupted_{0};
 };
 
 /// Node decorator: while active, outgoing messages carry clock values

@@ -1,0 +1,165 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace tbcs::graph {
+
+namespace {
+
+void check_args(const Graph& g, int num_shards) {
+  if (num_shards < 1) {
+    throw std::invalid_argument("Partition: num_shards must be >= 1");
+  }
+  if (num_shards > g.num_nodes()) {
+    throw std::invalid_argument(
+        "Partition: num_shards (" + std::to_string(num_shards) +
+        ") exceeds node count (" + std::to_string(g.num_nodes()) + ")");
+  }
+}
+
+}  // namespace
+
+Partition Partition::block(const Graph& g, int num_shards) {
+  check_args(g, num_shards);
+  Partition p;
+  p.num_shards_ = num_shards;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  const auto k = static_cast<std::size_t>(num_shards);
+  p.shard_of_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    // Inverse of "shard i owns [i*n/k, (i+1)*n/k)"; exact for any n, k.
+    p.shard_of_[v] = static_cast<int>(v * k / n);
+  }
+  p.finish(g);
+  return p;
+}
+
+Partition Partition::bfs_bands(const Graph& g, int num_shards) {
+  check_args(g, num_shards);
+  Partition p;
+  p.num_shards_ = num_shards;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  const auto k = static_cast<std::size_t>(num_shards);
+
+  const std::vector<int> depth = g.bfs_distances(0);
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    // Unreachable nodes (depth -1) band last, after the deepest layer.
+    const int da = depth[static_cast<std::size_t>(a)];
+    const int db = depth[static_cast<std::size_t>(b)];
+    const int ka = da < 0 ? g.num_nodes() : da;
+    const int kb = db < 0 ? g.num_nodes() : db;
+    if (ka != kb) return ka < kb;
+    return a < b;
+  });
+
+  p.shard_of_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.shard_of_[static_cast<std::size_t>(order[i])] =
+        static_cast<int>(i * k / n);
+  }
+  p.finish(g);
+  return p;
+}
+
+Partition Partition::make(const Graph& g, int num_shards,
+                          const std::string& strategy) {
+  if (strategy == "block" || strategy.empty()) return block(g, num_shards);
+  if (strategy == "bands") return bfs_bands(g, num_shards);
+  throw std::invalid_argument("Partition: unknown strategy '" + strategy +
+                              "' (expected block|bands)");
+}
+
+void Partition::finish(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  num_edges_ = g.num_edges();
+  members_.assign(static_cast<std::size_t>(num_shards_), {});
+  for (std::size_t v = 0; v < n; ++v) {
+    members_[static_cast<std::size_t>(shard_of_[v])].push_back(
+        static_cast<NodeId>(v));
+  }
+  edge_is_cut_.assign(num_edges_, false);
+  cut_edges_.clear();
+  const auto& edges = g.edges();
+  for (std::uint32_t e = 0; e < edges.size(); ++e) {
+    const auto [u, v] = edges[e];
+    const int su = shard_of_[static_cast<std::size_t>(u)];
+    const int sv = shard_of_[static_cast<std::size_t>(v)];
+    if (su == sv) continue;
+    edge_is_cut_[e] = true;
+    cut_edges_.push_back(CutEdge{e, u, v, su, sv});
+  }
+}
+
+Partition::BalanceStats Partition::balance() const {
+  BalanceStats s;
+  s.min_members = members_.empty() ? 0 : members_.front().size();
+  for (const auto& m : members_) {
+    s.min_members = std::min(s.min_members, m.size());
+    s.max_members = std::max(s.max_members, m.size());
+  }
+  const double ideal =
+      static_cast<double>(shard_of_.size()) / static_cast<double>(num_shards_);
+  s.imbalance = ideal > 0.0
+                    ? static_cast<double>(s.max_members) / ideal - 1.0
+                    : 0.0;
+  s.cut_edges = cut_edges_.size();
+  s.cut_fraction = num_edges_ > 0
+                       ? static_cast<double>(s.cut_edges) /
+                             static_cast<double>(num_edges_)
+                       : 0.0;
+  return s;
+}
+
+void Partition::validate(const Graph& g) const {
+  const auto fail = [](const std::string& what) {
+    throw std::logic_error("Partition::validate: " + what);
+  };
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  if (shard_of_.size() != n) fail("shard_of size != num_nodes");
+  std::size_t covered = 0;
+  std::vector<bool> seen(n, false);
+  for (int s = 0; s < num_shards_; ++s) {
+    const auto& m = members_[static_cast<std::size_t>(s)];
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      const auto v = static_cast<std::size_t>(m[i]);
+      if (v >= n) fail("member id out of range");
+      if (seen[v]) fail("node in two shards");
+      if (shard_of_[v] != s) fail("members/shard_of disagree");
+      if (i > 0 && m[i - 1] >= m[i]) fail("members not ascending");
+      seen[v] = true;
+      ++covered;
+    }
+  }
+  if (covered != n) fail("shards do not cover V");
+  // Cut-edge accounting: recompute from scratch and compare.
+  const auto& edges = g.edges();
+  if (edge_is_cut_.size() != edges.size()) fail("edge_is_cut size mismatch");
+  std::size_t cuts = 0;
+  for (std::uint32_t e = 0; e < edges.size(); ++e) {
+    const auto [u, v] = edges[e];
+    const bool cut = shard_of_[static_cast<std::size_t>(u)] !=
+                     shard_of_[static_cast<std::size_t>(v)];
+    if (cut != edge_is_cut_[e]) fail("edge_is_cut wrong for edge");
+    if (cut) ++cuts;
+  }
+  if (cuts != cut_edges_.size()) fail("cut_edges count mismatch");
+  for (std::size_t i = 0; i < cut_edges_.size(); ++i) {
+    const CutEdge& c = cut_edges_[i];
+    if (i > 0 && cut_edges_[i - 1].edge >= c.edge) {
+      fail("cut_edges not ascending by edge index");
+    }
+    const auto [u, v] = edges[c.edge];
+    if (c.u != u || c.v != v) fail("cut edge endpoints mismatch");
+    if (c.su != shard_of_[static_cast<std::size_t>(u)] ||
+        c.sv != shard_of_[static_cast<std::size_t>(v)]) {
+      fail("cut edge shards mismatch");
+    }
+  }
+}
+
+}  // namespace tbcs::graph

@@ -1,0 +1,102 @@
+// Node partitioning for the sharded simulator engine.
+//
+// A Partition splits V into `num_shards` disjoint, covering member sets
+// and precomputes the cut-edge table (edges whose endpoints live in
+// different shards).  The sharded engine keys its per-lane event routing
+// off shard_of(); the fault layer and the analysis layer use the same
+// assignment so every consumer agrees on which lane owns a node.
+//
+// Two strategies are provided:
+//   - block:     contiguous id ranges [i*n/k, (i+1)*n/k).  Optimal for
+//                the generated topologies (line/ring/torus/trees), whose
+//                id order is already locality-preserving — cut edges are
+//                O(k) on a line.
+//   - bfs_bands: BFS layers from node 0, grouped into k bands of roughly
+//                equal size.  Cuts follow the graph metric instead of the
+//                id order, which helps when ids are shuffled.
+//
+// Both are pure functions of (graph, num_shards) — no RNG — so a
+// partition is reproducible from the CLI flags alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tbcs::graph {
+
+class Partition {
+ public:
+  /// One undirected edge with endpoints in two different shards.
+  struct CutEdge {
+    std::uint32_t edge = kNoEdge;  // index into Graph::edges()
+    NodeId u = -1;                 // endpoint in shard su
+    NodeId v = -1;                 // endpoint in shard sv
+    int su = -1;
+    int sv = -1;
+  };
+
+  struct BalanceStats {
+    std::size_t min_members = 0;
+    std::size_t max_members = 0;
+    double imbalance = 0.0;  // max_members / (n / k) - 1, 0 = perfect
+    std::size_t cut_edges = 0;
+    double cut_fraction = 0.0;  // cut_edges / |E|
+  };
+
+  /// Contiguous-block partition: shard i owns ids [i*n/k, (i+1)*n/k).
+  static Partition block(const Graph& g, int num_shards);
+
+  /// BFS-band partition: nodes sorted by (BFS depth from node 0, id),
+  /// then split into k contiguous bands of balanced size.
+  static Partition bfs_bands(const Graph& g, int num_shards);
+
+  /// Dispatch by strategy name ("block" | "bands"); throws
+  /// std::invalid_argument on an unknown name or num_shards < 1 or
+  /// num_shards > n.
+  static Partition make(const Graph& g, int num_shards,
+                        const std::string& strategy);
+
+  int num_shards() const { return num_shards_; }
+  NodeId num_nodes() const { return static_cast<NodeId>(shard_of_.size()); }
+
+  int shard_of(NodeId v) const {
+    return shard_of_[static_cast<std::size_t>(v)];
+  }
+  const std::vector<int>& shard_assignment() const { return shard_of_; }
+
+  /// Members of shard s, ascending by node id.
+  const std::vector<NodeId>& members(int s) const {
+    return members_[static_cast<std::size_t>(s)];
+  }
+
+  /// All cut edges, ascending by edge index.
+  const std::vector<CutEdge>& cut_edges() const { return cut_edges_; }
+
+  /// True when edge e (index into Graph::edges()) crosses shards.  O(1).
+  bool edge_is_cut(std::uint32_t e) const {
+    return edge_is_cut_[static_cast<std::size_t>(e)];
+  }
+
+  BalanceStats balance() const;
+
+  /// Sanity-checks coverage, disjointness, member ordering, and cut-edge
+  /// accounting against the graph; throws std::logic_error on violation.
+  /// Called by the tests; cheap enough to call from the CLI too.
+  void validate(const Graph& g) const;
+
+ private:
+  Partition() = default;
+  void finish(const Graph& g);  // fills members_/cut tables from shard_of_
+
+  int num_shards_ = 0;
+  std::size_t num_edges_ = 0;
+  std::vector<int> shard_of_;              // node -> shard
+  std::vector<std::vector<NodeId>> members_;
+  std::vector<CutEdge> cut_edges_;
+  std::vector<bool> edge_is_cut_;          // edge index -> crosses shards
+};
+
+}  // namespace tbcs::graph

@@ -6,6 +6,7 @@
 // clocks) — the adversary of the model is omniscient; algorithms are not.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <memory>
@@ -49,6 +50,18 @@ class DelayPolicy {
   /// True when plan_deliveries() may drop, duplicate, or corrupt.  Cached
   /// by the simulator at set_delay_policy() time.
   virtual bool plans_deliveries() const { return false; }
+
+  /// A guaranteed lower bound on every delivery delay this policy can
+  /// produce (the sharded engine's lookahead: the conservative time window
+  /// can safely extend min_delay() past the earliest pending event).
+  /// Policies that cannot certify a positive bound return 0.0, which
+  /// disables sharded execution.
+  virtual Duration min_delay() const { return 0.0; }
+
+  /// Called once by the simulator before the first event, with the node
+  /// count.  Randomized policies materialize their per-sender streams here
+  /// so that concurrent shards never share (or lazily grow) RNG state.
+  virtual void prepare(NodeId num_nodes) { (void)num_nodes; }
 };
 
 /// Every message takes exactly `delay` time.
@@ -59,10 +72,42 @@ class FixedDelay final : public DelayPolicy {
                          const Simulator&) override {
     return send_time + delay_;
   }
+  Duration min_delay() const override { return delay_; }
 
  private:
   Duration delay_;
 };
+
+namespace detail {
+
+/// Per-sender RNG streams: stream v is a pure function of (seed, v), and
+/// every draw for messages sent by v happens in v's own processing order —
+/// so the draw sequence is independent of how sends from *different* nodes
+/// interleave (serial vs sharded runs see identical delays).  Streams are
+/// materialized up front by prepare(); the lazy path only serves policies
+/// used standalone (tests), which are single-threaded.
+class PerSenderStreams {
+ public:
+  explicit PerSenderStreams(std::uint64_t seed) : root_(seed) {}
+
+  void materialize(NodeId num_nodes) {
+    while (streams_.size() < static_cast<std::size_t>(num_nodes)) {
+      streams_.push_back(root_.split(streams_.size() + 1));
+    }
+  }
+
+  Rng& stream(NodeId from) {
+    const auto idx = static_cast<std::size_t>(from);
+    if (idx >= streams_.size()) materialize(from + 1);
+    return streams_[idx];
+  }
+
+ private:
+  Rng root_;
+  std::vector<Rng> streams_;
+};
+
+}  // namespace detail
 
 /// Delays drawn i.i.d. uniform from [lo, hi].  With lo = 0, hi = T this is
 /// the full adversary range chosen at random; with 0 < lo it models the
@@ -70,15 +115,17 @@ class FixedDelay final : public DelayPolicy {
 class UniformDelay final : public DelayPolicy {
  public:
   UniformDelay(Duration lo, Duration hi, std::uint64_t seed)
-      : lo_(lo), hi_(hi), rng_(seed) {}
-  RealTime delivery_time(NodeId, NodeId, RealTime send_time,
+      : lo_(lo), hi_(hi), streams_(seed) {}
+  RealTime delivery_time(NodeId from, NodeId, RealTime send_time,
                          const Simulator&) override {
-    return send_time + rng_.uniform(lo_, hi_);
+    return send_time + streams_.stream(from).uniform(lo_, hi_);
   }
+  Duration min_delay() const override { return lo_; }
+  void prepare(NodeId num_nodes) override { streams_.materialize(num_nodes); }
 
  private:
   Duration lo_, hi_;
-  Rng rng_;
+  detail::PerSenderStreams streams_;
 };
 
 /// Direction-dependent delays: messages for which `classify(from, to)`
@@ -94,6 +141,7 @@ class DirectionalDelay final : public DelayPolicy {
                          const Simulator&) override {
     return send_time + (classify_(from, to) ? fast_ : slow_);
   }
+  Duration min_delay() const override { return std::min(fast_, slow_); }
 
  private:
   Classifier classify_;
@@ -106,16 +154,19 @@ class DirectionalDelay final : public DelayPolicy {
 class BimodalDelay final : public DelayPolicy {
  public:
   BimodalDelay(Duration fast, Duration slow, double p_slow, std::uint64_t seed)
-      : fast_(fast), slow_(slow), p_slow_(p_slow), rng_(seed) {}
-  RealTime delivery_time(NodeId, NodeId, RealTime send_time,
+      : fast_(fast), slow_(slow), p_slow_(p_slow), streams_(seed) {}
+  RealTime delivery_time(NodeId from, NodeId, RealTime send_time,
                          const Simulator&) override {
-    return send_time + (rng_.next_double() < p_slow_ ? slow_ : fast_);
+    return send_time +
+           (streams_.stream(from).next_double() < p_slow_ ? slow_ : fast_);
   }
+  Duration min_delay() const override { return std::min(fast_, slow_); }
+  void prepare(NodeId num_nodes) override { streams_.materialize(num_nodes); }
 
  private:
   Duration fast_, slow_;
   double p_slow_;
-  Rng rng_;
+  detail::PerSenderStreams streams_;
 };
 
 /// Burst delays: alternates between calm windows (delays ~ lo) and burst
@@ -125,18 +176,21 @@ class BurstDelay final : public DelayPolicy {
  public:
   BurstDelay(Duration lo, Duration hi, Duration period, Duration burst_len,
              std::uint64_t seed)
-      : lo_(lo), hi_(hi), period_(period), burst_len_(burst_len), rng_(seed) {}
-  RealTime delivery_time(NodeId, NodeId, RealTime send_time,
+      : lo_(lo), hi_(hi), period_(period), burst_len_(burst_len),
+        streams_(seed) {}
+  RealTime delivery_time(NodeId from, NodeId, RealTime send_time,
                          const Simulator&) override {
     const double phase = send_time - period_ * std::floor(send_time / period_);
     const bool burst = phase < burst_len_;
     const double base = burst ? hi_ : lo_;
-    return send_time + rng_.uniform(0.8 * base, base);
+    return send_time + streams_.stream(from).uniform(0.8 * base, base);
   }
+  Duration min_delay() const override { return 0.8 * std::min(lo_, hi_); }
+  void prepare(NodeId num_nodes) override { streams_.materialize(num_nodes); }
 
  private:
   Duration lo_, hi_, period_, burst_len_;
-  Rng rng_;
+  detail::PerSenderStreams streams_;
 };
 
 /// Fully custom policy from a callable.

@@ -1,6 +1,12 @@
-// The simulator's event queue: an implicit 4-ary heap ordered by (time,
-// sequence number), giving deterministic FIFO semantics for simultaneous
-// events.
+// The simulator's event queue: an implicit 4-ary heap ordered by the
+// schedule-order-independent event key (time, source node, per-source
+// sequence number).  Ties at equal times are broken by who *caused* the
+// event (and that node's own creation order), never by global insertion
+// order — so the pop sequence is a pure function of the event set, no
+// matter how pushes from different shards interleave.  Events caused by
+// the same source still pop FIFO (same source => increasing seq), which
+// is what keeps crash-before-link-down and links-up-before-recover
+// orderings intact.
 //
 // Events are 48 bytes: message payloads live in a MessageSlab (the event
 // carries a handle) and the kind-specific fields overlay each other, so a
@@ -36,7 +42,7 @@ enum class EventKind : std::uint8_t {
 
 struct Event {
   RealTime time = 0.0;
-  std::uint64_t seq = 0;  // creation order; tie-breaker (set by the queue)
+  std::uint64_t seq = 0;  // per-source creation order (stamped by the simulator)
   union {
     double rate;                // kRateChange: the new hardware rate
     std::uint64_t generation;   // kTimer: live-generation stamp
@@ -47,10 +53,16 @@ struct Event {
     MessageSlab::Handle msg;    // kMessageDelivery: payload handle
   };
   std::uint32_t edge = 0xffffffffu;  // kMessageDelivery / kLinkChange
+  NodeId source = kInvalidNode;  // causing node (kInvalidNode: system, e.g. probes)
   EventKind kind = EventKind::kProbe;
   std::uint8_t slot = 0;         // kTimer
   bool link_up = true;           // kLinkChange: target state
   bool rate_from_policy = true;  // injected rate changes do not re-poll the policy
+  // Sharded engine: the mirror copy of a cut-edge link change, processed in
+  // the second endpoint's shard.  Carries the same (time, source, seq) key
+  // as its primary; flips only the local link state and runs only the local
+  // endpoint's callback, and is excluded from event/trace accounting.
+  bool twin = false;
 
   Event() : rate(1.0), node2(kInvalidNode) {}
 };
@@ -66,7 +78,6 @@ class EventQueue {
   };
 
   void push(Event e) {
-    e.seq = next_seq_++;
     heap_.push_back(e);
     sift_up(heap_.size() - 1);
     ++stats_.pushes;
@@ -90,8 +101,8 @@ class EventQueue {
     return out;
   }
 
-  /// Empties the queue.  Sequence numbers keep increasing monotonically so
-  /// FIFO tie-breaks stay correct across a clear.
+  /// Empties the queue.  Event keys are stamped by the producer, so
+  /// ordering stays correct across a clear.
   void clear() { heap_.clear(); }
 
   const Stats& stats() const { return stats_; }
@@ -101,7 +112,9 @@ class EventQueue {
 
   static bool before(const Event& a, const Event& b) {
     if (a.time != b.time) return a.time < b.time;
-    return a.seq < b.seq;
+    if (a.source != b.source) return a.source < b.source;
+    if (a.seq != b.seq) return a.seq < b.seq;
+    return a.twin < b.twin;  // a cut-edge mirror sorts after its primary
   }
 
   void sift_up(std::size_t i) {
@@ -134,7 +147,6 @@ class EventQueue {
   }
 
   std::vector<Event> heap_;
-  std::uint64_t next_seq_ = 0;
   Stats stats_;
 };
 

@@ -1,9 +1,12 @@
 #include "sim/recorder.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <string>
+#include <tuple>
 
 namespace tbcs::sim {
 
@@ -13,17 +16,32 @@ constexpr char kMagic[] = "tbcs-execution-log v1";
 
 // ---- serialization -----------------------------------------------------------
 
+void ExecutionLog::canonicalize() {
+  std::sort(rate_events.begin(), rate_events.end(),
+            [](const RateEvent& a, const RateEvent& b) {
+              return std::tie(a.at, a.node, a.rate) <
+                     std::tie(b.at, b.node, b.rate);
+            });
+  std::sort(deliveries.begin(), deliveries.end(),
+            [](const DeliveryEvent& a, const DeliveryEvent& b) {
+              return std::tie(a.send, a.from, a.to, a.recv) <
+                     std::tie(b.send, b.from, b.to, b.recv);
+            });
+}
+
 void ExecutionLog::save(std::ostream& os) const {
+  ExecutionLog canon = *this;
+  canon.canonicalize();
   os.precision(17);
   os << kMagic << '\n';
-  os << "rates " << initial_rates.size() << '\n';
-  for (const double r : initial_rates) os << r << '\n';
-  os << "rate_events " << rate_events.size() << '\n';
-  for (const auto& e : rate_events) {
+  os << "rates " << canon.initial_rates.size() << '\n';
+  for (const double r : canon.initial_rates) os << r << '\n';
+  os << "rate_events " << canon.rate_events.size() << '\n';
+  for (const auto& e : canon.rate_events) {
     os << e.node << ' ' << e.at << ' ' << e.rate << '\n';
   }
-  os << "deliveries " << deliveries.size() << '\n';
-  for (const auto& d : deliveries) {
+  os << "deliveries " << canon.deliveries.size() << '\n';
+  for (const auto& d : canon.deliveries) {
     os << d.from << ' ' << d.to << ' ' << d.send << ' ' << d.recv << '\n';
   }
 }
@@ -68,6 +86,7 @@ ExecutionLog ExecutionLog::load(std::istream& is) {
 
 double RecordingDriftPolicy::initial_rate(NodeId v) {
   const double rate = inner_->initial_rate(v);
+  std::lock_guard<std::mutex> lock(mu_);
   auto& rates = log_->initial_rates;
   if (rates.size() <= static_cast<std::size_t>(v)) {
     rates.resize(static_cast<std::size_t>(v) + 1, 1.0);
@@ -79,7 +98,10 @@ double RecordingDriftPolicy::initial_rate(NodeId v) {
 std::optional<RateStep> RecordingDriftPolicy::next_change(NodeId v,
                                                           RealTime now) {
   const auto step = inner_->next_change(v, now);
-  if (step) log_->rate_events.push_back({v, step->at, step->rate});
+  if (step) {
+    std::lock_guard<std::mutex> lock(mu_);
+    log_->rate_events.push_back({v, step->at, step->rate});
+  }
   return step;
 }
 
@@ -87,7 +109,10 @@ RealTime RecordingDelayPolicy::delivery_time(NodeId from, NodeId to,
                                              RealTime send_time,
                                              const Simulator& sim) {
   const RealTime recv = inner_->delivery_time(from, to, send_time, sim);
-  log_->deliveries.push_back({from, to, send_time, recv});
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    log_->deliveries.push_back({from, to, send_time, recv});
+  }
   return recv;
 }
 
@@ -115,9 +140,12 @@ std::optional<RateStep> ReplayDriftPolicy::next_change(NodeId v, RealTime) {
 ReplayDelayPolicy::ReplayDelayPolicy(std::shared_ptr<const ExecutionLog> log,
                                      double tolerance)
     : log_(std::move(log)), tolerance_(tolerance) {
+  double lo = std::numeric_limits<double>::infinity();
   for (const auto& d : log_->deliveries) {
     pending_[{d.from, d.to}].pending.push_back(d);
+    lo = std::min(lo, d.recv - d.send);
   }
+  min_delay_ = (std::isfinite(lo) && lo > 0.0) ? lo : 0.0;
 }
 
 RealTime ReplayDelayPolicy::delivery_time(NodeId from, NodeId to,
@@ -146,7 +174,7 @@ RealTime ReplayDelayPolicy::delivery_time(NodeId from, NodeId to,
         " (|delta| = " + std::to_string(std::abs(d.send - send_time)) +
         " > tolerance " + std::to_string(tolerance_) + ")");
   }
-  ++matched_;
+  matched_.fetch_add(1, std::memory_order_relaxed);
   return d.recv;
 }
 

@@ -15,11 +15,13 @@
 // code change altered behavior under a pinned adversary).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -48,6 +50,15 @@ struct ExecutionLog {
   std::vector<RateEvent> rate_events;
   std::vector<DeliveryEvent> deliveries;
 
+  /// Sorts rate_events by (at, node, rate) and deliveries by (send, from,
+  /// to, recv) — the schedule-order-independent event key.  A sharded run
+  /// appends in whatever order its lanes interleave; after canonicalize()
+  /// the log is byte-identical to the serial recording of the same
+  /// execution.  Per-directed-edge FIFO replay survives the sort: within
+  /// one edge the order is by send time, which is exactly the match order.
+  void canonicalize();
+
+  /// Saves a canonicalized copy (the in-memory order is left untouched).
   void save(std::ostream& os) const;
   static ExecutionLog load(std::istream& is);  // throws std::runtime_error
 
@@ -74,6 +85,7 @@ class RecordingDriftPolicy final : public DriftPolicy {
  private:
   std::shared_ptr<DriftPolicy> inner_;
   std::shared_ptr<ExecutionLog> log_;
+  std::mutex mu_;  // sharded runs record from several lanes concurrently
 };
 
 /// Wraps a delay policy, recording every delivery into `log`.
@@ -85,10 +97,13 @@ class RecordingDelayPolicy final : public DelayPolicy {
 
   RealTime delivery_time(NodeId from, NodeId to, RealTime send_time,
                          const Simulator& sim) override;
+  Duration min_delay() const override { return inner_->min_delay(); }
+  void prepare(NodeId num_nodes) override { inner_->prepare(num_nodes); }
 
  private:
   std::shared_ptr<DelayPolicy> inner_;
   std::shared_ptr<ExecutionLog> log_;
+  std::mutex mu_;  // sharded runs record from several lanes concurrently
 };
 
 /// Replays the recorded rate schedule.
@@ -117,9 +132,16 @@ class ReplayDelayPolicy final : public DelayPolicy {
   RealTime delivery_time(NodeId from, NodeId to, RealTime send_time,
                          const Simulator& sim) override;
 
+  /// The smallest recorded (recv - send) across the whole log: replaying
+  /// inherits the recorded execution's lookahead, so a sharded replay is
+  /// possible whenever the recorded delays were bounded away from zero.
+  Duration min_delay() const override { return min_delay_; }
+
   /// Deliveries matched so far (across all edges); a healthy full replay
   /// ends with deliveries_matched() == log->deliveries.size().
-  std::uint64_t deliveries_matched() const { return matched_; }
+  std::uint64_t deliveries_matched() const {
+    return matched_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct EdgeQueue {
@@ -129,7 +151,11 @@ class ReplayDelayPolicy final : public DelayPolicy {
 
   std::shared_ptr<const ExecutionLog> log_;
   double tolerance_;
-  std::uint64_t matched_ = 0;
+  Duration min_delay_ = 0.0;
+  // Relaxed atomic: per-edge queues are touched only by the sender's lane
+  // (the map itself is immutable after construction), but the global match
+  // counter is shared by all lanes.
+  std::atomic<std::uint64_t> matched_{0};
   std::map<std::pair<NodeId, NodeId>, EdgeQueue> pending_;
 };
 

@@ -3,20 +3,22 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 
 #include "obs/flight_recorder.hpp"
 
 namespace tbcs::sim {
 
 // NodeServices implementation handed to node callbacks; one instance lives
-// for the simulator's lifetime and is re-pinned to the calling node, so the
-// per-event switch constructs nothing.
+// per lane and is re-pinned to the calling node, so the per-event switch
+// constructs nothing.
 class Simulator::ServicesImpl final : public NodeServices {
  public:
-  explicit ServicesImpl(Simulator& sim) : sim_(sim) {}
+  ServicesImpl(Simulator& sim, Lane& lane) : sim_(sim), lane_(lane) {}
 
   NodeServices& pin(NodeId v) {
     v_ = v;
@@ -25,30 +27,72 @@ class Simulator::ServicesImpl final : public NodeServices {
 
   NodeId id() const override { return v_; }
   ClockValue hardware_now() const override {
-    return sim_.per_node_[static_cast<std::size_t>(v_)].clock.value_at(sim_.now_);
+    return sim_.per_node_[static_cast<std::size_t>(v_)].clock.value_at(
+        lane_.now);
   }
-  void broadcast(const Message& m) override { sim_.do_broadcast(v_, m); }
+  void broadcast(const Message& m) override {
+    sim_.do_broadcast(lane_, v_, m);
+  }
   void set_timer(int slot, ClockValue target) override {
-    sim_.arm_timer(v_, slot, target);
+    sim_.arm_timer(lane_, v_, slot, target);
   }
   void cancel_timer(int slot) override { sim_.disarm_timer(v_, slot); }
 
  private:
   Simulator& sim_;
+  Lane& lane_;
   NodeId v_ = kInvalidNode;
 };
+
+Simulator::Lane::Lane() = default;
+Simulator::Lane::~Lane() = default;
+Simulator::Lane::Lane(Lane&&) noexcept = default;
+Simulator::Lane& Simulator::Lane::operator=(Lane&&) noexcept = default;
 
 Simulator::Simulator(const graph::Graph& g, SimConfig cfg)
     : graph_(g),
       csr_(g.csr()),
       cfg_(cfg),
       per_node_(static_cast<std::size_t>(g.num_nodes())),
-      link_up_(g.num_edges(), 1),
       drift_(std::make_shared<ConstantDrift>(1.0)),
-      delay_(std::make_shared<FixedDelay>(0.0)),
-      services_(std::make_unique<ServicesImpl>(*this)) {}
+      delay_(std::make_shared<FixedDelay>(0.0)) {
+  // Sized here, not in setup(): schedule_link_change()/schedule_crash()
+  // stamp event keys before the first run_until(), and the counters must
+  // never reset once keys have been handed out.
+  next_seq_.assign(static_cast<std::size_t>(g.num_nodes()) + 1, 0);
+  init_lanes(1);
+}
 
-Simulator::~Simulator() = default;
+Simulator::~Simulator() { stop_workers(); }
+
+void Simulator::init_lanes(std::size_t count) {
+  lanes_ = std::vector<Lane>(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Lane& ln = lanes_[i];
+    ln.index = static_cast<int>(i);
+    ln.link_up.assign(graph_.num_edges(), 1);
+    ln.outbox.resize(count);
+    ln.services = std::make_unique<ServicesImpl>(*this, ln);
+  }
+}
+
+void Simulator::configure_shards(int shards, const std::string& strategy) {
+  if (setup_done_) {
+    throw std::logic_error(
+        "Simulator::configure_shards must be called before the first run");
+  }
+  if (shards <= 0) {
+    windowed_ = false;
+    part_.reset();
+    init_lanes(1);
+    return;
+  }
+  part_ = std::make_unique<graph::Partition>(
+      graph::Partition::make(graph_, shards, strategy));
+  windowed_ = true;
+  link_up_.assign(graph_.num_edges(), 1);
+  init_lanes(static_cast<std::size_t>(shards));
+}
 
 void Simulator::set_node(NodeId v, std::unique_ptr<Node> node) {
   assert(!setup_done_ && "nodes must be installed before the first run");
@@ -70,17 +114,35 @@ void Simulator::set_delay_policy(std::shared_ptr<DelayPolicy> policy) {
   delay_plans_ = delay_->plans_deliveries();
 }
 
-void Simulator::set_observer(Observer observer) { observer_ = std::move(observer); }
+void Simulator::set_observer(Observer observer) {
+  observer_ = std::move(observer);
+}
 
-ClockValue Simulator::logical(NodeId v) const {
+void Simulator::set_window_observer(WindowObserver observer) {
+  window_observer_ = std::move(observer);
+}
+
+ClockValue Simulator::logical_at(NodeId v, RealTime t) const {
   const PerNode& pn = per_node_[static_cast<std::size_t>(v)];
   if (!pn.awake) return 0.0;
-  return pn.node->logical_at(pn.clock.value_at(now_));
+  return pn.node->logical_at(pn.clock.value_at(t));
 }
+
+ClockValue Simulator::logical(NodeId v) const { return logical_at(v, now_); }
 
 void Simulator::setup() {
   if (setup_done_) return;
   setup_done_ = true;
+  delay_->prepare(graph_.num_nodes());
+  if (windowed_) {
+    lookahead_ = delay_->min_delay();
+    if (!(lookahead_ > 0.0)) {
+      throw std::invalid_argument(
+          "Simulator: sharded execution requires a delay policy that "
+          "certifies a positive min_delay() lookahead (fixed or "
+          "lower-bounded delays); this policy cannot");
+    }
+  }
   for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
     PerNode& pn = per_node_[static_cast<std::size_t>(v)];
     if (!pn.node) {
@@ -91,34 +153,384 @@ void Simulator::setup() {
     schedule_next_rate_change(v, 0.0);
   }
   if (cfg_.wake_all_at_zero) {
-    for (NodeId v = 0; v < graph_.num_nodes(); ++v) wake_node(v, nullptr);
+    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      wake_node(lane_of(v), v, nullptr);
+    }
   } else {
-    wake_node(cfg_.root, nullptr);
+    wake_node(lane_of(cfg_.root), cfg_.root, nullptr);
     for (const NodeId v : cfg_.extra_roots) {
-      if (!per_node_[static_cast<std::size_t>(v)].awake) wake_node(v, nullptr);
+      if (!per_node_[static_cast<std::size_t>(v)].awake) {
+        wake_node(lane_of(v), v, nullptr);
+      }
     }
   }
   if (cfg_.probe_interval > 0.0) {
-    Event probe;
-    probe.time = cfg_.probe_interval;
-    probe.kind = EventKind::kProbe;
-    queue_.push(probe);
+    if (windowed_) {
+      // Probes never enter a lane queue: the coordinator holds the next
+      // probe time and fires it at the matching window barrier.
+      probe_next_ = cfg_.probe_interval;
+      ++probe_canon_pushes_;
+    } else {
+      Event probe;
+      probe.time = cfg_.probe_interval;
+      probe.kind = EventKind::kProbe;
+      push_event(probe, kInvalidNode);
+    }
   }
 }
+
+// ---- event creation ---------------------------------------------------------
+
+void Simulator::push_event(Event e, NodeId source) {
+  stamp(e, source);
+  Lane& dest = lane_of(e.node);
+  dest.queue.push(e);
+  if (windowed_) ++dest.canon_pushes;
+}
+
+void Simulator::push_link_change(Event e, NodeId source) {
+  stamp(e, source);
+  Lane& dest = lane_of(e.node);
+  dest.queue.push(e);
+  if (windowed_) {
+    ++dest.canon_pushes;
+    Lane& other = lane_of(e.node2);
+    if (&other != &dest) {
+      // Cut edge: mirror the flip into the second endpoint's lane under the
+      // same key so both lanes apply it at the same point of their local
+      // order.  The twin is excluded from all canonical accounting.
+      Event tw = e;
+      tw.twin = true;
+      other.queue.push(tw);
+      ++other.twins_in_queue;
+    }
+  }
+}
+
+void Simulator::push_delivery(Lane& ln, Event e, NodeId source,
+                              const Message& m) {
+  stamp(e, source);
+  if (!windowed_) {
+    e.msg = ln.slab.put(m);
+    ln.queue.push(e);
+    return;
+  }
+  ++ln.canon_pushes;
+  Lane& dest = lanes_[static_cast<std::size_t>(part_->shard_of(e.node))];
+  if (&dest == &ln || !in_window_) {
+    // Local delivery, or coordinator context (setup / between windows):
+    // straight into the destination queue.
+    e.msg = dest.slab.put(m);
+    dest.queue.push(e);
+  } else {
+    // Cross-shard: the conservative horizon guarantees e.time >= W_end, so
+    // parking it in the outbox until the barrier loses nothing.
+    ln.outbox[static_cast<std::size_t>(dest.index)].push_back(
+        Lane::OutMsg{e, m});
+  }
+}
+
+// ---- execution --------------------------------------------------------------
 
 void Simulator::run_until(RealTime t_end) {
   setup();
-  while (!queue_.empty() && queue_.top().time <= t_end) {
-    Event e = queue_.pop();
+  if (windowed_) {
+    run_windowed(t_end);
+    return;
+  }
+  Lane& ln = lanes_[0];
+  while (!ln.queue.empty() && ln.queue.top().time <= t_end) {
+    Event e = ln.queue.pop();
     assert(e.time >= now_ - kTimeTolerance && "event queue went backwards");
     now_ = std::max(now_, e.time);
-    process(e);
+    ln.now = now_;
+    ++ln.events;
+    const bool observable = process(ln, e);
+    if (observable && observer_) observer_(*this, now_);
+    if (progress_interval_ > 0.0 && (ln.events & 0x3fffu) == 0) {
+      maybe_progress(false);
+    }
   }
   now_ = std::max(now_, t_end);
+  ln.now = now_;
 }
 
-void Simulator::process(Event& e) {
-  ++events_processed_;
+void Simulator::run_windowed(RealTime t_end) {
+  start_workers();
+  const bool probe_active = cfg_.probe_interval > 0.0;
+  for (;;) {
+    RealTime t_next = kInfinity;
+    for (const Lane& ln : lanes_) {
+      if (!ln.queue.empty()) t_next = std::min(t_next, ln.queue.top().time);
+    }
+    if (probe_active) t_next = std::min(t_next, probe_next_);
+    if (t_next > t_end) break;
+    // Safe horizon: nothing processed before W_end can cause an event
+    // before W_end in another lane (every cross-shard delivery adds at
+    // least the lookahead).  Probes and the caller's horizon clip it; the
+    // final window is inclusive so events at exactly t_end are processed,
+    // matching the serial engine's run_until contract.
+    RealTime w_end = std::min(t_next + lookahead_, t_end);
+    if (probe_active) w_end = std::min(w_end, probe_next_);
+    const bool probe_fires = probe_active && w_end == probe_next_;
+    win_end_ = w_end;
+    win_inclusive_ = !probe_fires && w_end == t_end;
+    run_window_parallel();
+    barrier_flush(w_end, probe_fires);
+  }
+  now_ = std::max(now_, t_end);
+  for (Lane& ln : lanes_) ln.now = now_;
+}
+
+void Simulator::process_window(Lane& ln) {
+  while (!ln.queue.empty()) {
+    const Event& top = ln.queue.top();
+    if (win_inclusive_ ? top.time > win_end_ : top.time >= win_end_) break;
+    Event e = ln.queue.pop();
+    assert(e.time >= ln.now - kTimeTolerance && "lane queue went backwards");
+    ln.now = std::max(ln.now, e.time);
+    if (e.twin) {
+      // Mirror copy of a cut-edge link change: flip the local view and run
+      // the local endpoint's callback; the primary does all accounting.
+      --ln.twins_in_queue;
+      apply_link_change(ln, e);
+      continue;
+    }
+    ++ln.canon_pops;
+    ++ln.events;
+    ln.cur_time = e.time;
+    ln.cur_source = e.source;
+    ln.cur_seq = e.seq;
+    ln.cur_sub = 0;
+    const bool observable = process(ln, e);
+    if (observable) {
+      const LastEvent& le = ln.last_event;
+      if (le.node != kInvalidNode) {
+        ln.touched.push_back(WindowTouch{le.node, le.woke});
+      }
+      if (le.node2 != kInvalidNode) {
+        ln.touched.push_back(WindowTouch{le.node2, false});
+      }
+    }
+  }
+}
+
+void Simulator::run_window_parallel() {
+  if (lanes_.size() == 1) {
+    in_window_ = true;
+    try {
+      process_window(lanes_[0]);
+    } catch (...) {
+      in_window_ = false;
+      throw;
+    }
+    in_window_ = false;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(win_mu_);
+    win_done_ = 0;
+    in_window_ = true;
+    ++win_gen_;
+  }
+  win_cv_.notify_all();
+  try {
+    process_window(lanes_[0]);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(win_mu_);
+    if (!win_error_) win_error_ = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lk(win_mu_);
+    done_cv_.wait(lk, [&] {
+      return win_done_ == static_cast<int>(lanes_.size()) - 1;
+    });
+    in_window_ = false;
+    if (win_error_) {
+      std::exception_ptr err = win_error_;
+      win_error_ = nullptr;
+      lk.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+void Simulator::start_workers() {
+  if (!workers_.empty() || lanes_.size() <= 1) return;
+  workers_.reserve(lanes_.size() - 1);
+  for (std::size_t i = 1; i < lanes_.size(); ++i) {
+    workers_.emplace_back([this, i] {
+      std::uint64_t seen = 0;
+      for (;;) {
+        {
+          std::unique_lock<std::mutex> lk(win_mu_);
+          win_cv_.wait(lk, [&] { return shutdown_ || win_gen_ != seen; });
+          if (shutdown_) return;
+          seen = win_gen_;
+        }
+        try {
+          process_window(lanes_[i]);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(win_mu_);
+          if (!win_error_) win_error_ = std::current_exception();
+        }
+        {
+          std::lock_guard<std::mutex> lk(win_mu_);
+          ++win_done_;
+        }
+        done_cv_.notify_one();
+      }
+    });
+  }
+}
+
+void Simulator::stop_workers() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(win_mu_);
+    shutdown_ = true;
+  }
+  win_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  shutdown_ = false;
+}
+
+std::size_t Simulator::canonical_pending() const {
+  std::size_t pending = 0;
+  for (const Lane& ln : lanes_) {
+    pending += ln.queue.size() - ln.twins_in_queue;
+  }
+  if (probe_next_ < kInfinity) ++pending;
+  return pending;
+}
+
+void Simulator::merge_lane_traces() {
+  const auto key_less = [](const TraceEntry& x, const TraceEntry& y) {
+    if (x.key_time != y.key_time) return x.key_time < y.key_time;
+    if (x.key_source != y.key_source) return x.key_source < y.key_source;
+    if (x.key_seq != y.key_seq) return x.key_seq < y.key_seq;
+    return x.key_sub < y.key_sub;
+  };
+  // K-way merge over per-lane buffers kept in processing order.  Buffer
+  // order within a lane encodes creation causality (an event's records
+  // never precede its creator's), so comparing only the fronts by key
+  // reconstructs exactly the order a single-queue run would have emitted.
+  std::vector<std::size_t> pos(lanes_.size(), 0);
+  for (;;) {
+    int best = -1;
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      if (pos[i] >= lanes_[i].trace.size()) continue;
+      if (best < 0 ||
+          key_less(lanes_[i].trace[pos[i]],
+                   lanes_[static_cast<std::size_t>(best)]
+                       .trace[pos[static_cast<std::size_t>(best)]])) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    const std::size_t b = static_cast<std::size_t>(best);
+    const TraceEntry& te = lanes_[b].trace[pos[b]++];
+    recorder_->record(static_cast<obs::TracePoint>(te.tp), te.t, te.node,
+                      te.edge, te.a, te.b, te.flags, te.aux);
+  }
+  for (Lane& ln : lanes_) ln.trace.clear();
+}
+
+void Simulator::barrier_flush(RealTime w_end, bool probe_fires) {
+  // 1. Cross-shard mailboxes: payloads move into the destination slab and
+  // the stamped events join the destination queue (push order is
+  // irrelevant — pop order is a pure function of the keys).
+  for (Lane& src : lanes_) {
+    for (std::size_t d = 0; d < lanes_.size(); ++d) {
+      for (Lane::OutMsg& om : src.outbox[d]) {
+        om.event.msg = lanes_[d].slab.put(om.payload);
+        lanes_[d].queue.push(om.event);
+      }
+      src.outbox[d].clear();
+    }
+  }
+  // 2. Cut-edge flips fold into the barrier-reconciled global view, in key
+  // order so multiple flips of one edge within a window settle correctly.
+  std::size_t n_flips = 0;
+  for (const Lane& ln : lanes_) n_flips += ln.flips.size();
+  if (n_flips > 0) {
+    std::vector<Lane::LinkFlip> flips;
+    flips.reserve(n_flips);
+    for (Lane& ln : lanes_) {
+      flips.insert(flips.end(), ln.flips.begin(), ln.flips.end());
+      ln.flips.clear();
+    }
+    std::sort(flips.begin(), flips.end(),
+              [](const Lane::LinkFlip& a, const Lane::LinkFlip& b) {
+                return std::tie(a.time, a.source, a.seq) <
+                       std::tie(b.time, b.source, b.seq);
+              });
+    for (const Lane::LinkFlip& f : flips) {
+      link_up_[f.edge] = f.up ? 1 : 0;
+    }
+  }
+  // 3. Flight-recorder records, merged in canonical order.
+  if (obs::kTraceCompiled && recorder_ != nullptr) {
+    merge_lane_traces();
+  } else {
+    for (Lane& ln : lanes_) ln.trace.clear();
+  }
+  // 4. Advance time, then fire the probe scheduled for this barrier.
+  now_ = w_end;
+  for (Lane& ln : lanes_) ln.now = w_end;
+  if (probe_fires) {
+    if (obs::kTraceCompiled && recorder_ != nullptr) {
+      recorder_->record(obs::TracePoint::kProbe, w_end, kInvalidNode,
+                        obs::kNoTraceEdge, 0.0, 0.0, 0,
+                        static_cast<std::uint32_t>(canonical_pending()));
+    }
+    ++probe_events_;
+    ++probe_canon_pops_;
+    ++probe_canon_pushes_;
+    probe_next_ += cfg_.probe_interval;
+  }
+  // 5. Canonical queue statistics (shard-count invariant).
+  canon_stats_.pushes = probe_canon_pushes_;
+  canon_stats_.pops = probe_canon_pops_;
+  for (const Lane& ln : lanes_) {
+    canon_stats_.pushes += ln.canon_pushes;
+    canon_stats_.pops += ln.canon_pops;
+  }
+  canon_stats_.peak_size =
+      std::max(canon_stats_.peak_size, canonical_pending());
+  // 6. Observers: the touched-node union (sorted, deduplicated, wake flags
+  // OR-ed) for window observers, plus the classic per-event observer once
+  // per barrier.
+  if (window_observer_) {
+    touched_scratch_.clear();
+    for (Lane& ln : lanes_) {
+      touched_scratch_.insert(touched_scratch_.end(), ln.touched.begin(),
+                              ln.touched.end());
+      ln.touched.clear();
+    }
+    std::sort(touched_scratch_.begin(), touched_scratch_.end(),
+              [](const WindowTouch& a, const WindowTouch& b) {
+                if (a.node != b.node) return a.node < b.node;
+                return a.woke > b.woke;  // woke entries first, kept by unique
+              });
+    touched_scratch_.erase(
+        std::unique(touched_scratch_.begin(), touched_scratch_.end(),
+                    [](const WindowTouch& a, const WindowTouch& b) {
+                      return a.node == b.node;
+                    }),
+        touched_scratch_.end());
+    window_observer_(*this, w_end, touched_scratch_);
+  } else {
+    for (Lane& ln : lanes_) ln.touched.clear();
+  }
+  if (observer_) observer_(*this, w_end);
+  if (progress_interval_ > 0.0) maybe_progress(false);
+}
+
+// ---- event processing -------------------------------------------------------
+
+bool Simulator::process(Lane& ln, Event& e) {
   // Flight-recorder hooks: with no recorder attached this is one pointer
   // test per event; the fast/slow-mode sampling below runs only when a
   // recorder is listening, so A^opt mode transitions cost nothing to
@@ -130,28 +542,29 @@ void Simulator::process(Event& e) {
     if (pn.awake && !pn.crashed) mult_before = pn.node->rate_multiplier();
   }
   bool observable = true;
-  last_event_.kind = e.kind;
-  last_event_.node = kInvalidNode;
-  last_event_.node2 = kInvalidNode;
-  last_event_.woke = false;
+  LastEvent& le = ln.last_event;
+  le.kind = e.kind;
+  le.node = kInvalidNode;
+  le.node2 = kInvalidNode;
+  le.woke = false;
   switch (e.kind) {
     case EventKind::kMessageDelivery: {
       // Copy out before dispatch: node callbacks may broadcast, which
       // grows the slab and would invalidate a held reference.
-      const Message m = slab_.take(e.msg);
+      const Message m = ln.slab.take(e.msg);
       PerNode& pn = per_node_[static_cast<std::size_t>(e.node)];
-      if (!link_up_[e.edge] || pn.crashed) {
-        ++messages_dropped_;  // link down while in flight, or receiver dead
+      if (!ln.link_up[e.edge] || pn.crashed) {
+        ++ln.dropped;  // link down while in flight, or receiver dead
         observable = false;
         break;
       }
-      ++messages_delivered_;
-      last_event_.node = e.node;
+      ++ln.delivered;
+      le.node = e.node;
       if (!pn.awake) {
-        last_event_.woke = true;
-        wake_node(e.node, &m);
+        le.woke = true;
+        wake_node(ln, e.node, &m);
       } else {
-        pn.node->on_message(services_->pin(e.node), m);
+        pn.node->on_message(ln.services->pin(e.node), m);
       }
       break;
     }
@@ -162,37 +575,39 @@ void Simulator::process(Event& e) {
         // A crashed node's callbacks are suppressed; with no callback there
         // is no re-arm, so each armed slot costs one pop per crash instead
         // of wakeups forever.  Recovery re-anchors the armed slots.
-        ++stale_timer_pops_;
+        ++ln.stale;
         observable = false;
         break;
       }
       if (!ts.armed || ts.generation != e.generation) {
-        ++stale_timer_pops_;
+        ++ln.stale;
         observable = false;  // stale heap entry (lazy deletion)
         break;
       }
       ts.armed = false;
-      last_event_.node = e.node;
-      pn.node->on_timer(services_->pin(e.node), e.slot);
+      le.node = e.node;
+      pn.node->on_timer(ln.services->pin(e.node), e.slot);
       break;
     }
     case EventKind::kRateChange: {
-      last_event_.node = e.node;
-      apply_rate_change(e.node, e.rate);
+      le.node = e.node;
+      apply_rate_change(ln, e.node, e.rate);
       if (e.rate_from_policy) schedule_next_rate_change(e.node, e.time);
       break;
     }
     case EventKind::kLinkChange: {
-      last_event_.node = e.node;
-      last_event_.node2 = e.node2;
-      apply_link_change(e.node, e.node2, e.edge, e.link_up);
+      le.node = e.node;
+      le.node2 = e.node2;
+      apply_link_change(ln, e);
       break;
     }
     case EventKind::kProbe: {
+      // Serial engine only; the sharded coordinator fires probes at window
+      // barriers without queueing them.
       Event probe;
       probe.time = e.time + cfg_.probe_interval;
       probe.kind = EventKind::kProbe;
-      queue_.push(probe);
+      push_event(probe, kInvalidNode);
       break;
     }
     case EventKind::kCrash: {
@@ -202,8 +617,8 @@ void Simulator::process(Event& e) {
         break;
       }
       pn.crashed = true;
-      ++crashes_;
-      last_event_.node = e.node;  // leaves the awake set at this instant
+      ++ln.crashes;
+      le.node = e.node;  // leaves the awake set at this instant
       break;
     }
     case EventKind::kRecover: {
@@ -213,8 +628,8 @@ void Simulator::process(Event& e) {
         break;
       }
       pn.crashed = false;
-      ++recoveries_;
-      last_event_.node = e.node;  // re-enters the awake set: fold its clock
+      ++ln.recoveries;
+      le.node = e.node;  // re-enters the awake set: fold its clock
       if (pn.awake) {
         // Re-anchor every armed timer (their heap entries were consumed or
         // invalidated during the outage), then run the re-join handshake.
@@ -222,24 +637,49 @@ void Simulator::process(Event& e) {
           TimerState& ts = pn.timers[slot];
           if (!ts.armed) continue;
           ++ts.generation;
-          schedule_timer_event(e.node, slot);
+          schedule_timer_event(e.node, slot, ln.now);
         }
-        pn.node->on_rejoin(services_->pin(e.node));
+        pn.node->on_rejoin(ln.services->pin(e.node));
       }
       break;
     }
   }
   if (obs::kTraceCompiled && recorder_ != nullptr) {
-    trace_event(e, observable, mult_before);
+    trace_event(ln, e, observable, mult_before);
   }
-  if (observable && observer_) observer_(*this, now_);
+  return observable;
 }
 
-void Simulator::trace_event(const Event& e, bool observable,
+void Simulator::emit(Lane& ln, obs::TracePoint tp, RealTime t, NodeId node,
+                     std::uint32_t edge, double a, double b,
+                     std::uint16_t flags, std::uint32_t aux) {
+  if (!windowed_ || !in_window_) {
+    // Serial engine, or coordinator context (setup wakes): straight to the
+    // recorder — the call order is already canonical.
+    recorder_->record(tp, t, node, edge, a, b, flags, aux);
+    return;
+  }
+  TraceEntry te;
+  te.key_time = ln.cur_time;
+  te.key_seq = ln.cur_seq;
+  te.key_source = ln.cur_source;
+  te.key_sub = ln.cur_sub++;
+  te.tp = static_cast<std::uint16_t>(tp);
+  te.flags = flags;
+  te.t = t;
+  te.a = a;
+  te.b = b;
+  te.node = node;
+  te.edge = edge;
+  te.aux = aux;
+  ln.trace.push_back(te);
+}
+
+void Simulator::trace_event(Lane& ln, const Event& e, bool observable,
                             double mult_before) {
   using obs::TracePoint;
   const auto qsize = static_cast<std::uint32_t>(
-      queue_.size() < 0xffffffffu ? queue_.size() : 0xffffffffu);
+      ln.queue.size() < 0xffffffffu ? ln.queue.size() : 0xffffffffu);
   TracePoint tp = TracePoint::kProbe;
   std::uint16_t flags = 0;
   double a = 0.0;
@@ -254,7 +694,7 @@ void Simulator::trace_event(const Event& e, bool observable,
     case EventKind::kRateChange:
       tp = TracePoint::kRateChange;
       a = e.rate;
-      b = hardware(e.node);
+      b = clock(e.node).value_at(ln.now);
       break;
     case EventKind::kLinkChange:
       tp = TracePoint::kLinkChange;
@@ -266,29 +706,29 @@ void Simulator::trace_event(const Event& e, bool observable,
     case EventKind::kCrash:
       tp = TracePoint::kFault;
       a = 0.0;  // fault::FaultKind::kCrash
-      b = observable ? logical(e.node) : 0.0;
+      b = observable ? logical_at(e.node, ln.now) : 0.0;
       break;
     case EventKind::kRecover:
       tp = TracePoint::kFault;
       a = 1.0;  // fault::FaultKind::kRecover
-      b = observable ? logical(e.node) : 0.0;
+      b = observable ? logical_at(e.node, ln.now) : 0.0;
       break;
   }
   if ((tp == TracePoint::kDeliver || tp == TracePoint::kTimerFire) &&
       e.node != kInvalidNode) {
     const PerNode& pn = per_node_[static_cast<std::size_t>(e.node)];
-    a = logical(e.node);
-    b = pn.clock.value_at(now_);
+    a = logical_at(e.node, ln.now);
+    b = pn.clock.value_at(ln.now);
     const double mult = pn.node->rate_multiplier();
     if (mult > 1.0) flags |= obs::kFlagFastMode;
-    if (last_event_.woke) flags |= obs::kFlagWoke;
+    if (ln.last_event.woke) flags |= obs::kFlagWoke;
     if (!std::isnan(mult_before) && mult != mult_before) {
       flags |= obs::kFlagModeChange;
-      recorder_->record(TracePoint::kModeChange, now_, e.node, e.edge,
-                        mult_before, mult, flags, qsize);
+      emit(ln, TracePoint::kModeChange, ln.now, e.node, e.edge, mult_before,
+           mult, flags, qsize);
     }
   }
-  recorder_->record(tp, now_, e.node, e.edge, a, b, flags, qsize);
+  emit(ln, tp, ln.now, e.node, e.edge, a, b, flags, qsize);
 }
 
 void Simulator::schedule_rate_change(NodeId v, RealTime at, double rate) {
@@ -299,18 +739,18 @@ void Simulator::schedule_rate_change(NodeId v, RealTime at, double rate) {
   e.node = v;
   e.rate = rate;
   e.rate_from_policy = false;
-  queue_.push(e);
+  push_event(e, v);
 }
 
-void Simulator::wake_node(NodeId v, const Message* trigger) {
+void Simulator::wake_node(Lane& ln, NodeId v, const Message* trigger) {
   PerNode& pn = per_node_[static_cast<std::size_t>(v)];
   assert(!pn.awake);
   pn.awake = true;
-  pn.clock.start(now_);
-  pn.node->on_wake(services_->pin(v), trigger);
+  pn.clock.start(ln.now);
+  pn.node->on_wake(ln.services->pin(v), trigger);
   if (obs::kTraceCompiled && recorder_ != nullptr) {
-    recorder_->record(obs::TracePoint::kWake, now_, v, obs::kNoTraceEdge,
-                      logical(v), pn.clock.value_at(now_), obs::kFlagWoke);
+    emit(ln, obs::TracePoint::kWake, ln.now, v, obs::kNoTraceEdge,
+         logical_at(v, ln.now), pn.clock.value_at(ln.now), obs::kFlagWoke, 0);
   }
 }
 
@@ -321,7 +761,7 @@ std::uint32_t Simulator::edge_index(NodeId u, NodeId v) const {
 }
 
 bool Simulator::link_up(NodeId u, NodeId v) const {
-  return link_up_[edge_index(u, v)] != 0;
+  return link_up(static_cast<std::size_t>(edge_index(u, v)));
 }
 
 void Simulator::schedule_link_change(NodeId u, NodeId v, bool up, RealTime at) {
@@ -333,20 +773,21 @@ void Simulator::schedule_link_change(NodeId u, NodeId v, bool up, RealTime at) {
   e.node2 = v;
   e.edge = edge_index(u, v);  // resolved once, here
   e.link_up = up;
-  queue_.push(e);
+  push_link_change(e, u);
 }
 
 void Simulator::schedule_crash(NodeId v, RealTime at) {
   assert(at >= now_ - kTimeTolerance);
-  // The crash marker goes first (FIFO among same-time events): the node is
-  // dead before its links report down, so only the surviving endpoints get
-  // on_link_change callbacks.  Per-link events are kept (rather than one
-  // bulk cut) so incremental observers fold each neighbor's reaction.
+  // The crash marker goes first (per-source seq order among same-time
+  // events): the node is dead before its links report down, so only the
+  // surviving endpoints get on_link_change callbacks.  Per-link events are
+  // kept (rather than one bulk cut) so incremental observers fold each
+  // neighbor's reaction.
   Event c;
   c.time = std::max(at, now_);
   c.kind = EventKind::kCrash;
   c.node = v;
-  queue_.push(c);
+  push_event(c, v);
   for (const graph::Graph::Arc* a = csr_->begin(v); a != csr_->end(v); ++a) {
     Event e;
     e.time = c.time;
@@ -355,14 +796,14 @@ void Simulator::schedule_crash(NodeId v, RealTime at) {
     e.node2 = a->to;
     e.edge = a->edge;
     e.link_up = false;
-    queue_.push(e);
+    push_link_change(e, v);
   }
 }
 
 void Simulator::schedule_recovery(NodeId v, RealTime at) {
   assert(at >= now_ - kTimeTolerance);
   // Links come back first so the on_rejoin() re-announcement broadcast by
-  // the kRecover event (same instant, FIFO) reaches the neighbors.
+  // the kRecover event (same instant, seq order) reaches the neighbors.
   for (const graph::Graph::Arc* a = csr_->begin(v); a != csr_->end(v); ++a) {
     Event e;
     e.time = std::max(at, now_);
@@ -371,78 +812,84 @@ void Simulator::schedule_recovery(NodeId v, RealTime at) {
     e.node2 = a->to;
     e.edge = a->edge;
     e.link_up = true;
-    queue_.push(e);
+    push_link_change(e, v);
   }
   Event r;
   r.time = std::max(at, now_);
   r.kind = EventKind::kRecover;
   r.node = v;
-  queue_.push(r);
+  push_event(r, v);
 }
 
-void Simulator::apply_link_change(NodeId u, NodeId v, std::uint32_t edge,
-                                  bool up) {
-  if ((link_up_[edge] != 0) == up) return;  // no-op flip
-  link_up_[edge] = up ? 1 : 0;
-  for (const NodeId endpoint : {u, v}) {
+void Simulator::apply_link_change(Lane& ln, const Event& e) {
+  if ((ln.link_up[e.edge] != 0) == e.link_up) return;  // no-op flip
+  ln.link_up[e.edge] = e.link_up ? 1 : 0;
+  if (windowed_ && !e.twin) {
+    // Primary copy records the flip for the barrier's global reconcile.
+    ln.flips.push_back(
+        Lane::LinkFlip{e.time, e.seq, e.source, e.edge, e.link_up});
+  }
+  for (const NodeId endpoint : {e.node, e.node2}) {
+    if (windowed_ && part_->shard_of(endpoint) != ln.index) {
+      continue;  // the other lane's copy runs this endpoint's callback
+    }
     PerNode& pn = per_node_[static_cast<std::size_t>(endpoint)];
     if (!pn.awake || pn.crashed) continue;  // dead nodes get no callbacks
-    pn.node->on_link_change(services_->pin(endpoint), endpoint == u ? v : u, up);
+    pn.node->on_link_change(ln.services->pin(endpoint),
+                            endpoint == e.node ? e.node2 : e.node, e.link_up);
   }
 }
 
-void Simulator::do_broadcast(NodeId v, const Message& m) {
-  ++broadcasts_;
+void Simulator::do_broadcast(Lane& ln, NodeId v, const Message& m) {
+  ++ln.broadcasts;
   if (obs::kTraceCompiled && recorder_ != nullptr) {
-    recorder_->record(obs::TracePoint::kBroadcast, now_, v, obs::kNoTraceEdge,
-                      m.logical, m.logical_max, 0,
-                      static_cast<std::uint32_t>(queue_.size()));
+    emit(ln, obs::TracePoint::kBroadcast, ln.now, v, obs::kNoTraceEdge,
+         m.logical, m.logical_max, 0,
+         static_cast<std::uint32_t>(ln.queue.size()));
   }
   for (const graph::Graph::Arc* a = csr_->begin(v); a != csr_->end(v); ++a) {
-    if (!link_up_[a->edge]) continue;  // link currently down
+    if (!ln.link_up[a->edge]) continue;  // link currently down
     if (!delay_plans_) {
-      const RealTime t_recv = delay_->delivery_time(v, a->to, now_, *this);
-      assert(t_recv >= now_ - kTimeTolerance && "negative message delay");
+      const RealTime t_recv = delay_->delivery_time(v, a->to, ln.now, *this);
+      assert(t_recv >= ln.now - kTimeTolerance && "negative message delay");
       Event e;
-      e.time = std::max(t_recv, now_);
+      e.time = std::max(t_recv, ln.now);
       e.kind = EventKind::kMessageDelivery;
       e.node = a->to;
       e.edge = a->edge;
-      e.msg = slab_.put(m);
-      queue_.push(e);
+      push_delivery(ln, e, v, m);
       continue;
     }
     // Faulty-channel path: the policy plans zero (drop), one, or several
     // (duplication) copies, each possibly perturbed (corruption).
-    plan_scratch_.clear();
-    delay_->plan_deliveries(v, a->to, now_, *this, plan_scratch_);
-    if (plan_scratch_.empty()) {
-      ++messages_dropped_;  // the channel ate it
+    ln.plan_scratch.clear();
+    delay_->plan_deliveries(v, a->to, ln.now, *this, ln.plan_scratch);
+    if (ln.plan_scratch.empty()) {
+      ++ln.dropped;  // the channel ate it
       continue;
     }
-    for (const PlannedDelivery& pd : plan_scratch_) {
-      assert(pd.at >= now_ - kTimeTolerance && "negative message delay");
+    for (const PlannedDelivery& pd : ln.plan_scratch) {
+      assert(pd.at >= ln.now - kTimeTolerance && "negative message delay");
       Message copy = m;
       copy.logical += pd.logical_delta;
       copy.logical_max += pd.logical_max_delta;
       Event e;
-      e.time = std::max(pd.at, now_);
+      e.time = std::max(pd.at, ln.now);
       e.kind = EventKind::kMessageDelivery;
       e.node = a->to;
       e.edge = a->edge;
-      e.msg = slab_.put(copy);
-      queue_.push(e);
+      push_delivery(ln, e, v, copy);
     }
   }
 }
 
-void Simulator::arm_timer(NodeId v, int slot, ClockValue target) {
+void Simulator::arm_timer(Lane& ln, NodeId v, int slot, ClockValue target) {
   assert(slot >= 0 && slot < kMaxTimerSlots);
   TimerState& ts = per_node_[static_cast<std::size_t>(v)].timers[slot];
   ts.target = target;
   ts.armed = true;
   ++ts.generation;
-  schedule_timer_event(v, slot);
+  schedule_timer_event(v, slot, ln.now);
 }
 
 void Simulator::disarm_timer(NodeId v, int slot) {
@@ -452,23 +899,23 @@ void Simulator::disarm_timer(NodeId v, int slot) {
   ++ts.generation;
 }
 
-void Simulator::schedule_timer_event(NodeId v, int slot) {
+void Simulator::schedule_timer_event(NodeId v, int slot, RealTime now) {
   const PerNode& pn = per_node_[static_cast<std::size_t>(v)];
   const TimerState& ts = pn.timers[slot];
   assert(ts.armed);
   assert(pn.clock.started() && "timers require a started clock");
   Event e;
-  e.time = pn.clock.time_when_reaches(ts.target, now_);
+  e.time = pn.clock.time_when_reaches(ts.target, now);
   e.kind = EventKind::kTimer;
   e.node = v;
   e.slot = static_cast<std::uint8_t>(slot);
   e.generation = ts.generation;
-  queue_.push(e);
+  push_event(e, v);
 }
 
-void Simulator::apply_rate_change(NodeId v, double rate) {
+void Simulator::apply_rate_change(Lane& ln, NodeId v, double rate) {
   PerNode& pn = per_node_[static_cast<std::size_t>(v)];
-  pn.clock.set_rate(now_, rate);
+  pn.clock.set_rate(ln.now, rate);
   // Crashed nodes keep drifting but reschedule nothing: their timer pops
   // are suppressed anyway, and recovery re-anchors the armed slots.
   if (!pn.awake || pn.crashed) return;
@@ -477,7 +924,7 @@ void Simulator::apply_rate_change(NodeId v, double rate) {
     TimerState& ts = pn.timers[slot];
     if (!ts.armed) continue;
     ++ts.generation;  // invalidate the stale heap entry
-    schedule_timer_event(v, slot);
+    schedule_timer_event(v, slot, ln.now);
   }
 }
 
@@ -489,8 +936,40 @@ void Simulator::schedule_next_rate_change(NodeId v, RealTime now) {
     e.kind = EventKind::kRateChange;
     e.node = v;
     e.rate = step->rate;
-    queue_.push(e);
+    push_event(e, v);
   }
+}
+
+void Simulator::maybe_progress(bool force) {
+  const auto nw = std::chrono::steady_clock::now();
+  if (!progress_init_) {
+    progress_init_ = true;
+    progress_start_ = nw;
+    progress_last_ = nw;
+    progress_last_events_ = events_processed();
+    return;
+  }
+  const double since =
+      std::chrono::duration<double>(nw - progress_last_).count();
+  if (!force && since < progress_interval_) return;
+  const std::uint64_t ev = events_processed();
+  const double rate =
+      since > 0.0 ? static_cast<double>(ev - progress_last_events_) / since
+                  : 0.0;
+  std::size_t depth = 0;
+  for (const Lane& ln : lanes_) depth += ln.queue.size();
+  const double wall =
+      std::chrono::duration<double>(nw - progress_start_).count();
+  std::fprintf(stderr,
+               "[tbcs] wall=%.1fs sim_t=%.3f events=%llu (%.3g ev/s) "
+               "queue=%zu",
+               wall, now_, static_cast<unsigned long long>(ev), rate, depth);
+  if (windowed_) {
+    std::fprintf(stderr, " shards=%zu horizon=%.6f", lanes_.size(), win_end_);
+  }
+  std::fprintf(stderr, "\n");
+  progress_last_ = nw;
+  progress_last_events_ = ev;
 }
 
 }  // namespace tbcs::sim

@@ -10,18 +10,43 @@
 // Between events every clock is linear in real time, so observers invoked
 // at event boundaries see the exact extrema of all skew processes.
 //
+// Event identity: every event carries the key (time, source node,
+// per-source sequence number), stamped at creation.  The key is a pure
+// function of the causal history — independent of which queue the event
+// sits in or when it was pushed — which is what makes the sharded engine
+// below bit-identical to the serial one.
+//
+// Sharded execution (configure_shards): the node set is split by a
+// graph::Partition into per-shard lanes, each with its own event queue and
+// message slab.  Lanes advance in lock-step conservative time windows
+// [W_start, W_end) with W_end = t_next + min_delay (the safe horizon: no
+// cross-shard send processed inside the window can be delivered before
+// W_end).  Cross-shard deliveries accumulate in per-lane outboxes and are
+// exchanged at the window barrier; cut-edge link changes are mirrored as
+// "twin" events into the second endpoint's lane so both lanes apply the
+// flip at the same point of their local key order.  All observable output
+// (recorder log, flight-recorder trace, canonical queue statistics) is
+// merged at barriers in event-key order, so `--shards N` output is
+// byte-identical for every N.
+//
 // Hot-path layout: adjacency is the graph's CSR snapshot (each neighbor
 // carries its undirected edge index inline, so link-state checks never
 // hash), message payloads live in a free-listed slab, and delivery/link
 // events store their edge index so processing is array lookups only.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/partition.hpp"
 #include "sim/delay_policy.hpp"
 #include "sim/drift_policy.hpp"
 #include "sim/event_queue.hpp"
@@ -32,6 +57,7 @@
 
 namespace tbcs::obs {
 class FlightRecorder;
+enum class TracePoint : std::uint16_t;
 }
 
 namespace tbcs::sim {
@@ -74,18 +100,56 @@ class Simulator {
   void set_drift_policy(std::shared_ptr<DriftPolicy> policy);
   void set_delay_policy(std::shared_ptr<DelayPolicy> policy);
 
-  /// Called after every processed event (and probe) with the current time.
+  /// Switches to the sharded time-window engine with `shards` lanes over a
+  /// graph::Partition (`strategy`: "block" | "bands").  Must be called
+  /// before the first run; requires the delay policy to certify a positive
+  /// min_delay() (the lookahead), checked at setup.  `shards <= 0` keeps
+  /// the classic serial engine.  With shards == 1 the engine runs the
+  /// windowed code path on the calling thread — the reference that larger
+  /// shard counts are gated against.
+  void configure_shards(int shards, const std::string& strategy = "block");
+
+  /// Number of lanes when sharded; 0 for the classic serial engine.
+  int shards() const {
+    return windowed_ ? static_cast<int>(lanes_.size()) : 0;
+  }
+  const graph::Partition* partition() const { return part_.get(); }
+
+  /// Called after every processed event (and probe) with the current time
+  /// in the serial engine; called once per window barrier when sharded.
   using Observer = std::function<void(const Simulator&, RealTime)>;
   void set_observer(Observer observer);
+
+  /// One node whose state changed inside a window, with whether the window
+  /// initialized it.  The barrier hands observers the sorted, deduplicated
+  /// union over all lanes.
+  struct WindowTouch {
+    NodeId node = kInvalidNode;
+    bool woke = false;
+  };
+  /// Sharded-engine observer: invoked at every window barrier with the
+  /// barrier time and the touched-node set.  The set is identical for
+  /// every shard count (it is a pure function of the event set), which is
+  /// what lets incremental trackers produce shard-count-invariant output.
+  using WindowObserver = std::function<void(
+      const Simulator&, RealTime, const std::vector<WindowTouch>&)>;
+  void set_window_observer(WindowObserver observer);
 
   /// Attaches a flight recorder (nullptr detaches).  Non-owning; the
   /// recorder must outlive the simulator or be detached first.  With no
   /// recorder attached the tracing hooks cost one pointer test per event;
-  /// compiled out entirely under -DTBCS_OBS_TRACE_ENABLED=0.
+  /// compiled out entirely under -DTBCS_OBS_TRACE_ENABLED=0.  When
+  /// sharded, lanes buffer their records and the barrier emits them in
+  /// event-key order, so recorder seq numbers follow the canonical order.
   void set_flight_recorder(obs::FlightRecorder* recorder) {
     recorder_ = recorder;
   }
   obs::FlightRecorder* flight_recorder() const { return recorder_; }
+
+  /// Enables a stderr heartbeat roughly every `wall_seconds` of wall time
+  /// (0 disables): wall time, sim time, events/s, queue depth, and — when
+  /// sharded — the current window horizon.
+  void set_progress(double wall_seconds) { progress_interval_ = wall_seconds; }
 
   // ---- execution ----------------------------------------------------------
 
@@ -113,8 +177,12 @@ class Simulator {
   bool link_up(NodeId u, NodeId v) const;
 
   /// Link state by undirected edge index (parallel to topology().edges());
-  /// the O(1) form used by the metrics layer.
-  bool link_up(std::size_t edge) const { return link_up_[edge] != 0; }
+  /// the O(1) form used by the metrics layer.  When sharded, valid at
+  /// window barriers (lanes hold the authoritative per-edge views during
+  /// a window).
+  bool link_up(std::size_t edge) const {
+    return (windowed_ ? link_up_[edge] : lanes_[0].link_up[edge]) != 0;
+  }
 
   /// Crash failure injection: downs all of v's links at time `at` and
   /// marks the node crashed — its hardware clock keeps running, but
@@ -132,9 +200,9 @@ class Simulator {
     return per_node_[static_cast<std::size_t>(v)].crashed;
   }
 
-  std::uint64_t messages_dropped() const { return messages_dropped_; }
-  std::uint64_t crashes() const { return crashes_; }
-  std::uint64_t recoveries() const { return recoveries_; }
+  std::uint64_t messages_dropped() const { return sum_lanes(&Lane::dropped); }
+  std::uint64_t crashes() const { return sum_lanes(&Lane::crashes); }
+  std::uint64_t recoveries() const { return sum_lanes(&Lane::recoveries); }
 
   // ---- inspection (metrics layer; not visible to algorithms) --------------
 
@@ -160,13 +228,26 @@ class Simulator {
   const Node& node(NodeId v) const { return *per_node_[static_cast<std::size_t>(v)].node; }
   Node& node_mutable(NodeId v) { return *per_node_[static_cast<std::size_t>(v)].node; }
 
-  std::uint64_t broadcasts() const { return broadcasts_; }
-  std::uint64_t messages_delivered() const { return messages_delivered_; }
-  std::uint64_t events_processed() const { return events_processed_; }
+  std::uint64_t broadcasts() const { return sum_lanes(&Lane::broadcasts); }
+  std::uint64_t messages_delivered() const {
+    return sum_lanes(&Lane::delivered);
+  }
+  std::uint64_t events_processed() const {
+    return sum_lanes(&Lane::events) + probe_events_;
+  }
 
   /// Timer events popped whose generation was stale (lazy deletion).
-  std::uint64_t stale_timer_pops() const { return stale_timer_pops_; }
-  const EventQueue::Stats& queue_stats() const { return queue_.stats(); }
+  std::uint64_t stale_timer_pops() const { return sum_lanes(&Lane::stale); }
+
+  /// Serial engine: the exact queue statistics.  Sharded engine: the
+  /// canonical statistics — pushes/pops count each logical event once
+  /// (cut-edge twins excluded, outbox appends counted at append time,
+  /// probes counted by the coordinator), and peak is sampled at window
+  /// barriers over the canonical pending count.  The canonical numbers
+  /// are identical for every shard count.
+  const EventQueue::Stats& queue_stats() const {
+    return windowed_ ? canon_stats_ : lanes_[0].queue.stats();
+  }
 
   /// What the event that triggered the current/last observer call changed.
   /// Logical-clock state is mutated only through node callbacks, so the
@@ -174,13 +255,15 @@ class Simulator {
   /// changed discontinuously since the previous observer call; events that
   /// change nothing (stale timers, dropped messages) never reach the
   /// observer.  Incremental trackers key their dirty-set updates off this.
+  /// Sharded engine: meaningless mid-window; window observers get the
+  /// touched-node set instead.
   struct LastEvent {
     EventKind kind = EventKind::kProbe;
     NodeId node = kInvalidNode;   // primary touched node (kInvalidNode: none)
     NodeId node2 = kInvalidNode;  // second touched node (link changes)
     bool woke = false;            // the event initialized `node`
   };
-  const LastEvent& last_event() const { return last_event_; }
+  const LastEvent& last_event() const { return lanes_[0].last_event; }
 
  private:
   struct TimerState {
@@ -200,46 +283,181 @@ class Simulator {
   class ServicesImpl;
   friend class ServicesImpl;
 
+  /// A buffered flight-recorder record plus the key of the event that
+  /// emitted it; the barrier k-way-merges lane buffers by (key, sub) to
+  /// reconstruct the canonical emission order.
+  struct TraceEntry {
+    RealTime key_time = 0.0;
+    std::uint64_t key_seq = 0;
+    NodeId key_source = kInvalidNode;
+    std::uint32_t key_sub = 0;  // emission index within the event
+    std::uint16_t tp = 0;       // obs::TracePoint
+    std::uint16_t flags = 0;
+    RealTime t = 0.0;
+    double a = 0.0;
+    double b = 0.0;
+    NodeId node = kInvalidNode;
+    std::uint32_t edge = 0;
+    std::uint32_t aux = 0;
+  };
+
+  /// One shard's execution state.  The serial engine is lane 0 alone.
+  struct Lane {
+    Lane();
+    ~Lane();
+    Lane(Lane&&) noexcept;
+    Lane& operator=(Lane&&) noexcept;
+
+    EventQueue queue;
+    MessageSlab slab;
+    /// This lane's view of per-edge link state.  Serial: the authoritative
+    /// state.  Sharded: cut-edge flips are applied by primary and twin
+    /// events in both endpoint lanes, so each lane's view is exact for
+    /// every edge incident to one of its nodes.
+    std::vector<std::uint8_t> link_up;
+    std::vector<PlannedDelivery> plan_scratch;
+    std::unique_ptr<ServicesImpl> services;
+    LastEvent last_event;
+    RealTime now = 0.0;
+    int index = 0;
+
+    // Sharded-engine window state ------------------------------------------
+    struct OutMsg {
+      Event event;      // stamped, routed; msg handle assigned at flush
+      Message payload;
+    };
+    std::vector<std::vector<OutMsg>> outbox;  // per destination lane
+    struct LinkFlip {
+      RealTime time = 0.0;
+      std::uint64_t seq = 0;
+      NodeId source = kInvalidNode;
+      std::uint32_t edge = 0;
+      bool up = false;
+    };
+    std::vector<LinkFlip> flips;   // actual state changes, for the barrier
+    std::vector<WindowTouch> touched;
+    std::vector<TraceEntry> trace;
+    // Key of the event currently being processed (trace buffering).
+    RealTime cur_time = 0.0;
+    std::uint64_t cur_seq = 0;
+    NodeId cur_source = kInvalidNode;
+    std::uint32_t cur_sub = 0;
+
+    // Per-lane counters, folded by the accessors ---------------------------
+    std::uint64_t broadcasts = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t events = 0;
+    std::uint64_t stale = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t canon_pushes = 0;
+    std::uint64_t canon_pops = 0;
+    std::size_t twins_in_queue = 0;
+  };
+
   void setup();
-  void process(Event& e);
+  void init_lanes(std::size_t count);
+  Lane& lane_of(NodeId v) {
+    return windowed_ && v != kInvalidNode
+               ? lanes_[static_cast<std::size_t>(part_->shard_of(v))]
+               : lanes_[0];
+  }
+  std::size_t seq_index(NodeId source) const {
+    return source == kInvalidNode ? next_seq_.size() - 1
+                                  : static_cast<std::size_t>(source);
+  }
+  void stamp(Event& e, NodeId source) {
+    e.source = source;
+    e.seq = next_seq_[seq_index(source)]++;
+  }
+  void push_event(Event e, NodeId source);
+  void push_link_change(Event e, NodeId source);
+  void push_delivery(Lane& ln, Event e, NodeId source, const Message& m);
+
+  bool process(Lane& ln, Event& e);  // returns whether observable
   /// Cold path: called only with a recorder attached, after an event was
   /// dispatched.  `mult_before` is the touched node's rate multiplier
   /// before the callback (NaN when not sampled).
-  void trace_event(const Event& e, bool observable, double mult_before);
-  void wake_node(NodeId v, const Message* trigger);
-  void do_broadcast(NodeId v, const Message& m);
+  void trace_event(Lane& ln, const Event& e, bool observable,
+                   double mult_before);
+  void emit(Lane& ln, obs::TracePoint tp, RealTime t, NodeId node,
+            std::uint32_t edge, double a, double b, std::uint16_t flags,
+            std::uint32_t aux);
+  void wake_node(Lane& ln, NodeId v, const Message* trigger);
+  void do_broadcast(Lane& ln, NodeId v, const Message& m);
   std::uint32_t edge_index(NodeId u, NodeId v) const;
-  void apply_link_change(NodeId u, NodeId v, std::uint32_t edge, bool up);
-  void arm_timer(NodeId v, int slot, ClockValue target);
+  void apply_link_change(Lane& ln, const Event& e);
+  void arm_timer(Lane& ln, NodeId v, int slot, ClockValue target);
   void disarm_timer(NodeId v, int slot);
-  void schedule_timer_event(NodeId v, int slot);
-  void apply_rate_change(NodeId v, double rate);
+  void schedule_timer_event(NodeId v, int slot, RealTime now);
+  void apply_rate_change(Lane& ln, NodeId v, double rate);
   void schedule_next_rate_change(NodeId v, RealTime now);
+  ClockValue logical_at(NodeId v, RealTime t) const;
+
+  // Sharded engine ---------------------------------------------------------
+  void run_windowed(RealTime t_end);
+  void process_window(Lane& ln);
+  void run_window_parallel();
+  void barrier_flush(RealTime w_end, bool probe_fires);
+  void merge_lane_traces();
+  std::size_t canonical_pending() const;
+  void start_workers();
+  void stop_workers();
+  void maybe_progress(bool force);
+
+  std::uint64_t sum_lanes(std::uint64_t Lane::*field) const {
+    std::uint64_t s = 0;
+    for (const Lane& ln : lanes_) s += ln.*field;
+    return s;
+  }
 
   const graph::Graph& graph_;
   std::shared_ptr<const graph::Graph::Csr> csr_;
   SimConfig cfg_;
   std::vector<PerNode> per_node_;
-  std::vector<std::uint8_t> link_up_;  // parallel to graph_.edges()
   std::shared_ptr<DriftPolicy> drift_;
   std::shared_ptr<DelayPolicy> delay_;
   bool delay_plans_ = false;  // cached delay_->plans_deliveries()
-  std::vector<PlannedDelivery> plan_scratch_;
   Observer observer_;
+  WindowObserver window_observer_;
   obs::FlightRecorder* recorder_ = nullptr;
-  EventQueue queue_;
-  MessageSlab slab_;
-  std::unique_ptr<ServicesImpl> services_;  // reused across all callbacks
-  LastEvent last_event_;
+  std::vector<Lane> lanes_;  // size 1 (serial) or shard count (windowed)
+  std::vector<std::uint64_t> next_seq_;  // per-source counters; last = system
   RealTime now_ = 0.0;
   bool setup_done_ = false;
-  std::uint64_t broadcasts_ = 0;
-  std::uint64_t messages_delivered_ = 0;
-  std::uint64_t messages_dropped_ = 0;
-  std::uint64_t events_processed_ = 0;
-  std::uint64_t stale_timer_pops_ = 0;
-  std::uint64_t crashes_ = 0;
-  std::uint64_t recoveries_ = 0;
+
+  // Sharded engine ---------------------------------------------------------
+  bool windowed_ = false;
+  std::unique_ptr<graph::Partition> part_;
+  std::vector<std::uint8_t> link_up_;  // barrier-reconciled global view
+  Duration lookahead_ = 0.0;           // delay policy min_delay()
+  RealTime probe_next_ = kInfinity;
+  std::uint64_t probe_events_ = 0;
+  std::uint64_t probe_canon_pushes_ = 0;
+  std::uint64_t probe_canon_pops_ = 0;
+  EventQueue::Stats canon_stats_;
+  bool in_window_ = false;
+  RealTime win_end_ = 0.0;
+  bool win_inclusive_ = false;
+
+  // Window worker pool (lanes 1..N-1; the caller runs lane 0).
+  std::vector<std::thread> workers_;
+  std::mutex win_mu_;
+  std::condition_variable win_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t win_gen_ = 0;
+  int win_done_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr win_error_;  // first exception thrown inside a window
+  std::vector<WindowTouch> touched_scratch_;  // barrier merge buffer
+
+  // Progress heartbeat.
+  double progress_interval_ = 0.0;
+  std::chrono::steady_clock::time_point progress_start_{};
+  std::chrono::steady_clock::time_point progress_last_{};
+  std::uint64_t progress_last_events_ = 0;
+  bool progress_init_ = false;
 };
 
 }  // namespace tbcs::sim

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "analysis/skew_tracker.hpp"
+#include "obs/metrics.hpp"
 #include "baselines/blocking_gradient.hpp"
 #include "core/aopt.hpp"
 #include "core/params.hpp"
@@ -260,10 +261,19 @@ TEST(SkewIncremental, StrideForcesFullRescans) {
   auto s = build(sc);
   SkewTracker::Options topt = options_for(sc, SkewTracker::Mode::kIncremental);
   topt.stride = 4;
+  const std::uint64_t fallback_before =
+      obs::MetricsRegistry::global().snapshot().counter(
+          "skew.full_rescan_fallback");
   SkewTracker tracker(*s, topt);
   tracker.attach(*s);
   run(*s, sc);
   EXPECT_EQ(tracker.full_scans(), tracker.samples_taken());
+  // Every degraded sample is surfaced in the metrics counter, so a sweep
+  // that silently lost the incremental engine is visible in --stats.
+  EXPECT_EQ(obs::MetricsRegistry::global().snapshot().counter(
+                "skew.full_rescan_fallback") -
+                fallback_before,
+            tracker.samples_taken());
 }
 
 }  // namespace

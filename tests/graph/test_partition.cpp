@@ -1,0 +1,149 @@
+#include "graph/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/topologies.hpp"
+
+namespace tbcs::graph {
+namespace {
+
+// Cross-checks every Partition accessor against the graph from scratch:
+// coverage, disjointness, member ordering, the O(1) cut-edge bitmap
+// against the cut-edge list, and shard_of() against members().
+void check_invariants(const Graph& g, const Partition& p) {
+  ASSERT_NO_THROW(p.validate(g));
+  ASSERT_EQ(p.num_nodes(), g.num_nodes());
+
+  // Every node appears in exactly one member list, and that list is the
+  // one shard_of() names.
+  std::vector<int> seen(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (int s = 0; s < p.num_shards(); ++s) {
+    const std::vector<NodeId>& m = p.members(s);
+    EXPECT_TRUE(std::is_sorted(m.begin(), m.end()));
+    for (const NodeId v : m) {
+      ++seen[static_cast<std::size_t>(v)];
+      EXPECT_EQ(p.shard_of(v), s);
+    }
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+
+  // The cut bitmap, the cut list, and a from-scratch recomputation agree.
+  std::set<std::uint32_t> listed;
+  for (const Partition::CutEdge& c : p.cut_edges()) {
+    listed.insert(c.edge);
+    EXPECT_EQ(c.su, p.shard_of(c.u));
+    EXPECT_EQ(c.sv, p.shard_of(c.v));
+    EXPECT_NE(c.su, c.sv);
+  }
+  const auto& edges = g.edges();
+  for (std::uint32_t e = 0; e < edges.size(); ++e) {
+    const bool crosses = p.shard_of(edges[e].first) != p.shard_of(edges[e].second);
+    EXPECT_EQ(p.edge_is_cut(e), crosses) << "edge " << e;
+    EXPECT_EQ(listed.count(e) == 1, crosses) << "edge " << e;
+  }
+}
+
+TEST(Partition, BlockOnLineCutsExactlyKMinusOneEdges) {
+  const Graph g = make_path(64);
+  for (const int k : {1, 2, 3, 4, 8}) {
+    const Partition p = Partition::block(g, k);
+    check_invariants(g, p);
+    // Contiguous blocks on a path sever exactly one edge per boundary.
+    EXPECT_EQ(p.cut_edges().size(), static_cast<std::size_t>(k - 1));
+    const Partition::BalanceStats b = p.balance();
+    EXPECT_LE(b.max_members - b.min_members, 1u);
+    EXPECT_EQ(b.cut_edges, static_cast<std::size_t>(k - 1));
+  }
+}
+
+TEST(Partition, BlockAssignsContiguousRanges) {
+  const Graph g = make_path(10);
+  const Partition p = Partition::block(g, 3);
+  // shard_of(v) = v*k/n: [0,3], [4,6], [7,9] for n=10, k=3.
+  for (NodeId v = 0; v < 10; ++v) {
+    EXPECT_EQ(p.shard_of(v), v * 3 / 10) << "node " << v;
+  }
+  // Each shard is one contiguous id range.
+  for (NodeId v = 1; v < 10; ++v) {
+    EXPECT_GE(p.shard_of(v), p.shard_of(v - 1));
+  }
+}
+
+TEST(Partition, BandsOnTreeGroupByDepth) {
+  const Graph g = make_balanced_tree(2, 5);  // 31 nodes, depths 0..4
+  const Partition p = Partition::bfs_bands(g, 4);
+  check_invariants(g, p);
+  // BFS bands are monotone in depth: a deeper node never lands in an
+  // earlier shard than a shallower one.
+  const std::vector<int> depth = g.bfs_distances(0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (depth[static_cast<std::size_t>(u)] < depth[static_cast<std::size_t>(v)]) {
+        EXPECT_LE(p.shard_of(u), p.shard_of(v));
+      }
+    }
+  }
+}
+
+TEST(Partition, InvariantsHoldOnRandomGraphs) {
+  for (const std::uint64_t seed : {7u, 21u, 99u}) {
+    const Graph g = make_connected_er(48, 0.12, seed);
+    for (const int k : {2, 3, 5}) {
+      for (const char* strategy : {"block", "bands"}) {
+        SCOPED_TRACE(testing::Message()
+                     << "seed=" << seed << " k=" << k << " " << strategy);
+        const Partition p = Partition::make(g, k, strategy);
+        check_invariants(g, p);
+      }
+    }
+  }
+}
+
+TEST(Partition, SingleShardOwnsEverythingAndCutsNothing) {
+  const Graph g = make_connected_er(20, 0.2, 3);
+  const Partition p = Partition::make(g, 1, "block");
+  check_invariants(g, p);
+  EXPECT_TRUE(p.cut_edges().empty());
+  EXPECT_EQ(p.members(0).size(), 20u);
+  EXPECT_DOUBLE_EQ(p.balance().imbalance, 0.0);
+}
+
+TEST(Partition, BalanceStatsMatchMemberCounts) {
+  const Graph g = make_path(10);
+  const Partition p = Partition::block(g, 4);  // 2+3+2+3
+  const Partition::BalanceStats b = p.balance();
+  EXPECT_EQ(b.min_members, 2u);
+  EXPECT_EQ(b.max_members, 3u);
+  EXPECT_GT(b.imbalance, 0.0);
+  EXPECT_DOUBLE_EQ(b.cut_fraction,
+                   static_cast<double>(b.cut_edges) / g.edges().size());
+}
+
+TEST(Partition, MakeRejectsBadArguments) {
+  const Graph g = make_path(8);
+  EXPECT_THROW(Partition::make(g, 0, "block"), std::invalid_argument);
+  EXPECT_THROW(Partition::make(g, -2, "block"), std::invalid_argument);
+  EXPECT_THROW(Partition::make(g, 9, "block"), std::invalid_argument);
+  EXPECT_THROW(Partition::make(g, 2, "mystery"), std::invalid_argument);
+  // "" defaults to block; "bands" is the alias for bfs_bands.
+  EXPECT_NO_THROW(Partition::make(g, 2, ""));
+  EXPECT_NO_THROW(Partition::make(g, 2, "bands"));
+}
+
+TEST(Partition, DeterministicAcrossCalls) {
+  const Graph g = make_connected_er(32, 0.15, 11);
+  for (const char* strategy : {"block", "bands"}) {
+    const Partition a = Partition::make(g, 3, strategy);
+    const Partition b = Partition::make(g, 3, strategy);
+    EXPECT_EQ(a.shard_assignment(), b.shard_assignment()) << strategy;
+  }
+}
+
+}  // namespace
+}  // namespace tbcs::graph

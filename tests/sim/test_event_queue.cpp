@@ -19,6 +19,17 @@ Event at(RealTime t) {
   return e;
 }
 
+// Events are ordered by the key (time, source, seq, twin), stamped by the
+// producer (the simulator); these helpers stamp explicitly.
+Event keyed(RealTime t, NodeId source, std::uint64_t seq, bool twin = false) {
+  Event e;
+  e.time = t;
+  e.source = source;
+  e.seq = seq;
+  e.twin = twin;
+  return e;
+}
+
 TEST(EventQueue, EmptyInitially) {
   EventQueue q;
   EXPECT_TRUE(q.empty());
@@ -36,24 +47,50 @@ TEST(EventQueue, PopsInTimeOrder) {
   EXPECT_TRUE(q.empty());
 }
 
-TEST(EventQueue, SimultaneousEventsAreFifo) {
+TEST(EventQueue, SimultaneousEventsPopInSeqOrder) {
   EventQueue q;
-  for (int i = 0; i < 10; ++i) {
-    Event e = at(5.0);
+  for (int i = 9; i >= 0; --i) {
+    Event e = keyed(5.0, /*source=*/3, static_cast<std::uint64_t>(i));
     e.slot = static_cast<std::uint8_t>(i);  // marker
     q.push(e);
   }
   for (int i = 0; i < 10; ++i) {
-    EXPECT_EQ(q.pop().slot, i) << "FIFO order must hold for equal times";
+    EXPECT_EQ(q.pop().slot, i)
+        << "same-source seq order must hold for equal times";
   }
 }
 
-// FIFO among ties must hold even when the ties are interleaved with
-// earlier and later events (sift paths move the tied entries around).
-TEST(EventQueue, FifoTieBreakSurvivesSifting) {
+// Ties at equal times break by (source, seq), never by push order: the pop
+// sequence is a pure function of the event set.  The system source
+// (kInvalidNode = -1) sorts before every node, and a cut-edge twin sorts
+// directly after its primary.
+TEST(EventQueue, TieBreakIsSourceThenSeqThenTwin) {
   EventQueue q;
-  for (int i = 0; i < 32; ++i) {
-    Event e = at(5.0);
+  q.push(keyed(5.0, 2, 0));
+  q.push(keyed(5.0, 1, 1, /*twin=*/true));
+  q.push(keyed(5.0, 1, 1));
+  q.push(keyed(5.0, 1, 0));
+  q.push(keyed(5.0, kInvalidNode, 7));
+  const Event a = q.pop();
+  EXPECT_EQ(a.source, kInvalidNode) << "system events sort first at ties";
+  const Event b = q.pop();
+  EXPECT_EQ(b.source, 1);
+  EXPECT_EQ(b.seq, 0u);
+  const Event c = q.pop();
+  EXPECT_EQ(c.source, 1);
+  EXPECT_EQ(c.seq, 1u);
+  EXPECT_FALSE(c.twin) << "the primary pops before its twin";
+  const Event d = q.pop();
+  EXPECT_TRUE(d.twin);
+  EXPECT_EQ(q.pop().source, 2);
+}
+
+// Key order among ties must hold even when the ties are interleaved with
+// earlier and later events (sift paths move the tied entries around).
+TEST(EventQueue, SeqTieBreakSurvivesSifting) {
+  EventQueue q;
+  for (int i = 31; i >= 0; --i) {
+    Event e = keyed(5.0, /*source=*/0, static_cast<std::uint64_t>(i));
     e.slot = static_cast<std::uint8_t>(i);
     q.push(e);
     q.push(at(0.5 + i));    // earlier and later noise around the ties
@@ -70,6 +107,36 @@ TEST(EventQueue, FifoTieBreakSurvivesSifting) {
     }
   }
   EXPECT_EQ(next_marker, 32);
+}
+
+// The pop order is a pure function of the event set: any push interleaving
+// of the same stamped events produces the same pop sequence.
+TEST(EventQueue, PopOrderIndependentOfPushOrder) {
+  std::vector<Event> events;
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    Event e = keyed(static_cast<double>(rng.uniform_index(20)),
+                    static_cast<NodeId>(rng.uniform_index(5)),
+                    static_cast<std::uint64_t>(i));
+    e.slot = static_cast<std::uint8_t>(i % 251);
+    events.push_back(e);
+  }
+  const auto drain = [](EventQueue& q) {
+    std::vector<std::pair<double, std::uint64_t>> out;
+    while (!q.empty()) {
+      const Event e = q.pop();
+      out.emplace_back(e.time, (static_cast<std::uint64_t>(
+                                    static_cast<std::uint32_t>(e.source))
+                                << 32) |
+                                   e.seq);
+    }
+    return out;
+  };
+  EventQueue fwd;
+  for (const Event& e : events) fwd.push(e);
+  EventQueue rev;
+  for (auto it = events.rbegin(); it != events.rend(); ++it) rev.push(*it);
+  EXPECT_EQ(drain(fwd), drain(rev));
 }
 
 TEST(EventQueue, InterleavedPushPop) {
@@ -104,10 +171,10 @@ TEST(EventQueue, RandomizedOrderingProperty) {
 }
 
 // The 4-ary heap against a reference ordered set under random interleaved
-// push/pop: every pop must return the least (time, push rank) currently in
-// the queue, including exact time ties.
+// push/pop: every pop must return the least (time, seq) currently in the
+// queue, including exact time ties.
 TEST(EventQueue, RandomizedMatchesReferenceOrder) {
-  using Key = std::pair<RealTime, int>;  // (time, push rank)
+  using Key = std::pair<RealTime, int>;  // (time, stamped seq)
   EventQueue q;
   std::priority_queue<Key, std::vector<Key>, std::greater<Key>> ref;
   Rng rng(4242);
@@ -115,7 +182,8 @@ TEST(EventQueue, RandomizedMatchesReferenceOrder) {
   for (int round = 0; round < 4000; ++round) {
     if (q.empty() || rng.uniform(0.0, 1.0) < 0.6) {
       // Coarse time grid on purpose: plenty of exact ties.
-      Event e = at(static_cast<double>(rng.uniform_index(50)));
+      Event e = keyed(static_cast<double>(rng.uniform_index(50)),
+                      /*source=*/0, static_cast<std::uint64_t>(rank));
       e.node = static_cast<NodeId>(rank);
       ref.emplace(e.time, rank++);
       q.push(e);
@@ -183,16 +251,15 @@ TEST(EventQueue, ClearEmpties) {
   EXPECT_TRUE(q.empty());
 }
 
-// Sequence numbers must keep increasing across clear(): events pushed
-// after a clear still lose FIFO ties against nothing stale, and ordering
-// among themselves reflects the new push order.
-TEST(EventQueue, FifoOrderSurvivesClear) {
+// Keys are stamped by the producer, so ordering across a clear() is
+// whatever the stamps say — nothing in the queue resets or rewrites them.
+TEST(EventQueue, KeyOrderSurvivesClear) {
   EventQueue q;
-  for (int i = 0; i < 5; ++i) q.push(at(9.0));
+  for (int i = 0; i < 5; ++i) q.push(keyed(9.0, 0, static_cast<std::uint64_t>(i)));
   q.clear();
   EXPECT_TRUE(q.empty());
-  for (int i = 0; i < 8; ++i) {
-    Event e = at(3.0);
+  for (int i = 7; i >= 0; --i) {
+    Event e = keyed(3.0, 0, static_cast<std::uint64_t>(i));
     e.slot = static_cast<std::uint8_t>(i);
     q.push(e);
   }

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include <cmath>
+#include <cstdlib>
 #include <optional>
 
 #include "analysis/ascii_chart.hpp"
@@ -48,12 +49,27 @@ run:        --duration T --seed S --wake-all --per-distance
             --audit-oracle     run the incremental skew tracker and the
                                full-rescan oracle side by side; abort on
                                any divergence (slow; for validation)
+            --shards N         run the sharded time-window engine with N
+                               lanes (0 = classic serial engine).  Needs a
+                               delay policy with a positive minimum delay
+                               (--delays band or fixed); output is
+                               byte-identical for every N
+            --partition P      shard assignment: block (contiguous id
+                               ranges, default) | bands (BFS layers)
+            --progress[=SECS]  stderr heartbeat every SECS wall seconds
+                               (default 5): wall time, sim time, events/s,
+                               queue depth, current shard horizon
+            note: a skew-tracker stride > 1 silently degrades the
+            incremental engine to full rescans; such samples are counted
+            in the `skew.full_rescan_fallback` metrics counter (--stats)
 output:     --series-csv FILE --profile-csv FILE --snapshot-csv FILE
 record:     --record FILE      save this execution (rates + delays)
             --replay FILE      re-run a saved execution (overrides the
                                adversary flags; topology/algo must match)
 observe:    --stats            print communication/queue/metrics/trace
                                counters as one JSON object on exit
+            --stats-json FILE  write the same JSON object to FILE (the
+                               sharded-equivalence smoke test diffs these)
             --trace FILE       attach a flight recorder and save the binary
                                trace dump to FILE (inspect with tbcs_trace)
             --trace-capacity N ring capacity in records (default 65536)
@@ -81,9 +97,17 @@ int main(int argc, char** argv) {
   const bool chart = args.get_bool("chart");
   const bool audit_oracle = args.get_bool("audit-oracle");
   const bool stats = args.get_bool("stats");
+  const std::string stats_json = args.get_string("stats-json", "");
   const std::string trace_file = args.get_string("trace", "");
   const int trace_capacity = args.get_int("trace-capacity", 1 << 16);
   const int trace_sample = args.get_int("trace-sample", 1);
+  double progress_secs = 0.0;
+  if (args.has("progress")) {
+    // Bare --progress means "the default cadence"; --progress=SECS tunes it.
+    const std::string p = args.get_string("progress", "");
+    progress_secs = (p.empty() || p == "true") ? 5.0 : std::strtod(p.c_str(), nullptr);
+    if (progress_secs <= 0.0) progress_secs = 5.0;
+  }
 
   for (const auto& key : args.unknown_keys()) {
     std::cerr << "error: unknown flag --" << key << "\n" << kUsage;
@@ -97,6 +121,7 @@ int main(int argc, char** argv) {
   try {
     auto built = cli::build_experiment(cfg);
     sim::Simulator& sim = *built.simulator;
+    if (progress_secs > 0.0) sim.set_progress(progress_secs);
 
     // With channel faults installed, record/replay policies go *inside*
     // the fault decorator: faults perturb the recorded honest delays, so
@@ -161,7 +186,7 @@ int main(int argc, char** argv) {
       topt.recovery_local_bound = l_bound;
     }
     analysis::SkewTracker tracker(sim, topt);
-    tracker.attach(sim);
+    tracker.attach_auto(sim);
 
     std::optional<fault::FaultScheduler> faults;
     if (!built.timeline.empty()) {
@@ -179,6 +204,15 @@ int main(int argc, char** argv) {
                                      std::to_string(built.graph->num_nodes()) +
                                      ", D=" + std::to_string(d) + ")"});
     summary.add_row({"algorithm", cfg.algorithm});
+    if (sim.shards() > 0) {
+      const auto bal = sim.partition()->balance();
+      summary.add_row(
+          {"shards", std::to_string(sim.shards()) + " (" + cfg.partition +
+                         ", cut " + std::to_string(bal.cut_edges) + "/" +
+                         std::to_string(built.graph->num_edges()) +
+                         " edges, imbalance " +
+                         analysis::Table::num(bal.imbalance, 3) + ")"});
+    }
     summary.add_row({"mu / H0 / kappa",
                      analysis::Table::num(built.params.mu, 4) + " / " +
                          analysis::Table::num(built.params.h0, 3) + " / " +
@@ -278,11 +312,19 @@ int main(int argc, char** argv) {
       std::cout << "wrote " << trace_file << " (" << recorder.size()
                 << " of " << recorder.total_recorded() << " records kept)\n";
     }
-    if (stats) {
+    if (stats || !stats_json.empty()) {
       const auto snap = obs::MetricsRegistry::global().snapshot();
-      analysis::write_stats_json(
-          std::cout, sim, &snap,
-          trace_file.empty() ? nullptr : &recorder);
+      obs::FlightRecorder* rec = trace_file.empty() ? nullptr : &recorder;
+      if (stats) analysis::write_stats_json(std::cout, sim, &snap, rec);
+      if (!stats_json.empty()) {
+        std::ofstream os(stats_json);
+        if (!os) {
+          std::cerr << "error: cannot open " << stats_json << " for writing\n";
+          return 1;
+        }
+        analysis::write_stats_json(os, sim, &snap, rec);
+        std::cout << "wrote " << stats_json << "\n";
+      }
     }
     return 0;
   } catch (const std::exception& e) {

@@ -17,6 +17,7 @@
 // the two theory bounds, message count — ready for scripts/plot_sweep.gp.
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cli/args.hpp"
@@ -34,6 +35,11 @@ sweep:      --param diameter|nodes|eps|mu|h0|delay|duration
             [--replicas R]    R runs per grid point with distinct seeds
 run:        --jobs N          worker threads (default 1; output is
                               byte-identical for every N)
+            --shards K        run every simulation on the sharded engine
+                              with K lanes (results are byte-identical to
+                              K = 0, the serial default).  Jobs compose
+                              with shards against one core budget: J is
+                              clamped so J * K <= hardware threads
             --seed S          base seed; per-run seeds are derived from
                               (S, run index)
 output:     --format csv|json (default csv, on stdout)
@@ -67,8 +73,23 @@ int main(int argc, char** argv) {
   exec::SweepAxis axis2{args.get_string("param2", ""),
                         exec::parse_values(args.get_string("values2", ""))};
   const int replicas = args.get_int("replicas", 1);
-  const int jobs = args.get_int("jobs", 1);
+  int jobs = args.get_int("jobs", 1);
   const std::string format = args.get_string("format", "csv");
+
+  // Jobs and shards multiply: each run occupies max(1, shards) threads, so
+  // clamp the pool to keep jobs * shards inside one machine's core budget.
+  // Results are unaffected (the jobs count never changes output).
+  if (base.shards > 1 && jobs > 1) {
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    const int budget = hw > 0 ? hw : 1;
+    const int max_jobs = budget / base.shards > 0 ? budget / base.shards : 1;
+    if (jobs > max_jobs) {
+      std::cerr << "note: clamping --jobs " << jobs << " to " << max_jobs
+                << " (" << base.shards << " shards per run, " << budget
+                << " hardware threads)\n";
+      jobs = max_jobs;
+    }
+  }
 
   for (const auto& key : args.unknown_keys()) {
     std::cerr << "error: unknown flag --" << key << "\n" << kUsage;
