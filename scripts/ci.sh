@@ -15,6 +15,9 @@
 #      lanes, window barriers, cross-shard mailboxes, recording policies
 #      under concurrent lanes) with -DTBCS_SANITIZE=thread and run them.
 #      These are the only tests with real cross-thread contention.
+#   4. Sharded smoke + perf gate: smoke_shards.sh equivalence gates plus
+#      SMOKE_SHARDS_PERF=1, which fails if --shards 4 at n=16384 runs
+#      >10% slower than --shards 1 (the window-stall regression).
 #
 # Usage: scripts/ci.sh [jobs]     (default: nproc)
 set -euo pipefail
@@ -52,6 +55,11 @@ cmake --build build-tsan -j "$JOBS" --target \
 build-tsan/tests/test_runtime
 build-tsan/tests/test_runtime_faults
 build-tsan/tests/test_sharded_equivalence
+
+echo
+echo "=== sharded smoke + perf gate ==="
+SMOKE_SHARDS_PERF=1 bash scripts/smoke_shards.sh \
+  build/tools/tbcs_sim build/tools/tbcs_trace
 
 echo
 echo "ci.sh: all green"

@@ -33,13 +33,16 @@ channel from=80 until=100 drop=0.15 jitter=0.4
 EOF
 
 # band delays: min delay > 0, so the conservative windows have lookahead.
+# --shards-min-nodes 1 disables the production auto-clamp (n=32 is far
+# below the 64-nodes-per-lane default, which would silently turn every
+# multi-shard run here into a 1-lane run and make the gates vacuous).
 run_sim() {  # run_sim <topology> <shards> <tag> [extra flags...]
   local topo="$1" shards="$2" tag="$3"
   shift 3
   "$SIM_BIN" --topology "$topo" --nodes 32 --arity 2 --levels 5 \
              --er-p 0.15 --algo aopt --delays band \
              --drift walk --duration 150 --seed 42 --wake-all \
-             --shards "$shards" \
+             --shards "$shards" --shards-min-nodes 1 \
              --record "$TMPDIR_SMOKE/$tag.rec" \
              --trace "$TMPDIR_SMOKE/$tag.bin" \
              --stats-json "$TMPDIR_SMOKE/$tag.stats" \
@@ -61,12 +64,16 @@ check_case() {  # check_case <topology> <label> [extra flags...]
                "$TMPDIR_SMOKE/$label-s1.bin" \
     || { echo "FAIL($label): trace serial != --shards 1"; exit 1; }
 
-  # Gate 2: shard counts agree on everything, byte for byte.
+  # Gate 2: shard counts agree on everything, byte for byte.  The stats
+  # "engine" line records the requested shard count and is the one block
+  # that is *supposed* to differ across -sN runs; strip it before the
+  # byte comparison.
   for n in 2 4; do
-    for ext in rec stats; do
-      cmp "$TMPDIR_SMOKE/$label-s1.$ext" "$TMPDIR_SMOKE/$label-s$n.$ext" \
-        || { echo "FAIL($label): $ext --shards 1 != --shards $n"; exit 1; }
-    done
+    cmp "$TMPDIR_SMOKE/$label-s1.rec" "$TMPDIR_SMOKE/$label-s$n.rec" \
+      || { echo "FAIL($label): rec --shards 1 != --shards $n"; exit 1; }
+    cmp <(grep -v '"engine"' "$TMPDIR_SMOKE/$label-s1.stats") \
+        <(grep -v '"engine"' "$TMPDIR_SMOKE/$label-s$n.stats") \
+      || { echo "FAIL($label): stats --shards 1 != --shards $n"; exit 1; }
     "$TRACE_BIN" --diff "$TMPDIR_SMOKE/$label-s1.bin" \
                  "$TMPDIR_SMOKE/$label-s$n.bin" \
       || { echo "FAIL($label): trace --shards 1 != --shards $n"; exit 1; }
@@ -84,5 +91,35 @@ done
 grep -q "crash" "$TMPDIR_SMOKE/path-faulty-s2.out" \
   || grep -q '"crashes": *[1-9]' "$TMPDIR_SMOKE/path-faulty-s2.stats" \
   || { echo "FAIL: fault plan did not apply"; exit 1; }
+
+# Perf gate (SMOKE_SHARDS_PERF=1, set by ci.sh): at n = 16384 on a path,
+# --shards 4 must not be more than 10% slower than --shards 1.  This is
+# the regression this PR fixed — the old engine's global window stall
+# made every multi-shard run *slower* than serial; the gate keeps it
+# fixed without demanding a machine-dependent speedup factor.  Best of
+# two runs per side to damp scheduler noise.
+if [[ "${SMOKE_SHARDS_PERF:-0}" == "1" ]]; then
+  perf_run() {  # perf_run <shards> -> milliseconds on stdout
+    local best=
+    for _ in 1 2; do
+      local t0 t1 ms
+      t0=$(date +%s%N)
+      "$SIM_BIN" --topology path --nodes 16384 --algo aopt --delays band \
+                 --drift walk --duration 40 --seed 42 --wake-all \
+                 --shards "$1" > /dev/null
+      t1=$(date +%s%N)
+      ms=$(( (t1 - t0) / 1000000 ))
+      if [[ -z "$best" || "$ms" -lt "$best" ]]; then best="$ms"; fi
+    done
+    echo "$best"
+  }
+  ms1=$(perf_run 1)
+  ms4=$(perf_run 4)
+  echo "smoke_shards: perf n=16384 path: shards=1 ${ms1}ms, shards=4 ${ms4}ms"
+  if (( ms4 * 10 > ms1 * 11 )); then
+    echo "FAIL: --shards 4 is >10% slower than --shards 1 (${ms4}ms vs ${ms1}ms)"
+    exit 1
+  fi
+fi
 
 echo "smoke_shards: OK"

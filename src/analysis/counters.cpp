@@ -64,6 +64,15 @@ void write_stats_json(std::ostream& os, const sim::Simulator& sim,
      << ", \"pops\": " << queue.pops
      << ", \"stale_timer_pops\": " << queue.stale_timer_pops
      << ", \"stale_share\": " << queue.stale_share << "},\n";
+  // Engine shape: requested vs auto-clamped shard count and the partition
+  // strategy.  Deliberately partition-*dependent* — byte-comparison gates
+  // that check shard-count invariance must filter this block out.
+  os << "  \"engine\": {"
+     << "\"shards_requested\": " << sim.shards_requested()
+     << ", \"shards_effective\": " << sim.shards()
+     << ", \"partition\": \""
+     << (sim.shards() > 0 ? sim.partition_strategy() : std::string("serial"))
+     << "\"},\n";
   os << "  \"metrics\": ";
   if (metrics != nullptr) {
     write_metrics_json(os, *metrics);

@@ -42,6 +42,7 @@ void apply_model_flags(ArgParser& args, ExperimentConfig& cfg) {
   cfg.per_distance = args.get_bool("per-distance", cfg.per_distance);
   cfg.shards = args.get_int("shards", cfg.shards);
   cfg.partition = args.get_string("partition", cfg.partition);
+  cfg.min_shard_nodes = args.get_int("shards-min-nodes", cfg.min_shard_nodes);
   cfg.faults_file = args.get_string("faults", cfg.faults_file);
   cfg.fault_seed = static_cast<std::uint64_t>(
       args.get_int("fault-seed", static_cast<int>(cfg.fault_seed)));
@@ -182,7 +183,8 @@ BuiltExperiment build_experiment(const ExperimentConfig& cfg) {
   scfg.probe_interval = cfg.delay;
   built.simulator = std::make_unique<sim::Simulator>(*built.graph, scfg);
   if (cfg.shards > 0) {
-    built.simulator->configure_shards(cfg.shards, cfg.partition);
+    built.simulator->configure_shards(cfg.shards, cfg.partition,
+                                      cfg.min_shard_nodes);
   }
   const core::SyncParams params = built.params;
   const fault::FaultTimeline& timeline = built.timeline;

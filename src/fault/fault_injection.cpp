@@ -47,8 +47,17 @@ void ChannelFaultPolicy::plan_deliveries(sim::NodeId from, sim::NodeId to,
   // nothing before it.
   sim::PlannedDelivery pd;
   pd.at = inner_->delivery_time(from, to, send_time, sim);
+  // Floor every planned copy at the bound this policy certifies to the
+  // sharded engine (min_delay forwards to the inner policy).  Jitter only
+  // adds delay, so with an honest inner policy the clamp never fires; it
+  // exists so a delivery below the certified bound — from a buggy inner
+  // draw or a mis-certified min_delay override — is pinned to the bound
+  // instead of silently breaking the safe-horizon invariant (a cross-shard
+  // message arriving before the window barrier it was certified past).
+  const sim::RealTime floor_at = send_time + inner_->min_delay(from, to);
   const ChannelWindow* w = window_at(send_time);
   if (w == nullptr) {
+    pd.at = std::max(pd.at, floor_at);
     out.push_back(pd);
     return;
   }
@@ -58,6 +67,7 @@ void ChannelFaultPolicy::plan_deliveries(sim::NodeId from, sim::NodeId to,
     return;
   }
   if (w->jitter > 0.0) pd.at += rng.uniform(0.0, w->jitter);
+  pd.at = std::max(pd.at, floor_at);
   if (w->corrupt > 0.0 && rng.next_double() < w->corrupt) {
     pd.logical_delta = rng.uniform(-w->magnitude, w->magnitude);
     pd.logical_max_delta = rng.uniform(-w->magnitude, w->magnitude);
@@ -70,6 +80,7 @@ void ChannelFaultPolicy::plan_deliveries(sim::NodeId from, sim::NodeId to,
       dup.at = inner_->delivery_time(from, to, send_time, sim) +
                rng.uniform(0.0, w->jitter);
     }
+    dup.at = std::max(dup.at, floor_at);
     out.push_back(dup);
     duplicated_.fetch_add(1, std::memory_order_relaxed);
   }

@@ -38,8 +38,15 @@ class ChannelFaultPolicy final : public sim::DelayPolicy {
 
   /// Jitter only ever *adds* delay, drops remove deliveries, and duplicate
   /// copies inherit a fresh inner delay — so the inner policy's bound
-  /// survives the channel faults unchanged.
+  /// survives the channel faults unchanged.  plan_deliveries() enforces
+  /// this with an explicit floor at send_time + inner min_delay(from, to):
+  /// a buggy or adversarial inner policy that draws below its own
+  /// certified bound is clamped rather than allowed to break the sharded
+  /// engine's safe-horizon invariant.
   sim::Duration min_delay() const override { return inner_->min_delay(); }
+  sim::Duration min_delay(sim::NodeId from, sim::NodeId to) const override {
+    return inner_->min_delay(from, to);
+  }
   void prepare(sim::NodeId num_nodes) override;
 
   /// The wrapped policy is swappable so record/replay decorators can be

@@ -96,6 +96,21 @@ int Graph::diameter() const {
   return d;
 }
 
+int Graph::diameter_2sweep() const {
+  if (num_nodes() == 0) return 0;
+  // Sweep 1: farthest node u from an arbitrary start; sweep 2: u's
+  // eccentricity.  ecc(u) <= D always, with equality on trees (u is an
+  // endpoint of a longest path) — and paths/grids/tori in practice.
+  const auto first = bfs_distances(0);
+  NodeId u = 0;
+  for (NodeId v = 1; v < num_nodes(); ++v) {
+    if (first[static_cast<std::size_t>(v)] > first[static_cast<std::size_t>(u)]) {
+      u = v;
+    }
+  }
+  return eccentricity(u);
+}
+
 std::vector<std::vector<int>> Graph::all_pairs_distances() const {
   std::vector<std::vector<int>> dist;
   dist.reserve(static_cast<std::size_t>(num_nodes()));

@@ -122,6 +122,12 @@ class Graph {
   /// Exact diameter D via BFS from every node.  O(n * (n + m)).
   int diameter() const;
 
+  /// Two-sweep diameter estimate: one BFS to find a peripheral node,
+  /// one BFS for its eccentricity.  O(n + m) — usable at n = 10^6 where
+  /// the exact scan is quadratic.  Always a lower bound on D; exact on
+  /// trees (hence paths), and on the generated grids/tori in practice.
+  int diameter_2sweep() const;
+
   /// All-pairs hop distances; dist[u][v].  O(n * (n + m)) time, O(n^2)
   /// memory — intended for the metric layer on moderate n.
   std::vector<std::vector<int>> all_pairs_distances() const;

@@ -1,9 +1,12 @@
 #include "graph/partition.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
+#include <queue>
 #include <stdexcept>
 #include <string>
+#include <tuple>
 
 namespace tbcs::graph {
 
@@ -20,7 +23,270 @@ void check_args(const Graph& g, int num_shards) {
   }
 }
 
+// ---- multilevel machinery ---------------------------------------------------
+//
+// The coarsening/refinement levels operate on a weighted multigraph in CSR
+// form: node weights count the original nodes a cluster absorbed, edge
+// weights count the original edges between two clusters.  Everything is
+// id-ordered (visiting order, tie-breaking, CSR neighbor order), so the
+// whole pipeline is a pure function of (graph, k).
+
+struct LevelGraph {
+  int n = 0;
+  std::vector<std::uint64_t> node_w;
+  std::vector<std::size_t> off;    // CSR offsets, size n + 1
+  std::vector<int> adj;            // neighbor cluster ids
+  std::vector<std::uint64_t> w;    // parallel-edge multiplicity
+};
+
+LevelGraph level_from_edges(int n,
+                            std::vector<std::tuple<int, int, std::uint64_t>> es,
+                            std::vector<std::uint64_t> node_w) {
+  // Merge parallel edges, then lay out a symmetric CSR.
+  std::sort(es.begin(), es.end());
+  std::vector<std::tuple<int, int, std::uint64_t>> merged;
+  for (const auto& e : es) {
+    if (!merged.empty() && std::get<0>(merged.back()) == std::get<0>(e) &&
+        std::get<1>(merged.back()) == std::get<1>(e)) {
+      std::get<2>(merged.back()) += std::get<2>(e);
+    } else {
+      merged.push_back(e);
+    }
+  }
+  LevelGraph lg;
+  lg.n = n;
+  lg.node_w = std::move(node_w);
+  std::vector<std::size_t> deg(static_cast<std::size_t>(n), 0);
+  for (const auto& [u, v, wt] : merged) {
+    ++deg[static_cast<std::size_t>(u)];
+    ++deg[static_cast<std::size_t>(v)];
+  }
+  lg.off.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int v = 0; v < n; ++v) {
+    lg.off[static_cast<std::size_t>(v) + 1] =
+        lg.off[static_cast<std::size_t>(v)] + deg[static_cast<std::size_t>(v)];
+  }
+  lg.adj.resize(lg.off.back());
+  lg.w.resize(lg.off.back());
+  std::vector<std::size_t> fill(lg.off.begin(), lg.off.end() - 1);
+  for (const auto& [u, v, wt] : merged) {
+    lg.adj[fill[static_cast<std::size_t>(u)]] = v;
+    lg.w[fill[static_cast<std::size_t>(u)]++] = wt;
+    lg.adj[fill[static_cast<std::size_t>(v)]] = u;
+    lg.w[fill[static_cast<std::size_t>(v)]++] = wt;
+  }
+  return lg;
+}
+
+/// One coarsening step: maximal heavy-edge matching (id order, heaviest
+/// edge first, smallest-id tie-break), then contraction.  Returns the
+/// coarse graph and fills `map` (fine id -> coarse id).
+LevelGraph coarsen(const LevelGraph& g, std::vector<int>& map) {
+  map.assign(static_cast<std::size_t>(g.n), -1);
+  int next = 0;
+  for (int v = 0; v < g.n; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (map[vi] >= 0) continue;
+    int best = -1;
+    std::uint64_t best_w = 0;
+    for (std::size_t i = g.off[vi]; i < g.off[vi + 1]; ++i) {
+      const int u = g.adj[i];
+      if (map[static_cast<std::size_t>(u)] >= 0 || u == v) continue;
+      if (g.w[i] > best_w || (g.w[i] == best_w && (best < 0 || u < best))) {
+        best = u;
+        best_w = g.w[i];
+      }
+    }
+    map[vi] = next;
+    if (best >= 0) map[static_cast<std::size_t>(best)] = next;
+    ++next;
+  }
+  std::vector<std::uint64_t> node_w(static_cast<std::size_t>(next), 0);
+  for (int v = 0; v < g.n; ++v) {
+    node_w[static_cast<std::size_t>(map[static_cast<std::size_t>(v)])] +=
+        g.node_w[static_cast<std::size_t>(v)];
+  }
+  std::vector<std::tuple<int, int, std::uint64_t>> es;
+  for (int v = 0; v < g.n; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    for (std::size_t i = g.off[vi]; i < g.off[vi + 1]; ++i) {
+      const int u = g.adj[i];
+      if (u <= v) continue;  // each fine edge once
+      const int cu = map[vi];
+      const int cv = map[static_cast<std::size_t>(u)];
+      if (cu == cv) continue;
+      es.emplace_back(std::min(cu, cv), std::max(cu, cv), g.w[i]);
+    }
+  }
+  return level_from_edges(next, std::move(es), std::move(node_w));
+}
+
+/// Weighted block split of the (coarsest) graph in BFS order from node 0:
+/// shard s gets the BFS prefix while the cumulative weight stays within
+/// s's share; every shard is forced at least one node.
+std::vector<int> initial_split(const LevelGraph& g, int k) {
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(g.n));
+  std::vector<char> seen(static_cast<std::size_t>(g.n), 0);
+  std::queue<int> q;
+  for (int root = 0; root < g.n; ++root) {
+    if (seen[static_cast<std::size_t>(root)]) continue;
+    seen[static_cast<std::size_t>(root)] = 1;
+    q.push(root);
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      order.push_back(v);
+      const auto vi = static_cast<std::size_t>(v);
+      for (std::size_t i = g.off[vi]; i < g.off[vi + 1]; ++i) {
+        const int u = g.adj[i];
+        if (!seen[static_cast<std::size_t>(u)]) {
+          seen[static_cast<std::size_t>(u)] = 1;
+          q.push(u);
+        }
+      }
+    }
+  }
+  std::uint64_t total = 0;
+  for (const std::uint64_t nw : g.node_w) total += nw;
+  std::vector<int> part(static_cast<std::size_t>(g.n), 0);
+  std::uint64_t cum = 0;
+  int s = 0;
+  int in_s = 0;  // nodes assigned to the current shard so far
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const int remaining = static_cast<int>(order.size() - i);
+    // Advance when s's weight share is filled, or when exactly one node
+    // per not-yet-started shard remains (each must end up non-empty).
+    if (s + 1 < k && in_s > 0 &&
+        (remaining == k - 1 - s ||
+         cum * static_cast<std::uint64_t>(k) >=
+             static_cast<std::uint64_t>(s + 1) * total)) {
+      ++s;
+      in_s = 0;
+    }
+    part[static_cast<std::size_t>(order[i])] = s;
+    ++in_s;
+    cum += g.node_w[static_cast<std::size_t>(order[i])];
+  }
+  return part;
+}
+
+/// Kernighan–Lin style boundary refinement: id-ordered greedy passes that
+/// move a node to the adjacent shard with the largest connectivity gain,
+/// subject to a weight cap and shards staying non-empty.  Deterministic;
+/// stops when a pass moves nothing (at most 4 passes).
+void refine(const LevelGraph& g, std::vector<int>& part, int k) {
+  std::vector<std::uint64_t> load(static_cast<std::size_t>(k), 0);
+  std::vector<int> count(static_cast<std::size_t>(k), 0);
+  std::uint64_t total = 0;
+  std::uint64_t max_nw = 0;
+  for (int v = 0; v < g.n; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    load[static_cast<std::size_t>(part[vi])] += g.node_w[vi];
+    ++count[static_cast<std::size_t>(part[vi])];
+    total += g.node_w[vi];
+    max_nw = std::max(max_nw, g.node_w[vi]);
+  }
+  // Weight cap: 10% over the ideal share, slackened by one cluster so a
+  // single heavy cluster can always move somewhere.
+  const double cap_d =
+      1.10 * static_cast<double>(total) / static_cast<double>(k) +
+      static_cast<double>(max_nw);
+  std::vector<std::uint64_t> conn(static_cast<std::size_t>(k), 0);
+  std::vector<int> touched;
+  for (int pass = 0; pass < 4; ++pass) {
+    bool moved = false;
+    for (int v = 0; v < g.n; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      const int own = part[vi];
+      touched.clear();
+      for (std::size_t i = g.off[vi]; i < g.off[vi + 1]; ++i) {
+        const int s = part[static_cast<std::size_t>(g.adj[i])];
+        if (conn[static_cast<std::size_t>(s)] == 0) touched.push_back(s);
+        conn[static_cast<std::size_t>(s)] += g.w[i];
+      }
+      int best = -1;
+      std::uint64_t best_conn = 0;
+      for (const int s : touched) {
+        if (s == own) continue;
+        const std::uint64_t c = conn[static_cast<std::size_t>(s)];
+        if (c > best_conn || (c == best_conn && best >= 0 && s < best)) {
+          best = s;
+          best_conn = c;
+        }
+      }
+      const std::uint64_t own_conn = conn[static_cast<std::size_t>(own)];
+      for (const int s : touched) conn[static_cast<std::size_t>(s)] = 0;
+      if (best < 0) continue;
+      const auto bs = static_cast<std::size_t>(best);
+      const auto os = static_cast<std::size_t>(own);
+      const bool gain = best_conn > own_conn;
+      const bool tie_rebalance =
+          best_conn == own_conn && load[os] > load[bs] + g.node_w[vi];
+      if (!gain && !tie_rebalance) continue;
+      if (count[os] <= 1) continue;  // never empty a shard
+      if (static_cast<double>(load[bs] + g.node_w[vi]) > cap_d &&
+          load[bs] + g.node_w[vi] >= load[os]) {
+        continue;  // would overload the target without improving balance
+      }
+      part[vi] = best;
+      load[os] -= g.node_w[vi];
+      load[bs] += g.node_w[vi];
+      --count[os];
+      ++count[bs];
+      moved = true;
+    }
+    if (!moved) break;
+  }
+}
+
 }  // namespace
+
+Partition Partition::multilevel(const Graph& g, int num_shards) {
+  check_args(g, num_shards);
+  Partition p;
+  p.num_shards_ = num_shards;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  if (num_shards == 1) {
+    p.shard_of_.assign(n, 0);
+    p.finish(g);
+    return p;
+  }
+  // Level 0 is the input graph with unit weights.
+  std::vector<std::tuple<int, int, std::uint64_t>> es;
+  es.reserve(g.edges().size());
+  for (const auto& [u, v] : g.edges()) {
+    es.emplace_back(std::min<int>(u, v), std::max<int>(u, v), 1);
+  }
+  std::vector<LevelGraph> levels;
+  levels.push_back(level_from_edges(static_cast<int>(n), std::move(es),
+                                    std::vector<std::uint64_t>(n, 1)));
+  std::vector<std::vector<int>> maps;  // maps[i]: levels[i] -> levels[i+1]
+  const int target = std::max(num_shards * 16, 64);
+  while (levels.back().n > target) {
+    std::vector<int> map;
+    LevelGraph next = coarsen(levels.back(), map);
+    if (next.n >= levels.back().n) break;  // no contraction possible
+    maps.push_back(std::move(map));
+    const bool stalled = next.n * 20 > levels.back().n * 19;  // < 5% shrink
+    levels.push_back(std::move(next));
+    if (stalled) break;
+  }
+  std::vector<int> part = initial_split(levels.back(), num_shards);
+  refine(levels.back(), part, num_shards);
+  for (std::size_t lvl = maps.size(); lvl-- > 0;) {
+    const std::vector<int>& map = maps[lvl];
+    std::vector<int> fine(map.size());
+    for (std::size_t v = 0; v < map.size(); ++v) {
+      fine[v] = part[static_cast<std::size_t>(map[v])];
+    }
+    part = std::move(fine);
+    refine(levels[lvl], part, num_shards);
+  }
+  p.shard_of_ = std::move(part);
+  p.finish(g);
+  return p;
+}
 
 Partition Partition::block(const Graph& g, int num_shards) {
   check_args(g, num_shards);
@@ -70,8 +336,11 @@ Partition Partition::make(const Graph& g, int num_shards,
                           const std::string& strategy) {
   if (strategy == "block" || strategy.empty()) return block(g, num_shards);
   if (strategy == "bands") return bfs_bands(g, num_shards);
+  if (strategy == "ml" || strategy == "multilevel") {
+    return multilevel(g, num_shards);
+  }
   throw std::invalid_argument("Partition: unknown strategy '" + strategy +
-                              "' (expected block|bands)");
+                              "' (expected block|bands|ml)");
 }
 
 void Partition::finish(const Graph& g) {

@@ -58,6 +58,19 @@ class DelayPolicy {
   /// disables sharded execution.
   virtual Duration min_delay() const { return 0.0; }
 
+  /// Per-edge refinement of min_delay(): a guaranteed lower bound on the
+  /// delay of any message sent from `from` to `to`.  The sharded engine
+  /// derives each lane's safe horizon from the bounds of its own cut and
+  /// intra-shard arcs, so an edge with a larger certified bound buys a
+  /// larger window even when some other edge is fast.  Must satisfy
+  /// min_delay(from, to) >= min_delay() for every arc; the default is the
+  /// global bound.
+  virtual Duration min_delay(NodeId from, NodeId to) const {
+    (void)from;
+    (void)to;
+    return min_delay();
+  }
+
   /// Called once by the simulator before the first event, with the node
   /// count.  Randomized policies materialize their per-sender streams here
   /// so that concurrent shards never share (or lazily grow) RNG state.
@@ -142,6 +155,12 @@ class DirectionalDelay final : public DelayPolicy {
     return send_time + (classify_(from, to) ? fast_ : slow_);
   }
   Duration min_delay() const override { return std::min(fast_, slow_); }
+  /// Per-arc bound is exact: the delay on an arc is a constant.  Slow
+  /// arcs certify the full `slow` lookahead to the sharded engine even
+  /// when fast arcs exist elsewhere in the graph.
+  Duration min_delay(NodeId from, NodeId to) const override {
+    return classify_(from, to) ? fast_ : slow_;
+  }
 
  private:
   Classifier classify_;
@@ -185,6 +204,13 @@ class BurstDelay final : public DelayPolicy {
     const double base = burst ? hi_ : lo_;
     return send_time + streams_.stream(from).uniform(0.8 * base, base);
   }
+  /// The 0.8 factor is not slack: every draw is uniform over
+  /// [0.8 * base, base], so a calm-window message (base = min(lo, hi) in
+  /// the usual lo < hi parameterization) can realize a delay arbitrarily
+  /// close to 0.8 * min(lo, hi).  Certifying anything larger would let the
+  /// sharded engine open windows that a legal draw violates; certifying
+  /// less would shrink every window for nothing.  The bound is exactly the
+  /// infimum of the support — test_policies pins this invariant.
   Duration min_delay() const override { return 0.8 * std::min(lo_, hi_); }
   void prepare(NodeId num_nodes) override { streams_.materialize(num_nodes); }
 

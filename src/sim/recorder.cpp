@@ -142,10 +142,19 @@ ReplayDelayPolicy::ReplayDelayPolicy(std::shared_ptr<const ExecutionLog> log,
     : log_(std::move(log)), tolerance_(tolerance) {
   double lo = std::numeric_limits<double>::infinity();
   for (const auto& d : log_->deliveries) {
-    pending_[{d.from, d.to}].pending.push_back(d);
-    lo = std::min(lo, d.recv - d.send);
+    EdgeQueue& q = pending_[{d.from, d.to}];
+    const double gap = d.recv - d.send;
+    q.min_gap = q.pending.empty() ? gap : std::min(q.min_gap, gap);
+    q.pending.push_back(d);
+    lo = std::min(lo, gap);
   }
   min_delay_ = (std::isfinite(lo) && lo > 0.0) ? lo : 0.0;
+}
+
+Duration ReplayDelayPolicy::min_delay(NodeId from, NodeId to) const {
+  const auto it = pending_.find({from, to});
+  if (it == pending_.end() || !(it->second.min_gap > 0.0)) return min_delay_;
+  return std::max(min_delay_, it->second.min_gap);
 }
 
 RealTime ReplayDelayPolicy::delivery_time(NodeId from, NodeId to,

@@ -98,6 +98,9 @@ class RecordingDelayPolicy final : public DelayPolicy {
   RealTime delivery_time(NodeId from, NodeId to, RealTime send_time,
                          const Simulator& sim) override;
   Duration min_delay() const override { return inner_->min_delay(); }
+  Duration min_delay(NodeId from, NodeId to) const override {
+    return inner_->min_delay(from, to);
+  }
   void prepare(NodeId num_nodes) override { inner_->prepare(num_nodes); }
 
  private:
@@ -137,6 +140,15 @@ class ReplayDelayPolicy final : public DelayPolicy {
   /// possible whenever the recorded delays were bounded away from zero.
   Duration min_delay() const override { return min_delay_; }
 
+  /// Per-directed-edge refinement: the smallest recorded gap on that edge
+  /// alone.  A recorded execution is a finite set of deliveries, so each
+  /// edge certifies its own (usually much larger) lookahead — a sharded
+  /// replay gets per-edge windows for free, even when the recording
+  /// policy itself could only certify a global bound.  Edges with no
+  /// recorded deliveries fall back to the global minimum (a replayed run
+  /// that sends on such an edge mismatches anyway).
+  Duration min_delay(NodeId from, NodeId to) const override;
+
   /// Deliveries matched so far (across all edges); a healthy full replay
   /// ends with deliveries_matched() == log->deliveries.size().
   std::uint64_t deliveries_matched() const {
@@ -147,6 +159,7 @@ class ReplayDelayPolicy final : public DelayPolicy {
   struct EdgeQueue {
     std::deque<ExecutionLog::DeliveryEvent> pending;
     std::uint64_t popped = 0;  // deliveries already matched on this edge
+    Duration min_gap = 0.0;    // smallest recv - send recorded on this edge
   };
 
   std::shared_ptr<const ExecutionLog> log_;

@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
@@ -27,8 +28,7 @@ class Simulator::ServicesImpl final : public NodeServices {
 
   NodeId id() const override { return v_; }
   ClockValue hardware_now() const override {
-    return sim_.per_node_[static_cast<std::size_t>(v_)].clock.value_at(
-        lane_.now);
+    return sim_.clock_slots_[sim_.slot(v_)].value_at(lane_.now);
   }
   void broadcast(const Message& m) override {
     sim_.do_broadcast(lane_, v_, m);
@@ -53,13 +53,22 @@ Simulator::Simulator(const graph::Graph& g, SimConfig cfg)
     : graph_(g),
       csr_(g.csr()),
       cfg_(cfg),
-      per_node_(static_cast<std::size_t>(g.num_nodes())),
+      nodes_(static_cast<std::size_t>(g.num_nodes())),
       drift_(std::make_shared<ConstantDrift>(1.0)),
       delay_(std::make_shared<FixedDelay>(0.0)) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  slot_of_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    slot_of_[v] = static_cast<std::uint32_t>(v);  // identity until sharded
+  }
+  clock_slots_.assign(n, HardwareClock{});
+  timer_slots_.assign(n * static_cast<std::size_t>(kMaxTimerSlots),
+                      TimerState{});
+  status_slots_.assign(n, 0);
   // Sized here, not in setup(): schedule_link_change()/schedule_crash()
   // stamp event keys before the first run_until(), and the counters must
   // never reset once keys have been handed out.
-  next_seq_.assign(static_cast<std::size_t>(g.num_nodes()) + 1, 0);
+  next_seq_.assign(n + 1, 0);
   init_lanes(1);
 }
 
@@ -76,27 +85,90 @@ void Simulator::init_lanes(std::size_t count) {
   }
 }
 
-void Simulator::configure_shards(int shards, const std::string& strategy) {
+void Simulator::configure_shards(int shards, const std::string& strategy,
+                                 int min_nodes_per_shard) {
   if (setup_done_) {
     throw std::logic_error(
         "Simulator::configure_shards must be called before the first run");
   }
+  const auto n = static_cast<std::size_t>(graph_.num_nodes());
   if (shards <= 0) {
     windowed_ = false;
     part_.reset();
+    shards_requested_ = 0;
+    partition_strategy_.clear();
+    bnd_level_.clear();
+    for (std::size_t v = 0; v < n; ++v) {
+      slot_of_[v] = static_cast<std::uint32_t>(v);
+    }
     init_lanes(1);
     return;
   }
+  shards_requested_ = shards;
+  partition_strategy_ = strategy;
+  int effective = std::min(shards, graph_.num_nodes());
+  if (min_nodes_per_shard > 0) {
+    const int cap = std::max(
+        1, graph_.num_nodes() / std::max(1, min_nodes_per_shard));
+    effective = std::min(effective, cap);
+  }
+  if (effective < shards) {
+    // Below ~min_nodes_per_shard nodes per lane the per-window barrier
+    // cost outweighs the parallel work, so extra lanes are a slowdown,
+    // not a speedup.  Warn once per process — sweeps would otherwise
+    // print this for every run.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "[tbcs] warning: clamping --shards %d to %d (%d nodes, "
+                   "min %d nodes per shard); the effective count is "
+                   "reported in the stats JSON \"engine\" block\n",
+                   shards, effective, graph_.num_nodes(),
+                   min_nodes_per_shard);
+    }
+  }
   part_ = std::make_unique<graph::Partition>(
-      graph::Partition::make(graph_, shards, strategy));
+      graph::Partition::make(graph_, effective, strategy));
   windowed_ = true;
   link_up_.assign(graph_.num_edges(), 1);
-  init_lanes(static_cast<std::size_t>(shards));
+  // Slot permutation: each shard's members become one contiguous block of
+  // the hot arrays, in member (ascending id) order.  With one shard this
+  // is the identity.
+  std::uint32_t next_slot = 0;
+  for (int s = 0; s < part_->num_shards(); ++s) {
+    for (const NodeId v : part_->members(s)) {
+      slot_of_[static_cast<std::size_t>(v)] = next_slot++;
+    }
+  }
+  // Boundary levels for the cut-aware horizon: 0 = endpoint of a cut
+  // edge, 1 = intra-shard neighbor of a level-0 node, 2 = farther.  An
+  // event at a level-l node needs >= l intra-shard hops before anything
+  // can happen at a cut node.  Computed here — before any event can be
+  // scheduled — so every queue push (including pre-run schedule_crash /
+  // schedule_link_change calls) lands in the boundary heaps.
+  bnd_level_.assign(n, 2);
+  if (effective > 1) {
+    for (const graph::Partition::CutEdge& ce : part_->cut_edges()) {
+      bnd_level_[static_cast<std::size_t>(ce.u)] = 0;
+      bnd_level_[static_cast<std::size_t>(ce.v)] = 0;
+    }
+    for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+      if (bnd_level_[static_cast<std::size_t>(u)] != 0) continue;
+      const int su = part_->shard_of(u);
+      for (const graph::Graph::Arc* a = csr_->begin(u); a != csr_->end(u);
+           ++a) {
+        if (part_->shard_of(a->to) != su) continue;
+        std::uint8_t& lvl = bnd_level_[static_cast<std::size_t>(a->to)];
+        if (lvl > 1) lvl = 1;
+      }
+    }
+  }
+  init_lanes(static_cast<std::size_t>(effective));
 }
 
 void Simulator::set_node(NodeId v, std::unique_ptr<Node> node) {
   assert(!setup_done_ && "nodes must be installed before the first run");
-  per_node_[static_cast<std::size_t>(v)].node = std::move(node);
+  nodes_[static_cast<std::size_t>(v)] = std::move(node);
 }
 
 void Simulator::set_all_nodes(
@@ -123,9 +195,10 @@ void Simulator::set_window_observer(WindowObserver observer) {
 }
 
 ClockValue Simulator::logical_at(NodeId v, RealTime t) const {
-  const PerNode& pn = per_node_[static_cast<std::size_t>(v)];
-  if (!pn.awake) return 0.0;
-  return pn.node->logical_at(pn.clock.value_at(t));
+  const std::size_t sl = slot(v);
+  if ((status_slots_[sl] & kAwakeBit) == 0) return 0.0;
+  return nodes_[static_cast<std::size_t>(v)]->logical_at(
+      clock_slots_[sl].value_at(t));
 }
 
 ClockValue Simulator::logical(NodeId v) const { return logical_at(v, now_); }
@@ -142,14 +215,41 @@ void Simulator::setup() {
           "certifies a positive min_delay() lookahead (fixed or "
           "lower-bounded delays); this policy cannot");
     }
+    // Per-lane lookahead bounds (the boundary *levels* were computed in
+    // configure_shards, before any event could be scheduled): la_out is
+    // the min per-edge delay bound over a lane's outgoing cut arcs,
+    // delta_intra over its intra-shard arcs.  Both are floored at the
+    // global min_delay() — per-edge bounds certify *at least* the global
+    // one, so a policy violating that contract is clamped, not trusted.
+    // Lanes with no outgoing cut arcs never bound the horizon.
+    if (lanes_.size() > 1) {
+      for (const graph::Partition::CutEdge& ce : part_->cut_edges()) {
+        const Duration uv = delay_->min_delay(ce.u, ce.v);
+        const Duration vu = delay_->min_delay(ce.v, ce.u);
+        Lane& lu = lanes_[static_cast<std::size_t>(ce.su)];
+        Lane& lv = lanes_[static_cast<std::size_t>(ce.sv)];
+        lu.la_out = std::min(lu.la_out, std::max(uv, lookahead_));
+        lv.la_out = std::min(lv.la_out, std::max(vu, lookahead_));
+      }
+      for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+        const int su = part_->shard_of(u);
+        Lane& ln = lanes_[static_cast<std::size_t>(su)];
+        for (const graph::Graph::Arc* a = csr_->begin(u); a != csr_->end(u);
+             ++a) {
+          if (part_->shard_of(a->to) != su) continue;
+          ln.delta_intra = std::min(
+              ln.delta_intra,
+              std::max(delay_->min_delay(u, a->to), lookahead_));
+        }
+      }
+    }
   }
   for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
-    PerNode& pn = per_node_[static_cast<std::size_t>(v)];
-    if (!pn.node) {
+    if (!nodes_[static_cast<std::size_t>(v)]) {
       throw std::logic_error("Simulator: node " + std::to_string(v) +
                              " has no algorithm installed");
     }
-    pn.clock.set_rate(0.0, drift_->initial_rate(v));
+    clock_slots_[slot(v)].set_rate(0.0, drift_->initial_rate(v));
     schedule_next_rate_change(v, 0.0);
   }
   if (cfg_.wake_all_at_zero) {
@@ -159,7 +259,7 @@ void Simulator::setup() {
   } else {
     wake_node(lane_of(cfg_.root), cfg_.root, nullptr);
     for (const NodeId v : cfg_.extra_roots) {
-      if (!per_node_[static_cast<std::size_t>(v)].awake) {
+      if ((status_slots_[slot(v)] & kAwakeBit) == 0) {
         wake_node(lane_of(v), v, nullptr);
       }
     }
@@ -181,11 +281,30 @@ void Simulator::setup() {
 
 // ---- event creation ---------------------------------------------------------
 
+void Simulator::note_queued(Lane& dest, NodeId a, NodeId b, RealTime t) {
+  // Only called when windowed with >1 lane (bnd_level_ is empty
+  // otherwise).  A push during a window only ever targets the pushing
+  // lane's own queue, so the heaps need no locking.
+  if (bnd_level_.empty() || a == kInvalidNode) return;
+  std::uint8_t lvl = bnd_level_[static_cast<std::size_t>(a)];
+  if (b != kInvalidNode) {
+    lvl = std::min(lvl, bnd_level_[static_cast<std::size_t>(b)]);
+  }
+  if (lvl == 0) {
+    dest.bnd0.push(t);
+  } else if (lvl == 1) {
+    dest.bnd1.push(t);
+  }
+}
+
 void Simulator::push_event(Event e, NodeId source) {
   stamp(e, source);
   Lane& dest = lane_of(e.node);
   dest.queue.push(e);
-  if (windowed_) ++dest.canon_pushes;
+  if (windowed_) {
+    ++dest.canon_pushes;
+    note_queued(dest, e.node, kInvalidNode, e.time);
+  }
 }
 
 void Simulator::push_link_change(Event e, NodeId source) {
@@ -194,6 +313,10 @@ void Simulator::push_link_change(Event e, NodeId source) {
   dest.queue.push(e);
   if (windowed_) {
     ++dest.canon_pushes;
+    // A link-change callback can broadcast from either endpoint, so the
+    // horizon treats the event as sitting at the better (lower) of the
+    // two boundary levels.
+    note_queued(dest, e.node, e.node2, e.time);
     Lane& other = lane_of(e.node2);
     if (&other != &dest) {
       // Cut edge: mirror the flip into the second endpoint's lane under the
@@ -203,6 +326,7 @@ void Simulator::push_link_change(Event e, NodeId source) {
       tw.twin = true;
       other.queue.push(tw);
       ++other.twins_in_queue;
+      note_queued(other, e.node, e.node2, e.time);
     }
   }
 }
@@ -222,9 +346,12 @@ void Simulator::push_delivery(Lane& ln, Event e, NodeId source,
     // straight into the destination queue.
     e.msg = dest.slab.put(m);
     dest.queue.push(e);
+    note_queued(dest, e.node, kInvalidNode, e.time);
   } else {
     // Cross-shard: the conservative horizon guarantees e.time >= W_end, so
     // parking it in the outbox until the barrier loses nothing.
+    assert(e.time >= win_end_ - kTimeTolerance &&
+           "cross-shard delivery below the safe horizon");
     ln.outbox[static_cast<std::size_t>(dest.index)].push_back(
         Lane::OutMsg{e, m});
   }
@@ -255,9 +382,39 @@ void Simulator::run_until(RealTime t_end) {
   ln.now = now_;
 }
 
+RealTime Simulator::safe_horizon() {
+  // Earliest possible cross-shard arrival, over all lanes: an event must
+  // first reach one of the lane's cut nodes (boundary_time, from the lazy
+  // level-0/1 heaps and the two-hop bound), then cross (la_out).  The
+  // heaps are cleaned here, on the coordinator thread between windows —
+  // every entry below the lane's clock belongs to an already-processed
+  // event.
+  RealTime horizon = kInfinity;
+  for (Lane& ln : lanes_) {
+    if (!(ln.la_out < kInfinity)) continue;  // no outgoing cut arcs
+    const auto clean_top = [&ln](Lane::TimeHeap& h) -> RealTime {
+      while (!h.empty() && h.top() < ln.now) h.pop();
+      return h.empty() ? kInfinity : h.top();
+    };
+    RealTime boundary = clean_top(ln.bnd0);
+    if (ln.delta_intra < kInfinity) {
+      boundary = std::min(boundary, clean_top(ln.bnd1) + ln.delta_intra);
+      const RealTime tn =
+          ln.queue.empty() ? kInfinity : ln.queue.top().time;
+      boundary = std::min(boundary, tn + 2.0 * ln.delta_intra);
+    }
+    horizon = std::min(horizon, boundary + ln.la_out);
+  }
+  return horizon;
+}
+
 void Simulator::run_windowed(RealTime t_end) {
   start_workers();
   const bool probe_active = cfg_.probe_interval > 0.0;
+  const Duration obs_dt = cfg_.observation_interval > 0.0
+                              ? cfg_.observation_interval
+                              : 4.0 * lookahead_;
+  bool t_end_flushed = false;
   for (;;) {
     RealTime t_next = kInfinity;
     for (const Lane& ln : lanes_) {
@@ -265,21 +422,51 @@ void Simulator::run_windowed(RealTime t_end) {
     }
     if (probe_active) t_next = std::min(t_next, probe_next_);
     if (t_next > t_end) break;
-    // Safe horizon: nothing processed before W_end can cause an event
-    // before W_end in another lane (every cross-shard delivery adds at
-    // least the lookahead).  Probes and the caller's horizon clip it; the
-    // final window is inclusive so events at exactly t_end are processed,
-    // matching the serial engine's run_until contract.
-    RealTime w_end = std::min(t_next + lookahead_, t_end);
+    // Observation cadence: obs_next_ is (re)armed only at the first
+    // window after an observation barrier, when the processed set is
+    // exactly the canonical events before that barrier — so t_next, and
+    // with it the whole obs-barrier sequence, is a pure function of the
+    // event set, identical for every shard count.  Intermediate
+    // horizon-clipped barriers (whose times depend on the partition)
+    // exchange outboxes and merge traces but never run observers.
+    if (obs_next_ == kInfinity) obs_next_ = t_next + obs_dt;
+    // Cut-aware safe horizon: nothing processed before W_end can cause an
+    // event before W_end in another lane.  Never below the classic global
+    // bound t_next + min_delay(); clipped by the observation cadence,
+    // probes, and the caller's horizon.  The final window is inclusive so
+    // events at exactly t_end are processed, matching the serial engine's
+    // run_until contract.
+    const RealTime horizon =
+        std::max(safe_horizon(), t_next + lookahead_);
+    RealTime w_end = std::min(std::min(horizon, obs_next_), t_end);
     if (probe_active) w_end = std::min(w_end, probe_next_);
     const bool probe_fires = probe_active && w_end == probe_next_;
+    const bool obs_fires =
+        probe_fires || w_end == obs_next_ || w_end == t_end;
     win_end_ = w_end;
     win_inclusive_ = !probe_fires && w_end == t_end;
     run_window_parallel();
-    barrier_flush(w_end, probe_fires);
+    barrier_flush(w_end, probe_fires, obs_fires);
+    if (w_end == obs_next_) obs_next_ = kInfinity;
+    if (obs_fires && w_end == t_end) t_end_flushed = true;
   }
   now_ = std::max(now_, t_end);
   for (Lane& ln : lanes_) ln.now = now_;
+  // Canonical close: every run_until ends with exactly one observation
+  // flush at t_end (delivering any touches accumulated since the last
+  // obs barrier), whether or not a window happened to land there — the
+  // landing depends on the partition, the close must not.
+  if (!t_end_flushed) {
+    canon_stats_.pushes = probe_canon_pushes_;
+    canon_stats_.pops = probe_canon_pops_;
+    for (const Lane& ln : lanes_) {
+      canon_stats_.pushes += ln.canon_pushes;
+      canon_stats_.pops += ln.canon_pops;
+    }
+    canon_stats_.peak_size =
+        std::max(canon_stats_.peak_size, canonical_pending());
+    flush_observers(t_end);
+  }
 }
 
 void Simulator::process_window(Lane& ln) {
@@ -316,7 +503,22 @@ void Simulator::process_window(Lane& ln) {
 }
 
 void Simulator::run_window_parallel() {
-  if (lanes_.size() == 1) {
+  // Dispatch fast path: when no worker lane has an event inside this
+  // window, skip the condition-variable round trip and run lane 0 (often
+  // also empty) inline.  Localized activity — a flood front deep inside
+  // one shard — would otherwise pay the full wake/wait cost per window
+  // for every idle lane.
+  bool workers_have_work = false;
+  for (std::size_t i = 1; i < lanes_.size(); ++i) {
+    const Lane& ln = lanes_[i];
+    if (!ln.queue.empty() &&
+        (win_inclusive_ ? ln.queue.top().time <= win_end_
+                        : ln.queue.top().time < win_end_)) {
+      workers_have_work = true;
+      break;
+    }
+  }
+  if (!workers_have_work) {
     in_window_ = true;
     try {
       process_window(lanes_[0]);
@@ -437,7 +639,8 @@ void Simulator::merge_lane_traces() {
   for (Lane& ln : lanes_) ln.trace.clear();
 }
 
-void Simulator::barrier_flush(RealTime w_end, bool probe_fires) {
+void Simulator::barrier_flush(RealTime w_end, bool probe_fires,
+                              bool obs_fires) {
   // 1. Cross-shard mailboxes: payloads move into the destination slab and
   // the stamped events join the destination queue (push order is
   // irrelevant — pop order is a pure function of the keys).
@@ -446,6 +649,7 @@ void Simulator::barrier_flush(RealTime w_end, bool probe_fires) {
       for (Lane::OutMsg& om : src.outbox[d]) {
         om.event.msg = lanes_[d].slab.put(om.payload);
         lanes_[d].queue.push(om.event);
+        note_queued(lanes_[d], om.event.node, kInvalidNode, om.event.time);
       }
       src.outbox[d].clear();
     }
@@ -490,18 +694,32 @@ void Simulator::barrier_flush(RealTime w_end, bool probe_fires) {
     ++probe_canon_pushes_;
     probe_next_ += cfg_.probe_interval;
   }
-  // 5. Canonical queue statistics (shard-count invariant).
+  // 5. Canonical queue statistics.  Pushes/pops are exact at any barrier;
+  // the *peak* is sampled only at observation barriers, whose times are
+  // shard-count invariant — sampling at horizon-clipped barriers would
+  // leak the partition into the stats.
   canon_stats_.pushes = probe_canon_pushes_;
   canon_stats_.pops = probe_canon_pops_;
   for (const Lane& ln : lanes_) {
     canon_stats_.pushes += ln.canon_pushes;
     canon_stats_.pops += ln.canon_pops;
   }
-  canon_stats_.peak_size =
-      std::max(canon_stats_.peak_size, canonical_pending());
-  // 6. Observers: the touched-node union (sorted, deduplicated, wake flags
-  // OR-ed) for window observers, plus the classic per-event observer once
-  // per barrier.
+  if (obs_fires) {
+    canon_stats_.peak_size =
+        std::max(canon_stats_.peak_size, canonical_pending());
+    // 6. Observers, only at observation barriers; plain barriers let the
+    // per-lane touched sets accumulate until the next one.
+    flush_observers(w_end);
+  } else if (!window_observer_) {
+    for (Lane& ln : lanes_) ln.touched.clear();
+  }
+  if (progress_interval_ > 0.0) maybe_progress(false);
+}
+
+void Simulator::flush_observers(RealTime t) {
+  // The touched-node union (sorted, deduplicated, wake flags OR-ed) for
+  // window observers, plus the classic per-event observer once per
+  // observation barrier.
   if (window_observer_) {
     touched_scratch_.clear();
     for (Lane& ln : lanes_) {
@@ -520,12 +738,11 @@ void Simulator::barrier_flush(RealTime w_end, bool probe_fires) {
                       return a.node == b.node;
                     }),
         touched_scratch_.end());
-    window_observer_(*this, w_end, touched_scratch_);
+    window_observer_(*this, t, touched_scratch_);
   } else {
     for (Lane& ln : lanes_) ln.touched.clear();
   }
-  if (observer_) observer_(*this, w_end);
-  if (progress_interval_ > 0.0) maybe_progress(false);
+  if (observer_) observer_(*this, t);
 }
 
 // ---- event processing -------------------------------------------------------
@@ -538,8 +755,11 @@ bool Simulator::process(Lane& ln, Event& e) {
   double mult_before = std::numeric_limits<double>::quiet_NaN();
   if (obs::kTraceCompiled && recorder_ != nullptr &&
       (e.kind == EventKind::kMessageDelivery || e.kind == EventKind::kTimer)) {
-    const PerNode& pn = per_node_[static_cast<std::size_t>(e.node)];
-    if (pn.awake && !pn.crashed) mult_before = pn.node->rate_multiplier();
+    if ((status_slots_[slot(e.node)] & (kAwakeBit | kCrashedBit)) ==
+        kAwakeBit) {
+      mult_before =
+          nodes_[static_cast<std::size_t>(e.node)]->rate_multiplier();
+    }
   }
   bool observable = true;
   LastEvent& le = ln.last_event;
@@ -552,26 +772,26 @@ bool Simulator::process(Lane& ln, Event& e) {
       // Copy out before dispatch: node callbacks may broadcast, which
       // grows the slab and would invalidate a held reference.
       const Message m = ln.slab.take(e.msg);
-      PerNode& pn = per_node_[static_cast<std::size_t>(e.node)];
-      if (!ln.link_up[e.edge] || pn.crashed) {
+      const std::uint8_t st = status_slots_[slot(e.node)];
+      if (!ln.link_up[e.edge] || (st & kCrashedBit) != 0) {
         ++ln.dropped;  // link down while in flight, or receiver dead
         observable = false;
         break;
       }
       ++ln.delivered;
       le.node = e.node;
-      if (!pn.awake) {
+      if ((st & kAwakeBit) == 0) {
         le.woke = true;
         wake_node(ln, e.node, &m);
       } else {
-        pn.node->on_message(ln.services->pin(e.node), m);
+        nodes_[static_cast<std::size_t>(e.node)]->on_message(
+            ln.services->pin(e.node), m);
       }
       break;
     }
     case EventKind::kTimer: {
-      PerNode& pn = per_node_[static_cast<std::size_t>(e.node)];
-      TimerState& ts = pn.timers[e.slot];
-      if (pn.crashed) {
+      TimerState& ts = timer(e.node, e.slot);
+      if ((status_slots_[slot(e.node)] & kCrashedBit) != 0) {
         // A crashed node's callbacks are suppressed; with no callback there
         // is no re-arm, so each armed slot costs one pop per crash instead
         // of wakeups forever.  Recovery re-anchors the armed slots.
@@ -586,7 +806,8 @@ bool Simulator::process(Lane& ln, Event& e) {
       }
       ts.armed = false;
       le.node = e.node;
-      pn.node->on_timer(ln.services->pin(e.node), e.slot);
+      nodes_[static_cast<std::size_t>(e.node)]->on_timer(
+          ln.services->pin(e.node), e.slot);
       break;
     }
     case EventKind::kRateChange: {
@@ -611,35 +832,36 @@ bool Simulator::process(Lane& ln, Event& e) {
       break;
     }
     case EventKind::kCrash: {
-      PerNode& pn = per_node_[static_cast<std::size_t>(e.node)];
-      if (pn.crashed) {
+      std::uint8_t& st = status_slots_[slot(e.node)];
+      if ((st & kCrashedBit) != 0) {
         observable = false;  // double crash: no-op
         break;
       }
-      pn.crashed = true;
+      st |= kCrashedBit;
       ++ln.crashes;
       le.node = e.node;  // leaves the awake set at this instant
       break;
     }
     case EventKind::kRecover: {
-      PerNode& pn = per_node_[static_cast<std::size_t>(e.node)];
-      if (!pn.crashed) {
+      std::uint8_t& st = status_slots_[slot(e.node)];
+      if ((st & kCrashedBit) == 0) {
         observable = false;  // recovery without a crash: no-op
         break;
       }
-      pn.crashed = false;
+      st &= static_cast<std::uint8_t>(~kCrashedBit);
       ++ln.recoveries;
       le.node = e.node;  // re-enters the awake set: fold its clock
-      if (pn.awake) {
+      if ((st & kAwakeBit) != 0) {
         // Re-anchor every armed timer (their heap entries were consumed or
         // invalidated during the outage), then run the re-join handshake.
-        for (int slot = 0; slot < kMaxTimerSlots; ++slot) {
-          TimerState& ts = pn.timers[slot];
+        for (int sl = 0; sl < kMaxTimerSlots; ++sl) {
+          TimerState& ts = timer(e.node, sl);
           if (!ts.armed) continue;
           ++ts.generation;
-          schedule_timer_event(e.node, slot, ln.now);
+          schedule_timer_event(e.node, sl, ln.now);
         }
-        pn.node->on_rejoin(ln.services->pin(e.node));
+        nodes_[static_cast<std::size_t>(e.node)]->on_rejoin(
+            ln.services->pin(e.node));
       }
       break;
     }
@@ -716,10 +938,10 @@ void Simulator::trace_event(Lane& ln, const Event& e, bool observable,
   }
   if ((tp == TracePoint::kDeliver || tp == TracePoint::kTimerFire) &&
       e.node != kInvalidNode) {
-    const PerNode& pn = per_node_[static_cast<std::size_t>(e.node)];
     a = logical_at(e.node, ln.now);
-    b = pn.clock.value_at(ln.now);
-    const double mult = pn.node->rate_multiplier();
+    b = clock_slots_[slot(e.node)].value_at(ln.now);
+    const double mult =
+        nodes_[static_cast<std::size_t>(e.node)]->rate_multiplier();
     if (mult > 1.0) flags |= obs::kFlagFastMode;
     if (ln.last_event.woke) flags |= obs::kFlagWoke;
     if (!std::isnan(mult_before) && mult != mult_before) {
@@ -743,14 +965,15 @@ void Simulator::schedule_rate_change(NodeId v, RealTime at, double rate) {
 }
 
 void Simulator::wake_node(Lane& ln, NodeId v, const Message* trigger) {
-  PerNode& pn = per_node_[static_cast<std::size_t>(v)];
-  assert(!pn.awake);
-  pn.awake = true;
-  pn.clock.start(ln.now);
-  pn.node->on_wake(ln.services->pin(v), trigger);
+  const std::size_t sl = slot(v);
+  assert((status_slots_[sl] & kAwakeBit) == 0);
+  status_slots_[sl] |= kAwakeBit;
+  clock_slots_[sl].start(ln.now);
+  nodes_[static_cast<std::size_t>(v)]->on_wake(ln.services->pin(v), trigger);
   if (obs::kTraceCompiled && recorder_ != nullptr) {
     emit(ln, obs::TracePoint::kWake, ln.now, v, obs::kNoTraceEdge,
-         logical_at(v, ln.now), pn.clock.value_at(ln.now), obs::kFlagWoke, 0);
+         logical_at(v, ln.now), clock_slots_[sl].value_at(ln.now),
+         obs::kFlagWoke, 0);
   }
 }
 
@@ -833,10 +1056,13 @@ void Simulator::apply_link_change(Lane& ln, const Event& e) {
     if (windowed_ && part_->shard_of(endpoint) != ln.index) {
       continue;  // the other lane's copy runs this endpoint's callback
     }
-    PerNode& pn = per_node_[static_cast<std::size_t>(endpoint)];
-    if (!pn.awake || pn.crashed) continue;  // dead nodes get no callbacks
-    pn.node->on_link_change(ln.services->pin(endpoint),
-                            endpoint == e.node ? e.node2 : e.node, e.link_up);
+    if ((status_slots_[slot(endpoint)] & (kAwakeBit | kCrashedBit)) !=
+        kAwakeBit) {
+      continue;  // dead nodes get no callbacks
+    }
+    nodes_[static_cast<std::size_t>(endpoint)]->on_link_change(
+        ln.services->pin(endpoint), endpoint == e.node ? e.node2 : e.node,
+        e.link_up);
   }
 }
 
@@ -885,7 +1111,7 @@ void Simulator::do_broadcast(Lane& ln, NodeId v, const Message& m) {
 
 void Simulator::arm_timer(Lane& ln, NodeId v, int slot, ClockValue target) {
   assert(slot >= 0 && slot < kMaxTimerSlots);
-  TimerState& ts = per_node_[static_cast<std::size_t>(v)].timers[slot];
+  TimerState& ts = timer(v, slot);
   ts.target = target;
   ts.armed = true;
   ++ts.generation;
@@ -894,18 +1120,18 @@ void Simulator::arm_timer(Lane& ln, NodeId v, int slot, ClockValue target) {
 
 void Simulator::disarm_timer(NodeId v, int slot) {
   assert(slot >= 0 && slot < kMaxTimerSlots);
-  TimerState& ts = per_node_[static_cast<std::size_t>(v)].timers[slot];
+  TimerState& ts = timer(v, slot);
   ts.armed = false;
   ++ts.generation;
 }
 
 void Simulator::schedule_timer_event(NodeId v, int slot, RealTime now) {
-  const PerNode& pn = per_node_[static_cast<std::size_t>(v)];
-  const TimerState& ts = pn.timers[slot];
+  const HardwareClock& hc = clock_slots_[this->slot(v)];
+  const TimerState& ts = timer(v, slot);
   assert(ts.armed);
-  assert(pn.clock.started() && "timers require a started clock");
+  assert(hc.started() && "timers require a started clock");
   Event e;
-  e.time = pn.clock.time_when_reaches(ts.target, now);
+  e.time = hc.time_when_reaches(ts.target, now);
   e.kind = EventKind::kTimer;
   e.node = v;
   e.slot = static_cast<std::uint8_t>(slot);
@@ -914,14 +1140,14 @@ void Simulator::schedule_timer_event(NodeId v, int slot, RealTime now) {
 }
 
 void Simulator::apply_rate_change(Lane& ln, NodeId v, double rate) {
-  PerNode& pn = per_node_[static_cast<std::size_t>(v)];
-  pn.clock.set_rate(ln.now, rate);
+  const std::size_t sl = slot(v);
+  clock_slots_[sl].set_rate(ln.now, rate);
   // Crashed nodes keep drifting but reschedule nothing: their timer pops
   // are suppressed anyway, and recovery re-anchors the armed slots.
-  if (!pn.awake || pn.crashed) return;
+  if ((status_slots_[sl] & (kAwakeBit | kCrashedBit)) != kAwakeBit) return;
   // Re-anchor all armed hardware-time timers onto the new rate.
   for (int slot = 0; slot < kMaxTimerSlots; ++slot) {
-    TimerState& ts = pn.timers[slot];
+    TimerState& ts = timer(v, slot);
     if (!ts.armed) continue;
     ++ts.generation;  // invalidate the stale heap entry
     schedule_timer_event(v, slot, ln.now);

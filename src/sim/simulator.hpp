@@ -19,20 +19,45 @@
 // Sharded execution (configure_shards): the node set is split by a
 // graph::Partition into per-shard lanes, each with its own event queue and
 // message slab.  Lanes advance in lock-step conservative time windows
-// [W_start, W_end) with W_end = t_next + min_delay (the safe horizon: no
-// cross-shard send processed inside the window can be delivered before
-// W_end).  Cross-shard deliveries accumulate in per-lane outboxes and are
+// [W_start, W_end) bounded by the *cut-aware safe horizon*: no cross-shard
+// send processed inside the window can be delivered before W_end.  The
+// horizon is computed per lane from how soon an event can reach a cut
+// node — nodes are classified by boundary level (0 = endpoint of a cut
+// edge, 1 = intra-shard neighbor of a level-0 node, 2 = farther), lanes
+// keep lazy min-heaps of queued event times at level-0/1 nodes, and the
+// earliest possible cross-shard arrival from lane i is
+//
+//   boundary_time(i) + la_out(i),   where
+//   boundary_time(i) = min( bnd0_top(i),
+//                           bnd1_top(i) + delta_intra(i),
+//                           t_next(i)  + 2 * delta_intra(i) )
+//
+// with la_out(i) the minimum per-edge DelayPolicy::min_delay(u, v) over
+// lane i's outgoing cut arcs and delta_intra(i) the minimum over its
+// intra-shard arcs.  This is never smaller than the classic global bound
+// t_next + min_delay() and is unbounded for lanes with no cut arcs, so
+// activity deep inside a shard no longer stalls every other lane.
+//
+// Cross-shard deliveries accumulate in per-lane outboxes and are
 // exchanged at the window barrier; cut-edge link changes are mirrored as
 // "twin" events into the second endpoint's lane so both lanes apply the
 // flip at the same point of their local key order.  All observable output
 // (recorder log, flight-recorder trace, canonical queue statistics) is
 // merged at barriers in event-key order, so `--shards N` output is
-// byte-identical for every N.
+// byte-identical for every N.  Observer callbacks and canonical peak
+// sampling fire only at *observation barriers*, whose times are a pure
+// function of the event set (next-event time + observation interval, plus
+// probes and the run horizon) — never at intermediate horizon-clipped
+// barriers, whose times depend on the partition.
 //
 // Hot-path layout: adjacency is the graph's CSR snapshot (each neighbor
 // carries its undirected edge index inline, so link-state checks never
 // hash), message payloads live in a free-listed slab, and delivery/link
 // events store their edge index so processing is array lookups only.
+// Per-node hot state (hardware clock, timer slots, awake/crashed bits) is
+// struct-of-arrays, indexed by a *slot* permutation that lays each
+// shard's members out contiguously — a lane's working set is a dense
+// block instead of n interleaved structs.
 #pragma once
 
 #include <chrono>
@@ -41,6 +66,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <string>
 #include <thread>
 #include <vector>
@@ -80,6 +106,12 @@ struct SimConfig {
   /// If > 0, a probe event fires every `probe_interval` so observers get
   /// called even during event-free stretches.
   Duration probe_interval = 0.0;
+
+  /// Sharded engine only: target spacing of observation barriers (the
+  /// partition-invariant barriers where observers run and the canonical
+  /// queue peak is sampled).  <= 0 picks 4x the delay policy's global
+  /// min_delay().  The serial engine ignores it (observers run per event).
+  Duration observation_interval = 0.0;
 };
 
 class Simulator {
@@ -101,18 +133,31 @@ class Simulator {
   void set_delay_policy(std::shared_ptr<DelayPolicy> policy);
 
   /// Switches to the sharded time-window engine with `shards` lanes over a
-  /// graph::Partition (`strategy`: "block" | "bands").  Must be called
-  /// before the first run; requires the delay policy to certify a positive
-  /// min_delay() (the lookahead), checked at setup.  `shards <= 0` keeps
-  /// the classic serial engine.  With shards == 1 the engine runs the
-  /// windowed code path on the calling thread — the reference that larger
-  /// shard counts are gated against.
-  void configure_shards(int shards, const std::string& strategy = "block");
+  /// graph::Partition (`strategy`: "block" | "bands" | "ml").  Must be
+  /// called before the first run; requires the delay policy to certify a
+  /// positive min_delay() (the lookahead), checked at setup.  `shards <= 0`
+  /// keeps the classic serial engine.  With shards == 1 the engine runs
+  /// the windowed code path on the calling thread — the reference that
+  /// larger shard counts are gated against.
+  ///
+  /// `min_nodes_per_shard > 0` auto-clamps the lane count to
+  /// max(1, min(shards, n / min_nodes_per_shard)): below ~that many nodes
+  /// per lane, barrier overhead dominates and extra lanes make runs
+  /// *slower*.  A clamp warns once per process on stderr; the requested
+  /// and effective counts are reported by shards_requested() / shards()
+  /// and land in the stats JSON "engine" block.
+  void configure_shards(int shards, const std::string& strategy = "block",
+                        int min_nodes_per_shard = 0);
 
   /// Number of lanes when sharded; 0 for the classic serial engine.
   int shards() const {
     return windowed_ ? static_cast<int>(lanes_.size()) : 0;
   }
+  /// The shard count configure_shards() was asked for, before clamping
+  /// (equal to shards() when no clamp fired; 0 for the serial engine).
+  int shards_requested() const { return shards_requested_; }
+  /// Partition strategy name passed to configure_shards ("" when serial).
+  const std::string& partition_strategy() const { return partition_strategy_; }
   const graph::Partition* partition() const { return part_.get(); }
 
   /// Called after every processed event (and probe) with the current time
@@ -197,7 +242,7 @@ class Simulator {
   void schedule_recovery(NodeId v, RealTime at);
 
   bool crashed(NodeId v) const {
-    return per_node_[static_cast<std::size_t>(v)].crashed;
+    return (status_slots_[slot(v)] & kCrashedBit) != 0;
   }
 
   std::uint64_t messages_dropped() const { return sum_lanes(&Lane::dropped); }
@@ -214,19 +259,18 @@ class Simulator {
   /// skew metrics.  Crashed nodes are excluded — their clocks free-run
   /// unobserved until recovery folds them back in.
   bool awake(NodeId v) const {
-    const PerNode& pn = per_node_[static_cast<std::size_t>(v)];
-    return pn.awake && !pn.crashed;
+    return (status_slots_[slot(v)] & (kAwakeBit | kCrashedBit)) == kAwakeBit;
   }
-  const HardwareClock& clock(NodeId v) const {
-    return per_node_[static_cast<std::size_t>(v)].clock;
-  }
+  const HardwareClock& clock(NodeId v) const { return clock_slots_[slot(v)]; }
   /// H_v(now).
   ClockValue hardware(NodeId v) const { return clock(v).value_at(now_); }
   /// L_v(now); 0 for nodes that have not been initialized yet.
   ClockValue logical(NodeId v) const;
 
-  const Node& node(NodeId v) const { return *per_node_[static_cast<std::size_t>(v)].node; }
-  Node& node_mutable(NodeId v) { return *per_node_[static_cast<std::size_t>(v)].node; }
+  const Node& node(NodeId v) const {
+    return *nodes_[static_cast<std::size_t>(v)];
+  }
+  Node& node_mutable(NodeId v) { return *nodes_[static_cast<std::size_t>(v)]; }
 
   std::uint64_t broadcasts() const { return sum_lanes(&Lane::broadcasts); }
   std::uint64_t messages_delivered() const {
@@ -272,13 +316,13 @@ class Simulator {
     bool armed = false;
   };
 
-  struct PerNode {
-    std::unique_ptr<Node> node;
-    HardwareClock clock;
-    TimerState timers[kMaxTimerSlots];
-    bool awake = false;
-    bool crashed = false;
-  };
+  // Per-node hot state lives in struct-of-arrays form, indexed by *slot*:
+  // slot_of_ permutes node ids so each shard's members occupy a contiguous
+  // block (identity for the serial engine).  An event loop touching only
+  // its own shard's clocks/timers/status then walks a dense range instead
+  // of striding across an array-of-structs of the whole graph.
+  static constexpr std::uint8_t kAwakeBit = 1;
+  static constexpr std::uint8_t kCrashedBit = 2;
 
   class ServicesImpl;
   friend class ServicesImpl;
@@ -335,8 +379,21 @@ class Simulator {
       bool up = false;
     };
     std::vector<LinkFlip> flips;   // actual state changes, for the barrier
-    std::vector<WindowTouch> touched;
+    std::vector<WindowTouch> touched;  // accumulates until an obs barrier
     std::vector<TraceEntry> trace;
+
+    // Cut-aware horizon state.  bnd0/bnd1 are lazy min-heaps of queued
+    // event times at this lane's boundary-level-0/1 nodes (stale entries
+    // for already-processed events are popped when the coordinator reads
+    // the top); la_out/delta_intra are the per-lane min-delay bounds over
+    // outgoing cut arcs / intra-shard arcs, fixed at setup.
+    using TimeHeap =
+        std::priority_queue<RealTime, std::vector<RealTime>,
+                            std::greater<RealTime>>;
+    TimeHeap bnd0;
+    TimeHeap bnd1;
+    Duration la_out = kInfinity;
+    Duration delta_intra = kInfinity;
     // Key of the event currently being processed (trace buffering).
     RealTime cur_time = 0.0;
     std::uint64_t cur_seq = 0;
@@ -374,6 +431,19 @@ class Simulator {
   void push_event(Event e, NodeId source);
   void push_link_change(Event e, NodeId source);
   void push_delivery(Lane& ln, Event e, NodeId source, const Message& m);
+  /// Bookkeeping for the cut-aware horizon: an event targeting a boundary
+  /// node (level 0/1 — for link changes, the better of both endpoints)
+  /// just joined `dest`'s queue at time t.
+  void note_queued(Lane& dest, NodeId a, NodeId b, RealTime t);
+
+  // SoA hot-state access (slot_of_ maps node id -> slot).
+  std::size_t slot(NodeId v) const {
+    return static_cast<std::size_t>(slot_of_[static_cast<std::size_t>(v)]);
+  }
+  TimerState& timer(NodeId v, int s) {
+    return timer_slots_[slot(v) * static_cast<std::size_t>(kMaxTimerSlots) +
+                        static_cast<std::size_t>(s)];
+  }
 
   bool process(Lane& ln, Event& e);  // returns whether observable
   /// Cold path: called only with a recorder attached, after an event was
@@ -397,9 +467,11 @@ class Simulator {
 
   // Sharded engine ---------------------------------------------------------
   void run_windowed(RealTime t_end);
+  RealTime safe_horizon();
   void process_window(Lane& ln);
   void run_window_parallel();
-  void barrier_flush(RealTime w_end, bool probe_fires);
+  void barrier_flush(RealTime w_end, bool probe_fires, bool obs_fires);
+  void flush_observers(RealTime t);
   void merge_lane_traces();
   std::size_t canonical_pending() const;
   void start_workers();
@@ -415,7 +487,13 @@ class Simulator {
   const graph::Graph& graph_;
   std::shared_ptr<const graph::Graph::Csr> csr_;
   SimConfig cfg_;
-  std::vector<PerNode> per_node_;
+  // SoA per-node state.  nodes_ is indexed by node id (installed before
+  // the partition exists); the hot arrays are indexed by slot.
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::uint32_t> slot_of_;     // node id -> slot
+  std::vector<HardwareClock> clock_slots_;
+  std::vector<TimerState> timer_slots_;    // slot * kMaxTimerSlots + i
+  std::vector<std::uint8_t> status_slots_;  // kAwakeBit | kCrashedBit
   std::shared_ptr<DriftPolicy> drift_;
   std::shared_ptr<DelayPolicy> delay_;
   bool delay_plans_ = false;  // cached delay_->plans_deliveries()
@@ -430,8 +508,19 @@ class Simulator {
   // Sharded engine ---------------------------------------------------------
   bool windowed_ = false;
   std::unique_ptr<graph::Partition> part_;
+  int shards_requested_ = 0;
+  std::string partition_strategy_;
   std::vector<std::uint8_t> link_up_;  // barrier-reconciled global view
-  Duration lookahead_ = 0.0;           // delay policy min_delay()
+  Duration lookahead_ = 0.0;           // delay policy global min_delay()
+  /// Boundary level per node id: 0 = endpoint of a cut edge, 1 =
+  /// intra-shard neighbor of a level-0 node, 2 = farther.  Drives the
+  /// bnd0/bnd1 heap pushes; empty when not windowed or with one lane.
+  std::vector<std::uint8_t> bnd_level_;
+  /// Next observation barrier (kInfinity = not yet scheduled; set to
+  /// t_next + observation interval at the first window after each obs
+  /// barrier — a pure function of the event set, identical for every
+  /// shard count).
+  RealTime obs_next_ = kInfinity;
   RealTime probe_next_ = kInfinity;
   std::uint64_t probe_events_ = 0;
   std::uint64_t probe_canon_pushes_ = 0;

@@ -68,6 +68,21 @@ TEST(Graph, DiameterOfKnownGraphs) {
   EXPECT_EQ(make_hypercube(5).diameter(), 5);
 }
 
+TEST(Graph, TwoSweepDiameterMatchesExactOnGeneratedTopologies) {
+  // Exact on trees (2-sweep lands on a longest-path endpoint) and on
+  // the generated grids/rings; on any graph it must never exceed D.
+  EXPECT_EQ(make_path(10).diameter_2sweep(), 9);
+  EXPECT_EQ(make_balanced_tree(2, 5).diameter_2sweep(),
+            make_balanced_tree(2, 5).diameter());
+  EXPECT_EQ(make_grid(4, 6).diameter_2sweep(), 8);
+  EXPECT_EQ(make_star(8).diameter_2sweep(), 2);
+  for (const std::uint64_t seed : {3u, 17u}) {
+    const Graph g = make_connected_er(40, 0.1, seed);
+    EXPECT_LE(g.diameter_2sweep(), g.diameter());
+    EXPECT_GE(g.diameter_2sweep(), 1);
+  }
+}
+
 TEST(Graph, EccentricityEndpointsVsMiddle) {
   const Graph g = make_path(9);
   EXPECT_EQ(g.eccentricity(0), 8);

@@ -95,11 +95,16 @@ TEST(Partition, InvariantsHoldOnRandomGraphs) {
   for (const std::uint64_t seed : {7u, 21u, 99u}) {
     const Graph g = make_connected_er(48, 0.12, seed);
     for (const int k : {2, 3, 5}) {
-      for (const char* strategy : {"block", "bands"}) {
+      for (const char* strategy : {"block", "bands", "ml"}) {
         SCOPED_TRACE(testing::Message()
                      << "seed=" << seed << " k=" << k << " " << strategy);
         const Partition p = Partition::make(g, k, strategy);
         check_invariants(g, p);
+        // Every shard is non-empty (the multilevel initial split must
+        // force this even when the coarse graph is tiny).
+        for (int s = 0; s < p.num_shards(); ++s) {
+          EXPECT_FALSE(p.members(s).empty()) << "shard " << s;
+        }
       }
     }
   }
@@ -131,18 +136,59 @@ TEST(Partition, MakeRejectsBadArguments) {
   EXPECT_THROW(Partition::make(g, -2, "block"), std::invalid_argument);
   EXPECT_THROW(Partition::make(g, 9, "block"), std::invalid_argument);
   EXPECT_THROW(Partition::make(g, 2, "mystery"), std::invalid_argument);
-  // "" defaults to block; "bands" is the alias for bfs_bands.
+  // "" defaults to block; "bands" is the alias for bfs_bands, "ml" for
+  // multilevel.
   EXPECT_NO_THROW(Partition::make(g, 2, ""));
   EXPECT_NO_THROW(Partition::make(g, 2, "bands"));
+  EXPECT_NO_THROW(Partition::make(g, 2, "ml"));
+  EXPECT_NO_THROW(Partition::make(g, 2, "multilevel"));
 }
 
 TEST(Partition, DeterministicAcrossCalls) {
   const Graph g = make_connected_er(32, 0.15, 11);
-  for (const char* strategy : {"block", "bands"}) {
+  for (const char* strategy : {"block", "bands", "ml"}) {
     const Partition a = Partition::make(g, 3, strategy);
     const Partition b = Partition::make(g, 3, strategy);
     EXPECT_EQ(a.shard_assignment(), b.shard_assignment()) << strategy;
   }
+}
+
+// On a path the optimal k-way cut is k - 1 edges; multilevel must find
+// it (or at worst stay within 2x — KL refinement from a BFS split on a
+// path converges to contiguous segments).
+TEST(Partition, MultilevelCutsNearOptimalOnPath) {
+  const Graph g = make_path(128);
+  for (const int k : {2, 4, 8}) {
+    const Partition p = Partition::multilevel(g, k);
+    check_invariants(g, p);
+    EXPECT_LE(p.cut_edges().size(), 2u * static_cast<std::size_t>(k - 1))
+        << "k=" << k;
+  }
+}
+
+// Node ids shuffled so blocks of consecutive ids are meaningless: block
+// partitioning cuts many edges, multilevel must cut far fewer by
+// recovering the structure from the edges themselves.
+TEST(Partition, MultilevelBeatsBlockOnShuffledPath) {
+  // Path over shuffled labels: edge (p[i], p[i+1]) for a fixed
+  // pseudo-random permutation p.
+  const NodeId n = 96;
+  std::vector<NodeId> perm(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
+  std::uint64_t state = 12345;
+  for (std::size_t i = perm.size() - 1; i > 0; --i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    std::swap(perm[i], perm[(state >> 33) % (i + 1)]);
+  }
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    g.add_edge(perm[static_cast<std::size_t>(v)],
+               perm[static_cast<std::size_t>(v) + 1]);
+  }
+  const Partition block = Partition::block(g, 4);
+  const Partition ml = Partition::multilevel(g, 4);
+  check_invariants(g, ml);
+  EXPECT_LT(ml.cut_edges().size(), block.cut_edges().size());
 }
 
 }  // namespace

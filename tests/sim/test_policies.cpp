@@ -177,6 +177,35 @@ TEST_F(DelayFixture, BurstDelayAlternatesWindows) {
   EXPECT_GE(next_burst, 0.8);
 }
 
+// Pins BurstDelay's certified bound to exactly 0.8 * min(lo, hi): the
+// draws are uniform over [0.8 * base, base], so the infimum of the
+// support is 0.8 times the calm-window base.  Certifying more would let
+// the sharded engine open windows a legal draw violates; certifying
+// less would shrink every window for nothing.  The empirical check
+// confirms the bound is tight (draws approach it) and never violated.
+TEST_F(DelayFixture, BurstDelayMinDelayIsTightestSoundBound) {
+  BurstDelay d(0.1, 1.0, 10.0, 2.0, 9);
+  EXPECT_DOUBLE_EQ(d.min_delay(), 0.8 * 0.1);
+  // The per-edge default must not certify more than the global bound
+  // (the two-arg overload lives on the base and falls back to it).
+  EXPECT_DOUBLE_EQ(static_cast<DelayPolicy&>(d).min_delay(0, 1),
+                   d.min_delay());
+
+  // Reversed parameterization (hi < lo): the bound tracks the minimum.
+  BurstDelay r(1.0, 0.1, 10.0, 2.0, 9);
+  EXPECT_DOUBLE_EQ(r.min_delay(), 0.8 * 0.1);
+
+  double smallest = 1e9;
+  for (int i = 0; i < 5000; ++i) {
+    // Calm-window sends (phase in [2, 10) of each period).
+    const double delay = d.delivery_time(0, 1, 5.0, sim_) - 5.0;
+    ASSERT_GE(delay, d.min_delay());
+    smallest = std::min(smallest, delay);
+  }
+  // Tight: draws get within 2% of the certified bound.
+  EXPECT_LT(smallest, 0.8 * 0.1 * 1.02);
+}
+
 TEST_F(DelayFixture, CallbackDelay) {
   CallbackDelay d([](NodeId from, NodeId, RealTime t, const Simulator&) {
     return t + 0.1 * (from + 1);

@@ -21,8 +21,11 @@
 
 #include "analysis/skew_tracker.hpp"
 #include "cli/experiment_config.hpp"
+#include "fault/fault_injection.hpp"
 #include "fault/fault_scheduler.hpp"
+#include "graph/topologies.hpp"
 #include "obs/flight_recorder.hpp"
+#include "sim/delay_policy.hpp"
 #include "sim/recorder.hpp"
 #include "sim/simulator.hpp"
 
@@ -49,6 +52,8 @@ cli::ExperimentConfig base_config(const std::string& topology, int nodes) {
   cfg.nodes = nodes;
   cfg.arity = 2;
   cfg.levels = 5;  // tree: 31 nodes
+  cfg.rows = 6;    // grid: 24 nodes
+  cfg.cols = 4;
   cfg.er_p = 0.15;
   cfg.algorithm = "aopt";
   cfg.drift = "walk";
@@ -56,6 +61,9 @@ cli::ExperimentConfig base_config(const std::string& topology, int nodes) {
   cfg.duration = 120.0;
   cfg.seed = 20090817;
   cfg.wake_all = true;
+  // These graphs sit below the production auto-clamp threshold (64 nodes
+  // per lane); disable the clamp so multi-shard paths really run.
+  cfg.min_shard_nodes = 0;
   return cfg;
 }
 
@@ -150,7 +158,7 @@ class ShardedEquivalence : public testing::TestWithParam<const char*> {};
 TEST_P(ShardedEquivalence, MatchesSerialAtEveryShardCount) {
   const cli::ExperimentConfig cfg = base_config(GetParam(), 24);
   const RunOutput serial = run_case(cfg, 0);
-  for (const int shards : {1, 2, 3}) {
+  for (const int shards : {1, 2, 4}) {
     SCOPED_TRACE(testing::Message() << "shards=" << shards);
     expect_equivalent(serial, run_case(cfg, shards));
   }
@@ -162,8 +170,20 @@ TEST_P(ShardedEquivalence, BandsPartitionMatchesToo) {
   expect_equivalent(run_case(cfg, 0), run_case(cfg, 3));
 }
 
+// The multilevel partition reshuffles node->shard assignments (non-
+// contiguous blocks, KL-refined cuts); the run must still be identical.
+TEST_P(ShardedEquivalence, MultilevelPartitionMatchesToo) {
+  cli::ExperimentConfig cfg = base_config(GetParam(), 24);
+  cfg.partition = "ml";
+  const RunOutput serial = run_case(cfg, 0);
+  for (const int shards : {2, 4}) {
+    SCOPED_TRACE(testing::Message() << "shards=" << shards);
+    expect_equivalent(serial, run_case(cfg, shards));
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Topologies, ShardedEquivalence,
-                         testing::Values("path", "tree", "er"));
+                         testing::Values("path", "tree", "er", "grid"));
 
 // Crash/recovery faults hit cut edges with twin link events; the sharded
 // run must still replay the serial execution exactly, counters included.
@@ -257,6 +277,73 @@ TEST(ShardedEquivalenceFaults, FaultFreeRunsHaveNoFaultCounters) {
   EXPECT_EQ(r.crashes, 0u);
   EXPECT_EQ(r.recoveries, 0u);
   EXPECT_GT(r.delivered, 0u);
+}
+
+// An inner policy that certifies min_delay = 0.5 but draws below it.  The
+// sharded engine trusts the certified bound when it opens windows, so
+// ChannelFaultPolicy::plan_deliveries must clamp every planned copy —
+// in-window and out, duplicates included — to send_time + bound instead
+// of letting the bad draw cross a window barrier early.
+TEST(ShardedEquivalenceFaults, ChannelClampsDeliveriesToCertifiedMinDelay) {
+  class LyingDelay final : public sim::DelayPolicy {
+   public:
+    sim::RealTime delivery_time(sim::NodeId, sim::NodeId,
+                                sim::RealTime send_time,
+                                const sim::Simulator&) override {
+      return send_time + 0.1;  // below the bound it certifies
+    }
+    sim::Duration min_delay() const override { return 0.5; }
+  };
+
+  const graph::Graph g = graph::make_path(2);
+  sim::Simulator sim(g);
+  auto inner = std::make_shared<LyingDelay>();
+  // One window with jitter + guaranteed duplication, preceded and
+  // followed by uncovered time, so all three planning paths run.
+  std::vector<fault::ChannelWindow> windows(1);
+  windows[0].t0 = 10.0;
+  windows[0].t1 = 20.0;
+  windows[0].jitter = 0.3;
+  windows[0].duplicate = 1.0;
+  fault::ChannelFaultPolicy channel(inner, windows, /*seed=*/99);
+  channel.prepare(g.num_nodes());
+  EXPECT_DOUBLE_EQ(channel.min_delay(), 0.5);
+  EXPECT_DOUBLE_EQ(channel.min_delay(0, 1), 0.5);
+
+  std::vector<sim::PlannedDelivery> out;
+  for (const sim::RealTime send : {0.0, 12.0, 25.0}) {
+    out.clear();
+    channel.plan_deliveries(0, 1, send, sim, out);
+    ASSERT_FALSE(out.empty()) << "send at " << send;
+    for (const sim::PlannedDelivery& pd : out) {
+      EXPECT_GE(pd.at, send + channel.min_delay(0, 1))
+          << "send at " << send << ": delivery below the certified bound";
+    }
+  }
+}
+
+// Requesting more shards than the clamp allows must fall back to a
+// smaller effective count (here 1: 24 nodes < 2 * 64) while remembering
+// what was asked for — and the run still matches serial output.
+TEST(ShardedEquivalenceClamp, AutoClampShrinksTinyRuns) {
+  cli::ExperimentConfig cfg = base_config("path", 24);
+  cfg.min_shard_nodes = 64;  // the production default
+  cfg.shards = 4;
+  auto built = cli::build_experiment(cfg);
+  EXPECT_EQ(built.simulator->shards(), 1);
+  EXPECT_EQ(built.simulator->shards_requested(), 4);
+  EXPECT_EQ(built.simulator->partition_strategy(), "block");
+
+  // min_shard_nodes = 24 admits exactly one lane of 24; = 12 admits 2.
+  cfg.min_shard_nodes = 12;
+  auto built2 = cli::build_experiment(cfg);
+  EXPECT_EQ(built2.simulator->shards(), 2);
+  EXPECT_EQ(built2.simulator->shards_requested(), 4);
+
+  const RunOutput serial = run_case(base_config("path", 24), 0);
+  cli::ExperimentConfig clamped = base_config("path", 24);
+  clamped.min_shard_nodes = 12;
+  expect_equivalent(serial, run_case(clamped, 4));
 }
 
 }  // namespace

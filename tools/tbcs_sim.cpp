@@ -54,8 +54,15 @@ run:        --duration T --seed S --wake-all --per-distance
                                delay policy with a positive minimum delay
                                (--delays band or fixed); output is
                                byte-identical for every N
+            --shards-min-nodes M
+                               auto-clamp the lane count so every lane
+                               covers >= M nodes (default 64; 0 = off).
+                               The effective count lands in the stats
+                               JSON "engine" block
             --partition P      shard assignment: block (contiguous id
-                               ranges, default) | bands (BFS layers)
+                               ranges, default) | bands (BFS layers) |
+                               ml (multilevel cut-minimizing; best when
+                               node ids carry no locality, e.g. ER)
             --progress[=SECS]  stderr heartbeat every SECS wall seconds
                                (default 5): wall time, sim time, events/s,
                                queue depth, current shard horizon
@@ -170,7 +177,12 @@ int main(int argc, char** argv) {
       sim.set_flight_recorder(&recorder);
     }
 
-    const int d = built.graph->diameter();
+    // Exact diameter is O(n^2) BFS; past ~64k nodes switch to the
+    // two-sweep estimate (exact on trees/paths, lower bound otherwise)
+    // so million-node runs don't stall before the first event.
+    const int d = built.graph->num_nodes() > 65536
+                      ? built.graph->diameter_2sweep()
+                      : built.graph->diameter();
     const double g_bound =
         built.params.global_skew_bound(d, cfg.eps, cfg.delay);
     const double l_bound = built.params.local_skew_bound(d, cfg.eps, cfg.delay);
@@ -178,6 +190,15 @@ int main(int argc, char** argv) {
     analysis::SkewTracker::Options topt;
     if (audit_oracle) topt.mode = analysis::SkewTracker::Mode::kAuditOracle;
     topt.audit_epsilon = cfg.eps;
+    // The per-distance profile materializes all-pairs distances (O(n^2)
+    // memory); refuse outright where that is gigabytes, instead of
+    // thrashing for hours.
+    if (cfg.per_distance && built.graph->num_nodes() > 16384) {
+      std::cerr << "error: --per-distance stores all-pairs distances "
+                   "(O(n^2)); refusing at n > 16384.  Use the skew "
+                   "summary / --series-csv for large runs.\n";
+      return 2;
+    }
     topt.track_per_distance = cfg.per_distance;
     topt.series_interval = cfg.duration / 200.0;
     if (!built.timeline.empty()) {
