@@ -16,8 +16,13 @@
 #      under concurrent lanes) with -DTBCS_SANITIZE=thread and run them.
 #      These are the only tests with real cross-thread contention.
 #   4. Sharded smoke + perf gate: smoke_shards.sh equivalence gates plus
-#      SMOKE_SHARDS_PERF=1, which fails if --shards 4 at n=16384 runs
-#      >10% slower than --shards 1 (the window-stall regression).
+#      SMOKE_SHARDS_PERF=1, which fails if --shards 4 runs >10% slower
+#      than --shards 1 on an n=16384 path or an n=16383 tree (the
+#      window-stall and tree-partition regressions).
+#   5. Large-n queue gate: smoke_bench.sh with SMOKE_BENCH_LARGE=1,
+#      which fails if the ladder queue is < 1.2x the heap on the serial
+#      line n=100000 config (and re-checks the small-n geomean so the
+#      ladder can't buy large-n throughput with a small-n regression).
 #
 # Usage: scripts/ci.sh [jobs]     (default: nproc)
 set -euo pipefail
@@ -60,6 +65,11 @@ echo
 echo "=== sharded smoke + perf gate ==="
 SMOKE_SHARDS_PERF=1 bash scripts/smoke_shards.sh \
   build/tools/tbcs_sim build/tools/tbcs_trace
+
+echo
+echo "=== large-n queue gate ==="
+SMOKE_BENCH_LARGE=1 bash scripts/smoke_bench.sh \
+  build/bench/bench_core_hotpath BENCH_pr2.json
 
 echo
 echo "ci.sh: all green"

@@ -65,14 +65,15 @@ check_case() {  # check_case <topology> <label> [extra flags...]
     || { echo "FAIL($label): trace serial != --shards 1"; exit 1; }
 
   # Gate 2: shard counts agree on everything, byte for byte.  The stats
-  # "engine" line records the requested shard count and is the one block
-  # that is *supposed* to differ across -sN runs; strip it before the
-  # byte comparison.
+  # "engine" and "queue_impl" lines record the requested shard count and
+  # the per-lane bucket/wheel internals — the two blocks that are
+  # *supposed* to differ across -sN runs; strip them before the byte
+  # comparison.
   for n in 2 4; do
     cmp "$TMPDIR_SMOKE/$label-s1.rec" "$TMPDIR_SMOKE/$label-s$n.rec" \
       || { echo "FAIL($label): rec --shards 1 != --shards $n"; exit 1; }
-    cmp <(grep -v '"engine"' "$TMPDIR_SMOKE/$label-s1.stats") \
-        <(grep -v '"engine"' "$TMPDIR_SMOKE/$label-s$n.stats") \
+    cmp <(grep -v -e '"engine"' -e '"queue_impl"' "$TMPDIR_SMOKE/$label-s1.stats") \
+        <(grep -v -e '"engine"' -e '"queue_impl"' "$TMPDIR_SMOKE/$label-s$n.stats") \
       || { echo "FAIL($label): stats --shards 1 != --shards $n"; exit 1; }
     "$TRACE_BIN" --diff "$TMPDIR_SMOKE/$label-s1.bin" \
                  "$TMPDIR_SMOKE/$label-s$n.bin" \
@@ -92,34 +93,46 @@ grep -q "crash" "$TMPDIR_SMOKE/path-faulty-s2.out" \
   || grep -q '"crashes": *[1-9]' "$TMPDIR_SMOKE/path-faulty-s2.stats" \
   || { echo "FAIL: fault plan did not apply"; exit 1; }
 
-# Perf gate (SMOKE_SHARDS_PERF=1, set by ci.sh): at n = 16384 on a path,
-# --shards 4 must not be more than 10% slower than --shards 1.  This is
-# the regression this PR fixed — the old engine's global window stall
-# made every multi-shard run *slower* than serial; the gate keeps it
-# fixed without demanding a machine-dependent speedup factor.  Best of
-# two runs per side to damp scheduler noise.
+# Perf gate (SMOKE_SHARDS_PERF=1, set by ci.sh): at n ~ 16k on a path and
+# on a binary tree, --shards 4 must not be more than 10% slower than
+# --shards 1.  These are the regressions past PRs fixed — the old
+# engine's global window stall made every multi-shard run *slower* than
+# serial, and block partitions of BFS-numbered trees collapsed the
+# windows the same way until the "auto" strategy routed trees to the
+# multilevel partitioner.  The gate keeps both fixed without demanding a
+# machine-dependent speedup factor.  Best of two runs per side to damp
+# scheduler noise.
 if [[ "${SMOKE_SHARDS_PERF:-0}" == "1" ]]; then
-  perf_run() {  # perf_run <shards> -> milliseconds on stdout
+  perf_run() {  # perf_run <shards> <topo-flags...> -> milliseconds on stdout
+    local shards="$1"
+    shift
     local best=
     for _ in 1 2; do
       local t0 t1 ms
       t0=$(date +%s%N)
-      "$SIM_BIN" --topology path --nodes 16384 --algo aopt --delays band \
+      "$SIM_BIN" "$@" --algo aopt --delays band \
                  --drift walk --duration 40 --seed 42 --wake-all \
-                 --shards "$1" > /dev/null
+                 --shards "$shards" > /dev/null
       t1=$(date +%s%N)
       ms=$(( (t1 - t0) / 1000000 ))
       if [[ -z "$best" || "$ms" -lt "$best" ]]; then best="$ms"; fi
     done
     echo "$best"
   }
-  ms1=$(perf_run 1)
-  ms4=$(perf_run 4)
-  echo "smoke_shards: perf n=16384 path: shards=1 ${ms1}ms, shards=4 ${ms4}ms"
-  if (( ms4 * 10 > ms1 * 11 )); then
-    echo "FAIL: --shards 4 is >10% slower than --shards 1 (${ms4}ms vs ${ms1}ms)"
-    exit 1
-  fi
+  perf_case() {  # perf_case <label> <topo-flags...>
+    local label="$1"
+    shift
+    local ms1 ms4
+    ms1=$(perf_run 1 "$@")
+    ms4=$(perf_run 4 "$@")
+    echo "smoke_shards: perf $label: shards=1 ${ms1}ms, shards=4 ${ms4}ms"
+    if (( ms4 * 10 > ms1 * 11 )); then
+      echo "FAIL($label): --shards 4 is >10% slower than --shards 1 (${ms4}ms vs ${ms1}ms)"
+      exit 1
+    fi
+  }
+  perf_case "n=16384 path" --topology path --nodes 16384
+  perf_case "n=16383 tree" --topology tree --arity 2 --levels 14
 fi
 
 echo "smoke_shards: OK"

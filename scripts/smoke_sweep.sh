@@ -24,7 +24,7 @@ if ! diff -u "$TMPDIR_SMOKE/serial.csv" "$TMPDIR_SMOKE/parallel.csv"; then
 fi
 
 header="$(head -n 1 "$TMPDIR_SMOKE/serial.csv")"
-expected="eps,delay,replica,seed,global_skew,local_skew,global_bound,local_bound,messages,events,messages_dropped,queue_peak,queue_pushes,queue_pops,stale_timer_pops"
+expected="eps,delay,replica,seed,global_skew,local_skew,global_bound,local_bound,messages,events,messages_dropped,queue_peak,queue_pushes,queue_pops,timer_cancels"
 if [[ "$header" != "$expected" ]]; then
   echo "FAIL: unexpected CSV header: $header" >&2
   exit 1

@@ -37,10 +37,12 @@ QueueReport QueueReport::capture(const sim::Simulator& sim) {
   r.peak_size = s.peak_size;
   r.pushes = s.pushes;
   r.pops = s.pops;
-  r.stale_timer_pops = sim.stale_timer_pops();
-  if (r.pops > 0) {
-    r.stale_share = static_cast<double>(r.stale_timer_pops) /
-                    static_cast<double>(r.pops);
+  r.timer_arms = sim.timer_arms();
+  r.timer_fires = sim.timer_fires();
+  r.timer_cancels = sim.timer_cancels();
+  if (r.timer_arms > 0) {
+    r.cancel_share = static_cast<double>(r.timer_cancels) /
+                     static_cast<double>(r.timer_arms);
   }
   return r;
 }
@@ -62,8 +64,10 @@ void write_stats_json(std::ostream& os, const sim::Simulator& sim,
      << "\"peak_size\": " << queue.peak_size
      << ", \"pushes\": " << queue.pushes
      << ", \"pops\": " << queue.pops
-     << ", \"stale_timer_pops\": " << queue.stale_timer_pops
-     << ", \"stale_share\": " << queue.stale_share << "},\n";
+     << ", \"timer_arms\": " << queue.timer_arms
+     << ", \"timer_fires\": " << queue.timer_fires
+     << ", \"timer_cancels\": " << queue.timer_cancels
+     << ", \"cancel_share\": " << queue.cancel_share << "},\n";
   // Engine shape: requested vs auto-clamped shard count and the partition
   // strategy.  Deliberately partition-*dependent* — byte-comparison gates
   // that check shard-count invariance must filter this block out.
@@ -73,6 +77,23 @@ void write_stats_json(std::ostream& os, const sim::Simulator& sim,
      << ", \"partition\": \""
      << (sim.shards() > 0 ? sim.partition_strategy() : std::string("serial"))
      << "\"},\n";
+  // Concrete queue-implementation detail: bucket churn, wheel cascades,
+  // reserved capacity.  Partition- and implementation-dependent by nature,
+  // so the same byte-comparison gates strip this block too.
+  const sim::Simulator::QueueImplInfo qi = sim.queue_impl_info();
+  os << "  \"queue_impl\": {"
+     << "\"impl\": \""
+     << (qi.impl == sim::QueueImpl::kLadder ? "ladder" : "heap")
+     << "\", \"resorts\": " << qi.resorts
+     << ", \"spills\": " << qi.spills
+     << ", \"rebuckets\": " << qi.rebuckets
+     << ", \"run_inserts\": " << qi.run_inserts
+     << ", \"peak_rungs\": " << qi.peak_rungs
+     << ", \"wheel_cascades\": " << qi.wheel_cascades
+     << ", \"wheel_rebases\": " << qi.wheel_rebases
+     << ", \"queue_capacity\": " << qi.queue_capacity
+     << ", \"slab_capacity\": " << qi.slab_capacity
+     << ", \"wheel_capacity\": " << qi.wheel_capacity << "},\n";
   os << "  \"metrics\": ";
   if (metrics != nullptr) {
     write_metrics_json(os, *metrics);

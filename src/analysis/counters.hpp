@@ -28,16 +28,22 @@ struct CommunicationReport {
 CommunicationReport operator-(const CommunicationReport& late,
                               const CommunicationReport& early);
 
-/// Event-queue health: heap high-water mark, churn, and how much of the
-/// churn was lazy-deletion overhead (stale timer entries popped and
-/// discarded).  A stale share near 1 means timers are re-armed much faster
-/// than they fire and the queue is mostly dead weight.
+/// Event-queue health: high-water mark, churn, and the timer-wheel
+/// traffic (arms/fires/cancels; timers never enter the event queue).  A
+/// cancel share near 1 means timers are re-armed much faster than they
+/// fire — dead weight the wheel removes in O(1) where the old engine
+/// popped stale heap entries.  All fields are canonical (identical across
+/// shard counts and queue implementations); reserved/peak capacity of the
+/// concrete implementation lands in the separate "queue_impl" stats
+/// block, which the byte-compare gates strip.
 struct QueueReport {
   std::size_t peak_size = 0;
   std::uint64_t pushes = 0;
   std::uint64_t pops = 0;
-  std::uint64_t stale_timer_pops = 0;
-  double stale_share = 0.0;  // stale_timer_pops / pops
+  std::uint64_t timer_arms = 0;
+  std::uint64_t timer_fires = 0;
+  std::uint64_t timer_cancels = 0;
+  double cancel_share = 0.0;  // timer_cancels / timer_arms
 
   static QueueReport capture(const sim::Simulator& sim);
 };

@@ -43,6 +43,7 @@ void apply_model_flags(ArgParser& args, ExperimentConfig& cfg) {
   cfg.shards = args.get_int("shards", cfg.shards);
   cfg.partition = args.get_string("partition", cfg.partition);
   cfg.min_shard_nodes = args.get_int("shards-min-nodes", cfg.min_shard_nodes);
+  cfg.queue = args.get_string("queue", cfg.queue);
   cfg.faults_file = args.get_string("faults", cfg.faults_file);
   cfg.fault_seed = static_cast<std::uint64_t>(
       args.get_int("fault-seed", static_cast<int>(cfg.fault_seed)));
@@ -181,6 +182,16 @@ BuiltExperiment build_experiment(const ExperimentConfig& cfg) {
   sim::SimConfig scfg;
   scfg.wake_all_at_zero = cfg.wake_all;
   scfg.probe_interval = cfg.delay;
+  if (cfg.queue == "auto" || cfg.queue.empty()) {
+    scfg.queue = sim::QueueSelect::kAuto;
+  } else if (cfg.queue == "heap") {
+    scfg.queue = sim::QueueSelect::kHeap;
+  } else if (cfg.queue == "ladder") {
+    scfg.queue = sim::QueueSelect::kLadder;
+  } else {
+    throw ConfigError("unknown queue implementation: " + cfg.queue +
+                      " (expected auto|heap|ladder)");
+  }
   built.simulator = std::make_unique<sim::Simulator>(*built.graph, scfg);
   if (cfg.shards > 0) {
     built.simulator->configure_shards(cfg.shards, cfg.partition,

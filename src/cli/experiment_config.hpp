@@ -53,15 +53,23 @@ struct ExperimentConfig {
   bool per_distance = false;
 
   // Sharded engine: number of lanes (0 = classic serial engine) and the
-  // graph::Partition strategy ("block" | "bands" | "ml").  Requires a
-  // delay policy with a positive min_delay() (fixed / band), checked at
-  // setup.  min_shard_nodes auto-clamps the lane count so every lane
-  // covers at least that many nodes (below it barrier overhead dominates
-  // and extra lanes are a slowdown); 0 disables the clamp — equivalence
-  // tests use that to exercise multi-shard runs on tiny graphs.
+  // graph::Partition strategy ("auto" | "block" | "bands" | "ml"; auto
+  // picks the multilevel partitioner for trees, contiguous blocks
+  // elsewhere).  Requires a delay policy with a positive min_delay()
+  // (fixed / band), checked at setup.  min_shard_nodes auto-clamps the
+  // lane count so every lane covers at least that many nodes (below it
+  // barrier overhead dominates and extra lanes are a slowdown); 0
+  // disables the clamp — equivalence tests use that to exercise
+  // multi-shard runs on tiny graphs.
   int shards = 0;
-  std::string partition = "block";
+  std::string partition = "auto";
   int min_shard_nodes = 64;
+
+  // Event-queue implementation: "auto" (ladder at or above
+  // sim::Simulator::kLadderAutoThreshold nodes, binary heap below) |
+  // "heap" | "ladder".  Pop order is byte-identical across all three;
+  // only throughput differs.
+  std::string queue = "auto";
 
   // Fault injection (docs/FAULTS.md).
   std::string faults_file;       // FaultPlan text file; empty = fault-free

@@ -77,7 +77,7 @@ RunResult SweepRunner::run_one(const RunSpec& spec, std::size_t index,
         {"queue_peak", static_cast<double>(qs.peak_size)},
         {"queue_pushes", static_cast<double>(qs.pushes)},
         {"queue_pops", static_cast<double>(qs.pops)},
-        {"stale_timer_pops", static_cast<double>(sim.stale_timer_pops())},
+        {"timer_cancels", static_cast<double>(sim.timer_cancels())},
     };
     if (faulty) {
       const double rec = tracker.recovery_time();

@@ -240,6 +240,80 @@ void refine(const LevelGraph& g, std::vector<int>& part, int k) {
   }
 }
 
+/// Exact tree split: iterative DFS from node 0, carving a shard off
+/// whenever an unassigned subtree reaches the running target share
+/// ceil(unassigned / shards_left).  A tree's optimal k-way cut is k - 1
+/// edges and the carve achieves exactly that (each shard is one whole
+/// subtree; the residual around the root is the last shard) — the
+/// generic matching/refinement pipeline lands around 30x that on a
+/// balanced binary tree, and every extra cut edge is horizon pressure
+/// and outbox traffic for the sharded engine.  Returns an empty vector
+/// when the shape makes the carve infeasible (disconnected forest, or a
+/// star-like tree where no proper subtree reaches the share and the
+/// residual could not feed the remaining shards): callers fall back to
+/// the generic pipeline.
+std::vector<int> tree_carve(const Graph& g, int k) {
+  const int n = g.num_nodes();
+  std::vector<int> parent(static_cast<std::size_t>(n), -1);
+  std::vector<int> order;  // DFS preorder; reversed = valid postorder
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<int> stack = {0};
+  parent[0] = 0;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    for (const NodeId u : g.neighbors(static_cast<NodeId>(v))) {
+      if (parent[static_cast<std::size_t>(u)] < 0) {
+        parent[static_cast<std::size_t>(u)] = v;
+        stack.push_back(static_cast<int>(u));
+      }
+    }
+  }
+  if (order.size() != static_cast<std::size_t>(n)) return {};  // forest
+  std::vector<int> part(static_cast<std::size_t>(n), -1);
+  std::vector<int> acc(static_cast<std::size_t>(n), 1);  // unassigned in subtree
+  int unassigned = n;
+  int cur = 0;
+  std::vector<int> sub;  // scratch for collecting a carved subtree
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const int v = order[i];
+    const auto vi = static_cast<std::size_t>(v);
+    // Floor target with a 1/16 slack: subtree spectra often sit just
+    // under the exact share (a 2^j - 1 subtree vs a 2^j target), and a
+    // slightly small shard beats skipping up to a 2x-overshooting
+    // ancestor.  The residual around the root absorbs the slack.
+    const int target = unassigned / (k - cur);
+    const int threshold = target - target / 16;
+    if (cur < k - 1 && acc[vi] >= threshold &&
+        unassigned - acc[vi] >= k - 1 - cur) {
+      // Carve subtree(v): its unassigned nodes become shard `cur`.
+      sub.assign(1, v);
+      part[vi] = cur;
+      while (!sub.empty()) {
+        const int x = sub.back();
+        sub.pop_back();
+        for (const NodeId u : g.neighbors(static_cast<NodeId>(x))) {
+          const auto ui = static_cast<std::size_t>(u);
+          if (parent[ui] == x && u != 0 && part[ui] < 0) {
+            part[ui] = cur;
+            sub.push_back(static_cast<int>(u));
+          }
+        }
+      }
+      unassigned -= acc[vi];
+      acc[vi] = 0;
+      ++cur;
+    }
+    if (v != 0) acc[static_cast<std::size_t>(parent[vi])] += acc[vi];
+  }
+  if (cur != k - 1) return {};  // could not fill k - 1 shards
+  for (auto& s : part) {
+    if (s < 0) s = k - 1;  // the residual component around the root
+  }
+  return part;
+}
+
 }  // namespace
 
 Partition Partition::multilevel(const Graph& g, int num_shards) {
@@ -251,6 +325,17 @@ Partition Partition::multilevel(const Graph& g, int num_shards) {
     p.shard_of_.assign(n, 0);
     p.finish(g);
     return p;
+  }
+  // Trees get the exact subtree carve (k - 1 cut edges, the optimum)
+  // instead of the heuristic pipeline below, which has no notion of
+  // subtrees and lands ~30x off on a balanced binary tree.
+  if (g.num_edges() + 1 == n) {
+    std::vector<int> carved = tree_carve(g, num_shards);
+    if (!carved.empty()) {
+      p.shard_of_ = std::move(carved);
+      p.finish(g);
+      return p;
+    }
   }
   // Level 0 is the input graph with unit weights.
   std::vector<std::tuple<int, int, std::uint64_t>> es;
@@ -334,13 +419,23 @@ Partition Partition::bfs_bands(const Graph& g, int num_shards) {
 
 Partition Partition::make(const Graph& g, int num_shards,
                           const std::string& strategy) {
-  if (strategy == "block" || strategy.empty()) return block(g, num_shards);
+  if (strategy == "auto" || strategy.empty()) {
+    // Trees (m == n-1): block partitions of a BFS-numbered tree cut whole
+    // level bands, putting every node within a hop or two of a cut and
+    // collapsing the sharded engine's windows; the multilevel split keeps
+    // subtrees whole.  Everything else ships with locality-preserving ids
+    // where contiguous blocks are already near-optimal and free.
+    const bool tree = g.num_edges() + 1 == static_cast<std::size_t>(
+                                               g.num_nodes());
+    return tree ? multilevel(g, num_shards) : block(g, num_shards);
+  }
+  if (strategy == "block") return block(g, num_shards);
   if (strategy == "bands") return bfs_bands(g, num_shards);
   if (strategy == "ml" || strategy == "multilevel") {
     return multilevel(g, num_shards);
   }
   throw std::invalid_argument("Partition: unknown strategy '" + strategy +
-                              "' (expected block|bands|ml)");
+                              "' (expected auto|block|bands|ml)");
 }
 
 void Partition::finish(const Graph& g) {

@@ -1,73 +1,40 @@
-// The simulator's event queue: an implicit 4-ary heap ordered by the
-// schedule-order-independent event key (time, source node, per-source
-// sequence number).  Ties at equal times are broken by who *caused* the
-// event (and that node's own creation order), never by global insertion
-// order — so the pop sequence is a pure function of the event set, no
-// matter how pushes from different shards interleave.  Events caused by
-// the same source still pop FIFO (same source => increasing seq), which
-// is what keeps crash-before-link-down and links-up-before-recover
-// orderings intact.
+// The simulator's event queue, with two interchangeable implementations
+// behind one facade:
 //
-// Events are 48 bytes: message payloads live in a MessageSlab (the event
-// carries a handle) and the kind-specific fields overlay each other, so a
-// sift moves half a cache line instead of ~96 bytes.  The 4-ary layout
-// halves the tree depth of the binary heap and keeps each child scan
-// inside one or two cache lines, which measures faster than both the
-// binary heap and std::priority_queue on simulation workloads.
+//   kHeap    an implicit 4-ary heap — O(log n) push/pop, unbeatable
+//            constants at small n.  The 4-ary layout halves the binary
+//            heap's depth and keeps each child scan inside one or two
+//            cache lines.
+//   kLadder  the ladder/bucket queue (ladder_queue.hpp) — O(1) amortized
+//            push/pop, wins once the heap stops fitting in cache
+//            (large n).
 //
-// Timer events carry a generation counter; re-arming or cancelling a timer
-// bumps the live generation so stale heap entries are skipped on pop (lazy
-// deletion).  The queue reports peak size and push/pop totals for the
-// counters layer.
+// Both pop in exactly the canonical event_before() order (see event.hpp),
+// so the choice is invisible in every output byte; the engine selects
+// kLadder automatically above a node-count threshold (--queue overrides).
+// Timer events no longer live here at all — node self-timers are handled
+// by the TimerWheel and merged with this queue's stream by the simulator.
+//
+// The dispatch is a branch, not a virtual call: push/pop/top are the
+// hottest few instructions in the whole engine, and the branch is
+// perfectly predicted (the impl never changes mid-run).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <vector>
 
-#include "sim/message_slab.hpp"
+#include "sim/event.hpp"
+#include "sim/ladder_queue.hpp"
 #include "sim/types.hpp"
 
 namespace tbcs::sim {
 
-enum class EventKind : std::uint8_t {
-  kMessageDelivery,  // message `msg` (slab handle) delivered to `node` over `edge`
-  kTimer,            // timer `slot` of `node` fires (if generation is live)
-  kRateChange,       // hardware clock rate of `node` changes to `rate`
-  kLinkChange,       // link {node, node2} = edge `edge` goes up/down
-  kProbe,            // periodic observer callback
-  kCrash,            // `node` crashes: silent, timers suppressed, links cut
-  kRecover,          // `node` re-joins: links restored, on_rejoin() runs
-};
+enum class QueueImpl : std::uint8_t { kHeap, kLadder };
 
-struct Event {
-  RealTime time = 0.0;
-  std::uint64_t seq = 0;  // per-source creation order (stamped by the simulator)
-  union {
-    double rate;                // kRateChange: the new hardware rate
-    std::uint64_t generation;   // kTimer: live-generation stamp
-  };
-  NodeId node = kInvalidNode;
-  union {
-    NodeId node2;               // kLinkChange: second endpoint
-    MessageSlab::Handle msg;    // kMessageDelivery: payload handle
-  };
-  std::uint32_t edge = 0xffffffffu;  // kMessageDelivery / kLinkChange
-  NodeId source = kInvalidNode;  // causing node (kInvalidNode: system, e.g. probes)
-  EventKind kind = EventKind::kProbe;
-  std::uint8_t slot = 0;         // kTimer
-  bool link_up = true;           // kLinkChange: target state
-  bool rate_from_policy = true;  // injected rate changes do not re-poll the policy
-  // Sharded engine: the mirror copy of a cut-edge link change, processed in
-  // the second endpoint's shard.  Carries the same (time, source, seq) key
-  // as its primary; flips only the local link state and runs only the local
-  // endpoint's callback, and is excluded from event/trace accounting.
-  bool twin = false;
-
-  Event() : rate(1.0), node2(kInvalidNode) {}
-};
-
-static_assert(sizeof(Event) <= 48, "Event must stay within one cache line");
+/// User-facing selection: kAuto resolves to kHeap or kLadder from the
+/// topology size when the simulator is constructed.
+enum class QueueSelect : std::uint8_t { kAuto, kHeap, kLadder };
 
 class EventQueue {
  public:
@@ -77,19 +44,44 @@ class EventQueue {
     std::uint64_t pops = 0;
   };
 
-  void push(Event e) {
-    heap_.push_back(e);
-    sift_up(heap_.size() - 1);
-    ++stats_.pushes;
-    if (heap_.size() > stats_.peak_size) stats_.peak_size = heap_.size();
+  QueueImpl impl() const { return impl_; }
+
+  /// Switches implementation.  Only legal while empty (the engine sets the
+  /// impl per lane before any events are queued).
+  void set_impl(QueueImpl impl) {
+    if (impl == impl_) return;
+    heap_.clear();
+    ladder_.clear();
+    impl_ = impl;
   }
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  void push(const Event& e) {
+    if (impl_ == QueueImpl::kHeap) {
+      heap_.push_back(e);
+      sift_up(heap_.size() - 1);
+    } else {
+      ladder_.push(e);
+    }
+    ++stats_.pushes;
+    const std::size_t sz = size();
+    if (sz > stats_.peak_size) stats_.peak_size = sz;
+  }
 
-  const Event& top() const { return heap_.front(); }
+  bool empty() const {
+    return impl_ == QueueImpl::kHeap ? heap_.empty() : ladder_.empty();
+  }
+  std::size_t size() const {
+    return impl_ == QueueImpl::kHeap ? heap_.size() : ladder_.size();
+  }
+
+  /// Non-const: the ladder lazily sorts its next bucket on first access.
+  const Event& top() {
+    return impl_ == QueueImpl::kHeap ? heap_.front() : ladder_.top();
+  }
 
   Event pop() {
+    ++stats_.pops;
+    if (impl_ == QueueImpl::kLadder) return ladder_.pop();
     Event out = heap_.front();
     const Event last = heap_.back();
     heap_.pop_back();
@@ -97,31 +89,55 @@ class EventQueue {
       heap_.front() = last;
       sift_down(0);
     }
-    ++stats_.pops;
     return out;
+  }
+
+  /// Up to `max_n` upcoming events in reverse pop order (out[count-1] pops
+  /// first); used to prefetch destination node slots.  Heap: the root's
+  /// children are the candidates for the next pop, order approximate —
+  /// fine for prefetching.  Valid until the next push/pop.
+  const Event* upcoming(std::size_t max_n, std::size_t& count) {
+    if (impl_ == QueueImpl::kLadder) return ladder_.upcoming(max_n, count);
+    count = std::min(max_n, heap_.size());
+    return heap_.data();
+  }
+
+  /// Pre-sizes storage for an expected event population.
+  void reserve(std::size_t expected) {
+    if (impl_ == QueueImpl::kHeap) {
+      heap_.reserve(expected);
+    } else {
+      ladder_.reserve(expected);
+    }
+  }
+
+  /// Allocated event slots (stats-time only).
+  std::size_t capacity() const {
+    return impl_ == QueueImpl::kHeap ? heap_.capacity() : ladder_.capacity();
   }
 
   /// Empties the queue.  Event keys are stamped by the producer, so
   /// ordering stays correct across a clear.
-  void clear() { heap_.clear(); }
+  void clear() {
+    heap_.clear();
+    ladder_.clear();
+  }
 
   const Stats& stats() const { return stats_; }
 
+  /// Ladder-internal counters (zeros under kHeap).
+  const LadderQueue::ImplStats& ladder_stats() const {
+    return ladder_.impl_stats();
+  }
+
  private:
   static constexpr std::size_t kArity = 4;
-
-  static bool before(const Event& a, const Event& b) {
-    if (a.time != b.time) return a.time < b.time;
-    if (a.source != b.source) return a.source < b.source;
-    if (a.seq != b.seq) return a.seq < b.seq;
-    return a.twin < b.twin;  // a cut-edge mirror sorts after its primary
-  }
 
   void sift_up(std::size_t i) {
     const Event e = heap_[i];
     while (i > 0) {
       const std::size_t parent = (i - 1) / kArity;
-      if (!before(e, heap_[parent])) break;
+      if (!event_before(e, heap_[parent])) break;
       heap_[i] = heap_[parent];
       i = parent;
     }
@@ -137,16 +153,18 @@ class EventQueue {
       std::size_t best = first;
       const std::size_t last = std::min(first + kArity, n);
       for (std::size_t c = first + 1; c < last; ++c) {
-        if (before(heap_[c], heap_[best])) best = c;
+        if (event_before(heap_[c], heap_[best])) best = c;
       }
-      if (!before(heap_[best], e)) break;
+      if (!event_before(heap_[best], e)) break;
       heap_[i] = heap_[best];
       i = best;
     }
     heap_[i] = e;
   }
 
+  QueueImpl impl_ = QueueImpl::kHeap;
   std::vector<Event> heap_;
+  LadderQueue ladder_;
   Stats stats_;
 };
 

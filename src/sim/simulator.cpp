@@ -36,7 +36,9 @@ class Simulator::ServicesImpl final : public NodeServices {
   void set_timer(int slot, ClockValue target) override {
     sim_.arm_timer(lane_, v_, slot, target);
   }
-  void cancel_timer(int slot) override { sim_.disarm_timer(v_, slot); }
+  void cancel_timer(int slot) override {
+    sim_.disarm_timer(lane_, v_, slot);
+  }
 
  private:
   Simulator& sim_;
@@ -57,6 +59,18 @@ Simulator::Simulator(const graph::Graph& g, SimConfig cfg)
       drift_(std::make_shared<ConstantDrift>(1.0)),
       delay_(std::make_shared<FixedDelay>(0.0)) {
   const auto n = static_cast<std::size_t>(g.num_nodes());
+  switch (cfg_.queue) {
+    case QueueSelect::kHeap:
+      queue_impl_ = QueueImpl::kHeap;
+      break;
+    case QueueSelect::kLadder:
+      queue_impl_ = QueueImpl::kLadder;
+      break;
+    case QueueSelect::kAuto:
+      queue_impl_ = g.num_nodes() >= kLadderAutoThreshold ? QueueImpl::kLadder
+                                                          : QueueImpl::kHeap;
+      break;
+  }
   slot_of_.resize(n);
   for (std::size_t v = 0; v < n; ++v) {
     slot_of_[v] = static_cast<std::uint32_t>(v);  // identity until sharded
@@ -79,6 +93,7 @@ void Simulator::init_lanes(std::size_t count) {
   for (std::size_t i = 0; i < count; ++i) {
     Lane& ln = lanes_[i];
     ln.index = static_cast<int>(i);
+    ln.queue.set_impl(queue_impl_);
     ln.link_up.assign(graph_.num_edges(), 1);
     ln.outbox.resize(count);
     ln.services = std::make_unique<ServicesImpl>(*this, ln);
@@ -97,7 +112,7 @@ void Simulator::configure_shards(int shards, const std::string& strategy,
     part_.reset();
     shards_requested_ = 0;
     partition_strategy_.clear();
-    bnd_level_.clear();
+    cut_dist_.clear();
     for (std::size_t v = 0; v < n; ++v) {
       slot_of_[v] = static_cast<std::uint32_t>(v);
     }
@@ -105,7 +120,17 @@ void Simulator::configure_shards(int shards, const std::string& strategy,
     return;
   }
   shards_requested_ = shards;
-  partition_strategy_ = strategy;
+  // Resolve "auto" here so partition_strategy() (and the stats "engine"
+  // block) reports the strategy actually used, matching Partition::make's
+  // dispatch: multilevel keeps subtrees whole where block partitions of a
+  // BFS-numbered tree would cut every level band.
+  if (strategy == "auto" || strategy.empty()) {
+    const bool tree =
+        graph_.num_edges() + 1 == static_cast<std::size_t>(graph_.num_nodes());
+    partition_strategy_ = tree ? "ml" : "block";
+  } else {
+    partition_strategy_ = strategy;
+  }
   int effective = std::min(shards, graph_.num_nodes());
   if (min_nodes_per_shard > 0) {
     const int cap = std::max(
@@ -128,7 +153,7 @@ void Simulator::configure_shards(int shards, const std::string& strategy,
     }
   }
   part_ = std::make_unique<graph::Partition>(
-      graph::Partition::make(graph_, effective, strategy));
+      graph::Partition::make(graph_, effective, partition_strategy_));
   windowed_ = true;
   link_up_.assign(graph_.num_edges(), 1);
   // Slot permutation: each shard's members become one contiguous block of
@@ -140,27 +165,40 @@ void Simulator::configure_shards(int shards, const std::string& strategy,
       slot_of_[static_cast<std::size_t>(v)] = next_slot++;
     }
   }
-  // Boundary levels for the cut-aware horizon: 0 = endpoint of a cut
-  // edge, 1 = intra-shard neighbor of a level-0 node, 2 = farther.  An
-  // event at a level-l node needs >= l intra-shard hops before anything
-  // can happen at a cut node.  Computed here — before any event can be
-  // scheduled — so every queue push (including pre-run schedule_crash /
-  // schedule_link_change calls) lands in the boundary heaps.
-  bnd_level_.assign(n, 2);
+  // Cut distances for the cut-aware horizon: multi-source BFS (over
+  // intra-shard edges) from the cut-edge endpoints, capped at kMaxCutDist.
+  // An event at a distance-d node needs >= d intra-shard hops before
+  // anything can happen at a cut node.  Computed here — before any event
+  // can be scheduled — so every queue push and timer arm (including
+  // pre-run schedule_crash / schedule_link_change calls) lands in the
+  // boundary heaps.
+  cut_dist_.assign(n, static_cast<std::uint8_t>(kMaxCutDist));
   if (effective > 1) {
+    std::vector<NodeId> frontier;
     for (const graph::Partition::CutEdge& ce : part_->cut_edges()) {
-      bnd_level_[static_cast<std::size_t>(ce.u)] = 0;
-      bnd_level_[static_cast<std::size_t>(ce.v)] = 0;
-    }
-    for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
-      if (bnd_level_[static_cast<std::size_t>(u)] != 0) continue;
-      const int su = part_->shard_of(u);
-      for (const graph::Graph::Arc* a = csr_->begin(u); a != csr_->end(u);
-           ++a) {
-        if (part_->shard_of(a->to) != su) continue;
-        std::uint8_t& lvl = bnd_level_[static_cast<std::size_t>(a->to)];
-        if (lvl > 1) lvl = 1;
+      for (const NodeId v : {ce.u, ce.v}) {
+        if (cut_dist_[static_cast<std::size_t>(v)] != 0) {
+          cut_dist_[static_cast<std::size_t>(v)] = 0;
+          frontier.push_back(v);
+        }
       }
+    }
+    std::vector<NodeId> next;
+    for (int d = 1; d < kMaxCutDist && !frontier.empty(); ++d) {
+      next.clear();
+      for (const NodeId u : frontier) {
+        const int su = part_->shard_of(u);
+        for (const graph::Graph::Arc* a = csr_->begin(u); a != csr_->end(u);
+             ++a) {
+          if (part_->shard_of(a->to) != su) continue;
+          std::uint8_t& dist = cut_dist_[static_cast<std::size_t>(a->to)];
+          if (dist > d) {
+            dist = static_cast<std::uint8_t>(d);
+            next.push_back(a->to);
+          }
+        }
+      }
+      frontier.swap(next);
     }
   }
   init_lanes(static_cast<std::size_t>(effective));
@@ -244,6 +282,19 @@ void Simulator::setup() {
       }
     }
   }
+  // Pre-size the per-lane hot structures from the topology so warm-up
+  // never pays growth, and calibrate each lane's timer wheel to its
+  // member count (must precede the first arm below).
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    Lane& ln = lanes_[i];
+    const std::size_t members =
+        windowed_ ? part_->members(static_cast<int>(i)).size()
+                  : static_cast<std::size_t>(graph_.num_nodes());
+    ln.queue.reserve(members * 2);
+    ln.slab.reserve(members);
+    ln.wheel.configure(members);
+    ln.wheel.reserve(members * 2);
+  }
   for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
     if (!nodes_[static_cast<std::size_t>(v)]) {
       throw std::logic_error("Simulator: node " + std::to_string(v) +
@@ -282,19 +333,15 @@ void Simulator::setup() {
 // ---- event creation ---------------------------------------------------------
 
 void Simulator::note_queued(Lane& dest, NodeId a, NodeId b, RealTime t) {
-  // Only called when windowed with >1 lane (bnd_level_ is empty
+  // Only called when windowed with >1 lane (cut_dist_ is empty
   // otherwise).  A push during a window only ever targets the pushing
   // lane's own queue, so the heaps need no locking.
-  if (bnd_level_.empty() || a == kInvalidNode) return;
-  std::uint8_t lvl = bnd_level_[static_cast<std::size_t>(a)];
+  if (cut_dist_.empty() || a == kInvalidNode) return;
+  std::uint8_t d = cut_dist_[static_cast<std::size_t>(a)];
   if (b != kInvalidNode) {
-    lvl = std::min(lvl, bnd_level_[static_cast<std::size_t>(b)]);
+    d = std::min(d, cut_dist_[static_cast<std::size_t>(b)]);
   }
-  if (lvl == 0) {
-    dest.bnd0.push(t);
-  } else if (lvl == 1) {
-    dest.bnd1.push(t);
-  }
+  if (d < kMaxCutDist) dest.bnd[d].push(t);
 }
 
 void Simulator::push_event(Event e, NodeId source) {
@@ -335,7 +382,7 @@ void Simulator::push_delivery(Lane& ln, Event e, NodeId source,
                               const Message& m) {
   stamp(e, source);
   if (!windowed_) {
-    e.msg = ln.slab.put(m);
+    e.msg = ln.slab.put(m, e.time);
     ln.queue.push(e);
     return;
   }
@@ -344,7 +391,7 @@ void Simulator::push_delivery(Lane& ln, Event e, NodeId source,
   if (&dest == &ln || !in_window_) {
     // Local delivery, or coordinator context (setup / between windows):
     // straight into the destination queue.
-    e.msg = dest.slab.put(m);
+    e.msg = dest.slab.put(m, e.time);
     dest.queue.push(e);
     note_queued(dest, e.node, kInvalidNode, e.time);
   } else {
@@ -359,6 +406,67 @@ void Simulator::push_delivery(Lane& ln, Event e, NodeId source,
 
 // ---- execution --------------------------------------------------------------
 
+bool Simulator::next_key(Lane& ln, RealTime& t, TimerWheel::Fired& tf,
+                         bool& timer_first) {
+  // The merged pop stream: queue top vs wheel peek under the canonical
+  // (time, source, seq) order.  A wheel entry's source is its node and its
+  // twin flag is false, so the comparison needs only the first three key
+  // fields (per-source seqs are unique, so full ties are impossible).
+  const bool have_t = ln.wheel.peek(tf);
+  if (ln.queue.empty()) {
+    if (!have_t) return false;
+    timer_first = true;
+    t = tf.time;
+    return true;
+  }
+  const Event& top = ln.queue.top();
+  if (!have_t) {
+    timer_first = false;
+    t = top.time;
+    return true;
+  }
+  timer_first = tf.time != top.time     ? tf.time < top.time
+                : tf.node != top.source ? tf.node < top.source
+                                        : tf.seq < top.seq;
+  t = timer_first ? tf.time : top.time;
+  return true;
+}
+
+Event Simulator::pop_next(Lane& ln, const TimerWheel::Fired& tf,
+                          bool timer_first) {
+  if (!timer_first) {
+    Event e = ln.queue.pop();
+    prefetch_upcoming(ln);
+    return e;
+  }
+  ln.wheel.pop();
+  Event e;
+  e.time = tf.time;
+  e.seq = tf.seq;
+  e.node = tf.node;
+  e.source = tf.node;
+  e.slot = tf.slot;
+  e.kind = EventKind::kTimer;
+  return e;
+}
+
+void Simulator::prefetch_upcoming(Lane& ln) {
+#if defined(__GNUC__) || defined(__clang__)
+  if (ln.queue.empty()) return;
+  std::size_t count = 0;
+  const Event* up = ln.queue.upcoming(4, count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId v = up[i].node;
+    if (v == kInvalidNode) continue;
+    const std::size_t sl = slot(v);
+    __builtin_prefetch(&clock_slots_[sl]);
+    __builtin_prefetch(&status_slots_[sl]);
+  }
+#else
+  (void)ln;
+#endif
+}
+
 void Simulator::run_until(RealTime t_end) {
   setup();
   if (windowed_) {
@@ -366,8 +474,11 @@ void Simulator::run_until(RealTime t_end) {
     return;
   }
   Lane& ln = lanes_[0];
-  while (!ln.queue.empty() && ln.queue.top().time <= t_end) {
-    Event e = ln.queue.pop();
+  RealTime t = 0.0;
+  TimerWheel::Fired tf;
+  bool timer_first = false;
+  while (next_key(ln, t, tf, timer_first) && t <= t_end) {
+    Event e = pop_next(ln, tf, timer_first);
     assert(e.time >= now_ - kTimeTolerance && "event queue went backwards");
     now_ = std::max(now_, e.time);
     ln.now = now_;
@@ -385,10 +496,10 @@ void Simulator::run_until(RealTime t_end) {
 RealTime Simulator::safe_horizon() {
   // Earliest possible cross-shard arrival, over all lanes: an event must
   // first reach one of the lane's cut nodes (boundary_time, from the lazy
-  // level-0/1 heaps and the two-hop bound), then cross (la_out).  The
-  // heaps are cleaned here, on the coordinator thread between windows —
-  // every entry below the lane's clock belongs to an already-processed
-  // event.
+  // per-distance heaps and the kMaxCutDist-hop bound), then cross
+  // (la_out).  The heaps are cleaned here, on the coordinator thread
+  // between windows — every entry below the lane's clock belongs to an
+  // already-processed event.
   RealTime horizon = kInfinity;
   for (Lane& ln : lanes_) {
     if (!(ln.la_out < kInfinity)) continue;  // no outgoing cut arcs
@@ -396,12 +507,18 @@ RealTime Simulator::safe_horizon() {
       while (!h.empty() && h.top() < ln.now) h.pop();
       return h.empty() ? kInfinity : h.top();
     };
-    RealTime boundary = clean_top(ln.bnd0);
+    RealTime boundary = clean_top(ln.bnd[0]);
     if (ln.delta_intra < kInfinity) {
-      boundary = std::min(boundary, clean_top(ln.bnd1) + ln.delta_intra);
-      const RealTime tn =
-          ln.queue.empty() ? kInfinity : ln.queue.top().time;
-      boundary = std::min(boundary, tn + 2.0 * ln.delta_intra);
+      for (int d = 1; d < kMaxCutDist; ++d) {
+        boundary = std::min(
+            boundary, clean_top(ln.bnd[static_cast<std::size_t>(d)]) +
+                          static_cast<double>(d) * ln.delta_intra);
+      }
+      RealTime tn = ln.queue.empty() ? kInfinity : ln.queue.top().time;
+      TimerWheel::Fired tf;
+      if (ln.wheel.peek(tf)) tn = std::min(tn, tf.time);
+      boundary = std::min(
+          boundary, tn + static_cast<double>(kMaxCutDist) * ln.delta_intra);
     }
     horizon = std::min(horizon, boundary + ln.la_out);
   }
@@ -411,14 +528,24 @@ RealTime Simulator::safe_horizon() {
 void Simulator::run_windowed(RealTime t_end) {
   start_workers();
   const bool probe_active = cfg_.probe_interval > 0.0;
-  const Duration obs_dt = cfg_.observation_interval > 0.0
+  // With nothing listening (no observer, no window observer, no recorder)
+  // the observation cadence is pointless — windows stretch to the full
+  // safe horizon.  The canonical peak is then sampled only at probes and
+  // t_end, both partition-invariant, so stats stay shard-count-identical.
+  const bool observed =
+      observer_ != nullptr || window_observer_ != nullptr ||
+      recorder_ != nullptr;
+  const Duration obs_dt = !observed ? kInfinity
+                          : cfg_.observation_interval > 0.0
                               ? cfg_.observation_interval
                               : 4.0 * lookahead_;
   bool t_end_flushed = false;
   for (;;) {
     RealTime t_next = kInfinity;
-    for (const Lane& ln : lanes_) {
+    for (Lane& ln : lanes_) {
       if (!ln.queue.empty()) t_next = std::min(t_next, ln.queue.top().time);
+      TimerWheel::Fired tf;
+      if (ln.wheel.peek(tf)) t_next = std::min(t_next, tf.time);
     }
     if (probe_active) t_next = std::min(t_next, probe_next_);
     if (t_next > t_end) break;
@@ -470,10 +597,12 @@ void Simulator::run_windowed(RealTime t_end) {
 }
 
 void Simulator::process_window(Lane& ln) {
-  while (!ln.queue.empty()) {
-    const Event& top = ln.queue.top();
-    if (win_inclusive_ ? top.time > win_end_ : top.time >= win_end_) break;
-    Event e = ln.queue.pop();
+  RealTime t = 0.0;
+  TimerWheel::Fired tf;
+  bool timer_first = false;
+  while (next_key(ln, t, tf, timer_first)) {
+    if (win_inclusive_ ? t > win_end_ : t >= win_end_) break;
+    Event e = pop_next(ln, tf, timer_first);
     assert(e.time >= ln.now - kTimeTolerance && "lane queue went backwards");
     ln.now = std::max(ln.now, e.time);
     if (e.twin) {
@@ -483,7 +612,9 @@ void Simulator::process_window(Lane& ln) {
       apply_link_change(ln, e);
       continue;
     }
-    ++ln.canon_pops;
+    // Wheel fires are not queue traffic: canonical pops count queue events
+    // only, uniformly with the serial engine's queue stats.
+    if (!timer_first) ++ln.canon_pops;
     ++ln.events;
     ln.cur_time = e.time;
     ln.cur_source = e.source;
@@ -510,10 +641,12 @@ void Simulator::run_window_parallel() {
   // for every idle lane.
   bool workers_have_work = false;
   for (std::size_t i = 1; i < lanes_.size(); ++i) {
-    const Lane& ln = lanes_[i];
-    if (!ln.queue.empty() &&
-        (win_inclusive_ ? ln.queue.top().time <= win_end_
-                        : ln.queue.top().time < win_end_)) {
+    Lane& ln = lanes_[i];
+    RealTime t = kInfinity;
+    if (!ln.queue.empty()) t = ln.queue.top().time;
+    TimerWheel::Fired tf;
+    if (ln.wheel.peek(tf)) t = std::min(t, tf.time);
+    if (win_inclusive_ ? t <= win_end_ : t < win_end_) {
       workers_have_work = true;
       break;
     }
@@ -647,7 +780,7 @@ void Simulator::barrier_flush(RealTime w_end, bool probe_fires,
   for (Lane& src : lanes_) {
     for (std::size_t d = 0; d < lanes_.size(); ++d) {
       for (Lane::OutMsg& om : src.outbox[d]) {
-        om.event.msg = lanes_[d].slab.put(om.payload);
+        om.event.msg = lanes_[d].slab.put(om.payload, om.event.time);
         lanes_[d].queue.push(om.event);
         note_queued(lanes_[d], om.event.node, kInvalidNode, om.event.time);
       }
@@ -790,18 +923,18 @@ bool Simulator::process(Lane& ln, Event& e) {
       break;
     }
     case EventKind::kTimer: {
+      // Synthesized from a wheel fire: the entry was live by construction
+      // (cancel removes entries from the wheel), so no staleness check.
       TimerState& ts = timer(e.node, e.slot);
+      ts.pending = TimerWheel::kNull;  // consumed by the fire
       if ((status_slots_[slot(e.node)] & kCrashedBit) != 0) {
         // A crashed node's callbacks are suppressed; with no callback there
-        // is no re-arm, so each armed slot costs one pop per crash instead
-        // of wakeups forever.  Recovery re-anchors the armed slots.
-        ++ln.stale;
+        // is no re-arm, so each armed slot costs one fire per crash instead
+        // of wakeups forever.  Recovery re-anchors the armed slots (armed
+        // stays set).  Counted as a cancel: an armed deadline that never
+        // ran its callback.
+        ++ln.t_cancels;
         observable = false;
-        break;
-      }
-      if (!ts.armed || ts.generation != e.generation) {
-        ++ln.stale;
-        observable = false;  // stale heap entry (lazy deletion)
         break;
       }
       ts.armed = false;
@@ -852,12 +985,16 @@ bool Simulator::process(Lane& ln, Event& e) {
       ++ln.recoveries;
       le.node = e.node;  // re-enters the awake set: fold its clock
       if ((st & kAwakeBit) != 0) {
-        // Re-anchor every armed timer (their heap entries were consumed or
-        // invalidated during the outage), then run the re-join handshake.
+        // Re-anchor every armed timer (deadlines computed before the
+        // outage are meaningless now), then run the re-join handshake.
         for (int sl = 0; sl < kMaxTimerSlots; ++sl) {
           TimerState& ts = timer(e.node, sl);
           if (!ts.armed) continue;
-          ++ts.generation;
+          if (ts.pending != TimerWheel::kNull) {
+            lane_of(e.node).wheel.cancel(ts.pending);
+            ts.pending = TimerWheel::kNull;
+            ++ln.t_cancels;
+          }
           schedule_timer_event(e.node, sl, ln.now);
         }
         nodes_[static_cast<std::size_t>(e.node)]->on_rejoin(
@@ -1112,44 +1249,61 @@ void Simulator::do_broadcast(Lane& ln, NodeId v, const Message& m) {
 void Simulator::arm_timer(Lane& ln, NodeId v, int slot, ClockValue target) {
   assert(slot >= 0 && slot < kMaxTimerSlots);
   TimerState& ts = timer(v, slot);
+  if (ts.pending != TimerWheel::kNull) {
+    // Re-arm of a pending slot: the old deadline is removed in O(1) (the
+    // pre-wheel engine left it in the heap to pop as stale).
+    lane_of(v).wheel.cancel(ts.pending);
+    ts.pending = TimerWheel::kNull;
+    ++ln.t_cancels;
+  }
   ts.target = target;
   ts.armed = true;
-  ++ts.generation;
   schedule_timer_event(v, slot, ln.now);
 }
 
-void Simulator::disarm_timer(NodeId v, int slot) {
+void Simulator::disarm_timer(Lane& ln, NodeId v, int slot) {
   assert(slot >= 0 && slot < kMaxTimerSlots);
   TimerState& ts = timer(v, slot);
   ts.armed = false;
-  ++ts.generation;
+  if (ts.pending != TimerWheel::kNull) {
+    lane_of(v).wheel.cancel(ts.pending);
+    ts.pending = TimerWheel::kNull;
+    ++ln.t_cancels;
+  }
 }
 
 void Simulator::schedule_timer_event(NodeId v, int slot, RealTime now) {
   const HardwareClock& hc = clock_slots_[this->slot(v)];
-  const TimerState& ts = timer(v, slot);
+  TimerState& ts = timer(v, slot);
   assert(ts.armed);
+  assert(ts.pending == TimerWheel::kNull);
   assert(hc.started() && "timers require a started clock");
-  Event e;
-  e.time = hc.time_when_reaches(ts.target, now);
-  e.kind = EventKind::kTimer;
-  e.node = v;
-  e.slot = static_cast<std::uint8_t>(slot);
-  e.generation = ts.generation;
-  push_event(e, v);
+  const RealTime deadline = hc.time_when_reaches(ts.target, now);
+  // The arm consumes v's next sequence number exactly where the pre-wheel
+  // engine stamped its timer-event push, so every event key in the run is
+  // identical to the heap engine's.
+  const std::uint64_t seq = next_seq_[seq_index(v)]++;
+  Lane& dest = lane_of(v);
+  ts.pending =
+      dest.wheel.arm(deadline, seq, v, static_cast<std::uint8_t>(slot));
+  if (windowed_) note_queued(dest, v, kInvalidNode, deadline);
 }
 
 void Simulator::apply_rate_change(Lane& ln, NodeId v, double rate) {
   const std::size_t sl = slot(v);
   clock_slots_[sl].set_rate(ln.now, rate);
-  // Crashed nodes keep drifting but reschedule nothing: their timer pops
+  // Crashed nodes keep drifting but reschedule nothing: their timer fires
   // are suppressed anyway, and recovery re-anchors the armed slots.
   if ((status_slots_[sl] & (kAwakeBit | kCrashedBit)) != kAwakeBit) return;
   // Re-anchor all armed hardware-time timers onto the new rate.
   for (int slot = 0; slot < kMaxTimerSlots; ++slot) {
     TimerState& ts = timer(v, slot);
     if (!ts.armed) continue;
-    ++ts.generation;  // invalidate the stale heap entry
+    if (ts.pending != TimerWheel::kNull) {
+      lane_of(v).wheel.cancel(ts.pending);
+      ts.pending = TimerWheel::kNull;
+      ++ln.t_cancels;
+    }
     schedule_timer_event(v, slot, ln.now);
   }
 }
@@ -1183,7 +1337,7 @@ void Simulator::maybe_progress(bool force) {
       since > 0.0 ? static_cast<double>(ev - progress_last_events_) / since
                   : 0.0;
   std::size_t depth = 0;
-  for (const Lane& ln : lanes_) depth += ln.queue.size();
+  for (const Lane& ln : lanes_) depth += ln.queue.size() + ln.wheel.live();
   const double wall =
       std::chrono::duration<double>(nw - progress_start_).count();
   std::fprintf(stderr,

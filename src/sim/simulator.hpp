@@ -22,21 +22,21 @@
 // [W_start, W_end) bounded by the *cut-aware safe horizon*: no cross-shard
 // send processed inside the window can be delivered before W_end.  The
 // horizon is computed per lane from how soon an event can reach a cut
-// node — nodes are classified by boundary level (0 = endpoint of a cut
-// edge, 1 = intra-shard neighbor of a level-0 node, 2 = farther), lanes
-// keep lazy min-heaps of queued event times at level-0/1 nodes, and the
-// earliest possible cross-shard arrival from lane i is
+// node — nodes carry their intra-shard BFS distance to the nearest cut
+// endpoint (capped at kMaxCutDist), lanes keep a lazy min-heap of queued
+// event times per distance class, and the earliest possible cross-shard
+// arrival from lane i is
 //
 //   boundary_time(i) + la_out(i),   where
-//   boundary_time(i) = min( bnd0_top(i),
-//                           bnd1_top(i) + delta_intra(i),
-//                           t_next(i)  + 2 * delta_intra(i) )
+//   boundary_time(i) = min( min_d( bnd_top(i, d) + d * delta_intra(i) ),
+//                           t_next(i) + kMaxCutDist * delta_intra(i) )
 //
 // with la_out(i) the minimum per-edge DelayPolicy::min_delay(u, v) over
 // lane i's outgoing cut arcs and delta_intra(i) the minimum over its
 // intra-shard arcs.  This is never smaller than the classic global bound
 // t_next + min_delay() and is unbounded for lanes with no cut arcs, so
-// activity deep inside a shard no longer stalls every other lane.
+// activity deep inside a shard — e.g. a subtree far from its tree's cut
+// vertex — no longer stalls every other lane.
 //
 // Cross-shard deliveries accumulate in per-lane outboxes and are
 // exchanged at the window barrier; cut-edge link changes are mirrored as
@@ -52,14 +52,19 @@
 //
 // Hot-path layout: adjacency is the graph's CSR snapshot (each neighbor
 // carries its undirected edge index inline, so link-state checks never
-// hash), message payloads live in a free-listed slab, and delivery/link
-// events store their edge index so processing is array lookups only.
+// hash), message payloads live in a delivery-time-binned chunk slab, and
+// delivery/link events store their edge index so processing is array
+// lookups only.  Node self-timers live in a per-lane TimerWheel (O(1)
+// cancel/re-arm) merged with the event queue's pop stream; the queue
+// itself is a 4-ary heap or, at large n, a ladder queue (see
+// event_queue.hpp), both popping in the identical canonical order.
 // Per-node hot state (hardware clock, timer slots, awake/crashed bits) is
 // struct-of-arrays, indexed by a *slot* permutation that lays each
 // shard's members out contiguously — a lane's working set is a dense
 // block instead of n interleaved structs.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -79,6 +84,7 @@
 #include "sim/hardware_clock.hpp"
 #include "sim/message_slab.hpp"
 #include "sim/node.hpp"
+#include "sim/timer_wheel.hpp"
 #include "sim/types.hpp"
 
 namespace tbcs::obs {
@@ -112,6 +118,12 @@ struct SimConfig {
   /// queue peak is sampled).  <= 0 picks 4x the delay policy's global
   /// min_delay().  The serial engine ignores it (observers run per event).
   Duration observation_interval = 0.0;
+
+  /// Event-queue implementation.  kAuto picks the ladder queue at or above
+  /// kLadderAutoThreshold nodes and the 4-ary heap below; both pop in the
+  /// identical canonical order, so every output byte is the same either
+  /// way (asserted by the differential tests and the smoke gates).
+  QueueSelect queue = QueueSelect::kAuto;
 };
 
 class Simulator {
@@ -280,8 +292,61 @@ class Simulator {
     return sum_lanes(&Lane::events) + probe_events_;
   }
 
-  /// Timer events popped whose generation was stale (lazy deletion).
-  std::uint64_t stale_timer_pops() const { return sum_lanes(&Lane::stale); }
+  /// Timer arms/fires/cancels on the wheel.  Cancels count every armed
+  /// deadline that never ran its callback: explicit cancel_timer calls,
+  /// re-arms of a pending slot, rate-change and recovery re-anchors, and
+  /// crash-suppressed fires — exactly the population the pre-wheel engine
+  /// counted as stale heap pops, now removed in O(1) instead of popped.
+  /// All three are canonical (identical across shard counts and queue
+  /// implementations).
+  std::uint64_t timer_arms() const {
+    std::uint64_t s = 0;
+    for (const Lane& ln : lanes_) s += ln.wheel.stats().arms;
+    return s;
+  }
+  std::uint64_t timer_fires() const {
+    std::uint64_t s = 0;
+    for (const Lane& ln : lanes_) s += ln.wheel.stats().fires;
+    return s;
+  }
+  std::uint64_t timer_cancels() const { return sum_lanes(&Lane::t_cancels); }
+
+  QueueImpl queue_impl() const { return queue_impl_; }
+
+  /// Implementation-internal detail for the stats "queue_impl" block:
+  /// NOT canonical (bucket/cascade counts depend on the partition), so the
+  /// byte-compare gates strip it like the "engine" block.
+  struct QueueImplInfo {
+    QueueImpl impl = QueueImpl::kHeap;
+    std::uint64_t resorts = 0;
+    std::uint64_t spills = 0;
+    std::uint64_t rebuckets = 0;
+    std::uint64_t run_inserts = 0;
+    std::size_t peak_rungs = 0;
+    std::uint64_t wheel_cascades = 0;
+    std::uint64_t wheel_rebases = 0;
+    std::size_t queue_capacity = 0;
+    std::size_t slab_capacity = 0;
+    std::size_t wheel_capacity = 0;
+  };
+  QueueImplInfo queue_impl_info() const {
+    QueueImplInfo info;
+    info.impl = queue_impl_;
+    for (const Lane& ln : lanes_) {
+      const LadderQueue::ImplStats& ls = ln.queue.ladder_stats();
+      info.resorts += ls.resorts;
+      info.spills += ls.spills;
+      info.rebuckets += ls.rebuckets;
+      info.run_inserts += ls.run_inserts;
+      info.peak_rungs = std::max(info.peak_rungs, ls.peak_rungs);
+      info.wheel_cascades += ln.wheel.stats().cascades;
+      info.wheel_rebases += ln.wheel.stats().rebases;
+      info.queue_capacity += ln.queue.capacity();
+      info.slab_capacity += ln.slab.capacity();
+      info.wheel_capacity += ln.wheel.capacity();
+    }
+    return info;
+  }
 
   /// Serial engine: the exact queue statistics.  Sharded engine: the
   /// canonical statistics — pushes/pops count each logical event once
@@ -312,7 +377,7 @@ class Simulator {
  private:
   struct TimerState {
     ClockValue target = 0.0;
-    std::uint64_t generation = 0;
+    TimerWheel::Handle pending = TimerWheel::kNull;  // live wheel entry
     bool armed = false;
   };
 
@@ -323,6 +388,16 @@ class Simulator {
   // of striding across an array-of-structs of the whole graph.
   static constexpr std::uint8_t kAwakeBit = 1;
   static constexpr std::uint8_t kCrashedBit = 2;
+
+ public:
+  /// kAuto queue selection: ladder at or above this many nodes.  Below it
+  /// the whole heap fits in cache and its constants win; above it pops
+  /// start missing on every sift level.
+  static constexpr int kLadderAutoThreshold = 32768;
+
+ private:
+  /// Horizon cut-distance cap (== Lane::bnd array size).
+  static constexpr int kMaxCutDist = 4;
 
   class ServicesImpl;
   friend class ServicesImpl;
@@ -354,6 +429,9 @@ class Simulator {
 
     EventQueue queue;
     MessageSlab slab;
+    /// Periodic self-timers of this lane's nodes; merged with the queue's
+    /// pop stream under the canonical key (timers never enter the queue).
+    TimerWheel wheel;
     /// This lane's view of per-edge link state.  Serial: the authoritative
     /// state.  Sharded: cut-edge flips are applied by primary and twin
     /// events in both endpoint lanes, so each lane's view is exact for
@@ -382,16 +460,21 @@ class Simulator {
     std::vector<WindowTouch> touched;  // accumulates until an obs barrier
     std::vector<TraceEntry> trace;
 
-    // Cut-aware horizon state.  bnd0/bnd1 are lazy min-heaps of queued
-    // event times at this lane's boundary-level-0/1 nodes (stale entries
-    // for already-processed events are popped when the coordinator reads
-    // the top); la_out/delta_intra are the per-lane min-delay bounds over
-    // outgoing cut arcs / intra-shard arcs, fixed at setup.
+    // Cut-aware horizon state.  bnd[d] is a lazy min-heap of queued event
+    // times (and armed timer deadlines) at this lane's nodes with
+    // cut-distance d (stale entries for already-processed events are
+    // popped when the coordinator reads the top); la_out/delta_intra are
+    // the per-lane min-delay bounds over outgoing cut arcs / intra-shard
+    // arcs, fixed at setup.  An event at distance d needs >= d intra-shard
+    // hops before anything can happen at a cut node, so the lane's
+    // boundary time is min_d(bnd[d].top + d * delta_intra), and nodes
+    // beyond kMaxCutDist are covered by t_next + kMaxCutDist * delta_intra
+    // without any heap traffic — which is what lets a deep subtree run far
+    // ahead of its cut.
     using TimeHeap =
         std::priority_queue<RealTime, std::vector<RealTime>,
                             std::greater<RealTime>>;
-    TimeHeap bnd0;
-    TimeHeap bnd1;
+    std::array<TimeHeap, 4> bnd;  // size == kMaxCutDist
     Duration la_out = kInfinity;
     Duration delta_intra = kInfinity;
     // Key of the event currently being processed (trace buffering).
@@ -405,7 +488,7 @@ class Simulator {
     std::uint64_t delivered = 0;
     std::uint64_t dropped = 0;
     std::uint64_t events = 0;
-    std::uint64_t stale = 0;
+    std::uint64_t t_cancels = 0;  // see timer_cancels()
     std::uint64_t crashes = 0;
     std::uint64_t recoveries = 0;
     std::uint64_t canon_pushes = 0;
@@ -445,6 +528,16 @@ class Simulator {
                         static_cast<std::size_t>(s)];
   }
 
+  /// The merged queue+wheel pop stream: key of the next event in `ln`
+  /// (queue top vs wheel peek under the canonical order).  Returns false
+  /// when both are empty; `timer_first` reports which source wins.
+  bool next_key(Lane& ln, RealTime& t, TimerWheel::Fired& tf,
+                bool& timer_first);
+  /// Pops the winner chosen by next_key and materializes it as an Event.
+  Event pop_next(Lane& ln, const TimerWheel::Fired& tf, bool timer_first);
+  /// Software-prefetches the SoA hot state of the next few pop targets.
+  void prefetch_upcoming(Lane& ln);
+
   bool process(Lane& ln, Event& e);  // returns whether observable
   /// Cold path: called only with a recorder attached, after an event was
   /// dispatched.  `mult_before` is the touched node's rate multiplier
@@ -459,7 +552,7 @@ class Simulator {
   std::uint32_t edge_index(NodeId u, NodeId v) const;
   void apply_link_change(Lane& ln, const Event& e);
   void arm_timer(Lane& ln, NodeId v, int slot, ClockValue target);
-  void disarm_timer(NodeId v, int slot);
+  void disarm_timer(Lane& ln, NodeId v, int slot);
   void schedule_timer_event(NodeId v, int slot, RealTime now);
   void apply_rate_change(Lane& ln, NodeId v, double rate);
   void schedule_next_rate_change(NodeId v, RealTime now);
@@ -501,6 +594,7 @@ class Simulator {
   WindowObserver window_observer_;
   obs::FlightRecorder* recorder_ = nullptr;
   std::vector<Lane> lanes_;  // size 1 (serial) or shard count (windowed)
+  QueueImpl queue_impl_ = QueueImpl::kHeap;  // resolved from cfg_.queue
   std::vector<std::uint64_t> next_seq_;  // per-source counters; last = system
   RealTime now_ = 0.0;
   bool setup_done_ = false;
@@ -512,10 +606,10 @@ class Simulator {
   std::string partition_strategy_;
   std::vector<std::uint8_t> link_up_;  // barrier-reconciled global view
   Duration lookahead_ = 0.0;           // delay policy global min_delay()
-  /// Boundary level per node id: 0 = endpoint of a cut edge, 1 =
-  /// intra-shard neighbor of a level-0 node, 2 = farther.  Drives the
-  /// bnd0/bnd1 heap pushes; empty when not windowed or with one lane.
-  std::vector<std::uint8_t> bnd_level_;
+  /// Intra-shard BFS distance to the nearest cut-edge endpoint, capped at
+  /// kMaxCutDist (0 = endpoint of a cut edge).  Drives the per-lane bnd
+  /// heap pushes; empty when not windowed or with one lane.
+  std::vector<std::uint8_t> cut_dist_;
   /// Next observation barrier (kInfinity = not yet scheduled; set to
   /// t_next + observation interval at the first window after each obs
   /// barrier — a pure function of the event set, identical for every

@@ -1,0 +1,240 @@
+#include "sim/timer_wheel.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tbcs::sim {
+
+namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+inline int ctz64(std::uint64_t x) { return __builtin_ctzll(x); }
+#else
+inline int ctz64(std::uint64_t x) {
+  int n = 0;
+  while (!(x & 1)) {
+    x >>= 1;
+    ++n;
+  }
+  return n;
+}
+#endif
+
+}  // namespace
+
+void TimerWheel::reserve(std::size_t expected) {
+  pool_.reserve(expected);
+  free_.reserve(expected);
+  cur_.reserve(kSlots);
+}
+
+TimerWheel::Handle TimerWheel::arm(RealTime deadline, std::uint64_t seq,
+                                   NodeId node, std::uint8_t slot) {
+  if (width_ == 0.0) {
+    // Calibrate from the first deadline: spread ~3 timers per member over
+    // one deadline's worth of ticks, so a drained tick sorts a handful of
+    // entries regardless of n and arms land within the wheel's span.
+    double d = deadline > 1e-6 ? deadline : 1e-6;
+    const double denom =
+        static_cast<double>(members_ * 3 > kSlots ? members_ * 3 : kSlots);
+    width_ = d * static_cast<double>(kSlots) / denom;
+    inv_width_ = 1.0 / width_;
+  }
+  Handle h;
+  if (!free_.empty()) {
+    h = free_.back();
+    free_.pop_back();
+  } else {
+    h = static_cast<Handle>(pool_.size());
+    pool_.emplace_back();
+  }
+  Entry& e = pool_[h];
+  e.time = deadline;
+  e.seq = seq;
+  e.node = node;
+  e.slot = slot;
+  e.tick = tick_of(deadline);
+  ++stats_.arms;
+  ++live_;
+  stats_.live = live_;
+  if (live_ > stats_.peak_live) stats_.peak_live = live_;
+  place(h);
+  return h;
+}
+
+void TimerWheel::place(Handle h) {
+  Entry& e = pool_[h];
+  if (e.tick <= cur_tick_) {
+    // Already due at the wheel's drain position (an immediate re-arm, or a
+    // deadline inside the tick being drained): merge into the sorted due
+    // list directly.  Event times are monotone at the consumer, so nothing
+    // ordered before this entry has popped yet.
+    e.where = Where::kCur;
+    insert_cur_sorted(h);
+    return;
+  }
+  for (int l = 0; l < kLevels; ++l) {
+    const int frame_shift = (l + 1) * kSlotBits;
+    if ((e.tick >> frame_shift) == (cur_tick_ >> frame_shift)) {
+      const std::uint32_t s =
+          static_cast<std::uint32_t>((e.tick >> (l * kSlotBits)) & kSlotMask);
+      std::vector<Handle>& b = buckets_[l][s];
+      e.where = Where::kBucket;
+      e.level = static_cast<std::uint16_t>(l);
+      e.bslot = s;
+      e.pos = static_cast<std::uint32_t>(b.size());
+      b.push_back(h);
+      occ_[l] |= (1ull << s);
+      return;
+    }
+  }
+  e.where = Where::kOverflow;
+  e.pos = static_cast<std::uint32_t>(overflow_.size());
+  overflow_.push_back(h);
+}
+
+void TimerWheel::insert_cur_sorted(Handle h) {
+  // cur_ is sorted descending by the canonical key so back() pops first.
+  const auto greater = [](const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.node != b.node) return a.node > b.node;
+    return a.seq > b.seq;
+  };
+  const auto it = std::upper_bound(
+      cur_.begin(), cur_.end(), h,
+      [&](Handle x, Handle y) { return greater(pool_[x], pool_[y]); });
+  cur_.insert(it, h);
+}
+
+void TimerWheel::remove_from(std::vector<Handle>& v, std::uint32_t pos) {
+  assert(pos < v.size());
+  const Handle moved = v.back();
+  v[pos] = moved;
+  v.pop_back();
+  if (pos < v.size()) pool_[moved].pos = pos;
+}
+
+void TimerWheel::cancel(Handle h) {
+  Entry& e = pool_[h];
+  assert(e.where != Where::kFree && "cancel of a dead timer handle");
+  switch (e.where) {
+    case Where::kBucket: {
+      std::vector<Handle>& b = buckets_[e.level][e.bslot];
+      remove_from(b, e.pos);
+      if (b.empty()) occ_[e.level] &= ~(1ull << e.bslot);
+      break;
+    }
+    case Where::kOverflow:
+      remove_from(overflow_, e.pos);
+      break;
+    case Where::kCur:
+      // Rare (a cancel racing an already-due tick) and cur_ is one tick's
+      // worth of entries; an ordered erase keeps the sort intact.
+      cur_.erase(std::find(cur_.begin(), cur_.end(), h));
+      break;
+    case Where::kFree:
+      return;
+  }
+  e.where = Where::kFree;
+  free_.push_back(h);
+  ++stats_.cancels;
+  --live_;
+  stats_.live = live_;
+}
+
+bool TimerWheel::peek(Fired& out) {
+  if (live_ == 0) return false;
+  if (cur_.empty()) advance();
+  const Entry& e = pool_[cur_.back()];
+  out.time = e.time;
+  out.seq = e.seq;
+  out.node = e.node;
+  out.slot = e.slot;
+  return true;
+}
+
+TimerWheel::Fired TimerWheel::pop() {
+  assert(live_ > 0);
+  if (cur_.empty()) advance();
+  const Handle h = cur_.back();
+  cur_.pop_back();
+  Entry& e = pool_[h];
+  Fired out;
+  out.time = e.time;
+  out.seq = e.seq;
+  out.node = e.node;
+  out.slot = e.slot;
+  e.where = Where::kFree;
+  free_.push_back(h);
+  ++stats_.fires;
+  --live_;
+  stats_.live = live_;
+  return out;
+}
+
+void TimerWheel::drain_slot(int level, std::uint32_t s) {
+  std::vector<Handle>& b = buckets_[level][s];
+  occ_[level] &= ~(1ull << s);
+  if (level == 0) {
+    for (Handle h : b) {
+      pool_[h].where = Where::kCur;
+      cur_.push_back(h);
+    }
+    b.clear();
+    std::sort(cur_.begin(), cur_.end(), [this](Handle x, Handle y) {
+      const Entry& a = pool_[x];
+      const Entry& c = pool_[y];
+      if (a.time != c.time) return a.time > c.time;
+      if (a.node != c.node) return a.node > c.node;
+      return a.seq > c.seq;
+    });
+  } else {
+    // Cascade: cur_tick_ has entered this slot's block, so every entry now
+    // fits a finer level (or is due).  place() never touches this bucket
+    // again — the block's level-`level` frame is behind cur_tick_.
+    for (Handle h : b) place(h);
+    b.clear();
+  }
+}
+
+void TimerWheel::advance() {
+  while (cur_.empty()) {
+    if (occ_[0]) {
+      const int s = ctz64(occ_[0]);
+      cur_tick_ = (cur_tick_ & ~kSlotMask) | static_cast<std::uint64_t>(s);
+      drain_slot(0, static_cast<std::uint32_t>(s));
+      continue;
+    }
+    bool cascaded = false;
+    for (int l = 1; l < kLevels; ++l) {
+      if (!occ_[l]) continue;
+      const int s = ctz64(occ_[l]);
+      const int shift = l * kSlotBits;
+      const std::uint64_t frame = cur_tick_ >> (shift + kSlotBits);
+      cur_tick_ = (frame << (shift + kSlotBits)) |
+                  (static_cast<std::uint64_t>(s) << shift);
+      ++stats_.cascades;
+      drain_slot(l, static_cast<std::uint32_t>(s));
+      cascaded = true;
+      break;
+    }
+    if (cascaded) continue;
+    rebase();
+  }
+}
+
+void TimerWheel::rebase() {
+  assert(!overflow_.empty() && "wheel lost timers");
+  std::uint64_t mn = pool_[overflow_.front()].tick;
+  for (Handle h : overflow_) {
+    if (pool_[h].tick < mn) mn = pool_[h].tick;
+  }
+  std::vector<Handle> tmp;
+  tmp.swap(overflow_);
+  cur_tick_ = mn;
+  for (Handle h : tmp) place(h);
+  overflow_.reserve(tmp.capacity());
+  ++stats_.rebases;
+}
+
+}  // namespace tbcs::sim

@@ -67,13 +67,13 @@ TEST(CrashRecover, NodeRejoinsAndRelearnsNeighbors) {
 
 TEST(CrashRecover, TimersAreSuppressedWhileDown) {
   // Satellite check: a crashed node's armed timers must not fire (no
-  // sends, no re-arms) — they pop once as stale and die.
+  // sends, no re-arms) — each suppressed wakeup counts as a cancel.
   const auto g = graph::make_path(2);
   std::vector<core::AoptNode*> nodes;
   auto sim_ptr = make_sim(g, {}, &nodes);
   auto& sim = *sim_ptr;
   sim.run_until(50.0);
-  const auto stale_before = sim.stale_timer_pops();
+  const auto cancels_before = sim.timer_cancels();
   sim.schedule_crash(1, 50.0);
   sim.run_until(51.0);
   const auto sends_at_crash = nodes[1]->sends();
@@ -82,8 +82,8 @@ TEST(CrashRecover, TimersAreSuppressedWhileDown) {
   sim.run_until(500.0);
   EXPECT_EQ(nodes[1]->sends(), sends_at_crash)
       << "a dead node must not keep broadcasting on its timers";
-  EXPECT_GT(sim.stale_timer_pops(), stale_before)
-      << "suppressed wakeups are counted as stale pops";
+  EXPECT_GT(sim.timer_cancels(), cancels_before)
+      << "suppressed wakeups are counted as cancels";
   EXPECT_EQ(sim.messages_delivered(), delivered_at_100)
       << "an isolated pair with one dead node goes fully quiet";
 }

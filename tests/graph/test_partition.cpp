@@ -136,8 +136,8 @@ TEST(Partition, MakeRejectsBadArguments) {
   EXPECT_THROW(Partition::make(g, -2, "block"), std::invalid_argument);
   EXPECT_THROW(Partition::make(g, 9, "block"), std::invalid_argument);
   EXPECT_THROW(Partition::make(g, 2, "mystery"), std::invalid_argument);
-  // "" defaults to block; "bands" is the alias for bfs_bands, "ml" for
-  // multilevel.
+  // "" defaults to auto (ml on trees, block elsewhere); "bands" is the
+  // alias for bfs_bands, "ml" for multilevel.
   EXPECT_NO_THROW(Partition::make(g, 2, ""));
   EXPECT_NO_THROW(Partition::make(g, 2, "bands"));
   EXPECT_NO_THROW(Partition::make(g, 2, "ml"));
@@ -189,6 +189,32 @@ TEST(Partition, MultilevelBeatsBlockOnShuffledPath) {
   const Partition ml = Partition::multilevel(g, 4);
   check_invariants(g, ml);
   EXPECT_LT(ml.cut_edges().size(), block.cut_edges().size());
+}
+
+// On any tree the optimal k-way cut is exactly k - 1 edges; the subtree
+// carve inside multilevel() must achieve it (each shard one whole
+// subtree, the residual around the root the last shard), with bounded
+// imbalance.  A balanced binary tree is the adversarial case: every
+// subtree is 2^j - 1 nodes, one short of the 2^j ideal share, so the
+// carve's slack threshold has to accept the near-miss instead of
+// escalating to a 2x-overshooting ancestor.
+TEST(Partition, MultilevelCutsOptimalOnTrees) {
+  for (const int k : {2, 4, 8}) {
+    for (const int levels : {10, 13}) {
+      const Graph g = make_balanced_tree(2, levels);
+      const Partition p = Partition::multilevel(g, k);
+      check_invariants(g, p);
+      EXPECT_EQ(p.cut_edges().size(), static_cast<std::size_t>(k - 1))
+          << "k=" << k << " levels=" << levels;
+      EXPECT_LT(p.balance().imbalance, 0.5)
+          << "k=" << k << " levels=" << levels;
+    }
+  }
+  // Random attachment trees have irregular subtree spectra.
+  const Graph g = make_random_tree(2000, 42);
+  const Partition p = Partition::multilevel(g, 4);
+  check_invariants(g, p);
+  EXPECT_EQ(p.cut_edges().size(), 3u);
 }
 
 }  // namespace

@@ -1,0 +1,228 @@
+// Heap-vs-ladder differential suite (the PR's core acceptance property).
+//
+// The queue implementation is a pure throughput knob: a run with --queue
+// ladder must be *byte-identical* to the same run with --queue heap —
+// same final logical clocks, same canonical counters, same trace stream,
+// same recorded execution — on the serial engine and on every shard
+// count.  Each case builds one experiment through the production factory
+// (cli::build_experiment), runs it once per queue implementation, and
+// compares everything observable.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/experiment_config.hpp"
+#include "fault/fault_scheduler.hpp"
+#include "obs/flight_recorder.hpp"
+#include "sim/recorder.hpp"
+#include "sim/simulator.hpp"
+
+namespace tbcs {
+namespace {
+
+struct RunOutput {
+  std::vector<double> logical;
+  std::uint64_t broadcasts = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t events = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t queue_pushes = 0;
+  std::uint64_t queue_pops = 0;
+  std::uint64_t timer_arms = 0;
+  std::uint64_t timer_fires = 0;
+  std::uint64_t timer_cancels = 0;
+  sim::QueueImpl impl = sim::QueueImpl::kHeap;
+  std::vector<obs::TraceRecord> trace;
+  std::string record_bytes;
+};
+
+cli::ExperimentConfig base_config(const std::string& topology) {
+  cli::ExperimentConfig cfg;
+  cfg.topology = topology;
+  cfg.nodes = 24;
+  cfg.arity = 2;
+  cfg.levels = 5;  // tree: 31 nodes
+  cfg.rows = 6;    // grid: 24 nodes
+  cfg.cols = 4;
+  cfg.er_p = 0.15;
+  cfg.algorithm = "aopt";
+  cfg.drift = "walk";
+  cfg.delays = "band";  // positive min delay: shardable lookahead
+  cfg.duration = 120.0;
+  cfg.seed = 20090817;
+  cfg.wake_all = true;
+  cfg.min_shard_nodes = 0;  // let multi-shard paths really run at n=24
+  return cfg;
+}
+
+RunOutput run_case(cli::ExperimentConfig cfg, const std::string& queue,
+                   int shards, bool record = false) {
+  cfg.queue = queue;
+  cfg.shards = shards;
+  auto built = cli::build_experiment(cfg);
+  sim::Simulator& sim = *built.simulator;
+
+  auto log = std::make_shared<sim::ExecutionLog>();
+  if (record) {
+    sim.set_drift_policy(
+        std::make_shared<sim::RecordingDriftPolicy>(built.drift, log));
+    sim.set_delay_policy(std::make_shared<sim::RecordingDelayPolicy>(
+        built.channel ? std::static_pointer_cast<sim::DelayPolicy>(built.channel)
+                      : built.delay,
+        log));
+  }
+
+  obs::FlightRecorder fr(obs::FlightRecorder::Options{1u << 20, 1});
+  sim.set_flight_recorder(&fr);
+
+  if (!built.timeline.empty()) {
+    fault::FaultScheduler faults(built.timeline);
+    faults.run(sim, cfg.duration);
+  } else {
+    sim.run_until(cfg.duration);
+  }
+
+  RunOutput out;
+  for (sim::NodeId v = 0; v < built.graph->num_nodes(); ++v) {
+    out.logical.push_back(sim.logical(v));
+  }
+  out.broadcasts = sim.broadcasts();
+  out.delivered = sim.messages_delivered();
+  out.dropped = sim.messages_dropped();
+  out.events = sim.events_processed();
+  out.crashes = sim.crashes();
+  out.recoveries = sim.recoveries();
+  out.queue_pushes = sim.queue_stats().pushes;
+  out.queue_pops = sim.queue_stats().pops;
+  out.timer_arms = sim.timer_arms();
+  out.timer_fires = sim.timer_fires();
+  out.timer_cancels = sim.timer_cancels();
+  out.impl = sim.queue_impl();
+  out.trace = fr.snapshot();
+  if (record) {
+    std::ostringstream os;
+    log->save(os);
+    out.record_bytes = os.str();
+  }
+  return out;
+}
+
+// Everything but aux must match record-for-record (aux carries a per-lane
+// queue depth; tbcs_trace --diff ignores it for the same reason).
+void expect_same_trace(const std::vector<obs::TraceRecord>& a,
+                       const std::vector<obs::TraceRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "record " << i);
+    EXPECT_EQ(a[i].seq, b[i].seq);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].flags, b[i].flags);
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].edge, b[i].edge);
+    EXPECT_DOUBLE_EQ(a[i].t, b[i].t);
+    EXPECT_DOUBLE_EQ(a[i].a, b[i].a);
+    EXPECT_DOUBLE_EQ(a[i].b, b[i].b);
+    if (testing::Test::HasFailure()) break;
+  }
+}
+
+void expect_equivalent(const RunOutput& heap, const RunOutput& ladder) {
+  ASSERT_EQ(heap.logical.size(), ladder.logical.size());
+  for (std::size_t v = 0; v < heap.logical.size(); ++v) {
+    EXPECT_DOUBLE_EQ(heap.logical[v], ladder.logical[v]) << "node " << v;
+  }
+  EXPECT_EQ(heap.broadcasts, ladder.broadcasts);
+  EXPECT_EQ(heap.delivered, ladder.delivered);
+  EXPECT_EQ(heap.dropped, ladder.dropped);
+  EXPECT_EQ(heap.events, ladder.events);
+  EXPECT_EQ(heap.crashes, ladder.crashes);
+  EXPECT_EQ(heap.recoveries, ladder.recoveries);
+  EXPECT_EQ(heap.queue_pushes, ladder.queue_pushes);
+  EXPECT_EQ(heap.queue_pops, ladder.queue_pops);
+  EXPECT_EQ(heap.timer_arms, ladder.timer_arms);
+  EXPECT_EQ(heap.timer_fires, ladder.timer_fires);
+  EXPECT_EQ(heap.timer_cancels, ladder.timer_cancels);
+  expect_same_trace(heap.trace, ladder.trace);
+}
+
+class QueueDifferential : public testing::TestWithParam<const char*> {};
+
+// Serial and sharded {1, 2, 4}: the ladder run must replay the heap run
+// exactly at every shard count.
+TEST_P(QueueDifferential, LadderMatchesHeapAtEveryShardCount) {
+  const cli::ExperimentConfig cfg = base_config(GetParam());
+  for (const int shards : {0, 1, 2, 4}) {
+    SCOPED_TRACE(testing::Message() << "shards=" << shards);
+    const RunOutput heap = run_case(cfg, "heap", shards);
+    const RunOutput ladder = run_case(cfg, "ladder", shards);
+    ASSERT_EQ(heap.impl, sim::QueueImpl::kHeap);
+    ASSERT_EQ(ladder.impl, sim::QueueImpl::kLadder);
+    expect_equivalent(heap, ladder);
+    if (testing::Test::HasFailure()) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, QueueDifferential,
+                         testing::Values("path", "tree", "er", "grid"));
+
+// Crash/recovery + link flaps + a lossy channel window: cancels, twin link
+// events, and suppressed timers all cross the queue implementations.
+TEST(QueueDifferentialFaults, FaultPlanMatchesAcrossImpls) {
+  const std::string path = testing::TempDir() + "/tbcs_queue_diff_plan.txt";
+  for (const char* topology : {"path", "tree"}) {
+    SCOPED_TRACE(topology);
+    cli::ExperimentConfig cfg = base_config(topology);
+    cfg.faults_file = path;
+    const graph::Graph g = cli::build_topology(cfg);
+    const graph::Edge mid = g.edges()[g.edges().size() / 2];
+    {
+      std::ofstream os(path);
+      os << "crash node=5 at=20\n"
+            "recover node=5 at=45\n"
+         << "link-down u=" << mid.first << " v=" << mid.second << " at=30\n"
+         << "link-up u=" << mid.first << " v=" << mid.second << " at=60\n"
+         << "channel from=70 until=90 drop=0.2 jitter=0.3\n";
+    }
+    for (const int shards : {0, 2}) {
+      SCOPED_TRACE(testing::Message() << "shards=" << shards);
+      const RunOutput heap = run_case(cfg, "heap", shards);
+      EXPECT_EQ(heap.crashes, 1u);
+      expect_equivalent(heap, run_case(cfg, "ladder", shards));
+      if (testing::Test::HasFailure()) break;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// The canonicalized execution record is implementation-independent, byte
+// for byte.
+TEST(QueueDifferentialRecord, RecordsAreByteIdenticalAcrossImpls) {
+  const cli::ExperimentConfig cfg = base_config("er");
+  const RunOutput heap = run_case(cfg, "heap", 0, /*record=*/true);
+  const RunOutput ladder = run_case(cfg, "ladder", 3, /*record=*/true);
+  expect_equivalent(heap, ladder);
+  ASSERT_FALSE(heap.record_bytes.empty());
+  EXPECT_EQ(heap.record_bytes, ladder.record_bytes)
+      << "canonicalized execution logs must be byte-identical";
+}
+
+// "auto" resolves by node count against the documented threshold, and an
+// auto run matches both forced implementations.
+TEST(QueueDifferentialAuto, AutoSelectsByNodeCountAndMatches) {
+  const cli::ExperimentConfig cfg = base_config("path");
+  const RunOutput auto_run = run_case(cfg, "auto", 0);
+  EXPECT_EQ(auto_run.impl, sim::QueueImpl::kHeap)
+      << "24 nodes sits far below kLadderAutoThreshold";
+  expect_equivalent(run_case(cfg, "heap", 0), auto_run);
+  static_assert(sim::Simulator::kLadderAutoThreshold > 0, "threshold exists");
+}
+
+}  // namespace
+}  // namespace tbcs

@@ -332,7 +332,10 @@ TEST(ShardedEquivalenceClamp, AutoClampShrinksTinyRuns) {
   auto built = cli::build_experiment(cfg);
   EXPECT_EQ(built.simulator->shards(), 1);
   EXPECT_EQ(built.simulator->shards_requested(), 4);
-  EXPECT_EQ(built.simulator->partition_strategy(), "block");
+  // The CLI default "auto" resolves to a concrete strategy before it is
+  // reported: a path has m == n - 1, so it routes to the tree-friendly
+  // multilevel partitioner.
+  EXPECT_EQ(built.simulator->partition_strategy(), "ml");
 
   // min_shard_nodes = 24 admits exactly one lane of 24; = 12 admits 2.
   cfg.min_shard_nodes = 12;

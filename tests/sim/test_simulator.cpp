@@ -259,9 +259,9 @@ TEST(Simulator, ThrowsWithoutNodes) {
   EXPECT_THROW(sim.run_until(1.0), std::logic_error);
 }
 
-// Lazy deletion leaves stale heap entries behind on re-arm and cancel;
-// they must be skipped, counted, and invisible to the observer.
-TEST(Simulator, StaleTimerPopsAreCountedAndUnobservable) {
+// Re-arm and cancel remove the pending wheel entry in O(1); each removal
+// is counted as a cancel and must stay invisible to the observer.
+TEST(Simulator, TimerCancelsAreCountedAndUnobservable) {
   const auto g = graph::make_path(1);
   Simulator sim(g);
   auto nodes = install_script_nodes(sim, 1);
@@ -277,16 +277,17 @@ TEST(Simulator, StaleTimerPopsAreCountedAndUnobservable) {
   sim.run_until(10.0);
   ASSERT_EQ(nodes[0]->records.size(), 2u);
   EXPECT_NEAR(nodes[0]->records[1].hardware, 3.0, 1e-9);
-  EXPECT_EQ(sim.stale_timer_pops(), 2u);
+  EXPECT_EQ(sim.timer_cancels(), 2u);
   // Observer calls: the live timer only — the root wake happens during
-  // setup (before any event) and the stale pops must stay invisible.
+  // setup (before any event) and the cancelled arms must stay invisible.
   ASSERT_EQ(observed.size(), 1u);
   EXPECT_DOUBLE_EQ(observed[0], 3.0);
 }
 
-// A rate change re-anchors armed timers by bumping the generation; the
-// superseded heap entry must pop stale, and the timer still fires exactly
-// once at the correct hardware target.
+// A rate change re-anchors armed timers by cancelling the pending wheel
+// entry and re-arming at the new deadline; the superseded entry counts as
+// a cancel, and the timer still fires exactly once at the correct
+// hardware target.
 TEST(Simulator, RateChangeInvalidatesOldTimerEntry) {
   const auto g = graph::make_path(1);
   Simulator sim(g);
@@ -298,7 +299,7 @@ TEST(Simulator, RateChangeInvalidatesOldTimerEntry) {
   sim.run_until(20.0);
   ASSERT_EQ(nodes[0]->records.size(), 2u) << "timer must fire exactly once";
   EXPECT_NEAR(nodes[0]->records[1].hardware, 10.0, 1e-9);
-  EXPECT_EQ(sim.stale_timer_pops(), 1u) << "the t=10 entry pops stale";
+  EXPECT_EQ(sim.timer_cancels(), 1u) << "the t=10 entry is cancelled";
 }
 
 TEST(Simulator, QueueStatsReportPeakAndChurn) {

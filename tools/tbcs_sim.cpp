@@ -59,10 +59,15 @@ run:        --duration T --seed S --wake-all --per-distance
                                covers >= M nodes (default 64; 0 = off).
                                The effective count lands in the stats
                                JSON "engine" block
-            --partition P      shard assignment: block (contiguous id
-                               ranges, default) | bands (BFS layers) |
-                               ml (multilevel cut-minimizing; best when
-                               node ids carry no locality, e.g. ER)
+            --partition P      shard assignment: auto (default: ml for
+                               trees, block elsewhere) | block (contiguous
+                               id ranges) | bands (BFS layers) | ml
+                               (multilevel cut-minimizing; best when node
+                               ids carry no locality, e.g. ER)
+            --queue Q          event-queue implementation: auto (default:
+                               ladder at >= 32768 nodes, heap below) |
+                               heap | ladder.  Pop order is identical for
+                               all three; only throughput differs
             --progress[=SECS]  stderr heartbeat every SECS wall seconds
                                (default 5): wall time, sim time, events/s,
                                queue depth, current shard horizon
@@ -278,7 +283,7 @@ int main(int argc, char** argv) {
     {
       auto& reg = obs::MetricsRegistry::global();
       reg.counter("sim.messages_dropped").inc(sim.messages_dropped());
-      reg.counter("sim.stale_timer_pops").inc(sim.stale_timer_pops());
+      reg.counter("sim.timer_cancels").inc(sim.timer_cancels());
       if (faults) {
         reg.counter("fault.events_applied").inc(faults->applied());
         reg.counter("fault.crashes").inc(sim.crashes());
