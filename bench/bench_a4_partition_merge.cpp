@@ -16,12 +16,136 @@
 //     The gradient mechanism's promise is that (a) the *old* edges stay
 //     near their static bound while the gap drains, and (b) the healed
 //     edge's skew decays at the full correction rate ~mu.
+//
+// The second section generalizes the two healed ring edges to *churn at
+// production rate*: a ChurnPlan inserts and removes edges (and nodes)
+// continuously, and a StabilizationProbe times every insertion until its
+// skew stays inside the local quantum kappa — measured once under plain
+// A^opt and once under the KLLO dynamic-GCS node, against the KLLO
+// linear-convergence prediction skew_at_insert / mu.
 #include <algorithm>
+#include <cmath>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "analysis/convergence.hpp"
 #include "bench_util.hpp"
+#include "dyn/churn_plan.hpp"
+#include "dyn/dyn_gcs_node.hpp"
+#include "dyn/stabilization_probe.hpp"
+
+namespace {
+
+// One churned run: builds the plan against a fresh torus, runs `algo`
+// ("aopt" | "kllo"), and reports the probe.
+struct ChurnRow {
+  std::size_t insertions = 0;
+  std::size_t stabilized = 0;
+  double mean_stab = 0.0;
+  double max_stab = 0.0;
+  double predicted = 0.0;
+  double local_peak = 0.0;
+  // Peak skew over *mature* live edges only — edges past (or never in) a
+  // stabilization window.  This is the KLLO differentiator: the ramp
+  // exists so that fresh high-skew edges cannot distort the old
+  // network's gradient while they drain.
+  double mature_peak = 0.0;
+};
+
+ChurnRow churn_case(const tbcs::core::SyncParams& params, double rate,
+                    bool kllo) {
+  using namespace tbcs;
+  // A ring is the interesting dynamic topology: edge churn *partitions*
+  // it outright (two removals cut a segment loose), so insertions
+  // routinely carry the full divergence of a healed partition — the
+  // regime the KLLO analysis is about.  Long downtimes let the detached
+  // segments genuinely drift.
+  graph::Graph g = graph::make_ring(64);
+
+  dyn::ChurnConfig ccfg;
+  ccfg.node_rate = rate / 2.0;
+  ccfg.edge_rate = rate;
+  ccfg.node_downtime = 50.0;
+  ccfg.edge_downtime = 100.0;
+  ccfg.extra_edges = 0.25;
+  ccfg.t0 = 20.0;
+  ccfg.t1 = 700.0;
+  ccfg.seed = 7;
+  const dyn::ChurnSchedule sched = dyn::ChurnPlan(ccfg).build(g);
+
+  sim::SimConfig scfg;
+  scfg.wake_all_at_zero = true;
+  sim::Simulator sim(g, scfg);
+  dyn::DynGcsOptions dopt;
+  dopt.initial_tolerance = 8.0 * params.kappa;
+  dopt.stabilization_time = dopt.initial_tolerance / params.mu;
+  sim.set_all_nodes([&](sim::NodeId) -> std::unique_ptr<sim::Node> {
+    if (kllo) {
+      return std::make_unique<dyn::DynGcsNode>(params, core::AoptOptions{},
+                                               dopt);
+    }
+    return std::make_unique<core::AoptNode>(params);
+  });
+  sim.set_drift_policy(std::make_shared<sim::RandomWalkDrift>(0.02, 8.0, 11));
+  sim.set_delay_policy(std::make_shared<sim::UniformDelay>(0.0, 1.0, 13));
+  sched.apply(sim);
+
+  // Stabilized = the inserted edge's skew stays under a service bound
+  // well below kappa, so the probe times a real contraction rather than
+  // ticking the box at the first sample.
+  dyn::StabilizationProbe probe({/*bound=*/1.0, params.mu});
+  probe.preload(sched);
+  analysis::SkewTracker tracker(sim, {});
+
+  // Freshness windows per edge, from the probe's preloaded records: an
+  // edge is fresh for T_stab after each insertion (or until removed
+  // again, whichever first).  Both algorithms are scored against the
+  // same windows — the kllo ramp length — so mature_peak compares like
+  // with like.
+  std::map<std::pair<sim::NodeId, sim::NodeId>,
+           std::vector<std::pair<double, double>>>
+      fresh;
+  for (const auto& r : probe.records()) {
+    const auto key = std::minmax(r.u, r.v);
+    fresh[{key.first, key.second}].push_back(
+        {r.t_insert, std::min(r.t_insert + dopt.stabilization_time, r.t_end)});
+  }
+  double mature_peak = 0.0;
+  sim.set_observer([&](const sim::Simulator& s, double now) {
+    tracker.observe(s, now);
+    probe.observe(s, now);
+    for (const auto& [a, b] : s.topology().edges()) {
+      if (!s.link_up(a, b)) continue;
+      const auto key = std::minmax(a, b);
+      if (const auto it = fresh.find({key.first, key.second});
+          it != fresh.end()) {
+        bool in_window = false;
+        for (const auto& [t0, t1] : it->second) {
+          if (now >= t0 && now < t1) { in_window = true; break; }
+        }
+        if (in_window) continue;
+      }
+      mature_peak =
+          std::max(mature_peak, std::abs(s.logical(a) - s.logical(b)));
+    }
+  });
+  sim.run_until(800.0);
+
+  ChurnRow row;
+  row.insertions = probe.insertions();
+  row.stabilized = probe.stabilized();
+  row.mean_stab = probe.mean_stabilization_time();
+  row.max_stab = probe.max_stabilization_time();
+  row.predicted = probe.mean_predicted_time();
+  row.local_peak = tracker.max_local_skew();
+  row.mature_peak = mature_peak;
+  return row;
+}
+
+}  // namespace
 
 int main() {
   using namespace tbcs;
@@ -124,5 +248,43 @@ int main() {
                "near the static local bound throughout — the inter-partition\n"
                "gap drains through the healed edges without being handed\n"
                "around the ring.\n";
+
+  // ---- A4b: continuous churn, per-inserted-edge stabilization ---------------
+  bench::print_header(
+      "A4b: churn-driven stabilization (A^opt vs dynamic-GCS)",
+      "claim (KLLO): every inserted edge's skew contracts to the static\n"
+      "quantum kappa in ~skew_at_insert/mu; the dynamic-GCS ramp gets\n"
+      "there without ever letting fresh edges distort the old gradient.");
+
+  const core::SyncParams cp = core::SyncParams::recommended(t, eps, 0.3);
+  analysis::Table churn_table(
+      {"churn rate", "algo", "inserted", "stabilized", "mean stab t",
+       "max stab t", "predicted s0/mu", "local peak", "mature peak"});
+  for (const double rate : {0.005, 0.01, 0.02, 0.04}) {
+    for (const bool kllo : {false, true}) {
+      const ChurnRow row = churn_case(cp, rate, kllo);
+      churn_table.add_row(
+          {analysis::Table::num(rate, 3), kllo ? "kllo" : "aopt",
+           analysis::Table::num(static_cast<double>(row.insertions), 0),
+           analysis::Table::num(static_cast<double>(row.stabilized), 0),
+           analysis::Table::num(row.mean_stab, 2),
+           analysis::Table::num(row.max_stab, 2),
+           analysis::Table::num(row.predicted, 2),
+           analysis::Table::num(row.local_peak, 2),
+           analysis::Table::num(row.mature_peak, 2)});
+    }
+  }
+  churn_table.print(std::cout);
+
+  std::cout << "\nexpected shape: measured stabilization stays at or under the\n"
+               "KLLO linear-convergence prediction s0/mu at every churn rate,\n"
+               "and the mature-edge peak stays near the static baseline (far\n"
+               "below the fresh-edge local peak): churn does not leak skew into\n"
+               "the old gradient.  aopt and kllo rows coincide here by design —\n"
+               "the drain is mu-bounded L^max catch-up either way, and the ramp\n"
+               "only relaxes gradient blocking, which never binds while mature\n"
+               "skews sit well under kappa.  The ramp's value is the *guarantee*\n"
+               "(a decaying tolerance envelope on fresh edges; see\n"
+               "docs/ALGORITHM.md), not a faster drain.\n";
   return 0;
 }

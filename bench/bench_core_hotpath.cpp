@@ -48,6 +48,7 @@
 #include "bench_json.hpp"
 #include "core/aopt.hpp"
 #include "core/params.hpp"
+#include "dyn/churn_plan.hpp"
 #include "exec/thread_pool.hpp"
 #include "graph/topologies.hpp"
 #include "sim/simulator.hpp"
@@ -93,7 +94,8 @@ graph::Graph make_topology(const std::string& kind, int n) {
 RunResult run_one(const graph::Graph& g, analysis::SkewTracker::Mode mode,
                   double duration, std::uint64_t seed, int shards = -1,
                   int* shards_effective = nullptr,
-                  sim::QueueSelect queue = sim::QueueSelect::kAuto) {
+                  sim::QueueSelect queue = sim::QueueSelect::kAuto,
+                  const dyn::ChurnSchedule* churn = nullptr) {
   const core::SyncParams params = core::SyncParams::recommended(1.0, 0.01, 0.0);
   sim::SimConfig scfg;
   scfg.wake_all_at_zero = shards >= 0;
@@ -106,6 +108,7 @@ RunResult run_one(const graph::Graph& g, analysis::SkewTracker::Mode mode,
   sim.set_drift_policy(std::make_shared<sim::RandomWalkDrift>(0.01, 10.0, seed));
   sim.set_delay_policy(std::make_shared<sim::UniformDelay>(
       shards >= 0 ? 0.25 : 0.0, 1.0, seed + 1));
+  if (churn != nullptr) churn->apply(sim);
   // Shard-axis rows measure the bare engine: no tracker.  The serial
   // engine observes per *event* while the windowed engine observes per
   // *barrier*, so attaching one would bill the K = 0 rows for a few
@@ -205,6 +208,7 @@ int main(int argc, char** argv) {
   int repeats = 1;
   std::vector<int> shard_axis;  // e.g. --shards 0,1,2,4; 0 = serial engine
   std::vector<std::string> queue_axis{"auto"};  // e.g. --queue heap,ladder
+  std::vector<double> churn_axis;  // e.g. --churn 0,0.005,0.02; 0 = control
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--quick") {
@@ -224,6 +228,13 @@ int main(int argc, char** argv) {
         shard_axis.push_back(static_cast<int>(std::strtol(p, &end, 10)));
         p = (end != nullptr && *end == ',') ? end + 1 : (end != nullptr ? end : p + std::strlen(p));
       }
+    } else if (a == "--churn" && i + 1 < argc) {
+      const char* p = argv[++i];
+      while (*p != '\0') {
+        char* end = nullptr;
+        churn_axis.push_back(std::strtod(p, &end));
+        p = (end != nullptr && *end == ',') ? end + 1 : (end != nullptr ? end : p + std::strlen(p));
+      }
     } else if (a == "--queue" && i + 1 < argc) {
       queue_axis.clear();
       std::string list = argv[++i];
@@ -241,12 +252,15 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: bench_core_hotpath [--quick] [--filter SUBSTR] "
                    "[--repeat N] [--shards K0,K1,...] [--queue Q0,Q1,...] "
-                   "[--out FILE] [--label NAME]\n"
+                   "[--churn R0,R1,...] [--out FILE] [--label NAME]\n"
                    "  --shards runs ONLY the shard-axis rows (band-delay "
                    "workload; K = 0 is the serial engine)\n"
                    "  --queue adds an event-queue axis to the shard rows "
                    "(auto | heap | ladder; auto rows keep unsuffixed "
-                   "names)\n");
+                   "names)\n"
+                   "  --churn runs ONLY the churn-axis rows (joins/leaves "
+                   "at R/2, edge churn at R; R = 0 is the no-churn "
+                   "control; combine with --shards for sharded rows)\n");
       return 2;
     }
   }
@@ -274,6 +288,87 @@ int main(int argc, char** argv) {
   };
 
   tbcs::bench::BenchJsonWriter json(label);
+
+  // Churn axis: one row per (topology, n, rate, K) on the band-delay
+  // wake-all workload with a deterministic ChurnPlan applied — node
+  // joins/leaves at rate/2, edge churn at rate, 20% extra non-edges in
+  // the link universe.  Rate 0 rows are the no-churn control on the
+  // exact same workload, so (rate r / rate 0) events_per_sec is the
+  // engine-side cost of dynamic membership: presence gating on every
+  // delivery, link-up/down flushing, and (sharded) cross-lane membership
+  // barriers.  Combine with --shards for sharded rows (default K = 0).
+  if (!churn_axis.empty()) {
+    const std::vector<int> churn_sizes =
+        quick ? std::vector<int>{64} : std::vector<int>{1024, 16384, 100000};
+    const auto churn_duration_for = [](int n) {
+      if (n >= 100000) return 10.0;
+      if (n >= 16384) return 30.0;
+      return 100.0;
+    };
+    const std::vector<int> churn_shards =
+        shard_axis.empty() ? std::vector<int>{0} : shard_axis;
+    for (const char* topo : {"line", "tree"}) {
+      for (const int n : churn_sizes) {
+        const double dur = churn_duration_for(n);
+        for (const double rate : churn_axis) {
+          // The plan extends the graph with extra churnable non-edges,
+          // so each rate gets its own copy of the topology.
+          tbcs::graph::Graph g = make_topology(topo, n);
+          tbcs::dyn::ChurnSchedule sched;
+          if (rate > 0.0) {
+            tbcs::dyn::ChurnConfig ccfg;
+            ccfg.node_rate = rate / 2.0;
+            ccfg.edge_rate = rate;
+            ccfg.node_downtime = 2.0;
+            ccfg.edge_downtime = 2.0;
+            ccfg.extra_edges = 0.2;
+            ccfg.t0 = 1.0;
+            ccfg.t1 = 0.8 * dur;
+            ccfg.seed = 11;
+            sched = tbcs::dyn::ChurnPlan(ccfg).build(g);
+          }
+          for (const int k : churn_shards) {
+            char rbuf[32];
+            std::snprintf(rbuf, sizeof rbuf, "%g", rate);
+            const std::string name = std::string(topo) + "_n" +
+                                     std::to_string(g.num_nodes()) + "_churn" +
+                                     rbuf + "_shards" + std::to_string(k) +
+                                     "_incremental";
+            if (!filter.empty() && name.find(filter) == std::string::npos) {
+              continue;
+            }
+            int effective = 0;
+            const Repeated rr = repeat_runs(repeats, [&] {
+              return run_one(g, tbcs::analysis::SkewTracker::Mode::kIncremental,
+                             dur, 3, k, &effective, sim::QueueSelect::kAuto,
+                             rate > 0.0 ? &sched : nullptr);
+            });
+            const RunResult& r = rr.best;
+            json.add(name)
+                .metric("n", g.num_nodes())
+                .metric("duration", dur)
+                .metric("shards", k)
+                .metric("shards_effective", effective)
+                .metric("churn_rate", rate)
+                .metric("churn_ops", static_cast<double>(sched.ops.size()))
+                .metric("events", static_cast<double>(r.events))
+                .metric("seconds", r.seconds)
+                .metric("events_per_sec", rr.eps_best)
+                .metric("eps_median", rr.eps_median)
+                .metric("eps_stddev", rr.eps_stddev)
+                .metric("repeats", repeats);
+            std::printf("%-44s %12.0f events/s  (%llu events, %.2fs, %zu churn ops)\n",
+                        name.c_str(), rr.eps_best, (unsigned long long)r.events,
+                        r.seconds, sched.ops.size());
+            std::fflush(stdout);
+          }
+        }
+      }
+    }
+    json.write_file(out);
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+  }
 
   // Shard axis: one row per (topology, n, K) on the band-delay workload,
   // bare engine (no tracker — see run_one).  Replaces the legacy matrix

@@ -13,13 +13,19 @@
 #      fault-injection paths: partitions, link flips, the channel hook,
 #      and the stop() watchdog) and the sharded-engine tests (worker
 #      lanes, window barriers, cross-shard mailboxes, recording policies
-#      under concurrent lanes) with -DTBCS_SANITIZE=thread and run them.
+#      under concurrent lanes) with -DTBCS_SANITIZE=thread and run them,
+#      plus the churn-equivalence tests (joins/leaves, link churn, and
+#      mid-run repartition migration across concurrent lanes).
 #      These are the only tests with real cross-thread contention.
 #   4. Sharded smoke + perf gate: smoke_shards.sh equivalence gates plus
 #      SMOKE_SHARDS_PERF=1, which fails if --shards 4 runs >10% slower
 #      than --shards 1 on an n=16384 path or an n=16383 tree (the
 #      window-stall and tree-partition regressions).
-#   5. Large-n queue gate: smoke_bench.sh with SMOKE_BENCH_LARGE=1,
+#   5. Churn determinism smoke: smoke_churn.sh — a dynamic-network run
+#      (node joins/leaves + edge churn through the kllo node) must be
+#      byte-identical serial vs --shards {1,2,4}, heap vs ladder, and
+#      --jobs 1 vs 4 through a churned sweep.
+#   6. Large-n queue gate: smoke_bench.sh with SMOKE_BENCH_LARGE=1,
 #      which fails if the ladder queue is < 1.2x the heap on the serial
 #      line n=100000 config (and re-checks the small-n geomean so the
 #      ladder can't buy large-n throughput with a small-n regression).
@@ -56,15 +62,22 @@ echo
 echo "=== sanitizer smoke: TSan threaded runtime + sharded engine (jobs=$JOBS) ==="
 cmake -B build-tsan -S . -DTBCS_SANITIZE=thread > /dev/null
 cmake --build build-tsan -j "$JOBS" --target \
-  test_runtime test_runtime_faults test_sharded_equivalence
+  test_runtime test_runtime_faults test_sharded_equivalence \
+  test_churn_equivalence
 build-tsan/tests/test_runtime
 build-tsan/tests/test_runtime_faults
 build-tsan/tests/test_sharded_equivalence
+build-tsan/tests/test_churn_equivalence
 
 echo
 echo "=== sharded smoke + perf gate ==="
 SMOKE_SHARDS_PERF=1 bash scripts/smoke_shards.sh \
   build/tools/tbcs_sim build/tools/tbcs_trace
+
+echo
+echo "=== churn determinism smoke ==="
+bash scripts/smoke_churn.sh \
+  build/tools/tbcs_sim build/tools/tbcs_trace build/tools/tbcs_sweep
 
 echo
 echo "=== large-n queue gate ==="

@@ -49,6 +49,31 @@ void apply_model_flags(ArgParser& args, ExperimentConfig& cfg) {
       args.get_int("fault-seed", static_cast<int>(cfg.fault_seed)));
   cfg.silence_timeout = args.get_double("silence-timeout", cfg.silence_timeout);
   cfg.influence_bound = args.get_double("influence-bound", cfg.influence_bound);
+  cfg.churn_node_rate = args.get_double("churn-node-rate", cfg.churn_node_rate);
+  cfg.churn_edge_rate = args.get_double("churn-edge-rate", cfg.churn_edge_rate);
+  cfg.churn_downtime = args.get_double("churn-downtime", cfg.churn_downtime);
+  cfg.churn_node_fraction =
+      args.get_double("churn-node-fraction", cfg.churn_node_fraction);
+  cfg.churn_edge_fraction =
+      args.get_double("churn-edge-fraction", cfg.churn_edge_fraction);
+  cfg.churn_extra_edges =
+      args.get_double("churn-extra-edges", cfg.churn_extra_edges);
+  cfg.churn_start = args.get_double("churn-start", cfg.churn_start);
+  cfg.churn_stop = args.get_double("churn-stop", cfg.churn_stop);
+  cfg.churn_min_present =
+      args.get_int("churn-min-present", cfg.churn_min_present);
+  cfg.churn_seed = static_cast<std::uint64_t>(
+      args.get_int("churn-seed", static_cast<int>(cfg.churn_seed)));
+  cfg.churn_repartition =
+      args.get_bool("churn-repartition", cfg.churn_repartition);
+  cfg.churn_cut_growth =
+      args.get_double("churn-cut-growth", cfg.churn_cut_growth);
+  cfg.churn_check_interval =
+      args.get_double("churn-check-interval", cfg.churn_check_interval);
+  cfg.stab_tolerance = args.get_double("stab-tolerance", cfg.stab_tolerance);
+  cfg.stab_time = args.get_double("stab-time", cfg.stab_time);
+  cfg.stab_bound = args.get_double("stab-bound", cfg.stab_bound);
+  cfg.skew_stride = args.get_int("skew-stride", cfg.skew_stride);
 }
 
 graph::Graph build_topology(const ExperimentConfig& cfg) {
@@ -70,6 +95,41 @@ core::SyncParams resolve_params(const ExperimentConfig& cfg) {
   const double mu = cfg.mu > 0.0 ? cfg.mu : mu_min;
   const double h0 = cfg.h0 > 0.0 ? cfg.h0 : cfg.delay / mu;
   return core::SyncParams::with(cfg.delay, cfg.eps, mu, h0);
+}
+
+dyn::ChurnConfig resolve_churn(const ExperimentConfig& cfg) {
+  dyn::ChurnConfig c;
+  c.node_rate = cfg.churn_node_rate;
+  c.edge_rate = cfg.churn_edge_rate;
+  const double downtime =
+      cfg.churn_downtime > 0.0 ? cfg.churn_downtime : 20.0 * cfg.delay;
+  c.node_downtime = downtime;
+  c.edge_downtime = downtime;
+  c.node_fraction = cfg.churn_node_fraction;
+  c.edge_fraction = cfg.churn_edge_fraction;
+  c.extra_edges = cfg.churn_extra_edges;
+  c.min_present = cfg.churn_min_present;
+  // Let the wake flood converge before membership starts moving.
+  c.t0 = cfg.churn_start > 0.0 ? cfg.churn_start : 4.0 * cfg.delay;
+  c.t1 = cfg.churn_stop > 0.0 ? cfg.churn_stop : cfg.duration;
+  c.seed = cfg.churn_seed != 0 ? cfg.churn_seed : cfg.seed ^ 0x636875726eULL;
+  if (c.enabled()) c.check();
+  return c;
+}
+
+dyn::DynGcsOptions resolve_dyn_gcs(const ExperimentConfig& cfg,
+                                   const core::SyncParams& params) {
+  dyn::DynGcsOptions o;
+  // tau0: the slack granted to a fresh edge; 8 kappa spans the local-skew
+  // ladder's first levels.  T_stab = tau0 / mu is the time the mu-bounded
+  // catch-up rate needs to close a tau0 gap — the KLLO linear-convergence
+  // figure — so by default the ramp expires exactly when an edge that
+  // started tau0 apart can have converged.
+  o.initial_tolerance =
+      cfg.stab_tolerance > 0.0 ? cfg.stab_tolerance : 8.0 * params.kappa;
+  o.stabilization_time =
+      cfg.stab_time > 0.0 ? cfg.stab_time : o.initial_tolerance / params.mu;
+  return o;
 }
 
 namespace {
@@ -134,6 +194,13 @@ std::unique_ptr<sim::Node> build_node(const ExperimentConfig& cfg,
     o.influence_bound = cfg.influence_bound;
     return std::make_unique<core::AoptNode>(params, o);
   }
+  if (a == "kllo") {
+    core::AoptOptions o;
+    o.neighbor_silence_timeout = cfg.silence_timeout;
+    o.influence_bound = cfg.influence_bound;
+    return std::make_unique<dyn::DynGcsNode>(params, o,
+                                             resolve_dyn_gcs(cfg, params));
+  }
   if (a == "aopt-jump") return core::make_jump_aopt(params);
   if (a == "aopt-bounded") return core::make_bounded_frequency_aopt(params);
   if (a == "aopt-adaptive") {
@@ -172,6 +239,14 @@ BuiltExperiment build_experiment(const ExperimentConfig& cfg) {
   built.graph = std::make_unique<graph::Graph>(build_topology(cfg));
   built.params = resolve_params(cfg);
 
+  // Churn resolves against the topology *before* the simulator snapshots
+  // it: extend_universe appends the insertion-churn edges, and the sharded
+  // engine's cut tables must cover them.
+  const dyn::ChurnConfig churn_cfg = resolve_churn(cfg);
+  if (churn_cfg.enabled()) {
+    built.churn = dyn::ChurnPlan(churn_cfg).build(*built.graph);
+  }
+
   const std::uint64_t fault_seed =
       cfg.fault_seed != 0 ? cfg.fault_seed : cfg.seed;
   if (!cfg.faults_file.empty()) {
@@ -197,6 +272,9 @@ BuiltExperiment build_experiment(const ExperimentConfig& cfg) {
     built.simulator->configure_shards(cfg.shards, cfg.partition,
                                       cfg.min_shard_nodes);
   }
+  // After configure_shards: initial absences/downed links address the
+  // final slot permutation and per-lane link views.
+  if (!built.churn.empty()) built.churn.apply(*built.simulator);
   const core::SyncParams params = built.params;
   const fault::FaultTimeline& timeline = built.timeline;
   built.simulator->set_all_nodes(

@@ -8,6 +8,8 @@
 #include <string>
 
 #include "core/params.hpp"
+#include "dyn/churn_plan.hpp"
+#include "dyn/dyn_gcs_node.hpp"
 #include "fault/fault_injection.hpp"
 #include "fault/fault_plan.hpp"
 #include "graph/graph.hpp"
@@ -79,6 +81,40 @@ struct ExperimentConfig {
   // aopt only; 0 = off, the paper's algorithm unchanged).
   double silence_timeout = 0.0;
   double influence_bound = 0.0;
+
+  // Dynamic-network churn (src/dyn; all off by default).  Rates are per
+  // entity per unit real time; the window defaults to [4 T, duration] so
+  // the initial flood converges before membership starts moving.
+  double churn_node_rate = 0.0;    // joins/leaves; 0 = no node churn
+  double churn_edge_rate = 0.0;    // edge removal/insertion; 0 = none
+  double churn_downtime = 0.0;     // mean absent/removed time (0 -> 20 T)
+  double churn_node_fraction = 0.5;
+  double churn_edge_fraction = 0.25;
+  double churn_extra_edges = 0.0;  // insertion universe, fraction of |E|
+  double churn_start = 0.0;        // t0 (0 -> 4 T)
+  double churn_stop = 0.0;         // t1 (0 -> duration)
+  int churn_min_present = 2;
+  std::uint64_t churn_seed = 0;    // 0 -> derive from seed
+
+  // Churn driver (sharded runs): repartition when the live cut fraction
+  // grows past churn_cut_growth x the post-partition baseline.
+  bool churn_repartition = true;
+  double churn_cut_growth = 1.5;
+  double churn_check_interval = 0.0;  // 0 -> duration / 20
+
+  // KLLO dynamic-GCS node (--algo kllo): initial per-edge tolerance and
+  // its decay period (0 = derived: tau0 = 8 kappa, T_stab = tau0 / mu).
+  double stab_tolerance = 0.0;
+  double stab_time = 0.0;
+  // Stabilization-probe threshold: an inserted edge counts as stabilized
+  // when its skew stays <= this (0 = the Thm 5.10 local bound).
+  double stab_bound = 0.0;
+
+  // Skew-tracker sampling stride: observe every Nth event only (> 1
+  // degrades the incremental engine to strided full rescans and reported
+  // maxima become lower bounds, but large-n serial runs stop paying a
+  // rescan per event; execution bytes are unaffected).  1 = exact.
+  int skew_stride = 1;
 };
 
 struct BuiltExperiment {
@@ -97,6 +133,10 @@ struct BuiltExperiment {
   // Resolved fault schedule (empty when faults_file is empty); drive it
   // with fault::FaultScheduler instead of calling run_until directly.
   fault::FaultTimeline timeline;
+  // Resolved churn schedule (empty when churn is off).  build_experiment
+  // already installed it into the simulator; it is exposed for probes
+  // (StabilizationProbe::preload) and pacing (dyn::ChurnDriver).
+  dyn::ChurnSchedule churn;
 };
 
 /// Thrown when an option value is not recognized.
@@ -121,5 +161,14 @@ graph::Graph build_topology(const ExperimentConfig& cfg);
 
 /// Effective parameters (resolves mu = 0 / h0 = 0 defaults).
 core::SyncParams resolve_params(const ExperimentConfig& cfg);
+
+/// Effective churn config (resolves the 0 = derived defaults; enabled()
+/// is false when both rates are 0).
+dyn::ChurnConfig resolve_churn(const ExperimentConfig& cfg);
+
+/// Effective KLLO options for --algo kllo (resolves tau0/T_stab defaults
+/// against the model parameters).
+dyn::DynGcsOptions resolve_dyn_gcs(const ExperimentConfig& cfg,
+                                   const core::SyncParams& params);
 
 }  // namespace tbcs::cli

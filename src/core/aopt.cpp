@@ -219,6 +219,10 @@ void AoptNode::run_set_clock_rate(sim::NodeServices& sv) {
   } else {
     r = clock_increase(lambda_up(), lambda_dn(), params_.kappa, Lmax_ - L_);
   }
+  apply_clock_increase(sv, r);
+}
+
+void AoptNode::apply_clock_increase(sim::NodeServices& sv, double r) {
   if (r > kBoostFloor) {
     if (opt_.jump_mode) {
       // Unbounded-rate variant: apply the increase instantly.

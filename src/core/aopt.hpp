@@ -134,7 +134,13 @@ class AoptNode : public sim::Node {
   void advance_to(sim::ClockValue h_now);
   double lmax_factor_now() const;
   double logical_multiplier() const;
-  void run_set_clock_rate(sim::NodeServices& sv);  // Algorithm 3
+  // Algorithm 3.  Virtual so dynamic-topology variants (src/dyn's
+  // Kuhn–Lenzen–Locher–Oshman gradient node) can widen the per-neighbor
+  // tolerance while a freshly inserted edge converges.
+  virtual void run_set_clock_rate(sim::NodeServices& sv);
+  // Algorithm 3 lines 3-7 for a computed increase r: raise rho (or jump),
+  // or reset to 1.  Shared by run_set_clock_rate and its overrides.
+  void apply_clock_increase(sim::NodeServices& sv, double r);
   void request_send(sim::NodeServices& sv);
   void do_send(sim::NodeServices& sv);
   void reschedule_value_timers(sim::NodeServices& sv);

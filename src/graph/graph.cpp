@@ -13,6 +13,7 @@ bool Graph::add_edge(NodeId u, NodeId v) {
   adj_[static_cast<std::size_t>(u)].push_back(v);
   adj_[static_cast<std::size_t>(v)].push_back(u);
   edges_.emplace_back(std::min(u, v), std::max(u, v));
+  ++version_;
   {
     std::lock_guard<std::mutex> lock(csr_mu_);
     csr_cache_.reset();
@@ -24,6 +25,7 @@ std::shared_ptr<const Graph::Csr> Graph::csr() const {
   std::lock_guard<std::mutex> lock(csr_mu_);
   if (csr_cache_) return csr_cache_;
   auto csr = std::make_shared<Csr>();
+  csr->version_ = version_;
   const auto n = static_cast<std::size_t>(num_nodes());
   csr->row_.assign(n + 1, 0);
   for (const auto& [u, v] : edges_) {

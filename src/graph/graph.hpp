@@ -52,10 +52,18 @@ class Graph {
       return kNoEdge;
     }
 
+    /// Mutation counter of the owning Graph at build time.  A snapshot is
+    /// stale — and must not be dereferenced — once this differs from the
+    /// graph's current version(); the simulator debug-asserts the match at
+    /// its run and scheduling boundaries.
+    std::uint64_t version() const { return version_; }
+    std::size_t num_edges() const { return arcs_.size() / 2; }
+
    private:
     friend class Graph;
     std::vector<std::uint32_t> row_;  // n + 1 offsets into arcs_
     std::vector<Arc> arcs_;           // 2|E| half-edges
+    std::uint64_t version_ = 0;
   };
 
   Graph() = default;
@@ -63,13 +71,16 @@ class Graph {
 
   // The CSR cache is identity-independent derived data: copies and moves
   // transfer the adjacency and drop or share the snapshot safely.
-  Graph(const Graph& o) : adj_(o.adj_), edges_(o.edges_) {}
+  Graph(const Graph& o) : adj_(o.adj_), edges_(o.edges_), version_(o.version_) {}
   Graph(Graph&& o) noexcept
-      : adj_(std::move(o.adj_)), edges_(std::move(o.edges_)) {}
+      : adj_(std::move(o.adj_)),
+        edges_(std::move(o.edges_)),
+        version_(o.version_) {}
   Graph& operator=(const Graph& o) {
     if (this != &o) {
       adj_ = o.adj_;
       edges_ = o.edges_;
+      version_ = o.version_;
       std::lock_guard<std::mutex> lock(csr_mu_);
       csr_cache_.reset();
     }
@@ -78,6 +89,7 @@ class Graph {
   Graph& operator=(Graph&& o) noexcept {
     adj_ = std::move(o.adj_);
     edges_ = std::move(o.edges_);
+    version_ = o.version_;
     std::lock_guard<std::mutex> lock(csr_mu_);
     csr_cache_.reset();
     return *this;
@@ -85,6 +97,11 @@ class Graph {
 
   NodeId num_nodes() const { return static_cast<NodeId>(adj_.size()); }
   std::size_t num_edges() const { return edges_.size(); }
+
+  /// Bumped by every mutation (add_edge).  CSR snapshots carry the version
+  /// they were built from, so holders can detect — and debug-assert
+  /// against — dereferencing a snapshot that no longer matches the graph.
+  std::uint64_t version() const { return version_; }
 
   /// Adds the undirected edge {u, v}.  Duplicate edges and self-loops are
   /// rejected (returns false).  Invalidates any cached CSR snapshot.
@@ -138,6 +155,7 @@ class Graph {
  private:
   std::vector<std::vector<NodeId>> adj_;
   std::vector<Edge> edges_;
+  std::uint64_t version_ = 0;
   mutable std::mutex csr_mu_;
   mutable std::shared_ptr<const Csr> csr_cache_;
 };

@@ -73,6 +73,15 @@ class Partition {
   static Partition make(const Graph& g, int num_shards,
                         const std::string& strategy);
 
+  /// Builds a partition of `g` from an explicit node -> shard assignment
+  /// (cut tables computed against g's full edge set).  Used by the sharded
+  /// engine's repartition: the assignment is computed on the *live*
+  /// subgraph, but horizon safety needs cut accounting over every
+  /// schedulable edge.  Throws std::invalid_argument when the assignment
+  /// has the wrong size, an out-of-range shard, or an empty shard.
+  static Partition from_assignment(const Graph& g, std::vector<int> shard_of,
+                                   int num_shards);
+
   int num_shards() const { return num_shards_; }
   NodeId num_nodes() const { return static_cast<NodeId>(shard_of_.size()); }
 

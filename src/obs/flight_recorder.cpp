@@ -22,6 +22,7 @@ const char* trace_point_name(TracePoint p) {
     case TracePoint::kRuntimeDeliver: return "rt_deliver";
     case TracePoint::kRuntimeTimer: return "rt_timer";
     case TracePoint::kFault: return "fault";
+    case TracePoint::kChurn: return "churn";
   }
   return "unknown";
 }

@@ -47,9 +47,11 @@ enum class TracePoint : std::uint16_t {
   kRuntimeTimer,    // threaded runtime: timer dispatched to a node thread
   kFault,           // injected fault applied (a = fault::FaultKind index,
                     //   b = site-specific value, e.g. the node's L)
+  kChurn,           // dynamic membership event (a = 0 join / 1 leave,
+                    //   b = the node's L at that instant)
 };
 
-inline constexpr int kNumTracePoints = 13;
+inline constexpr int kNumTracePoints = 14;
 
 const char* trace_point_name(TracePoint p);
 

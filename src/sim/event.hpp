@@ -28,6 +28,8 @@ enum class EventKind : std::uint8_t {
   kProbe,            // periodic observer callback
   kCrash,            // `node` crashes: silent, timers suppressed, links cut
   kRecover,          // `node` re-joins: links restored, on_rejoin() runs
+  kJoin,             // churn: `node` (re)enters the network (departed bit cleared)
+  kLeave,            // churn: `node` departs (silent, timers suppressed)
 };
 
 struct Event {

@@ -158,22 +158,34 @@ void Simulator::configure_shards(int shards, const std::string& strategy,
   link_up_.assign(graph_.num_edges(), 1);
   // Slot permutation: each shard's members become one contiguous block of
   // the hot arrays, in member (ascending id) order.  With one shard this
-  // is the identity.
+  // is the identity.  Status bits survive the permutation (a churn plan
+  // may mark nodes initially absent before configuring shards); clocks and
+  // timers are still default-constructed here, so only status moves.
+  std::vector<std::uint8_t> status_by_node(n);
+  for (std::size_t v = 0; v < n; ++v) status_by_node[v] = status_slots_[slot(v)];
   std::uint32_t next_slot = 0;
   for (int s = 0; s < part_->num_shards(); ++s) {
     for (const NodeId v : part_->members(s)) {
       slot_of_[static_cast<std::size_t>(v)] = next_slot++;
     }
   }
+  for (std::size_t v = 0; v < n; ++v) status_slots_[slot(v)] = status_by_node[v];
+  compute_cut_dist();
+  init_lanes(static_cast<std::size_t>(effective));
+}
+
+void Simulator::compute_cut_dist() {
   // Cut distances for the cut-aware horizon: multi-source BFS (over
   // intra-shard edges) from the cut-edge endpoints, capped at kMaxCutDist.
   // An event at a distance-d node needs >= d intra-shard hops before
-  // anything can happen at a cut node.  Computed here — before any event
-  // can be scheduled — so every queue push and timer arm (including
-  // pre-run schedule_crash / schedule_link_change calls) lands in the
-  // boundary heaps.
+  // anything can happen at a cut node.  Computed before any event can be
+  // scheduled against the partition — at configure_shards, and again at
+  // repartition (whose event migration re-files every queued time into
+  // the boundary heaps) — so every queue push and timer arm lands in the
+  // right heap.
+  const auto n = static_cast<std::size_t>(graph_.num_nodes());
   cut_dist_.assign(n, static_cast<std::uint8_t>(kMaxCutDist));
-  if (effective > 1) {
+  if (part_->num_shards() > 1) {
     std::vector<NodeId> frontier;
     for (const graph::Partition::CutEdge& ce : part_->cut_edges()) {
       for (const NodeId v : {ce.u, ce.v}) {
@@ -201,7 +213,6 @@ void Simulator::configure_shards(int shards, const std::string& strategy,
       frontier.swap(next);
     }
   }
-  init_lanes(static_cast<std::size_t>(effective));
 }
 
 void Simulator::set_node(NodeId v, std::unique_ptr<Node> node) {
@@ -253,34 +264,7 @@ void Simulator::setup() {
           "certifies a positive min_delay() lookahead (fixed or "
           "lower-bounded delays); this policy cannot");
     }
-    // Per-lane lookahead bounds (the boundary *levels* were computed in
-    // configure_shards, before any event could be scheduled): la_out is
-    // the min per-edge delay bound over a lane's outgoing cut arcs,
-    // delta_intra over its intra-shard arcs.  Both are floored at the
-    // global min_delay() — per-edge bounds certify *at least* the global
-    // one, so a policy violating that contract is clamped, not trusted.
-    // Lanes with no outgoing cut arcs never bound the horizon.
-    if (lanes_.size() > 1) {
-      for (const graph::Partition::CutEdge& ce : part_->cut_edges()) {
-        const Duration uv = delay_->min_delay(ce.u, ce.v);
-        const Duration vu = delay_->min_delay(ce.v, ce.u);
-        Lane& lu = lanes_[static_cast<std::size_t>(ce.su)];
-        Lane& lv = lanes_[static_cast<std::size_t>(ce.sv)];
-        lu.la_out = std::min(lu.la_out, std::max(uv, lookahead_));
-        lv.la_out = std::min(lv.la_out, std::max(vu, lookahead_));
-      }
-      for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
-        const int su = part_->shard_of(u);
-        Lane& ln = lanes_[static_cast<std::size_t>(su)];
-        for (const graph::Graph::Arc* a = csr_->begin(u); a != csr_->end(u);
-             ++a) {
-          if (part_->shard_of(a->to) != su) continue;
-          ln.delta_intra = std::min(
-              ln.delta_intra,
-              std::max(delay_->min_delay(u, a->to), lookahead_));
-        }
-      }
-    }
+    compute_lane_lookahead();
   }
   // Pre-size the per-lane hot structures from the topology so warm-up
   // never pays growth, and calibrate each lane's timer wheel to its
@@ -305,12 +289,18 @@ void Simulator::setup() {
   }
   if (cfg_.wake_all_at_zero) {
     for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      if ((status_slots_[slot(v)] & kDepartedBit) != 0) continue;  // churn
       wake_node(lane_of(v), v, nullptr);
     }
   } else {
+    if ((status_slots_[slot(cfg_.root)] & kDepartedBit) != 0) {
+      throw std::invalid_argument(
+          "Simulator: the flooding-initialization root is initially absent; "
+          "pick a present root or use wake_all_at_zero");
+    }
     wake_node(lane_of(cfg_.root), cfg_.root, nullptr);
     for (const NodeId v : cfg_.extra_roots) {
-      if ((status_slots_[slot(v)] & kAwakeBit) == 0) {
+      if ((status_slots_[slot(v)] & (kAwakeBit | kDepartedBit)) == 0) {
         wake_node(lane_of(v), v, nullptr);
       }
     }
@@ -326,6 +316,36 @@ void Simulator::setup() {
       probe.time = cfg_.probe_interval;
       probe.kind = EventKind::kProbe;
       push_event(probe, kInvalidNode);
+    }
+  }
+}
+
+void Simulator::compute_lane_lookahead() {
+  // Per-lane lookahead bounds (the boundary *levels* come from
+  // compute_cut_dist, before any event is filed against them): la_out is
+  // the min per-edge delay bound over a lane's outgoing cut arcs,
+  // delta_intra over its intra-shard arcs.  Both are floored at the
+  // global min_delay() — per-edge bounds certify *at least* the global
+  // one, so a policy violating that contract is clamped, not trusted.
+  // Lanes with no outgoing cut arcs never bound the horizon.
+  if (lanes_.size() <= 1) return;
+  for (const graph::Partition::CutEdge& ce : part_->cut_edges()) {
+    const Duration uv = delay_->min_delay(ce.u, ce.v);
+    const Duration vu = delay_->min_delay(ce.v, ce.u);
+    Lane& lu = lanes_[static_cast<std::size_t>(ce.su)];
+    Lane& lv = lanes_[static_cast<std::size_t>(ce.sv)];
+    lu.la_out = std::min(lu.la_out, std::max(uv, lookahead_));
+    lv.la_out = std::min(lv.la_out, std::max(vu, lookahead_));
+  }
+  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    const int su = part_->shard_of(u);
+    Lane& ln = lanes_[static_cast<std::size_t>(su)];
+    for (const graph::Graph::Arc* a = csr_->begin(u); a != csr_->end(u);
+         ++a) {
+      if (part_->shard_of(a->to) != su) continue;
+      ln.delta_intra = std::min(
+          ln.delta_intra,
+          std::max(delay_->min_delay(u, a->to), lookahead_));
     }
   }
 }
@@ -468,6 +488,12 @@ void Simulator::prefetch_upcoming(Lane& ln) {
 }
 
 void Simulator::run_until(RealTime t_end) {
+  // A Graph mutated after our CSR snapshot means every cached edge index
+  // and adjacency walk is suspect; the serial engine re-snapshots via
+  // grow_topology(), the sharded engine refuses mid-run growth outright.
+  assert(csr_->version() == graph_.version() &&
+         "Graph mutated after the CSR snapshot; call grow_topology() "
+         "before running");
   setup();
   if (windowed_) {
     run_windowed(t_end);
@@ -888,8 +914,8 @@ bool Simulator::process(Lane& ln, Event& e) {
   double mult_before = std::numeric_limits<double>::quiet_NaN();
   if (obs::kTraceCompiled && recorder_ != nullptr &&
       (e.kind == EventKind::kMessageDelivery || e.kind == EventKind::kTimer)) {
-    if ((status_slots_[slot(e.node)] & (kAwakeBit | kCrashedBit)) ==
-        kAwakeBit) {
+    if ((status_slots_[slot(e.node)] &
+         (kAwakeBit | kCrashedBit | kDepartedBit)) == kAwakeBit) {
       mult_before =
           nodes_[static_cast<std::size_t>(e.node)]->rate_multiplier();
     }
@@ -906,8 +932,8 @@ bool Simulator::process(Lane& ln, Event& e) {
       // grows the slab and would invalidate a held reference.
       const Message m = ln.slab.take(e.msg);
       const std::uint8_t st = status_slots_[slot(e.node)];
-      if (!ln.link_up[e.edge] || (st & kCrashedBit) != 0) {
-        ++ln.dropped;  // link down while in flight, or receiver dead
+      if (!ln.link_up[e.edge] || (st & (kCrashedBit | kDepartedBit)) != 0) {
+        ++ln.dropped;  // link down while in flight, or receiver dead/gone
         observable = false;
         break;
       }
@@ -927,12 +953,12 @@ bool Simulator::process(Lane& ln, Event& e) {
       // (cancel removes entries from the wheel), so no staleness check.
       TimerState& ts = timer(e.node, e.slot);
       ts.pending = TimerWheel::kNull;  // consumed by the fire
-      if ((status_slots_[slot(e.node)] & kCrashedBit) != 0) {
-        // A crashed node's callbacks are suppressed; with no callback there
-        // is no re-arm, so each armed slot costs one fire per crash instead
-        // of wakeups forever.  Recovery re-anchors the armed slots (armed
-        // stays set).  Counted as a cancel: an armed deadline that never
-        // ran its callback.
+      if ((status_slots_[slot(e.node)] & (kCrashedBit | kDepartedBit)) != 0) {
+        // A crashed or departed node's callbacks are suppressed; with no
+        // callback there is no re-arm, so each armed slot costs one fire
+        // per outage instead of wakeups forever.  Recovery/rejoin
+        // re-anchors the armed slots (armed stays set).  Counted as a
+        // cancel: an armed deadline that never ran its callback.
         ++ln.t_cancels;
         observable = false;
         break;
@@ -984,7 +1010,7 @@ bool Simulator::process(Lane& ln, Event& e) {
       st &= static_cast<std::uint8_t>(~kCrashedBit);
       ++ln.recoveries;
       le.node = e.node;  // re-enters the awake set: fold its clock
-      if ((st & kAwakeBit) != 0) {
+      if ((st & (kAwakeBit | kDepartedBit)) == kAwakeBit) {
         // Re-anchor every armed timer (deadlines computed before the
         // outage are meaningless now), then run the re-join handshake.
         for (int sl = 0; sl < kMaxTimerSlots; ++sl) {
@@ -1000,6 +1026,49 @@ bool Simulator::process(Lane& ln, Event& e) {
         nodes_[static_cast<std::size_t>(e.node)]->on_rejoin(
             ln.services->pin(e.node));
       }
+      break;
+    }
+    case EventKind::kJoin: {
+      std::uint8_t& st = status_slots_[slot(e.node)];
+      if ((st & kDepartedBit) == 0) {
+        observable = false;  // double join: no-op
+        break;
+      }
+      st &= static_cast<std::uint8_t>(~kDepartedBit);
+      ++ln.joins;
+      le.node = e.node;  // (re-)enters the awake set at this instant
+      if ((st & kAwakeBit) == 0) {
+        // First appearance: initialize like a spontaneous wake.
+        le.woke = true;
+        wake_node(ln, e.node, nullptr);
+      } else if ((st & kCrashedBit) == 0) {
+        // Re-join after an absence: deadlines computed before departure
+        // are meaningless now — re-anchor the armed slots, then run the
+        // same handshake a crash recovery uses.
+        for (int sl = 0; sl < kMaxTimerSlots; ++sl) {
+          TimerState& ts = timer(e.node, sl);
+          if (!ts.armed) continue;
+          if (ts.pending != TimerWheel::kNull) {
+            lane_of(e.node).wheel.cancel(ts.pending);
+            ts.pending = TimerWheel::kNull;
+            ++ln.t_cancels;
+          }
+          schedule_timer_event(e.node, sl, ln.now);
+        }
+        nodes_[static_cast<std::size_t>(e.node)]->on_rejoin(
+            ln.services->pin(e.node));
+      }
+      break;
+    }
+    case EventKind::kLeave: {
+      std::uint8_t& st = status_slots_[slot(e.node)];
+      if ((st & kDepartedBit) != 0) {
+        observable = false;  // double leave: no-op
+        break;
+      }
+      st |= kDepartedBit;
+      ++ln.leaves;
+      le.node = e.node;  // leaves the awake set at this instant
       break;
     }
   }
@@ -1072,6 +1141,16 @@ void Simulator::trace_event(Lane& ln, const Event& e, bool observable,
       a = 1.0;  // fault::FaultKind::kRecover
       b = observable ? logical_at(e.node, ln.now) : 0.0;
       break;
+    case EventKind::kJoin:
+      tp = TracePoint::kChurn;
+      a = 0.0;  // join
+      b = observable ? logical_at(e.node, ln.now) : 0.0;
+      break;
+    case EventKind::kLeave:
+      tp = TracePoint::kChurn;
+      a = 1.0;  // leave
+      b = observable ? logical_at(e.node, ln.now) : 0.0;
+      break;
   }
   if ((tp == TracePoint::kDeliver || tp == TracePoint::kTimerFire) &&
       e.node != kInvalidNode) {
@@ -1115,6 +1194,9 @@ void Simulator::wake_node(Lane& ln, NodeId v, const Message* trigger) {
 }
 
 std::uint32_t Simulator::edge_index(NodeId u, NodeId v) const {
+  assert(csr_->version() == graph_.version() &&
+         "Graph mutated after the CSR snapshot; call grow_topology() "
+         "before scheduling against new edges");
   const std::uint32_t e = csr_->find_edge(u, v);
   assert(e != graph::kNoEdge && "no such edge");
   return e;
@@ -1181,6 +1263,257 @@ void Simulator::schedule_recovery(NodeId v, RealTime at) {
   push_event(r, v);
 }
 
+// ---- churn -------------------------------------------------------------------
+
+void Simulator::set_initially_absent(NodeId v) {
+  if (setup_done_) {
+    throw std::logic_error(
+        "Simulator::set_initially_absent must precede the first run");
+  }
+  status_slots_[slot(v)] |= kDepartedBit;
+}
+
+void Simulator::set_link_initially_down(NodeId u, NodeId v) {
+  if (setup_done_) {
+    throw std::logic_error(
+        "Simulator::set_link_initially_down must precede the first run");
+  }
+  const std::uint32_t e = edge_index(u, v);
+  for (Lane& ln : lanes_) ln.link_up[e] = 0;
+  if (windowed_) link_up_[e] = 0;
+}
+
+void Simulator::schedule_node_join(NodeId v, RealTime at) {
+  assert(at >= now_ - kTimeTolerance);
+  Event e;
+  e.time = std::max(at, now_);
+  e.kind = EventKind::kJoin;
+  e.node = v;
+  push_event(e, v);
+}
+
+void Simulator::schedule_node_leave(NodeId v, RealTime at) {
+  assert(at >= now_ - kTimeTolerance);
+  Event e;
+  e.time = std::max(at, now_);
+  e.kind = EventKind::kLeave;
+  e.node = v;
+  push_event(e, v);
+}
+
+void Simulator::grow_topology(bool new_edges_up) {
+  if (windowed_) {
+    throw std::logic_error(
+        "Simulator::grow_topology: the sharded engine pre-declares its edge "
+        "universe (cut tables and lookahead bounds are fixed at "
+        "configure_shards); add the churnable edges to the Graph before "
+        "constructing the Simulator, or rebalance with repartition()");
+  }
+  csr_ = graph_.csr();
+  if (csr_->num_nodes() != static_cast<std::size_t>(slot_of_.size())) {
+    throw std::logic_error(
+        "Simulator::grow_topology: the node universe is fixed at "
+        "construction (churn uses presence, not resizing)");
+  }
+  lanes_[0].link_up.resize(graph_.num_edges(), new_edges_up ? 1 : 0);
+}
+
+void Simulator::repartition(const std::string& strategy) {
+  if (!windowed_) {
+    throw std::logic_error(
+        "Simulator::repartition requires the sharded engine");
+  }
+  if (in_window_ || !setup_done_) {
+    throw std::logic_error(
+        "Simulator::repartition must run between run_until calls");
+  }
+  const auto n = static_cast<std::size_t>(graph_.num_nodes());
+  const auto k = static_cast<int>(lanes_.size());
+  // 1. New assignment, guided by the *live* subgraph (links currently up —
+  // under churn the dead weight of absent nodes and removed edges is
+  // exactly what the old partition is mis-balanced around).  The installed
+  // Partition must cover the full edge universe: its cut tables drive the
+  // conservative horizons for every schedulable event, not just the live
+  // ones.
+  graph::Graph live(static_cast<graph::NodeId>(n));
+  const auto& universe = graph_.edges();
+  for (std::uint32_t e = 0; e < universe.size(); ++e) {
+    if (link_up_[e]) live.add_edge(universe[e].first, universe[e].second);
+  }
+  const std::string strat = strategy.empty() ? partition_strategy_ : strategy;
+  const graph::Graph& guide = live.num_edges() > 0 ? live : graph_;
+  graph::Partition next = graph::Partition::from_assignment(
+      graph_, graph::Partition::make(guide, k, strat).shard_assignment(), k);
+  // 2. Drain every lane into partition-independent snapshots.  Twins are
+  // dropped (recreated below from their primaries against the new cut);
+  // message payloads ride along so they can enter the destination slab.
+  // Timer identity is read off the wheel — the exact (deadline, seq) pair
+  // must survive, since recomputing either would change the canonical
+  // order.
+  std::vector<Event> events;
+  std::vector<std::pair<Event, Message>> deliveries;
+  std::uint64_t old_arms = 0;
+  std::uint64_t old_fires = 0;
+  for (Lane& ln : lanes_) {
+    for (const auto& box : ln.outbox) {
+      (void)box;
+      assert(box.empty() && "outboxes drain at every barrier");
+    }
+    assert(ln.flips.empty() && ln.trace.empty());
+    old_arms += ln.wheel.stats().arms;
+    old_fires += ln.wheel.stats().fires;
+    while (!ln.queue.empty()) {
+      Event e = ln.queue.pop();
+      if (e.twin) continue;
+      if (e.kind == EventKind::kMessageDelivery) {
+        deliveries.emplace_back(e, ln.slab.take(e.msg));
+      } else {
+        events.push_back(e);
+      }
+    }
+  }
+  struct LiveTimer {
+    NodeId node;
+    int slot;
+    RealTime time;
+    std::uint64_t seq;
+  };
+  std::vector<LiveTimer> timers;
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    for (int sl = 0; sl < kMaxTimerSlots; ++sl) {
+      TimerState& ts = timer(v, sl);
+      if (ts.pending == TimerWheel::kNull) continue;
+      const TimerWheel::Fired fi = lane_of(v).wheel.entry_info(ts.pending);
+      timers.push_back(LiveTimer{v, sl, fi.time, fi.seq});
+      ts.pending = TimerWheel::kNull;  // re-armed on the new wheel below
+    }
+  }
+  // 3. Snapshot the slot-indexed hot state by node id, and the per-lane
+  // counters by lane index (only the sums are canonical; the per-lane
+  // split is partition-dependent bookkeeping).
+  std::vector<HardwareClock> clock_by_node(n);
+  std::vector<std::uint8_t> status_by_node(n);
+  std::vector<TimerState> tstate_by_node(
+      n * static_cast<std::size_t>(kMaxTimerSlots));
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t sl = slot(static_cast<NodeId>(v));
+    clock_by_node[v] = clock_slots_[sl];
+    status_by_node[v] = status_slots_[sl];
+    for (int s = 0; s < kMaxTimerSlots; ++s) {
+      tstate_by_node[v * static_cast<std::size_t>(kMaxTimerSlots) +
+                     static_cast<std::size_t>(s)] =
+          timer_slots_[sl * static_cast<std::size_t>(kMaxTimerSlots) +
+                       static_cast<std::size_t>(s)];
+    }
+  }
+  std::vector<Lane> old_counters = std::vector<Lane>();  // counters only
+  old_counters.reserve(lanes_.size());
+  for (Lane& ln : lanes_) {
+    Lane c;
+    c.broadcasts = ln.broadcasts;
+    c.delivered = ln.delivered;
+    c.dropped = ln.dropped;
+    c.events = ln.events;
+    c.t_cancels = ln.t_cancels;
+    c.crashes = ln.crashes;
+    c.recoveries = ln.recoveries;
+    c.joins = ln.joins;
+    c.leaves = ln.leaves;
+    c.canon_pushes = ln.canon_pushes;
+    c.canon_pops = ln.canon_pops;
+    old_counters.push_back(std::move(c));
+  }
+  // 4. Install the partition: new slot permutation, scattered hot state,
+  // fresh cut distances, fresh lanes with their link views restored from
+  // the barrier-reconciled global state.
+  part_ = std::make_unique<graph::Partition>(std::move(next));
+  if (!strategy.empty()) partition_strategy_ = strategy;
+  std::uint32_t next_slot = 0;
+  for (int s = 0; s < part_->num_shards(); ++s) {
+    for (const NodeId v : part_->members(s)) {
+      slot_of_[static_cast<std::size_t>(v)] = next_slot++;
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t sl = slot(static_cast<NodeId>(v));
+    clock_slots_[sl] = clock_by_node[v];
+    status_slots_[sl] = status_by_node[v];
+    for (int s = 0; s < kMaxTimerSlots; ++s) {
+      timer_slots_[sl * static_cast<std::size_t>(kMaxTimerSlots) +
+                   static_cast<std::size_t>(s)] =
+          tstate_by_node[v * static_cast<std::size_t>(kMaxTimerSlots) +
+                         static_cast<std::size_t>(s)];
+    }
+  }
+  compute_cut_dist();
+  init_lanes(static_cast<std::size_t>(k));
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    Lane& ln = lanes_[i];
+    ln.now = now_;
+    ln.link_up.assign(link_up_.begin(), link_up_.end());
+    ln.broadcasts = old_counters[i].broadcasts;
+    ln.delivered = old_counters[i].delivered;
+    ln.dropped = old_counters[i].dropped;
+    ln.events = old_counters[i].events;
+    ln.t_cancels = old_counters[i].t_cancels;
+    ln.crashes = old_counters[i].crashes;
+    ln.recoveries = old_counters[i].recoveries;
+    ln.joins = old_counters[i].joins;
+    ln.leaves = old_counters[i].leaves;
+    ln.canon_pushes = old_counters[i].canon_pushes;
+    ln.canon_pops = old_counters[i].canon_pops;
+    const std::size_t members =
+        part_->members(static_cast<int>(i)).size();
+    ln.queue.reserve(members * 2);
+    ln.slab.reserve(members);
+    ln.wheel.configure(members);
+    ln.wheel.reserve(members * 2);
+  }
+  compute_lane_lookahead();
+  // 5. Re-file everything WITHOUT re-stamping: keys are immutable.  Twins
+  // are recreated for link changes that are cut edges under the new
+  // partition; canonical push counters are untouched (each logical event
+  // was counted at creation).
+  for (const Event& e : events) {
+    Lane& dest = lane_of(e.node);
+    dest.queue.push(e);
+    if (e.kind == EventKind::kLinkChange) {
+      note_queued(dest, e.node, e.node2, e.time);
+      Lane& other = lane_of(e.node2);
+      if (&other != &dest) {
+        Event tw = e;
+        tw.twin = true;
+        other.queue.push(tw);
+        ++other.twins_in_queue;
+        note_queued(other, e.node, e.node2, e.time);
+      }
+    } else {
+      note_queued(dest, e.node, kInvalidNode, e.time);
+    }
+  }
+  for (auto& [e, m] : deliveries) {
+    Lane& dest = lane_of(e.node);
+    Event ev = e;
+    ev.msg = dest.slab.put(m, ev.time);
+    dest.queue.push(ev);
+    note_queued(dest, ev.node, kInvalidNode, ev.time);
+  }
+  for (const LiveTimer& lt : timers) {
+    Lane& dest = lane_of(lt.node);
+    timer(lt.node, lt.slot).pending = dest.wheel.arm(
+        lt.time, lt.seq, lt.node, static_cast<std::uint8_t>(lt.slot));
+    note_queued(dest, lt.node, kInvalidNode, lt.time);
+  }
+  // 6. Wheel-stat carry: the fresh wheels count one arm per live re-arm
+  // and zero fires; the canonical totals must read as if nothing happened.
+  std::uint64_t new_arms = 0;
+  for (const Lane& ln : lanes_) new_arms += ln.wheel.stats().arms;
+  assert(old_arms >= new_arms);
+  carry_arms_ += old_arms - new_arms;
+  carry_fires_ += old_fires;
+  ++repartitions_;
+}
+
 void Simulator::apply_link_change(Lane& ln, const Event& e) {
   if ((ln.link_up[e.edge] != 0) == e.link_up) return;  // no-op flip
   ln.link_up[e.edge] = e.link_up ? 1 : 0;
@@ -1193,9 +1526,9 @@ void Simulator::apply_link_change(Lane& ln, const Event& e) {
     if (windowed_ && part_->shard_of(endpoint) != ln.index) {
       continue;  // the other lane's copy runs this endpoint's callback
     }
-    if ((status_slots_[slot(endpoint)] & (kAwakeBit | kCrashedBit)) !=
-        kAwakeBit) {
-      continue;  // dead nodes get no callbacks
+    if ((status_slots_[slot(endpoint)] &
+         (kAwakeBit | kCrashedBit | kDepartedBit)) != kAwakeBit) {
+      continue;  // dead or departed nodes get no callbacks
     }
     nodes_[static_cast<std::size_t>(endpoint)]->on_link_change(
         ln.services->pin(endpoint), endpoint == e.node ? e.node2 : e.node,
@@ -1292,9 +1625,13 @@ void Simulator::schedule_timer_event(NodeId v, int slot, RealTime now) {
 void Simulator::apply_rate_change(Lane& ln, NodeId v, double rate) {
   const std::size_t sl = slot(v);
   clock_slots_[sl].set_rate(ln.now, rate);
-  // Crashed nodes keep drifting but reschedule nothing: their timer fires
-  // are suppressed anyway, and recovery re-anchors the armed slots.
-  if ((status_slots_[sl] & (kAwakeBit | kCrashedBit)) != kAwakeBit) return;
+  // Crashed/departed nodes keep drifting but reschedule nothing: their
+  // timer fires are suppressed anyway, and recovery/rejoin re-anchors the
+  // armed slots.
+  if ((status_slots_[sl] & (kAwakeBit | kCrashedBit | kDepartedBit)) !=
+      kAwakeBit) {
+    return;
+  }
   // Re-anchor all armed hardware-time timers onto the new rate.
   for (int slot = 0; slot < kMaxTimerSlots; ++slot) {
     TimerState& ts = timer(v, slot);

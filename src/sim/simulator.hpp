@@ -261,17 +261,76 @@ class Simulator {
   std::uint64_t crashes() const { return sum_lanes(&Lane::crashes); }
   std::uint64_t recoveries() const { return sum_lanes(&Lane::recoveries); }
 
+  // ---- churn (dynamic membership) ------------------------------------------
+  //
+  // A node can be *departed*: not part of the network, indistinguishable
+  // from crashed to everyone else (deliveries dropped, timers suppressed,
+  // excluded from the awake set) — but with its own lifecycle events so
+  // joins/leaves are first-class, countable, and traceable.  Link state is
+  // orthogonal and owned by the caller: a churn plan composes the live
+  // state of each edge (inserted AND both endpoints present) into explicit
+  // schedule_link_change calls, so the simulator never guesses.
+
+  /// Marks `v` as not yet part of the network.  Must be called before the
+  /// first run and — when sharded — after configure_shards.  Absent nodes
+  /// are skipped by the wake-all initialization; their first kJoin wakes
+  /// them.
+  void set_initially_absent(NodeId v);
+
+  /// Downs the link {u, v} before the first run, without an event (the
+  /// initial state is not part of the execution).  Must be called before
+  /// the first run and — when sharded — after configure_shards.
+  void set_link_initially_down(NodeId u, NodeId v);
+
+  /// Schedules `v` to (re)join at time `at`.  A first join wakes the node
+  /// (on_wake); a re-join re-anchors its armed timers and runs on_rejoin.
+  /// No-op if the node is not departed at that time.
+  void schedule_node_join(NodeId v, RealTime at);
+
+  /// Schedules `v` to depart at time `at`: silent from that instant, like
+  /// a crash but counted and traced as churn.  No-op if already departed.
+  void schedule_node_leave(NodeId v, RealTime at);
+
+  bool departed(NodeId v) const {
+    return (status_slots_[slot(v)] & kDepartedBit) != 0;
+  }
+
+  std::uint64_t joins() const { return sum_lanes(&Lane::joins); }
+  std::uint64_t leaves() const { return sum_lanes(&Lane::leaves); }
+
+  /// Serial engine only: re-snapshots the topology after the caller grew
+  /// the Graph with add_edge(), sizing the link-state table so the new
+  /// edges are schedulable (they start `new_edges_up`).  The sharded
+  /// engine pre-declares its edge universe — cut tables and lookahead
+  /// bounds are fixed at configure_shards — so it refuses mid-run growth;
+  /// grow the graph before constructing the Simulator instead.
+  void grow_topology(bool new_edges_up = true);
+
+  /// Sharded engine, between run_until calls only: recomputes the
+  /// partition over the *live* subgraph (links currently up) with
+  /// `strategy` (empty: the configure_shards strategy) and migrates every
+  /// queued event, armed timer, and per-node hot slot into the new lanes
+  /// — preserving each event's exact (time, source, seq) identity and all
+  /// canonical counters, so a repartitioned run stays byte-identical to an
+  /// unrepartitioned one.  The shard count is unchanged.  Used by the
+  /// churn driver when cut growth crosses its watermark.
+  void repartition(const std::string& strategy = "");
+
+  std::uint64_t repartitions() const { return repartitions_; }
+
   // ---- inspection (metrics layer; not visible to algorithms) --------------
 
   RealTime now() const { return now_; }
   const graph::Graph& topology() const { return graph_; }
   NodeId num_nodes() const { return graph_.num_nodes(); }
 
-  /// Initialized and not currently crashed: the nodes that participate in
-  /// skew metrics.  Crashed nodes are excluded — their clocks free-run
-  /// unobserved until recovery folds them back in.
+  /// Initialized and neither crashed nor departed: the nodes that
+  /// participate in skew metrics.  Crashed and departed nodes are
+  /// excluded — their clocks free-run unobserved until recovery/rejoin
+  /// folds them back in.
   bool awake(NodeId v) const {
-    return (status_slots_[slot(v)] & (kAwakeBit | kCrashedBit)) == kAwakeBit;
+    return (status_slots_[slot(v)] & (kAwakeBit | kCrashedBit |
+                                      kDepartedBit)) == kAwakeBit;
   }
   const HardwareClock& clock(NodeId v) const { return clock_slots_[slot(v)]; }
   /// H_v(now).
@@ -300,12 +359,12 @@ class Simulator {
   /// All three are canonical (identical across shard counts and queue
   /// implementations).
   std::uint64_t timer_arms() const {
-    std::uint64_t s = 0;
+    std::uint64_t s = carry_arms_;  // history lost to repartition's fresh wheels
     for (const Lane& ln : lanes_) s += ln.wheel.stats().arms;
     return s;
   }
   std::uint64_t timer_fires() const {
-    std::uint64_t s = 0;
+    std::uint64_t s = carry_fires_;
     for (const Lane& ln : lanes_) s += ln.wheel.stats().fires;
     return s;
   }
@@ -388,6 +447,7 @@ class Simulator {
   // of striding across an array-of-structs of the whole graph.
   static constexpr std::uint8_t kAwakeBit = 1;
   static constexpr std::uint8_t kCrashedBit = 2;
+  static constexpr std::uint8_t kDepartedBit = 4;  // churn: not in the network
 
  public:
   /// kAuto queue selection: ladder at or above this many nodes.  Below it
@@ -491,6 +551,8 @@ class Simulator {
     std::uint64_t t_cancels = 0;  // see timer_cancels()
     std::uint64_t crashes = 0;
     std::uint64_t recoveries = 0;
+    std::uint64_t joins = 0;
+    std::uint64_t leaves = 0;
     std::uint64_t canon_pushes = 0;
     std::uint64_t canon_pops = 0;
     std::size_t twins_in_queue = 0;
@@ -498,6 +560,12 @@ class Simulator {
 
   void setup();
   void init_lanes(std::size_t count);
+  /// Multi-source BFS from the cut-edge endpoints over intra-shard edges,
+  /// capped at kMaxCutDist; fills cut_dist_ (configure_shards/repartition).
+  void compute_cut_dist();
+  /// Per-lane la_out/delta_intra from the delay policy's per-edge bounds,
+  /// floored at the global lookahead (setup/repartition).
+  void compute_lane_lookahead();
   Lane& lane_of(NodeId v) {
     return windowed_ && v != kInvalidNode
                ? lanes_[static_cast<std::size_t>(part_->shard_of(v))]
@@ -623,6 +691,11 @@ class Simulator {
   bool in_window_ = false;
   RealTime win_end_ = 0.0;
   bool win_inclusive_ = false;
+  // Wheel arm/fire history carried across repartition (fresh lanes start
+  // their wheels at zero; the canonical totals must not).
+  std::uint64_t carry_arms_ = 0;
+  std::uint64_t carry_fires_ = 0;
+  std::uint64_t repartitions_ = 0;
 
   // Window worker pool (lanes 1..N-1; the caller runs lane 0).
   std::vector<std::thread> workers_;

@@ -1,0 +1,150 @@
+// DynGcsNode: the KLLO dynamic-GCS ramp on top of A^opt.
+//
+// Key properties: a fresh link grants tolerance tau_0 that decays linearly
+// to kappa over T_stab; losing the link (or rejoining the network) drops
+// the ramp; and with no link insertions at all the node is bit-identical
+// to plain A^opt (the fast path never touches the ramp arithmetic).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/aopt.hpp"
+#include "core/params.hpp"
+#include "dyn/dyn_gcs_node.hpp"
+#include "graph/topologies.hpp"
+#include "sim/simulator.hpp"
+
+namespace tbcs::dyn {
+namespace {
+
+core::SyncParams params() {
+  return core::SyncParams::recommended(1.0, 0.02, 0.3);
+}
+
+DynGcsOptions ramp_options(const core::SyncParams& p) {
+  DynGcsOptions dyn;
+  dyn.stabilization_time = 50.0;
+  dyn.initial_tolerance = 8.0 * p.kappa;
+  return dyn;
+}
+
+struct Fixture {
+  explicit Fixture(graph::Graph graph, const core::SyncParams& p,
+                   const DynGcsOptions& dyn)
+      : g(std::move(graph)) {
+    sim::SimConfig cfg;
+    cfg.wake_all_at_zero = true;
+    sim = std::make_unique<sim::Simulator>(g, cfg);
+    sim->set_all_nodes([&](sim::NodeId) {
+      auto n = std::make_unique<DynGcsNode>(p, core::AoptOptions{}, dyn);
+      nodes.push_back(n.get());
+      return n;
+    });
+    sim->set_delay_policy(std::make_shared<sim::UniformDelay>(0.0, 1.0, 7));
+  }
+  // The simulator holds a reference to the graph; it must outlive sim.
+  graph::Graph g;
+  std::unique_ptr<sim::Simulator> sim;
+  std::vector<DynGcsNode*> nodes;
+};
+
+TEST(DynGcsNode, FreshLinkGetsARampThatDecaysToKappa) {
+  const auto p = params();
+  const auto dyn = ramp_options(p);
+  Fixture f(graph::make_path(3), p, dyn);
+  f.sim->schedule_link_change(0, 1, false, 5.0);
+  f.sim->schedule_link_change(0, 1, true, 20.0);
+  f.sim->run_until(25.0);
+
+  DynGcsNode& mid = *f.nodes[1];
+  EXPECT_EQ(mid.ramping_edges(), 1u);
+  const double h = f.sim->hardware(1);
+  const double tol_now = mid.tolerance(0, h);
+  EXPECT_GT(tol_now, p.kappa);
+  EXPECT_LE(tol_now, dyn.initial_tolerance);
+  // Linear decay: later samples are no larger, and past T_stab it is
+  // exactly kappa again.
+  EXPECT_LE(mid.tolerance(0, h + 10.0), tol_now);
+  EXPECT_DOUBLE_EQ(mid.tolerance(0, h + dyn.stabilization_time), p.kappa);
+  // The other neighbor never flapped: no ramp, static tolerance.
+  EXPECT_DOUBLE_EQ(mid.tolerance(2, h), p.kappa);
+}
+
+TEST(DynGcsNode, LosingTheLinkDropsTheRamp) {
+  const auto p = params();
+  Fixture f(graph::make_path(3), p, ramp_options(p));
+  f.sim->schedule_link_change(0, 1, false, 5.0);
+  f.sim->schedule_link_change(0, 1, true, 20.0);
+  f.sim->schedule_link_change(0, 1, false, 30.0);
+  f.sim->run_until(35.0);
+  DynGcsNode& mid = *f.nodes[1];
+  EXPECT_EQ(mid.ramping_edges(), 0u);
+  EXPECT_DOUBLE_EQ(mid.tolerance(0, f.sim->hardware(1)), p.kappa);
+}
+
+TEST(DynGcsNode, RejoiningClearsAllRamps) {
+  const auto p = params();
+  Fixture f(graph::make_path(3), p, ramp_options(p));
+  f.sim->schedule_link_change(0, 1, false, 5.0);
+  f.sim->schedule_link_change(0, 1, true, 20.0);  // node 1 gets a ramp
+  f.sim->schedule_node_leave(1, 30.0);
+  f.sim->schedule_node_join(1, 40.0);
+  f.sim->run_until(45.0);
+  DynGcsNode& mid = *f.nodes[1];
+  EXPECT_EQ(mid.ramping_edges(), 0u)
+      << "a rejoining node must not trust pre-departure ramp state";
+  EXPECT_DOUBLE_EQ(mid.tolerance(0, f.sim->hardware(1)), p.kappa);
+}
+
+TEST(DynGcsNode, DisabledRampIsInertEvenOnLinkUps) {
+  const auto p = params();
+  DynGcsOptions off;  // stabilization_time = 0: ramp disabled
+  Fixture f(graph::make_path(3), p, off);
+  f.sim->schedule_link_change(0, 1, false, 5.0);
+  f.sim->schedule_link_change(0, 1, true, 20.0);
+  f.sim->run_until(25.0);
+  EXPECT_EQ(f.nodes[1]->ramping_edges(), 0u);
+  EXPECT_DOUBLE_EQ(f.nodes[1]->tolerance(0, f.sim->hardware(1)), p.kappa);
+}
+
+// The load-bearing compatibility property: with no link insertions the
+// ramp list stays empty, the fast path delegates to A^opt, and the whole
+// execution is bit-identical — KLLO is a strict extension, not a fork.
+TEST(DynGcsNode, MatureNetworkIsBitIdenticalToAopt) {
+  const auto p = params();
+  const auto dyn = ramp_options(p);
+  const graph::Graph g = graph::make_ring(10);
+
+  auto run = [&](bool kllo) {
+    sim::SimConfig cfg;
+    cfg.wake_all_at_zero = true;
+    sim::Simulator sim(g, cfg);
+    sim.set_all_nodes([&](sim::NodeId) -> std::unique_ptr<sim::Node> {
+      if (kllo) {
+        return std::make_unique<DynGcsNode>(p, core::AoptOptions{}, dyn);
+      }
+      return std::make_unique<core::AoptNode>(p);
+    });
+    sim.set_drift_policy(std::make_shared<sim::RandomWalkDrift>(0.02, 8.0, 5));
+    sim.set_delay_policy(std::make_shared<sim::UniformDelay>(0.0, 1.0, 7));
+    sim.run_until(300.0);
+    std::vector<double> out;
+    for (sim::NodeId v = 0; v < sim.num_nodes(); ++v) {
+      out.push_back(sim.logical(v));
+    }
+    out.push_back(static_cast<double>(sim.broadcasts()));
+    out.push_back(static_cast<double>(sim.events_processed()));
+    return out;
+  };
+
+  const std::vector<double> aopt = run(false);
+  const std::vector<double> kllo = run(true);
+  ASSERT_EQ(aopt.size(), kllo.size());
+  for (std::size_t i = 0; i < aopt.size(); ++i) {
+    EXPECT_DOUBLE_EQ(aopt[i], kllo[i]) << "slot " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tbcs::dyn

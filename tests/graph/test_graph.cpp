@@ -159,6 +159,24 @@ TEST(GraphCsr, SnapshotIsCachedAndInvalidatedByAddEdge) {
   EXPECT_EQ(first->degree(2), 1u);
 }
 
+TEST(GraphCsr, VersionTracksEveryMutation) {
+  Graph g(4);
+  const std::uint64_t v0 = g.version();
+  ASSERT_TRUE(g.add_edge(0, 1));
+  EXPECT_GT(g.version(), v0);
+  const std::uint64_t v1 = g.version();
+  EXPECT_FALSE(g.add_edge(1, 0));  // rejected duplicate: no mutation
+  EXPECT_EQ(g.version(), v1);
+
+  const auto snap = g.csr();
+  EXPECT_EQ(snap->version(), g.version())
+      << "a fresh snapshot carries the current version";
+  g.add_edge(1, 2);
+  EXPECT_NE(snap->version(), g.version())
+      << "a mutation must make the held snapshot detectably stale";
+  EXPECT_EQ(g.csr()->version(), g.version());
+}
+
 TEST(GraphCsr, CopyAndAssignKeepCsrIndependent) {
   Graph g(3);
   g.add_edge(0, 1);

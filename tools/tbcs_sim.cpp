@@ -20,6 +20,8 @@
 #include "analysis/trace.hpp"
 #include "cli/args.hpp"
 #include "cli/experiment_config.hpp"
+#include "dyn/churn_driver.hpp"
+#include "dyn/stabilization_probe.hpp"
 #include "fault/fault_scheduler.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
@@ -32,9 +34,17 @@ constexpr const char* kUsage = R"(tbcs_sim — worst-case clock synchronization 
 topology:   --topology path|ring|star|complete|grid|torus|hypercube|tree|er
             --nodes N | --rows R --cols C | --dims D | --arity A --levels L
             --er-p P
-algorithm:  --algo aopt|aopt-jump|aopt-bounded|aopt-adaptive|aopt-external|
-                   aopt-envelope|aopt-ticks|max|max-rate|avg|free
+algorithm:  --algo aopt|kllo|aopt-jump|aopt-bounded|aopt-adaptive|
+                   aopt-external|aopt-envelope|aopt-ticks|max|max-rate|
+                   avg|free
             --tick-frequency F         (aopt-ticks)
+            --stab-tolerance T / --stab-time S
+                               kllo: initial tolerance of a fresh edge and
+                               its decay period (0 = derived: 8 kappa,
+                               tau0 / mu)
+            --stab-bound B     stabilization-probe threshold: an inserted
+                               edge is stabilized when its skew stays
+                               <= B (0 = the Thm 5.10 local bound)
 model:      --eps E --delay T --mu M --h0 H     (0 = paper defaults)
 adversary:  --drift walk|square|sine|const
             --delays uniform|fixed|band|bimodal|burst|hiding
@@ -45,6 +55,30 @@ faults:     --faults FILE      fault plan (docs/FAULTS.md); enables the
             --silence-timeout T / --influence-bound B
                                A^opt graceful-degradation knobs (plain
                                --algo aopt; 0 = off, paper behavior)
+churn:      --churn-node-rate R / --churn-edge-rate R
+                               dynamic membership: per-entity leave /
+                               edge-removal rates (events per unit time;
+                               0 = static network).  The schedule is a
+                               pure function of the flags — byte-identical
+                               at any --shards/--jobs setting
+            --churn-downtime D mean absent/removed duration (0 = 20 T)
+            --churn-node-fraction F / --churn-edge-fraction F
+                               eligible fraction of nodes / base edges
+            --churn-extra-edges F
+                               insertion universe: extra initially-absent
+                               random edges, as a fraction of |E|
+            --churn-start T / --churn-stop T
+                               churn window (0 = [4 T, duration]); pending
+                               re-joins clamp to the stop so the network
+                               ends whole
+            --churn-min-present N / --churn-seed S
+                               presence floor; 0 = derive seed from --seed
+            --churn-repartition[=0]
+                               sharded runs: repartition over the live
+                               subgraph when the live cut fraction grows
+                               past --churn-cut-growth x the baseline
+                               (default 1.5); --churn-check-interval sets
+                               the run/check cadence (0 = duration / 20)
 run:        --duration T --seed S --wake-all --per-distance
             --audit-oracle     run the incremental skew tracker and the
                                full-rescan oracle side by side; abort on
@@ -71,6 +105,17 @@ run:        --duration T --seed S --wake-all --per-distance
             --progress[=SECS]  stderr heartbeat every SECS wall seconds
                                (default 5): wall time, sim time, events/s,
                                queue depth, current shard horizon
+            --skew-stride N    sample the skew tracker (and the churn
+                               stabilization probe) every Nth event only;
+                               reported maxima become lower bounds but
+                               large-n serial runs stop paying a rescan
+                               per event.  Execution bytes (--record /
+                               --trace) are unaffected; observer-side
+                               stats (skew.* counters and
+                               churn.edges_stabilized) become
+                               sampling-dependent.  Ignored when sharded:
+                               that engine already samples per window
+                               barrier, not per event.
             note: a skew-tracker stride > 1 silently degrades the
             incremental engine to full rescans; such samples are counted
             in the `skew.full_rescan_fallback` metrics counter (--stats)
@@ -194,6 +239,13 @@ int main(int argc, char** argv) {
 
     analysis::SkewTracker::Options topt;
     if (audit_oracle) topt.mode = analysis::SkewTracker::Mode::kAuditOracle;
+    // The stride exists for the serial per-event observer; the sharded
+    // engine already samples per window barrier (thousands of events per
+    // call), so striding there would only starve the reports.
+    topt.stride =
+        cfg.skew_stride > 1 && cfg.shards == 0
+            ? static_cast<std::uint64_t>(cfg.skew_stride)
+            : 1;
     topt.audit_epsilon = cfg.eps;
     // The per-distance profile materializes all-pairs distances (O(n^2)
     // memory); refuse outright where that is gigabytes, instead of
@@ -212,15 +264,42 @@ int main(int argc, char** argv) {
       topt.recovery_local_bound = l_bound;
     }
     analysis::SkewTracker tracker(sim, topt);
-    tracker.attach_auto(sim);
+
+    // Churned runs share the observer slot between the tracker and the
+    // per-inserted-edge stabilization probe ("stabilized" = edge skew
+    // back inside the Thm 5.10 envelope, for good).
+    std::optional<dyn::StabilizationProbe> probe;
+    if (!built.churn.empty()) {
+      dyn::StabilizationProbe::Options popt;
+      popt.bound = cfg.stab_bound > 0.0 ? cfg.stab_bound : l_bound;
+      popt.mu = built.params.mu;
+      popt.stride = topt.stride;
+      probe.emplace(popt);
+      probe->preload(built.churn);
+      dyn::attach_dyn_observers(sim, &tracker, &*probe);
+    } else {
+      tracker.attach_auto(sim);
+    }
 
     std::optional<fault::FaultScheduler> faults;
+    std::optional<dyn::ChurnDriver> churn_driver;
     if (!built.timeline.empty()) {
+      // Faults own the pacing; churn ops (if any) are already installed
+      // and fire on their own, but no repartition driver runs.
       faults.emplace(built.timeline);
       faults->set_listener([&tracker](const fault::FaultEvent&, double t) {
         tracker.note_fault(t);
       });
       faults->run(sim, cfg.duration);
+    } else if (!built.churn.empty()) {
+      dyn::ChurnDriverOptions dopt;
+      dopt.check_interval = cfg.churn_check_interval > 0.0
+                                ? cfg.churn_check_interval
+                                : cfg.duration / 20.0;
+      dopt.cut_growth = cfg.churn_cut_growth;
+      dopt.repartition = cfg.churn_repartition;
+      churn_driver.emplace(sim, dopt);
+      churn_driver->run(cfg.duration);
     } else {
       sim.run_until(cfg.duration);
     }
@@ -255,6 +334,52 @@ int main(int argc, char** argv) {
     summary.add_row({"rates seen", "[" + analysis::Table::num(tracker.min_logical_rate(), 4) +
                                        ", " + analysis::Table::num(tracker.max_logical_rate(), 4) +
                                        "]"});
+    if (!built.churn.empty()) {
+      summary.add_row(
+          {"churn ops",
+           analysis::Table::integer(
+               static_cast<long long>(built.churn.ops.size())) +
+               " (" +
+               analysis::Table::integer(static_cast<long long>(sim.joins())) +
+               " joins, " +
+               analysis::Table::integer(static_cast<long long>(sim.leaves())) +
+               " leaves)"});
+      if (churn_driver) {
+        summary.add_row(
+            {"repartitions",
+             analysis::Table::integer(
+                 static_cast<long long>(sim.repartitions())) +
+                 " (live cut " +
+                 analysis::Table::num(churn_driver->last_cut_fraction(), 3) +
+                 ", baseline " +
+                 analysis::Table::num(churn_driver->baseline_cut_fraction(), 3) +
+                 ")"});
+      }
+      if (probe && probe->insertions() > 0) {
+        summary.add_row({"edge insertions observed",
+                         analysis::Table::integer(static_cast<long long>(
+                             probe->insertions()))});
+        summary.add_row(
+            {"stabilized (within local bound)",
+             analysis::Table::integer(
+                 static_cast<long long>(probe->stabilized())) +
+                 " / " +
+                 analysis::Table::integer(
+                     static_cast<long long>(probe->insertions()))});
+        const double mean_s = probe->mean_stabilization_time();
+        const double mean_p = probe->mean_predicted_time();
+        summary.add_row({"stabilization time (mean/max)",
+                         (std::isnan(mean_s)
+                              ? std::string("n/a")
+                              : analysis::Table::num(mean_s, 2) + " / " +
+                                    analysis::Table::num(
+                                        probe->max_stabilization_time(), 2))});
+        summary.add_row({"KLLO predicted (mean skew0/mu)",
+                         std::isnan(mean_p)
+                             ? std::string("n/a")
+                             : analysis::Table::num(mean_p, 2)});
+      }
+    }
     if (faults) {
       summary.add_row({"faults applied",
                        analysis::Table::integer(
@@ -284,6 +409,18 @@ int main(int argc, char** argv) {
       auto& reg = obs::MetricsRegistry::global();
       reg.counter("sim.messages_dropped").inc(sim.messages_dropped());
       reg.counter("sim.timer_cancels").inc(sim.timer_cancels());
+      if (!built.churn.empty()) {
+        // Canonical (shard-count-invariant) churn figures only; the
+        // repartition count is placement-dependent and stays out of the
+        // byte-compared stats JSON.
+        reg.counter("churn.joins").inc(sim.joins());
+        reg.counter("churn.leaves").inc(sim.leaves());
+        reg.counter("churn.ops_scheduled").inc(built.churn.ops.size());
+        if (probe) {
+          reg.counter("churn.edge_insertions").inc(probe->insertions());
+          reg.counter("churn.edges_stabilized").inc(probe->stabilized());
+        }
+      }
       if (faults) {
         reg.counter("fault.events_applied").inc(faults->applied());
         reg.counter("fault.crashes").inc(sim.crashes());
