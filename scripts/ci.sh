@@ -15,7 +15,9 @@
 #      lanes, window barriers, cross-shard mailboxes, recording policies
 #      under concurrent lanes) with -DTBCS_SANITIZE=thread and run them,
 #      plus the churn-equivalence tests (joins/leaves, link churn, and
-#      mid-run repartition migration across concurrent lanes).
+#      mid-run repartition migration across concurrent lanes) and the
+#      fault/shard equivalence tests (chaos plans driving scrambles and
+#      Byzantine windows through the concurrent lanes).
 #      These are the only tests with real cross-thread contention.
 #   4. Sharded smoke + perf gate: smoke_shards.sh equivalence gates plus
 #      SMOKE_SHARDS_PERF=1, which fails if --shards 4 runs >10% slower
@@ -25,7 +27,11 @@
 #      (node joins/leaves + edge churn through the kllo node) must be
 #      byte-identical serial vs --shards {1,2,4}, heap vs ladder, and
 #      --jobs 1 vs 4 through a churned sweep.
-#   6. Large-n queue gate: smoke_bench.sh with SMOKE_BENCH_LARGE=1,
+#   6. Fault-tolerant GCS smoke: smoke_ftgcs.sh — a Byzantine chaos plan
+#      through --algo ftgcs must be byte-identical serial vs --shards
+#      {1,2,4}, report engine-independent fault.* metrics, stabilize in
+#      finite time from a scramble, and sweep --jobs 1 == 4.
+#   7. Large-n queue gate: smoke_bench.sh with SMOKE_BENCH_LARGE=1,
 #      which fails if the ladder queue is < 1.2x the heap on the serial
 #      line n=100000 config (and re-checks the small-n geomean so the
 #      ladder can't buy large-n throughput with a small-n regression).
@@ -63,11 +69,12 @@ echo "=== sanitizer smoke: TSan threaded runtime + sharded engine (jobs=$JOBS) =
 cmake -B build-tsan -S . -DTBCS_SANITIZE=thread > /dev/null
 cmake --build build-tsan -j "$JOBS" --target \
   test_runtime test_runtime_faults test_sharded_equivalence \
-  test_churn_equivalence
+  test_churn_equivalence test_fault_shard_equivalence
 build-tsan/tests/test_runtime
 build-tsan/tests/test_runtime_faults
 build-tsan/tests/test_sharded_equivalence
 build-tsan/tests/test_churn_equivalence
+build-tsan/tests/test_fault_shard_equivalence
 
 echo
 echo "=== sharded smoke + perf gate ==="
@@ -77,6 +84,11 @@ SMOKE_SHARDS_PERF=1 bash scripts/smoke_shards.sh \
 echo
 echo "=== churn determinism smoke ==="
 bash scripts/smoke_churn.sh \
+  build/tools/tbcs_sim build/tools/tbcs_trace build/tools/tbcs_sweep
+
+echo
+echo "=== fault-tolerant GCS smoke ==="
+bash scripts/smoke_ftgcs.sh \
   build/tools/tbcs_sim build/tools/tbcs_trace build/tools/tbcs_sweep
 
 echo

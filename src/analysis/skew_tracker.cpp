@@ -27,12 +27,23 @@ SkewTracker::SkewTracker(const sim::Simulator& sim)
 SkewTracker::SkewTracker(const sim::Simulator& sim, Options opt) : opt_(opt) {
   const auto n = static_cast<std::size_t>(sim.num_nodes());
   logical_scratch_.resize(n);
+  if (!opt_.exclude.empty()) {
+    excluded_.assign(n, 0);
+    for (const sim::NodeId v : opt_.exclude) {
+      if (v >= 0 && static_cast<std::size_t>(v) < n) {
+        excluded_[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+  }
   if (opt_.track_per_distance) {
     distances_ = sim.topology().all_pairs_distances();
     per_distance_.assign(static_cast<std::size_t>(sim.topology().diameter()) + 1, 0.0);
   }
   next_series_t_ = opt_.warmup;
   next_per_distance_t_ = opt_.warmup;
+  if (opt_.recovery_classify_interval > 0.0) {
+    next_classify_t_ = opt_.recovery_classify_interval;
+  }
   incremental_ = opt_.mode != Mode::kFullRescan && opt_.stride <= 1;
   degraded_to_full_rescan_ = opt_.mode != Mode::kFullRescan && opt_.stride > 1;
   if (degraded_to_full_rescan_) {
@@ -151,7 +162,7 @@ void SkewTracker::do_sample(const sim::Simulator& sim, double t,
     if (!need) need = per_distance_due(t);
     // Recovery probe: a sample the certificates cannot prove within bounds
     // must be classified exactly, so it forces a scan.
-    if (!need && recovery_probe_active() &&
+    if (!need && recovery_probe_active() && classify_due(t) &&
         !provably_within_recovery_bounds()) {
       need = true;
     }
@@ -161,7 +172,16 @@ void SkewTracker::do_sample(const sim::Simulator& sim, double t,
     }
   }
 
-  if (recovery_probe_active()) classify_recovery_sample(t, scanned_exactly);
+  if (recovery_probe_active() && classify_due(t)) {
+    classify_recovery_sample(t, scanned_exactly);
+  }
+  if (opt_.recovery_classify_interval > 0.0) {
+    // Advance past t even when the probe is dormant (no fault noted yet):
+    // the grid is global time, not time-since-fault.
+    while (next_classify_t_ <= t) {
+      next_classify_t_ += opt_.recovery_classify_interval;
+    }
+  }
 
   if (oracle_) {
     oracle_->do_sample(sim, t, touched, n_touched);
@@ -173,7 +193,14 @@ void SkewTracker::note_fault(double t) {
   have_fault_ = true;
   last_fault_t_ = std::max(last_fault_t_, t);
   have_candidate_ = false;  // recovery is measured from the *last* fault
+  have_gradient_candidate_ = false;
   if (oracle_) oracle_->note_fault(t);
+}
+
+void SkewTracker::note_scramble(double t) {
+  note_fault(t);  // already forwards to the oracle
+  have_scramble_ = true;
+  last_scramble_t_ = std::max(last_scramble_t_, t);
 }
 
 double SkewTracker::last_fault_time() const {
@@ -186,6 +213,13 @@ double SkewTracker::recovery_time() const {
     return std::numeric_limits<double>::quiet_NaN();
   }
   return std::max(0.0, recovery_candidate_ - last_fault_t_);
+}
+
+double SkewTracker::stabilization_time() const {
+  if (!have_scramble_ || !have_gradient_candidate_) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return std::max(0.0, gradient_candidate_ - last_scramble_t_);
 }
 
 bool SkewTracker::provably_within_recovery_bounds() const {
@@ -204,11 +238,20 @@ void SkewTracker::classify_recovery_sample(double t, bool scanned_exactly) {
   // would agree — which is what keeps both engines' classifications, and
   // hence recovery_time(), bit-identical.
   bool within = true;
+  // Gradient-only classification for stabilization_time(): a scramble can
+  // leave a permanent global offset (monotone clocks; trimmed adoption
+  // refuses single-source catch-up), so self-stabilization is judged
+  // against the local-skew envelope alone.
+  bool gradient_within = true;
   if (scanned_exactly) {
     within = cur_global_ <= opt_.recovery_global_bound;
-    if (within && opt_.recovery_local_bound > 0.0 && opt_.track_local) {
+    const bool have_local =
+        opt_.recovery_local_bound > 0.0 && opt_.track_local;
+    if (within && have_local) {
       within = cur_local_ <= opt_.recovery_local_bound;
     }
+    gradient_within =
+        have_local ? cur_local_ <= opt_.recovery_local_bound : within;
   }
   if (!within) {
     have_candidate_ = false;
@@ -216,11 +259,17 @@ void SkewTracker::classify_recovery_sample(double t, bool scanned_exactly) {
     recovery_candidate_ = t;
     have_candidate_ = true;
   }
+  if (!gradient_within) {
+    have_gradient_candidate_ = false;
+  } else if (!have_gradient_candidate_) {
+    gradient_candidate_ = t;
+    have_gradient_candidate_ = true;
+  }
 }
 
 void SkewTracker::touch(const sim::Simulator& sim, sim::NodeId v, bool woke,
                         double t) {
-  if (!sim.awake(v)) return;
+  if (excluded(v) || !sim.awake(v)) return;
   any_awake_seen_ = true;
   const double L = sim.logical(v);
   if (!(L <= hi_bound_)) hi_bound_ = L + kCertificateGuard;
@@ -234,7 +283,7 @@ void SkewTracker::touch(const sim::Simulator& sim, sim::NodeId v, bool woke,
 
   if (opt_.track_local) {
     for (const graph::Graph::Arc* a = csr_->begin(v); a != csr_->end(v); ++a) {
-      if (!sim.link_up(a->edge) || !sim.awake(a->to)) continue;
+      if (excluded(a->to) || !sim.link_up(a->edge) || !sim.awake(a->to)) continue;
       const double d = std::abs(L - sim.logical(a->to));
       if (!(d <= local_bound_)) local_bound_ = d + kCertificateGuard;
     }
@@ -274,13 +323,13 @@ void SkewTracker::full_scan(const sim::Simulator& sim, double t) {
     // The system envelope is anchored at the earliest wake across all
     // nodes; fold every awake node in before auditing any of them.
     for (sim::NodeId v = 0; v < n; ++v) {
-      if (sim.awake(v)) {
+      if (!excluded(v) && sim.awake(v)) {
         earliest_start_ = std::min(earliest_start_, sim.clock(v).start_time());
       }
     }
   }
   for (sim::NodeId v = 0; v < n; ++v) {
-    if (!sim.awake(v)) {
+    if (excluded(v) || !sim.awake(v)) {
       logical_scratch_[static_cast<std::size_t>(v)] = -sim::kInfinity;
       continue;
     }
@@ -389,7 +438,10 @@ void SkewTracker::assert_matches_oracle(double t) const {
   const SkewTracker& o = *oracle_;
   const bool recovery_ok =
       have_candidate_ == o.have_candidate_ &&
-      (!have_candidate_ || recovery_candidate_ == o.recovery_candidate_);
+      (!have_candidate_ || recovery_candidate_ == o.recovery_candidate_) &&
+      have_gradient_candidate_ == o.have_gradient_candidate_ &&
+      (!have_gradient_candidate_ ||
+       gradient_candidate_ == o.gradient_candidate_);
   const bool scalars_ok = recovery_ok &&
                           max_global_skew_ == o.max_global_skew_ &&
                           max_local_skew_ == o.max_local_skew_ &&

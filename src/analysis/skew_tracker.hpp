@@ -106,6 +106,23 @@ class SkewTracker {
 
     /// Local-skew re-entry threshold (<= 0: global-only classification).
     double recovery_local_bound = 0.0;
+
+    /// Classify recovery samples only on the fixed grid k * interval
+    /// (<= 0: classify every sample).  Pair it with the same
+    /// SimConfig::probe_interval so BOTH engines deliver a sample at
+    /// exactly every grid point with exactly the events before it
+    /// applied: the serial engine's per-event samples and the sharded
+    /// engine's extra barriers then skip classification, and
+    /// recovery_time() / stabilization_time() come out byte-identical
+    /// serial vs any --shards count (at grid resolution).  tbcs_sim and
+    /// the sweep runner set both knobs whenever a fault plan is active.
+    double recovery_classify_interval = 0.0;
+
+    /// Nodes excluded from every fold (skews, rates, envelope audits,
+    /// per-distance profile).  Fault harnesses put the Byzantine set here:
+    /// a liar's own clock is not part of the guarantee — only what it does
+    /// to the correct subgraph is.  Ids out of range are ignored.
+    std::vector<sim::NodeId> exclude;
   };
 
   struct Sample {
@@ -184,6 +201,12 @@ class SkewTracker {
   /// this for every applied fault); resets any tentative recovery point.
   void note_fault(double t);
 
+  /// note_fault() plus an anchor for the self-stabilization figure: the
+  /// scramble set this node's state arbitrarily, and stabilization_time()
+  /// measures from the *last* scramble (later ordinary faults reset the
+  /// recovery point but not this anchor).
+  void note_scramble(double t);
+
   /// Real time of the last fault noted; NaN if none.
   double last_fault_time() const;
 
@@ -192,6 +215,17 @@ class SkewTracker {
   /// bounds, never recovered, or no fault was noted.  0 when the bounds
   /// were never left after the last fault.
   double recovery_time() const;
+
+  /// Self-stabilization time: from the last noted scramble until the final
+  /// re-entry into the *gradient* envelope (recovery_local_bound; the
+  /// global bound when no local bound is configured).  Classified on the
+  /// same samples as recovery_time() but against the local bound only: a
+  /// scramble can translate one node's clock permanently above the rest —
+  /// logical clocks are monotone and a trimmed estimate layer refuses
+  /// single-source catch-up by design — so the global offset is not
+  /// recoverable, while the gradient (local skew) guarantee is.  NaN when
+  /// no scramble was noted or the gradient envelope was never re-entered.
+  double stabilization_time() const;
 
  private:
   bool per_distance_due(double t) const;
@@ -204,13 +238,22 @@ class SkewTracker {
   bool recovery_probe_active() const {
     return have_fault_ && opt_.recovery_global_bound > 0.0;
   }
+  bool excluded(sim::NodeId v) const {
+    return !excluded_.empty() && excluded_[static_cast<std::size_t>(v)] != 0;
+  }
   /// Certificate proof that the current skews are inside the recovery
   /// bounds (incremental engine; certificates are upper bounds on the
   /// instantaneous values, so "bound small enough" is a proof).
   bool provably_within_recovery_bounds() const;
+  /// Whether this sample time is a recovery-classification point (always,
+  /// unless the grid of recovery_classify_interval is active).
+  bool classify_due(double t) const {
+    return opt_.recovery_classify_interval <= 0.0 || t >= next_classify_t_;
+  }
   void classify_recovery_sample(double t, bool scanned_exactly);
 
   Options opt_;
+  std::vector<char> excluded_;  // empty when Options::exclude is empty
   std::vector<std::vector<int>> distances_;  // filled iff track_per_distance
   std::vector<double> per_distance_;
   std::vector<double> logical_scratch_;
@@ -236,8 +279,18 @@ class SkewTracker {
   // ---- recovery-probe state -------------------------------------------------
   bool have_fault_ = false;
   double last_fault_t_ = 0.0;
+  bool have_scramble_ = false;
+  double last_scramble_t_ = 0.0;
   double recovery_candidate_ = 0.0;  // guarded by have_candidate_
   bool have_candidate_ = false;
+  /// Gradient-envelope re-entry point for stabilization_time(): same
+  /// classification cadence, local bound only.
+  double gradient_candidate_ = 0.0;  // guarded by have_gradient_candidate_
+  bool have_gradient_candidate_ = false;
+  /// Next grid point of recovery_classify_interval (accumulated by
+  /// addition, matching the simulators' probe_next_ arithmetic so the
+  /// grid times are bit-equal to the probe sample times).
+  double next_classify_t_ = 0.0;
   double cur_global_ = 0.0;  // instantaneous values as of the last full scan
   double cur_local_ = 0.0;
 

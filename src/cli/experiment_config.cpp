@@ -49,6 +49,8 @@ void apply_model_flags(ArgParser& args, ExperimentConfig& cfg) {
       args.get_int("fault-seed", static_cast<int>(cfg.fault_seed)));
   cfg.silence_timeout = args.get_double("silence-timeout", cfg.silence_timeout);
   cfg.influence_bound = args.get_double("influence-bound", cfg.influence_bound);
+  cfg.ftgcs_f = args.get_int("ftgcs-f", cfg.ftgcs_f);
+  cfg.ftgcs_filter = args.get_string("ftgcs-filter", cfg.ftgcs_filter);
   cfg.churn_node_rate = args.get_double("churn-node-rate", cfg.churn_node_rate);
   cfg.churn_edge_rate = args.get_double("churn-edge-rate", cfg.churn_edge_rate);
   cfg.churn_downtime = args.get_double("churn-downtime", cfg.churn_downtime);
@@ -115,6 +117,30 @@ dyn::ChurnConfig resolve_churn(const ExperimentConfig& cfg) {
   c.seed = cfg.churn_seed != 0 ? cfg.churn_seed : cfg.seed ^ 0x636875726eULL;
   if (c.enabled()) c.check();
   return c;
+}
+
+core::FtGcsOptions resolve_ftgcs(const ExperimentConfig& cfg) {
+  core::FtGcsOptions o;
+  if (cfg.ftgcs_f < 0) throw ConfigError("--ftgcs-f must be >= 0");
+  o.f = cfg.ftgcs_f;
+  const std::string& m = cfg.ftgcs_filter;
+  if (m == "both") {
+    o.envelope_filter = true;
+    o.trim = true;
+  } else if (m == "envelope") {
+    o.envelope_filter = true;
+    o.trim = false;
+  } else if (m == "trim") {
+    o.envelope_filter = false;
+    o.trim = true;
+  } else if (m == "none") {
+    o.envelope_filter = false;
+    o.trim = false;
+  } else {
+    throw ConfigError("unknown --ftgcs-filter: " + m +
+                      " (expected both|envelope|trim|none)");
+  }
+  return o;
 }
 
 dyn::DynGcsOptions resolve_dyn_gcs(const ExperimentConfig& cfg,
@@ -193,6 +219,12 @@ std::unique_ptr<sim::Node> build_node(const ExperimentConfig& cfg,
     o.neighbor_silence_timeout = cfg.silence_timeout;
     o.influence_bound = cfg.influence_bound;
     return std::make_unique<core::AoptNode>(params, o);
+  }
+  if (a == "ftgcs") {
+    core::AoptOptions o;
+    o.neighbor_silence_timeout = cfg.silence_timeout;
+    o.influence_bound = cfg.influence_bound;
+    return std::make_unique<core::FtGcsNode>(params, o, resolve_ftgcs(cfg));
   }
   if (a == "kllo") {
     core::AoptOptions o;

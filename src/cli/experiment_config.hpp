@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/ftgcs.hpp"
 #include "core/params.hpp"
 #include "dyn/churn_plan.hpp"
 #include "dyn/dyn_gcs_node.hpp"
@@ -32,8 +33,9 @@ struct ExperimentConfig {
   int levels = 4;   // tree
   double er_p = 0.05;
 
-  // Algorithm: aopt | aopt-jump | aopt-bounded | aopt-adaptive |
-  // aopt-external | aopt-envelope | aopt-ticks | max | max-rate | avg | free
+  // Algorithm: aopt | ftgcs | kllo | aopt-jump | aopt-bounded |
+  // aopt-adaptive | aopt-external | aopt-envelope | aopt-ticks | max |
+  // max-rate | avg | free
   std::string algorithm = "aopt";
   double tick_frequency = 100.0;  // for aopt-ticks
 
@@ -81,6 +83,12 @@ struct ExperimentConfig {
   // aopt only; 0 = off, the paper's algorithm unchanged).
   double silence_timeout = 0.0;
   double influence_bound = 0.0;
+
+  // Fault-tolerant GCS (--algo ftgcs): trim depth f and which defense
+  // layers run ("both" | "envelope" | "trim" | "none"; none + f irrelevant
+  // reduces the node to plain A^opt, which the equivalence suites pin).
+  int ftgcs_f = 1;
+  std::string ftgcs_filter = "both";
 
   // Dynamic-network churn (src/dyn; all off by default).  Rates are per
   // entity per unit real time; the window defaults to [4 T, duration] so
@@ -170,5 +178,9 @@ dyn::ChurnConfig resolve_churn(const ExperimentConfig& cfg);
 /// against the model parameters).
 dyn::DynGcsOptions resolve_dyn_gcs(const ExperimentConfig& cfg,
                                    const core::SyncParams& params);
+
+/// Effective FtGcs options for --algo ftgcs (maps ftgcs_filter onto the
+/// envelope_filter/trim switches; throws ConfigError on a bad value).
+core::FtGcsOptions resolve_ftgcs(const ExperimentConfig& cfg);
 
 }  // namespace tbcs::cli

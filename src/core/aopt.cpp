@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "core/rate_rule.hpp"
+#include "sim/rng.hpp"
 
 namespace tbcs::core {
 
@@ -78,9 +79,11 @@ void AoptNode::evict_stale_neighbors() {
   const double cutoff = h_last_ - opt_.neighbor_silence_timeout;
   for (std::size_t i = 0; i < neighbors_.size();) {
     if (neighbors_[i].last_heard < cutoff) {
+      const sim::NodeId gone = neighbors_[i].id;
       neighbors_[i] = neighbors_.back();
       neighbors_.pop_back();
       ++stale_evictions_;
+      on_neighbor_forgotten(gone);
     } else {
       ++i;
     }
@@ -113,16 +116,38 @@ void AoptNode::on_wake(sim::NodeServices& sv, const sim::Message* by_message) {
     double recv_l = 0.0;
     double recv_lmax = 0.0;
     decode_message(*by_message, recv_l, recv_lmax);
-    Lmax_ = std::max(Lmax_, recv_lmax);
-    NeighborEstimate& nb = neighbor_slot(by_message->sender);
-    nb.est = recv_l;
-    nb.raw_max = recv_l;
-    nb.last_heard = h_last_;
+    // The bootstrap is a report like any other: it must pass the estimate
+    // layer's gatekeepers, or a Byzantine wake-flood message would seed
+    // L^max and the estimate with arbitrary values no later defense can
+    // claw back.  For the base node both hooks pass first contact through
+    // untouched, so the fault-free behavior is unchanged.
+    if (accept_report(by_message->sender, recv_l, recv_lmax)) {
+      Lmax_ = std::max(Lmax_, adopt_lmax(by_message->sender, recv_lmax));
+      NeighborEstimate& nb = neighbor_slot(by_message->sender);
+      nb.est = recv_l;
+      nb.raw_max = recv_l;
+      nb.last_heard = h_last_;
+    }
   }
   update_riding();
   do_send(sv);  // the triggered sending event: <0, L^max>
   run_set_clock_rate(sv);
   reschedule_value_timers(sv);
+}
+
+bool AoptNode::accept_report(sim::NodeId from, double recv_l,
+                             double recv_lmax) {
+  // Bounded influence: a known neighbor whose report leaps past the local
+  // view by more than the bound is lying (or corrupted).
+  if (opt_.influence_bound > 0.0) {
+    if (const NeighborEstimate* known = find_neighbor(from)) {
+      if (recv_l > known->est + opt_.influence_bound ||
+          recv_lmax > Lmax_ + opt_.influence_bound) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 void AoptNode::on_message(sim::NodeServices& sv, const sim::Message& m) {
@@ -132,23 +157,15 @@ void AoptNode::on_message(sim::NodeServices& sv, const sim::Message& m) {
   double recv_lmax = 0.0;
   decode_message(m, recv_l, recv_lmax);
 
-  // Bounded influence: a known neighbor whose report leaps past the local
-  // view by more than the bound is lying (or corrupted); ignore the whole
-  // message — a rejected report must not refresh liveness either, so a
-  // persistent liar still ages out via the silence timeout.
-  if (opt_.influence_bound > 0.0) {
-    if (const NeighborEstimate* known = find_neighbor(m.sender)) {
-      if (recv_l > known->est + opt_.influence_bound ||
-          recv_lmax > Lmax_ + opt_.influence_bound) {
-        ++rejected_reports_;
-        return;
-      }
-    }
+  if (!accept_report(m.sender, recv_l, recv_lmax)) {
+    ++rejected_reports_;
+    return;
   }
 
   bool forward = false;
-  if (recv_lmax > Lmax_ + kTiny) {  // Algorithm 2, lines 1-4
-    Lmax_ = recv_lmax;
+  const double adopted = adopt_lmax(m.sender, recv_lmax);
+  if (adopted > Lmax_ + kTiny) {  // Algorithm 2, lines 1-4
+    Lmax_ = adopted;
     forward = true;
   }
   NeighborEstimate& nb = neighbor_slot(m.sender);  // lines 5-7
@@ -171,6 +188,7 @@ void AoptNode::on_link_change(sim::NodeServices& sv, sim::NodeId neighbor,
     if (neighbors_[i].id == neighbor) {
       neighbors_[i] = neighbors_.back();
       neighbors_.pop_back();
+      on_neighbor_forgotten(neighbor);
       break;
     }
   }
@@ -185,6 +203,7 @@ void AoptNode::on_rejoin(sim::NodeServices& sv) {
   // the rate toward clocks that moved on without us, and a leftover
   // rho = 1 + mu (its reset timer was suppressed while crashed) would keep
   // running the clock fast for no reason.
+  for (const NeighborEstimate& nb : neighbors_) on_neighbor_forgotten(nb.id);
   neighbors_.clear();
   rho_ = 1.0;
   sv.cancel_timer(kRateResetTimer);
@@ -192,6 +211,43 @@ void AoptNode::on_rejoin(sim::NodeServices& sv) {
   update_riding();
   do_send(sv);  // re-announce <L, L^max>: the re-join handshake
   run_set_clock_rate(sv);
+  reschedule_value_timers(sv);
+}
+
+void AoptNode::on_scramble(sim::NodeServices& sv, std::uint64_t seed,
+                           double magnitude) {
+  if (!awake_) return;
+  advance_to(sv.hardware_now());
+  sim::Rng rng(seed);
+  const double a = std::max(0.0, magnitude);
+  // Clocks: arbitrary within +-magnitude.  L >= 0 and L^max >= L are
+  // definitional (L^max was born as a running maximum and L never passes
+  // it), so the adversary cannot produce states outside them.
+  L_ = std::max(0.0, L_ + rng.uniform(-a, a));
+  Lmax_ = std::max(L_, Lmax_ + rng.uniform(-a, a));
+  // Mode flags: the rate rule and the send pipeline land wherever the
+  // adversary likes — including a fast mode whose reset deadline never
+  // matched any computed increase.
+  if (rng.next_double() < 0.5) {
+    rho_ = 1.0 + params_.mu;
+    sv.set_timer(kRateResetTimer,
+                 h_last_ +
+                     rng.uniform(0.0, std::max(params_.h0, a / params_.mu)));
+  } else {
+    rho_ = 1.0;
+    sv.cancel_timer(kRateResetTimer);
+  }
+  pending_send_ = rng.next_double() < 0.5;
+  last_send_h_ = std::max(0.0, h_last_ - rng.uniform(0.0, params_.h0));
+  // Neighbor estimates: shifted arbitrarily; the raw-max update guard is
+  // re-anchored at the corrupted value, so honest reports below it are
+  // ignored until the estimates self-advance past the corruption — state
+  // the recovery probe must observe the algorithm climb out of.
+  for (auto& nb : neighbors_) {
+    nb.est += rng.uniform(-a, a);
+    nb.raw_max = nb.est;
+  }
+  update_riding();
   reschedule_value_timers(sv);
 }
 

@@ -91,6 +91,14 @@ class AoptNode : public sim::Node {
   /// network's L^max from the replies) — the handshake that brings the
   /// node back inside the Condition 1 envelope at the catch-up rate.
   void on_rejoin(sim::NodeServices& sv) override;
+  /// Self-stabilization probe: overwrite L, L^max, rho, the mode flags,
+  /// and every neighbor estimate with seed-derived values within
+  /// +-magnitude of the current state, then re-arm all timers against the
+  /// corrupted state — the adversary of the self-stabilizing model, made
+  /// reproducible.  L^max >= L >= 0 is preserved (they are definitional,
+  /// not protocol state: L rides below L^max by construction).
+  void on_scramble(sim::NodeServices& sv, std::uint64_t seed,
+                   double magnitude) override;
   sim::ClockValue logical_at(sim::ClockValue hardware_now) const override;
   double rate_multiplier() const override;
 
@@ -122,6 +130,29 @@ class AoptNode : public sim::Node {
   // (logical, logical_max) pair the algorithm should act on.
   virtual void decode_message(const sim::Message& m, double& logical,
                               double& logical_max) const;
+  // The estimate layer's gatekeeper (Algorithm 2 before lines 1-7): called
+  // for every decoded report before it can move L^max or the sender's
+  // estimate.  Returning false discards the whole message — a rejected
+  // report must not refresh liveness either, so a persistent liar still
+  // ages out via the silence timeout.  Base implementation: the
+  // bounded-influence guard (opt_.influence_bound); the fault-tolerant
+  // node replaces it with a certified drift-envelope interval filter.
+  virtual bool accept_report(sim::NodeId from, double recv_l,
+                             double recv_lmax);
+  // The L^max each accepted report is allowed to pull this node toward
+  // (Algorithm 2 lines 1-4 adopt the return value when it exceeds L^max).
+  // Base: the report itself — one message from one neighbor moves the
+  // clock, which is exactly the adopt-forward channel a Byzantine node
+  // exploits.  The fault-tolerant node returns an f-trimmed vouched value
+  // instead.
+  virtual double adopt_lmax(sim::NodeId from, double recv_lmax) {
+    (void)from;
+    return recv_lmax;
+  }
+  // Called whenever the estimate layer forgets neighbor `w` (silence
+  // eviction, link-down removal, or the on_rejoin purge) so subclasses
+  // tracking per-neighbor state of their own stay in sync.
+  virtual void on_neighbor_forgotten(sim::NodeId w) { (void)w; }
 
   enum TimerSlot : int {
     kSendTimer = 0,      // L^max multiple / periodic send (Algorithm 1)

@@ -47,13 +47,25 @@ RunResult SweepRunner::run_one(const RunSpec& spec, std::size_t index,
     if (faulty) {
       topt.recovery_global_bound = r.global_bound;
       topt.recovery_local_bound = r.local_bound;
+      // Classify on the probe grid (armed every cfg.delay by
+      // build_experiment): recovery/stabilization metrics then match the
+      // serial engine byte-for-byte under --shards.
+      topt.recovery_classify_interval = cfg.delay;
+      // Correct-subgraph figures only: liars are not part of the guarantee.
+      for (const fault::ByzantineSpec& s : built.timeline.byzantine) {
+        topt.exclude.push_back(s.node);
+      }
     }
     analysis::SkewTracker tracker(*built.simulator, topt);
     tracker.attach_auto(*built.simulator);
     fault::FaultScheduler faults(built.timeline);
     if (faulty) {
-      faults.set_listener([&tracker](const fault::FaultEvent&, double t) {
-        tracker.note_fault(t);
+      faults.set_listener([&tracker](const fault::FaultEvent& e, double t) {
+        if (e.kind == fault::FaultKind::kScramble) {
+          tracker.note_scramble(t);
+        } else {
+          tracker.note_fault(t);
+        }
       });
       faults.run(*built.simulator, cfg.duration);
     } else {
@@ -88,6 +100,13 @@ RunResult SweepRunner::run_one(const RunSpec& spec, std::size_t index,
                              static_cast<double>(sim.recoveries()));
       // -1 = never re-entered the bounds (NaN would poison CSV parsing).
       r.metrics.emplace_back("recovery_time", std::isnan(rec) ? -1.0 : rec);
+      if (sim.scrambles() > 0) {
+        const double stab = tracker.stabilization_time();
+        r.metrics.emplace_back("scrambles",
+                               static_cast<double>(sim.scrambles()));
+        r.metrics.emplace_back("stabilization_time",
+                               std::isnan(stab) ? -1.0 : stab);
+      }
     }
     r.ok = true;
 

@@ -155,6 +155,12 @@ void ByzantineNode::on_rejoin(sim::NodeServices& sv) {
   inner_->on_rejoin(ls);
 }
 
+void ByzantineNode::on_scramble(sim::NodeServices& sv, std::uint64_t seed,
+                                double magnitude) {
+  LyingServices ls(*this, sv);
+  inner_->on_scramble(ls, seed, magnitude);
+}
+
 sim::ClockValue ByzantineNode::logical_at(sim::ClockValue hardware_now) const {
   return inner_->logical_at(hardware_now);
 }

@@ -97,6 +97,8 @@ class ByzantineNode final : public sim::Node {
   void on_link_change(sim::NodeServices& sv, sim::NodeId neighbor,
                       bool up) override;
   void on_rejoin(sim::NodeServices& sv) override;
+  void on_scramble(sim::NodeServices& sv, std::uint64_t seed,
+                   double magnitude) override;
   sim::ClockValue logical_at(sim::ClockValue hardware_now) const override;
   double rate_multiplier() const override;
 

@@ -21,6 +21,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kByzantineOff: return "byzantine_off";
     case FaultKind::kChannelOn: return "channel_on";
     case FaultKind::kChannelOff: return "channel_off";
+    case FaultKind::kScramble: return "scramble";
   }
   return "unknown";
 }
@@ -80,6 +81,13 @@ void FaultPlan::drift_spike(sim::NodeId v, double at, double rate,
   directives_.push_back(d);
   d.event = FaultEvent{FaultKind::kDriftRestore, at + duration, v,
                        sim::kInvalidNode, 1.0};
+  directives_.push_back(d);
+}
+
+void FaultPlan::scramble(sim::NodeId v, double at, double magnitude) {
+  Directive d;
+  d.event =
+      FaultEvent{FaultKind::kScramble, at, v, sim::kInvalidNode, magnitude};
   directives_.push_back(d);
 }
 
@@ -177,6 +185,7 @@ FaultPlan FaultPlan::parse(std::istream& is) {
       }
       kv[token.substr(0, eq)] = token.substr(eq + 1);
     }
+    const std::size_t first_new = plan.directives_.size();
     if (kind == "crash") {
       plan.crash(need_node(kv, "node", line), need_num(kv, "at", line));
     } else if (kind == "recover") {
@@ -192,8 +201,14 @@ FaultPlan FaultPlan::parse(std::istream& is) {
                 need_num(kv, "at", line), need_num(kv, "period", line),
                 static_cast<int>(opt_num(kv, "count", 1.0, line)));
     } else if (kind == "drift") {
+      const double dur = need_num(kv, "for", line);
+      if (dur <= 0.0) fail(line, "drift needs for > 0");
       plan.drift_spike(need_node(kv, "node", line), need_num(kv, "at", line),
-                       need_num(kv, "rate", line), need_num(kv, "for", line));
+                       need_num(kv, "rate", line), dur);
+    } else if (kind == "scramble") {
+      const double mag = need_num(kv, "magnitude", line);
+      if (mag <= 0.0) fail(line, "scramble needs magnitude > 0");
+      plan.scramble(need_node(kv, "node", line), need_num(kv, "at", line), mag);
     } else if (kind == "byzantine") {
       const auto mode = kv.count("mode") ? kv.at("mode") : "fixed";
       if (mode != "fixed" && mode != "random") {
@@ -230,7 +245,11 @@ FaultPlan FaultPlan::parse(std::istream& is) {
     } else {
       fail(line, "unknown directive '" + kind + "'");
     }
+    for (std::size_t j = first_new; j < plan.directives_.size(); ++j) {
+      plan.directives_[j].line = line;
+    }
   }
+  plan.validate_windows();
   return plan;
 }
 
@@ -243,6 +262,97 @@ FaultPlan FaultPlan::load_file(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw PlanError("cannot open fault plan: " + path);
   return parse(is);
+}
+
+// ---- cross-directive validation ---------------------------------------------
+
+namespace {
+
+std::string at_line(int line) {
+  return line > 0 ? " (line " + std::to_string(line) + ")" : std::string();
+}
+
+[[noreturn]] void fail_overlap(const char* what, int line, int other_line) {
+  std::string msg = "fault plan";
+  if (line > 0) msg += " line " + std::to_string(line);
+  msg += ": ";
+  msg += what;
+  msg += " overlaps the one";
+  msg += at_line(other_line);
+  msg += "; split or merge the windows";
+  throw PlanError(msg);
+}
+
+}  // namespace
+
+void FaultPlan::validate_windows() const {
+  struct Span {
+    double t0, t1;
+    sim::NodeId node;
+    int line;
+  };
+  std::vector<Span> channels, byz, drifts;
+  for (std::size_t i = 0; i < directives_.size(); ++i) {
+    const Directive& d = directives_[i];
+    switch (d.kind) {
+      case Directive::Kind::kChannel:
+        channels.push_back(
+            Span{d.window.t0, d.window.t1, sim::kInvalidNode, d.line});
+        break;
+      case Directive::Kind::kByzantine:
+        if (d.until <= d.from) {
+          throw PlanError("fault plan" +
+                          (d.line > 0 ? " line " + std::to_string(d.line)
+                                      : std::string()) +
+                          ": byzantine window needs until > from");
+        }
+        byz.push_back(Span{d.from, d.until, d.spec.node, d.line});
+        break;
+      case Directive::Kind::kScripted:
+        // drift_spike() pushes the spike and its restore adjacently; the
+        // pair is one forced-rate window on that node.
+        if (d.event.kind == FaultKind::kDriftSpike &&
+            i + 1 < directives_.size() &&
+            directives_[i + 1].event.kind == FaultKind::kDriftRestore &&
+            directives_[i + 1].event.node == d.event.node) {
+          drifts.push_back(Span{d.event.t, directives_[i + 1].event.t,
+                                d.event.node, d.line});
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  const auto overlap = [](const Span& a, const Span& b) {
+    return std::max(a.t0, b.t0) < std::min(a.t1, b.t1);
+  };
+  // Two channel windows covering the same instant: the decorator applies
+  // the first match, so the second would be silently shadowed.
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (overlap(channels[i], channels[j])) {
+        fail_overlap("channel window", channels[i].line, channels[j].line);
+      }
+    }
+  }
+  // Two Byzantine windows for one node: a single spec per node drives the
+  // lying decorator, so the offsets would contradict each other.
+  for (std::size_t i = 0; i < byz.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (byz[i].node == byz[j].node && overlap(byz[i], byz[j])) {
+        fail_overlap("byzantine window", byz[i].line, byz[j].line);
+      }
+    }
+  }
+  // Two drift spikes on one node: the earlier restore would stomp the
+  // later spike's forced rate mid-window.
+  for (std::size_t i = 0; i < drifts.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (drifts[i].node == drifts[j].node && overlap(drifts[i], drifts[j])) {
+        fail_overlap("drift window", drifts[i].line, drifts[j].line);
+      }
+    }
+  }
 }
 
 // ---- instantiation ----------------------------------------------------------
@@ -258,19 +368,20 @@ FaultTimeline FaultPlan::instantiate(std::uint64_t seed,
     return sim::Rng(sm.next());
   };
   const auto csr = g.csr();
-  const auto check_node = [&](sim::NodeId v) {
+  const auto check_node = [&](sim::NodeId v, int line) {
     if (v < 0 || v >= g.num_nodes()) {
-      throw PlanError("fault plan names node " + std::to_string(v) +
-                      " but the topology has " + std::to_string(g.num_nodes()) +
-                      " nodes");
+      throw PlanError("fault plan" + at_line(line) + " names node " +
+                      std::to_string(v) + " but the topology has " +
+                      std::to_string(g.num_nodes()) + " nodes");
     }
   };
-  const auto check_edge = [&](sim::NodeId u, sim::NodeId v) {
-    check_node(u);
-    check_node(v);
+  const auto check_edge = [&](sim::NodeId u, sim::NodeId v, int line) {
+    check_node(u, line);
+    check_node(v, line);
     if (csr->find_edge(u, v) == graph::kNoEdge) {
-      throw PlanError("fault plan names link {" + std::to_string(u) + ", " +
-                      std::to_string(v) + "} which is not a topology edge");
+      throw PlanError("fault plan" + at_line(line) + " names link {" +
+                      std::to_string(u) + ", " + std::to_string(v) +
+                      "} which is not a topology edge");
     }
   };
 
@@ -278,11 +389,18 @@ FaultTimeline FaultPlan::instantiate(std::uint64_t seed,
     const Directive& d = directives_[i];
     switch (d.kind) {
       case Directive::Kind::kScripted: {
-        const FaultEvent& e = d.event;
+        FaultEvent e = d.event;
         if (e.kind == FaultKind::kLinkDown || e.kind == FaultKind::kLinkUp) {
-          check_edge(e.node, e.node2);
+          check_edge(e.node, e.node2, d.line);
         } else {
-          check_node(e.node);
+          check_node(e.node, d.line);
+        }
+        if (e.kind == FaultKind::kScramble) {
+          // The corruption seed comes from the same per-directive stream as
+          // every other random draw: a pure function of (plan seed, index).
+          sim::SplitMix64 sm(seed ^ (static_cast<std::uint64_t>(i + 1) *
+                                     0x9e3779b97f4a7c15ULL));
+          e.aux = sm.next();
         }
         tl.events.push_back(e);
         break;
@@ -298,7 +416,7 @@ FaultTimeline FaultPlan::instantiate(std::uint64_t seed,
         break;
       }
       case Directive::Kind::kByzantine: {
-        check_node(d.spec.node);
+        check_node(d.spec.node, d.line);
         tl.byzantine.push_back(d.spec);
         tl.events.push_back(FaultEvent{FaultKind::kByzantineOn, d.from,
                                        d.spec.node, sim::kInvalidNode,

@@ -41,9 +41,11 @@ enum class FaultKind : std::uint32_t {
   kByzantineOff,    // node reverts to honest reports
   kChannelOn,       // a channel-fault window opens (marker; the decorator
   kChannelOff,      //   applies the faults by send time)
+  kScramble,        // node's algorithm state set adversarially (value =
+                    //   magnitude, aux = the seed the corruption is drawn from)
 };
 
-inline constexpr int kNumFaultKinds = 10;
+inline constexpr int kNumFaultKinds = 11;
 
 const char* fault_kind_name(FaultKind k);
 
@@ -53,7 +55,8 @@ struct FaultEvent {
   double t = 0.0;
   sim::NodeId node = sim::kInvalidNode;
   sim::NodeId node2 = sim::kInvalidNode;  // link faults: second endpoint
-  double value = 0.0;                     // drift spikes: the forced rate
+  double value = 0.0;  // drift spikes: the forced rate; scramble: magnitude
+  std::uint64_t aux = 0;  // scramble: the seed (stamped at instantiate())
 };
 
 /// A window during which the channel decorator injects message faults.
@@ -121,6 +124,10 @@ class FaultPlan {
   /// the first half).
   void flap(sim::NodeId u, sim::NodeId v, double at, double period, int count);
   void drift_spike(sim::NodeId v, double at, double rate, double duration);
+  /// Self-stabilization probe: overwrite v's algorithm state with
+  /// adversarial values within +-magnitude at time `at` (the corruption
+  /// seed is derived at instantiate() like every other random draw).
+  void scramble(sim::NodeId v, double at, double magnitude);
   void byzantine(sim::NodeId v, double from, double until, bool random,
                  double offset);
   void channel(const ChannelWindow& w);
@@ -129,10 +136,20 @@ class FaultPlan {
   void random_flaps(int count, double from, double until, double down);
 
   /// Resolves every directive against `g` with randomness derived from
-  /// `seed` only.  Throws PlanError on out-of-range nodes or non-edges.
+  /// `seed` only.  Throws PlanError on out-of-range nodes or non-edges,
+  /// citing the source line for directives that came from a plan file.
   FaultTimeline instantiate(std::uint64_t seed, const graph::Graph& g) const;
 
  private:
+  /// Cross-directive consistency: rejects overlapping channel windows
+  /// (the decorator applies the first match, silently shadowing the
+  /// rest), overlapping Byzantine windows for one node (one spec per node
+  /// drives the decorator), and overlapping drift spikes on one node (the
+  /// earlier restore would stomp the later spike).  Called at the end of
+  /// parse() so every error carries its line number; programmatic plans
+  /// (line 0) are the caller's responsibility.
+  void validate_windows() const;
+
   // A directive is stored pre-parsed; random directives hold their window
   // parameters and are expanded at instantiate() time.
   struct Directive {
@@ -152,6 +169,7 @@ class FaultPlan {
     int count = 0;          // random generators
     double down_min = 0.0;  // crash/flap outage duration bounds
     double down_max = 0.0;
+    int line = 0;           // plan-file source line (0: programmatic)
   };
 
   std::vector<Directive> directives_;

@@ -52,6 +52,9 @@ void FaultScheduler::apply_sim(sim::Simulator& sim, const FaultEvent& e) {
     case FaultKind::kChannelOn:
     case FaultKind::kChannelOff:
       break;  // markers; ChannelFaultPolicy applies windows by send time
+    case FaultKind::kScramble:
+      sim.schedule_scramble(e.node, e.t, e.aux, e.value);
+      return;  // the simulator traces scrambles itself
   }
   if (obs::kTraceCompiled && sim.flight_recorder() != nullptr) {
     sim.flight_recorder()->record(
@@ -117,6 +120,11 @@ void FaultScheduler::apply_threaded(runtime::ThreadedNetwork& net,
     case FaultKind::kChannelOn:
     case FaultKind::kChannelOff:
       ++applied_;  // markers; the channel hook applies windows by time
+      break;
+    case FaultKind::kScramble:
+      // Threaded nodes own their state behind a mutex the scheduler does
+      // not hold; no safe corruption hook exists yet.
+      ++skipped_unsupported_;
       break;
   }
 }

@@ -30,6 +30,8 @@ enum class EventKind : std::uint8_t {
   kRecover,          // `node` re-joins: links restored, on_rejoin() runs
   kJoin,             // churn: `node` (re)enters the network (departed bit cleared)
   kLeave,            // churn: `node` departs (silent, timers suppressed)
+  kScramble,         // `node`'s algorithm state set adversarially (on_scramble);
+                     //   `generation` indexes the simulator's payload table
 };
 
 struct Event {
@@ -37,7 +39,7 @@ struct Event {
   std::uint64_t seq = 0;  // per-source creation order (stamped by the simulator)
   union {
     double rate;                // kRateChange: the new hardware rate
-    std::uint64_t generation;   // unused since the timer wheel; kept for layout
+    std::uint64_t generation;   // kScramble: index into the payload table
   };
   NodeId node = kInvalidNode;
   union {

@@ -75,6 +75,19 @@ class Node {
   /// estimates, reset the rate, re-announce); default: resume as-is.
   virtual void on_rejoin(NodeServices& sv) { (void)sv; }
 
+  /// Self-stabilization harness: an adversary just overwrote this node's
+  /// algorithm state with arbitrary (seed-derived, magnitude-bounded)
+  /// values.  Implementations draw the corrupted state from `seed` so runs
+  /// replay bit-identically, and re-arm their timers against it — after the
+  /// callback the node must behave as if the corrupted state were its own.
+  /// Default: the node has no corruptible state (honest clocks stay honest).
+  virtual void on_scramble(NodeServices& sv, std::uint64_t seed,
+                           double magnitude) {
+    (void)sv;
+    (void)seed;
+    (void)magnitude;
+  }
+
   /// Observability hook for the metrics layer: the logical clock value
   /// L_v given the current hardware clock reading.  Must be consistent
   /// with the state as of the node's last event (all logical clocks are

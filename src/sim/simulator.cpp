@@ -1071,6 +1071,20 @@ bool Simulator::process(Lane& ln, Event& e) {
       le.node = e.node;  // leaves the awake set at this instant
       break;
     }
+    case EventKind::kScramble: {
+      const std::uint8_t st = status_slots_[slot(e.node)];
+      if ((st & (kAwakeBit | kCrashedBit | kDepartedBit)) != kAwakeBit) {
+        observable = false;  // no live state to corrupt
+        break;
+      }
+      ++ln.scrambles;
+      le.node = e.node;  // its clock moves discontinuously: fold it
+      const ScramblePayload& sp =
+          scramble_payloads_[static_cast<std::size_t>(e.generation)];
+      nodes_[static_cast<std::size_t>(e.node)]->on_scramble(
+          ln.services->pin(e.node), sp.seed, sp.magnitude);
+      break;
+    }
   }
   if (obs::kTraceCompiled && recorder_ != nullptr) {
     trace_event(ln, e, observable, mult_before);
@@ -1151,6 +1165,11 @@ void Simulator::trace_event(Lane& ln, const Event& e, bool observable,
       a = 1.0;  // leave
       b = observable ? logical_at(e.node, ln.now) : 0.0;
       break;
+    case EventKind::kScramble:
+      tp = TracePoint::kFault;
+      a = 10.0;  // fault::FaultKind::kScramble
+      b = observable ? logical_at(e.node, ln.now) : 0.0;
+      break;
   }
   if ((tp == TracePoint::kDeliver || tp == TracePoint::kTimerFire) &&
       e.node != kInvalidNode) {
@@ -1177,6 +1196,18 @@ void Simulator::schedule_rate_change(NodeId v, RealTime at, double rate) {
   e.node = v;
   e.rate = rate;
   e.rate_from_policy = false;
+  push_event(e, v);
+}
+
+void Simulator::schedule_scramble(NodeId v, RealTime at, std::uint64_t seed,
+                                  double magnitude) {
+  assert(at >= now_ - kTimeTolerance);
+  Event e;
+  e.time = std::max(at, now_);
+  e.kind = EventKind::kScramble;
+  e.node = v;
+  e.generation = scramble_payloads_.size();
+  scramble_payloads_.push_back(ScramblePayload{seed, magnitude});
   push_event(e, v);
 }
 

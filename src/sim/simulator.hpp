@@ -257,6 +257,17 @@ class Simulator {
     return (status_slots_[slot(v)] & kCrashedBit) != 0;
   }
 
+  /// Self-stabilization probe: overwrites v's algorithm state with
+  /// adversarial values at time `at` (Node::on_scramble, drawn from `seed`
+  /// bounded by `magnitude`).  Rides the canonical event stream like a
+  /// rate change, so scrambled runs stay byte-identical across shard
+  /// counts and queue implementations; a crashed, departed, or never-woken
+  /// node has no state to scramble and the event is a traced no-op.
+  void schedule_scramble(NodeId v, RealTime at, std::uint64_t seed,
+                         double magnitude);
+
+  std::uint64_t scrambles() const { return sum_lanes(&Lane::scrambles); }
+
   std::uint64_t messages_dropped() const { return sum_lanes(&Lane::dropped); }
   std::uint64_t crashes() const { return sum_lanes(&Lane::crashes); }
   std::uint64_t recoveries() const { return sum_lanes(&Lane::recoveries); }
@@ -553,6 +564,7 @@ class Simulator {
     std::uint64_t recoveries = 0;
     std::uint64_t joins = 0;
     std::uint64_t leaves = 0;
+    std::uint64_t scrambles = 0;
     std::uint64_t canon_pushes = 0;
     std::uint64_t canon_pops = 0;
     std::size_t twins_in_queue = 0;
@@ -664,6 +676,15 @@ class Simulator {
   std::vector<Lane> lanes_;  // size 1 (serial) or shard count (windowed)
   QueueImpl queue_impl_ = QueueImpl::kHeap;  // resolved from cfg_.queue
   std::vector<std::uint64_t> next_seq_;  // per-source counters; last = system
+  /// Scramble payloads, indexed by Event::generation (events must stay 48
+  /// bytes, so the (seed, magnitude) pair lives out-of-line; the table is
+  /// append-only and simulator-global, so lane migration never invalidates
+  /// an index).
+  struct ScramblePayload {
+    std::uint64_t seed = 0;
+    double magnitude = 0.0;
+  };
+  std::vector<ScramblePayload> scramble_payloads_;
   RealTime now_ = 0.0;
   bool setup_done_ = false;
 

@@ -174,6 +174,21 @@ TEST(ChurnEquivalenceQueues, HeapAndLadderAgree) {
   expect_equivalent(heap, run_case(cfg, 2));
 }
 
+// The ftgcs axis: churn exercises the defense layer's forget/re-anchor
+// paths (on_neighbor_forgotten, rejoin purges, first-contact credential
+// anchoring on inserted edges) — all of it must stay engine-independent.
+TEST(ChurnEquivalenceAlgos, FtGcsChurnMatchesSerialAtEveryShardCount) {
+  cli::ExperimentConfig cfg = churn_config();
+  cfg.algorithm = "ftgcs";
+  cfg.ftgcs_f = 1;
+  const RunOutput serial = run_case(cfg, 0);
+  EXPECT_GT(serial.joins + serial.leaves, 0u);
+  for (const int shards : {1, 2, 4}) {
+    SCOPED_TRACE(testing::Message() << "shards=" << shards);
+    expect_equivalent(serial, run_case(cfg, shards));
+  }
+}
+
 // Record on the serial engine, replay on serial and sharded: the log is
 // engine-independent even with joins/leaves/link churn in the timeline.
 TEST(ChurnEquivalenceRecord, RecordReplayRoundTripsAcrossEngines) {

@@ -168,6 +168,120 @@ TEST(FaultPlan, EmptyPlanYieldsEmptyTimeline) {
 TEST(FaultPlan, KindNamesAreStable) {
   EXPECT_STREQ(fault_kind_name(FaultKind::kCrash), "crash");
   EXPECT_STREQ(fault_kind_name(FaultKind::kChannelOff), "channel_off");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kScramble), "scramble");
+}
+
+TEST(FaultPlan, ParsesScrambleWithDeterministicSeed) {
+  const FaultPlan plan = FaultPlan::parse_string(
+      "scramble node=3 at=50 magnitude=2.5\n");
+  EXPECT_EQ(plan.num_directives(), 1u);
+  const auto g = graph::make_path(5);
+  const FaultTimeline a = plan.instantiate(7, g);
+  const FaultTimeline b = plan.instantiate(7, g);
+  ASSERT_EQ(a.events.size(), 1u);
+  EXPECT_EQ(a.events[0].kind, FaultKind::kScramble);
+  EXPECT_EQ(a.events[0].node, 3);
+  EXPECT_DOUBLE_EQ(a.events[0].t, 50.0);
+  EXPECT_DOUBLE_EQ(a.events[0].value, 2.5);
+  // The corruption seed is a pure function of (plan seed, directive
+  // index): replays and sharded runs scramble identically.
+  EXPECT_EQ(a.events[0].aux, b.events[0].aux);
+  EXPECT_NE(a.events[0].aux, plan.instantiate(8, g).events[0].aux);
+
+  EXPECT_THROW(FaultPlan::parse_string("scramble node=1 at=5 magnitude=0"),
+               PlanError);
+  EXPECT_THROW(FaultPlan::parse_string("scramble node=1 at=5"), PlanError);
+}
+
+TEST(FaultPlan, RejectsOverlappingChannelWindows) {
+  try {
+    FaultPlan::parse_string(
+        "channel from=10 until=30 drop=0.2\n"
+        "channel from=25 until=40 drop=0.5\n");
+    FAIL() << "expected PlanError";
+  } catch (const PlanError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("overlap"), std::string::npos) << msg;
+  }
+  // Back-to-back windows share only an endpoint: legal.
+  EXPECT_NO_THROW(FaultPlan::parse_string(
+      "channel from=10 until=30 drop=0.2\n"
+      "channel from=30 until=40 drop=0.5\n"));
+}
+
+TEST(FaultPlan, RejectsContradictoryByzantineWindows) {
+  // Same node, overlapping windows: one spec drives the lying decorator,
+  // so the offsets would contradict each other.
+  try {
+    FaultPlan::parse_string(
+        "byzantine node=3 from=0 until=50 mode=fixed offset=10\n"
+        "byzantine node=3 from=40 until=90 mode=fixed offset=-10\n");
+    FAIL() << "expected PlanError";
+  } catch (const PlanError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+  }
+  // Different nodes may lie simultaneously; same node may lie twice in
+  // disjoint windows.
+  EXPECT_NO_THROW(FaultPlan::parse_string(
+      "byzantine node=3 from=0 until=50 mode=fixed offset=10\n"
+      "byzantine node=4 from=0 until=50 mode=fixed offset=-10\n"));
+  EXPECT_NO_THROW(FaultPlan::parse_string(
+      "byzantine node=3 from=0 until=50 mode=fixed offset=10\n"
+      "byzantine node=3 from=60 until=90 mode=fixed offset=-10\n"));
+  // An empty window can never activate; reject it instead of silently
+  // never lying.
+  EXPECT_THROW(
+      FaultPlan::parse_string("byzantine node=3 from=50 until=50 mode=fixed "
+                              "offset=1"),
+      PlanError);
+}
+
+TEST(FaultPlan, RejectsOverlappingDriftWindows) {
+  try {
+    FaultPlan::parse_string(
+        "drift node=1 at=10 rate=1.05 for=20\n"
+        "drift node=1 at=20 rate=1.10 for=20\n");
+    FAIL() << "expected PlanError";
+  } catch (const PlanError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_NO_THROW(FaultPlan::parse_string(
+      "drift node=1 at=10 rate=1.05 for=20\n"
+      "drift node=2 at=20 rate=1.10 for=20\n"
+      "drift node=1 at=40 rate=1.10 for=5\n"));
+}
+
+TEST(FaultPlan, OutOfRangeIdsCiteTheSourceLine) {
+  const auto g = graph::make_path(4);  // nodes 0..3
+  {
+    const FaultPlan p =
+        FaultPlan::parse_string("crash node=1 at=5\nscramble node=9 at=10 "
+                                "magnitude=2");
+    try {
+      p.instantiate(1, g);
+      FAIL() << "expected PlanError";
+    } catch (const PlanError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("node 9"), std::string::npos) << msg;
+    }
+  }
+  {
+    const FaultPlan p = FaultPlan::parse_string(
+        "byzantine node=11 from=0 until=5 mode=fixed offset=1");
+    try {
+      p.instantiate(1, g);
+      FAIL() << "expected PlanError";
+    } catch (const PlanError& e) {
+      EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos)
+          << e.what();
+    }
+  }
 }
 
 }  // namespace

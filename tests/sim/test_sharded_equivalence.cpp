@@ -253,6 +253,33 @@ TEST(ShardedEquivalenceRecord, RecordReplayRoundTripsAcrossEngines) {
 // oracle side by side and throws on any divergence; it must accept a
 // sharded run folding per-window touched sets exactly as it accepts the
 // serial per-event feed.
+// The ftgcs axis: the fault-tolerant node's defense layer (envelope
+// filter, trimmed adoption, trimmed extrema) runs on the message hot
+// path, so the equivalence suite exercises it with active liars — the
+// rejections and trim votes must replay identically on every engine.
+TEST(ShardedEquivalenceAlgos, FtGcsUnderLiarsMatchesSerial) {
+  const std::string path = testing::TempDir() + "/tbcs_equiv_ftgcs_plan.txt";
+  {
+    std::ofstream os(path);
+    os << "byzantine node=3 from=0 until=80 mode=fixed offset=500\n"
+          "byzantine node=11 from=20 until=90 mode=random offset=40\n"
+          "scramble node=7 at=100 magnitude=5\n";
+  }
+  for (const char* topology : {"path", "er"}) {
+    SCOPED_TRACE(topology);
+    cli::ExperimentConfig cfg = base_config(topology, 24);
+    cfg.algorithm = "ftgcs";
+    cfg.ftgcs_f = 1;
+    cfg.faults_file = path;
+    const RunOutput serial = run_case(cfg, 0);
+    for (const int shards : {1, 2, 4}) {
+      SCOPED_TRACE(testing::Message() << "shards=" << shards);
+      expect_equivalent(serial, run_case(cfg, shards));
+    }
+  }
+  std::remove(path.c_str());
+}
+
 TEST(ShardedEquivalenceAudit, AuditOracleAcceptsShardedRuns) {
   for (const int shards : {0, 2}) {
     SCOPED_TRACE(testing::Message() << "shards=" << shards);

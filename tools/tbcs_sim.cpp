@@ -34,10 +34,15 @@ constexpr const char* kUsage = R"(tbcs_sim — worst-case clock synchronization 
 topology:   --topology path|ring|star|complete|grid|torus|hypercube|tree|er
             --nodes N | --rows R --cols C | --dims D | --arity A --levels L
             --er-p P
-algorithm:  --algo aopt|kllo|aopt-jump|aopt-bounded|aopt-adaptive|
+algorithm:  --algo aopt|ftgcs|kllo|aopt-jump|aopt-bounded|aopt-adaptive|
                    aopt-external|aopt-envelope|aopt-ticks|max|max-rate|
                    avg|free
             --tick-frequency F         (aopt-ticks)
+            --ftgcs-f F        ftgcs: Byzantine neighbors tolerated per
+                               node (trim depth; default 1)
+            --ftgcs-filter M   ftgcs defense layers: both (default) |
+                               envelope | trim | none (none + trim off
+                               reduces to plain aopt)
             --stab-tolerance T / --stab-time S
                                kllo: initial tolerance of a fresh edge and
                                its decay period (0 = derived: 8 kappa,
@@ -50,7 +55,12 @@ adversary:  --drift walk|square|sine|const
             --delays uniform|fixed|band|bimodal|burst|hiding
             --band-min F
 faults:     --faults FILE      fault plan (docs/FAULTS.md); enables the
-                               recovery-time probe against the paper bounds
+                               recovery-time probe against the paper
+                               bounds.  Byzantine nodes are excluded from
+                               every skew figure (the guarantee covers the
+                               correct subgraph); a `scramble` directive
+                               additionally reports the self-stabilization
+                               time from the corruption to final re-entry
             --fault-seed S     seed for random fault directives (0 = --seed)
             --silence-timeout T / --influence-bound B
                                A^opt graceful-degradation knobs (plain
@@ -262,6 +272,15 @@ int main(int argc, char** argv) {
       // "Recovered" = back inside the paper's envelope (Thm 5.5 / 5.10).
       topt.recovery_global_bound = g_bound;
       topt.recovery_local_bound = l_bound;
+      // Classify on the probe grid (build_experiment arms probes every
+      // cfg.delay), so recovery/stabilization times are byte-identical
+      // between the serial and sharded engines.
+      topt.recovery_classify_interval = cfg.delay;
+      // Liars are not part of the guarantee: every skew figure is over the
+      // correct subgraph only.
+      for (const fault::ByzantineSpec& s : built.timeline.byzantine) {
+        topt.exclude.push_back(s.node);
+      }
     }
     analysis::SkewTracker tracker(sim, topt);
 
@@ -287,8 +306,12 @@ int main(int argc, char** argv) {
       // Faults own the pacing; churn ops (if any) are already installed
       // and fire on their own, but no repartition driver runs.
       faults.emplace(built.timeline);
-      faults->set_listener([&tracker](const fault::FaultEvent&, double t) {
-        tracker.note_fault(t);
+      faults->set_listener([&tracker](const fault::FaultEvent& e, double t) {
+        if (e.kind == fault::FaultKind::kScramble) {
+          tracker.note_scramble(t);
+        } else {
+          tracker.note_fault(t);
+        }
       });
       faults->run(sim, cfg.duration);
     } else if (!built.churn.empty()) {
@@ -399,6 +422,15 @@ int main(int argc, char** argv) {
       summary.add_row({"recovery time",
                        std::isnan(rec) ? std::string("not recovered")
                                        : analysis::Table::num(rec, 2)});
+      if (sim.scrambles() > 0) {
+        const double stab = tracker.stabilization_time();
+        summary.add_row({"scrambles applied",
+                         analysis::Table::integer(
+                             static_cast<long long>(sim.scrambles()))});
+        summary.add_row({"stabilization time",
+                         std::isnan(stab) ? std::string("not stabilized")
+                                          : analysis::Table::num(stab, 2)});
+      }
     }
     summary.print(std::cout);
 
@@ -428,6 +460,12 @@ int main(int argc, char** argv) {
         const double rec = tracker.recovery_time();
         reg.gauge("fault.last_fault_time").set(tracker.last_fault_time());
         reg.gauge("fault.recovery_time").set(std::isnan(rec) ? -1.0 : rec);
+        if (sim.scrambles() > 0) {
+          const double stab = tracker.stabilization_time();
+          reg.counter("fault.scrambles").inc(sim.scrambles());
+          reg.gauge("fault.stabilization_time")
+              .set(std::isnan(stab) ? -1.0 : stab);
+        }
         if (built.channel) {
           reg.counter("fault.channel_dropped").inc(built.channel->dropped());
           reg.counter("fault.channel_duplicated")

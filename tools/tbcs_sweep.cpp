@@ -45,7 +45,9 @@ run:        --jobs N          worker threads (default 1; output is
 output:     --format csv|json (default csv, on stdout)
 faults:     --faults FILE --fault-seed S    fault plan applied to every run
                               (adds faults_applied / crashes / recoveries /
-                              recovery_time metric columns; docs/FAULTS.md)
+                              recovery_time — and, with scramble directives,
+                              scrambles / stabilization_time — metric
+                              columns; docs/FAULTS.md)
 model:      every tbcs_sim model/adversary flag is accepted, e.g.
             --topology ring --nodes 32 --algo aopt --eps 0.01 --mu 0.2
             --drift square --delays hiding --duration 500 --wake-all
