@@ -31,7 +31,12 @@
 #      through --algo ftgcs must be byte-identical serial vs --shards
 #      {1,2,4}, report engine-independent fault.* metrics, stabilize in
 #      finite time from a scramble, and sweep --jobs 1 == 4.
-#   7. Large-n queue gate: smoke_bench.sh with SMOKE_BENCH_LARGE=1,
+#   7. Telemetry-backend smoke: smoke_obs.sh — the stair history backend
+#      must stay within its advertised error bound of exact, perturb the
+#      execution by zero bytes, report engine-invariant sketch figures
+#      serial vs --shards 4, sweep --jobs 1 == 4 with the sketch columns,
+#      and honor the --skew-stride deprecation.
+#   8. Large-n queue gate: smoke_bench.sh with SMOKE_BENCH_LARGE=1,
 #      which fails if the ladder queue is < 1.2x the heap on the serial
 #      line n=100000 config (and re-checks the small-n geomean so the
 #      ladder can't buy large-n throughput with a small-n regression).
@@ -89,6 +94,11 @@ bash scripts/smoke_churn.sh \
 echo
 echo "=== fault-tolerant GCS smoke ==="
 bash scripts/smoke_ftgcs.sh \
+  build/tools/tbcs_sim build/tools/tbcs_trace build/tools/tbcs_sweep
+
+echo
+echo "=== telemetry-backend smoke ==="
+bash scripts/smoke_obs.sh \
   build/tools/tbcs_sim build/tools/tbcs_trace build/tools/tbcs_sweep
 
 echo

@@ -50,19 +50,10 @@ run_sim() {  # run_sim <shards> <tag> [extra flags...]
              "$@" > "$TMPDIR_SMOKE/$tag.out"
 }
 
-# Strips the blocks that are *supposed* to differ across engines/shard
-# counts: "engine" (requested shard count), "queue_impl" (per-lane
-# bucket/wheel internals).  With normalize_peak, additionally zeroes
-# queue peak_size (see header: barrier-sampled vs per-push peak).
-canon_stats() {  # canon_stats <file> [normalize_peak]
-  local f="$1" norm="${2:-}"
-  if [[ -n "$norm" ]]; then
-    grep -v -e '"engine"' -e '"queue_impl"' "$f" \
-      | sed 's/"peak_size": [0-9]*/"peak_size": 0/'
-  else
-    grep -v -e '"engine"' -e '"queue_impl"' "$f"
-  fi
-}
+# canon_stats (shared): strips the blocks that are *supposed* to differ
+# across engines/shard counts; normalize_peak additionally zeroes queue
+# peak_size (see header: barrier-sampled vs per-push peak).
+. "$(dirname "$0")/stats_filter.sh"
 
 run_sim 0 serial
 for n in 1 2 4; do

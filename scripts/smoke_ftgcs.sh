@@ -32,6 +32,9 @@ SWEEP_BIN="${3:?$USAGE}"
 TMPDIR_SMOKE="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR_SMOKE"' EXIT
 
+# canon_stats: shared stats canonicalizer (strips engine/queue_impl).
+. "$(dirname "$0")/stats_filter.sh"
+
 # Chaos plan: an up-liar and a down-liar active from first contact (the
 # pairing that defeats aopt's one-sided defenses), plus a crash, a lossy
 # channel window, and a late scramble for the stabilization probe.
@@ -70,8 +73,8 @@ cmp "$TMPDIR_SMOKE/serial.rec" "$TMPDIR_SMOKE/s1.rec" \
 for n in 2 4; do
   cmp "$TMPDIR_SMOKE/s1.rec" "$TMPDIR_SMOKE/s$n.rec" \
     || { echo "FAIL: rec --shards 1 != --shards $n"; exit 1; }
-  cmp <(grep -v -e '"engine"' -e '"queue_impl"' "$TMPDIR_SMOKE/s1.stats") \
-      <(grep -v -e '"engine"' -e '"queue_impl"' "$TMPDIR_SMOKE/s$n.stats") \
+  cmp <(canon_stats "$TMPDIR_SMOKE/s1.stats") \
+      <(canon_stats "$TMPDIR_SMOKE/s$n.stats") \
     || { echo "FAIL: stats --shards 1 != --shards $n"; exit 1; }
   "$TRACE_BIN" --diff "$TMPDIR_SMOKE/s1.bin" "$TMPDIR_SMOKE/s$n.bin" \
     || { echo "FAIL: trace --shards 1 != --shards $n"; exit 1; }

@@ -22,6 +22,9 @@ TRACE_BIN="${2:?usage: smoke_shards.sh /path/to/tbcs_sim /path/to/tbcs_trace}"
 TMPDIR_SMOKE="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR_SMOKE"' EXIT
 
+# canon_stats: shared stats canonicalizer (strips engine/queue_impl).
+. "$(dirname "$0")/stats_filter.sh"
+
 # Topology-agnostic plan (no explicit link directives, which would have
 # to name real edges): the crash cuts every incident link — including
 # cut edges, so twin link events are exercised on every topology.
@@ -64,16 +67,14 @@ check_case() {  # check_case <topology> <label> [extra flags...]
                "$TMPDIR_SMOKE/$label-s1.bin" \
     || { echo "FAIL($label): trace serial != --shards 1"; exit 1; }
 
-  # Gate 2: shard counts agree on everything, byte for byte.  The stats
-  # "engine" and "queue_impl" lines record the requested shard count and
-  # the per-lane bucket/wheel internals — the two blocks that are
-  # *supposed* to differ across -sN runs; strip them before the byte
-  # comparison.
+  # Gate 2: shard counts agree on everything, byte for byte (stats via
+  # canon_stats, which drops the blocks that are *supposed* to differ
+  # across -sN runs).
   for n in 2 4; do
     cmp "$TMPDIR_SMOKE/$label-s1.rec" "$TMPDIR_SMOKE/$label-s$n.rec" \
       || { echo "FAIL($label): rec --shards 1 != --shards $n"; exit 1; }
-    cmp <(grep -v -e '"engine"' -e '"queue_impl"' "$TMPDIR_SMOKE/$label-s1.stats") \
-        <(grep -v -e '"engine"' -e '"queue_impl"' "$TMPDIR_SMOKE/$label-s$n.stats") \
+    cmp <(canon_stats "$TMPDIR_SMOKE/$label-s1.stats") \
+        <(canon_stats "$TMPDIR_SMOKE/$label-s$n.stats") \
       || { echo "FAIL($label): stats --shards 1 != --shards $n"; exit 1; }
     "$TRACE_BIN" --diff "$TMPDIR_SMOKE/$label-s1.bin" \
                  "$TMPDIR_SMOKE/$label-s$n.bin" \

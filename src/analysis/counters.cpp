@@ -1,5 +1,6 @@
 #include "analysis/counters.hpp"
 
+#include <cmath>
 #include <ostream>
 
 #include "obs/flight_recorder.hpp"
@@ -49,7 +50,8 @@ QueueReport QueueReport::capture(const sim::Simulator& sim) {
 
 void write_stats_json(std::ostream& os, const sim::Simulator& sim,
                       const obs::MetricsRegistry::Snapshot* metrics,
-                      const obs::FlightRecorder* recorder) {
+                      const obs::FlightRecorder* recorder,
+                      const ObsBackendReport* obs) {
   const CommunicationReport comm = CommunicationReport::capture(sim);
   const QueueReport queue = QueueReport::capture(sim);
   const auto p = os.precision(12);
@@ -94,6 +96,27 @@ void write_stats_json(std::ostream& os, const sim::Simulator& sim,
      << ", \"queue_capacity\": " << qi.queue_capacity
      << ", \"slab_capacity\": " << qi.slab_capacity
      << ", \"wheel_capacity\": " << qi.wheel_capacity << "},\n";
+  // Telemetry history backend.  Unlike "engine"/"queue_impl" this block is
+  // engine-invariant by contract (see ObsBackendReport), so the
+  // byte-comparison gates keep it.
+  if (obs != nullptr) {
+    os << "  \"obs\": {"
+       << "\"backend\": \"" << obs->backend
+       << "\", \"budget_bytes\": " << obs->budget_bytes
+       << ", \"error_bound\": ";
+    if (std::isfinite(obs->error_bound)) {
+      os << obs->error_bound;
+    } else {
+      os << "null";
+    }
+    if (obs->backend != "exact") {
+      os << ", \"appends\": " << obs->appends
+         << ", \"memory_bytes\": " << obs->memory_bytes
+         << ", \"windows\": " << obs->windows
+         << ", \"coarsest_window_span\": " << obs->coarsest_window_span;
+    }
+    os << "},\n";
+  }
   os << "  \"metrics\": ";
   if (metrics != nullptr) {
     write_metrics_json(os, *metrics);

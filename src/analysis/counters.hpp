@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 
 #include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
@@ -48,13 +49,34 @@ struct QueueReport {
   static QueueReport capture(const sim::Simulator& sim);
 };
 
+/// Telemetry history-backend summary for the "obs" stats block.  Every
+/// field here must be engine-invariant (identical across --shards /
+/// --queue / --jobs): backend and budget are configuration, and the stair
+/// figures are pure functions of the grid-sampled append sequence, which
+/// the probe grid pins to k * delay in every engine.
+struct ObsBackendReport {
+  std::string backend;           // "exact" | "stair"
+  std::size_t budget_bytes = 0;  // per-stream stair budget
+  double error_bound = 0.0;      // advertised |exact - reported| bound (NaN:
+                                 // not quantifiable, serialized as null)
+  // Stair-only figures (emitted when backend != "exact").
+  std::uint64_t appends = 0;        // grid samples recorded
+  std::size_t memory_bytes = 0;     // bytes retained across the stores
+  std::size_t windows = 0;          // retained windows across the stores
+  double coarsest_window_span = 0.0;  // widest merged window (time units)
+};
+
 /// One JSON object combining the communication report, the queue report,
-/// and (when given) a metrics-registry snapshot and flight-recorder trace
-/// info — what `tbcs_sim --stats` prints on exit:
-///   {"communication": {...}, "queue": {...},
+/// and (when given) a metrics-registry snapshot, flight-recorder trace
+/// info, and the telemetry-backend report — what `tbcs_sim --stats`
+/// prints on exit:
+///   {"communication": {...}, "queue": {...}, "engine": {...},
+///    "queue_impl": {...}, "obs": {...}?,
 ///    "metrics": {...} | null, "trace": {...} | null}
+/// The "obs" block is present only when `obs` is non-null.
 void write_stats_json(std::ostream& os, const sim::Simulator& sim,
                       const obs::MetricsRegistry::Snapshot* metrics = nullptr,
-                      const obs::FlightRecorder* recorder = nullptr);
+                      const obs::FlightRecorder* recorder = nullptr,
+                      const ObsBackendReport* obs = nullptr);
 
 }  // namespace tbcs::analysis

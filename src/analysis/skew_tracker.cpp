@@ -44,7 +44,16 @@ SkewTracker::SkewTracker(const sim::Simulator& sim, Options opt) : opt_(opt) {
   if (opt_.recovery_classify_interval > 0.0) {
     next_classify_t_ = opt_.recovery_classify_interval;
   }
-  incremental_ = opt_.mode != Mode::kFullRescan && opt_.stride <= 1;
+  hist_global_ = obs::make_history_store(opt_.history);
+  hist_local_ = obs::make_history_store(opt_.history);
+  if (opt_.sample_grid > 0.0) {
+    // Grid points live at k * sample_grid (matching the simulators'
+    // probe_next_ arithmetic); start at the first one not inside warmup.
+    next_grid_t_ = opt_.sample_grid;
+    while (next_grid_t_ < opt_.warmup) next_grid_t_ += opt_.sample_grid;
+  }
+  incremental_ = opt_.mode != Mode::kFullRescan && opt_.stride <= 1 &&
+                 opt_.sample_grid <= 0.0;
   degraded_to_full_rescan_ = opt_.mode != Mode::kFullRescan && opt_.stride > 1;
   if (degraded_to_full_rescan_) {
     fallback_counter_ =
@@ -68,6 +77,37 @@ void SkewTracker::attach_windowed(sim::Simulator& sim) {
              const std::vector<sim::Simulator::WindowTouch>& touched) {
         observe_window(s, t, touched);
       });
+}
+
+const std::vector<SkewTracker::Sample>& SkewTracker::series() const {
+  if (series_dirty_) {
+    series_cache_.clear();
+    const auto wg = hist_global_->windows();
+    const auto wl = hist_local_->windows();
+    series_cache_.reserve(wg.size());
+    for (std::size_t i = 0; i < wg.size(); ++i) {
+      // Both stores ingest identical append times, so window i covers the
+      // same samples in each; a window reports its covered max (exact
+      // backend: singleton windows, i.e. the raw recorded points).
+      series_cache_.push_back(Sample{wg[i].t_hi, wg[i].max,
+                                     i < wl.size() ? wl[i].max : 0.0});
+    }
+    series_dirty_ = false;
+  }
+  return series_cache_;
+}
+
+double SkewTracker::skew_error_bound() const {
+  if (opt_.stride > 1) return std::numeric_limits<double>::quiet_NaN();
+  if (opt_.sample_grid <= 0.0) return 0.0;
+  if (opt_.error_rate_span <= 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  // Between consecutive grid samples the skew can drift by at most
+  // rate_span per unit time for sample_grid time units; the maximum of a
+  // piecewise-linear function over the skipped interval exceeds its
+  // grid-endpoint values by no more than that.
+  return opt_.error_rate_span * opt_.sample_grid;
 }
 
 double SkewTracker::max_skew_at_distance(int d) const {
@@ -108,6 +148,12 @@ void SkewTracker::do_sample(const sim::Simulator& sim, double t,
                             std::size_t n_touched) {
   if (t < opt_.warmup) return;
   if (opt_.stride > 1 && (calls_++ % opt_.stride) != 0) return;
+  // Grid mode: take only the first sample at/after each grid point.  The
+  // probe event (serial) / probe barrier (sharded) at exactly the grid
+  // time is that sample in both engines, so everything downstream is
+  // engine-invariant.  The early return is what makes large-n runs
+  // affordable: all other events cost one comparison.
+  if (opt_.sample_grid > 0.0 && t < next_grid_t_) return;
   ++samples_;
   if (degraded_to_full_rescan_) fallback_counter_.inc();
 
@@ -181,6 +227,9 @@ void SkewTracker::do_sample(const sim::Simulator& sim, double t,
     while (next_classify_t_ <= t) {
       next_classify_t_ += opt_.recovery_classify_interval;
     }
+  }
+  if (opt_.sample_grid > 0.0) {
+    while (next_grid_t_ <= t) next_grid_t_ += opt_.sample_grid;
   }
 
   if (oracle_) {
@@ -423,14 +472,23 @@ void SkewTracker::full_scan(const sim::Simulator& sim, double t) {
     }
   }
 
-  if (opt_.series_interval > 0.0 && t >= next_series_t_) {
-    series_.push_back(Sample{t, global, local});
-    // Advance on the fixed grid warmup + k * interval: anchoring the next
-    // target at `t` would accumulate per-probe jitter and let the series
-    // drift off the requested cadence.
-    do {
-      next_series_t_ += opt_.series_interval;
-    } while (next_series_t_ <= t);
+  // Grid mode records every taken sample (the grid IS the cadence);
+  // otherwise the series_interval cadence applies.
+  const bool series_due =
+      opt_.sample_grid > 0.0 ||
+      (opt_.series_interval > 0.0 && t >= next_series_t_);
+  if (series_due) {
+    hist_global_->append(t, global);
+    hist_local_->append(t, local);
+    series_dirty_ = true;
+    if (opt_.sample_grid <= 0.0) {
+      // Advance on the fixed grid warmup + k * interval: anchoring the
+      // next target at `t` would accumulate per-probe jitter and let the
+      // series drift off the requested cadence.
+      do {
+        next_series_t_ += opt_.series_interval;
+      } while (next_series_t_ <= t);
+    }
   }
 }
 
@@ -448,13 +506,12 @@ void SkewTracker::assert_matches_oracle(double t) const {
                           max_envelope_violation_ == o.max_envelope_violation_ &&
                           min_logical_rate_ == o.min_logical_rate_ &&
                           max_logical_rate_ == o.max_logical_rate_;
-  bool vectors_ok =
-      per_distance_ == o.per_distance_ && series_.size() == o.series_.size();
-  if (vectors_ok && !series_.empty()) {
-    const Sample& a = series_.back();
-    const Sample& b = o.series_.back();
-    vectors_ok = a.t == b.t && a.global_skew == b.global_skew &&
-                 a.local_skew == b.local_skew;
+  bool vectors_ok = per_distance_ == o.per_distance_ &&
+                    hist_global_->appends() == o.hist_global_->appends();
+  if (vectors_ok && hist_global_->appends() > 0) {
+    vectors_ok = hist_global_->last_time() == o.hist_global_->last_time() &&
+                 hist_global_->last_value() == o.hist_global_->last_value() &&
+                 hist_local_->last_value() == o.hist_local_->last_value();
   }
   if (scalars_ok && vectors_ok) return;
   std::ostringstream os;
@@ -464,11 +521,11 @@ void SkewTracker::assert_matches_oracle(double t) const {
      << ", local=" << max_local_skew_
      << ", envelope=" << max_envelope_violation_
      << ", rates=[" << min_logical_rate_ << ", " << max_logical_rate_
-     << "], series=" << series_.size() << "} vs oracle {global="
+     << "], series=" << hist_global_->appends() << "} vs oracle {global="
      << o.max_global_skew_ << ", local=" << o.max_local_skew_
      << ", envelope=" << o.max_envelope_violation_ << ", rates=["
      << o.min_logical_rate_ << ", " << o.max_logical_rate_
-     << "], series=" << o.series_.size() << "}";
+     << "], series=" << o.hist_global_->appends() << "}";
   throw std::logic_error(os.str());
 }
 

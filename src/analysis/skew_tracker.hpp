@@ -33,6 +33,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/history_store.hpp"
 #include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
@@ -86,6 +87,31 @@ class SkewTracker {
     /// Record a (t, global, local) time-series point at most every
     /// `series_interval` time units (0 = no series).
     double series_interval = 0.0;
+
+    /// History backend for the recorded series (exact keeps every point;
+    /// stair summarizes old history under a memory budget).
+    obs::HistoryConfig history;
+
+    /// When > 0, sample ONLY on the fixed time grid k * sample_grid
+    /// (k >= 1, grid points accumulated by addition): the first observer
+    /// call with t >= the next grid point is taken, all others are
+    /// skipped, and every taken sample is recorded into the history
+    /// stores.  Pair it with SimConfig::probe_interval == sample_grid so
+    /// both engines deliver a sample at exactly every grid point (the
+    /// serial probe events and the sharded probe barriers fire at
+    /// bit-equal times), which keeps the sketch byte-identical serial vs
+    /// any --shards count.  Maxima become grid maxima; the gap to the
+    /// exact figures is bounded by skew_error_bound().  Disables the
+    /// incremental engine (the grid is sparse, so the few scans are
+    /// cheap) and ignores series_interval.
+    double sample_grid = 0.0;
+
+    /// Worst-case growth rate of the skew between two samples (per unit
+    /// real time); skew_error_bound() = error_rate_span * sample_grid.
+    /// For the continuous-rate A^opt this is
+    /// (1+eps)(1+mu) - (1-eps): the fastest and slowest legal logical
+    /// rates diverge no quicker.  <= 0 = unknown (bound reports NaN).
+    double error_rate_span = 0.0;
 
     /// Ignore all samples before this time (lets experiments exclude the
     /// initialization flood when they study steady-state behavior).
@@ -187,8 +213,27 @@ class SkewTracker {
   double min_logical_rate() const { return min_logical_rate_; }
   double max_logical_rate() const { return max_logical_rate_; }
 
-  const std::vector<Sample>& series() const { return series_; }
+  /// The recorded (t, global, local) series, materialized from the
+  /// history backend: one entry per retained window (exact backend: one
+  /// per recorded point, bit-identical to the pre-backend tracker; stair:
+  /// older entries summarize whole windows by their max).
+  const std::vector<Sample>& series() const;
   std::uint64_t samples_taken() const { return samples_; }
+
+  /// The raw history stores behind series() (global / local skew).
+  const obs::HistoryStore& global_history() const { return *hist_global_; }
+  const obs::HistoryStore& local_history() const { return *hist_local_; }
+
+  /// Worst-case gap between the reported skew maxima and the exact
+  /// (every-breakpoint) figures.  0 for exact every-sample tracking, NaN
+  /// when unknown (stride > 1, or grid sampling without an
+  /// error_rate_span), else error_rate_span * sample_grid.
+  double skew_error_bound() const;
+
+  /// Bytes held by the series history stores.
+  std::size_t history_memory_bytes() const {
+    return hist_global_->memory_bytes() + hist_local_->memory_bytes();
+  }
 
   /// Full O(n + E) scans actually executed (== samples_taken() for the
   /// oracle; the incremental engine's figure of merit is how far this
@@ -262,9 +307,16 @@ class SkewTracker {
   double max_envelope_violation_ = -sim::kInfinity;
   double min_logical_rate_ = sim::kInfinity;
   double max_logical_rate_ = -sim::kInfinity;
-  std::vector<Sample> series_;
+  /// Series history, one store per component; series() materializes the
+  /// zipped view on demand (both stores see identical append times, so
+  /// their window structures always align index-for-index).
+  std::unique_ptr<obs::HistoryStore> hist_global_;
+  std::unique_ptr<obs::HistoryStore> hist_local_;
+  mutable std::vector<Sample> series_cache_;
+  mutable bool series_dirty_ = false;
   double earliest_start_ = sim::kInfinity;
   double next_series_t_ = 0.0;
+  double next_grid_t_ = 0.0;  // next sample_grid point (grid mode only)
   double next_per_distance_t_ = 0.0;
   std::uint64_t calls_ = 0;
   std::uint64_t samples_ = 0;

@@ -12,6 +12,7 @@
 #include "core/envelope_sync.hpp"
 #include "core/external_sync.hpp"
 #include "graph/topologies.hpp"
+#include "sim/clock_model.hpp"
 #include "sim/rng.hpp"
 #include "sim/tick_quantizer.hpp"
 
@@ -33,6 +34,8 @@ void apply_model_flags(ArgParser& args, ExperimentConfig& cfg) {
   cfg.mu = args.get_double("mu", cfg.mu);
   cfg.h0 = args.get_double("h0", cfg.h0);
   cfg.drift = args.get_string("drift", cfg.drift);
+  cfg.drift_interval = args.get_double("drift-interval", cfg.drift_interval);
+  cfg.drift_step = args.get_double("drift-step", cfg.drift_step);
   cfg.delays = args.get_string("delays", cfg.delays);
   cfg.band_min = args.get_double("band-min", cfg.band_min);
   cfg.duration = args.get_double("duration", cfg.duration);
@@ -76,6 +79,8 @@ void apply_model_flags(ArgParser& args, ExperimentConfig& cfg) {
   cfg.stab_time = args.get_double("stab-time", cfg.stab_time);
   cfg.stab_bound = args.get_double("stab-bound", cfg.stab_bound);
   cfg.skew_stride = args.get_int("skew-stride", cfg.skew_stride);
+  cfg.obs_backend = args.get_string("obs-backend", cfg.obs_backend);
+  cfg.obs_memory_kb = args.get_int("obs-memory-kb", cfg.obs_memory_kb);
 }
 
 graph::Graph build_topology(const ExperimentConfig& cfg) {
@@ -158,25 +163,55 @@ dyn::DynGcsOptions resolve_dyn_gcs(const ExperimentConfig& cfg,
   return o;
 }
 
+obs::HistoryConfig resolve_history(const ExperimentConfig& cfg) {
+  obs::HistoryConfig h;
+  try {
+    h.backend = obs::parse_history_backend(cfg.obs_backend);
+  } catch (const std::invalid_argument& e) {
+    throw ConfigError(e.what());
+  }
+  if (cfg.obs_memory_kb <= 0) {
+    throw ConfigError("--obs-memory-kb must be > 0");
+  }
+  h.memory_budget_bytes =
+      static_cast<std::size_t>(cfg.obs_memory_kb) * 1024;
+  return h;
+}
+
 namespace {
 
 std::shared_ptr<sim::DriftPolicy> build_drift(const ExperimentConfig& cfg) {
+  // Every named drift model maps onto an OscillatorSpec so the CLI, sweep
+  // specs, and scenario tests construct byte-identical policies through
+  // sim::make_oscillator.  Legacy cadences (10 T / 40 T / 80 T) and seed
+  // offsets are preserved exactly when --drift-interval is absent.
+  using Kind = sim::OscillatorSpec::Kind;
+  sim::OscillatorSpec spec;
+  spec.epsilon = cfg.eps;
+  const double iv = cfg.drift_interval;
   if (cfg.drift == "walk") {
-    return std::make_shared<sim::RandomWalkDrift>(cfg.eps, 10.0 * cfg.delay,
-                                                  cfg.seed + 1);
+    spec.kind = Kind::kWalk;
+    spec.interval = iv > 0.0 ? iv : 10.0 * cfg.delay;
+    spec.seed = cfg.seed + 1;
+  } else if (cfg.drift == "rwalk") {
+    spec.kind = Kind::kClampedWalk;
+    spec.interval = iv > 0.0 ? iv : 10.0 * cfg.delay;
+    spec.step = cfg.drift_step > 0.0 ? cfg.drift_step : cfg.eps / 2.0;
+    spec.seed = cfg.seed + 7;
+  } else if (cfg.drift == "square") {
+    spec.kind = Kind::kSquare;
+    spec.interval = iv > 0.0 ? iv : 40.0 * cfg.delay;
+    spec.fast_below = static_cast<sim::NodeId>(cfg.nodes / 2);
+  } else if (cfg.drift == "sine") {
+    spec.kind = Kind::kSine;
+    spec.interval = iv > 0.0 ? iv : 80.0 * cfg.delay;
+    spec.seed = cfg.seed + 2;
+  } else if (cfg.drift == "const") {
+    spec.kind = Kind::kConst;
+  } else {
+    throw ConfigError("unknown drift model: " + cfg.drift);
   }
-  if (cfg.drift == "square") {
-    const int half = cfg.nodes / 2;
-    return std::make_shared<sim::SquareWaveDrift>(
-        cfg.eps, 40.0 * cfg.delay,
-        [half](sim::NodeId v) { return v < half; });
-  }
-  if (cfg.drift == "sine") {
-    return std::make_shared<sim::SinusoidalDrift>(cfg.eps, 80.0 * cfg.delay,
-                                                  cfg.seed + 2);
-  }
-  if (cfg.drift == "const") return std::make_shared<sim::ConstantDrift>(1.0);
-  throw ConfigError("unknown drift model: " + cfg.drift);
+  return std::shared_ptr<sim::DriftPolicy>(sim::make_oscillator(spec));
 }
 
 std::shared_ptr<sim::DelayPolicy> build_delays(const ExperimentConfig& cfg,

@@ -14,6 +14,7 @@
 #include "fault/fault_injection.hpp"
 #include "fault/fault_plan.hpp"
 #include "graph/graph.hpp"
+#include "obs/history_store.hpp"
 #include "sim/delay_policy.hpp"
 #include "sim/drift_policy.hpp"
 #include "sim/node.hpp"
@@ -45,11 +46,19 @@ struct ExperimentConfig {
   double mu = 0.0;     // 0 -> paper minimum
   double h0 = 0.0;     // 0 -> delay / mu
 
-  // Adversary: drift = walk | square | sine | const;
+  // Adversary: drift = walk | rwalk | square | sine | const;
   // delays = uniform | fixed | band | bimodal | burst | hiding
   std::string drift = "walk";
   std::string delays = "uniform";
   double band_min = 0.5;  // for delays=band
+
+  // Oscillator-family knobs (sim/clock_model.hpp).  drift_interval
+  // overrides the drift model's rate-change cadence / period (0 keeps the
+  // legacy per-model default: 10 T walk/rwalk, 40 T square, 80 T sine);
+  // drift_step is the max |rate increment| per change for drift=rwalk
+  // (0 -> eps / 2).
+  double drift_interval = 0.0;
+  double drift_step = 0.0;
 
   double duration = 500.0;
   std::uint64_t seed = 1;
@@ -122,7 +131,16 @@ struct ExperimentConfig {
   // degrades the incremental engine to strided full rescans and reported
   // maxima become lower bounds, but large-n serial runs stop paying a
   // rescan per event; execution bytes are unaffected).  1 = exact.
+  // DEPRECATED: serial-engine only and no error bound — prefer
+  // obs_backend = "stair", which grid-samples with a queryable bound and
+  // works identically under --shards.
   int skew_stride = 1;
+
+  // Telemetry history backend ("exact" | "stair") and the stair sketch's
+  // per-stream memory budget.  Observer-only: record/trace bytes are
+  // identical across backends.
+  std::string obs_backend = "exact";
+  int obs_memory_kb = 64;
 };
 
 struct BuiltExperiment {
@@ -182,5 +200,10 @@ dyn::DynGcsOptions resolve_dyn_gcs(const ExperimentConfig& cfg,
 /// Effective FtGcs options for --algo ftgcs (maps ftgcs_filter onto the
 /// envelope_filter/trim switches; throws ConfigError on a bad value).
 core::FtGcsOptions resolve_ftgcs(const ExperimentConfig& cfg);
+
+/// Effective telemetry history backend (maps obs_backend / obs_memory_kb
+/// onto an obs::HistoryConfig; throws ConfigError on a bad backend name
+/// or a non-positive budget).
+obs::HistoryConfig resolve_history(const ExperimentConfig& cfg);
 
 }  // namespace tbcs::cli

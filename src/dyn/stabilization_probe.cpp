@@ -12,7 +12,11 @@ constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
-StabilizationProbe::StabilizationProbe(Options opt) : opt_(opt) {}
+StabilizationProbe::StabilizationProbe(Options opt) : opt_(opt) {
+  bounded_ = opt_.history.backend == obs::HistoryConfig::Backend::kStair;
+  if (bounded_) history_ = obs::make_history_store(opt_.history);
+  if (opt_.sample_grid > 0.0) next_grid_t_ = opt_.sample_grid;
+}
 
 void StabilizationProbe::note_insert(sim::NodeId u, sim::NodeId v, double t,
                                      double t_end) {
@@ -58,6 +62,10 @@ void StabilizationProbe::preload(const ChurnSchedule& schedule) {
 void StabilizationProbe::observe(const sim::Simulator& sim, double t) {
   if (opt_.bound <= 0.0) return;
   if (opt_.stride > 1 && (calls_++ % opt_.stride) != 0) return;
+  if (opt_.sample_grid > 0.0) {
+    if (t < next_grid_t_) return;
+    while (next_grid_t_ <= t) next_grid_t_ += opt_.sample_grid;
+  }
   for (std::size_t i = live_floor_; i < records_.size(); ++i) {
     Record& r = records_[i];
     if (r.t_insert > t) break;  // sorted: nothing later is live yet
@@ -84,17 +92,44 @@ void StabilizationProbe::observe(const sim::Simulator& sim, double t) {
       r.stable = false;  // re-excursion: "for good" means no later breach
     }
   }
+  if (bounded_) compact_finished_prefix();
+}
+
+void StabilizationProbe::compact_finished_prefix() {
+  // Records before live_floor_ are past t_end: observe() never touches
+  // them again, so their figures are final and folding them into the
+  // aggregates is exactly equivalent to keeping them.  Compact lazily so
+  // steady churn amortizes the erase to O(1) per record.
+  if (live_floor_ < 1024) return;
+  for (std::size_t i = 0; i < live_floor_; ++i) {
+    const Record& r = records_[i];
+    ++folded_count_;
+    if (r.stable) {
+      ++folded_stable_;
+      const double st = r.stabilization_time();
+      folded_stab_sum_ += st;
+      if (!(folded_stab_max_ >= st)) folded_stab_max_ = st;
+      history_->append(r.t_insert, st);
+    }
+    if (!std::isnan(r.predicted)) {
+      folded_pred_sum_ += r.predicted;
+      ++folded_pred_count_;
+    }
+  }
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<std::ptrdiff_t>(live_floor_));
+  live_floor_ = 0;
 }
 
 std::size_t StabilizationProbe::stabilized() const {
-  std::size_t n = 0;
+  std::size_t n = folded_stable_;
   for (const Record& r : records_) n += r.stable ? 1 : 0;
   return n;
 }
 
 double StabilizationProbe::mean_stabilization_time() const {
-  double sum = 0.0;
-  std::size_t n = 0;
+  double sum = folded_stab_sum_;
+  std::size_t n = folded_stable_;
   for (const Record& r : records_) {
     if (r.stable) {
       sum += r.stabilization_time();
@@ -105,7 +140,7 @@ double StabilizationProbe::mean_stabilization_time() const {
 }
 
 double StabilizationProbe::max_stabilization_time() const {
-  double mx = kNaN;
+  double mx = folded_stab_max_;
   for (const Record& r : records_) {
     if (r.stable && !(mx >= r.stabilization_time())) {
       mx = r.stabilization_time();
@@ -115,8 +150,8 @@ double StabilizationProbe::max_stabilization_time() const {
 }
 
 double StabilizationProbe::mean_predicted_time() const {
-  double sum = 0.0;
-  std::size_t n = 0;
+  double sum = folded_pred_sum_;
+  std::size_t n = folded_pred_count_;
   for (const Record& r : records_) {
     if (!std::isnan(r.predicted)) {
       sum += r.predicted;

@@ -21,9 +21,11 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "analysis/skew_tracker.hpp"
+#include "obs/history_store.hpp"
 #include "dyn/churn_plan.hpp"
 #include "sim/simulator.hpp"
 
@@ -41,6 +43,22 @@ class StabilizationProbe {
     /// coarsen and short-lived windows may go unsampled; counters that
     /// depend on sampling stop being cadence-invariant).  1 = exact.
     std::uint64_t stride = 1;
+
+    /// History backend.  Exact (default) retains every Record forever —
+    /// bit-identical to the pre-backend probe.  Stair folds finished
+    /// records (t past t_end) into running aggregates plus a bounded
+    /// (t_insert, stabilization_time) history store, so memory stays
+    /// O(live edges + budget) under sustained churn; records() then only
+    /// exposes the unfolded suffix, while the aggregate accessors keep
+    /// reporting over everything.
+    obs::HistoryConfig history;
+
+    /// When > 0, sample only on the fixed time grid k * sample_grid
+    /// (first observer call at/after each grid point; same arithmetic as
+    /// SkewTracker::Options::sample_grid, pair with
+    /// SimConfig::probe_interval for engine invariance).  Stabilization
+    /// figures coarsen to grid resolution.
+    double sample_grid = 0.0;
   };
 
   struct Record {
@@ -80,8 +98,10 @@ class StabilizationProbe {
   void observe(const sim::Simulator& sim, double t);
 
   // ---- results ---------------------------------------------------------------
+  /// Retained records: everything in exact mode, the unfolded suffix in
+  /// stair mode (use the aggregate accessors for whole-run figures).
   const std::vector<Record>& records() const { return records_; }
-  std::size_t insertions() const { return records_.size(); }
+  std::size_t insertions() const { return folded_count_ + records_.size(); }
   std::size_t stabilized() const;
   /// Mean / max stabilization time over stabilized records (NaN if none).
   double mean_stabilization_time() const;
@@ -89,11 +109,39 @@ class StabilizationProbe {
   /// Mean predicted time over records with a valid prediction (NaN: none).
   double mean_predicted_time() const;
 
+  /// Stair mode: bounded (t_insert, stabilization_time) history of folded
+  /// stabilized records; nullptr in exact mode.
+  const obs::HistoryStore* stabilization_history() const {
+    return history_.get();
+  }
+  /// Bytes retained by the probe (records + history store).
+  std::size_t memory_bytes() const {
+    return records_.size() * sizeof(Record) +
+           (history_ ? history_->memory_bytes() : 0);
+  }
+
  private:
+  /// Stair mode: folds the finished prefix [0, live_floor_) into the
+  /// aggregates and drops it once it is large enough to matter.
+  void compact_finished_prefix();
+
   Options opt_;
   std::vector<Record> records_;
   std::size_t live_floor_ = 0;  // records before this are past t_end
   std::uint64_t calls_ = 0;     // observer calls seen (stride counter)
+  double next_grid_t_ = 0.0;    // next sample_grid point (grid mode only)
+
+  // ---- folded aggregates (stair mode) -------------------------------------
+  // Identical to re-folding the dropped records: every accessor is the
+  // combination of these and the retained suffix.
+  bool bounded_ = false;
+  std::size_t folded_count_ = 0;         // records dropped
+  std::size_t folded_stable_ = 0;        // ... of which stabilized
+  double folded_stab_sum_ = 0.0;         // sum of stabilization_time()
+  double folded_stab_max_ = std::numeric_limits<double>::quiet_NaN();
+  double folded_pred_sum_ = 0.0;         // sum of valid predictions
+  std::size_t folded_pred_count_ = 0;
+  std::unique_ptr<obs::HistoryStore> history_;
 };
 
 /// Installs tracker and/or probe as the simulator's (window) observer in

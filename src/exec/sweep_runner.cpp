@@ -20,6 +20,20 @@ std::vector<RunResult> SweepRunner::run(
   pool.parallel_for(specs.size(), [this, &specs, &out](std::size_t i) {
     out[i] = run_one(specs[i], i, opt_);
   });
+  // Registry timelines for stair sweeps: per-run skew rollups through the
+  // bounded backend.  Recorded serially AFTER the parallel loop, in index
+  // order, so the stores' contents (a pure function of the append
+  // sequence) are byte-identical at every --jobs setting.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (!out[i].ok) continue;
+    const obs::HistoryConfig hcfg = cli::resolve_history(specs[i].config);
+    if (hcfg.backend != obs::HistoryConfig::Backend::kStair) continue;
+    auto& reg = obs::MetricsRegistry::global();
+    if (!reg.timelines_enabled()) reg.enable_timelines(hcfg);
+    const double t = static_cast<double>(i);
+    reg.record_timeline("sweep.global_skew", t, out[i].global_skew);
+    reg.record_timeline("sweep.local_skew", t, out[i].local_skew);
+  }
   return out;
 }
 
@@ -43,6 +57,19 @@ RunResult SweepRunner::run_one(const RunSpec& spec, std::size_t index,
     analysis::SkewTracker::Options topt;
     topt.audit_epsilon = opt.audit_epsilon;
     topt.stride = opt.tracker_stride;
+    const obs::HistoryConfig hcfg = cli::resolve_history(cfg);
+    const bool stair = hcfg.backend == obs::HistoryConfig::Backend::kStair;
+    topt.history = hcfg;
+    if (stair) {
+      // Grid-sample on the probe grid (armed every cfg.delay by
+      // build_experiment) so the sketch is a pure function of the spec —
+      // byte-identical across --jobs and --shards.  Strided sampling is
+      // superseded by the grid.
+      topt.stride = 1;
+      topt.sample_grid = cfg.delay;
+      topt.error_rate_span =
+          (1.0 + cfg.eps) * (1.0 + built.params.mu) - (1.0 - cfg.eps);
+    }
     const bool faulty = !built.timeline.empty();
     if (faulty) {
       topt.recovery_global_bound = r.global_bound;
@@ -91,6 +118,18 @@ RunResult SweepRunner::run_one(const RunSpec& spec, std::size_t index,
         {"queue_pops", static_cast<double>(qs.pops)},
         {"timer_cancels", static_cast<double>(sim.timer_cancels())},
     };
+    if (stair) {
+      // Extra telemetry columns ride along only on non-default backends,
+      // so existing exact-mode CSV/JSON bytes are untouched.
+      r.metrics.emplace_back("skew_error_bound", tracker.skew_error_bound());
+      r.metrics.emplace_back(
+          "obs_history_bytes",
+          static_cast<double>(tracker.history_memory_bytes()));
+      r.metrics.emplace_back(
+          "obs_history_windows",
+          static_cast<double>(tracker.global_history().windows().size() +
+                              tracker.local_history().windows().size()));
+    }
     if (faulty) {
       const double rec = tracker.recovery_time();
       r.metrics.emplace_back("faults_applied",

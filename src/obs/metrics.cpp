@@ -7,6 +7,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/log2_buckets.hpp"
+
 namespace tbcs::obs {
 
 namespace {
@@ -132,16 +134,38 @@ double MetricsRegistry::get_gauge(std::uint32_t id) const {
 }
 
 int MetricsRegistry::bucket_index(double value) {
-  if (!(value > 0.0)) return 0;  // zero, negative, NaN
-  int exp = 0;
-  std::frexp(value, &exp);  // value = m * 2^exp with m in [0.5, 1)
-  const int idx = exp + 17;  // 2^-17 < v <= 2^-16  ->  bucket 1
-  return std::clamp(idx, 1, kHistBuckets - 1);
+  static_assert(kHistBuckets == kLog2Buckets,
+                "registry histograms and the shared bucket math must agree");
+  return log2_bucket_index(value);
 }
 
 double MetricsRegistry::bucket_lower_bound(int bucket) {
-  if (bucket <= 0) return 0.0;
-  return std::ldexp(1.0, bucket - 18);
+  return log2_bucket_lower_bound(bucket);
+}
+
+void MetricsRegistry::enable_timelines(const HistoryConfig& cfg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  timelines_on_ = true;
+  timeline_cfg_ = cfg;
+}
+
+bool MetricsRegistry::timelines_enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timelines_on_;
+}
+
+void MetricsRegistry::record_timeline(const std::string& name, double t,
+                                      double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!timelines_on_) return;
+  for (auto& [n, store] : timelines_) {
+    if (n == name) {
+      store->append(t, value);
+      return;
+    }
+  }
+  timelines_.emplace_back(name, make_history_store(timeline_cfg_));
+  timelines_.back().second->append(t, value);
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
@@ -183,6 +207,16 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
     }
     snap.histograms.push_back(std::move(st));
   }
+  snap.timelines.reserve(timelines_.size());
+  for (const auto& [name, store] : timelines_) {
+    TimelineStats ts;
+    ts.name = name;
+    ts.backend = store->name();
+    ts.appends = store->appends();
+    ts.memory_bytes = store->memory_bytes();
+    ts.windows = store->windows();
+    snap.timelines.push_back(std::move(ts));
+  }
   return snap;
 }
 
@@ -197,6 +231,14 @@ const MetricsRegistry::HistogramStats* MetricsRegistry::Snapshot::histogram(
     const std::string& name) const {
   for (const auto& h : histograms) {
     if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+const MetricsRegistry::TimelineStats* MetricsRegistry::Snapshot::timeline(
+    const std::string& name) const {
+  for (const auto& t : timelines) {
+    if (t.name == name) return &t;
   }
   return nullptr;
 }
@@ -255,7 +297,27 @@ void write_metrics_json(std::ostream& os,
     }
     os << "]}";
   }
-  os << "}}";
+  os << "}";
+  if (!snap.timelines.empty()) {
+    os << ", \"timelines\": {";
+    for (std::size_t i = 0; i < snap.timelines.size(); ++i) {
+      const auto& t = snap.timelines[i];
+      os << (i == 0 ? "" : ", ") << '"' << json_escape(t.name)
+         << "\": {\"backend\": \"" << t.backend
+         << "\", \"appends\": " << t.appends
+         << ", \"memory_bytes\": " << t.memory_bytes << ", \"windows\": [";
+      for (std::size_t w = 0; w < t.windows.size(); ++w) {
+        const auto& win = t.windows[w];
+        os << (w == 0 ? "" : ", ") << '[' << json_number(win.t_lo) << ", "
+           << json_number(win.t_hi) << ", " << json_number(win.min) << ", "
+           << json_number(win.max) << ", " << json_number(win.mean()) << ", "
+           << win.count << ']';
+      }
+      os << "]}";
+    }
+    os << "}";
+  }
+  os << "}";
 }
 
 }  // namespace tbcs::obs

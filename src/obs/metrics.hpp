@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/history_store.hpp"
+
 namespace tbcs::obs {
 
 class MetricsRegistry;
@@ -103,15 +105,26 @@ class MetricsRegistry {
     double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
   };
 
+  struct TimelineStats {
+    std::string name;
+    std::string backend;
+    std::uint64_t appends = 0;
+    std::size_t memory_bytes = 0;
+    std::vector<HistoryWindow> windows;  // oldest first
+  };
+
   struct Snapshot {
     std::vector<std::pair<std::string, std::uint64_t>> counters;
     std::vector<std::pair<std::string, double>> gauges;
     std::vector<HistogramStats> histograms;
+    std::vector<TimelineStats> timelines;  // empty unless enabled
 
     /// Value of a counter by name; 0 when absent.
     std::uint64_t counter(const std::string& name) const;
     /// Histogram stats by name; nullptr when absent.
     const HistogramStats* histogram(const std::string& name) const;
+    /// Timeline stats by name; nullptr when absent.
+    const TimelineStats* timeline(const std::string& name) const;
   };
 
   /// Merged view over all thread shards.  Concurrent writers may or may
@@ -121,6 +134,17 @@ class MetricsRegistry {
   static int bucket_index(double value);
   /// Lower bound of bucket b (0 for bucket 0).
   static double bucket_lower_bound(int bucket);
+
+  // ---- timelines -----------------------------------------------------------
+  // Opt-in named (t, value) streams recorded through a history backend.
+  // Mutex-guarded, intended for low-rate streams (sweep row summaries,
+  // end-of-run rollups), NOT the per-event hot path.  record_timeline()
+  // is a no-op until enable_timelines() runs, so default output —
+  // including write_metrics_json bytes — is unchanged when unused.
+
+  void enable_timelines(const HistoryConfig& cfg);
+  bool timelines_enabled() const;
+  void record_timeline(const std::string& name, double t, double value);
 
  private:
   friend class Counter;
@@ -155,13 +179,22 @@ class MetricsRegistry {
   std::array<std::atomic<double>, kMaxGauges> gauges_{};
   std::vector<std::unique_ptr<Shard>> shards_;
   std::uint64_t serial_ = 0;  // unique per registry; keys the TLS shard cache
+
+  // Timelines (guarded by mu_; name order = registration order).
+  bool timelines_on_ = false;
+  HistoryConfig timeline_cfg_;
+  std::vector<std::pair<std::string, std::unique_ptr<HistoryStore>>> timelines_;
 };
 
 /// Serializes a snapshot as one JSON object:
 ///   {"counters": {...}, "gauges": {...},
 ///    "histograms": {"name": {"count": .., "sum": .., "min": .., "max": ..,
 ///                            "buckets": [[lower_bound, count], ...]}}}
-/// Only non-empty buckets are listed.
+/// Only non-empty buckets are listed.  When the snapshot carries
+/// timelines, a trailing "timelines" object is appended:
+///   {"name": {"backend": .., "appends": .., "memory_bytes": ..,
+///             "windows": [[t_lo, t_hi, min, max, mean, count], ...]}}
+/// — absent otherwise, so default output bytes are unchanged.
 void write_metrics_json(std::ostream& os, const MetricsRegistry::Snapshot& snap);
 
 }  // namespace tbcs::obs

@@ -77,6 +77,42 @@ void print_summary(std::ostream& os, const TraceSummary& s) {
   }
 }
 
+TraceTimeline summarize_timeline(const FlightRecorder::Dump& dump,
+                                 const HistoryConfig& cfg) {
+  TraceTimeline t;
+  auto store = make_history_store(cfg);
+  // Dumps are ring buffers, so records are already oldest-first in time;
+  // append order = record order keeps the result a pure function of the
+  // dump bytes.
+  for (const TraceRecord& r : dump.records) store->append(r.t, 1.0);
+  t.backend = store->name();
+  t.appends = store->appends();
+  t.memory_bytes = store->memory_bytes();
+  t.windows = store->windows();
+  return t;
+}
+
+void print_timeline(std::ostream& os, const TraceTimeline& t) {
+  os << "timeline (" << t.backend << " backend): " << t.appends
+     << " records in " << t.windows.size() << " windows, "
+     << t.memory_bytes << " bytes\n";
+  for (const HistoryWindow& w : t.windows) {
+    char buf[128];
+    const double span = w.span();
+    const double rate =
+        span > 0.0 ? static_cast<double>(w.count) / span : 0.0;
+    std::snprintf(buf, sizeof buf, "  [%12.4f, %12.4f] %10llu events",
+                  w.t_lo, w.t_hi,
+                  static_cast<unsigned long long>(w.count));
+    os << buf;
+    if (span > 0.0) {
+      std::snprintf(buf, sizeof buf, "  (%.1f /unit)", rate);
+      os << buf;
+    }
+    os << "\n";
+  }
+}
+
 std::string format_record(const TraceRecord& r) {
   std::ostringstream ss;
   ss.precision(12);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "obs/flight_recorder.hpp"
+#include "obs/history_store.hpp"
 
 namespace tbcs::obs {
 
@@ -40,6 +41,24 @@ void print_summary(std::ostream& os, const TraceSummary& s);
 
 /// One record, formatted for humans ("seq=12 t=3.25 deliver node=4 ...").
 std::string format_record(const TraceRecord& r);
+
+/// Event-rate timeline of a dump, built through a history backend: every
+/// record appends (t, 1), so the store's windows partition the trace's
+/// time span with per-window event counts.  With the stair backend this
+/// summarizes arbitrarily long traces in bounded memory (old activity at
+/// geometrically coarser resolution); exact keeps one window per record.
+struct TraceTimeline {
+  std::string backend;
+  std::uint64_t appends = 0;
+  std::size_t memory_bytes = 0;
+  std::vector<HistoryWindow> windows;  // oldest first
+};
+
+TraceTimeline summarize_timeline(const FlightRecorder::Dump& dump,
+                                 const HistoryConfig& cfg);
+
+/// Renders the timeline as an events-per-window table with rates.
+void print_timeline(std::ostream& os, const TraceTimeline& t);
 
 struct TraceDiff {
   bool diverged = false;

@@ -1,0 +1,167 @@
+// Clock-model layer: oscillator families and settable clocks.
+//
+// The paper's model (Section 3) only needs a free-running hardware clock
+// whose rate the adversary perturbs inside [1-eps, 1+eps]; hardware_clock
+// + drift_policy cover that.  This header promotes the pair into a small
+// model layer so gPTP-like scenarios become expressible:
+//
+//  * OscillatorSpec / make_oscillator() — a first-class drift axis.  The
+//    CLI's named drift models (const/walk/square/sine and the new
+//    clamped random-walk "rwalk") build through here instead of ad-hoc
+//    switch arms, so scenario code and tests construct identical
+//    policies from one spec.
+//
+//  * ClampedRandomWalkDrift — a physical oscillator: the rate takes
+//    bounded uniform *increments* (a true random walk) and is clamped to
+//    [1-eps, 1+eps].  Unlike RandomWalkDrift (which re-draws the rate
+//    i.i.d. each interval) consecutive rates are correlated, which is
+//    the regime where long-horizon gradient properties show up.
+//
+//  * SettableClock — a hardware clock that a sync protocol may *adjust*:
+//    discontinuous steps (with optional monotonicity clamping) and
+//    bounded-rate slews, the two correction primitives of PTP-style
+//    servo loops.  It still inherits the exact piecewise-linear
+//    value_at()/time_when_reaches() machinery, so it can drive timers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/drift_policy.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+#include "sim/hardware_clock.hpp"
+
+namespace tbcs::sim {
+
+/// Rate random walk with a saturating clamp at the model bounds:
+/// rate' = clamp(rate + U(-step, +step), 1-eps, 1+eps), updated
+/// every `interval` with per-node staggered phases (same stagger/split
+/// idiom as RandomWalkDrift so streams stay order-independent).
+class ClampedRandomWalkDrift final : public DriftPolicy {
+ public:
+  ClampedRandomWalkDrift(double epsilon, Duration interval, double step,
+                         std::uint64_t seed)
+      : epsilon_(epsilon), interval_(interval), step_(step), root_(seed) {}
+
+  double initial_rate(NodeId v) override {
+    double& r = node_rate(v);
+    r = node_rng(v).uniform(1.0 - epsilon_, 1.0 + epsilon_);
+    return r;
+  }
+
+  std::optional<RateStep> next_change(NodeId v, RealTime now) override {
+    Rng& rng = node_rng(v);
+    const RealTime at =
+        now == 0.0 ? interval_ * rng.next_double() : now + interval_;
+    double& r = node_rate(v);
+    r += rng.uniform(-step_, step_);
+    r = std::min(1.0 + epsilon_, std::max(1.0 - epsilon_, r));
+    return RateStep{at, r};
+  }
+
+ private:
+  Rng& node_rng(NodeId v) {
+    const auto idx = static_cast<std::size_t>(v);
+    while (rngs_.size() <= idx) {
+      rngs_.push_back(root_.split(rngs_.size() + 1));
+    }
+    return rngs_[idx];
+  }
+  double& node_rate(NodeId v) {
+    const auto idx = static_cast<std::size_t>(v);
+    while (rates_.size() <= idx) rates_.push_back(1.0);
+    return rates_[idx];
+  }
+
+  double epsilon_;
+  Duration interval_;
+  double step_;
+  Rng root_;
+  std::vector<Rng> rngs_;
+  std::vector<double> rates_;
+};
+
+/// One oscillator family = one drift policy, described declaratively so
+/// CLI parsing, sweep specs, and tests share a single construction path.
+struct OscillatorSpec {
+  enum class Kind {
+    kConst,        // fixed rate 1 (ignores epsilon)
+    kWalk,         // i.i.d. re-draw in [1-eps, 1+eps] per interval
+    kClampedWalk,  // correlated bounded-increment walk, clamped
+    kSquare,       // two groups alternate between the extreme rates
+    kSine,         // discretized per-node-phase sinusoid
+  };
+
+  Kind kind = Kind::kConst;
+  double epsilon = 0.0;
+  /// Rate-change cadence (kWalk/kClampedWalk), full period (kSquare/kSine).
+  Duration interval = 0.0;
+  /// kClampedWalk: max |rate increment| per change.
+  double step = 0.0;
+  std::uint64_t seed = 0;
+  /// kSquare: nodes with id < fast_below run fast in the first half-period.
+  NodeId fast_below = 0;
+};
+
+std::unique_ptr<DriftPolicy> make_oscillator(const OscillatorSpec& spec);
+
+/// A hardware clock the protocol may correct — the "settable" clock of
+/// IEEE 1588/gPTP stacks.  Corrections never run the clock backwards
+/// unless monotonicity enforcement is switched off.
+class SettableClock : public HardwareClock {
+ public:
+  struct Options {
+    /// Clamp negative steps so the reported value never decreases
+    /// (slewing remains available for smooth negative corrections).
+    bool enforce_monotone = true;
+  };
+
+  SettableClock() = default;
+  explicit SettableClock(Options opt) : opt_(opt) {}
+
+  /// Applies an immediate value step of `offset` at real time `now`.
+  /// With monotone enforcement a negative step is clamped to zero and
+  /// counted in clamped_adjustment().  Steps cancel an in-flight slew.
+  void step(RealTime now, ClockValue offset);
+
+  /// Starts correcting `offset` by running the clock at base_rate *
+  /// (1 +/- rate_factor) until the correction is absorbed; rate_factor
+  /// must be in (0, 1) so the clock stays strictly monotone even for
+  /// negative offsets.  Replaces any in-flight slew (the remainder of
+  /// the old correction is dropped).  Call poll() at (or after) each
+  /// event to let a finished slew restore the base rate.
+  void begin_slew(RealTime now, ClockValue offset, double rate_factor);
+
+  /// Finishes an elapsed slew: restores the base oscillator rate at the
+  /// exact completion time.  Safe to call at any time.
+  void poll(RealTime now);
+
+  /// Records the oscillator's own rate (from the drift policy) so slews
+  /// compose with drift: set_base_rate instead of set_rate keeps an
+  /// active slew's offset-absorption accounting correct.
+  void set_base_rate(RealTime now, double rate);
+
+  bool slewing() const { return slewing_; }
+  RealTime slew_end() const { return slew_end_; }
+
+  std::uint64_t steps() const { return steps_; }
+  std::uint64_t slews() const { return slews_; }
+  /// Sum of |offset| over all applied corrections (steps + slews).
+  double total_adjustment() const { return total_adjustment_; }
+  /// Step magnitude suppressed by monotonicity clamping.
+  double clamped_adjustment() const { return clamped_adjustment_; }
+
+ private:
+  Options opt_;
+  bool slewing_ = false;
+  RealTime slew_end_ = 0.0;
+  double base_rate_ = 1.0;
+  std::uint64_t steps_ = 0;
+  std::uint64_t slews_ = 0;
+  double total_adjustment_ = 0.0;
+  double clamped_adjustment_ = 0.0;
+};
+
+}  // namespace tbcs::sim

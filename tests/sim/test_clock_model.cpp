@@ -1,0 +1,203 @@
+#include "sim/clock_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+namespace tbcs::sim {
+namespace {
+
+TEST(ClampedRandomWalkDrift, RatesStayClamped) {
+  const double eps = 0.01;
+  ClampedRandomWalkDrift drift(eps, 10.0, 0.5 /* step >> eps forces clamping */,
+                               1234);
+  for (NodeId v = 0; v < 8; ++v) {
+    double r = drift.initial_rate(v);
+    EXPECT_GE(r, 1.0 - eps);
+    EXPECT_LE(r, 1.0 + eps);
+    RealTime now = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      const auto step = drift.next_change(v, now);
+      ASSERT_TRUE(step.has_value());
+      EXPECT_GT(step->at, now);
+      EXPECT_GE(step->rate, 1.0 - eps);
+      EXPECT_LE(step->rate, 1.0 + eps);
+      now = step->at;
+    }
+  }
+}
+
+TEST(ClampedRandomWalkDrift, IncrementsAreBounded) {
+  const double eps = 0.1;
+  const double step_bound = 0.002;
+  ClampedRandomWalkDrift drift(eps, 5.0, step_bound, 99);
+  double prev = drift.initial_rate(0);
+  RealTime now = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const auto step = drift.next_change(0, now);
+    ASSERT_TRUE(step.has_value());
+    // Consecutive rates are correlated: each move is at most the step
+    // bound (this is what distinguishes the walk from i.i.d. re-draws).
+    EXPECT_LE(std::abs(step->rate - prev), step_bound + 1e-15);
+    prev = step->rate;
+    now = step->at;
+  }
+}
+
+TEST(ClampedRandomWalkDrift, DeterministicAndStaggered) {
+  ClampedRandomWalkDrift a(0.01, 10.0, 0.001, 7);
+  ClampedRandomWalkDrift b(0.01, 10.0, 0.001, 7);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_DOUBLE_EQ(a.initial_rate(v), b.initial_rate(v));
+    const auto sa = a.next_change(v, 0.0);
+    const auto sb = b.next_change(v, 0.0);
+    ASSERT_TRUE(sa && sb);
+    EXPECT_DOUBLE_EQ(sa->at, sb->at);
+    EXPECT_DOUBLE_EQ(sa->rate, sb->rate);
+    // First change is staggered inside the first interval.
+    EXPECT_GT(sa->at, 0.0);
+    EXPECT_LE(sa->at, 10.0);
+  }
+}
+
+TEST(Oscillator, FactoryProducesEachFamily) {
+  OscillatorSpec spec;
+  spec.epsilon = 0.01;
+  spec.interval = 10.0;
+  spec.seed = 5;
+
+  spec.kind = OscillatorSpec::Kind::kConst;
+  EXPECT_DOUBLE_EQ(make_oscillator(spec)->initial_rate(0), 1.0);
+
+  spec.kind = OscillatorSpec::Kind::kWalk;
+  auto walk = make_oscillator(spec);
+  const double r = walk->initial_rate(3);
+  EXPECT_GE(r, 0.99);
+  EXPECT_LE(r, 1.01);
+
+  spec.kind = OscillatorSpec::Kind::kClampedWalk;
+  spec.step = 0.001;
+  auto cw = make_oscillator(spec);
+  EXPECT_TRUE(cw->next_change(0, 0.0).has_value());
+
+  spec.kind = OscillatorSpec::Kind::kSquare;
+  spec.fast_below = 2;
+  auto sq = make_oscillator(spec);
+  EXPECT_DOUBLE_EQ(sq->initial_rate(0), 1.01);
+  EXPECT_DOUBLE_EQ(sq->initial_rate(2), 0.99);
+
+  spec.kind = OscillatorSpec::Kind::kSine;
+  auto sine = make_oscillator(spec);
+  const double sr = sine->initial_rate(1);
+  EXPECT_GE(sr, 0.99);
+  EXPECT_LE(sr, 1.01);
+}
+
+TEST(SettableClock, StepJumpsForward) {
+  SettableClock c;
+  c.start(0.0);
+  EXPECT_DOUBLE_EQ(c.value_at(10.0), 10.0);
+  c.step(10.0, 5.0);
+  EXPECT_DOUBLE_EQ(c.value_at(10.0), 15.0);
+  EXPECT_DOUBLE_EQ(c.value_at(12.0), 17.0);
+  EXPECT_EQ(c.steps(), 1u);
+  EXPECT_DOUBLE_EQ(c.total_adjustment(), 5.0);
+  EXPECT_DOUBLE_EQ(c.clamped_adjustment(), 0.0);
+}
+
+TEST(SettableClock, MonotoneClampSuppressesNegativeSteps) {
+  SettableClock c;
+  c.start(0.0);
+  c.step(10.0, -3.0);
+  // The step is recorded but the value must not go backwards.
+  EXPECT_DOUBLE_EQ(c.value_at(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(c.clamped_adjustment(), 3.0);
+  EXPECT_DOUBLE_EQ(c.total_adjustment(), 0.0);
+}
+
+TEST(SettableClock, NonMonotoneModeAllowsNegativeSteps) {
+  SettableClock c(SettableClock::Options{/*enforce_monotone=*/false});
+  c.start(0.0);
+  c.step(10.0, -3.0);
+  EXPECT_DOUBLE_EQ(c.value_at(10.0), 7.0);
+  EXPECT_DOUBLE_EQ(c.total_adjustment(), 3.0);
+  EXPECT_DOUBLE_EQ(c.clamped_adjustment(), 0.0);
+}
+
+TEST(SettableClock, SlewAbsorbsOffsetThenRestoresRate) {
+  SettableClock c;
+  c.start(0.0);
+  // +1.0 at 10% rate surplus: absorbed after 10 real seconds.
+  c.begin_slew(0.0, 1.0, 0.1);
+  EXPECT_TRUE(c.slewing());
+  EXPECT_DOUBLE_EQ(c.slew_end(), 10.0);
+  EXPECT_DOUBLE_EQ(c.value_at(5.0), 5.5);
+  c.poll(10.0);
+  EXPECT_FALSE(c.slewing());
+  EXPECT_DOUBLE_EQ(c.rate(), 1.0);
+  EXPECT_DOUBLE_EQ(c.value_at(10.0), 11.0);
+  EXPECT_DOUBLE_EQ(c.value_at(20.0), 21.0);
+  EXPECT_EQ(c.slews(), 1u);
+}
+
+TEST(SettableClock, NegativeSlewStaysMonotone) {
+  SettableClock c;
+  c.start(0.0);
+  c.begin_slew(0.0, -1.0, 0.5);
+  // Rate 0.5 is still positive: the clock slows but never reverses.
+  // (value_at is only valid at/after the last rate change, so sample the
+  // in-slew segment before polling moves the anchor to slew_end.)
+  double prev = 0.0;
+  for (double t = 0.0; t <= 2.0; t += 0.125) {
+    const double v = c.value_at(t);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(c.value_at(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(c.slew_end(), 2.0);
+  c.poll(2.0);
+  EXPECT_DOUBLE_EQ(c.value_at(2.0), 1.0);  // 2.0 real - 1.0 corrected
+  EXPECT_DOUBLE_EQ(c.value_at(4.0), 3.0);
+  for (double t = 2.0; t <= 4.0; t += 0.125) {
+    const double v = c.value_at(t);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(SettableClock, LatePollBacksDatesRateRestore) {
+  SettableClock c;
+  c.start(0.0);
+  c.begin_slew(0.0, 1.0, 0.1);
+  // Poll long after the slew finished: the base rate must apply from
+  // slew_end, not from the poll time.
+  c.poll(50.0);
+  EXPECT_DOUBLE_EQ(c.value_at(50.0), 51.0);
+}
+
+TEST(SettableClock, StepCancelsInflightSlew) {
+  SettableClock c;
+  c.start(0.0);
+  c.begin_slew(0.0, 10.0, 0.1);  // would run until t=100
+  c.step(5.0, 2.0);
+  EXPECT_FALSE(c.slewing());
+  // 5.5 accrued during the half-finished slew, +2 step, rate 1 after.
+  EXPECT_DOUBLE_EQ(c.value_at(5.0), 7.5);
+  EXPECT_DOUBLE_EQ(c.value_at(6.0), 8.5);
+}
+
+TEST(SettableClock, SlewComposesWithDriftRate) {
+  SettableClock c;
+  c.start(0.0);
+  c.set_base_rate(0.0, 1.01);  // oscillator runs fast
+  c.begin_slew(0.0, 1.01, 0.1);
+  // Slew rate = 1.01 * 1.1; offset absorbed after 1.01/(1.01*0.1) = 10 s.
+  EXPECT_DOUBLE_EQ(c.slew_end(), 10.0);
+  c.poll(10.0);
+  EXPECT_DOUBLE_EQ(c.rate(), 1.01);
+  EXPECT_NEAR(c.value_at(10.0), 10.0 * 1.01 + 1.01, 1e-12);
+}
+
+}  // namespace
+}  // namespace tbcs::sim

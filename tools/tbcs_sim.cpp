@@ -9,6 +9,7 @@
 #include <fstream>
 #include <iostream>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <optional>
@@ -51,7 +52,15 @@ algorithm:  --algo aopt|ftgcs|kllo|aopt-jump|aopt-bounded|aopt-adaptive|
                                edge is stabilized when its skew stays
                                <= B (0 = the Thm 5.10 local bound)
 model:      --eps E --delay T --mu M --h0 H     (0 = paper defaults)
-adversary:  --drift walk|square|sine|const
+adversary:  --drift walk|rwalk|square|sine|const
+                               rwalk = clamped random walk: the rate takes
+                               bounded uniform increments, saturating at
+                               [1-eps, 1+eps] (correlated, physical-
+                               oscillator regime)
+            --drift-interval T rate-change cadence / period override
+                               (0 = per-model default: 10 T walk/rwalk,
+                               40 T square, 80 T sine)
+            --drift-step S     rwalk max |rate increment| (0 = eps / 2)
             --delays uniform|fixed|band|bimodal|burst|hiding
             --band-min F
 faults:     --faults FILE      fault plan (docs/FAULTS.md); enables the
@@ -115,17 +124,16 @@ run:        --duration T --seed S --wake-all --per-distance
             --progress[=SECS]  stderr heartbeat every SECS wall seconds
                                (default 5): wall time, sim time, events/s,
                                queue depth, current shard horizon
-            --skew-stride N    sample the skew tracker (and the churn
-                               stabilization probe) every Nth event only;
-                               reported maxima become lower bounds but
-                               large-n serial runs stop paying a rescan
-                               per event.  Execution bytes (--record /
-                               --trace) are unaffected; observer-side
-                               stats (skew.* counters and
-                               churn.edges_stabilized) become
-                               sampling-dependent.  Ignored when sharded:
-                               that engine already samples per window
-                               barrier, not per event.
+            --skew-stride N    DEPRECATED: prefer --obs-backend stair,
+                               which samples on a fixed time grid with a
+                               queryable error bound and is byte-identical
+                               under --shards.  Strided sampling keeps
+                               every Nth event only; reported maxima
+                               become lower bounds with no bound on the
+                               error, and the flag is ignored when
+                               sharded (that engine samples per window
+                               barrier, not per event).  Execution bytes
+                               (--record / --trace) are unaffected.
             note: a skew-tracker stride > 1 silently degrades the
             incremental engine to full rescans; such samples are counted
             in the `skew.full_rescan_fallback` metrics counter (--stats)
@@ -133,7 +141,19 @@ output:     --series-csv FILE --profile-csv FILE --snapshot-csv FILE
 record:     --record FILE      save this execution (rates + delays)
             --replay FILE      re-run a saved execution (overrides the
                                adversary flags; topology/algo must match)
-observe:    --stats            print communication/queue/metrics/trace
+observe:    --obs-backend B    telemetry history backend: exact (default;
+                               every sample retained, bit-identical to
+                               the classic tracker) | stair (multi-
+                               resolution sliding-window sketch: skew /
+                               stabilization series grid-sampled every
+                               --delay, geometric memory under
+                               --obs-memory-kb, reported maxima within
+                               the advertised error_bound of exact).
+                               Observer-only: --record / --trace bytes
+                               and the stair figures themselves are
+                               identical across --shards / --queue
+            --obs-memory-kb N  per-stream stair memory budget (default 64)
+            --stats            print communication/queue/obs/metrics/trace
                                counters as one JSON object on exit
             --stats-json FILE  write the same JSON object to FILE (the
                                sharded-equivalence smoke test diffs these)
@@ -186,6 +206,24 @@ int main(int argc, char** argv) {
   }
 
   try {
+    const obs::HistoryConfig hcfg = cli::resolve_history(cfg);
+    const bool stair = hcfg.backend == obs::HistoryConfig::Backend::kStair;
+    if (cfg.skew_stride > 1) {
+      std::cerr << "warning: --skew-stride is deprecated; prefer "
+                   "--obs-backend stair (grid sampling with a queryable "
+                   "error bound, engine-invariant)\n";
+      if (cfg.shards > 0) {
+        std::cerr << "warning: --skew-stride is ignored with --shards "
+                  << cfg.shards
+                  << " (the sharded engine samples per window barrier, "
+                     "not per event)\n";
+      }
+      if (stair) {
+        std::cerr << "warning: --skew-stride is ignored with --obs-backend "
+                     "stair (the sketch samples on the probe grid)\n";
+      }
+    }
+
     auto built = cli::build_experiment(cfg);
     sim::Simulator& sim = *built.simulator;
     if (progress_secs > 0.0) sim.set_progress(progress_secs);
@@ -251,12 +289,25 @@ int main(int argc, char** argv) {
     if (audit_oracle) topt.mode = analysis::SkewTracker::Mode::kAuditOracle;
     // The stride exists for the serial per-event observer; the sharded
     // engine already samples per window barrier (thousands of events per
-    // call), so striding there would only starve the reports.
+    // call), so striding there would only starve the reports.  The stair
+    // backend replaces it outright with grid sampling.
     topt.stride =
-        cfg.skew_stride > 1 && cfg.shards == 0
+        cfg.skew_stride > 1 && cfg.shards == 0 && !stair
             ? static_cast<std::uint64_t>(cfg.skew_stride)
             : 1;
     topt.audit_epsilon = cfg.eps;
+    topt.history = hcfg;
+    if (stair) {
+      // Sample on the probe grid k * delay — the same instants in every
+      // engine (serial probe events, sharded probe barriers), so the
+      // sketch is byte-identical across --shards/--queue.  Between grid
+      // points logical rates stay within [1-eps, (1+eps)(1+mu)], which
+      // bounds how far a skew extremum can drift: that span times the
+      // grid step is the advertised error bound.
+      topt.sample_grid = cfg.delay;
+      topt.error_rate_span =
+          (1.0 + cfg.eps) * (1.0 + built.params.mu) - (1.0 - cfg.eps);
+    }
     // The per-distance profile materializes all-pairs distances (O(n^2)
     // memory); refuse outright where that is gigabytes, instead of
     // thrashing for hours.
@@ -267,7 +318,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     topt.track_per_distance = cfg.per_distance;
-    topt.series_interval = cfg.duration / 200.0;
+    // Stair mode: the grid drives the series cadence instead.
+    topt.series_interval = stair ? 0.0 : cfg.duration / 200.0;
     if (!built.timeline.empty()) {
       // "Recovered" = back inside the paper's envelope (Thm 5.5 / 5.10).
       topt.recovery_global_bound = g_bound;
@@ -293,6 +345,8 @@ int main(int argc, char** argv) {
       popt.bound = cfg.stab_bound > 0.0 ? cfg.stab_bound : l_bound;
       popt.mu = built.params.mu;
       popt.stride = topt.stride;
+      popt.history = hcfg;
+      if (stair) popt.sample_grid = cfg.delay;
       probe.emplace(popt);
       probe->preload(built.churn);
       dyn::attach_dyn_observers(sim, &tracker, &*probe);
@@ -357,6 +411,15 @@ int main(int argc, char** argv) {
     summary.add_row({"rates seen", "[" + analysis::Table::num(tracker.min_logical_rate(), 4) +
                                        ", " + analysis::Table::num(tracker.max_logical_rate(), 4) +
                                        "]"});
+    if (stair) {
+      summary.add_row(
+          {"history backend",
+           std::string(obs::history_backend_name(hcfg.backend)) + " (budget " +
+               std::to_string(hcfg.memory_budget_bytes / 1024) + " KB, used " +
+               std::to_string(tracker.history_memory_bytes()) +
+               " B, skew err <= " +
+               analysis::Table::num(tracker.skew_error_bound(), 4) + ")"});
+    }
     if (!built.churn.empty()) {
       summary.add_row(
           {"churn ops",
@@ -514,16 +577,38 @@ int main(int argc, char** argv) {
                 << " of " << recorder.total_recorded() << " records kept)\n";
     }
     if (stats || !stats_json.empty()) {
+      // Every figure in the "obs" block is a pure function of the
+      // grid-sampled append sequence, hence identical across
+      // --shards/--queue — the byte-comparison gates rely on that.
+      analysis::ObsBackendReport obs_report;
+      obs_report.backend = obs::history_backend_name(hcfg.backend);
+      obs_report.budget_bytes = hcfg.memory_budget_bytes;
+      obs_report.error_bound = tracker.skew_error_bound();
+      if (stair) {
+        const obs::HistoryStore* stores[] = {
+            &tracker.global_history(), &tracker.local_history(),
+            probe ? probe->stabilization_history() : nullptr};
+        for (const obs::HistoryStore* s : stores) {
+          if (s == nullptr) continue;
+          obs_report.appends += s->appends();
+          obs_report.memory_bytes += s->memory_bytes();
+          obs_report.windows += s->windows().size();
+          obs_report.coarsest_window_span = std::max(
+              obs_report.coarsest_window_span, s->coarsest_window_span());
+        }
+      }
       const auto snap = obs::MetricsRegistry::global().snapshot();
       obs::FlightRecorder* rec = trace_file.empty() ? nullptr : &recorder;
-      if (stats) analysis::write_stats_json(std::cout, sim, &snap, rec);
+      if (stats) {
+        analysis::write_stats_json(std::cout, sim, &snap, rec, &obs_report);
+      }
       if (!stats_json.empty()) {
         std::ofstream os(stats_json);
         if (!os) {
           std::cerr << "error: cannot open " << stats_json << " for writing\n";
           return 1;
         }
-        analysis::write_stats_json(os, sim, &snap, rec);
+        analysis::write_stats_json(os, sim, &snap, rec, &obs_report);
         std::cout << "wrote " << stats_json << "\n";
       }
     }

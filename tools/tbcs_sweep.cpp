@@ -43,6 +43,14 @@ run:        --jobs N          worker threads (default 1; output is
             --seed S          base seed; per-run seeds are derived from
                               (S, run index)
 output:     --format csv|json (default csv, on stdout)
+observe:    --obs-backend exact|stair --obs-memory-kb N
+                              telemetry history backend per run (see
+                              tbcs_sim --help).  stair adds the metric
+                              columns skew_error_bound /
+                              obs_history_bytes / obs_history_windows and
+                              per-sweep registry timelines; exact-mode
+                              output bytes are unchanged.  Results stay
+                              byte-identical for every --jobs/--shards
 faults:     --faults FILE --fault-seed S    fault plan applied to every run
                               (adds faults_applied / crashes / recoveries /
                               recovery_time — and, with scramble directives,

@@ -24,6 +24,10 @@ constexpr const char* kUsage =
     R"(tbcs_trace — flight-recorder dump tooling
 
   tbcs_trace --summary FILE              print per-kind/node/edge tables
+             [--obs-backend exact|stair] append an event-rate timeline of
+             [--obs-memory-kb N]         the dump through the chosen
+                                         history backend (stair: bounded
+                                         memory, default budget 64 KB)
   tbcs_trace --chrome FILE [--out FILE]  convert to Chrome/Perfetto JSON
              [--no-counters]             omit per-node counter tracks
   tbcs_trace --diff A B [--tolerance T]  locate first divergent event
@@ -45,6 +49,8 @@ int main(int argc, char** argv) {
   std::string out;
   double tolerance = 0.0;
   bool no_counters = false;
+  std::string obs_backend;  // empty: no timeline section
+  int obs_memory_kb = 64;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -63,6 +69,10 @@ int main(int argc, char** argv) {
       tolerance = std::stod(argv[++i]);
     } else if (a == "--no-counters") {
       no_counters = true;
+    } else if (a == "--obs-backend" && i + 1 < argc) {
+      obs_backend = argv[++i];
+    } else if (a == "--obs-memory-kb" && i + 1 < argc) {
+      obs_memory_kb = std::stoi(argv[++i]);
     } else if (a.size() >= 2 && a.compare(0, 2, "--") == 0) {
       std::cerr << "error: unknown flag " << a << "\n" << kUsage;
       return 2;
@@ -84,6 +94,18 @@ int main(int argc, char** argv) {
                 << " recorded (sample_every=" << dump.sample_every
                 << ", nodes=" << dump.num_nodes << ")\n\n";
       obs::print_summary(std::cout, s);
+      if (!obs_backend.empty()) {
+        obs::HistoryConfig hcfg;
+        hcfg.backend = obs::parse_history_backend(obs_backend);
+        if (obs_memory_kb <= 0) {
+          std::cerr << "error: --obs-memory-kb must be > 0\n";
+          return 2;
+        }
+        hcfg.memory_budget_bytes =
+            static_cast<std::size_t>(obs_memory_kb) * 1024;
+        std::cout << "\n";
+        obs::print_timeline(std::cout, obs::summarize_timeline(dump, hcfg));
+      }
       return 0;
     }
     if (mode == "chrome") {
